@@ -1,0 +1,67 @@
+// Reproduces paper Fig. 7: average embedding time per news document during
+// corpus indexing, NewsLink (G*) vs TreeEmb, with per-component breakdown.
+//
+// Expected shape: NewsLink's NE is significantly faster than TreeEmb's —
+// the C1/C2 depth bound terminates the frontier sweep far earlier than the
+// GST total-weight bound — and NE dominates NLP/NS either way.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "newslink/newslink_engine.h"
+
+using namespace newslink;
+
+namespace {
+
+void Report(const char* name, const NewsLinkEngine& engine, size_t docs) {
+  const TimeBreakdown& t = engine.index_times();
+  const double nlp = t.TotalSeconds("nlp") / docs * 1e3;
+  const double ne = t.TotalSeconds("ne") / docs * 1e3;
+  const double ns = t.TotalSeconds("ns") / docs * 1e3;
+  std::printf("%-10s %12.3f %12.3f %12.3f %12.3f\n", name, nlp, ne, ns,
+              nlp + ne + ns);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("NewsLink reproduction — paper Fig. 7\n");
+  std::printf("(average embedding time per news document, ms)\n\n");
+  const int stories = bench::StoriesFromEnv(160);
+  auto world = bench::MakeWorld();
+  auto dataset =
+      bench::MakeDataset(*world, "cnn", corpus::CnnLikeConfig(), stories);
+  const size_t docs = dataset->data.corpus.size();
+  std::printf("corpus: %zu documents; KG: %zu nodes\n\n", docs,
+              world->kg.graph.num_nodes());
+
+  std::printf("%-10s %12s %12s %12s %12s\n", "embedder", "NLP ms/doc",
+              "NE ms/doc", "NS ms/doc", "total");
+  bench::PrintRule(64);
+
+  double ne_newslink = 0.0;
+  double ne_tree = 0.0;
+  {
+    NewsLinkConfig config;
+    config.embedder = EmbedderKind::kLcag;
+    config.num_threads = 1;  // single-threaded: clean per-doc attribution
+    NewsLinkEngine engine(&world->kg.graph, &world->index, config);
+    engine.Index(dataset->data.corpus);
+    Report("NewsLink", engine, docs);
+    ne_newslink = engine.index_times().TotalSeconds("ne");
+  }
+  {
+    NewsLinkConfig config;
+    config.embedder = EmbedderKind::kTree;
+    config.num_threads = 1;
+    NewsLinkEngine engine(&world->kg.graph, &world->index, config);
+    engine.Index(dataset->data.corpus);
+    Report("TreeEmb", engine, docs);
+    ne_tree = engine.index_times().TotalSeconds("ne");
+  }
+
+  std::printf("\nNE speedup of NewsLink over TreeEmb: %.2fx\n",
+              ne_tree / ne_newslink);
+  return 0;
+}

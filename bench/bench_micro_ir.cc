@@ -1,0 +1,83 @@
+// Microbenchmarks for the NS substrate: index construction, BM25 scoring,
+// and top-k selection throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ir/inverted_index.h"
+#include "ir/scorer.h"
+#include "ir/top_k.h"
+
+using namespace newslink;
+
+namespace {
+
+/// Synthetic postings workload: Zipf-ish term distribution.
+std::vector<ir::TermCounts> MakeDocs(size_t num_docs, size_t vocab,
+                                     size_t terms_per_doc) {
+  Rng rng(23);
+  ZipfTable zipf(vocab, 1.0);
+  std::vector<ir::TermCounts> docs(num_docs);
+  for (auto& doc : docs) {
+    std::map<ir::TermId, uint32_t> counts;
+    for (size_t t = 0; t < terms_per_doc; ++t) {
+      ++counts[static_cast<ir::TermId>(zipf.Sample(&rng))];
+    }
+    doc.assign(counts.begin(), counts.end());
+  }
+  return docs;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto docs =
+      MakeDocs(static_cast<size_t>(state.range(0)), 20000, 120);
+  for (auto _ : state) {
+    ir::InvertedIndex index;
+    for (const auto& d : docs) index.AddDocument(d);
+    benchmark::DoNotOptimize(index.num_docs());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(4000);
+
+void BM_Bm25Query(benchmark::State& state) {
+  const auto docs = MakeDocs(4000, 20000, 120);
+  ir::InvertedIndex index;
+  for (const auto& d : docs) index.AddDocument(d);
+  ir::Bm25Scorer scorer(&index);
+
+  Rng rng(29);
+  std::vector<ir::TermCounts> queries;
+  for (int q = 0; q < 32; ++q) {
+    ir::TermCounts query;
+    for (int t = 0; t < static_cast<int>(state.range(0)); ++t) {
+      query.push_back({static_cast<ir::TermId>(rng.Uniform(20000)), 1});
+    }
+    queries.push_back(std::move(query));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.ScoreAll(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_Bm25Query)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_TopKSelect(benchmark::State& state) {
+  Rng rng(31);
+  std::vector<ir::ScoredDoc> scores;
+  for (int i = 0; i < 100000; ++i) {
+    scores.push_back({static_cast<ir::DocId>(i), rng.UniformDouble()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ir::SelectTopK(scores, static_cast<size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * scores.size());
+}
+BENCHMARK(BM_TopKSelect)->Arg(10)->Arg(100);
+
+}  // namespace

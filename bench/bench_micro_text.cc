@@ -1,0 +1,129 @@
+// Microbenchmarks for the NLP substrate and corpus utilities: tokenizer,
+// NER + segmentation throughput, SimHash, and VByte posting compression.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/synthetic_news.h"
+#include "ir/simhash.h"
+#include "ir/varbyte.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+#include "text/gazetteer_ner.h"
+#include "text/news_segmenter.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+using namespace newslink;
+
+namespace {
+
+struct TextWorld {
+  kg::SyntheticKg kg;
+  kg::LabelIndex index;
+  text::GazetteerNer ner;
+  corpus::SyntheticCorpus news;
+
+  TextWorld()
+      : kg(kg::SyntheticKgGenerator(MakeKg()).Generate()),
+        index(kg.graph),
+        ner(&index),
+        news(corpus::SyntheticNewsGenerator(&kg, MakeNews()).Generate()) {}
+
+  static kg::SyntheticKgConfig MakeKg() {
+    kg::SyntheticKgConfig config;
+    config.seed = 19;
+    return config;
+  }
+  static corpus::SyntheticNewsConfig MakeNews() {
+    corpus::SyntheticNewsConfig config = corpus::CnnLikeConfig();
+    config.num_stories = 40;
+    return config;
+  }
+};
+
+const TextWorld& World() {
+  static const TextWorld* const world = new TextWorld();
+  return *world;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string& text = World().news.corpus.doc(0).text;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::Tokenize(text));
+    bytes += text.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_PorterStem(benchmark::State& state) {
+  const std::vector<std::string> words = {
+      "relational", "conditioning", "happiness",   "bombings",
+      "electrical", "adjustments",  "controlling", "hopefulness"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::PorterStem(words[i++ % words.size()]));
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_NerRecognize(benchmark::State& state) {
+  const TextWorld& world = World();
+  const auto tokens = text::Tokenize(world.news.corpus.doc(3).text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.ner.Recognize(tokens));
+  }
+  state.counters["tokens"] = static_cast<double>(tokens.size());
+}
+BENCHMARK(BM_NerRecognize);
+
+void BM_SegmentDocument(benchmark::State& state) {
+  const TextWorld& world = World();
+  text::NewsSegmenter segmenter(&world.ner);
+  const std::string& doc =
+      world.news.corpus.doc(static_cast<size_t>(state.range(0))).text;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(segmenter.Segment(doc));
+  }
+}
+BENCHMARK(BM_SegmentDocument)->Arg(1)->Arg(5);
+
+void BM_SimHash(benchmark::State& state) {
+  const std::string& text = World().news.corpus.doc(2).text;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::SimHash(text));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_SimHash);
+
+void BM_VarBytePostings(benchmark::State& state) {
+  Rng rng(23);
+  std::vector<ir::Posting> postings;
+  uint32_t doc = 0;
+  for (int i = 0; i < 10000; ++i) {
+    doc += 1 + static_cast<uint32_t>(rng.Uniform(20));
+    postings.push_back(
+        ir::Posting{doc, 1 + static_cast<uint32_t>(rng.Uniform(4))});
+  }
+  const ir::CompressedPostingList list({postings.data(), postings.size()});
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    list.ForEach([&acc](const ir::Posting& p) { acc += p.doc + p.tf; });
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(postings.size()));
+  state.counters["bytes/posting"] =
+      static_cast<double>(list.byte_size()) / postings.size();
+}
+BENCHMARK(BM_VarBytePostings);
+
+}  // namespace

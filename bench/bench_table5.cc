@@ -1,0 +1,39 @@
+// Reproduces paper Table V: average entity matching ratio per test query
+// (the fraction of NER-identified mentions that resolve to KG nodes by
+// exact matching; paper reports 97.54% for CNN and 96.49% for Kaggle).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace newslink;
+
+int main() {
+  std::printf("NewsLink reproduction — paper Table V\n\n");
+  const int stories = bench::StoriesFromEnv(200);
+  auto world = bench::MakeWorld();
+
+  std::printf("%-16s %-24s\n", "Test Query Set", "Entity Matching Ratio");
+  bench::PrintRule(42);
+  struct Row {
+    const char* name;
+    corpus::SyntheticNewsConfig config;
+  };
+  const Row rows[] = {
+      {"CNN-like", corpus::CnnLikeConfig()},
+      {"Kaggle-like", corpus::KaggleLikeConfig()},
+  };
+  for (const Row& row : rows) {
+    auto dataset = bench::MakeDataset(*world, row.name, row.config, stories);
+    eval::EvaluationRunner runner(&dataset->data.corpus, &dataset->split,
+                                  &world->ner, &dataset->judge);
+    runner.Prepare();
+    std::printf("%-16s %6.2f%%   (over %zu density queries)\n", row.name,
+                100.0 * runner.AverageEntityMatchingRatio(),
+                runner.density_queries().size());
+  }
+  std::printf(
+      "\npaper: CNN 97.54%%, Kaggle 96.49%% — driven by out-of-KG mentions\n"
+      "(eyewitness names etc.), reproduced via unknown_entity_prob.\n");
+  return 0;
+}

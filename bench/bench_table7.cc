@@ -1,0 +1,79 @@
+// Reproduces paper Table VII: NewsLink(β) for β in {0, 0.2, 0.5, 0.8, 1}
+// versus TreeEmb(β) for β in {0.2, 0.5, 0.8, 1} on both datasets.
+//
+// Expected shape: β = 0 reduces exactly to the Lucene approach; β = 0.2 is
+// the sweet spot; pure-embedding search (β = 1) remains competitive; and
+// NewsLink dominates TreeEmb at matched β (coverage property of G*).
+//
+// β only affects query-time fusion, so each embedder indexes once and the
+// whole sweep reuses the indexes.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "newslink/newslink_engine.h"
+
+using namespace newslink;
+
+namespace {
+
+void PrintRow(const eval::EngineScores& s) {
+  std::printf("%-14s %10s %10s %10s %10s %10s\n", s.engine.c_str(),
+              bench::Cell(s.density.sim_at.at(5), s.random.sim_at.at(5)).c_str(),
+              bench::Cell(s.density.sim_at.at(10), s.random.sim_at.at(10)).c_str(),
+              bench::Cell(s.density.sim_at.at(20), s.random.sim_at.at(20)).c_str(),
+              bench::Cell(s.density.hit_at.at(1), s.random.hit_at.at(1)).c_str(),
+              bench::Cell(s.density.hit_at.at(5), s.random.hit_at.at(5)).c_str());
+}
+
+void RunDataset(const bench::BenchWorld& world,
+                const bench::BenchDataset& dataset) {
+  eval::EvaluationRunner runner(&dataset.data.corpus, &dataset.split,
+                                &world.ner, &dataset.judge);
+  runner.Prepare();
+
+  std::printf("\n=== Table VII [%s]: NewsLink vs TreeEmb across beta ===\n",
+              dataset.name.c_str());
+  std::printf("%-14s %10s %10s %10s %10s %10s\n", "engine", "SIM@5",
+              "SIM@10", "SIM@20", "HIT@1", "HIT@5");
+  bench::PrintRule(70);
+
+  {
+    NewsLinkConfig config;
+    config.embedder = EmbedderKind::kLcag;
+    NewsLinkEngine engine(&world.kg.graph, &world.index, config);
+    engine.Index(dataset.data.corpus);
+    for (double beta : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+      engine.set_beta(beta);
+      PrintRow(runner.Evaluate(engine));
+    }
+  }
+  {
+    NewsLinkConfig config;
+    config.embedder = EmbedderKind::kTree;
+    NewsLinkEngine engine(&world.kg.graph, &world.index, config);
+    engine.Index(dataset.data.corpus);
+    for (double beta : {0.2, 0.5, 0.8, 1.0}) {
+      engine.set_beta(beta);
+      PrintRow(runner.Evaluate(engine));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("NewsLink reproduction — paper Table VII\n");
+  const int stories = bench::StoriesFromEnv(160);
+  auto world = bench::MakeWorld();
+
+  auto cnn = bench::MakeDataset(*world, "cnn", corpus::CnnLikeConfig(),
+                                stories);
+  RunDataset(*world, *cnn);
+
+  auto kaggle = bench::MakeDataset(*world, "kaggle",
+                                   corpus::KaggleLikeConfig(), stories);
+  RunDataset(*world, *kaggle);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Shared setup for the table/figure reproduction harnesses: one synthetic
+// "world" (KG + label index + NER) and per-dataset bundles (corpus + split +
+// FastText judge), mirroring the paper's experimental settings (Sec. VII-A)
+// at container scale.
+
+#ifndef NEWSLINK_BENCH_BENCH_UTIL_H_
+#define NEWSLINK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/corpus.h"
+#include "corpus/synthetic_news.h"
+#include "eval/evaluation_runner.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+#include "text/gazetteer_ner.h"
+#include "vec/fasttext_model.h"
+
+namespace newslink {
+namespace bench {
+
+/// The shared knowledge-graph world (the paper uses one Wikidata KG for
+/// both news datasets).
+struct BenchWorld {
+  kg::SyntheticKg kg;
+  kg::LabelIndex index;
+  text::GazetteerNer ner;
+
+  explicit BenchWorld(const kg::SyntheticKgConfig& config)
+      : kg(kg::SyntheticKgGenerator(config).Generate()),
+        index(kg.graph),
+        ner(&index) {}
+};
+
+inline std::unique_ptr<BenchWorld> MakeWorld(uint64_t seed = 7) {
+  kg::SyntheticKgConfig config;
+  config.seed = seed;
+  // Keep the KG large relative to the corpus: Wikidata has ~333 nodes per
+  // document of the paper's corpora. Entity sparsity is what makes the BON
+  // signal selective — with a toy KG every embedding collides.
+  config.num_countries = 6;
+  config.provinces_per_country = 8;
+  config.districts_per_province = 5;
+  config.cities_per_district = 4;
+  config.companies_per_country = 14;
+  config.events_per_country = 20;
+  return std::make_unique<BenchWorld>(config);
+}
+
+/// One evaluation dataset: corpus, 80/10/10 split, trained SIM@k judge.
+struct BenchDataset {
+  std::string name;
+  corpus::SyntheticCorpus data;
+  corpus::CorpusSplit split;
+  vec::FastTextModel judge;
+};
+
+inline std::unique_ptr<BenchDataset> MakeDataset(
+    const BenchWorld& world, const std::string& name,
+    corpus::SyntheticNewsConfig config, int num_stories) {
+  auto out = std::make_unique<BenchDataset>();
+  out->name = name;
+  config.num_stories = num_stories;
+  out->data =
+      corpus::SyntheticNewsGenerator(&world.kg, config).Generate(name);
+  Rng rng(config.seed ^ 0xABCDEF);
+  out->split = corpus::SplitCorpus(out->data.corpus.size(), 0.8, 0.1, &rng);
+
+  // FastText judge over the whole corpus (the paper's generic evaluation
+  // embedding is independent of every engine under test).
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(out->data.corpus.size());
+  for (const corpus::Document& d : out->data.corpus.docs()) {
+    docs.push_back(vec::TokenizeForVectors(d.text));
+  }
+  vec::FastTextConfig ft;
+  ft.sgns.dim = 48;
+  ft.sgns.epochs = 2;
+  ft.sgns.min_count = 2;
+  ft.buckets = 50000;
+  out->judge.Train(docs, ft);
+  return out;
+}
+
+/// Default story counts keep each heavy bench under ~2 minutes on one core
+/// while preserving the result shapes; override with NEWSLINK_BENCH_STORIES.
+inline int StoriesFromEnv(int fallback) {
+  const char* env = std::getenv("NEWSLINK_BENCH_STORIES");
+  if (env == nullptr) return fallback;
+  const int v = std::atoi(env);
+  return v > 0 ? v : fallback;
+}
+
+/// Format one score the way the paper prints them (".839", "1.000").
+inline std::string Score3(double v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  std::string s = buf;
+  if (s.size() > 1 && s[0] == '0') s.erase(0, 1);
+  return s;
+}
+
+/// Format "density/random" score cells the way the paper's tables do.
+inline std::string Cell(double density, double random) {
+  return Score3(density) + "/" + Score3(random);
+}
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace newslink
+
+#endif  // NEWSLINK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,31 @@
+#include "baselines/lucene_like_engine.h"
+
+#include "ir/text_vectorizer.h"
+#include "ir/top_k.h"
+
+namespace newslink {
+namespace baselines {
+
+void LuceneLikeEngine::Index(const corpus::Corpus& corpus) {
+  for (const corpus::Document& doc : corpus.docs()) {
+    index_.AddDocument(ir::TextVectorizer::CountsForIndexing(doc.text, &dict_));
+  }
+  scorer_ = std::make_unique<ir::Bm25Scorer>(&index_, params_);
+}
+
+std::vector<SearchResult> LuceneLikeEngine::Search(const std::string& query,
+                                                   size_t k) const {
+  const ir::TermCounts counts =
+      ir::TextVectorizer::CountsForQuery(query, dict_);
+  const std::vector<ir::ScoredDoc> top =
+      ir::SelectTopK(scorer_->ScoreAll(counts), k);
+  std::vector<SearchResult> out;
+  out.reserve(top.size());
+  for (const ir::ScoredDoc& s : top) {
+    out.push_back(SearchResult{s.doc, s.score});
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace newslink

@@ -1,0 +1,42 @@
+// The "Lucene" baseline (paper Sec. VII-A3): vector-space search with BM25
+// term weighting at Lucene 7.x default parameters, over stemmed,
+// stopword-filtered text.
+
+#ifndef NEWSLINK_BASELINES_LUCENE_LIKE_ENGINE_H_
+#define NEWSLINK_BASELINES_LUCENE_LIKE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/search_engine.h"
+#include "ir/inverted_index.h"
+#include "ir/scorer.h"
+#include "ir/term_dictionary.h"
+
+namespace newslink {
+namespace baselines {
+
+class LuceneLikeEngine : public SearchEngine {
+ public:
+  explicit LuceneLikeEngine(ir::Bm25Params params = {}) : params_(params) {}
+
+  std::string name() const override { return "Lucene"; }
+  void Index(const corpus::Corpus& corpus) override;
+  std::vector<SearchResult> Search(const std::string& query,
+                                   size_t k) const override;
+
+  const ir::InvertedIndex& index() const { return index_; }
+  const ir::TermDictionary& dictionary() const { return dict_; }
+
+ private:
+  ir::Bm25Params params_;
+  ir::TermDictionary dict_;
+  ir::InvertedIndex index_;
+  std::unique_ptr<ir::Bm25Scorer> scorer_;
+};
+
+}  // namespace baselines
+}  // namespace newslink
+
+#endif  // NEWSLINK_BASELINES_LUCENE_LIKE_ENGINE_H_

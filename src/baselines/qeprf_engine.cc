@@ -1,0 +1,117 @@
+#include "baselines/qeprf_engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/text_vectorizer.h"
+#include "ir/top_k.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace newslink {
+namespace baselines {
+
+QeprfEngine::QeprfEngine(const kg::KnowledgeGraph* graph,
+                         const kg::LabelIndex* label_index,
+                         const text::GazetteerNer* ner, QeprfConfig config)
+    : graph_(graph), label_index_(label_index), ner_(ner), config_(config) {}
+
+void QeprfEngine::Index(const corpus::Corpus& corpus) {
+  forward_.reserve(corpus.size());
+  for (const corpus::Document& doc : corpus.docs()) {
+    forward_.push_back(
+        ir::TextVectorizer::CountsForIndexing(doc.text, &dict_));
+    index_.AddDocument(forward_.back());
+  }
+  scorer_ = std::make_unique<ir::Bm25Scorer>(&index_, config_.bm25);
+}
+
+ir::TermCounts QeprfEngine::ExpandQuery(const std::string& query) const {
+  // Original terms, boosted.
+  ir::TermCounts counts = ir::TextVectorizer::CountsForQuery(query, dict_);
+  std::map<ir::TermId, uint32_t> acc;
+  for (const auto& [term, tf] : counts) {
+    acc[term] = tf * config_.original_term_boost;
+  }
+
+  // --- KG expansion: terms from linked-entity descriptions. -------------
+  std::map<ir::TermId, uint32_t> kg_terms;
+  const std::vector<text::Token> tokens = text::Tokenize(query);
+  for (const text::EntityMention& m : ner_->Recognize(tokens)) {
+    if (!m.in_kg) continue;
+    for (kg::NodeId node : label_index_->Lookup(m.label)) {
+      for (const auto& [term, tf] :
+           ir::TextVectorizer::CountsForQuery(graph_->description(node),
+                                              dict_)) {
+        kg_terms[term] += tf;
+      }
+    }
+  }
+  std::vector<std::pair<ir::TermId, uint32_t>> ranked(kg_terms.begin(),
+                                                      kg_terms.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (int i = 0;
+       i < config_.kg_expansion_terms && i < static_cast<int>(ranked.size());
+       ++i) {
+    acc[ranked[i].first] += 1;
+  }
+
+  // --- PRF: top tf*idf terms of the top feedback documents. -------------
+  const ir::TermCounts first_pass(acc.begin(), acc.end());
+  const std::vector<ir::ScoredDoc> feedback = ir::SelectTopK(
+      scorer_->ScoreAll(first_pass),
+      static_cast<size_t>(config_.feedback_docs));
+  std::map<ir::TermId, double> prf_scores;
+  for (const ir::ScoredDoc& fd : feedback) {
+    for (const auto& [term, tf] : forward_[fd.doc]) {
+      prf_scores[term] += static_cast<double>(tf) * scorer_->Idf(term);
+    }
+  }
+  std::vector<std::pair<ir::TermId, double>> prf_ranked(prf_scores.begin(),
+                                                        prf_scores.end());
+  std::sort(prf_ranked.begin(), prf_ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  int added = 0;
+  for (const auto& [term, score] : prf_ranked) {
+    if (added >= config_.feedback_terms) break;
+    if (acc.contains(term)) continue;  // keep original weighting intact
+    acc[term] += 1;
+    ++added;
+  }
+  return ir::TermCounts(acc.begin(), acc.end());
+}
+
+std::vector<std::string> QeprfEngine::ExpansionTerms(
+    const std::string& query) const {
+  std::vector<std::string> out;
+  const ir::TermCounts base = ir::TextVectorizer::CountsForQuery(query, dict_);
+  std::map<ir::TermId, uint32_t> base_set(base.begin(), base.end());
+  for (const auto& [term, tf] : ExpandQuery(query)) {
+    if (!base_set.contains(term)) out.push_back(dict_.term(term));
+    (void)tf;
+  }
+  return out;
+}
+
+std::vector<SearchResult> QeprfEngine::Search(const std::string& query,
+                                              size_t k) const {
+  const ir::TermCounts expanded = ExpandQuery(query);
+  const std::vector<ir::ScoredDoc> top =
+      ir::SelectTopK(scorer_->ScoreAll(expanded), k);
+  std::vector<SearchResult> out;
+  out.reserve(top.size());
+  for (const ir::ScoredDoc& s : top) {
+    out.push_back(SearchResult{s.doc, s.score});
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace newslink

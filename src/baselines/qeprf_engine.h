@@ -1,0 +1,68 @@
+// QEPRF baseline (Xiong & Callan 2015, unsupervised variant, as used in the
+// paper): query expansion with terms from the KG descriptions of linked
+// entities, combined with Pseudo Relevance Feedback over BM25 retrieval.
+
+#ifndef NEWSLINK_BASELINES_QEPRF_ENGINE_H_
+#define NEWSLINK_BASELINES_QEPRF_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/search_engine.h"
+#include "ir/inverted_index.h"
+#include "ir/scorer.h"
+#include "ir/term_dictionary.h"
+#include "kg/knowledge_graph.h"
+#include "kg/label_index.h"
+#include "text/gazetteer_ner.h"
+
+namespace newslink {
+namespace baselines {
+
+struct QeprfConfig {
+  /// Expansion terms taken from linked-entity descriptions.
+  int kg_expansion_terms = 8;
+  /// PRF: feedback depth and number of feedback terms.
+  int feedback_docs = 10;
+  int feedback_terms = 10;
+  /// Weight multiplier for original query terms vs expansion terms (the
+  /// original query dominates, as in the reference method).
+  uint32_t original_term_boost = 4;
+  ir::Bm25Params bm25;
+};
+
+class QeprfEngine : public SearchEngine {
+ public:
+  /// `graph`, `label_index` and `ner` must outlive the engine.
+  QeprfEngine(const kg::KnowledgeGraph* graph,
+              const kg::LabelIndex* label_index,
+              const text::GazetteerNer* ner, QeprfConfig config = {});
+
+  std::string name() const override { return "QEPRF"; }
+  void Index(const corpus::Corpus& corpus) override;
+  std::vector<SearchResult> Search(const std::string& query,
+                                   size_t k) const override;
+
+  /// Expansion terms chosen for a query (exposed for tests / case studies).
+  std::vector<std::string> ExpansionTerms(const std::string& query) const;
+
+ private:
+  ir::TermCounts ExpandQuery(const std::string& query) const;
+
+  const kg::KnowledgeGraph* graph_;
+  const kg::LabelIndex* label_index_;
+  const text::GazetteerNer* ner_;
+  QeprfConfig config_;
+
+  ir::TermDictionary dict_;
+  ir::InvertedIndex index_;
+  /// Forward store (doc -> term counts) for the PRF feedback stage.
+  std::vector<ir::TermCounts> forward_;
+  std::unique_ptr<ir::Bm25Scorer> scorer_;
+};
+
+}  // namespace baselines
+}  // namespace newslink
+
+#endif  // NEWSLINK_BASELINES_QEPRF_ENGINE_H_

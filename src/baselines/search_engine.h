@@ -1,0 +1,39 @@
+// Common interface of every competitor in the paper's Table IV plus
+// NewsLink itself: index a corpus, then answer top-k text queries.
+
+#ifndef NEWSLINK_BASELINES_SEARCH_ENGINE_H_
+#define NEWSLINK_BASELINES_SEARCH_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace newslink {
+namespace baselines {
+
+struct SearchResult {
+  size_t doc_index = 0;  // position in the indexed corpus
+  double score = 0.0;
+};
+
+/// \brief A top-k document search engine.
+class SearchEngine {
+ public:
+  virtual ~SearchEngine() = default;
+
+  /// Display name for evaluation tables ("Lucene", "DOC2VEC", ...).
+  virtual std::string name() const = 0;
+
+  /// Build the index over `corpus`. Called exactly once.
+  virtual void Index(const corpus::Corpus& corpus) = 0;
+
+  /// Top-k most relevant documents for a text query, best first.
+  virtual std::vector<SearchResult> Search(const std::string& query,
+                                           size_t k) const = 0;
+};
+
+}  // namespace baselines
+}  // namespace newslink
+
+#endif  // NEWSLINK_BASELINES_SEARCH_ENGINE_H_

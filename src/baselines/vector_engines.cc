@@ -1,0 +1,103 @@
+#include "baselines/vector_engines.h"
+
+#include "common/logging.h"
+#include "ir/top_k.h"
+#include "vec/dense_vector.h"
+
+namespace newslink {
+namespace baselines {
+
+std::vector<std::vector<std::string>> DenseVectorEngineBase::TrainingTokens(
+    const corpus::Corpus& corpus) const {
+  std::vector<std::vector<std::string>> docs;
+  if (training_indices_.empty()) {
+    docs.reserve(corpus.size());
+    for (const corpus::Document& d : corpus.docs()) {
+      docs.push_back(vec::TokenizeForVectors(d.text));
+    }
+  } else {
+    docs.reserve(training_indices_.size());
+    for (size_t i : training_indices_) {
+      docs.push_back(vec::TokenizeForVectors(corpus.doc(i).text));
+    }
+  }
+  return docs;
+}
+
+void DenseVectorEngineBase::StoreDocVector(vec::Vector v) {
+  NL_CHECK(dim_ > 0 && v.size() == dim_);
+  vec::NormalizeInPlace(v);
+  doc_matrix_.insert(doc_matrix_.end(), v.begin(), v.end());
+  ++num_docs_;
+}
+
+std::vector<SearchResult> DenseVectorEngineBase::Search(
+    const std::string& query, size_t k) const {
+  vec::Vector q = EncodeQuery(query);
+  vec::NormalizeInPlace(q);
+  ir::TopKHeap heap(k);
+  for (size_t d = 0; d < num_docs_; ++d) {
+    const float score =
+        vec::Dot(q, {doc_matrix_.data() + d * dim_, dim_});
+    heap.Push(ir::ScoredDoc{static_cast<ir::DocId>(d), score});
+  }
+  std::vector<SearchResult> out;
+  for (const ir::ScoredDoc& s : heap.Take()) {
+    out.push_back(SearchResult{s.doc, s.score});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Doc2VecEngine
+// ---------------------------------------------------------------------------
+
+void Doc2VecEngine::Index(const corpus::Corpus& corpus) {
+  dim_ = static_cast<size_t>(config_.sgns.dim);
+  model_.Train(TrainingTokens(corpus), config_);
+  for (const corpus::Document& d : corpus.docs()) {
+    // Infer every indexed document (train and test alike) so all documents
+    // live in the same inference distribution, as the paper does when it
+    // "infers vector representations of all documents".
+    StoreDocVector(model_.InferText(d.text));
+  }
+}
+
+vec::Vector Doc2VecEngine::EncodeQuery(const std::string& query) const {
+  return model_.InferText(query);
+}
+
+// ---------------------------------------------------------------------------
+// SbertLikeEngine
+// ---------------------------------------------------------------------------
+
+void SbertLikeEngine::Index(const corpus::Corpus& corpus) {
+  dim_ = static_cast<size_t>(config_.dim);
+  model_.Pretrain(TrainingTokens(corpus), config_);
+  for (const corpus::Document& d : corpus.docs()) {
+    StoreDocVector(model_.Encode(d.text));
+  }
+}
+
+vec::Vector SbertLikeEngine::EncodeQuery(const std::string& query) const {
+  return model_.Encode(query);
+}
+
+// ---------------------------------------------------------------------------
+// LdaEngine
+// ---------------------------------------------------------------------------
+
+void LdaEngine::Index(const corpus::Corpus& corpus) {
+  dim_ = static_cast<size_t>(config_.num_topics);
+  model_.Train(TrainingTokens(corpus), config_);
+  for (const corpus::Document& d : corpus.docs()) {
+    StoreDocVector(model_.InferText(d.text));
+  }
+}
+
+vec::Vector LdaEngine::EncodeQuery(const std::string& query) const {
+  return model_.InferText(query);
+}
+
+}  // namespace baselines
+}  // namespace newslink

@@ -1,0 +1,100 @@
+// Dense-vector search baselines of Table IV: DOC2VEC, SBERT and LDA.
+// Each trains on a designated training subset (the paper's 80% split),
+// infers vectors for every indexed document, and answers queries by cosine
+// similarity over the inferred vectors.
+
+#ifndef NEWSLINK_BASELINES_VECTOR_ENGINES_H_
+#define NEWSLINK_BASELINES_VECTOR_ENGINES_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/search_engine.h"
+#include "vec/doc2vec_model.h"
+#include "vec/lda_model.h"
+#include "vec/sbert_like_model.h"
+
+namespace newslink {
+namespace baselines {
+
+/// \brief Shared plumbing: a matrix of unit document vectors + brute-force
+/// cosine top-k.
+class DenseVectorEngineBase : public SearchEngine {
+ public:
+  /// Restrict model fitting to these corpus indices (empty = all docs).
+  void set_training_indices(std::vector<size_t> indices) {
+    training_indices_ = std::move(indices);
+  }
+
+  std::vector<SearchResult> Search(const std::string& query,
+                                   size_t k) const override;
+
+ protected:
+  /// Encode a query text to a vector comparable with document vectors.
+  virtual vec::Vector EncodeQuery(const std::string& query) const = 0;
+
+  /// Tokenized views of the training subset (or all docs).
+  std::vector<std::vector<std::string>> TrainingTokens(
+      const corpus::Corpus& corpus) const;
+
+  void StoreDocVector(vec::Vector v);
+  size_t dim_ = 0;
+  std::vector<size_t> training_indices_;
+
+ private:
+  std::vector<float> doc_matrix_;  // num_docs x dim_, L2-normalized rows
+  size_t num_docs_ = 0;
+};
+
+/// \brief PV-DBOW document-vector search (the DOC2VEC baseline).
+class Doc2VecEngine : public DenseVectorEngineBase {
+ public:
+  explicit Doc2VecEngine(vec::Doc2VecConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "DOC2VEC"; }
+  void Index(const corpus::Corpus& corpus) override;
+
+ protected:
+  vec::Vector EncodeQuery(const std::string& query) const override;
+
+ private:
+  vec::Doc2VecConfig config_;
+  vec::Doc2VecModel model_;
+};
+
+/// \brief Pretrained-style sentence-embedding search (the SBERT baseline).
+class SbertLikeEngine : public DenseVectorEngineBase {
+ public:
+  explicit SbertLikeEngine(vec::SgnsConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "SBERT"; }
+  void Index(const corpus::Corpus& corpus) override;
+
+ protected:
+  vec::Vector EncodeQuery(const std::string& query) const override;
+
+ private:
+  vec::SgnsConfig config_;
+  vec::SbertLikeModel model_;
+};
+
+/// \brief Topic-mixture search (the LDA baseline).
+class LdaEngine : public DenseVectorEngineBase {
+ public:
+  explicit LdaEngine(vec::LdaConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "LDA"; }
+  void Index(const corpus::Corpus& corpus) override;
+
+ protected:
+  vec::Vector EncodeQuery(const std::string& query) const override;
+
+ private:
+  vec::LdaConfig config_;
+  vec::LdaModel model_;
+};
+
+}  // namespace baselines
+}  // namespace newslink
+
+#endif  // NEWSLINK_BASELINES_VECTOR_ENGINES_H_

@@ -1,0 +1,65 @@
+// Minimal CHECK / LOG macros (glog-flavoured, stderr only).
+
+#ifndef NEWSLINK_COMMON_LOGGING_H_
+#define NEWSLINK_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace newslink {
+namespace internal {
+
+/// Accumulates a fatal-check message and aborts on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "[FATAL " << file << ":" << line << "] Check failed: "
+            << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns an ostream& into void so a CHECK can sit in a ternary expression.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace newslink
+
+/// Abort with a message unless `condition` holds. Enabled in all builds:
+/// invariants of the search algorithms are cheap relative to graph traversal.
+/// Usage: NL_CHECK(x > 0) << "details " << x;
+#define NL_CHECK(condition)                                     \
+  (condition) ? (void)0                                         \
+              : ::newslink::internal::Voidify() &               \
+                    ::newslink::internal::FatalLogMessage(      \
+                        __FILE__, __LINE__, #condition)         \
+                        .stream()
+
+#define NL_CHECK_OK(expr)                                                 \
+  do {                                                                    \
+    const ::newslink::Status& _nl_chk = (expr);                           \
+    if (!_nl_chk.ok()) {                                                  \
+      ::newslink::internal::FatalLogMessage(__FILE__, __LINE__, #expr)    \
+              .stream()                                                   \
+          << _nl_chk.ToString();                                          \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define NL_DCHECK(condition) \
+  while (false) NL_CHECK(condition)
+#else
+#define NL_DCHECK(condition) NL_CHECK(condition)
+#endif
+
+#endif  // NEWSLINK_COMMON_LOGGING_H_

@@ -1,0 +1,74 @@
+// Result<T>: a value-or-Status holder (Arrow's Result / absl::StatusOr).
+
+#ifndef NEWSLINK_COMMON_RESULT_H_
+#define NEWSLINK_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace newslink {
+
+/// \brief Holds either a T or a non-OK Status describing why there is no T.
+///
+/// Accessing value() on an error Result aborts (programmer error); check
+/// ok() or use ValueOr() when failure is expected.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit per StatusOr idiom.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    NL_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    NL_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    NL_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    NL_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a T.
+};
+
+/// Assign the value of a Result expression or propagate its Status.
+#define NL_ASSIGN_OR_RETURN(lhs, expr)                \
+  NL_ASSIGN_OR_RETURN_IMPL_(                          \
+      NL_STATUS_MACROS_CONCAT_(_nl_res_, __LINE__), lhs, expr)
+
+#define NL_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define NL_STATUS_MACROS_CONCAT_(x, y) NL_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+#define NL_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                              \
+  if (!result.ok()) return result.status();          \
+  lhs = std::move(result).value();
+
+}  // namespace newslink
+
+#endif  // NEWSLINK_COMMON_RESULT_H_

@@ -1,0 +1,156 @@
+// Deterministic random number generation. Every stochastic component in the
+// library draws from a seeded Xorshift128+ stream so corpora, models, and
+// benchmark tables are bit-reproducible across runs.
+
+#ifndef NEWSLINK_COMMON_RNG_H_
+#define NEWSLINK_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace newslink {
+
+/// \brief Xorshift128+ pseudo-random generator (Vigna 2014).
+///
+/// Fast, decent statistical quality, and — unlike std::mt19937 — guaranteed
+/// to produce identical streams on every platform and standard library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed, as recommended by Vigna.
+    auto next = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // all-zero state is absorbing
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    NL_DCHECK(bound > 0);
+    // Modulo bias is negligible for bound << 2^64 (all our uses).
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    NL_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double Normal() {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s=1: classic Zipf).
+  /// Uses inverse-CDF over a cached prefix table supplied by ZipfTable.
+  template <typename Container>
+  size_t SampleFromCdf(const Container& cdf) {
+    NL_DCHECK(!cdf.empty());
+    const double u = UniformDouble() * cdf.back();
+    size_t lo = 0, hi = cdf.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      const size_t j = Uniform(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), order unspecified.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k) {
+    NL_DCHECK(k <= n);
+    // Floyd's algorithm: O(k) expected insertions.
+    std::vector<size_t> out;
+    out.reserve(k);
+    for (size_t j = n - k; j < n; ++j) {
+      const size_t t = Uniform(j + 1);
+      bool seen = false;
+      for (size_t x : out) {
+        if (x == t) {
+          seen = true;
+          break;
+        }
+      }
+      out.push_back(seen ? j : t);
+    }
+    return out;
+  }
+
+  /// Derive an independent child stream (for per-thread / per-doc seeding).
+  Rng Fork(uint64_t salt) {
+    return Rng(Next() ^ (salt * 0xD1B54A32D192ED03ULL + 0x2545F4914F6CDD1DULL));
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// \brief Precomputed CDF for Zipf(s) over n ranks, for Rng::SampleFromCdf.
+class ZipfTable {
+ public:
+  ZipfTable(size_t n, double s) : cdf_(n) {
+    NL_CHECK(n > 0);
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = acc;
+    }
+  }
+
+  size_t Sample(Rng* rng) const { return rng->SampleFromCdf(cdf_); }
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace newslink
+
+#endif  // NEWSLINK_COMMON_RNG_H_

@@ -1,0 +1,105 @@
+// Status / Result error handling, following the RocksDB / Arrow idiom:
+// no exceptions cross library boundaries; recoverable failures travel as
+// Status (or Result<T>), programmer errors abort via NL_DCHECK.
+
+#ifndef NEWSLINK_COMMON_STATUS_H_
+#define NEWSLINK_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace newslink {
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is cheap to copy when OK (no allocation) and carries a code plus
+/// a human-readable message otherwise. Use the factory functions
+/// (Status::OK(), Status::InvalidArgument(...), ...) rather than the
+/// constructor.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kFailedPrecondition,
+    kInternal,
+    kIOError,
+    kTimeout,
+    kUnimplemented,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Timeout(std::string_view msg) {
+    return Status(Code::kTimeout, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(Code::kUnimplemented, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsTimeout() const { return code_ == Code::kTimeout; }
+  bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
+
+  /// Render as "<CODE>: <message>" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define NL_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::newslink::Status _nl_st = (expr);          \
+    if (!_nl_st.ok()) return _nl_st;             \
+  } while (false)
+
+}  // namespace newslink
+
+#endif  // NEWSLINK_COMMON_STATUS_H_

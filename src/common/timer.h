@@ -1,0 +1,92 @@
+// Wall-clock timing helpers used by the evaluation harness (Fig. 7 and
+// Table VIII reproduce per-component time breakdowns).
+
+#ifndef NEWSLINK_COMMON_TIMER_H_
+#define NEWSLINK_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace newslink {
+
+/// \brief Simple monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates named time buckets ("nlp", "ne", "ns", ...).
+///
+/// Not thread-safe; each worker keeps its own TimeBreakdown and merges.
+class TimeBreakdown {
+ public:
+  void Add(const std::string& bucket, double seconds) {
+    buckets_[bucket] += seconds;
+    counts_[bucket] += 1;
+  }
+
+  void Merge(const TimeBreakdown& other) {
+    for (const auto& [k, v] : other.buckets_) buckets_[k] += v;
+    for (const auto& [k, v] : other.counts_) counts_[k] += v;
+  }
+
+  double TotalSeconds(const std::string& bucket) const {
+    auto it = buckets_.find(bucket);
+    return it == buckets_.end() ? 0.0 : it->second;
+  }
+
+  int64_t Count(const std::string& bucket) const {
+    auto it = counts_.find(bucket);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Mean seconds per recorded event in the bucket (0 if empty).
+  double MeanSeconds(const std::string& bucket) const {
+    const int64_t n = Count(bucket);
+    return n == 0 ? 0.0 : TotalSeconds(bucket) / static_cast<double>(n);
+  }
+
+  const std::map<std::string, double>& buckets() const { return buckets_; }
+
+ private:
+  std::map<std::string, double> buckets_;
+  std::map<std::string, int64_t> counts_;
+};
+
+/// \brief RAII guard that adds its lifetime to a TimeBreakdown bucket.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimeBreakdown* breakdown, std::string bucket)
+      : breakdown_(breakdown), bucket_(std::move(bucket)) {}
+  ~ScopedTimer() {
+    if (breakdown_ != nullptr) breakdown_->Add(bucket_, timer_.ElapsedSeconds());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeBreakdown* breakdown_;
+  std::string bucket_;
+  WallTimer timer_;
+};
+
+}  // namespace newslink
+
+#endif  // NEWSLINK_COMMON_TIMER_H_

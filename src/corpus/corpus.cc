@@ -1,0 +1,30 @@
+#include "corpus/corpus.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace newslink {
+namespace corpus {
+
+CorpusSplit SplitCorpus(size_t n, double train_frac, double validation_frac,
+                        Rng* rng) {
+  NL_CHECK(train_frac >= 0 && validation_frac >= 0 &&
+           train_frac + validation_frac <= 1.0);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  const size_t n_train = static_cast<size_t>(train_frac * n);
+  const size_t n_val = static_cast<size_t>(validation_frac * n);
+
+  CorpusSplit split;
+  split.train.assign(order.begin(), order.begin() + n_train);
+  split.validation.assign(order.begin() + n_train,
+                          order.begin() + n_train + n_val);
+  split.test.assign(order.begin() + n_train + n_val, order.end());
+  return split;
+}
+
+}  // namespace corpus
+}  // namespace newslink

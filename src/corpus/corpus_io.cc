@@ -1,0 +1,93 @@
+#include "corpus/corpus_io.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace newslink {
+namespace corpus {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        default:
+          out.push_back(s[i]);
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveTsv(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError(StrCat("cannot open ", path));
+  for (const Document& doc : corpus.docs()) {
+    out << Escape(doc.id) << '\t' << doc.story_id << '\t'
+        << Escape(doc.title) << '\t' << Escape(doc.text) << '\n';
+  }
+  if (!out) return Status::IOError("corpus write failed");
+  return Status::OK();
+}
+
+Result<Corpus> LoadTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError(StrCat("cannot open ", path));
+  Corpus corpus;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != 4) {
+      return Status::IOError(StrCat("malformed corpus line: ", line));
+    }
+    Document doc;
+    doc.id = Unescape(fields[0]);
+    doc.story_id =
+        static_cast<uint32_t>(std::strtoul(fields[1].c_str(), nullptr, 10));
+    doc.title = Unescape(fields[2]);
+    doc.text = Unescape(fields[3]);
+    corpus.Add(std::move(doc));
+  }
+  return corpus;
+}
+
+}  // namespace corpus
+}  // namespace newslink

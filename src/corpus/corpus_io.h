@@ -1,0 +1,26 @@
+// Corpus persistence: a one-document-per-line TSV format
+// (id, story_id, title, text — tabs/newlines escaped), so generated
+// corpora can be saved, diffed, and reloaded (or swapped for real data).
+
+#ifndef NEWSLINK_CORPUS_CORPUS_IO_H_
+#define NEWSLINK_CORPUS_CORPUS_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "corpus/corpus.h"
+
+namespace newslink {
+namespace corpus {
+
+/// Write the corpus to `path` (overwrites).
+Status SaveTsv(const Corpus& corpus, const std::string& path);
+
+/// Load a corpus written by SaveTsv.
+Result<Corpus> LoadTsv(const std::string& path);
+
+}  // namespace corpus
+}  // namespace newslink
+
+#endif  // NEWSLINK_CORPUS_CORPUS_IO_H_

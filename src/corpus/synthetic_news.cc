@@ -1,0 +1,281 @@
+#include "corpus/synthetic_news.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "kg/label_index.h"
+
+namespace newslink {
+namespace corpus {
+
+SyntheticNewsConfig CnnLikeConfig() {
+  SyntheticNewsConfig config;
+  config.seed = 1001;
+  config.synonym_registers = 2;
+  config.unknown_entity_prob = 0.025;
+  config.offcluster_entity_prob = 0.05;
+  config.topic_word_prob = 0.45;
+  return config;
+}
+
+SyntheticNewsConfig KaggleLikeConfig() {
+  SyntheticNewsConfig config;
+  config.seed = 2002;
+  config.synonym_registers = 3;     // heavier vocabulary mismatch
+  config.unknown_entity_prob = 0.035;
+  config.offcluster_entity_prob = 0.14;
+  config.topic_word_prob = 0.38;    // more generic filler
+  return config;
+}
+
+SyntheticNewsGenerator::SyntheticNewsGenerator(const kg::SyntheticKg* kg,
+                                               SyntheticNewsConfig config)
+    : kg_(kg), config_(config) {}
+
+std::vector<kg::NodeId> SyntheticNewsGenerator::BuildCluster(
+    kg::NodeId anchor, Rng* rng) const {
+  (void)rng;
+  const kg::KnowledgeGraph& graph = kg_->graph;
+  std::vector<kg::NodeId> cluster = {anchor};
+  std::set<kg::NodeId> visited = {anchor};
+  std::queue<std::pair<kg::NodeId, int>> frontier;
+  frontier.push({anchor, 0});
+  while (!frontier.empty() &&
+         cluster.size() < static_cast<size_t>(config_.max_cluster_entities)) {
+    const auto [v, depth] = frontier.front();
+    frontier.pop();
+    if (depth >= config_.cluster_radius) continue;
+    for (const kg::Arc& arc : graph.OutArcs(v)) {
+      if (!visited.insert(arc.dst).second) continue;
+      cluster.push_back(arc.dst);
+      frontier.push({arc.dst, depth + 1});
+      if (cluster.size() >= static_cast<size_t>(config_.max_cluster_entities)) {
+        break;
+      }
+    }
+  }
+  return cluster;
+}
+
+SyntheticCorpus SyntheticNewsGenerator::Generate(
+    const std::string& id_prefix) {
+  Rng rng(config_.seed);
+  kg::NameForge forge(&rng);
+  const kg::KnowledgeGraph& graph = kg_->graph;
+  SyntheticCorpus out;
+
+  // Reserved surface forms: every normalized KG label. Vocabulary words and
+  // invented out-of-KG names must not collide with them, or the gazetteer
+  // would "match" filler text.
+  std::unordered_set<std::string> reserved;
+  for (kg::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    reserved.insert(kg::NormalizeLabel(graph.label(v)));
+  }
+
+  auto fresh_word = [&]() {
+    std::string w = forge.Word();
+    while (reserved.contains(w)) w = forge.Word();
+    return w;
+  };
+
+  // General vocabulary, Zipf-weighted.
+  std::vector<std::string> general_vocab;
+  general_vocab.reserve(config_.general_vocab_size);
+  for (int i = 0; i < config_.general_vocab_size; ++i) {
+    general_vocab.push_back(fresh_word());
+  }
+  ZipfTable zipf(general_vocab.size(), config_.general_zipf_exponent);
+
+  // Domain-shared topical vocabulary pools.
+  std::vector<std::vector<std::string>> domain_pool(config_.num_domains);
+  for (auto& pool : domain_pool) {
+    pool.reserve(config_.words_per_domain);
+    for (int i = 0; i < config_.words_per_domain; ++i) {
+      pool.push_back(fresh_word());
+    }
+  }
+
+  // Connective stopwords sprinkled in so the text reads like prose and the
+  // BOW models face realistic term statistics.
+  const char* const kConnectives[] = {"the", "of",   "in",  "and", "to",
+                                      "a",   "for",  "on",  "with", "after",
+                                      "over", "near", "from"};
+
+  // Anchors are assigned without replacement (wrapping only when there are
+  // more stories than anchors): distinct stories sit on distinct KG
+  // neighbourhoods, so the entity signal can tell stories apart even when
+  // their domain vocabulary overlaps.
+  std::vector<kg::NodeId> anchors = kg_->story_anchors;
+  NL_CHECK(!anchors.empty()) << "synthetic KG has no story anchors";
+  rng.Shuffle(&anchors);
+
+  // Pool of quotable sentences from already-generated documents, with the
+  // story they came from (quotes always cross story boundaries).
+  std::vector<std::pair<std::string, uint32_t>> quote_pool;
+
+  uint32_t doc_counter = 0;
+  for (int s = 0; s < config_.num_stories; ++s) {
+    StoryInfo story;
+    story.anchor = anchors[static_cast<size_t>(s) % anchors.size()];
+    story.cluster_entities = BuildCluster(story.anchor, &rng);
+    const std::vector<kg::NodeId>& cluster = story.cluster_entities;
+
+    // Topic slots: each slot has one realization per synonym register,
+    // drawn from the story's domain pool (shared across stories).
+    const std::vector<std::string>& pool =
+        domain_pool[rng.Uniform(domain_pool.size())];
+    std::vector<std::vector<std::string>> topic(
+        config_.topic_slots_per_story,
+        std::vector<std::string>(config_.synonym_registers));
+    for (auto& slot : topic) {
+      for (std::string& word : slot) word = pool[rng.Uniform(pool.size())];
+    }
+
+    // Out-of-KG entities are *story-level* (eyewitnesses, minor officials):
+    // reused across the story's coverage, so they fail entity linking
+    // (Table V) without becoming unique document fingerprints.
+    std::vector<std::string> unknown_pool;
+    for (int u = 0; u < 2; ++u) {
+      std::string name = forge.PersonName();
+      while (reserved.contains(kg::NormalizeLabel(name))) {
+        name = forge.PersonName();
+      }
+      unknown_pool.push_back(std::move(name));
+    }
+
+    const int num_docs = static_cast<int>(rng.UniformInt(
+        config_.docs_per_story_min, config_.docs_per_story_max));
+    for (int d = 0; d < num_docs; ++d) {
+      // Round-robin register assignment: every document has same-register
+      // siblings sharing its topical vocabulary, so a single sentence never
+      // identifies its source document by unique words alone (the paper's
+      // partial-query task is about ambiguity, not fingerprinting).
+      const int reg = d % config_.synonym_registers;
+
+      // Document focus: a biased-to-the-front subset of the cluster, so
+      // same-story documents overlap on core entities but differ in the
+      // periphery (partially matched entities, paper Table I).
+      const size_t focus_size = static_cast<size_t>(rng.UniformInt(
+          3, static_cast<int64_t>(std::min<size_t>(cluster.size(), 10))));
+      std::vector<kg::NodeId> focus;
+      std::set<kg::NodeId> focus_set;
+      size_t attempts = 0;
+      while (focus.size() < focus_size && attempts < 100) {
+        ++attempts;
+        const double u = rng.UniformDouble();
+        const size_t idx = static_cast<size_t>(u * u * cluster.size());
+        const kg::NodeId v = cluster[std::min(idx, cluster.size() - 1)];
+        if (focus_set.insert(v).second) focus.push_back(v);
+      }
+      if (focus.empty()) focus.push_back(story.anchor);
+
+      auto sample_entity_label = [&]() -> std::string {
+        if (rng.Bernoulli(config_.unknown_entity_prob)) {
+          return unknown_pool[rng.Uniform(unknown_pool.size())];
+        }
+        if (rng.Bernoulli(config_.offcluster_entity_prob)) {
+          return graph.label(
+              static_cast<kg::NodeId>(rng.Uniform(graph.num_nodes())));
+        }
+        return graph.label(focus[rng.Uniform(focus.size())]);
+      };
+
+      const int num_sentences = static_cast<int>(rng.UniformInt(
+          config_.sentences_per_doc_min, config_.sentences_per_doc_max));
+      std::vector<std::string> sentences;
+      for (int snt = 0; snt < num_sentences; ++snt) {
+        const int num_words = static_cast<int>(rng.UniformInt(
+            config_.words_per_sentence_min, config_.words_per_sentence_max));
+        std::vector<std::string> words;
+        for (int w = 0; w < num_words; ++w) {
+          const double roll = rng.UniformDouble();
+          if (roll < 0.25) {
+            words.push_back(kConnectives[rng.Uniform(std::size(kConnectives))]);
+          } else if (roll < 0.25 + config_.topic_word_prob) {
+            const size_t slot = rng.Uniform(topic.size());
+            words.push_back(topic[slot][reg]);
+          } else {
+            words.push_back(general_vocab[zipf.Sample(&rng)]);
+          }
+        }
+        // Inject entity mentions at random interior positions.
+        const int num_entities = static_cast<int>(rng.UniformInt(
+            config_.entities_per_sentence_min,
+            config_.entities_per_sentence_max));
+        for (int e = 0; e < num_entities; ++e) {
+          const size_t pos = 1 + rng.Uniform(words.size());
+          words.insert(words.begin() + pos, sample_entity_label());
+        }
+        // Capitalize the sentence-initial token (only if it is a plain
+        // word; entity labels keep their casing).
+        if (!words[0].empty() &&
+            std::islower(static_cast<unsigned char>(words[0][0]))) {
+          words[0][0] = static_cast<char>(
+              std::toupper(static_cast<unsigned char>(words[0][0])));
+        }
+        sentences.push_back(Join(words, " ") + ".");
+      }
+
+      // Cross-story quotation: splice in one verbatim sentence from an
+      // earlier document of another story.
+      if (rng.Bernoulli(config_.cross_quote_prob)) {
+        for (int attempt = 0; attempt < 8 && !quote_pool.empty(); ++attempt) {
+          const auto& [quoted, from_story] =
+              quote_pool[rng.Uniform(quote_pool.size())];
+          if (from_story == static_cast<uint32_t>(s)) continue;
+          const size_t pos = rng.Uniform(sentences.size() + 1);
+          sentences.insert(sentences.begin() + pos, quoted);
+          break;
+        }
+      }
+      // Feed this document's most *notable* (entity-dense) sentences into
+      // the quote pool — quotes carry content, and entity-dense sentences
+      // are exactly what downstream consumers reuse.
+      {
+        auto density = [](const std::string& sentence) {
+          int caps = 0, words = 0;
+          bool in_word = false;
+          for (size_t i = 0; i < sentence.size(); ++i) {
+            const bool alpha =
+                std::isalpha(static_cast<unsigned char>(sentence[i])) != 0;
+            if (alpha && !in_word) {
+              ++words;
+              if (std::isupper(static_cast<unsigned char>(sentence[i])) &&
+                  i > 0) {
+                ++caps;
+              }
+            }
+            in_word = alpha;
+          }
+          return words > 0 ? static_cast<double>(caps) / words : 0.0;
+        };
+        std::vector<size_t> order(sentences.size());
+        for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                           return density(sentences[a]) > density(sentences[b]);
+                         });
+        for (size_t q = 0; q < 2 && q < order.size(); ++q) {
+          quote_pool.emplace_back(sentences[order[q]],
+                                  static_cast<uint32_t>(s));
+        }
+      }
+
+      Document doc;
+      doc.id = StrCat(id_prefix, "-", doc_counter++);
+      doc.title = StrCat(graph.label(story.anchor), " ", topic[0][reg]);
+      doc.text = Join(sentences, " ");
+      doc.story_id = static_cast<uint32_t>(s);
+      out.corpus.Add(std::move(doc));
+    }
+    out.stories.push_back(std::move(story));
+  }
+  return out;
+}
+
+}  // namespace corpus
+}  // namespace newslink

@@ -1,0 +1,123 @@
+// Synthetic news corpus generator: the substitute for the CNN / Kaggle
+// datasets (DESIGN.md §2). Documents are organized into *story clusters*
+// anchored at KG entities; documents of the same story mention overlapping
+// but different entity subsets and draw their topical vocabulary from
+// per-story synonym *registers*, which produces controlled vocabulary
+// mismatch — the phenomenon the paper's partial-query evaluation probes.
+
+#ifndef NEWSLINK_CORPUS_SYNTHETIC_NEWS_H_
+#define NEWSLINK_CORPUS_SYNTHETIC_NEWS_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "kg/synthetic_kg.h"
+
+namespace newslink {
+namespace corpus {
+
+struct SyntheticNewsConfig {
+  uint64_t seed = 99;
+
+  int num_stories = 250;
+  int docs_per_story_min = 3;
+  int docs_per_story_max = 7;
+
+  int sentences_per_doc_min = 8;
+  int sentences_per_doc_max = 22;
+  int words_per_sentence_min = 6;
+  int words_per_sentence_max = 12;
+
+  /// Entities mentioned per sentence (before dropout).
+  int entities_per_sentence_min = 1;
+  int entities_per_sentence_max = 3;
+
+  /// BFS radius around the story anchor defining the story's entity pool.
+  int cluster_radius = 2;
+  /// Upper bound on the entity pool per story. Kept close to the per-doc
+  /// focus size so same-story documents share most entities and a partial
+  /// query cannot identify its source by entity names alone.
+  int max_cluster_entities = 12;
+
+  /// Topic-slot count per story, and the number of synonym registers. Each
+  /// document writes in ONE register; two same-story documents in different
+  /// registers share entities but few topical words (vocabulary mismatch).
+  int topic_slots_per_story = 16;
+  int synonym_registers = 2;
+
+  /// Stories are grouped into domains (politics, sports, ...) whose topical
+  /// vocabulary is SHARED: a story's slot realizations are drawn from its
+  /// domain pool. Topic words therefore recur across stories of the same
+  /// domain — text alone is ambiguous across stories, and only the entity /
+  /// KG signal pins the story down (the paper's core motivation).
+  int num_domains = 3;
+  int words_per_domain = 30;
+
+  /// Probability that an emitted token is a topical word (vs general word).
+  double topic_word_prob = 0.45;
+
+  /// Probability that an entity mention is an out-of-KG invented name
+  /// (drives the entity matching ratio of paper Table V below 100%).
+  double unknown_entity_prob = 0.025;
+
+  /// Probability of mentioning a random off-cluster entity (noise).
+  double offcluster_entity_prob = 0.08;
+
+  /// Probability that a document quotes one verbatim sentence from an
+  /// earlier document of a DIFFERENT story (syndication / quotation, which
+  /// pervades real news corpora). Quotes are the text-identical confusers
+  /// of the partial-query task: keyword search cannot tell the quoting
+  /// document from the source, while the source's subgraph embedding keeps
+  /// mentioning the sentence's entities across its other segments.
+  double cross_quote_prob = 0.15;
+
+  /// Zipf-sampled general vocabulary size and exponent. Kept SMALL so
+  /// filler words appear in a large fraction of documents and carry low
+  /// idf, like common English vocabulary: a single-sentence query must not
+  /// fingerprint its source document through rare filler words (the
+  /// partial-query task is only interesting when keyword search is not
+  /// trivially unique).
+  int general_vocab_size = 100;
+  double general_zipf_exponent = 1.1;
+};
+
+/// Preset resembling the CNN dataset column of the paper's tables
+/// (moderate mismatch -> higher absolute scores).
+SyntheticNewsConfig CnnLikeConfig();
+
+/// Preset resembling the Kaggle ("all-the-news") column: more registers,
+/// more noise -> lower absolute scores, bigger BOW/embedding gaps.
+SyntheticNewsConfig KaggleLikeConfig();
+
+/// \brief Ground truth of one story cluster.
+struct StoryInfo {
+  kg::NodeId anchor = kg::kInvalidNode;
+  std::vector<kg::NodeId> cluster_entities;  // includes the anchor
+};
+
+/// \brief Generator output.
+struct SyntheticCorpus {
+  Corpus corpus;
+  std::vector<StoryInfo> stories;
+};
+
+/// \brief Deterministic corpus generator over a synthetic KG.
+class SyntheticNewsGenerator {
+ public:
+  /// `kg` must outlive the generator.
+  SyntheticNewsGenerator(const kg::SyntheticKg* kg, SyntheticNewsConfig config);
+
+  SyntheticCorpus Generate(const std::string& id_prefix = "doc");
+
+ private:
+  std::vector<kg::NodeId> BuildCluster(kg::NodeId anchor, Rng* rng) const;
+
+  const kg::SyntheticKg* kg_;
+  SyntheticNewsConfig config_;
+};
+
+}  // namespace corpus
+}  // namespace newslink
+
+#endif  // NEWSLINK_CORPUS_SYNTHETIC_NEWS_H_

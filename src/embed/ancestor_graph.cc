@@ -1,0 +1,42 @@
+#include "embed/ancestor_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace newslink {
+namespace embed {
+
+double AncestorGraph::depth() const {
+  double d = 0.0;
+  for (double dist : label_distances) d = std::max(d, dist);
+  return d;
+}
+
+std::vector<double> SortedDescending(std::vector<double> distances) {
+  std::sort(distances.begin(), distances.end(), std::greater<double>());
+  return distances;
+}
+
+bool CompactnessLess(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  NL_DCHECK(a.size() == b.size());
+  const std::vector<double> da = SortedDescending(a);
+  const std::vector<double> db = SortedDescending(b);
+  for (size_t i = 0; i < da.size(); ++i) {
+    if (da[i] < db[i]) return true;
+    if (da[i] > db[i]) return false;
+  }
+  return false;  // equal
+}
+
+bool CompactnessEqual(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  NL_DCHECK(a.size() == b.size());
+  const std::vector<double> da = SortedDescending(a);
+  const std::vector<double> db = SortedDescending(b);
+  return da == db;
+}
+
+}  // namespace embed
+}  // namespace newslink

@@ -1,0 +1,82 @@
+// The subgraph-embedding model of the paper (Sec. V-A): Common Ancestor
+// Graphs (Def. 3), the compactness order over them (Def. 4), and the
+// materialized Lowest Common Ancestor Graph G* (Def. 5).
+
+#ifndef NEWSLINK_EMBED_ANCESTOR_GRAPH_H_
+#define NEWSLINK_EMBED_ANCESTOR_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "kg/types.h"
+
+namespace newslink {
+namespace embed {
+
+/// \brief One edge on a label→root shortest path.
+///
+/// `from`/`to` follow the traversal direction (towards the root); `forward`
+/// records whether the underlying KG edge points from→to (true) or to→from
+/// (false), which the explainer uses to render the original relation.
+struct PathEdge {
+  kg::NodeId from;
+  kg::NodeId to;
+  kg::PredicateId predicate;
+  float weight;
+  bool forward;
+
+  bool operator==(const PathEdge& o) const {
+    return from == o.from && to == o.to && predicate == o.predicate &&
+           forward == o.forward;
+  }
+};
+
+/// \brief A materialized common ancestor graph G_r(L).
+///
+/// Contains every shortest path P(l_i -> r, D) for each input label
+/// (Def. 3): that multiplicity of paths is the *coverage* property that
+/// distinguishes G* from tree embeddings.
+struct AncestorGraph {
+  kg::NodeId root = kg::kInvalidNode;
+
+  /// Input labels, in the order handed to the search.
+  std::vector<std::string> labels;
+
+  /// D(l_i, root) aligned with `labels`.
+  std::vector<double> label_distances;
+
+  /// All distinct nodes on any retained path (sources, interior, root).
+  std::vector<kg::NodeId> nodes;
+
+  /// The subset of `nodes` at distance 0 from some label: the entity nodes
+  /// themselves (path endpoints). Sorted, deduplicated.
+  std::vector<kg::NodeId> source_nodes;
+
+  /// All distinct edges on any retained path, oriented label→root.
+  std::vector<PathEdge> edges;
+
+  /// d(G_r) = max_i D(l_i, root) (Def. 3).
+  double depth() const;
+
+  bool empty() const { return root == kg::kInvalidNode; }
+};
+
+/// Return a copy of `distances` sorted in descending order (the form the
+/// compactness order compares).
+std::vector<double> SortedDescending(std::vector<double> distances);
+
+/// Definition 4: lexicographic comparison of descending-sorted distance
+/// vectors. Returns true iff `a` is strictly more compact than `b`.
+/// Both vectors must have the same length (same label set).
+bool CompactnessLess(const std::vector<double>& a,
+                     const std::vector<double>& b);
+
+/// True iff the two distance vectors are equal under the compactness order.
+bool CompactnessEqual(const std::vector<double>& a,
+                      const std::vector<double>& b);
+
+}  // namespace embed
+}  // namespace newslink
+
+#endif  // NEWSLINK_EMBED_ANCESTOR_GRAPH_H_

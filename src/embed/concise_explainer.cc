@@ -1,0 +1,92 @@
+#include "embed/concise_explainer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace newslink {
+namespace embed {
+
+std::vector<ScoredPath> ConciseExplainer::Explain(
+    const DocumentEmbedding& query, const DocumentEmbedding& result,
+    const ConciseOptions& options) const {
+  // Generous raw harvest, then filter.
+  std::vector<RelationshipPath> raw =
+      base_.Explain(query, result, options.max_paths * 4 + 8);
+
+  std::set<kg::NodeId> mentioned;
+  for (kg::NodeId v : query.SourceNodes()) mentioned.insert(v);
+  for (kg::NodeId v : result.SourceNodes()) mentioned.insert(v);
+
+  std::vector<ScoredPath> scored;
+  for (RelationshipPath& path : raw) {
+    ScoredPath sp;
+    for (size_t i = 1; i + 1 < path.nodes.size(); ++i) {
+      if (!mentioned.contains(path.nodes[i])) ++sp.novel_interior_nodes;
+    }
+    if (options.require_novel_interior && sp.novel_interior_nodes == 0) {
+      continue;
+    }
+    // Novelty dominates; among equals, shorter paths read better.
+    sp.score = sp.novel_interior_nodes * 10.0 -
+               static_cast<double>(path.length());
+    sp.path = std::move(path);
+    scored.push_back(std::move(sp));
+  }
+
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const ScoredPath& a, const ScoredPath& b) {
+                     return a.score > b.score;
+                   });
+
+  // Per-endpoint budget + global cap.
+  std::map<kg::NodeId, size_t> endpoint_uses;
+  std::vector<ScoredPath> out;
+  for (ScoredPath& sp : scored) {
+    if (out.size() >= options.max_paths) break;
+    const kg::NodeId a = sp.path.nodes.front();
+    const kg::NodeId b = sp.path.nodes.back();
+    if (endpoint_uses[a] >= options.max_paths_per_endpoint ||
+        endpoint_uses[b] >= options.max_paths_per_endpoint) {
+      continue;
+    }
+    ++endpoint_uses[a];
+    ++endpoint_uses[b];
+    out.push_back(std::move(sp));
+  }
+  return out;
+}
+
+std::string ConciseExplainer::RenderBlock(
+    const std::vector<ScoredPath>& paths) const {
+  // Group by (first interior node) so fan-in collapses visually.
+  std::map<kg::NodeId, std::vector<const ScoredPath*>> groups;
+  std::vector<const ScoredPath*> direct;
+  for (const ScoredPath& sp : paths) {
+    if (sp.path.nodes.size() > 2) {
+      groups[sp.path.nodes[1]].push_back(&sp);
+    } else {
+      direct.push_back(&sp);
+    }
+  }
+  std::string out;
+  for (const ScoredPath* sp : direct) {
+    out += StrCat("  ", sp->path.Render(*graph_), "\n");
+  }
+  for (const auto& [hub, members] : groups) {
+    if (members.size() == 1) {
+      out += StrCat("  ", members[0]->path.Render(*graph_), "\n");
+      continue;
+    }
+    out += StrCat("  via ", graph_->label(hub), ":\n");
+    for (const ScoredPath* sp : members) {
+      out += StrCat("    ", sp->path.Render(*graph_), "\n");
+    }
+  }
+  return out;
+}
+
+}  // namespace embed
+}  // namespace newslink

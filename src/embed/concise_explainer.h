@@ -1,0 +1,64 @@
+// Concise, novelty-aware explanations — the paper's future-work items from
+// the user-study feedback (Sec. VII-D):
+//   * "explore relevant information that does not overlap too much with the
+//     original text"  -> novelty scoring of paths (induced nodes first);
+//   * "present only necessary path relationships and make the visualized
+//     parts ... more concise" -> per-endpoint budgets and prefix collapsing.
+
+#ifndef NEWSLINK_EMBED_CONCISE_EXPLAINER_H_
+#define NEWSLINK_EMBED_CONCISE_EXPLAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/path_explainer.h"
+
+namespace newslink {
+namespace embed {
+
+struct ConciseOptions {
+  /// Overall cap on returned paths.
+  size_t max_paths = 4;
+  /// At most this many paths may share an endpoint entity.
+  size_t max_paths_per_endpoint = 1;
+  /// Drop paths whose interior adds no node beyond the two endpoints
+  /// (direct edges are self-evident from the text when both entities are
+  /// mentioned; the interesting evidence is the induced connector).
+  bool require_novel_interior = false;
+};
+
+/// \brief A ranked, annotated explanation path.
+struct ScoredPath {
+  RelationshipPath path;
+  /// Interior nodes that are *induced* (in neither document's entity set):
+  /// the genuinely new information a reader gets.
+  int novel_interior_nodes = 0;
+  /// Ranking score: novelty first, brevity second.
+  double score = 0.0;
+};
+
+/// \brief Post-processor over PathExplainer output.
+class ConciseExplainer {
+ public:
+  explicit ConciseExplainer(const kg::KnowledgeGraph* graph)
+      : graph_(graph), base_(graph) {}
+
+  /// Extract, score, dedupe and trim explanation paths between two
+  /// document embeddings.
+  std::vector<ScoredPath> Explain(const DocumentEmbedding& query,
+                                  const DocumentEmbedding& result,
+                                  const ConciseOptions& options = {}) const;
+
+  /// Render a set of scored paths as a compact multi-line block, collapsing
+  /// paths that share their first hop ("Khyber <- {Upper Dir, Peshawar}").
+  std::string RenderBlock(const std::vector<ScoredPath>& paths) const;
+
+ private:
+  const kg::KnowledgeGraph* graph_;
+  PathExplainer base_;
+};
+
+}  // namespace embed
+}  // namespace newslink
+
+#endif  // NEWSLINK_EMBED_CONCISE_EXPLAINER_H_

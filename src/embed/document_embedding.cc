@@ -1,0 +1,63 @@
+#include "embed/document_embedding.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace newslink {
+namespace embed {
+
+bool LcagSegmentEmbedder::EmbedSegment(const std::vector<std::string>& labels,
+                                       AncestorGraph* out) const {
+  LcagResult result = search_.Find(labels, options_);
+  if (!result.found) return false;
+  *out = std::move(result.graph);
+  return true;
+}
+
+bool TreeSegmentEmbedder::EmbedSegment(const std::vector<std::string>& labels,
+                                       AncestorGraph* out) const {
+  TreeEmbedResult result = embedder_.Find(labels, options_);
+  if (!result.found) return false;
+  *out = std::move(result.tree);
+  return true;
+}
+
+std::vector<kg::NodeId> DocumentEmbedding::SourceNodes() const {
+  std::set<kg::NodeId> sources;
+  for (const AncestorGraph& g : segment_graphs) {
+    sources.insert(g.source_nodes.begin(), g.source_nodes.end());
+  }
+  return {sources.begin(), sources.end()};
+}
+
+std::vector<kg::NodeId> DocumentEmbedding::InducedNodes() const {
+  std::set<kg::NodeId> sources;
+  for (const AncestorGraph& g : segment_graphs) {
+    sources.insert(g.source_nodes.begin(), g.source_nodes.end());
+  }
+  std::vector<kg::NodeId> induced;
+  for (const auto& [node, count] : node_counts) {
+    if (!sources.contains(node)) induced.push_back(node);
+  }
+  return induced;
+}
+
+DocumentEmbedding EmbedDocument(
+    const SegmentEmbedder& embedder,
+    const std::vector<std::vector<std::string>>& entity_groups) {
+  DocumentEmbedding out;
+  std::map<kg::NodeId, uint32_t> counts;
+  for (const std::vector<std::string>& labels : entity_groups) {
+    if (labels.empty()) continue;
+    AncestorGraph graph;
+    if (!embedder.EmbedSegment(labels, &graph)) continue;
+    for (kg::NodeId v : graph.nodes) ++counts[v];
+    out.segment_graphs.push_back(std::move(graph));
+  }
+  out.node_counts.assign(counts.begin(), counts.end());
+  return out;
+}
+
+}  // namespace embed
+}  // namespace newslink

@@ -1,0 +1,101 @@
+// Document-level subgraph embeddings (paper Secs. V-VI): a document's
+// embedding is the union of the G* of every entity group in its maximal
+// entity co-occurrence set. Node frequencies across the segment graphs feed
+// the Bag-Of-Node model of the NS component.
+
+#ifndef NEWSLINK_EMBED_DOCUMENT_EMBEDDING_H_
+#define NEWSLINK_EMBED_DOCUMENT_EMBEDDING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embed/ancestor_graph.h"
+#include "embed/lcag_search.h"
+#include "embed/tree_embedder.h"
+#include "kg/label_index.h"
+
+namespace newslink {
+namespace embed {
+
+/// \brief Strategy interface: how one entity group becomes a subgraph.
+///
+/// Implementations: LcagSegmentEmbedder (the paper's model) and
+/// TreeSegmentEmbedder (the TreeEmb baseline of Table VII).
+class SegmentEmbedder {
+ public:
+  virtual ~SegmentEmbedder() = default;
+
+  /// Embed one entity group. Returns false when no connected subgraph was
+  /// found (unmatched labels or timeout) — the segment is then skipped, as
+  /// the paper drops documents without embeddings (Sec. VII-A).
+  virtual bool EmbedSegment(const std::vector<std::string>& labels,
+                            AncestorGraph* out) const = 0;
+
+  /// Human-readable name for reports ("NewsLink", "TreeEmb").
+  virtual std::string name() const = 0;
+};
+
+/// \brief G*-based embedder (the NewsLink NE component).
+class LcagSegmentEmbedder : public SegmentEmbedder {
+ public:
+  LcagSegmentEmbedder(const kg::KnowledgeGraph* graph,
+                      const kg::LabelIndex* index, LcagOptions options = {})
+      : search_(graph, index), options_(options) {}
+
+  bool EmbedSegment(const std::vector<std::string>& labels,
+                    AncestorGraph* out) const override;
+  std::string name() const override { return "NewsLink"; }
+
+ private:
+  LcagSearch search_;
+  LcagOptions options_;
+};
+
+/// \brief Tree-based embedder (the TreeEmb baseline).
+class TreeSegmentEmbedder : public SegmentEmbedder {
+ public:
+  TreeSegmentEmbedder(const kg::KnowledgeGraph* graph,
+                      const kg::LabelIndex* index,
+                      TreeEmbedOptions options = {})
+      : embedder_(graph, index), options_(options) {}
+
+  bool EmbedSegment(const std::vector<std::string>& labels,
+                    AncestorGraph* out) const override;
+  std::string name() const override { return "TreeEmb"; }
+
+ private:
+  TreeEmbedder embedder_;
+  TreeEmbedOptions options_;
+};
+
+/// \brief The union embedding of a document.
+struct DocumentEmbedding {
+  /// One G* per embedded entity group (kept for explanations).
+  std::vector<AncestorGraph> segment_graphs;
+
+  /// node -> number of segment graphs containing it, sorted by node id.
+  /// This is the BON term-frequency vector of the document.
+  std::vector<std::pair<kg::NodeId, uint32_t>> node_counts;
+
+  bool empty() const { return node_counts.empty(); }
+  size_t num_distinct_nodes() const { return node_counts.size(); }
+
+  /// Entity nodes: sources (distance-0 nodes) across all segment graphs.
+  std::vector<kg::NodeId> SourceNodes() const;
+
+  /// Induced nodes (paper Table I): embedding nodes that are NOT sources,
+  /// i.e. context contributed by the KG rather than the text.
+  std::vector<kg::NodeId> InducedNodes() const;
+};
+
+/// Embed every entity group (the maximal co-occurrence set) of a document
+/// and take the union.
+DocumentEmbedding EmbedDocument(
+    const SegmentEmbedder& embedder,
+    const std::vector<std::vector<std::string>>& entity_groups);
+
+}  // namespace embed
+}  // namespace newslink
+
+#endif  // NEWSLINK_EMBED_DOCUMENT_EMBEDDING_H_

@@ -1,0 +1,139 @@
+#include "embed/embedding_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace newslink {
+namespace embed {
+
+namespace {
+
+void RecomputeNodeCounts(DocumentEmbedding* embedding) {
+  std::map<kg::NodeId, uint32_t> counts;
+  for (const AncestorGraph& g : embedding->segment_graphs) {
+    for (kg::NodeId v : g.nodes) ++counts[v];
+  }
+  embedding->node_counts.assign(counts.begin(), counts.end());
+}
+
+Status Malformed(const std::string& line) {
+  return Status::IOError(StrCat("malformed embedding line: ", line));
+}
+
+}  // namespace
+
+Status SaveEmbeddings(const std::vector<DocumentEmbedding>& embeddings,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError(StrCat("cannot open ", path));
+  for (const DocumentEmbedding& embedding : embeddings) {
+    out << "doc " << embedding.segment_graphs.size() << '\n';
+    for (const AncestorGraph& g : embedding.segment_graphs) {
+      out << "seg " << g.root << '\n';
+      out << "labels";
+      for (const std::string& l : g.labels) out << '\t' << l;
+      out << '\n';
+      out << "dists";
+      for (double d : g.label_distances) out << ' ' << d;
+      out << '\n';
+      out << "nodes";
+      for (kg::NodeId v : g.nodes) out << ' ' << v;
+      out << '\n';
+      out << "sources";
+      for (kg::NodeId v : g.source_nodes) out << ' ' << v;
+      out << '\n';
+      out << "edges";
+      for (const PathEdge& e : g.edges) {
+        out << ' ' << e.from << ':' << e.to << ':' << e.predicate << ':'
+            << e.weight << ':' << (e.forward ? 1 : 0);
+      }
+      out << '\n';
+    }
+  }
+  if (!out) return Status::IOError("embedding write failed");
+  return Status::OK();
+}
+
+Result<std::vector<DocumentEmbedding>> LoadEmbeddings(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError(StrCat("cannot open ", path));
+
+  std::vector<DocumentEmbedding> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!StartsWith(line, "doc ")) return Malformed(line);
+    const size_t segments = std::strtoull(line.c_str() + 4, nullptr, 10);
+    DocumentEmbedding embedding;
+    for (size_t s = 0; s < segments; ++s) {
+      AncestorGraph g;
+      if (!std::getline(in, line) || !StartsWith(line, "seg ")) {
+        return Malformed(line);
+      }
+      g.root = static_cast<kg::NodeId>(
+          std::strtoul(line.c_str() + 4, nullptr, 10));
+
+      if (!std::getline(in, line) || !StartsWith(line, "labels")) {
+        return Malformed(line);
+      }
+      if (line.size() > 6) {
+        for (const std::string& l : Split(line.substr(7), '\t')) {
+          g.labels.push_back(l);
+        }
+      }
+
+      if (!std::getline(in, line) || !StartsWith(line, "dists")) {
+        return Malformed(line);
+      }
+      for (const std::string& tok : SplitWhitespace(line.substr(5))) {
+        g.label_distances.push_back(std::strtod(tok.c_str(), nullptr));
+      }
+
+      if (!std::getline(in, line) || !StartsWith(line, "nodes")) {
+        return Malformed(line);
+      }
+      for (const std::string& tok : SplitWhitespace(line.substr(5))) {
+        g.nodes.push_back(
+            static_cast<kg::NodeId>(std::strtoul(tok.c_str(), nullptr, 10)));
+      }
+
+      if (!std::getline(in, line) || !StartsWith(line, "sources")) {
+        return Malformed(line);
+      }
+      for (const std::string& tok : SplitWhitespace(line.substr(7))) {
+        g.source_nodes.push_back(
+            static_cast<kg::NodeId>(std::strtoul(tok.c_str(), nullptr, 10)));
+      }
+
+      if (!std::getline(in, line) || !StartsWith(line, "edges")) {
+        return Malformed(line);
+      }
+      for (const std::string& tok : SplitWhitespace(line.substr(5))) {
+        const std::vector<std::string> parts = Split(tok, ':');
+        if (parts.size() != 5) return Malformed(line);
+        PathEdge e;
+        e.from = static_cast<kg::NodeId>(
+            std::strtoul(parts[0].c_str(), nullptr, 10));
+        e.to = static_cast<kg::NodeId>(
+            std::strtoul(parts[1].c_str(), nullptr, 10));
+        e.predicate = static_cast<kg::PredicateId>(
+            std::strtoul(parts[2].c_str(), nullptr, 10));
+        e.weight = std::strtof(parts[3].c_str(), nullptr);
+        e.forward = parts[4] == "1";
+        g.edges.push_back(e);
+      }
+      embedding.segment_graphs.push_back(std::move(g));
+    }
+    RecomputeNodeCounts(&embedding);
+    out.push_back(std::move(embedding));
+  }
+  return out;
+}
+
+}  // namespace embed
+}  // namespace newslink

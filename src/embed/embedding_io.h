@@ -1,0 +1,40 @@
+// Persistence for document subgraph embeddings. Embedding a large corpus is
+// the dominant indexing cost (paper Fig. 7), so production deployments save
+// embeddings once and rebuild the cheap inverted indexes at load time.
+//
+// Line-based text format (one embedding store per file):
+//   doc <segment_count>
+//   seg <root>
+//   labels <tab-separated normalized labels>
+//   dists <space-separated doubles>
+//   nodes <space-separated node ids>
+//   sources <space-separated node ids>
+//   edges <from:to:predicate:weight:fwd> ...
+
+#ifndef NEWSLINK_EMBED_EMBEDDING_IO_H_
+#define NEWSLINK_EMBED_EMBEDDING_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "embed/document_embedding.h"
+
+namespace newslink {
+namespace embed {
+
+/// Write one embedding per corpus document (empty embeddings included, so
+/// indices stay aligned with the corpus).
+Status SaveEmbeddings(const std::vector<DocumentEmbedding>& embeddings,
+                      const std::string& path);
+
+/// Load a store written by SaveEmbeddings. Node counts are recomputed from
+/// the segment graphs, so the result is bit-identical to the original.
+Result<std::vector<DocumentEmbedding>> LoadEmbeddings(
+    const std::string& path);
+
+}  // namespace embed
+}  // namespace newslink
+
+#endif  // NEWSLINK_EMBED_EMBEDDING_IO_H_

@@ -1,0 +1,180 @@
+// The Lowest Common Ancestor Graph search (paper Sec. V-B, Algorithms 1-3).
+//
+// MultiLabelDijkstra is the shared machinery: one min-priority frontier per
+// entity label (Alg. 1 lines 1-5), global pops ordered by Equation 2
+// (Alg. 2), with shortest-path-DAG predecessor tracking so that ALL shortest
+// paths can be materialized (the coverage property). LcagSearch layers
+// candidate collection (Alg. 3), the C1/C2 termination test, and the
+// compactness sort (Def. 4) on top. TreeEmbedder (tree_embedder.h) reuses
+// the same machinery with a Group-Steiner-style objective.
+
+#ifndef NEWSLINK_EMBED_LCAG_SEARCH_H_
+#define NEWSLINK_EMBED_LCAG_SEARCH_H_
+
+#include <limits>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "embed/ancestor_graph.h"
+#include "kg/knowledge_graph.h"
+#include "kg/label_index.h"
+
+namespace newslink {
+namespace embed {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// \brief A predecessor link in a label's shortest-path DAG.
+struct PredLink {
+  kg::NodeId from;
+  kg::PredicateId predicate;
+  float weight;
+  bool forward;
+};
+
+/// \brief Interleaved multi-source Dijkstra, one frontier per label.
+///
+/// PopNext() implements Equation 2: it settles the (label, node) pair with
+/// the globally smallest tentative distance, guaranteeing the monotonicity
+/// of Lemma 3. Predecessor links record every tied shortest path.
+class MultiLabelDijkstra {
+ public:
+  struct PopEvent {
+    size_t label_index;
+    kg::NodeId node;
+    double distance;
+  };
+
+  /// `sources[i]` is S(l_i); each source starts at distance 0 (Alg. 1 l.3-5).
+  MultiLabelDijkstra(const kg::KnowledgeGraph* graph,
+                     std::vector<std::vector<kg::NodeId>> sources);
+
+  /// Settle the next (label, node) pair. False when all frontiers are empty.
+  bool PopNext(PopEvent* event);
+
+  /// D'_min of Alg. 1 line 11: smallest tentative distance over all queue
+  /// tops; kInfDistance when every frontier is exhausted.
+  double PeekMinDistance();
+
+  size_t num_labels() const { return states_.size(); }
+
+  /// D(l_i, v); kInfDistance if v has not been reached from l_i.
+  double Distance(size_t label_index, kg::NodeId v) const;
+
+  bool Settled(size_t label_index, kg::NodeId v) const;
+
+  /// Number of labels that have settled v so far ("received" v, Alg. 3).
+  int SettledCount(kg::NodeId v) const;
+
+  /// Shortest-path DAG links of v w.r.t. label i (empty for sources).
+  const std::vector<PredLink>& Predecessors(size_t label_index,
+                                            kg::NodeId v) const;
+
+  size_t total_pops() const { return total_pops_; }
+
+ private:
+  struct NodeState {
+    double distance = kInfDistance;
+    bool settled = false;
+    std::vector<PredLink> preds;
+  };
+
+  struct QueueEntry {
+    double distance;
+    kg::NodeId node;
+    bool operator>(const QueueEntry& o) const {
+      if (distance != o.distance) return distance > o.distance;
+      return node > o.node;  // deterministic tie-breaking
+    }
+  };
+
+  struct LabelState {
+    std::unordered_map<kg::NodeId, NodeState> nodes;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        frontier;
+  };
+
+  /// Drop stale (already settled / superseded) entries from a frontier top.
+  void SkimFrontier(LabelState* state);
+
+  const kg::KnowledgeGraph* graph_;
+  std::vector<LabelState> states_;
+  std::unordered_map<kg::NodeId, int> settled_count_;
+  size_t total_pops_ = 0;
+};
+
+/// Options for the G* search (Alg. 1).
+struct LcagOptions {
+  /// The paper's "while Not Timeout" guard; generous by default because the
+  /// C1/C2 conditions terminate long before this on real inputs.
+  double timeout_seconds = 5.0;
+  /// Hard cap on settle events (safety net for pathological graphs).
+  size_t max_expansions = 5'000'000;
+  /// Ablation knob: false materializes one path per label instead of all
+  /// shortest paths, disabling the coverage property while keeping the
+  /// compactness-optimal root.
+  bool all_shortest_paths = true;
+  /// Ablation knob: true selects the root by depth only (first key of the
+  /// compactness order), ignoring the lower-order distances of Def. 4.
+  bool depth_only_root = false;
+};
+
+/// Statistics and outcome of one G* search.
+struct LcagResult {
+  bool found = false;
+  bool timed_out = false;
+  AncestorGraph graph;
+  /// Labels that resolved to at least one KG node (others are dropped, as
+  /// in the paper's exact-matching pipeline).
+  std::vector<std::string> resolved_labels;
+  size_t expansions = 0;  // settle events
+  size_t candidates_collected = 0;
+};
+
+/// \brief Algorithm 1: find the Lowest Common Ancestor Graph for a label set.
+class LcagSearch {
+ public:
+  /// Both pointers must outlive the searcher.
+  LcagSearch(const kg::KnowledgeGraph* graph, const kg::LabelIndex* index)
+      : graph_(graph), index_(index) {}
+
+  /// Find G* for the labels of one news segment.
+  LcagResult Find(const std::vector<std::string>& labels,
+                  const LcagOptions& options = {}) const;
+
+  /// Reference implementation for testing: settles the *entire* graph from
+  /// every label and scans all common ancestors. Exponentially safer, much
+  /// slower; Theorem 1 says Find() must agree with this on the compactness
+  /// vector of the returned root.
+  LcagResult FindExhaustive(const std::vector<std::string>& labels) const;
+
+ private:
+  std::vector<std::vector<kg::NodeId>> ResolveSources(
+      const std::vector<std::string>& labels,
+      std::vector<std::string>* resolved) const;
+
+  const kg::KnowledgeGraph* graph_;
+  const kg::LabelIndex* index_;
+};
+
+/// Materialize G_root with ALL shortest paths per label (paper Def. 3):
+/// walks each label's predecessor DAG backwards from the root. Nodes and
+/// edges are deduplicated and sorted for determinism.
+AncestorGraph MaterializeAllPaths(const MultiLabelDijkstra& dijkstra,
+                                  kg::NodeId root,
+                                  const std::vector<std::string>& labels);
+
+/// Materialize a tree: ONE (lexicographically smallest) shortest path per
+/// label. Used by TreeEmbedder; also the ablation "G* without coverage".
+AncestorGraph MaterializeSinglePaths(const MultiLabelDijkstra& dijkstra,
+                                     kg::NodeId root,
+                                     const std::vector<std::string>& labels);
+
+}  // namespace embed
+}  // namespace newslink
+
+#endif  // NEWSLINK_EMBED_LCAG_SEARCH_H_

@@ -1,0 +1,142 @@
+#include "embed/path_explainer.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace newslink {
+namespace embed {
+
+namespace {
+
+/// Undirected adjacency over the union of two embeddings' edges. Each entry
+/// remembers the original PathEdge so renders keep KG orientation.
+struct UnionGraph {
+  std::map<kg::NodeId, std::vector<std::pair<kg::NodeId, PathEdge>>> adj;
+
+  void AddEmbedding(const DocumentEmbedding& emb) {
+    for (const AncestorGraph& g : emb.segment_graphs) {
+      for (const PathEdge& e : g.edges) {
+        adj[e.from].emplace_back(e.to, e);
+        adj[e.to].emplace_back(e.from, e);
+      }
+      // Isolated single-node embeddings still contribute their node.
+      for (kg::NodeId v : g.nodes) adj.try_emplace(v);
+    }
+  }
+
+  /// BFS shortest path (unit edge lengths) from `from` to `to`.
+  RelationshipPath ShortestPath(kg::NodeId from, kg::NodeId to) const {
+    RelationshipPath path;
+    if (!adj.contains(from) || !adj.contains(to)) return path;
+    std::map<kg::NodeId, std::pair<kg::NodeId, PathEdge>> parent;
+    std::set<kg::NodeId> visited = {from};
+    std::queue<kg::NodeId> frontier;
+    frontier.push(from);
+    bool found = (from == to);
+    while (!frontier.empty() && !found) {
+      const kg::NodeId v = frontier.front();
+      frontier.pop();
+      auto it = adj.find(v);
+      if (it == adj.end()) continue;
+      for (const auto& [next, edge] : it->second) {
+        if (!visited.insert(next).second) continue;
+        parent.emplace(next, std::make_pair(v, edge));
+        if (next == to) {
+          found = true;
+          break;
+        }
+        frontier.push(next);
+      }
+    }
+    if (!found) return path;
+
+    // Reconstruct to -> from, then reverse.
+    std::vector<kg::NodeId> nodes = {to};
+    std::vector<PathEdge> edges;
+    kg::NodeId cur = to;
+    while (cur != from) {
+      const auto& [prev, edge] = parent.at(cur);
+      edges.push_back(edge);
+      nodes.push_back(prev);
+      cur = prev;
+    }
+    std::reverse(nodes.begin(), nodes.end());
+    std::reverse(edges.begin(), edges.end());
+    path.nodes = std::move(nodes);
+    path.edges = std::move(edges);
+    return path;
+  }
+};
+
+}  // namespace
+
+std::string RelationshipPath::Render(const kg::KnowledgeGraph& graph) const {
+  if (nodes.empty()) return "(no path)";
+  std::string out = graph.label(nodes[0]);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const PathEdge& e = edges[i];
+    const kg::NodeId cur = nodes[i];
+    const kg::NodeId next = nodes[i + 1];
+    const std::string& pred = graph.predicate_name(e.predicate);
+    // The stored edge is oriented e.from -> e.to in traversal order of the
+    // embedding; `forward` maps that to the KG's original direction.
+    const bool kg_cur_to_next =
+        (e.from == cur && e.forward) || (e.to == cur && !e.forward);
+    if (kg_cur_to_next) {
+      out += StrCat(" --", pred, "--> ", graph.label(next));
+    } else {
+      out += StrCat(" <--", pred, "-- ", graph.label(next));
+    }
+  }
+  return out;
+}
+
+std::vector<RelationshipPath> PathExplainer::Explain(
+    const DocumentEmbedding& query, const DocumentEmbedding& result,
+    size_t max_paths) const {
+  UnionGraph un;
+  un.AddEmbedding(query);
+  un.AddEmbedding(result);
+
+  // Entity endpoints: sources of each embedding (capped for tractability).
+  constexpr size_t kMaxEndpoints = 12;
+  std::vector<kg::NodeId> q_sources = query.SourceNodes();
+  std::vector<kg::NodeId> r_sources = result.SourceNodes();
+  if (q_sources.size() > kMaxEndpoints) q_sources.resize(kMaxEndpoints);
+  if (r_sources.size() > kMaxEndpoints) r_sources.resize(kMaxEndpoints);
+
+  std::vector<RelationshipPath> paths;
+  std::set<std::pair<kg::NodeId, kg::NodeId>> seen_pairs;
+  for (kg::NodeId q : q_sources) {
+    for (kg::NodeId r : r_sources) {
+      if (q == r) continue;  // matched entity: nothing to explain
+      const auto key = std::minmax(q, r);
+      if (!seen_pairs.insert({key.first, key.second}).second) continue;
+      RelationshipPath path = un.ShortestPath(q, r);
+      if (!path.nodes.empty()) paths.push_back(std::move(path));
+    }
+  }
+
+  std::stable_sort(paths.begin(), paths.end(),
+                   [](const RelationshipPath& a, const RelationshipPath& b) {
+                     return a.length() < b.length();
+                   });
+  if (paths.size() > max_paths) paths.resize(max_paths);
+  return paths;
+}
+
+RelationshipPath PathExplainer::FindPath(const DocumentEmbedding& query,
+                                         const DocumentEmbedding& result,
+                                         kg::NodeId from, kg::NodeId to) const {
+  UnionGraph un;
+  un.AddEmbedding(query);
+  un.AddEmbedding(result);
+  return un.ShortestPath(from, to);
+}
+
+}  // namespace embed
+}  // namespace newslink

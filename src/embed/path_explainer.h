@@ -1,0 +1,59 @@
+// Relationship-path explanations (paper Tables II & VI, Figs. 1 & 6): the
+// overlap of the query's and the result's subgraph embeddings induces paths
+// that link entities inter and intra documents. This module extracts and
+// renders those paths.
+
+#ifndef NEWSLINK_EMBED_PATH_EXPLAINER_H_
+#define NEWSLINK_EMBED_PATH_EXPLAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/document_embedding.h"
+#include "kg/knowledge_graph.h"
+
+namespace newslink {
+namespace embed {
+
+/// \brief A path between two entity nodes inside the embedding overlap.
+struct RelationshipPath {
+  /// Visited nodes, endpoints included (nodes.front() / nodes.back()).
+  std::vector<kg::NodeId> nodes;
+  /// edges[i] connects nodes[i] and nodes[i+1]; `forward` refers to the
+  /// original KG orientation as stored in the embedding.
+  std::vector<PathEdge> edges;
+
+  size_t length() const { return edges.size(); }
+
+  /// Render in the paper's arrow notation, e.g.
+  /// "Clinton --candidate_in--> US election 2016 <--candidate_in-- Trump".
+  std::string Render(const kg::KnowledgeGraph& graph) const;
+};
+
+/// \brief Extracts relationship paths from embedding overlaps.
+class PathExplainer {
+ public:
+  explicit PathExplainer(const kg::KnowledgeGraph* graph) : graph_(graph) {}
+
+  /// Shortest paths between the *entity* (source) nodes of `query` and
+  /// those of `result`, constrained to the union of the two embeddings.
+  /// Ranked by path length, deduplicated by endpoint pair; at most
+  /// `max_paths` returned.
+  std::vector<RelationshipPath> Explain(const DocumentEmbedding& query,
+                                        const DocumentEmbedding& result,
+                                        size_t max_paths = 5) const;
+
+  /// The shortest path between two specific nodes inside the union of the
+  /// given embeddings; empty path (no nodes) when disconnected.
+  RelationshipPath FindPath(const DocumentEmbedding& query,
+                            const DocumentEmbedding& result, kg::NodeId from,
+                            kg::NodeId to) const;
+
+ private:
+  const kg::KnowledgeGraph* graph_;
+};
+
+}  // namespace embed
+}  // namespace newslink
+
+#endif  // NEWSLINK_EMBED_PATH_EXPLAINER_H_

@@ -1,0 +1,86 @@
+#include "embed/tree_embedder.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace newslink {
+namespace embed {
+
+TreeEmbedResult TreeEmbedder::Find(const std::vector<std::string>& labels,
+                                   const TreeEmbedOptions& options) const {
+  TreeEmbedResult result;
+
+  std::vector<std::vector<kg::NodeId>> sources;
+  for (const std::string& label : labels) {
+    std::span<const kg::NodeId> nodes = index_->Lookup(label);
+    if (nodes.empty()) continue;
+    sources.emplace_back(nodes.begin(), nodes.end());
+    result.resolved_labels.push_back(label);
+  }
+  if (sources.empty()) return result;
+
+  const size_t m = sources.size();
+  if (m == 1) {
+    // Mirror LcagSearch: a lone ambiguous label keeps every sense.
+    std::vector<kg::NodeId> nodes = sources[0];
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    result.found = true;
+    result.tree.root = nodes[0];
+    result.tree.labels = result.resolved_labels;
+    result.tree.label_distances = {0.0};
+    result.tree.nodes = nodes;
+    result.tree.source_nodes = std::move(nodes);
+    return result;
+  }
+
+  MultiLabelDijkstra dijkstra(graph_, std::move(sources));
+
+  kg::NodeId best_root = kg::kInvalidNode;
+  double best_total = kInfDistance;
+
+  WallTimer timer;
+  MultiLabelDijkstra::PopEvent event;
+  while (true) {
+    if (!dijkstra.PopNext(&event)) break;
+    ++result.expansions;
+
+    if (dijkstra.SettledCount(event.node) == static_cast<int>(m)) {
+      double total = 0.0;
+      for (size_t i = 0; i < m; ++i) {
+        total += dijkstra.Distance(i, event.node);
+      }
+      ++result.candidates_collected;
+      if (total < best_total ||
+          (total == best_total && event.node < best_root)) {
+        best_total = total;
+        best_root = event.node;
+      }
+    }
+
+    // Admissible stop: any root settled in the future receives its final
+    // label at distance >= next frontier, so its total weight is >= next.
+    if (best_root != kg::kInvalidNode) {
+      const double next = dijkstra.PeekMinDistance();
+      if (next >= best_total) break;
+    }
+
+    if (result.expansions >= options.max_expansions) break;
+    if ((result.expansions & 0xFF) == 0 &&
+        timer.ElapsedSeconds() > options.timeout_seconds) {
+      result.timed_out = true;
+      break;
+    }
+  }
+
+  if (best_root == kg::kInvalidNode) return result;
+  result.found = true;
+  result.total_weight = best_total;
+  result.tree =
+      MaterializeSinglePaths(dijkstra, best_root, result.resolved_labels);
+  return result;
+}
+
+}  // namespace embed
+}  // namespace newslink

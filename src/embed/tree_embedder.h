@@ -1,0 +1,61 @@
+// Tree-based subgraph extraction baseline ("TreeEmb" in paper Table VII /
+// Fig. 7): a Group-Steiner-Tree approximation in the style of the
+// bidirectional-expansion engines the paper cites ([33] Kacholia et al.).
+//
+// It reuses the same multi-label Dijkstra machinery as LcagSearch but
+// optimizes the GST objective (minimum total connection weight) and keeps a
+// single shortest path per label — a *tree* with compactness but without
+// the coverage property. Its admissible termination bound (next frontier
+// distance >= best total weight) forces it to expand far beyond LcagSearch's
+// depth bound, which is exactly the efficiency gap of Fig. 7.
+
+#ifndef NEWSLINK_EMBED_TREE_EMBEDDER_H_
+#define NEWSLINK_EMBED_TREE_EMBEDDER_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/ancestor_graph.h"
+#include "embed/lcag_search.h"
+#include "kg/knowledge_graph.h"
+#include "kg/label_index.h"
+
+namespace newslink {
+namespace embed {
+
+struct TreeEmbedOptions {
+  double timeout_seconds = 5.0;
+  size_t max_expansions = 5'000'000;
+};
+
+struct TreeEmbedResult {
+  bool found = false;
+  bool timed_out = false;
+  /// The approximate Steiner tree (one path per label, rooted at the
+  /// connecting node with minimum total path weight).
+  AncestorGraph tree;
+  std::vector<std::string> resolved_labels;
+  size_t expansions = 0;
+  size_t candidates_collected = 0;
+  /// Sum of label-to-root distances of the returned tree (GST objective).
+  double total_weight = 0.0;
+};
+
+/// \brief Star-approximation Group Steiner Tree search.
+class TreeEmbedder {
+ public:
+  TreeEmbedder(const kg::KnowledgeGraph* graph, const kg::LabelIndex* index)
+      : graph_(graph), index_(index) {}
+
+  TreeEmbedResult Find(const std::vector<std::string>& labels,
+                       const TreeEmbedOptions& options = {}) const;
+
+ private:
+  const kg::KnowledgeGraph* graph_;
+  const kg::LabelIndex* index_;
+};
+
+}  // namespace embed
+}  // namespace newslink
+
+#endif  // NEWSLINK_EMBED_TREE_EMBEDDER_H_

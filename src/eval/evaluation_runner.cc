@@ -1,0 +1,102 @@
+#include "eval/evaluation_runner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "text/news_segmenter.h"
+
+namespace newslink {
+namespace eval {
+
+EvaluationRunner::EvaluationRunner(const corpus::Corpus* corpus,
+                                   const corpus::CorpusSplit* split,
+                                   const text::GazetteerNer* ner,
+                                   const vec::FastTextModel* judge,
+                                   EvalConfig config)
+    : corpus_(corpus),
+      split_(split),
+      ner_(ner),
+      judge_(judge),
+      config_(config) {}
+
+void EvaluationRunner::Prepare() {
+  Rng rng(config_.seed);
+  text::NewsSegmenter segmenter(ner_);
+
+  std::vector<size_t> test_docs = split_->test;
+  if (config_.max_test_queries > 0 &&
+      test_docs.size() > config_.max_test_queries) {
+    test_docs.resize(config_.max_test_queries);
+  }
+
+  for (size_t doc_index : test_docs) {
+    const text::SegmentedDocument segmented =
+        segmenter.Segment(corpus_->doc(doc_index).text);
+    if (auto q = DensestQuery(segmented, doc_index)) {
+      density_queries_.push_back(std::move(*q));
+    }
+    if (auto q = RandomQuery(segmented, doc_index, &rng)) {
+      random_queries_.push_back(std::move(*q));
+    }
+  }
+
+  judge_vectors_.reserve(corpus_->size());
+  for (const corpus::Document& doc : corpus_->docs()) {
+    judge_vectors_.push_back(judge_->EncodeText(doc.text));
+  }
+  if (config_.judge_center_alpha > 0.0 && !judge_vectors_.empty()) {
+    vec::Vector mean(judge_vectors_[0].size(), 0.0f);
+    for (const vec::Vector& v : judge_vectors_) {
+      vec::AddScaled(mean, v, 1.0f);
+    }
+    vec::Scale(mean, 1.0f / static_cast<float>(judge_vectors_.size()));
+    for (vec::Vector& v : judge_vectors_) {
+      vec::AddScaled(v, mean,
+                     -static_cast<float>(config_.judge_center_alpha));
+      vec::NormalizeInPlace(v);
+    }
+  }
+  prepared_ = true;
+}
+
+MetricScores EvaluationRunner::RunQuerySet(
+    const baselines::SearchEngine& engine,
+    const std::vector<TestQuery>& queries) const {
+  int max_k = 1;
+  for (int k : config_.sim_ks) max_k = std::max(max_k, k);
+  for (int k : config_.hit_ks) max_k = std::max(max_k, k);
+
+  MetricsAccumulator acc(config_.sim_ks, config_.hit_ks);
+  for (const TestQuery& q : queries) {
+    const std::vector<baselines::SearchResult> results =
+        engine.Search(q.sentence, static_cast<size_t>(max_k));
+    acc.AddQuery(q.doc_index, results, judge_vectors_);
+  }
+  return acc.Finalize();
+}
+
+EngineScores EvaluationRunner::Evaluate(
+    const baselines::SearchEngine& engine) const {
+  NL_CHECK(prepared_) << "call Prepare() first";
+  EngineScores scores;
+  scores.engine = engine.name();
+  scores.density = RunQuerySet(engine, density_queries_);
+  scores.random = RunQuerySet(engine, random_queries_);
+  return scores;
+}
+
+double EvaluationRunner::AverageEntityMatchingRatio() const {
+  NL_CHECK(prepared_) << "call Prepare() first";
+  double sum = 0.0;
+  size_t n = 0;
+  for (const TestQuery& q : density_queries_) {
+    if (q.mentions_identified == 0) continue;
+    sum += static_cast<double>(q.mentions_matched) /
+           static_cast<double>(q.mentions_identified);
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 1.0;
+}
+
+}  // namespace eval
+}  // namespace newslink

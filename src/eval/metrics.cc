@@ -1,0 +1,57 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace newslink {
+namespace eval {
+
+void MetricsAccumulator::AddQuery(
+    size_t query_doc, const std::vector<baselines::SearchResult>& results,
+    const std::vector<vec::Vector>& judge_vectors) {
+  NL_CHECK(query_doc < judge_vectors.size());
+  ++num_queries_;
+
+  const vec::Vector& q = judge_vectors[query_doc];
+  // Prefix sums of cosine similarity over the ranked results.
+  std::vector<double> prefix(results.size() + 1, 0.0);
+  for (size_t j = 0; j < results.size(); ++j) {
+    const vec::Vector& r = judge_vectors[results[j].doc_index];
+    prefix[j + 1] = prefix[j] + static_cast<double>(vec::Dot(q, r));
+  }
+
+  for (int k : sim_ks_) {
+    const size_t kk = std::min<size_t>(k, results.size());
+    // Average over k as in Eq. 4 (missing results contribute 0).
+    sim_sums_[k] += kk > 0 ? prefix[kk] / static_cast<double>(k) : 0.0;
+  }
+  for (int k : hit_ks_) {
+    const size_t kk = std::min<size_t>(k, results.size());
+    bool hit = false;
+    for (size_t j = 0; j < kk; ++j) {
+      if (results[j].doc_index == query_doc) {
+        hit = true;
+        break;
+      }
+    }
+    hit_sums_[k] += hit ? 1.0 : 0.0;
+  }
+}
+
+MetricScores MetricsAccumulator::Finalize() const {
+  MetricScores out;
+  const double n = num_queries_ > 0 ? static_cast<double>(num_queries_) : 1.0;
+  for (int k : sim_ks_) {
+    auto it = sim_sums_.find(k);
+    out.sim_at[k] = it == sim_sums_.end() ? 0.0 : it->second / n;
+  }
+  for (int k : hit_ks_) {
+    auto it = hit_sums_.find(k);
+    out.hit_at[k] = it == hit_sums_.end() ? 0.0 : it->second / n;
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace newslink

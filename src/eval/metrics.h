@@ -1,0 +1,55 @@
+// Evaluation metrics of the paper (Sec. VII-B): SIM@k (Eq. 4, average
+// cosine similarity between the query document and the top-k results in
+// the FastText judge space) and HIT@k (fraction of queries whose source
+// document appears in the top-k).
+
+#ifndef NEWSLINK_EVAL_METRICS_H_
+#define NEWSLINK_EVAL_METRICS_H_
+
+#include <map>
+#include <vector>
+
+#include "baselines/search_engine.h"
+#include "vec/dense_vector.h"
+
+namespace newslink {
+namespace eval {
+
+/// \brief SIM@k / HIT@k tables keyed by k.
+struct MetricScores {
+  std::map<int, double> sim_at;
+  std::map<int, double> hit_at;
+};
+
+/// \brief Per-query accumulator for the two metrics.
+///
+/// Feed it one (query source doc, ranked results) pair per test query along
+/// with the precomputed unit judge vectors of all corpus documents.
+class MetricsAccumulator {
+ public:
+  MetricsAccumulator(std::vector<int> sim_ks, std::vector<int> hit_ks)
+      : sim_ks_(std::move(sim_ks)), hit_ks_(std::move(hit_ks)) {}
+
+  /// `judge_vectors[d]` must be the unit-norm judge embedding of corpus
+  /// document d; `results` ranked best-first.
+  void AddQuery(size_t query_doc,
+                const std::vector<baselines::SearchResult>& results,
+                const std::vector<vec::Vector>& judge_vectors);
+
+  /// Averages over all added queries.
+  MetricScores Finalize() const;
+
+  size_t num_queries() const { return num_queries_; }
+
+ private:
+  std::vector<int> sim_ks_;
+  std::vector<int> hit_ks_;
+  std::map<int, double> sim_sums_;
+  std::map<int, double> hit_sums_;
+  size_t num_queries_ = 0;
+};
+
+}  // namespace eval
+}  // namespace newslink
+
+#endif  // NEWSLINK_EVAL_METRICS_H_

@@ -1,0 +1,66 @@
+#include "eval/query_selection.h"
+
+#include "text/tokenizer.h"
+
+namespace newslink {
+namespace eval {
+
+namespace {
+
+size_t WordCount(const std::string& sentence) {
+  size_t n = 0;
+  for (const text::Token& t : text::Tokenize(sentence)) {
+    if (t.is_word) ++n;
+  }
+  return n;
+}
+
+TestQuery MakeQuery(const text::NewsSegment& segment, size_t doc_index) {
+  TestQuery q;
+  q.doc_index = doc_index;
+  q.sentence = segment.sentence;
+  q.entity_density = EntityDensity(segment);
+  q.mentions_identified = segment.mentions.size();
+  for (const text::EntityMention& m : segment.mentions) {
+    if (m.in_kg) ++q.mentions_matched;
+  }
+  return q;
+}
+
+}  // namespace
+
+double EntityDensity(const text::NewsSegment& segment) {
+  const size_t words = WordCount(segment.sentence);
+  if (words == 0) return 0.0;
+  return static_cast<double>(segment.mentions.size()) /
+         static_cast<double>(words);
+}
+
+std::optional<TestQuery> DensestQuery(const text::SegmentedDocument& segmented,
+                                      size_t doc_index) {
+  const text::NewsSegment* best = nullptr;
+  double best_density = 0.0;
+  for (const text::NewsSegment& s : segmented.segments) {
+    if (s.mentions.empty()) continue;
+    const double density = EntityDensity(s);
+    if (best == nullptr || density > best_density) {
+      best = &s;
+      best_density = density;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return MakeQuery(*best, doc_index);
+}
+
+std::optional<TestQuery> RandomQuery(const text::SegmentedDocument& segmented,
+                                     size_t doc_index, Rng* rng) {
+  std::vector<const text::NewsSegment*> eligible;
+  for (const text::NewsSegment& s : segmented.segments) {
+    if (WordCount(s.sentence) > 0) eligible.push_back(&s);
+  }
+  if (eligible.empty()) return std::nullopt;
+  return MakeQuery(*eligible[rng->Uniform(eligible.size())], doc_index);
+}
+
+}  // namespace eval
+}  // namespace newslink

@@ -1,0 +1,43 @@
+// Partial-query construction for the evaluation task (paper Sec. VII-B):
+// from each test document pick (a) the sentence with the largest entity
+// density and (b) a random sentence, and use it as the search query.
+
+#ifndef NEWSLINK_EVAL_QUERY_SELECTION_H_
+#define NEWSLINK_EVAL_QUERY_SELECTION_H_
+
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "text/news_segmenter.h"
+
+namespace newslink {
+namespace eval {
+
+/// \brief One evaluation query: a sentence standing in for its document.
+struct TestQuery {
+  size_t doc_index = 0;   // corpus index of the source document Q
+  std::string sentence;   // the partial query q
+  double entity_density = 0.0;
+  /// identified/matched mention counts of the query sentence (Table V).
+  size_t mentions_identified = 0;
+  size_t mentions_matched = 0;
+};
+
+/// The sentence with the largest entity density (#entity mentions / #word
+/// tokens). Sentences without mentions are skipped; nullopt if none has any.
+std::optional<TestQuery> DensestQuery(const text::SegmentedDocument& segmented,
+                                      size_t doc_index);
+
+/// A uniformly random sentence with at least one word (entity presence not
+/// required — randomness is the point of the paper's second query set).
+std::optional<TestQuery> RandomQuery(const text::SegmentedDocument& segmented,
+                                     size_t doc_index, Rng* rng);
+
+/// Entity density of a segment: mentions / word tokens (0 for empty text).
+double EntityDensity(const text::NewsSegment& segment);
+
+}  // namespace eval
+}  // namespace newslink
+
+#endif  // NEWSLINK_EVAL_QUERY_SELECTION_H_

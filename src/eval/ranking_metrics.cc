@@ -1,0 +1,43 @@
+#include "eval/ranking_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace newslink {
+namespace eval {
+
+double ReciprocalRank(const std::vector<baselines::SearchResult>& results,
+                      size_t relevant_doc) {
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (results[i].doc_index == relevant_doc) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+double DcgAtK(const std::vector<baselines::SearchResult>& results,
+              const std::set<size_t>& relevant, size_t k) {
+  double dcg = 0.0;
+  const size_t limit = std::min(k, results.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (relevant.contains(results[i].doc_index)) {
+      dcg += 1.0 / std::log2(static_cast<double>(i + 2));
+    }
+  }
+  return dcg;
+}
+
+double NdcgAtK(const std::vector<baselines::SearchResult>& results,
+               const std::set<size_t>& relevant, size_t k) {
+  if (relevant.empty()) return 0.0;
+  double ideal = 0.0;
+  const size_t ideal_hits = std::min(k, relevant.size());
+  for (size_t i = 0; i < ideal_hits; ++i) {
+    ideal += 1.0 / std::log2(static_cast<double>(i + 2));
+  }
+  return DcgAtK(results, relevant, k) / ideal;
+}
+
+}  // namespace eval
+}  // namespace newslink

@@ -1,0 +1,31 @@
+// Standard ranking metrics beyond the paper's SIM@k / HIT@k: reciprocal
+// rank and (binary-relevance) NDCG@k. Used by the extended evaluation and
+// handy for downstream users comparing engines on their own labels.
+
+#ifndef NEWSLINK_EVAL_RANKING_METRICS_H_
+#define NEWSLINK_EVAL_RANKING_METRICS_H_
+
+#include <set>
+#include <vector>
+
+#include "baselines/search_engine.h"
+
+namespace newslink {
+namespace eval {
+
+/// 1/rank of `relevant_doc` within `results` (1-indexed), 0 when absent.
+double ReciprocalRank(const std::vector<baselines::SearchResult>& results,
+                      size_t relevant_doc);
+
+/// Binary-relevance DCG@k: sum of 1/log2(rank+1) over relevant hits.
+double DcgAtK(const std::vector<baselines::SearchResult>& results,
+              const std::set<size_t>& relevant, size_t k);
+
+/// NDCG@k with binary relevance; 0 when `relevant` is empty.
+double NdcgAtK(const std::vector<baselines::SearchResult>& results,
+               const std::set<size_t>& relevant, size_t k);
+
+}  // namespace eval
+}  // namespace newslink
+
+#endif  // NEWSLINK_EVAL_RANKING_METRICS_H_

@@ -1,0 +1,96 @@
+#include "eval/user_study.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "kg/label_index.h"
+
+namespace newslink {
+namespace eval {
+
+CaseFeatures SimulatedUserStudy::Features(const StudyCase& c) const {
+  NL_CHECK(c.query_embedding != nullptr && c.result_embedding != nullptr);
+  CaseFeatures f;
+
+  std::set<kg::NodeId> q_nodes;
+  for (const auto& [node, count] : c.query_embedding->node_counts) {
+    q_nodes.insert(node);
+  }
+  std::set<kg::NodeId> all_nodes = q_nodes;
+  int overlap = 0;
+  for (const auto& [node, count] : c.result_embedding->node_counts) {
+    if (q_nodes.contains(node)) ++overlap;
+    all_nodes.insert(node);
+  }
+  f.overlap_nodes = overlap;
+  f.total_nodes = static_cast<int>(all_nodes.size());
+
+  // A node is "already in the text" when its normalized label occurs as a
+  // substring of either (normalized) document.
+  const std::string texts = kg::NormalizeLabel(
+      StrCat(c.query_text, " ", c.result_text));
+  int in_text = 0;
+  int novel = 0;
+  for (kg::NodeId v : all_nodes) {
+    const std::string label = kg::NormalizeLabel(graph_->label(v));
+    const bool mentioned =
+        !label.empty() && texts.find(label) != std::string::npos;
+    if (mentioned) {
+      ++in_text;
+    } else {
+      ++novel;
+    }
+  }
+  f.novel_nodes = novel;
+  f.redundancy = f.total_nodes > 0
+                     ? static_cast<double>(in_text) / f.total_nodes
+                     : 1.0;
+  return f;
+}
+
+StudyOutcome SimulatedUserStudy::Run(
+    const std::vector<StudyCase>& cases) const {
+  StudyOutcome outcome;
+  Rng rng(seed_);
+  for (int p = 0; p < participants_; ++p) {
+    // Participant-specific dispositions (the jitter models prior knowledge:
+    // a participant who "already knows the connection" discounts novelty).
+    const bool knows_connection = rng.UniformDouble() < 0.25;
+    const double redundancy_tolerance = 0.78 + 0.20 * rng.UniformDouble();
+    const int overload_threshold =
+        40 + static_cast<int>(rng.Uniform(40));  // 40-79 nodes
+
+    for (const StudyCase& c : cases) {
+      const CaseFeatures f = Features(c);
+      const bool overloaded = f.total_nodes > overload_threshold;
+      const bool redundant = f.redundancy > redundancy_tolerance;
+
+      if (overloaded) {
+        // Factor (3): too much information overwhelms.
+        ++outcome.not_helpful;
+      } else if (knows_connection || f.novel_nodes == 0) {
+        // Factor (1): nothing new to this participant ("if participants
+        // already know the connections ... the additional information does
+        // not help much"). They split between dismissing it outright and
+        // granting it neutral value.
+        if (f.overlap_nodes == 0 || rng.Bernoulli(0.5)) {
+          ++outcome.not_helpful;
+        } else {
+          ++outcome.neutral;
+        }
+      } else if (redundant) {
+        // Factor (2): the extra information mostly repeats the text.
+        ++outcome.neutral;
+      } else {
+        ++outcome.helpful;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace eval
+}  // namespace newslink

@@ -1,0 +1,39 @@
+#include "ir/inverted_index.h"
+
+#include "common/logging.h"
+
+namespace newslink {
+namespace ir {
+
+DocId InvertedIndex::AddDocument(const TermCounts& counts) {
+  const DocId doc = static_cast<DocId>(doc_lengths_.size());
+  uint32_t length = 0;
+  for (const auto& [term, tf] : counts) {
+    NL_DCHECK(tf > 0);
+    if (term >= postings_.size()) postings_.resize(term + 1);
+    postings_[term].push_back(Posting{doc, tf});
+    length += tf;
+  }
+  doc_lengths_.push_back(length);
+  total_length_ += length;
+  return doc;
+}
+
+double InvertedIndex::avg_doc_length() const {
+  if (doc_lengths_.empty()) return 0.0;
+  return static_cast<double>(total_length_) /
+         static_cast<double>(doc_lengths_.size());
+}
+
+uint32_t InvertedIndex::DocFreq(TermId term) const {
+  if (term >= postings_.size()) return 0;
+  return static_cast<uint32_t>(postings_[term].size());
+}
+
+std::span<const Posting> InvertedIndex::Postings(TermId term) const {
+  if (term >= postings_.size()) return {};
+  return {postings_[term].data(), postings_[term].size()};
+}
+
+}  // namespace ir
+}  // namespace newslink

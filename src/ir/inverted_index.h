@@ -1,0 +1,58 @@
+// Inverted index with document statistics: the retrieval core of the NS
+// component and of the Lucene-like baseline.
+
+#ifndef NEWSLINK_IR_INVERTED_INDEX_H_
+#define NEWSLINK_IR_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ir/term_dictionary.h"
+
+namespace newslink {
+namespace ir {
+
+using DocId = uint32_t;
+inline constexpr DocId kInvalidDoc = std::numeric_limits<DocId>::max();
+
+struct Posting {
+  DocId doc;
+  uint32_t tf;
+};
+
+/// Sparse term-frequency vector of a document or query.
+using TermCounts = std::vector<std::pair<TermId, uint32_t>>;
+
+/// \brief Term-at-a-time friendly inverted index.
+///
+/// Documents are appended in id order; postings lists are therefore sorted
+/// by doc id by construction.
+class InvertedIndex {
+ public:
+  /// Add the next document; returns its id (sequential from 0).
+  DocId AddDocument(const TermCounts& counts);
+
+  size_t num_docs() const { return doc_lengths_.size(); }
+  size_t num_terms() const { return postings_.size(); }
+
+  /// Sum of term frequencies of the document.
+  uint32_t DocLength(DocId doc) const { return doc_lengths_[doc]; }
+  double avg_doc_length() const;
+
+  /// Number of documents containing the term (0 for out-of-range terms).
+  uint32_t DocFreq(TermId term) const;
+
+  std::span<const Posting> Postings(TermId term) const;
+
+ private:
+  std::vector<std::vector<Posting>> postings_;
+  std::vector<uint32_t> doc_lengths_;
+  uint64_t total_length_ = 0;
+};
+
+}  // namespace ir
+}  // namespace newslink
+
+#endif  // NEWSLINK_IR_INVERTED_INDEX_H_

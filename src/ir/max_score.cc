@@ -1,0 +1,111 @@
+#include "ir/max_score.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ir/top_k.h"
+
+namespace newslink {
+namespace ir {
+
+double MaxScoreRetriever::Score(uint32_t qtf, double idf,
+                                const Posting& posting) const {
+  const double avgdl = index_->avg_doc_length();
+  const double dl = static_cast<double>(index_->DocLength(posting.doc));
+  const double norm =
+      params_.k1 *
+      (1.0 - params_.b + params_.b * (avgdl > 0 ? dl / avgdl : 0.0));
+  const double tf = static_cast<double>(posting.tf);
+  return qtf * idf * tf * (params_.k1 + 1.0) / (tf + norm);
+}
+
+std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
+                                               size_t k) const {
+  last_docs_scored_ = 0;
+  struct Term {
+    std::span<const Posting> postings;
+    double idf;
+    uint32_t qtf;
+    double bound;  // maximum possible contribution of this term
+  };
+  std::vector<Term> terms;
+  for (const auto& [term, qtf] : query) {
+    std::span<const Posting> postings = index_->Postings(term);
+    if (postings.empty()) continue;
+    const double idf = scorer_.Idf(term);
+    // tf * (k1+1) / (tf + norm) < (k1 + 1) for norm > 0; == at norm == 0.
+    const double bound = qtf * idf * (params_.k1 + 1.0);
+    terms.push_back(Term{postings, idf, qtf, bound});
+  }
+  if (terms.empty() || k == 0) return {};
+
+  // Ascending by bound: terms[0..e) become non-essential as the threshold
+  // grows.
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.bound < b.bound; });
+  std::vector<double> prefix(terms.size() + 1, 0.0);
+  for (size_t i = 0; i < terms.size(); ++i) {
+    prefix[i + 1] = prefix[i] + terms[i].bound;
+  }
+
+  TopKHeap heap(k);
+  std::vector<size_t> cursor(terms.size(), 0);
+  size_t first_essential = 0;
+
+  auto advance_essential_split = [&]() {
+    // terms[0..first_essential) cannot alone lift a doc over the threshold.
+    // Strict comparison: exact ties must still be scored, because a tying
+    // doc with a smaller id displaces the heap's worst entry.
+    const double threshold = heap.Threshold();
+    while (first_essential < terms.size() &&
+           prefix[first_essential + 1] < threshold) {
+      ++first_essential;
+    }
+  };
+
+  while (true) {
+    advance_essential_split();
+    if (first_essential >= terms.size()) break;  // nothing can qualify
+
+    // Next candidate: smallest doc id among essential cursors.
+    DocId next = kInvalidDoc;
+    for (size_t t = first_essential; t < terms.size(); ++t) {
+      if (cursor[t] < terms[t].postings.size()) {
+        next = std::min(next, terms[t].postings[cursor[t]].doc);
+      }
+    }
+    if (next == kInvalidDoc) break;
+
+    // Score essential terms at `next`, advancing their cursors.
+    double score = 0.0;
+    for (size_t t = first_essential; t < terms.size(); ++t) {
+      if (cursor[t] < terms[t].postings.size() &&
+          terms[t].postings[cursor[t]].doc == next) {
+        score += Score(terms[t].qtf, terms[t].idf,
+                       terms[t].postings[cursor[t]]);
+        ++cursor[t];
+      }
+    }
+
+    // Probe non-essential terms, best bound first, pruning when even the
+    // remaining bounds cannot reach the threshold. Strict comparison for
+    // the same tie-displacement reason as above.
+    for (size_t t = first_essential; t-- > 0;) {
+      if (score + prefix[t + 1] < heap.Threshold()) break;
+      const auto& postings = terms[t].postings;
+      const auto it = std::lower_bound(
+          postings.begin(), postings.end(), next,
+          [](const Posting& p, DocId doc) { return p.doc < doc; });
+      if (it != postings.end() && it->doc == next) {
+        score += Score(terms[t].qtf, terms[t].idf, *it);
+      }
+    }
+
+    ++last_docs_scored_;
+    heap.Push(ScoredDoc{next, score});
+  }
+  return heap.Take();
+}
+
+}  // namespace ir
+}  // namespace newslink

@@ -1,0 +1,46 @@
+// Document-at-a-time top-k retrieval with MaxScore pruning (Turtle & Flood
+// 1995) — the dynamic-pruning family behind the threshold-style top-k
+// processing the paper cites for the NS component ([49]). Produces exactly
+// the same top-k as exhaustive TAAT scoring while skipping documents that
+// cannot make the heap.
+
+#ifndef NEWSLINK_IR_MAX_SCORE_H_
+#define NEWSLINK_IR_MAX_SCORE_H_
+
+#include <vector>
+
+#include "ir/inverted_index.h"
+#include "ir/scorer.h"
+
+namespace newslink {
+namespace ir {
+
+/// \brief BM25 top-k with MaxScore dynamic pruning.
+class MaxScoreRetriever {
+ public:
+  explicit MaxScoreRetriever(const InvertedIndex* index,
+                             Bm25Params params = {})
+      : index_(index), scorer_(index, params), params_(params) {}
+
+  /// Top-k documents for the query, identical (including tie order) to
+  /// SelectTopK(Bm25Scorer::ScoreAll(query), k).
+  std::vector<ScoredDoc> TopK(const TermCounts& query, size_t k) const;
+
+  /// Number of documents fully scored during the last TopK call
+  /// (instrumentation for tests/benchmarks; not thread-safe).
+  size_t last_docs_scored() const { return last_docs_scored_; }
+
+ private:
+  /// BM25 contribution of one posting.
+  double Score(uint32_t qtf, double idf, const Posting& posting) const;
+
+  const InvertedIndex* index_;
+  Bm25Scorer scorer_;
+  Bm25Params params_;
+  mutable size_t last_docs_scored_ = 0;
+};
+
+}  // namespace ir
+}  // namespace newslink
+
+#endif  // NEWSLINK_IR_MAX_SCORE_H_

@@ -1,0 +1,93 @@
+#include "ir/scorer.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace newslink {
+namespace ir {
+
+namespace {
+
+std::vector<ScoredDoc> AccumulatorsToVector(
+    const std::unordered_map<DocId, double>& acc) {
+  std::vector<ScoredDoc> out;
+  out.reserve(acc.size());
+  for (const auto& [doc, score] : acc) out.push_back(ScoredDoc{doc, score});
+  return out;
+}
+
+}  // namespace
+
+double Bm25Scorer::Idf(TermId term) const {
+  const double n = static_cast<double>(index_->num_docs());
+  const double df = static_cast<double>(index_->DocFreq(term));
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+std::vector<ScoredDoc> Bm25Scorer::ScoreAll(const TermCounts& query) const {
+  std::unordered_map<DocId, double> acc;
+  const double avgdl = index_->avg_doc_length();
+  for (const auto& [term, qtf] : query) {
+    const double idf = Idf(term);
+    for (const Posting& p : index_->Postings(term)) {
+      const double dl = static_cast<double>(index_->DocLength(p.doc));
+      const double norm =
+          params_.k1 * (1.0 - params_.b +
+                        params_.b * (avgdl > 0 ? dl / avgdl : 0.0));
+      const double tf = static_cast<double>(p.tf);
+      acc[p.doc] += qtf * idf * tf * (params_.k1 + 1.0) / (tf + norm);
+    }
+  }
+  return AccumulatorsToVector(acc);
+}
+
+TfIdfCosineScorer::TfIdfCosineScorer(const InvertedIndex* index)
+    : index_(index) {
+  doc_norms_.assign(index_->num_docs(), 0.0);
+  for (TermId t = 0; t < index_->num_terms(); ++t) {
+    const double idf = Idf(t);
+    for (const Posting& p : index_->Postings(t)) {
+      const double w = (1.0 + std::log(static_cast<double>(p.tf))) * idf;
+      doc_norms_[p.doc] += w * w;
+    }
+  }
+  for (double& n : doc_norms_) n = n > 0 ? std::sqrt(n) : 1.0;
+}
+
+double TfIdfCosineScorer::Idf(TermId term) const {
+  const double n = static_cast<double>(index_->num_docs());
+  const double df = static_cast<double>(index_->DocFreq(term));
+  if (df == 0.0) return 0.0;
+  return std::log(1.0 + n / df);
+}
+
+std::vector<ScoredDoc> TfIdfCosineScorer::ScoreAll(
+    const TermCounts& query) const {
+  // Query norm.
+  double qnorm = 0.0;
+  for (const auto& [term, qtf] : query) {
+    const double w = (1.0 + std::log(static_cast<double>(qtf))) * Idf(term);
+    qnorm += w * w;
+  }
+  qnorm = qnorm > 0 ? std::sqrt(qnorm) : 1.0;
+
+  std::unordered_map<DocId, double> acc;
+  for (const auto& [term, qtf] : query) {
+    const double idf = Idf(term);
+    if (idf == 0.0) continue;
+    const double qw = (1.0 + std::log(static_cast<double>(qtf))) * idf;
+    for (const Posting& p : index_->Postings(term)) {
+      const double dw = (1.0 + std::log(static_cast<double>(p.tf))) * idf;
+      acc[p.doc] += qw * dw;
+    }
+  }
+  std::vector<ScoredDoc> out;
+  out.reserve(acc.size());
+  for (const auto& [doc, dot] : acc) {
+    out.push_back(ScoredDoc{doc, dot / (qnorm * doc_norms_[doc])});
+  }
+  return out;
+}
+
+}  // namespace ir
+}  // namespace newslink

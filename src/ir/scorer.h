@@ -1,0 +1,67 @@
+// Relevance scoring over an InvertedIndex: BM25 (Robertson & Zaragoza 2009,
+// the paper's term weighting, with Lucene 7.x default parameters) and
+// TF-IDF / cosine VSM (Salton et al. 1975).
+
+#ifndef NEWSLINK_IR_SCORER_H_
+#define NEWSLINK_IR_SCORER_H_
+
+#include <vector>
+
+#include "ir/inverted_index.h"
+
+namespace newslink {
+namespace ir {
+
+struct ScoredDoc {
+  DocId doc = kInvalidDoc;
+  double score = 0.0;
+
+  bool operator==(const ScoredDoc& o) const {
+    return doc == o.doc && score == o.score;
+  }
+};
+
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// \brief Term-at-a-time BM25 scorer.
+class Bm25Scorer {
+ public:
+  explicit Bm25Scorer(const InvertedIndex* index, Bm25Params params = {})
+      : index_(index), params_(params) {}
+
+  /// Lucene-style BM25 idf: ln(1 + (N - df + 0.5) / (df + 0.5)); always > 0.
+  double Idf(TermId term) const;
+
+  /// Score every document containing at least one query term.
+  /// Query term multiplicity contributes linearly, as in Lucene.
+  std::vector<ScoredDoc> ScoreAll(const TermCounts& query) const;
+
+ private:
+  const InvertedIndex* index_;
+  Bm25Params params_;
+};
+
+/// \brief TF-IDF cosine scorer (lnc.ltc-flavoured VSM).
+///
+/// Document weights use (1 + ln tf) * idf with idf = ln(1 + N / df);
+/// scores are cosine similarities (both vectors length-normalized).
+class TfIdfCosineScorer {
+ public:
+  /// Precomputes document norms; the index must not grow afterwards.
+  explicit TfIdfCosineScorer(const InvertedIndex* index);
+
+  double Idf(TermId term) const;
+  std::vector<ScoredDoc> ScoreAll(const TermCounts& query) const;
+
+ private:
+  const InvertedIndex* index_;
+  std::vector<double> doc_norms_;
+};
+
+}  // namespace ir
+}  // namespace newslink
+
+#endif  // NEWSLINK_IR_SCORER_H_

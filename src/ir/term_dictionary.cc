@@ -1,0 +1,21 @@
+#include "ir/term_dictionary.h"
+
+namespace newslink {
+namespace ir {
+
+TermId TermDictionary::GetOrAdd(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId TermDictionary::Find(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  return it == ids_.end() ? kInvalidTerm : it->second;
+}
+
+}  // namespace ir
+}  // namespace newslink

@@ -1,0 +1,42 @@
+// Term dictionary shared by the BOW and BON retrieval paths. For BOW the
+// "terms" are stemmed words; for BON they are KG node ids rendered as terms
+// — the paper's insight that BON is "BOW whose words are replaced by nodes"
+// (Sec. VI) means one dictionary + index implementation serves both.
+
+#ifndef NEWSLINK_IR_TERM_DICTIONARY_H_
+#define NEWSLINK_IR_TERM_DICTIONARY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace newslink {
+namespace ir {
+
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTerm = std::numeric_limits<TermId>::max();
+
+/// \brief Bidirectional string <-> TermId mapping.
+class TermDictionary {
+ public:
+  /// Intern a term, assigning a fresh id on first sight.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Look up without interning; kInvalidTerm when absent.
+  TermId Find(std::string_view term) const;
+
+  const std::string& term(TermId id) const { return terms_[id]; }
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace ir
+}  // namespace newslink
+
+#endif  // NEWSLINK_IR_TERM_DICTIONARY_H_

@@ -1,0 +1,42 @@
+#include "ir/text_vectorizer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace newslink {
+namespace ir {
+
+namespace {
+
+template <typename LookupFn>
+TermCounts Count(const std::string& text, LookupFn&& lookup) {
+  std::map<TermId, uint32_t> counts;
+  for (const std::string& word : text::WordTokens(text)) {
+    if (word.size() < 2 || text::IsStopword(word)) continue;
+    const TermId id = lookup(text::PorterStem(word));
+    if (id == kInvalidTerm) continue;
+    ++counts[id];
+  }
+  return TermCounts(counts.begin(), counts.end());
+}
+
+}  // namespace
+
+TermCounts TextVectorizer::CountsForIndexing(const std::string& text,
+                                             TermDictionary* dict) {
+  return Count(text,
+               [dict](const std::string& stem) { return dict->GetOrAdd(stem); });
+}
+
+TermCounts TextVectorizer::CountsForQuery(const std::string& text,
+                                          const TermDictionary& dict) {
+  return Count(text,
+               [&dict](const std::string& stem) { return dict.Find(stem); });
+}
+
+}  // namespace ir
+}  // namespace newslink

@@ -1,0 +1,31 @@
+// Text -> sparse term-count vectors: tokenization, stopword removal and
+// Porter stemming, shared by every BOW-based engine.
+
+#ifndef NEWSLINK_IR_TEXT_VECTORIZER_H_
+#define NEWSLINK_IR_TEXT_VECTORIZER_H_
+
+#include <string>
+
+#include "ir/inverted_index.h"
+#include "ir/term_dictionary.h"
+
+namespace newslink {
+namespace ir {
+
+/// \brief Stateless pipeline around a TermDictionary.
+class TextVectorizer {
+ public:
+  /// Counts for indexing: new terms are interned into `dict`.
+  /// Output is sorted by term id; stopwords and single characters dropped.
+  static TermCounts CountsForIndexing(const std::string& text,
+                                      TermDictionary* dict);
+
+  /// Counts for querying: unknown terms are dropped (they match nothing).
+  static TermCounts CountsForQuery(const std::string& text,
+                                   const TermDictionary& dict);
+};
+
+}  // namespace ir
+}  // namespace newslink
+
+#endif  // NEWSLINK_IR_TEXT_VECTORIZER_H_

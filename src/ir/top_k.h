@@ -1,0 +1,46 @@
+// Top-k selection utilities (paper Sec. VI cites threshold-style top-k
+// ranking [49]; at our corpus scales a bounded min-heap over the scored
+// accumulator set is the appropriate engine).
+
+#ifndef NEWSLINK_IR_TOP_K_H_
+#define NEWSLINK_IR_TOP_K_H_
+
+#include <vector>
+
+#include "ir/scorer.h"
+
+namespace newslink {
+namespace ir {
+
+/// \brief Bounded min-heap keeping the k best (score, doc) pairs.
+///
+/// Ties break towards smaller doc ids so results are deterministic.
+class TopKHeap {
+ public:
+  explicit TopKHeap(size_t k) : k_(k) {}
+
+  void Push(ScoredDoc item);
+
+  /// Smallest score currently needed to enter the heap (-inf while unfull).
+  double Threshold() const;
+
+  /// Extract results ordered best-first. The heap is consumed.
+  std::vector<ScoredDoc> Take();
+
+  size_t size() const { return items_.size(); }
+
+ private:
+  static bool Worse(const ScoredDoc& a, const ScoredDoc& b);
+
+  size_t k_;
+  std::vector<ScoredDoc> items_;  // min-heap on score
+};
+
+/// Select the k highest-scoring documents from an unordered score list.
+std::vector<ScoredDoc> SelectTopK(const std::vector<ScoredDoc>& scores,
+                                  size_t k);
+
+}  // namespace ir
+}  // namespace newslink
+
+#endif  // NEWSLINK_IR_TOP_K_H_

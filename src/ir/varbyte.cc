@@ -1,0 +1,102 @@
+#include "ir/varbyte.h"
+
+#include "common/logging.h"
+
+namespace newslink {
+namespace ir {
+
+void VarByteEncode(uint32_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value & 0x7F) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+uint32_t VarByteDecode(const std::vector<uint8_t>& data, size_t* pos) {
+  uint32_t value = 0;
+  int shift = 0;
+  while (true) {
+    NL_DCHECK(*pos < data.size());
+    const uint8_t byte = data[(*pos)++];
+    value |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+CompressedPostingList::CompressedPostingList(
+    std::span<const Posting> postings) {
+  for (const Posting& p : postings) Append(p);
+}
+
+void CompressedPostingList::Append(const Posting& posting) {
+  NL_DCHECK(empty_ || posting.doc > last_doc_)
+      << "doc ids must be strictly increasing";
+  const uint32_t gap = empty_ ? posting.doc : posting.doc - last_doc_;
+  VarByteEncode(gap, &bytes_);
+  VarByteEncode(posting.tf, &bytes_);
+  last_doc_ = posting.doc;
+  empty_ = false;
+  ++count_;
+}
+
+std::vector<Posting> CompressedPostingList::Decode() const {
+  std::vector<Posting> out;
+  out.reserve(count_);
+  ForEach([&out](const Posting& p) { out.push_back(p); });
+  return out;
+}
+
+CompressedInvertedIndex::CompressedInvertedIndex(const InvertedIndex& index) {
+  postings_.reserve(index.num_terms());
+  for (TermId t = 0; t < index.num_terms(); ++t) {
+    postings_.emplace_back(index.Postings(t));
+  }
+  doc_lengths_.reserve(index.num_docs());
+  for (DocId d = 0; d < index.num_docs(); ++d) {
+    doc_lengths_.push_back(index.DocLength(d));
+    total_length_ += index.DocLength(d);
+  }
+}
+
+DocId CompressedInvertedIndex::AddDocument(const TermCounts& counts) {
+  const DocId doc = static_cast<DocId>(doc_lengths_.size());
+  uint32_t length = 0;
+  for (const auto& [term, tf] : counts) {
+    NL_DCHECK(tf > 0);
+    if (term >= postings_.size()) postings_.resize(term + 1);
+    postings_[term].Append(Posting{doc, tf});
+    length += tf;
+  }
+  doc_lengths_.push_back(length);
+  total_length_ += length;
+  return doc;
+}
+
+double CompressedInvertedIndex::avg_doc_length() const {
+  if (doc_lengths_.empty()) return 0.0;
+  return static_cast<double>(total_length_) /
+         static_cast<double>(doc_lengths_.size());
+}
+
+uint32_t CompressedInvertedIndex::DocFreq(TermId term) const {
+  if (term >= postings_.size()) return 0;
+  return static_cast<uint32_t>(postings_[term].size());
+}
+
+std::vector<Posting> CompressedInvertedIndex::Postings(TermId term) const {
+  if (term >= postings_.size()) return {};
+  return postings_[term].Decode();
+}
+
+size_t CompressedInvertedIndex::PostingBytes() const {
+  size_t total = 0;
+  for (const CompressedPostingList& list : postings_) {
+    total += list.byte_size();
+  }
+  return total;
+}
+
+}  // namespace ir
+}  // namespace newslink

@@ -1,0 +1,100 @@
+// Variable-byte (VByte) compression for posting lists: doc-id deltas and
+// term frequencies encoded in 7-bit groups with a continuation bit — the
+// classic space/speed point for inverted indexes (Scholer et al. 2002).
+// CompressedPostingList stores (delta-gap docids, tf) streams ~3-5x smaller
+// than raw Posting vectors while decoding at memory speed.
+
+#ifndef NEWSLINK_IR_VARBYTE_H_
+#define NEWSLINK_IR_VARBYTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/inverted_index.h"
+
+namespace newslink {
+namespace ir {
+
+/// Append the VByte encoding of `value` to `out`.
+void VarByteEncode(uint32_t value, std::vector<uint8_t>* out);
+
+/// Decode one VByte value from `data` starting at *pos; advances *pos.
+/// Returns the decoded value (callers must ensure *pos < data.size()).
+uint32_t VarByteDecode(const std::vector<uint8_t>& data, size_t* pos);
+
+/// \brief A delta-gap, VByte-compressed posting list.
+class CompressedPostingList {
+ public:
+  CompressedPostingList() = default;
+
+  /// Compress an uncompressed list (must be sorted by doc id).
+  explicit CompressedPostingList(std::span<const Posting> postings);
+
+  /// Append a posting; doc ids must arrive in strictly increasing order.
+  void Append(const Posting& posting);
+
+  /// Decode the full list.
+  std::vector<Posting> Decode() const;
+
+  /// Visit each posting without materializing the vector.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    size_t pos = 0;
+    uint32_t doc = 0;
+    for (size_t i = 0; i < count_; ++i) {
+      doc += VarByteDecode(bytes_, &pos);
+      const uint32_t tf = VarByteDecode(bytes_, &pos);
+      fn(Posting{doc, tf});
+    }
+  }
+
+  size_t size() const { return count_; }
+  size_t byte_size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t count_ = 0;
+  uint32_t last_doc_ = 0;
+  bool empty_ = true;
+};
+
+/// \brief Drop-in compressed counterpart of InvertedIndex.
+///
+/// Identical statistics (doc lengths, document frequency, average length);
+/// postings are materialized on access. Query paths that only need a
+/// single pass can use ForEachPosting to avoid the copy.
+class CompressedInvertedIndex {
+ public:
+  /// Compress an existing index.
+  explicit CompressedInvertedIndex(const InvertedIndex& index);
+
+  DocId AddDocument(const TermCounts& counts);
+
+  size_t num_docs() const { return doc_lengths_.size(); }
+  size_t num_terms() const { return postings_.size(); }
+  uint32_t DocLength(DocId doc) const { return doc_lengths_[doc]; }
+  double avg_doc_length() const;
+  uint32_t DocFreq(TermId term) const;
+
+  std::vector<Posting> Postings(TermId term) const;
+
+  template <typename Fn>
+  void ForEachPosting(TermId term, Fn&& fn) const {
+    if (term < postings_.size()) postings_[term].ForEach(fn);
+  }
+
+  /// Total bytes of compressed posting data.
+  size_t PostingBytes() const;
+
+  CompressedInvertedIndex() = default;
+
+ private:
+  std::vector<CompressedPostingList> postings_;
+  std::vector<uint32_t> doc_lengths_;
+  uint64_t total_length_ = 0;
+};
+
+}  // namespace ir
+}  // namespace newslink
+
+#endif  // NEWSLINK_IR_VARBYTE_H_

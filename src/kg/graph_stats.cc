@@ -1,0 +1,115 @@
+#include "kg/graph_stats.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace newslink {
+namespace kg {
+
+std::vector<uint32_t> ConnectedComponents(const KnowledgeGraph& graph) {
+  const uint32_t kUnassigned = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> component(graph.num_nodes(), kUnassigned);
+  uint32_t next_id = 0;
+  for (NodeId start = 0; start < graph.num_nodes(); ++start) {
+    if (component[start] != kUnassigned) continue;
+    const uint32_t id = next_id++;
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    component[start] = id;
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (const Arc& arc : graph.OutArcs(v)) {
+        if (component[arc.dst] == kUnassigned) {
+          component[arc.dst] = id;
+          frontier.push(arc.dst);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+size_t BfsDistance(const KnowledgeGraph& graph, NodeId from, NodeId to) {
+  if (from == to) return 0;
+  std::vector<size_t> dist(graph.num_nodes(),
+                           std::numeric_limits<size_t>::max());
+  std::queue<NodeId> frontier;
+  dist[from] = 0;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const Arc& arc : graph.OutArcs(v)) {
+      if (dist[arc.dst] != std::numeric_limits<size_t>::max()) continue;
+      dist[arc.dst] = dist[v] + 1;
+      if (arc.dst == to) return dist[arc.dst];
+      frontier.push(arc.dst);
+    }
+  }
+  return std::numeric_limits<size_t>::max();
+}
+
+GraphStats ComputeGraphStats(const KnowledgeGraph& graph,
+                             size_t distance_samples, uint64_t seed) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  if (graph.num_nodes() == 0) return stats;
+
+  const std::vector<uint32_t> component = ConnectedComponents(graph);
+  std::vector<size_t> sizes;
+  for (uint32_t c : component) {
+    if (c >= sizes.size()) sizes.resize(c + 1, 0);
+    ++sizes[c];
+  }
+  stats.num_components = sizes.size();
+  stats.largest_component = *std::max_element(sizes.begin(), sizes.end());
+
+  size_t total_degree = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    total_degree += graph.Degree(v);
+    stats.max_degree = std::max(stats.max_degree, graph.Degree(v));
+  }
+  stats.average_degree =
+      static_cast<double>(total_degree) / static_cast<double>(graph.num_nodes());
+
+  if (distance_samples > 0) {
+    const uint32_t largest_id = static_cast<uint32_t>(
+        std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+    Rng rng(seed);
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t s = 0; s < distance_samples; ++s) {
+      NodeId source = static_cast<NodeId>(rng.Uniform(graph.num_nodes()));
+      if (component[source] != largest_id) continue;
+      // Full BFS from the sampled source.
+      std::vector<size_t> dist(graph.num_nodes(),
+                               std::numeric_limits<size_t>::max());
+      std::queue<NodeId> frontier;
+      dist[source] = 0;
+      frontier.push(source);
+      while (!frontier.empty()) {
+        const NodeId v = frontier.front();
+        frontier.pop();
+        for (const Arc& arc : graph.OutArcs(v)) {
+          if (dist[arc.dst] != std::numeric_limits<size_t>::max()) continue;
+          dist[arc.dst] = dist[v] + 1;
+          frontier.push(arc.dst);
+        }
+      }
+      for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+        if (v != source && dist[v] != std::numeric_limits<size_t>::max()) {
+          sum += static_cast<double>(dist[v]);
+          ++count;
+        }
+      }
+    }
+    if (count > 0) stats.estimated_mean_distance = sum / count;
+  }
+  return stats;
+}
+
+}  // namespace kg
+}  // namespace newslink

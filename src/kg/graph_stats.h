@@ -1,0 +1,46 @@
+// Structural statistics over a knowledge graph: connectivity, degree
+// distribution, and distance estimates. Used by tests (the NE component
+// assumes a connected KG) and by operators sizing a deployment.
+
+#ifndef NEWSLINK_KG_GRAPH_STATS_H_
+#define NEWSLINK_KG_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/knowledge_graph.h"
+
+namespace newslink {
+namespace kg {
+
+/// \brief Summary of a KG's structure.
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;          // original, uni-directed
+  size_t num_components = 0;     // in the bi-directed view
+  size_t largest_component = 0;  // node count
+  double average_degree = 0.0;   // bi-directed
+  size_t max_degree = 0;
+  /// Mean shortest-path length over sampled node pairs within the largest
+  /// component (unit weights).
+  double estimated_mean_distance = 0.0;
+};
+
+/// Compute stats; `distance_samples` BFS sources are used for the distance
+/// estimate (0 disables it).
+GraphStats ComputeGraphStats(const KnowledgeGraph& graph,
+                             size_t distance_samples = 16,
+                             uint64_t seed = 97);
+
+/// Connected-component id per node (bi-directed view), ids dense from 0.
+std::vector<uint32_t> ConnectedComponents(const KnowledgeGraph& graph);
+
+/// Unit-weight shortest-path distance between two nodes in the bi-directed
+/// view; SIZE_MAX when disconnected.
+size_t BfsDistance(const KnowledgeGraph& graph, NodeId from, NodeId to);
+
+}  // namespace kg
+}  // namespace newslink
+
+#endif  // NEWSLINK_KG_GRAPH_STATS_H_

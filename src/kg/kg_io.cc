@@ -1,0 +1,147 @@
+#include "kg/kg_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace newslink {
+namespace kg {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        default:
+          out.push_back(s[i]);
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveTsv(const KnowledgeGraph& graph, const std::string& path_prefix) {
+  {
+    std::ofstream nodes(path_prefix + ".nodes.tsv");
+    if (!nodes) {
+      return Status::IOError(StrCat("cannot open ", path_prefix,
+                                    ".nodes.tsv for writing"));
+    }
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      nodes << v << '\t' << EntityTypeName(graph.type(v)) << '\t'
+            << Escape(graph.label(v)) << '\t' << Escape(graph.description(v))
+            << '\n';
+    }
+    if (!nodes) return Status::IOError("node file write failed");
+  }
+  {
+    std::ofstream edges(path_prefix + ".edges.tsv");
+    if (!edges) {
+      return Status::IOError(StrCat("cannot open ", path_prefix,
+                                    ".edges.tsv for writing"));
+    }
+    for (const EdgeRecord& e : graph.edges()) {
+      edges << e.src << '\t' << e.dst << '\t'
+            << Escape(graph.predicate_name(e.predicate)) << '\t' << e.weight
+            << '\n';
+    }
+    if (!edges) return Status::IOError("edge file write failed");
+  }
+  return Status::OK();
+}
+
+Result<KnowledgeGraph> LoadTsv(const std::string& path_prefix) {
+  KgBuilder builder;
+  {
+    std::ifstream nodes(path_prefix + ".nodes.tsv");
+    if (!nodes) {
+      return Status::IOError(
+          StrCat("cannot open ", path_prefix, ".nodes.tsv"));
+    }
+    std::string line;
+    NodeId expected = 0;
+    while (std::getline(nodes, line)) {
+      if (line.empty()) continue;
+      std::vector<std::string> fields = Split(line, '\t');
+      if (fields.size() != 4) {
+        return Status::IOError(StrCat("malformed node line: ", line));
+      }
+      const NodeId id = static_cast<NodeId>(std::strtoul(
+          fields[0].c_str(), nullptr, 10));
+      if (id != expected) {
+        return Status::IOError(
+            StrCat("node ids must be dense and ordered; got ", id,
+                   " expected ", expected));
+      }
+      ++expected;
+      builder.AddNode(Unescape(fields[2]), ParseEntityType(fields[1]),
+                      Unescape(fields[3]));
+    }
+  }
+  {
+    std::ifstream edges(path_prefix + ".edges.tsv");
+    if (!edges) {
+      return Status::IOError(
+          StrCat("cannot open ", path_prefix, ".edges.tsv"));
+    }
+    std::string line;
+    while (std::getline(edges, line)) {
+      if (line.empty()) continue;
+      std::vector<std::string> fields = Split(line, '\t');
+      if (fields.size() != 4) {
+        return Status::IOError(StrCat("malformed edge line: ", line));
+      }
+      const NodeId src = static_cast<NodeId>(
+          std::strtoul(fields[0].c_str(), nullptr, 10));
+      const NodeId dst = static_cast<NodeId>(
+          std::strtoul(fields[1].c_str(), nullptr, 10));
+      const float weight = std::strtof(fields[3].c_str(), nullptr);
+      NL_RETURN_IF_ERROR(
+          builder.AddEdge(src, dst, Unescape(fields[2]), weight));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace kg
+}  // namespace newslink

@@ -1,0 +1,27 @@
+// TSV serialization for knowledge graphs, in the two-file layout common to
+// open KG dumps: a node file (id, type, label, description) and an edge file
+// (src, dst, predicate, weight).
+
+#ifndef NEWSLINK_KG_KG_IO_H_
+#define NEWSLINK_KG_KG_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "kg/knowledge_graph.h"
+
+namespace newslink {
+namespace kg {
+
+/// Write `graph` to `<path_prefix>.nodes.tsv` and `<path_prefix>.edges.tsv`.
+/// Tabs and newlines inside labels/descriptions are escaped as "\t" / "\n".
+Status SaveTsv(const KnowledgeGraph& graph, const std::string& path_prefix);
+
+/// Load a graph previously written by SaveTsv.
+Result<KnowledgeGraph> LoadTsv(const std::string& path_prefix);
+
+}  // namespace kg
+}  // namespace newslink
+
+#endif  // NEWSLINK_KG_KG_IO_H_

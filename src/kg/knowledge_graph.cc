@@ -1,0 +1,145 @@
+#include "kg/knowledge_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace newslink {
+namespace kg {
+
+const char* EntityTypeName(EntityType type) {
+  switch (type) {
+    case EntityType::kPerson:
+      return "PERSON";
+    case EntityType::kNorp:
+      return "NORP";
+    case EntityType::kFacility:
+      return "FAC";
+    case EntityType::kOrganization:
+      return "ORG";
+    case EntityType::kGpe:
+      return "GPE";
+    case EntityType::kLocation:
+      return "LOC";
+    case EntityType::kProduct:
+      return "PRODUCT";
+    case EntityType::kEvent:
+      return "EVENT";
+    case EntityType::kWorkOfArt:
+      return "WORK_OF_ART";
+    case EntityType::kLaw:
+      return "LAW";
+    case EntityType::kLanguage:
+      return "LANGUAGE";
+    case EntityType::kOther:
+      return "OTHER";
+  }
+  return "OTHER";
+}
+
+EntityType ParseEntityType(const std::string& name) {
+  static const std::pair<const char*, EntityType> kTable[] = {
+      {"PERSON", EntityType::kPerson},
+      {"NORP", EntityType::kNorp},
+      {"FAC", EntityType::kFacility},
+      {"ORG", EntityType::kOrganization},
+      {"GPE", EntityType::kGpe},
+      {"LOC", EntityType::kLocation},
+      {"PRODUCT", EntityType::kProduct},
+      {"EVENT", EntityType::kEvent},
+      {"WORK_OF_ART", EntityType::kWorkOfArt},
+      {"LAW", EntityType::kLaw},
+      {"LANGUAGE", EntityType::kLanguage},
+  };
+  for (const auto& [key, value] : kTable) {
+    if (name == key) return value;
+  }
+  return EntityType::kOther;
+}
+
+Result<PredicateId> KnowledgeGraph::FindPredicate(std::string_view name) const {
+  auto it = predicate_ids_.find(std::string(name));
+  if (it == predicate_ids_.end()) {
+    return Status::NotFound(StrCat("predicate not found: ", name));
+  }
+  return it->second;
+}
+
+std::string KnowledgeGraph::ArcToString(NodeId src, const Arc& arc) const {
+  const std::string& pred = predicate_name(arc.predicate);
+  if (arc.forward) {
+    return StrCat(label(src), " --", pred, "--> ", label(arc.dst));
+  }
+  return StrCat(label(src), " <--", pred, "-- ", label(arc.dst));
+}
+
+NodeId KgBuilder::AddNode(std::string label, EntityType type,
+                          std::string description) {
+  const NodeId id = static_cast<NodeId>(graph_.labels_.size());
+  graph_.labels_.push_back(std::move(label));
+  graph_.types_.push_back(type);
+  graph_.descriptions_.push_back(std::move(description));
+  return id;
+}
+
+PredicateId KgBuilder::AddPredicate(std::string name) {
+  auto it = graph_.predicate_ids_.find(name);
+  if (it != graph_.predicate_ids_.end()) return it->second;
+  const PredicateId id =
+      static_cast<PredicateId>(graph_.predicate_names_.size());
+  graph_.predicate_ids_.emplace(name, id);
+  graph_.predicate_names_.push_back(std::move(name));
+  return id;
+}
+
+Status KgBuilder::AddEdge(NodeId src, NodeId dst, PredicateId predicate,
+                          float weight) {
+  if (src >= num_nodes() || dst >= num_nodes()) {
+    return Status::InvalidArgument(
+        StrCat("edge endpoint out of range: ", src, " -> ", dst));
+  }
+  if (src == dst) {
+    return Status::InvalidArgument("self-loop edges are not allowed");
+  }
+  if (predicate >= graph_.predicate_names_.size()) {
+    return Status::InvalidArgument(StrCat("unknown predicate id ", predicate));
+  }
+  if (!(weight > 0.0f)) {
+    return Status::InvalidArgument("edge weight must be positive");
+  }
+  graph_.edges_.push_back(EdgeRecord{src, dst, predicate, weight});
+  return Status::OK();
+}
+
+Status KgBuilder::AddEdge(NodeId src, NodeId dst, std::string predicate_name,
+                          float weight) {
+  return AddEdge(src, dst, AddPredicate(std::move(predicate_name)), weight);
+}
+
+KnowledgeGraph KgBuilder::Build() {
+  KnowledgeGraph& g = graph_;
+  const size_t n = g.labels_.size();
+
+  // Counting sort of the doubled arc set into CSR.
+  g.offsets_.assign(n + 1, 0);
+  for (const EdgeRecord& e : g.edges_) {
+    ++g.offsets_[e.src + 1];
+    ++g.offsets_[e.dst + 1];
+  }
+  for (size_t v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+  g.arcs_.resize(2 * g.edges_.size());
+  std::vector<uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const EdgeRecord& e : g.edges_) {
+    g.arcs_[cursor[e.src]++] = Arc{e.dst, e.predicate, e.weight, true};
+    g.arcs_[cursor[e.dst]++] = Arc{e.src, e.predicate, e.weight, false};
+  }
+
+  KnowledgeGraph out = std::move(graph_);
+  graph_ = KnowledgeGraph();
+  return out;
+}
+
+}  // namespace kg
+}  // namespace newslink

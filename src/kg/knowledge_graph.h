@@ -1,0 +1,108 @@
+// In-memory knowledge graph K(V, R): labeled, typed, weighted, and
+// bi-directed for traversal (paper Sec. V-A). Storage is CSR over the
+// doubled arc set; construction goes through KgBuilder.
+
+#ifndef NEWSLINK_KG_KNOWLEDGE_GRAPH_H_
+#define NEWSLINK_KG_KNOWLEDGE_GRAPH_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "kg/types.h"
+
+namespace newslink {
+namespace kg {
+
+class KgBuilder;
+
+/// \brief Immutable knowledge graph with CSR adjacency.
+///
+/// Nodes carry a display label, an EntityType, and a textual description
+/// (consumed by the QEPRF baseline). Arcs are the bi-directed expansion of
+/// the original edges: OutArcs(v) enumerates both original and reverse arcs,
+/// which is exactly the neighbourhood the paper's Algorithm 2 expands.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  size_t num_nodes() const { return labels_.size(); }
+  /// Number of original (uni-directed) relationship edges.
+  size_t num_edges() const { return edges_.size(); }
+  size_t num_predicates() const { return predicate_names_.size(); }
+
+  const std::string& label(NodeId v) const { return labels_[v]; }
+  EntityType type(NodeId v) const { return types_[v]; }
+  const std::string& description(NodeId v) const { return descriptions_[v]; }
+  const std::string& predicate_name(PredicateId p) const {
+    return predicate_names_[p];
+  }
+
+  /// All outgoing arcs of v in the bi-directed view (forward + reverse).
+  std::span<const Arc> OutArcs(NodeId v) const {
+    return {arcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Bi-directed degree of v.
+  size_t Degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// The original edge list, in insertion order (serialization, stats).
+  const std::vector<EdgeRecord>& edges() const { return edges_; }
+
+  /// Look up a predicate id by exact name.
+  Result<PredicateId> FindPredicate(std::string_view name) const;
+
+  /// Render an arc as "src --pred--> dst" / "src <--pred-- dst" for
+  /// human-readable explanations.
+  std::string ArcToString(NodeId src, const Arc& arc) const;
+
+ private:
+  friend class KgBuilder;
+
+  std::vector<std::string> labels_;
+  std::vector<EntityType> types_;
+  std::vector<std::string> descriptions_;
+  std::vector<std::string> predicate_names_;
+  std::unordered_map<std::string, PredicateId> predicate_ids_;
+  std::vector<EdgeRecord> edges_;
+
+  // CSR over bi-directed arcs.
+  std::vector<uint32_t> offsets_;  // size num_nodes + 1
+  std::vector<Arc> arcs_;          // size 2 * num_edges
+};
+
+/// \brief Mutable builder; Build() finalizes into the CSR form.
+class KgBuilder {
+ public:
+  /// Add a node; returns its id. Labels need not be unique at this layer
+  /// (LabelIndex maps one label to the node *set* S(l), paper Def. 2).
+  NodeId AddNode(std::string label, EntityType type,
+                 std::string description = "");
+
+  /// Intern a predicate name.
+  PredicateId AddPredicate(std::string name);
+
+  /// Add a directed edge src --pred--> dst with positive weight.
+  Status AddEdge(NodeId src, NodeId dst, PredicateId predicate,
+                 float weight = 1.0f);
+  Status AddEdge(NodeId src, NodeId dst, std::string predicate_name,
+                 float weight = 1.0f);
+
+  size_t num_nodes() const { return graph_.labels_.size(); }
+  size_t num_edges() const { return graph_.edges_.size(); }
+
+  /// Finalize: sorts arcs into CSR. The builder is left empty.
+  KnowledgeGraph Build();
+
+ private:
+  KnowledgeGraph graph_;
+};
+
+}  // namespace kg
+}  // namespace newslink
+
+#endif  // NEWSLINK_KG_KNOWLEDGE_GRAPH_H_

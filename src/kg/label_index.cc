@@ -1,0 +1,50 @@
+#include "kg/label_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace newslink {
+namespace kg {
+
+std::string NormalizeLabel(std::string_view label) {
+  std::string out;
+  out.reserve(label.size());
+  bool pending_space = false;
+  for (char c : label) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!out.empty()) pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+LabelIndex::LabelIndex(const KnowledgeGraph& graph) {
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    AddAlias(graph.label(v), v);
+  }
+}
+
+void LabelIndex::AddAlias(std::string_view alias, NodeId node) {
+  std::string key = NormalizeLabel(alias);
+  if (key.empty()) return;
+  std::vector<NodeId>& nodes = index_[std::move(key)];
+  if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+    nodes.push_back(node);
+  }
+}
+
+std::span<const NodeId> LabelIndex::Lookup(std::string_view label) const {
+  auto it = index_.find(NormalizeLabel(label));
+  if (it == index_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+}  // namespace kg
+}  // namespace newslink

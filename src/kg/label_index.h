@@ -1,0 +1,58 @@
+// Label index: maps a normalized entity label l to its node set S(l)
+// (paper Def. 2). Matching is exact on the normalized form, mirroring the
+// paper's "exact matching manner" (Sec. IV).
+
+#ifndef NEWSLINK_KG_LABEL_INDEX_H_
+#define NEWSLINK_KG_LABEL_INDEX_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "kg/types.h"
+
+namespace newslink {
+namespace kg {
+
+/// Normalize a surface form for matching: ASCII lowercase and collapse
+/// whitespace runs to single spaces.
+std::string NormalizeLabel(std::string_view label);
+
+/// \brief Exact-match index from normalized label to node set S(l).
+class LabelIndex {
+ public:
+  LabelIndex() = default;
+
+  /// Index every node label of `graph`.
+  explicit LabelIndex(const KnowledgeGraph& graph);
+
+  /// Register an extra alias for a node (e.g. "US" for "United States").
+  void AddAlias(std::string_view alias, NodeId node);
+
+  /// S(l): all nodes whose (normalized) label or alias equals l.
+  /// Empty span when the label is unknown.
+  std::span<const NodeId> Lookup(std::string_view label) const;
+
+  bool Contains(std::string_view label) const {
+    return !Lookup(label).empty();
+  }
+
+  size_t num_labels() const { return index_.size(); }
+
+  /// Iterate all normalized labels (the gazetteer NER builds its trie here).
+  template <typename Fn>
+  void ForEachLabel(Fn&& fn) const {
+    for (const auto& [label, nodes] : index_) fn(label, nodes);
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<NodeId>> index_;
+};
+
+}  // namespace kg
+}  // namespace newslink
+
+#endif  // NEWSLINK_KG_LABEL_INDEX_H_

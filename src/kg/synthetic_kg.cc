@@ -1,0 +1,461 @@
+#include "kg/synthetic_kg.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace newslink {
+namespace kg {
+
+namespace {
+
+const char* const kOnsets[] = {"k",  "b",  "d",  "t",  "s",  "m",  "n",
+                               "r",  "l",  "v",  "z",  "g",  "f",  "h",
+                               "sh", "kh", "gh", "dr", "br", "st", "qu"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u", "aa", "ai", "ou"};
+const char* const kCodas[] = {"",  "n", "r", "l", "s",  "t",
+                              "m", "d", "k", "z", "sh", "ng"};
+
+const char* const kPlaceSuffixes[] = {"",        "",       "",      " Valley",
+                                      " City",   " Hills", " Port", " Plains",
+                                      " Springs"};
+
+const char* const kEventFlavors[] = {"conflict", "investigation", "summit",
+                                     "tournament", "scandal"};
+
+}  // namespace
+
+const std::vector<NodeId>& SyntheticKg::Category(
+    const std::string& name) const {
+  auto it = categories.find(name);
+  static const std::vector<NodeId> kEmpty;
+  return it == categories.end() ? kEmpty : it->second;
+}
+
+std::string NameForge::Stem(int min_syllables, int max_syllables) {
+  const int syllables =
+      static_cast<int>(rng_->UniformInt(min_syllables, max_syllables));
+  std::string out;
+  for (int i = 0; i < syllables; ++i) {
+    out += kOnsets[rng_->Uniform(std::size(kOnsets))];
+    out += kVowels[rng_->Uniform(std::size(kVowels))];
+    if (i + 1 == syllables) out += kCodas[rng_->Uniform(std::size(kCodas))];
+  }
+  out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  return out;
+}
+
+std::string NameForge::Unique(std::string candidate) {
+  int& count = used_[ToLowerAscii(candidate)];
+  ++count;
+  if (count == 1) return candidate;
+  // Disambiguate collisions with a numeric suffix; rare in practice given
+  // the syllable space.
+  return StrCat(candidate, " ", count);
+}
+
+std::string NameForge::PlaceName() {
+  std::string name = Stem(2, 3);
+  name += kPlaceSuffixes[rng_->Uniform(std::size(kPlaceSuffixes))];
+  return Unique(std::move(name));
+}
+
+std::string NameForge::PersonName() {
+  return Unique(StrCat(Stem(2, 2), " ", Stem(2, 3)));
+}
+
+std::string NameForge::OrgName(const std::string& suffix) {
+  std::string name = Stem(2, 3);
+  if (!suffix.empty()) name = StrCat(name, " ", suffix);
+  return Unique(std::move(name));
+}
+
+std::string NameForge::Word() { return ToLowerAscii(Stem(2, 3)); }
+
+SyntheticKg SyntheticKgGenerator::Generate() {
+  Rng rng(config_.seed);
+  NameForge forge(&rng);
+  KgBuilder b;
+  SyntheticKg out;
+
+  auto track = [&out](const std::string& category, NodeId id) {
+    out.categories[category].push_back(id);
+    return id;
+  };
+
+  const PredicateId kLocatedIn = b.AddPredicate("located_in");
+  const PredicateId kPartOf = b.AddPredicate("part_of");
+  const PredicateId kCapitalOf = b.AddPredicate("capital_of");
+  const PredicateId kBorders = b.AddPredicate("borders");
+  const PredicateId kMemberOf = b.AddPredicate("member_of");
+  const PredicateId kLeaderOf = b.AddPredicate("leader_of");
+  const PredicateId kCandidateIn = b.AddPredicate("candidate_in");
+  const PredicateId kWinnerOf = b.AddPredicate("winner_of");
+  const PredicateId kHeldIn = b.AddPredicate("held_in");
+  const PredicateId kCitizenOf = b.AddPredicate("citizen_of");
+  const PredicateId kOperatesIn = b.AddPredicate("operates_in");
+  const PredicateId kInvolves = b.AddPredicate("involves");
+  const PredicateId kConductedBy = b.AddPredicate("conducted_by");
+  const PredicateId kHeadquarteredIn = b.AddPredicate("headquartered_in");
+  const PredicateId kCeoOf = b.AddPredicate("ceo_of");
+  const PredicateId kPlaysIn = b.AddPredicate("plays_in");
+  const PredicateId kBasedIn = b.AddPredicate("based_in");
+  const PredicateId kAgencyOf = b.AddPredicate("agency_of");
+  const PredicateId kOccurredIn = b.AddPredicate("occurred_in");
+  const PredicateId kDiplomaticRelation = b.AddPredicate("diplomatic_relation");
+
+  // Name factories with controlled surface-label reuse.
+  std::vector<std::string> place_names;
+  std::vector<std::string> person_names;
+  auto make_place_name = [&]() -> std::string {
+    if (!place_names.empty() &&
+        rng.Bernoulli(config_.duplicate_label_prob)) {
+      return place_names[rng.Uniform(place_names.size())];
+    }
+    place_names.push_back(forge.PlaceName());
+    return place_names.back();
+  };
+  auto make_person_name = [&]() -> std::string {
+    if (!person_names.empty() &&
+        rng.Bernoulli(config_.duplicate_label_prob)) {
+      return person_names[rng.Uniform(person_names.size())];
+    }
+    person_names.push_back(forge.PersonName());
+    return person_names.back();
+  };
+
+  struct CountryCtx {
+    NodeId node = kInvalidNode;
+    std::string name;
+    std::vector<NodeId> provinces;
+    std::vector<NodeId> districts;
+    std::vector<NodeId> cities;
+    std::vector<NodeId> parties;
+    std::vector<NodeId> politicians;
+    std::vector<NodeId> elections;
+    std::vector<NodeId> agencies;
+    std::vector<NodeId> groups;
+    std::vector<NodeId> companies;
+    std::vector<NodeId> teams;
+  };
+  std::vector<CountryCtx> countries;
+
+  // ---- Geography -------------------------------------------------------
+  for (int c = 0; c < config_.num_countries; ++c) {
+    CountryCtx ctx;
+    ctx.name = forge.PlaceName();
+    ctx.node = track("country",
+                     b.AddNode(ctx.name, EntityType::kGpe,
+                               StrCat(ctx.name, " is a sovereign country.")));
+
+    for (int p = 0; p < config_.provinces_per_country; ++p) {
+      const std::string prov_name = forge.PlaceName();
+      const NodeId prov = track(
+          "province",
+          b.AddNode(prov_name, EntityType::kGpe,
+                    StrCat(prov_name, " is a province of ", ctx.name, ".")));
+      NL_CHECK_OK(b.AddEdge(prov, ctx.node, kPartOf));
+      ctx.provinces.push_back(prov);
+
+      std::vector<NodeId> prov_districts;
+      for (int d = 0; d < config_.districts_per_province; ++d) {
+        const std::string dist_name = make_place_name();
+        const NodeId dist = track(
+            "district",
+            b.AddNode(dist_name, EntityType::kGpe,
+                      StrCat(dist_name, " is a district in the ", prov_name,
+                             " province of ", ctx.name, ".")));
+        NL_CHECK_OK(b.AddEdge(dist, prov, kLocatedIn));
+        ctx.districts.push_back(dist);
+        prov_districts.push_back(dist);
+
+        for (int t = 0; t < config_.cities_per_district; ++t) {
+          const std::string city_name = make_place_name();
+          const NodeId city = track(
+              "city",
+              b.AddNode(city_name, EntityType::kGpe,
+                        StrCat(city_name, " is a city in the ", dist_name,
+                               " district, ", prov_name, ", ", ctx.name,
+                               ".")));
+          NL_CHECK_OK(b.AddEdge(city, dist, kLocatedIn));
+          ctx.cities.push_back(city);
+          if (t == 0 && d == 0 && p == 0) {
+            NL_CHECK_OK(b.AddEdge(city, ctx.node, kCapitalOf));
+          }
+        }
+      }
+      // Sibling district borders: create parallel shortest paths within a
+      // province (the multi-path coverage of paper Fig. 1).
+      for (size_t i = 1; i < prov_districts.size(); ++i) {
+        if (rng.Bernoulli(config_.extra_border_prob)) {
+          const size_t j = rng.Uniform(i);
+          NL_CHECK_OK(
+              b.AddEdge(prov_districts[i], prov_districts[j], kBorders));
+        }
+      }
+    }
+    // Sibling province borders.
+    for (size_t i = 1; i < ctx.provinces.size(); ++i) {
+      if (rng.Bernoulli(config_.extra_border_prob)) {
+        const size_t j = rng.Uniform(i);
+        NL_CHECK_OK(b.AddEdge(ctx.provinces[i], ctx.provinces[j], kBorders));
+      }
+    }
+    countries.push_back(std::move(ctx));
+  }
+
+  // Country ring + random diplomatic relations keep the KG connected.
+  for (size_t c = 0; c < countries.size(); ++c) {
+    const size_t next = (c + 1) % countries.size();
+    if (countries.size() > 1 && c != next) {
+      NL_CHECK_OK(
+          b.AddEdge(countries[c].node, countries[next].node, kBorders));
+    }
+    if (countries.size() > 2 && rng.Bernoulli(0.5)) {
+      const size_t other = rng.Uniform(countries.size());
+      if (other != c && other != next) {
+        NL_CHECK_OK(b.AddEdge(countries[c].node, countries[other].node,
+                              kDiplomaticRelation));
+      }
+    }
+  }
+
+  // ---- Politics ----------------------------------------------------------
+  for (CountryCtx& ctx : countries) {
+    for (int p = 0; p < config_.parties_per_country; ++p) {
+      const std::string party_name = forge.OrgName("Party");
+      const NodeId party = track(
+          "party", b.AddNode(party_name, EntityType::kNorp,
+                             StrCat(party_name, " is a political party of ",
+                                    ctx.name, ".")));
+      NL_CHECK_OK(b.AddEdge(party, ctx.node, kPartOf));
+      ctx.parties.push_back(party);
+
+      for (int m = 0; m < config_.politicians_per_party; ++m) {
+        const std::string person_name = make_person_name();
+        const NodeId person = track(
+            "politician",
+            b.AddNode(person_name, EntityType::kPerson,
+                      StrCat(person_name, " is a politician of the ",
+                             party_name, " in ", ctx.name, ".")));
+        NL_CHECK_OK(b.AddEdge(person, party, kMemberOf));
+        NL_CHECK_OK(b.AddEdge(person, ctx.node, kCitizenOf));
+        ctx.politicians.push_back(person);
+        if (m == 0) NL_CHECK_OK(b.AddEdge(person, party, kLeaderOf));
+      }
+    }
+
+    for (int e = 0; e < config_.elections_per_country; ++e) {
+      const int year = 2008 + 4 * e;
+      const std::string election_name =
+          StrCat(ctx.name, " presidential election ", year);
+      const NodeId election = track(
+          "election",
+          b.AddNode(election_name, EntityType::kEvent,
+                    StrCat("The ", election_name,
+                           " is a national election held in ", ctx.name,
+                           ".")));
+      NL_CHECK_OK(b.AddEdge(election, ctx.node, kHeldIn));
+      ctx.elections.push_back(election);
+
+      // 2-4 candidates from distinct parties when possible.
+      const size_t num_candidates = 2 + rng.Uniform(3);
+      std::vector<size_t> picks = rng.SampleWithoutReplacement(
+          ctx.politicians.size(),
+          std::min(num_candidates, ctx.politicians.size()));
+      bool first = true;
+      for (size_t idx : picks) {
+        NL_CHECK_OK(b.AddEdge(ctx.politicians[idx], election, kCandidateIn));
+        if (first) {
+          NL_CHECK_OK(b.AddEdge(ctx.politicians[idx], election, kWinnerOf));
+          first = false;
+        }
+      }
+    }
+
+    for (int a = 0; a < config_.agencies_per_country; ++a) {
+      const char* const kAgencyKinds[] = {"Bureau", "Commission", "Ministry",
+                                          "Authority", "Agency"};
+      const std::string agency_name =
+          forge.OrgName(kAgencyKinds[rng.Uniform(std::size(kAgencyKinds))]);
+      const NodeId agency = track(
+          "agency", b.AddNode(agency_name, EntityType::kOrganization,
+                              StrCat(agency_name, " is a state agency of ",
+                                     ctx.name, ".")));
+      NL_CHECK_OK(b.AddEdge(agency, ctx.node, kAgencyOf));
+      ctx.agencies.push_back(agency);
+    }
+
+    for (int g = 0; g < config_.militant_groups_per_country; ++g) {
+      const char* const kGroupKinds[] = {"Front", "Brigade", "Movement"};
+      const std::string group_name =
+          forge.OrgName(kGroupKinds[rng.Uniform(std::size(kGroupKinds))]);
+      const NodeId group = track(
+          "militant_group",
+          b.AddNode(group_name, EntityType::kNorp,
+                    StrCat(group_name, " is a militant group operating in ",
+                           ctx.name, ".")));
+      // Operates in 1-3 provinces: co-mentioned places share the group as
+      // a near ancestor, mirroring the paper's Taliban example.
+      const size_t num_provinces = 1 + rng.Uniform(3);
+      for (size_t idx : rng.SampleWithoutReplacement(
+               ctx.provinces.size(),
+               std::min(num_provinces, ctx.provinces.size()))) {
+        NL_CHECK_OK(b.AddEdge(group, ctx.provinces[idx], kOperatesIn));
+      }
+      ctx.groups.push_back(group);
+    }
+  }
+
+  // ---- Organizations -----------------------------------------------------
+  for (CountryCtx& ctx : countries) {
+    for (int c = 0; c < config_.companies_per_country; ++c) {
+      const char* const kCompanyKinds[] = {"Holdings", "Industries", "Group",
+                                           "Energy", "Telecom", "Bank"};
+      const std::string company_name =
+          forge.OrgName(kCompanyKinds[rng.Uniform(std::size(kCompanyKinds))]);
+      const NodeId hq = ctx.cities[rng.Uniform(ctx.cities.size())];
+      const NodeId company = track(
+          "company",
+          b.AddNode(company_name, EntityType::kOrganization,
+                    StrCat(company_name, " is a company headquartered in ",
+                           ctx.name, ".")));
+      NL_CHECK_OK(b.AddEdge(company, hq, kHeadquarteredIn));
+      ctx.companies.push_back(company);
+
+      const std::string ceo_name = make_person_name();
+      const NodeId ceo = track(
+          "executive",
+          b.AddNode(ceo_name, EntityType::kPerson,
+                    StrCat(ceo_name, " is the chief executive of ",
+                           company_name, ".")));
+      NL_CHECK_OK(b.AddEdge(ceo, company, kCeoOf));
+      NL_CHECK_OK(b.AddEdge(ceo, ctx.node, kCitizenOf));
+    }
+  }
+
+  // ---- Sports --------------------------------------------------------------
+  for (CountryCtx& ctx : countries) {
+    for (int l = 0; l < config_.leagues_per_country; ++l) {
+      const char* const kLeagueKinds[] = {"Premier League", "Super League",
+                                          "Championship"};
+      const std::string league_name =
+          forge.OrgName(kLeagueKinds[rng.Uniform(std::size(kLeagueKinds))]);
+      const NodeId league = track(
+          "league", b.AddNode(league_name, EntityType::kOrganization,
+                              StrCat(league_name,
+                                     " is a sports league of ", ctx.name,
+                                     ".")));
+      NL_CHECK_OK(b.AddEdge(league, ctx.node, kPartOf));
+
+      for (int t = 0; t < config_.teams_per_league; ++t) {
+        const char* const kTeamKinds[] = {"United", "Rangers", "Wanderers",
+                                          "Athletic", "Stars"};
+        const std::string team_name =
+            forge.OrgName(kTeamKinds[rng.Uniform(std::size(kTeamKinds))]);
+        const NodeId home = ctx.cities[rng.Uniform(ctx.cities.size())];
+        const NodeId team = track(
+            "team", b.AddNode(team_name, EntityType::kOrganization,
+                              StrCat(team_name, " is a sports club in ",
+                                     ctx.name, ".")));
+        NL_CHECK_OK(b.AddEdge(team, league, kPlaysIn));
+        NL_CHECK_OK(b.AddEdge(team, home, kBasedIn));
+        ctx.teams.push_back(team);
+
+        for (int pl = 0; pl < config_.players_per_team; ++pl) {
+          const std::string player_name = make_person_name();
+          const NodeId player = track(
+              "player", b.AddNode(player_name, EntityType::kPerson,
+                                  StrCat(player_name, " plays for ",
+                                         team_name, ".")));
+          NL_CHECK_OK(b.AddEdge(player, team, kMemberOf));
+        }
+      }
+    }
+  }
+
+  // ---- Events --------------------------------------------------------------
+  for (CountryCtx& ctx : countries) {
+    for (int e = 0; e < config_.events_per_country; ++e) {
+      const std::string flavor =
+          kEventFlavors[rng.Uniform(std::size(kEventFlavors))];
+      NodeId event = kInvalidNode;
+      if (flavor == "conflict" && !ctx.groups.empty()) {
+        const NodeId dist = ctx.districts[rng.Uniform(ctx.districts.size())];
+        const NodeId group = ctx.groups[rng.Uniform(ctx.groups.size())];
+        const std::string name = StrCat("Operation ", forge.Word());
+        event = b.AddNode(name, EntityType::kEvent,
+                          StrCat(name, " is a military operation in ",
+                                 ctx.name, "."));
+        NL_CHECK_OK(b.AddEdge(event, dist, kOccurredIn));
+        NL_CHECK_OK(b.AddEdge(event, group, kInvolves));
+      } else if (flavor == "investigation" && !ctx.agencies.empty() &&
+                 !ctx.politicians.empty()) {
+        const NodeId agency = ctx.agencies[rng.Uniform(ctx.agencies.size())];
+        const NodeId person =
+            ctx.politicians[rng.Uniform(ctx.politicians.size())];
+        const std::string name = StrCat(forge.Word(), " inquiry");
+        event = b.AddNode(name, EntityType::kEvent,
+                          StrCat("The ", name, " is an official investigation ",
+                                 "in ", ctx.name, "."));
+        NL_CHECK_OK(b.AddEdge(event, person, kInvolves));
+        NL_CHECK_OK(b.AddEdge(event, agency, kConductedBy));
+      } else if (flavor == "summit" && countries.size() > 1) {
+        const NodeId city = ctx.cities[rng.Uniform(ctx.cities.size())];
+        const CountryCtx& other = countries[rng.Uniform(countries.size())];
+        const std::string name = StrCat(forge.Word(), " summit");
+        event = b.AddNode(name, EntityType::kEvent,
+                          StrCat("The ", name,
+                                 " is a diplomatic summit hosted by ",
+                                 ctx.name, "."));
+        NL_CHECK_OK(b.AddEdge(event, city, kOccurredIn));
+        NL_CHECK_OK(b.AddEdge(event, ctx.node, kInvolves));
+        if (other.node != ctx.node) {
+          NL_CHECK_OK(b.AddEdge(event, other.node, kInvolves));
+        }
+      } else if (flavor == "tournament" && !ctx.teams.empty()) {
+        const NodeId city = ctx.cities[rng.Uniform(ctx.cities.size())];
+        const std::string name = StrCat(forge.Word(), " cup");
+        event = b.AddNode(name, EntityType::kEvent,
+                          StrCat("The ", name,
+                                 " is a sports tournament held in ", ctx.name,
+                                 "."));
+        NL_CHECK_OK(b.AddEdge(event, city, kOccurredIn));
+        for (size_t idx : rng.SampleWithoutReplacement(
+                 ctx.teams.size(), std::min<size_t>(3, ctx.teams.size()))) {
+          NL_CHECK_OK(b.AddEdge(event, ctx.teams[idx], kInvolves));
+        }
+      } else if (!ctx.companies.empty() && !ctx.politicians.empty()) {
+        // Scandal (also the fallback flavor).
+        const NodeId company =
+            ctx.companies[rng.Uniform(ctx.companies.size())];
+        const NodeId person =
+            ctx.politicians[rng.Uniform(ctx.politicians.size())];
+        const std::string name = StrCat(forge.Word(), " affair");
+        event = b.AddNode(name, EntityType::kEvent,
+                          StrCat("The ", name, " is a political scandal in ",
+                                 ctx.name, "."));
+        NL_CHECK_OK(b.AddEdge(event, company, kInvolves));
+        NL_CHECK_OK(b.AddEdge(event, person, kInvolves));
+      } else {
+        continue;
+      }
+      track("event", event);
+    }
+  }
+
+  // ---- Story anchors ---------------------------------------------------
+  for (const char* cat :
+       {"event", "election", "district", "team", "company"}) {
+    const auto& ids = out.categories[cat];
+    out.story_anchors.insert(out.story_anchors.end(), ids.begin(), ids.end());
+  }
+
+  out.graph = b.Build();
+  return out;
+}
+
+}  // namespace kg
+}  // namespace newslink

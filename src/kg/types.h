@@ -1,0 +1,69 @@
+// Fundamental identifier types for the knowledge-graph substrate.
+
+#ifndef NEWSLINK_KG_TYPES_H_
+#define NEWSLINK_KG_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace newslink {
+namespace kg {
+
+using NodeId = uint32_t;
+using PredicateId = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr PredicateId kInvalidPredicate =
+    std::numeric_limits<PredicateId>::max();
+
+/// Entity categories considered by the NLP component (paper Sec. IV lists
+/// person, NORP, facility, organization, GPE, location, product, event,
+/// work of art, law and language; number/quantity types are excluded).
+enum class EntityType : uint8_t {
+  kPerson = 0,
+  kNorp,          // nationality / religious / political group
+  kFacility,
+  kOrganization,
+  kGpe,           // geo-political entity
+  kLocation,
+  kProduct,
+  kEvent,
+  kWorkOfArt,
+  kLaw,
+  kLanguage,
+  kOther,
+};
+
+/// Human-readable name of an EntityType ("PERSON", "GPE", ...).
+const char* EntityTypeName(EntityType type);
+
+/// Parse EntityTypeName output back to the enum; kOther if unknown.
+EntityType ParseEntityType(const std::string& name);
+
+/// \brief A directed arc in the bi-directed traversal view of the KG.
+///
+/// Every original relationship edge contributes two arcs: the original
+/// direction (`forward == true`) and its reverse twin (`forward == false`).
+/// The reverse twin exists for connectivity only (paper Sec. V-A); path
+/// explanations render it as the inverse relation.
+struct Arc {
+  NodeId dst;
+  PredicateId predicate;
+  float weight;
+  bool forward;
+};
+
+/// \brief An original (uni-directed) relationship edge, as built.
+struct EdgeRecord {
+  NodeId src;
+  NodeId dst;
+  PredicateId predicate;
+  float weight;
+};
+
+}  // namespace kg
+}  // namespace newslink
+
+#endif  // NEWSLINK_KG_TYPES_H_

@@ -1,0 +1,76 @@
+#include "newslink/diversify.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace newslink {
+
+double EmbeddingJaccard(const embed::DocumentEmbedding& a,
+                        const embed::DocumentEmbedding& b) {
+  if (a.node_counts.empty() || b.node_counts.empty()) return 0.0;
+  // Both node lists are sorted by node id.
+  size_t i = 0;
+  size_t j = 0;
+  size_t intersection = 0;
+  while (i < a.node_counts.size() && j < b.node_counts.size()) {
+    if (a.node_counts[i].first == b.node_counts[j].first) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a.node_counts[i].first < b.node_counts[j].first) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni =
+      a.node_counts.size() + b.node_counts.size() - intersection;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+std::vector<baselines::SearchResult> DiversifyResults(
+    const std::vector<baselines::SearchResult>& results,
+    const std::vector<embed::DocumentEmbedding>& embeddings,
+    const DiversifyOptions& options) {
+  if (results.empty()) return {};
+  const size_t k =
+      options.k == 0 ? results.size() : std::min(options.k, results.size());
+
+  // Normalize relevance to [0, 1] so lambda mixes comparable quantities.
+  const double max_score =
+      std::max(results.front().score, 1e-12);  // engine output: descending
+
+  std::vector<bool> used(results.size(), false);
+  std::vector<baselines::SearchResult> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    double best_mmr = -1e300;
+    size_t best = results.size();
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (used[i]) continue;
+      NL_DCHECK(results[i].doc_index < embeddings.size());
+      double max_sim = 0.0;
+      for (const baselines::SearchResult& chosen : out) {
+        max_sim = std::max(
+            max_sim, EmbeddingJaccard(embeddings[results[i].doc_index],
+                                      embeddings[chosen.doc_index]));
+      }
+      const double mmr = options.lambda * (results[i].score / max_score) -
+                         (1.0 - options.lambda) * max_sim;
+      if (mmr > best_mmr ||
+          (mmr == best_mmr && best < results.size() &&
+           results[i].doc_index < results[best].doc_index)) {
+        best_mmr = mmr;
+        best = i;
+      }
+    }
+    if (best == results.size()) break;
+    used[best] = true;
+    out.push_back(baselines::SearchResult{results[best].doc_index, best_mmr});
+  }
+  return out;
+}
+
+}  // namespace newslink

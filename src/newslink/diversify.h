@@ -1,0 +1,42 @@
+// Result diversification: MMR-style re-ranking over subgraph-embedding
+// overlap, so the top-k doesn't collapse into one story's near-duplicates.
+// Real news search surfaces one representative per story cluster; the
+// embedding node sets give NewsLink a natural story-similarity signal
+// without any clustering ground truth.
+
+#ifndef NEWSLINK_NEWSLINK_DIVERSIFY_H_
+#define NEWSLINK_NEWSLINK_DIVERSIFY_H_
+
+#include <vector>
+
+#include "baselines/search_engine.h"
+#include "embed/document_embedding.h"
+
+namespace newslink {
+
+struct DiversifyOptions {
+  /// MMR trade-off: 1 keeps the original ranking, 0 ranks purely by
+  /// dissimilarity to already-selected results.
+  double lambda = 0.7;
+  /// Number of results to select (0 = all input results, reordered).
+  size_t k = 0;
+};
+
+/// Jaccard similarity between two embeddings' node sets (0 when either is
+/// empty).
+double EmbeddingJaccard(const embed::DocumentEmbedding& a,
+                        const embed::DocumentEmbedding& b);
+
+/// Greedy maximal-marginal-relevance selection.
+///
+/// `embeddings[results[i].doc_index]` must be valid for every result.
+/// Scores of the input results should be descending (engine output order);
+/// returned results carry their MMR selection scores.
+std::vector<baselines::SearchResult> DiversifyResults(
+    const std::vector<baselines::SearchResult>& results,
+    const std::vector<embed::DocumentEmbedding>& embeddings,
+    const DiversifyOptions& options = {});
+
+}  // namespace newslink
+
+#endif  // NEWSLINK_NEWSLINK_DIVERSIFY_H_

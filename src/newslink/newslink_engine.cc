@@ -1,0 +1,279 @@
+#include "newslink/newslink_engine.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "ir/text_vectorizer.h"
+#include "ir/top_k.h"
+
+namespace newslink {
+
+namespace {
+
+/// Entity groups handed to the NE component: the maximal co-occurrence set
+/// of Definition 1, or every segment when the reduction is ablated.
+std::vector<std::vector<std::string>> EntityGroups(
+    const text::SegmentedDocument& segmented, bool use_maximal_reduction) {
+  std::vector<std::vector<std::string>> groups;
+  if (use_maximal_reduction) {
+    for (size_t idx : segmented.maximal_segment_indices) {
+      if (!segmented.segments[idx].entities.empty()) {
+        groups.push_back(segmented.segments[idx].entities);
+      }
+    }
+  } else {
+    for (const text::NewsSegment& s : segmented.segments) {
+      if (!s.entities.empty()) groups.push_back(s.entities);
+    }
+  }
+  return groups;
+}
+
+/// BON term counts of a document embedding (node ids double as term ids).
+/// Document-side node frequencies are capped: what matters is whether a
+/// node is *central* to the document (appears across >= 2 of its segment
+/// subgraphs) versus incidental (1 segment, e.g. a quoted sentence), not
+/// how many more segments repeat it.
+ir::TermCounts BonCounts(const embed::DocumentEmbedding& embedding,
+                         uint32_t tf_cap) {
+  ir::TermCounts counts;
+  counts.reserve(embedding.node_counts.size());
+  for (const auto& [node, count] : embedding.node_counts) {
+    counts.push_back(
+        {static_cast<ir::TermId>(node), std::min(count, tf_cap)});
+  }
+  return counts;
+}
+
+}  // namespace
+
+NewsLinkEngine::NewsLinkEngine(const kg::KnowledgeGraph* graph,
+                               const kg::LabelIndex* label_index,
+                               NewsLinkConfig config)
+    : graph_(graph),
+      label_index_(label_index),
+      config_(config),
+      ner_(label_index),
+      explainer_(graph) {
+  if (config_.embedder == EmbedderKind::kLcag) {
+    embedder_ = std::make_unique<embed::LcagSegmentEmbedder>(
+        graph_, label_index_, config_.lcag);
+  } else {
+    embedder_ = std::make_unique<embed::TreeSegmentEmbedder>(
+        graph_, label_index_, config_.tree);
+  }
+}
+
+std::string NewsLinkEngine::name() const {
+  const char* base =
+      config_.embedder == EmbedderKind::kLcag ? "NewsLink" : "TreeEmb";
+  return StrCat(base, "(", config_.beta, ")");
+}
+
+text::SegmentedDocument NewsLinkEngine::SegmentText(
+    const std::string& text) const {
+  text::NewsSegmenter segmenter(&ner_);
+  return segmenter.Segment(text);
+}
+
+embed::DocumentEmbedding NewsLinkEngine::EmbedText(
+    const std::string& text) const {
+  return embed::EmbedDocument(*embedder_, EntityGroups(SegmentText(text), config_.use_maximal_reduction));
+}
+
+void NewsLinkEngine::Index(const corpus::Corpus& corpus) {
+  const size_t n = corpus.size();
+  doc_embeddings_.resize(n);
+  std::vector<ir::TermCounts> text_counts(n);
+  std::vector<TimeBreakdown> worker_times(n);
+
+  // NLP + NE per document, in parallel (documents are independent).
+  ThreadPool pool(config_.num_threads);
+  pool.ParallelFor(n, [&](size_t i) {
+    TimeBreakdown& times = worker_times[i];
+    text::SegmentedDocument segmented;
+    {
+      ScopedTimer t(&times, "nlp");
+      segmented = SegmentText(corpus.doc(i).text);
+    }
+    {
+      ScopedTimer t(&times, "ne");
+      doc_embeddings_[i] =
+          embed::EmbedDocument(*embedder_, EntityGroups(segmented, config_.use_maximal_reduction));
+    }
+  });
+
+  // NS: build both inverted indexes (sequential: index ids must align).
+  for (size_t i = 0; i < n; ++i) {
+    ScopedTimer t(&worker_times[i], "ns");
+    text_counts[i] =
+        ir::TextVectorizer::CountsForIndexing(corpus.doc(i).text, &text_dict_);
+    text_index_.AddDocument(text_counts[i]);
+    node_index_.AddDocument(
+        BonCounts(doc_embeddings_[i], config_.bon_doc_tf_cap));
+  }
+
+  for (const TimeBreakdown& t : worker_times) index_times_.Merge(t);
+  text_scorer_ = std::make_unique<ir::Bm25Scorer>(&text_index_, config_.bm25);
+  node_scorer_ =
+      std::make_unique<ir::Bm25Scorer>(&node_index_, config_.bon_bm25);
+}
+
+Status NewsLinkEngine::IndexWithEmbeddings(
+    const corpus::Corpus& corpus,
+    std::vector<embed::DocumentEmbedding> embeddings) {
+  if (embeddings.size() != corpus.size()) {
+    return Status::InvalidArgument(
+        StrCat("embedding store has ", embeddings.size(),
+               " entries for a corpus of ", corpus.size()));
+  }
+  doc_embeddings_ = std::move(embeddings);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    text_index_.AddDocument(
+        ir::TextVectorizer::CountsForIndexing(corpus.doc(i).text, &text_dict_));
+    node_index_.AddDocument(
+        BonCounts(doc_embeddings_[i], config_.bon_doc_tf_cap));
+  }
+  text_scorer_ = std::make_unique<ir::Bm25Scorer>(&text_index_, config_.bm25);
+  node_scorer_ =
+      std::make_unique<ir::Bm25Scorer>(&node_index_, config_.bon_bm25);
+  return Status::OK();
+}
+
+size_t NewsLinkEngine::AddDocument(const corpus::Document& doc) {
+  const size_t index = doc_embeddings_.size();
+  text::SegmentedDocument segmented = SegmentText(doc.text);
+  doc_embeddings_.push_back(embed::EmbedDocument(
+      *embedder_, EntityGroups(segmented, config_.use_maximal_reduction)));
+  text_index_.AddDocument(
+      ir::TextVectorizer::CountsForIndexing(doc.text, &text_dict_));
+  node_index_.AddDocument(
+      BonCounts(doc_embeddings_.back(), config_.bon_doc_tf_cap));
+  // Scorers read index statistics live; (re)create them so a first call to
+  // AddDocument on an empty engine also works.
+  text_scorer_ = std::make_unique<ir::Bm25Scorer>(&text_index_, config_.bm25);
+  node_scorer_ =
+      std::make_unique<ir::Bm25Scorer>(&node_index_, config_.bon_bm25);
+  return index;
+}
+
+double NewsLinkEngine::EmbeddedDocumentFraction() const {
+  if (doc_embeddings_.empty()) return 0.0;
+  size_t embedded = 0;
+  for (const embed::DocumentEmbedding& e : doc_embeddings_) {
+    if (!e.empty()) ++embedded;
+  }
+  return static_cast<double>(embedded) /
+         static_cast<double>(doc_embeddings_.size());
+}
+
+std::vector<baselines::SearchResult> NewsLinkEngine::FusedSearch(
+    const std::string& query, size_t k,
+    embed::DocumentEmbedding* query_embedding_out) const {
+  NL_CHECK(text_scorer_ != nullptr) << "Index() must be called before Search";
+
+  // --- NLP + NE on the query -------------------------------------------
+  embed::DocumentEmbedding query_embedding;
+  text::SegmentedDocument segmented;
+  {
+    ScopedTimer t(&query_times_, "nlp");
+    segmented = SegmentText(query);
+  }
+  {
+    ScopedTimer t(&query_times_, "ne");
+    if (config_.beta > 0.0) {
+      query_embedding =
+          embed::EmbedDocument(*embedder_, EntityGroups(segmented, config_.use_maximal_reduction));
+    }
+  }
+
+  // --- NS: score both sides and fuse (Eq. 3) ----------------------------
+  std::vector<baselines::SearchResult> out;
+  {
+    ScopedTimer t(&query_times_, "ns");
+    std::vector<ir::ScoredDoc> bow;
+    if (config_.beta < 1.0) {
+      bow = text_scorer_->ScoreAll(
+          ir::TextVectorizer::CountsForQuery(query, text_dict_));
+    }
+    std::vector<ir::ScoredDoc> bon;
+    if (config_.beta > 0.0) {
+      // Query-side BON: sources boosted over induced context nodes.
+      const std::vector<kg::NodeId> source_nodes =
+          query_embedding.SourceNodes();
+      std::set<kg::NodeId> sources(source_nodes.begin(), source_nodes.end());
+      ir::TermCounts query_counts;
+      query_counts.reserve(query_embedding.node_counts.size());
+      for (const auto& [node, count] : query_embedding.node_counts) {
+        query_counts.push_back(
+            {static_cast<ir::TermId>(node),
+             sources.contains(node) ? config_.bon_query_source_weight : 1});
+      }
+      bon = node_scorer_->ScoreAll(query_counts);
+    }
+
+    // Max-normalize each side so β mixes scale-free scores.
+    auto max_score = [](const std::vector<ir::ScoredDoc>& v) {
+      double m = 0.0;
+      for (const ir::ScoredDoc& s : v) m = std::max(m, s.score);
+      return m > 0.0 ? m : 1.0;
+    };
+    const double bow_max = max_score(bow);
+    const double bon_max = max_score(bon);
+
+    std::unordered_map<ir::DocId, double> fused;
+    for (const ir::ScoredDoc& s : bow) {
+      fused[s.doc] += (1.0 - config_.beta) * (s.score / bow_max);
+    }
+    for (const ir::ScoredDoc& s : bon) {
+      fused[s.doc] += config_.beta * (s.score / bon_max);
+    }
+
+    ir::TopKHeap heap(k);
+    for (const auto& [doc, score] : fused) {
+      heap.Push(ir::ScoredDoc{doc, score});
+    }
+    for (const ir::ScoredDoc& s : heap.Take()) {
+      out.push_back(baselines::SearchResult{s.doc, s.score});
+    }
+  }
+
+  if (query_embedding_out != nullptr) {
+    *query_embedding_out = std::move(query_embedding);
+  }
+  return out;
+}
+
+std::vector<baselines::SearchResult> NewsLinkEngine::Search(
+    const std::string& query, size_t k) const {
+  return FusedSearch(query, k, nullptr);
+}
+
+std::vector<ExplainedResult> NewsLinkEngine::SearchExplained(
+    const std::string& query, size_t k, size_t max_paths) const {
+  embed::DocumentEmbedding query_embedding;
+  std::vector<baselines::SearchResult> hits =
+      FusedSearch(query, k, &query_embedding);
+  // An explanation needs a query embedding even at beta == 0.
+  if (query_embedding.empty() && config_.beta == 0.0) {
+    query_embedding = EmbedText(query);
+  }
+
+  std::vector<ExplainedResult> out;
+  out.reserve(hits.size());
+  for (const baselines::SearchResult& hit : hits) {
+    ExplainedResult er;
+    er.doc_index = hit.doc_index;
+    er.score = hit.score;
+    er.paths = explainer_.Explain(query_embedding,
+                                  doc_embeddings_[hit.doc_index], max_paths);
+    out.push_back(std::move(er));
+  }
+  return out;
+}
+
+}  // namespace newslink

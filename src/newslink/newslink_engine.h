@@ -1,0 +1,169 @@
+// NewsLinkEngine: the complete framework of the paper (Fig. 2). Indexing
+// runs the NLP component (segmentation + NER + Def. 1), the NE component
+// (G* subgraph embeddings, optionally the TreeEmb baseline), and builds the
+// NS component's dual inverted indexes (BOW over text, BON over embedding
+// nodes). Query processing fuses both scores with Equation 3 and can attach
+// relationship-path explanations (Tables II/VI).
+
+#ifndef NEWSLINK_NEWSLINK_NEWSLINK_ENGINE_H_
+#define NEWSLINK_NEWSLINK_NEWSLINK_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/search_engine.h"
+#include "common/timer.h"
+#include "embed/document_embedding.h"
+#include "embed/path_explainer.h"
+#include "ir/inverted_index.h"
+#include "ir/scorer.h"
+#include "ir/term_dictionary.h"
+#include "kg/knowledge_graph.h"
+#include "kg/label_index.h"
+#include "text/gazetteer_ner.h"
+#include "text/news_segmenter.h"
+
+namespace newslink {
+
+/// \brief Which NE-component model embeds the news segments.
+enum class EmbedderKind {
+  kLcag,  // the paper's G* model
+  kTree,  // the TreeEmb baseline (Table VII / Fig. 7)
+};
+
+struct NewsLinkConfig {
+  /// β of Equation 3: 0 = pure text (reduces to Lucene), 1 = pure BON.
+  double beta = 0.2;
+  EmbedderKind embedder = EmbedderKind::kLcag;
+  embed::LcagOptions lcag;
+  embed::TreeEmbedOptions tree;
+  ir::Bm25Params bm25;
+  /// BM25 parameters for the BON (node) index. b defaults to 0 (a large
+  /// subgraph embedding is context richness, not verbosity); with the tf
+  /// cap below, BON rewards *coverage* of the query subgraph plus whether
+  /// each covered node is central to the document.
+  ir::Bm25Params bon_bm25{0.8, 0.0};
+  /// Cap on a node's document-side BON frequency (number of segment
+  /// subgraphs containing it). 2 distinguishes central from incidental
+  /// nodes without letting repetition races decide rankings.
+  uint32_t bon_doc_tf_cap = 2;
+  /// Query-side weight of *source* nodes (entities literally mentioned in
+  /// the query) relative to induced context nodes (weight 1). Mentioned
+  /// entities are first-class evidence; induced context enriches but must
+  /// not dominate — a document whose segment grouping induced a
+  /// different-but-equivalent context should not be punished.
+  uint32_t bon_query_source_weight = 3;
+  /// Worker threads for corpus embedding (0 = hardware concurrency).
+  size_t num_threads = 0;
+  /// Ablation knob: false embeds EVERY news segment instead of only the
+  /// maximal entity co-occurrence set of Definition 1.
+  bool use_maximal_reduction = true;
+};
+
+/// \brief A search hit with optional relationship-path explanations.
+struct ExplainedResult {
+  size_t doc_index = 0;
+  double score = 0.0;
+  std::vector<embed::RelationshipPath> paths;
+};
+
+/// \brief The NewsLink search engine.
+class NewsLinkEngine : public baselines::SearchEngine {
+ public:
+  /// `graph` and `label_index` must outlive the engine.
+  NewsLinkEngine(const kg::KnowledgeGraph* graph,
+                 const kg::LabelIndex* label_index,
+                 NewsLinkConfig config = {});
+
+  std::string name() const override;
+
+  /// β only affects query-time fusion (Eq. 3), never the indexes — so one
+  /// indexed engine can serve a whole β sweep (paper Table VII).
+  void set_beta(double beta) { config_.beta = beta; }
+  double beta() const { return config_.beta; }
+
+  /// Build embeddings and indexes for the corpus. Embedding is
+  /// parallelized across documents (paper Sec. VII-G).
+  void Index(const corpus::Corpus& corpus) override;
+
+  /// Index with precomputed embeddings (one per document, as produced by
+  /// embed::LoadEmbeddings) — skips the expensive NE stage entirely.
+  Status IndexWithEmbeddings(const corpus::Corpus& corpus,
+                             std::vector<embed::DocumentEmbedding> embeddings);
+
+  /// Append one document to a live index (incremental ingestion). The new
+  /// document is searchable immediately; returns its document index.
+  size_t AddDocument(const corpus::Document& doc);
+
+  /// All document embeddings, aligned with corpus order (for persistence
+  /// via embed::SaveEmbeddings).
+  const std::vector<embed::DocumentEmbedding>& embeddings() const {
+    return doc_embeddings_;
+  }
+
+  std::vector<baselines::SearchResult> Search(const std::string& query,
+                                              size_t k) const override;
+
+  /// Search with relationship-path explanations extracted from the overlap
+  /// of the query and result embeddings.
+  std::vector<ExplainedResult> SearchExplained(const std::string& query,
+                                               size_t k,
+                                               size_t max_paths = 5) const;
+
+  /// Run the NLP + NE components on a standalone text (e.g. a query).
+  embed::DocumentEmbedding EmbedText(const std::string& text) const;
+
+  /// NLP output for a standalone text.
+  text::SegmentedDocument SegmentText(const std::string& text) const;
+
+  const embed::DocumentEmbedding& doc_embedding(size_t i) const {
+    return doc_embeddings_[i];
+  }
+  size_t num_indexed_docs() const { return doc_embeddings_.size(); }
+
+  /// Fraction of indexed documents with a non-empty embedding (the paper
+  /// reports 96.3% / 91.2% corpus coverage).
+  double EmbeddedDocumentFraction() const;
+
+  /// Cumulative per-component times. Indexing fills `index_times()` with
+  /// buckets "nlp"/"ne"/"ns" per document; every Search() adds the same
+  /// buckets per query to `query_times()` (Fig. 7 and Table VIII).
+  const TimeBreakdown& index_times() const { return index_times_; }
+  const TimeBreakdown& query_times() const { return query_times_; }
+  void ResetQueryTimes() { query_times_ = TimeBreakdown(); }
+
+ private:
+  struct ScoredFusion {
+    std::vector<baselines::SearchResult> results;
+  };
+
+  /// Eq. 3 over the candidate union of both indexes; scores from each side
+  /// are max-normalized per query before mixing so β is scale-free.
+  std::vector<baselines::SearchResult> FusedSearch(
+      const std::string& query, size_t k,
+      embed::DocumentEmbedding* query_embedding_out) const;
+
+  const kg::KnowledgeGraph* graph_;
+  const kg::LabelIndex* label_index_;
+  NewsLinkConfig config_;
+
+  text::GazetteerNer ner_;
+  std::unique_ptr<embed::SegmentEmbedder> embedder_;
+  embed::PathExplainer explainer_;
+
+  // NS component state.
+  ir::TermDictionary text_dict_;
+  ir::InvertedIndex text_index_;
+  ir::InvertedIndex node_index_;  // BON: term ids are KG node ids
+  std::unique_ptr<ir::Bm25Scorer> text_scorer_;
+  std::unique_ptr<ir::Bm25Scorer> node_scorer_;
+  std::vector<embed::DocumentEmbedding> doc_embeddings_;
+
+  TimeBreakdown index_times_;
+  mutable TimeBreakdown query_times_;
+};
+
+}  // namespace newslink
+
+#endif  // NEWSLINK_NEWSLINK_NEWSLINK_ENGINE_H_

@@ -1,0 +1,56 @@
+#include "newslink/snippet.h"
+
+#include <set>
+
+#include "text/porter_stemmer.h"
+#include "text/sentence_splitter.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace newslink {
+
+namespace {
+
+std::set<std::string> QueryStems(const std::string& text) {
+  std::set<std::string> stems;
+  for (const std::string& w : text::WordTokens(text)) {
+    if (w.size() < 2 || text::IsStopword(w)) continue;
+    stems.insert(text::PorterStem(w));
+  }
+  return stems;
+}
+
+std::string Truncate(const std::string& s, size_t max_chars) {
+  if (s.size() <= max_chars) return s;
+  size_t cut = max_chars;
+  while (cut > 0 && s[cut] != ' ') --cut;
+  if (cut == 0) cut = max_chars;
+  return s.substr(0, cut) + "...";
+}
+
+}  // namespace
+
+std::string MakeSnippet(const std::string& document_text,
+                        const std::string& query,
+                        const SnippetOptions& options) {
+  const std::set<std::string> query_stems = QueryStems(query);
+  const std::vector<std::string> sentences =
+      text::SentenceStrings(document_text);
+  if (sentences.empty()) return Truncate(document_text, options.max_chars);
+
+  const std::string* best = &sentences[0];
+  size_t best_overlap = 0;
+  for (const std::string& sentence : sentences) {
+    size_t overlap = 0;
+    for (const std::string& stem : QueryStems(sentence)) {
+      if (query_stems.contains(stem)) ++overlap;
+    }
+    if (overlap > best_overlap) {
+      best_overlap = overlap;
+      best = &sentence;
+    }
+  }
+  return Truncate(*best, options.max_chars);
+}
+
+}  // namespace newslink

@@ -1,0 +1,26 @@
+// Result snippets: pick the document sentence that best matches the query
+// terms (stemmed, stopword-filtered overlap) so search UIs can show why a
+// hit matched textually, complementing the relationship-path explanations.
+
+#ifndef NEWSLINK_NEWSLINK_SNIPPET_H_
+#define NEWSLINK_NEWSLINK_SNIPPET_H_
+
+#include <string>
+
+namespace newslink {
+
+struct SnippetOptions {
+  /// Hard cap on snippet length; longer sentences are cut at a word
+  /// boundary with an ellipsis.
+  size_t max_chars = 160;
+};
+
+/// Best-matching sentence of `document_text` for `query`, trimmed.
+/// Falls back to the leading text when nothing overlaps.
+std::string MakeSnippet(const std::string& document_text,
+                        const std::string& query,
+                        const SnippetOptions& options = {});
+
+}  // namespace newslink
+
+#endif  // NEWSLINK_NEWSLINK_SNIPPET_H_

@@ -1,0 +1,92 @@
+#include "text/gazetteer_ner.h"
+
+#include "common/string_util.h"
+#include "text/stopwords.h"
+
+namespace newslink {
+namespace text {
+
+GazetteerNer::GazetteerNer(const kg::LabelIndex* index) : index_(index) {
+  nodes_.emplace_back();  // root
+  index_->ForEachLabel(
+      [this](const std::string& label, const std::vector<kg::NodeId>&) {
+        Insert(SplitWhitespace(label));
+      });
+}
+
+void GazetteerNer::Insert(const std::vector<std::string>& label_tokens) {
+  if (label_tokens.empty()) return;
+  uint32_t node = 0;
+  for (const std::string& tok : label_tokens) {
+    auto it = nodes_[node].children.find(tok);
+    if (it == nodes_[node].children.end()) {
+      const uint32_t child = static_cast<uint32_t>(nodes_.size());
+      nodes_[node].children.emplace(tok, child);
+      nodes_.emplace_back();
+      node = child;
+    } else {
+      node = it->second;
+    }
+  }
+  nodes_[node].terminal = true;
+}
+
+size_t GazetteerNer::LongestMatch(const std::vector<Token>& tokens,
+                                  size_t pos) const {
+  uint32_t node = 0;
+  size_t best = 0;
+  for (size_t i = pos; i < tokens.size(); ++i) {
+    if (!tokens[i].is_word) break;
+    auto it = nodes_[node].children.find(tokens[i].lower);
+    if (it == nodes_[node].children.end()) break;
+    node = it->second;
+    if (nodes_[node].terminal) best = i - pos + 1;
+  }
+  return best;
+}
+
+std::vector<EntityMention> GazetteerNer::Recognize(
+    const std::vector<Token>& tokens) const {
+  std::vector<EntityMention> mentions;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    if (!tokens[i].is_word) {
+      ++i;
+      continue;
+    }
+    // 1. Trie (KG) match, longest wins.
+    const size_t match_len = LongestMatch(tokens, i);
+    if (match_len > 0) {
+      std::vector<std::string> parts;
+      parts.reserve(match_len);
+      for (size_t j = i; j < i + match_len; ++j) {
+        parts.push_back(tokens[j].lower);
+      }
+      mentions.push_back(
+          EntityMention{Join(parts, " "), i, i + match_len, true});
+      i += match_len;
+      continue;
+    }
+    // 2. Capitalized-run heuristic for out-of-KG entities. A run anchored
+    //    at the sentence start is ignored (every sentence starts with a
+    //    capital), as are capitalized stopwords ("The", "A").
+    if (i > 0 && tokens[i].is_upper_initial && !IsStopword(tokens[i].lower)) {
+      size_t j = i;
+      while (j < tokens.size() && tokens[j].is_word &&
+             tokens[j].is_upper_initial && !IsStopword(tokens[j].lower)) {
+        ++j;
+      }
+      std::vector<std::string> parts;
+      parts.reserve(j - i);
+      for (size_t t = i; t < j; ++t) parts.push_back(tokens[t].lower);
+      mentions.push_back(EntityMention{Join(parts, " "), i, j, false});
+      i = j;
+      continue;
+    }
+    ++i;
+  }
+  return mentions;
+}
+
+}  // namespace text
+}  // namespace newslink

@@ -1,0 +1,68 @@
+// Gazetteer named-entity recognizer: the NLP-component NER (paper Sec. IV).
+//
+// The paper links recognized mentions to KG nodes by exact string matching;
+// this recognizer matches token sequences against a trie built from the KG
+// label index (longest match wins). Capitalized token runs that do NOT match
+// any KG label are still emitted as mentions with in_kg == false — these are
+// the "identified but unmatched" entities behind the entity matching ratio
+// of Table V.
+
+#ifndef NEWSLINK_TEXT_GAZETTEER_NER_H_
+#define NEWSLINK_TEXT_GAZETTEER_NER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/label_index.h"
+#include "text/tokenizer.h"
+
+namespace newslink {
+namespace text {
+
+/// \brief A recognized entity mention.
+struct EntityMention {
+  std::string label;       // normalized label (the l of S(l))
+  size_t begin_token = 0;  // index into the token vector
+  size_t end_token = 0;    // one past the last token
+  bool in_kg = false;      // true iff the label resolves in the KG index
+};
+
+/// \brief Longest-match dictionary NER over a KG label index.
+class GazetteerNer {
+ public:
+  /// Build the token trie from every label in `index`. The index must
+  /// outlive the recognizer.
+  explicit GazetteerNer(const kg::LabelIndex* index);
+
+  /// Recognize mentions in a tokenized sentence.
+  ///
+  /// Matching strategy, in priority order at each position:
+  ///   1. the longest trie match starting here (case-insensitive tokens);
+  ///   2. otherwise, a maximal run of capitalized word tokens — but a run
+  ///      anchored at the sentence start must match the trie (the initial
+  ///      capital carries no signal there).
+  std::vector<EntityMention> Recognize(
+      const std::vector<Token>& tokens) const;
+
+  size_t trie_size() const { return nodes_.size(); }
+
+ private:
+  struct TrieNode {
+    std::unordered_map<std::string, uint32_t> children;
+    bool terminal = false;
+  };
+
+  void Insert(const std::vector<std::string>& label_tokens);
+
+  /// Length (in tokens) of the longest trie match at `pos`, 0 if none.
+  size_t LongestMatch(const std::vector<Token>& tokens, size_t pos) const;
+
+  const kg::LabelIndex* index_;
+  std::vector<TrieNode> nodes_;  // nodes_[0] is the root
+};
+
+}  // namespace text
+}  // namespace newslink
+
+#endif  // NEWSLINK_TEXT_GAZETTEER_NER_H_

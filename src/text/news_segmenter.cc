@@ -1,0 +1,92 @@
+#include "text/news_segmenter.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace newslink {
+namespace text {
+
+size_t SegmentedDocument::TotalMentions() const {
+  size_t n = 0;
+  for (const NewsSegment& s : segments) n += s.mentions.size();
+  return n;
+}
+
+size_t SegmentedDocument::MatchedMentions() const {
+  size_t n = 0;
+  for (const NewsSegment& s : segments) {
+    for (const EntityMention& m : s.mentions) {
+      if (m.in_kg) ++n;
+    }
+  }
+  return n;
+}
+
+double SegmentedDocument::EntityMatchingRatio() const {
+  const size_t total = TotalMentions();
+  if (total == 0) return 1.0;
+  return static_cast<double>(MatchedMentions()) / static_cast<double>(total);
+}
+
+SegmentedDocument NewsSegmenter::Segment(
+    const std::string& document_text) const {
+  SegmentedDocument out;
+  for (std::string& sentence : SentenceStrings(document_text)) {
+    NewsSegment segment;
+    const std::vector<Token> tokens = Tokenize(sentence);
+    segment.mentions = ner_->Recognize(tokens);
+    std::unordered_set<std::string> seen;
+    for (const EntityMention& m : segment.mentions) {
+      if (m.in_kg && seen.insert(m.label).second) {
+        segment.entities.push_back(m.label);
+      }
+    }
+    segment.sentence = std::move(sentence);
+    out.segments.push_back(std::move(segment));
+  }
+
+  std::vector<std::vector<std::string>> entity_sets;
+  entity_sets.reserve(out.segments.size());
+  for (const NewsSegment& s : out.segments) entity_sets.push_back(s.entities);
+  out.maximal_segment_indices = MaximalCooccurrenceSets(entity_sets);
+  return out;
+}
+
+std::vector<size_t> MaximalCooccurrenceSets(
+    const std::vector<std::vector<std::string>>& entity_sets) {
+  const size_t n = entity_sets.size();
+  // Canonical sorted-set form for subset tests.
+  std::vector<std::set<std::string>> canon(n);
+  for (size_t i = 0; i < n; ++i) {
+    canon[i] = std::set<std::string>(entity_sets[i].begin(),
+                                     entity_sets[i].end());
+  }
+
+  // Process candidates from largest to smallest so every kept set only needs
+  // comparing against previously kept (no smaller) sets.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&canon](size_t a, size_t b) {
+    return canon[a].size() > canon[b].size();
+  });
+
+  std::vector<size_t> kept;
+  for (size_t idx : order) {
+    if (canon[idx].empty()) continue;  // no entities -> nothing to embed
+    bool subsumed = false;
+    for (size_t k : kept) {
+      if (std::includes(canon[k].begin(), canon[k].end(), canon[idx].begin(),
+                        canon[idx].end())) {
+        subsumed = true;  // proper subset or duplicate of a kept set
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back(idx);
+  }
+  std::sort(kept.begin(), kept.end());  // restore document order
+  return kept;
+}
+
+}  // namespace text
+}  // namespace newslink

@@ -1,0 +1,61 @@
+// News segmentation (paper Secs. III-IV): split a document into sentences
+// ("news segments"), recognize entity groups per segment, and reduce the
+// groups to the maximal entity co-occurrence set (Definition 1).
+
+#ifndef NEWSLINK_TEXT_NEWS_SEGMENTER_H_
+#define NEWSLINK_TEXT_NEWS_SEGMENTER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/gazetteer_ner.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace newslink {
+namespace text {
+
+/// \brief One news segment: a sentence with its recognized entities.
+struct NewsSegment {
+  std::string sentence;
+  /// Normalized labels of mentions that resolve in the KG, deduplicated,
+  /// in first-occurrence order. This is the L = {l_1, ..., l_m} handed to
+  /// the NE component.
+  std::vector<std::string> entities;
+  /// All mentions (including in_kg == false ones, for Table V's ratio).
+  std::vector<EntityMention> mentions;
+};
+
+/// \brief Document-level NLP output.
+struct SegmentedDocument {
+  std::vector<NewsSegment> segments;
+  /// Indices into `segments` forming the maximal entity co-occurrence set.
+  std::vector<size_t> maximal_segment_indices;
+
+  size_t TotalMentions() const;
+  size_t MatchedMentions() const;
+  /// matched / identified mentions (1.0 when no mention was identified).
+  double EntityMatchingRatio() const;
+};
+
+/// \brief Runs sentence splitting + NER and computes Definition 1.
+class NewsSegmenter {
+ public:
+  /// `ner` must outlive the segmenter.
+  explicit NewsSegmenter(const GazetteerNer* ner) : ner_(ner) {}
+
+  SegmentedDocument Segment(const std::string& document_text) const;
+
+ private:
+  const GazetteerNer* ner_;
+};
+
+/// Definition 1: keep the sets that are not proper subsets of any other set;
+/// among equal sets keep the first. Returns indices into `entity_sets`.
+std::vector<size_t> MaximalCooccurrenceSets(
+    const std::vector<std::vector<std::string>>& entity_sets);
+
+}  // namespace text
+}  // namespace newslink
+
+#endif  // NEWSLINK_TEXT_NEWS_SEGMENTER_H_

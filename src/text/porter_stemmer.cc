@@ -1,0 +1,247 @@
+#include "text/porter_stemmer.h"
+
+#include <string>
+
+namespace newslink {
+namespace text {
+
+namespace {
+
+// The implementation follows the original description (Porter 1980,
+// "An algorithm for suffix stripping") step by step. `b` is the working
+// buffer; `k` indexes its last character.
+
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word) : b_(std::move(word)) {}
+
+  std::string Run() {
+    if (b_.size() < 3) return b_;
+    Step1a();
+    Step1b();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5a();
+    Step5b();
+    return b_;
+  }
+
+ private:
+  bool IsConsonant(size_t i) const {
+    switch (b_[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// m(): number of VC sequences in the stem b_[0..j_].
+  int Measure() const {
+    int n = 0;
+    size_t i = 0;
+    const size_t limit = j_ + 1;
+    while (true) {
+      if (i >= limit) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i >= limit) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i >= limit) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem() const {
+    for (size_t i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(size_t i) const {
+    if (i < 1) return false;
+    if (b_[i] != b_[i - 1]) return false;
+    return IsConsonant(i);
+  }
+
+  /// cvc(i): consonant-vowel-consonant ending, where the final consonant is
+  /// not w, x or y (used to restore a trailing 'e', e.g. hop(e) -> hope).
+  bool Cvc(size_t i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    const char ch = b_[i];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool Ends(const char* s) {
+    const size_t len = std::char_traits<char>::length(s);
+    if (len >= b_.size()) return false;  // the stem must be non-empty
+    if (b_.compare(b_.size() - len, len, s) != 0) return false;
+    j_ = b_.size() - len - 1;  // last index of the stem
+    return true;
+  }
+
+  void SetTo(const char* s) {
+    b_.resize(j_ + 1);
+    b_ += s;
+  }
+
+  void ReplaceIfM(const char* s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  void Step1a() {
+    if (b_.back() != 's') return;
+    if (Ends("sses")) {
+      b_.resize(b_.size() - 2);
+    } else if (Ends("ies")) {
+      SetTo("i");
+    } else if (b_.size() >= 2 && b_[b_.size() - 2] != 's') {
+      b_.pop_back();
+    }
+  }
+
+  void Step1b() {
+    bool cleanup = false;
+    if (Ends("eed")) {
+      if (Measure() > 0) b_.pop_back();
+    } else if (Ends("ed")) {
+      if (VowelInStem()) {
+        b_.resize(j_ + 1);
+        cleanup = true;
+      }
+    } else if (Ends("ing")) {
+      if (VowelInStem()) {
+        b_.resize(j_ + 1);
+        cleanup = true;
+      }
+    }
+    if (!cleanup) return;
+    if (EndsNoJ("at") || EndsNoJ("bl") || EndsNoJ("iz")) {
+      b_.push_back('e');
+    } else if (DoubleConsonant(b_.size() - 1)) {
+      const char ch = b_.back();
+      if (ch != 'l' && ch != 's' && ch != 'z') b_.pop_back();
+    } else {
+      j_ = b_.size() - 1;
+      if (Measure() == 1 && Cvc(b_.size() - 1)) b_.push_back('e');
+    }
+  }
+
+  bool EndsNoJ(const char* s) const {
+    const size_t len = std::char_traits<char>::length(s);
+    return b_.size() >= len && b_.compare(b_.size() - len, len, s) == 0;
+  }
+
+  void Step1c() {
+    if (b_.size() < 2 || b_.back() != 'y') return;
+    j_ = b_.size() - 2;
+    if (VowelInStem()) b_.back() = 'i';
+  }
+
+  void Step2() {
+    struct Rule {
+      const char* suffix;
+      const char* replacement;
+    };
+    static const Rule kRules[] = {
+        {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+        {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+        {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+        {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+        {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+        {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+        {"iviti", "ive"},   {"biliti", "ble"},
+    };
+    for (const Rule& rule : kRules) {
+      if (Ends(rule.suffix)) {
+        ReplaceIfM(rule.replacement);
+        return;
+      }
+    }
+  }
+
+  void Step3() {
+    struct Rule {
+      const char* suffix;
+      const char* replacement;
+    };
+    static const Rule kRules[] = {
+        {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+        {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+    };
+    for (const Rule& rule : kRules) {
+      if (Ends(rule.suffix)) {
+        ReplaceIfM(rule.replacement);
+        return;
+      }
+    }
+  }
+
+  void Step4() {
+    static const char* const kSuffixes[] = {
+        "al",   "ance", "ence", "er",  "ic",  "able", "ible", "ant",
+        "ement", "ment", "ent",  "ion", "ou",  "ism",  "ate",  "iti",
+        "ous",  "ive",  "ize",
+    };
+    for (const char* suffix : kSuffixes) {
+      if (Ends(suffix)) {
+        if (std::string_view(suffix) == "ion") {
+          // -ion requires the stem to end in s or t.
+          if (b_[j_] != 's' && b_[j_] != 't') continue;
+        }
+        if (Measure() > 1) b_.resize(j_ + 1);
+        return;
+      }
+    }
+  }
+
+  void Step5a() {
+    if (b_.size() < 2 || b_.back() != 'e') return;
+    j_ = b_.size() - 2;
+    const int m = Measure();
+    if (m > 1 || (m == 1 && !Cvc(b_.size() - 2))) b_.pop_back();
+  }
+
+  void Step5b() {
+    if (b_.size() < 2) return;
+    j_ = b_.size() - 1;
+    if (b_.back() == 'l' && DoubleConsonant(b_.size() - 1) && Measure() > 1) {
+      b_.pop_back();
+    }
+  }
+
+  std::string b_;
+  size_t j_ = 0;  // last index of the stem under the matched suffix
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  return Stemmer(std::string(word)).Run();
+}
+
+}  // namespace text
+}  // namespace newslink

@@ -1,0 +1,20 @@
+// Porter stemming algorithm (Porter 1980), used by the BOW indexing path so
+// that "election"/"elections" and "attack"/"attacked" share index terms.
+
+#ifndef NEWSLINK_TEXT_PORTER_STEMMER_H_
+#define NEWSLINK_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace newslink {
+namespace text {
+
+/// Stem a lowercase ASCII word. Words shorter than 3 characters are
+/// returned unchanged, per the original algorithm.
+std::string PorterStem(std::string_view word);
+
+}  // namespace text
+}  // namespace newslink
+
+#endif  // NEWSLINK_TEXT_PORTER_STEMMER_H_

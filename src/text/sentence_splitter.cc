@@ -1,0 +1,75 @@
+#include "text/sentence_splitter.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace newslink {
+namespace text {
+
+namespace {
+
+// Abbreviations that should not terminate a sentence.
+const char* const kAbbreviations[] = {"mr",  "mrs", "ms", "dr",  "prof",
+                                      "gen", "col", "st", "vs",  "etc",
+                                      "jr",  "sr",  "inc", "co", "gov"};
+
+bool IsAbbreviation(std::string_view source, size_t dot_pos) {
+  // Find the word immediately before the dot.
+  size_t end = dot_pos;
+  size_t begin = end;
+  while (begin > 0 &&
+         std::isalpha(static_cast<unsigned char>(source[begin - 1]))) {
+    --begin;
+  }
+  if (begin == end) return false;
+  const std::string word = ToLowerAscii(source.substr(begin, end - begin));
+  // Single CAPITALS ("U.", "J.") behave like abbreviations; a lone
+  // lowercase letter ("a.") legitimately ends a sentence.
+  if (word.size() == 1) {
+    return std::isupper(static_cast<unsigned char>(source[begin])) != 0;
+  }
+  for (const char* abbr : kAbbreviations) {
+    if (word == abbr) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<SentenceSpan> SplitSentences(std::string_view source) {
+  std::vector<SentenceSpan> spans;
+  size_t start = 0;
+  for (size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    if (c != '.' && c != '!' && c != '?') continue;
+    const bool at_end = i + 1 >= source.size();
+    const bool followed_by_space =
+        !at_end && std::isspace(static_cast<unsigned char>(source[i + 1]));
+    if (!at_end && !followed_by_space) continue;
+    if (c == '.' && IsAbbreviation(source, i)) continue;
+    spans.push_back(SentenceSpan{start, i + 1});
+    start = i + 1;
+  }
+  // Trailing text without a terminator is still a sentence.
+  if (start < source.size()) {
+    const std::string_view rest = source.substr(start);
+    if (!Trim(rest).empty()) {
+      spans.push_back(SentenceSpan{start, source.size()});
+    }
+  }
+  return spans;
+}
+
+std::vector<std::string> SentenceStrings(std::string_view source) {
+  std::vector<std::string> out;
+  for (const SentenceSpan& span : SplitSentences(source)) {
+    std::string_view s =
+        Trim(source.substr(span.begin, span.end - span.begin));
+    if (!s.empty()) out.emplace_back(s);
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace newslink

@@ -1,0 +1,30 @@
+// Sentence segmentation. The paper uses one sentence per *news segment*
+// (Sec. VII-A: "We use every sentence as a news segment as it guarantees the
+// semantic consistence of occurring entities").
+
+#ifndef NEWSLINK_TEXT_SENTENCE_SPLITTER_H_
+#define NEWSLINK_TEXT_SENTENCE_SPLITTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace newslink {
+namespace text {
+
+struct SentenceSpan {
+  size_t begin = 0;  // byte offset
+  size_t end = 0;    // one past the end
+};
+
+/// Split on '.', '!', '?' followed by whitespace (or end of text);
+/// common abbreviations ("Mr.", "Dr.", "U.S.") do not end a sentence.
+std::vector<SentenceSpan> SplitSentences(std::string_view source);
+
+/// Convenience: materialized sentence strings, trimmed.
+std::vector<std::string> SentenceStrings(std::string_view source);
+
+}  // namespace text
+}  // namespace newslink
+
+#endif  // NEWSLINK_TEXT_SENTENCE_SPLITTER_H_

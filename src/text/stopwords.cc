@@ -1,0 +1,49 @@
+#include "text/stopwords.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace newslink {
+namespace text {
+
+namespace {
+
+const std::unordered_set<std::string>& StopwordSet() {
+  static const std::unordered_set<std::string>* const kSet =
+      new std::unordered_set<std::string>{
+          "a",     "about", "above",   "after",  "again",   "against",
+          "all",   "am",    "an",      "and",    "any",     "are",
+          "aren't", "as",   "at",      "be",     "because", "been",
+          "before", "being", "below",  "between", "both",   "but",
+          "by",    "can",   "cannot",  "could",  "did",     "do",
+          "does",  "doing", "down",    "during", "each",    "few",
+          "for",   "from",  "further", "had",    "has",     "have",
+          "having", "he",   "her",     "here",   "hers",    "herself",
+          "him",   "himself", "his",   "how",    "i",       "if",
+          "in",    "into",  "is",      "it",     "its",     "itself",
+          "just",  "me",    "more",    "most",   "my",      "myself",
+          "no",    "nor",   "not",     "now",    "of",      "off",
+          "on",    "once",  "only",    "or",     "other",   "our",
+          "ours",  "ourselves", "out", "over",   "own",     "said",
+          "same",  "she",   "should",  "so",     "some",    "such",
+          "than",  "that",  "the",     "their",  "theirs",  "them",
+          "themselves", "then", "there", "these", "they",   "this",
+          "those", "through", "to",    "too",    "under",   "until",
+          "up",    "very",  "was",     "we",     "were",    "what",
+          "when",  "where", "which",   "while",  "who",     "whom",
+          "why",   "will",  "with",    "would",  "you",     "your",
+          "yours", "yourself", "yourselves",
+      };
+  return *kSet;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(std::string(word)) > 0;
+}
+
+size_t StopwordCount() { return StopwordSet().size(); }
+
+}  // namespace text
+}  // namespace newslink

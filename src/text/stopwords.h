@@ -1,0 +1,20 @@
+// English stopword list used by BOW indexing and the vector models.
+
+#ifndef NEWSLINK_TEXT_STOPWORDS_H_
+#define NEWSLINK_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace newslink {
+namespace text {
+
+/// True if `word` (lowercase) is a stopword.
+bool IsStopword(std::string_view word);
+
+/// Number of entries in the built-in list (for tests).
+size_t StopwordCount();
+
+}  // namespace text
+}  // namespace newslink
+
+#endif  // NEWSLINK_TEXT_STOPWORDS_H_

@@ -1,0 +1,62 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace newslink {
+namespace text {
+
+namespace {
+
+bool IsWordChar(unsigned char c) {
+  return std::isalnum(c) != 0 || c == '\'';
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < source.size()) {
+    const unsigned char c = static_cast<unsigned char>(source[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.begin = i;
+    if (IsWordChar(c)) {
+      size_t j = i;
+      while (j < source.size() &&
+             IsWordChar(static_cast<unsigned char>(source[j]))) {
+        ++j;
+      }
+      tok.text = std::string(source.substr(i, j - i));
+      tok.is_word = true;
+      i = j;
+    } else {
+      tok.text = std::string(source.substr(i, 1));
+      ++i;
+    }
+    tok.end = i;
+    tok.lower.reserve(tok.text.size());
+    for (char ch : tok.text) {
+      tok.lower.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    }
+    tok.is_upper_initial =
+        std::isupper(static_cast<unsigned char>(tok.text[0])) != 0;
+    tokens.push_back(std::move(tok));
+  }
+  return tokens;
+}
+
+std::vector<std::string> WordTokens(std::string_view source) {
+  std::vector<std::string> out;
+  for (Token& t : Tokenize(source)) {
+    if (t.is_word) out.push_back(std::move(t.lower));
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace newslink

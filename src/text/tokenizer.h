@@ -1,0 +1,34 @@
+// ASCII tokenizer for the NLP component: words ([A-Za-z0-9']+) and single
+// punctuation tokens, with byte offsets and capitalization flags that the
+// gazetteer NER relies on.
+
+#ifndef NEWSLINK_TEXT_TOKENIZER_H_
+#define NEWSLINK_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace newslink {
+namespace text {
+
+struct Token {
+  std::string text;    // surface form
+  std::string lower;   // lowercase form (term for indexing)
+  size_t begin = 0;    // byte offset into the source
+  size_t end = 0;      // one past the last byte
+  bool is_word = false;
+  bool is_upper_initial = false;  // first character is an ASCII capital
+};
+
+/// Tokenize a text span. Apostrophes stay inside words ("don't"); every
+/// other non-alphanumeric byte becomes its own punctuation token.
+std::vector<Token> Tokenize(std::string_view source);
+
+/// Convenience: lowercase word tokens only (for BOW/vector models).
+std::vector<std::string> WordTokens(std::string_view source);
+
+}  // namespace text
+}  // namespace newslink
+
+#endif  // NEWSLINK_TEXT_TOKENIZER_H_

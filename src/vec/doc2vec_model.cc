@@ -1,0 +1,129 @@
+#include "vec/doc2vec_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace newslink {
+namespace vec {
+
+void Doc2VecModel::Train(const std::vector<std::vector<std::string>>& docs,
+                         const Doc2VecConfig& config) {
+  config_ = config;
+  num_docs_ = docs.size();
+  vocab_.Build(docs, config.sgns.min_count);
+  const size_t v = vocab_.size();
+  const size_t dim = static_cast<size_t>(config.sgns.dim);
+
+  Rng rng(config.sgns.seed);
+  doc_vectors_.resize(num_docs_ * dim);
+  output_.assign(v * dim, 0.0f);
+  for (float& x : doc_vectors_) {
+    x = static_cast<float>((rng.UniformDouble() - 0.5) / config.sgns.dim);
+  }
+  if (v == 0) return;
+
+  std::vector<float> grad(dim);
+  const float lr = static_cast<float>(config.sgns.learning_rate);
+
+  for (int epoch = 0; epoch < config.sgns.epochs; ++epoch) {
+    for (size_t d = 0; d < docs.size(); ++d) {
+      float* dv = doc_vectors_.data() + d * dim;
+      for (const std::string& w : docs[d]) {
+        const int word = vocab_.Find(w);
+        if (word < 0) continue;
+        if (rng.UniformDouble() >=
+            vocab_.KeepProbability(word, config.sgns.subsample)) {
+          continue;
+        }
+        std::fill(grad.begin(), grad.end(), 0.0f);
+        for (int n = 0; n <= config.sgns.negatives; ++n) {
+          int target;
+          float label;
+          if (n == 0) {
+            target = word;
+            label = 1.0f;
+          } else {
+            target = vocab_.SampleNegative(&rng);
+            if (target == word) continue;
+            label = 0.0f;
+          }
+          float* outv = output_.data() + static_cast<size_t>(target) * dim;
+          const float score = Sigmoid(Dot({dv, dim}, {outv, dim}));
+          const float g = lr * (label - score);
+          for (size_t k = 0; k < dim; ++k) {
+            grad[k] += g * outv[k];
+            outv[k] += g * dv[k];
+          }
+        }
+        for (size_t k = 0; k < dim; ++k) dv[k] += grad[k];
+      }
+    }
+  }
+}
+
+std::span<const float> Doc2VecModel::DocVector(size_t i) const {
+  NL_DCHECK(i < num_docs_);
+  const size_t dim = static_cast<size_t>(config_.sgns.dim);
+  return {doc_vectors_.data() + i * dim, dim};
+}
+
+Vector Doc2VecModel::Infer(const std::vector<std::string>& tokens) const {
+  const size_t dim = static_cast<size_t>(config_.sgns.dim);
+  // Seed inference deterministically from the token content.
+  uint64_t seed = 1469598103934665603ULL;
+  for (const std::string& t : tokens) {
+    for (char c : t) {
+      seed ^= static_cast<uint8_t>(c);
+      seed *= 1099511628211ULL;
+    }
+  }
+  Rng rng(seed);
+
+  Vector dv(dim);
+  for (float& x : dv) {
+    x = static_cast<float>((rng.UniformDouble() - 0.5) / config_.sgns.dim);
+  }
+  if (vocab_.size() == 0) return dv;
+
+  std::vector<float> grad(dim);
+  const float lr = static_cast<float>(config_.sgns.learning_rate);
+  for (int epoch = 0; epoch < config_.infer_epochs; ++epoch) {
+    // Linearly decayed learning rate, as in Gensim's infer_vector.
+    const float elr =
+        lr * (1.0f - static_cast<float>(epoch) /
+                         static_cast<float>(config_.infer_epochs));
+    for (const std::string& w : tokens) {
+      const int word = vocab_.Find(w);
+      if (word < 0) continue;
+      std::fill(grad.begin(), grad.end(), 0.0f);
+      for (int n = 0; n <= config_.sgns.negatives; ++n) {
+        int target;
+        float label;
+        if (n == 0) {
+          target = word;
+          label = 1.0f;
+        } else {
+          target = vocab_.SampleNegative(&rng);
+          if (target == word) continue;
+          label = 0.0f;
+        }
+        const float* outv = output_.data() + static_cast<size_t>(target) * dim;
+        const float score = Sigmoid(Dot(dv, {outv, dim}));
+        const float g = elr * (label - score);
+        for (size_t k = 0; k < dim; ++k) grad[k] += g * outv[k];
+        // Output matrix is frozen during inference.
+      }
+      for (size_t k = 0; k < dim; ++k) dv[k] += grad[k];
+    }
+  }
+  return dv;
+}
+
+Vector Doc2VecModel::InferText(const std::string& text) const {
+  return Infer(TokenizeForVectors(text));
+}
+
+}  // namespace vec
+}  // namespace newslink

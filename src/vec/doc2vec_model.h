@@ -1,0 +1,53 @@
+// DOC2VEC substitute: PV-DBOW (Le & Mikolov 2014) trained with negative
+// sampling — each document vector is optimized to predict the words it
+// contains. Unseen texts are embedded by inference (gradient steps against
+// frozen word outputs), matching Gensim's infer_vector protocol used by the
+// paper's DOC2VEC baseline.
+
+#ifndef NEWSLINK_VEC_DOC2VEC_MODEL_H_
+#define NEWSLINK_VEC_DOC2VEC_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "vec/sgns_trainer.h"
+
+namespace newslink {
+namespace vec {
+
+struct Doc2VecConfig {
+  SgnsConfig sgns;
+  /// SGD passes over a new text during inference.
+  int infer_epochs = 20;
+};
+
+/// \brief PV-DBOW document vectors.
+class Doc2VecModel {
+ public:
+  void Train(const std::vector<std::vector<std::string>>& docs,
+             const Doc2VecConfig& config);
+
+  int dim() const { return config_.sgns.dim; }
+  size_t num_docs() const { return num_docs_; }
+
+  /// Trained vector of training document i.
+  std::span<const float> DocVector(size_t i) const;
+
+  /// Infer a vector for an unseen token sequence (deterministic: the
+  /// inference RNG is seeded from the tokens).
+  Vector Infer(const std::vector<std::string>& tokens) const;
+
+  Vector InferText(const std::string& text) const;
+
+ private:
+  Doc2VecConfig config_;
+  WordVocab vocab_;
+  size_t num_docs_ = 0;
+  std::vector<float> doc_vectors_;  // num_docs x dim
+  std::vector<float> output_;       // vocab x dim
+};
+
+}  // namespace vec
+}  // namespace newslink
+
+#endif  // NEWSLINK_VEC_DOC2VEC_MODEL_H_

@@ -1,0 +1,174 @@
+#include "vec/fasttext_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace newslink {
+namespace vec {
+
+namespace {
+
+uint32_t Fnv1a(const std::string& s) {
+  uint32_t h = 2166136261u;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<uint32_t> FastTextModel::Subwords(const std::string& word) const {
+  std::vector<uint32_t> out;
+  const std::string padded = "<" + word + ">";
+  for (int n = config_.ngram_min; n <= config_.ngram_max; ++n) {
+    if (padded.size() < static_cast<size_t>(n)) break;
+    for (size_t i = 0; i + n <= padded.size(); ++i) {
+      out.push_back(Fnv1a(padded.substr(i, n)) %
+                    static_cast<uint32_t>(config_.buckets));
+    }
+  }
+  return out;
+}
+
+void FastTextModel::ComposeInput(int word_id,
+                                 const std::vector<uint32_t>& subwords,
+                                 float* out) const {
+  const size_t dim = static_cast<size_t>(config_.sgns.dim);
+  std::fill(out, out + dim, 0.0f);
+  int parts = 0;
+  if (word_id >= 0) {
+    const float* wv = word_input_.data() + static_cast<size_t>(word_id) * dim;
+    for (size_t k = 0; k < dim; ++k) out[k] += wv[k];
+    ++parts;
+  }
+  for (uint32_t b : subwords) {
+    const float* bv = bucket_input_.data() + static_cast<size_t>(b) * dim;
+    for (size_t k = 0; k < dim; ++k) out[k] += bv[k];
+    ++parts;
+  }
+  if (parts > 1) {
+    const float inv = 1.0f / static_cast<float>(parts);
+    for (size_t k = 0; k < dim; ++k) out[k] *= inv;
+  }
+}
+
+void FastTextModel::Train(const std::vector<std::vector<std::string>>& docs,
+                          const FastTextConfig& config) {
+  config_ = config;
+  vocab_.Build(docs, config.sgns.min_count);
+  const size_t v = vocab_.size();
+  const size_t dim = static_cast<size_t>(config.sgns.dim);
+
+  Rng rng(config.sgns.seed);
+  word_input_.resize(v * dim);
+  bucket_input_.resize(static_cast<size_t>(config.buckets) * dim);
+  output_.assign(v * dim, 0.0f);
+  for (float& x : word_input_) {
+    x = static_cast<float>((rng.UniformDouble() - 0.5) / config.sgns.dim);
+  }
+  for (float& x : bucket_input_) {
+    x = static_cast<float>((rng.UniformDouble() - 0.5) / config.sgns.dim);
+  }
+  if (v == 0) return;
+
+  // Cache subword buckets per vocabulary word.
+  std::vector<std::vector<uint32_t>> subword_cache(v);
+  for (size_t i = 0; i < v; ++i) {
+    subword_cache[i] = Subwords(vocab_.word(static_cast<int>(i)));
+  }
+
+  std::vector<float> composed(dim);
+  std::vector<float> grad(dim);
+  const float lr = static_cast<float>(config.sgns.learning_rate);
+
+  for (int epoch = 0; epoch < config.sgns.epochs; ++epoch) {
+    for (const auto& doc : docs) {
+      std::vector<int> ids;
+      ids.reserve(doc.size());
+      for (const std::string& w : doc) {
+        const int id = vocab_.Find(w);
+        if (id < 0) continue;
+        if (rng.UniformDouble() >=
+            vocab_.KeepProbability(id, config.sgns.subsample)) {
+          continue;
+        }
+        ids.push_back(id);
+      }
+      for (size_t pos = 0; pos < ids.size(); ++pos) {
+        const int center = ids[pos];
+        const std::vector<uint32_t>& subs = subword_cache[center];
+        const int window =
+            1 + static_cast<int>(rng.Uniform(config.sgns.window));
+        const size_t lo = pos >= static_cast<size_t>(window)
+                              ? pos - static_cast<size_t>(window)
+                              : 0;
+        const size_t hi =
+            std::min(ids.size(), pos + static_cast<size_t>(window) + 1);
+        for (size_t c = lo; c < hi; ++c) {
+          if (c == pos) continue;
+          const int context = ids[c];
+          ComposeInput(center, subs, composed.data());
+          std::fill(grad.begin(), grad.end(), 0.0f);
+          for (int n = 0; n <= config.sgns.negatives; ++n) {
+            int target;
+            float label;
+            if (n == 0) {
+              target = context;
+              label = 1.0f;
+            } else {
+              target = vocab_.SampleNegative(&rng);
+              if (target == context) continue;
+              label = 0.0f;
+            }
+            float* outv = output_.data() + static_cast<size_t>(target) * dim;
+            const float score = Sigmoid(Dot(composed, {outv, dim}));
+            const float g = lr * (label - score);
+            for (size_t k = 0; k < dim; ++k) {
+              grad[k] += g * outv[k];
+              outv[k] += g * composed[k];
+            }
+          }
+          // Distribute the input gradient over word + subword vectors
+          // (scaled by the same 1/parts used in composition).
+          const float inv = 1.0f / static_cast<float>(1 + subs.size());
+          float* wv = word_input_.data() + static_cast<size_t>(center) * dim;
+          for (size_t k = 0; k < dim; ++k) wv[k] += grad[k] * inv;
+          for (uint32_t bkt : subs) {
+            float* bv = bucket_input_.data() + static_cast<size_t>(bkt) * dim;
+            for (size_t k = 0; k < dim; ++k) bv[k] += grad[k] * inv;
+          }
+        }
+      }
+    }
+  }
+}
+
+Vector FastTextModel::WordVector(const std::string& word) const {
+  Vector out(config_.sgns.dim, 0.0f);
+  ComposeInput(vocab_.Find(word), Subwords(word), out.data());
+  return out;
+}
+
+Vector FastTextModel::DocumentVector(
+    const std::vector<std::string>& tokens) const {
+  Vector out(config_.sgns.dim, 0.0f);
+  if (tokens.empty()) return out;
+  for (const std::string& w : tokens) {
+    const Vector wv = WordVector(w);
+    AddScaled(out, wv, 1.0f);
+  }
+  Scale(out, 1.0f / static_cast<float>(tokens.size()));
+  NormalizeInPlace(out);
+  return out;
+}
+
+Vector FastTextModel::EncodeText(const std::string& text) const {
+  return DocumentVector(TokenizeForVectors(text));
+}
+
+}  // namespace vec
+}  // namespace newslink

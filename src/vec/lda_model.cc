@@ -1,0 +1,140 @@
+#include "vec/lda_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace newslink {
+namespace vec {
+
+double LdaModel::TopicWordProb(int topic, int word) const {
+  const double v = static_cast<double>(vocab_.size());
+  return (topic_word_[static_cast<size_t>(topic) * vocab_.size() + word] +
+          config_.beta) /
+         (topic_total_[topic] + config_.beta * v);
+}
+
+void LdaModel::Train(const std::vector<std::vector<std::string>>& docs,
+                     const LdaConfig& config) {
+  config_ = config;
+  vocab_.Build(docs, config.min_count);
+  const int k = config.num_topics;
+  const size_t v = vocab_.size();
+
+  // Token streams as word ids.
+  std::vector<std::vector<int>> ids(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    for (const std::string& w : docs[d]) {
+      const int id = vocab_.Find(w);
+      if (id >= 0) ids[d].push_back(id);
+    }
+  }
+
+  Rng rng(config.seed);
+  doc_topic_.assign(docs.size(), std::vector<int>(k, 0));
+  topic_word_.assign(static_cast<size_t>(k) * v, 0);
+  topic_total_.assign(k, 0);
+
+  // Random topic initialization.
+  std::vector<std::vector<int>> assignments(docs.size());
+  for (size_t d = 0; d < ids.size(); ++d) {
+    assignments[d].resize(ids[d].size());
+    for (size_t i = 0; i < ids[d].size(); ++i) {
+      const int t = static_cast<int>(rng.Uniform(k));
+      assignments[d][i] = t;
+      ++doc_topic_[d][t];
+      ++topic_word_[static_cast<size_t>(t) * v + ids[d][i]];
+      ++topic_total_[t];
+    }
+  }
+
+  std::vector<double> probs(k);
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    for (size_t d = 0; d < ids.size(); ++d) {
+      for (size_t i = 0; i < ids[d].size(); ++i) {
+        const int word = ids[d][i];
+        const int old_t = assignments[d][i];
+        --doc_topic_[d][old_t];
+        --topic_word_[static_cast<size_t>(old_t) * v + word];
+        --topic_total_[old_t];
+
+        double acc = 0.0;
+        for (int t = 0; t < k; ++t) {
+          acc += (doc_topic_[d][t] + config.alpha) * TopicWordProb(t, word);
+          probs[t] = acc;
+        }
+        const int new_t = static_cast<int>(rng.SampleFromCdf(probs));
+
+        assignments[d][i] = new_t;
+        ++doc_topic_[d][new_t];
+        ++topic_word_[static_cast<size_t>(new_t) * v + word];
+        ++topic_total_[new_t];
+      }
+    }
+  }
+}
+
+Vector LdaModel::DocTopics(size_t i) const {
+  NL_DCHECK(i < doc_topic_.size());
+  const int k = config_.num_topics;
+  Vector theta(k);
+  double total = 0.0;
+  for (int t = 0; t < k; ++t) total += doc_topic_[i][t] + config_.alpha;
+  for (int t = 0; t < k; ++t) {
+    theta[t] = static_cast<float>((doc_topic_[i][t] + config_.alpha) / total);
+  }
+  return theta;
+}
+
+Vector LdaModel::Infer(const std::vector<std::string>& tokens) const {
+  const int k = config_.num_topics;
+  std::vector<int> ids;
+  for (const std::string& w : tokens) {
+    const int id = vocab_.Find(w);
+    if (id >= 0) ids.push_back(id);
+  }
+
+  uint64_t seed = 14695981039346656037ULL;
+  for (const std::string& t : tokens) {
+    for (char c : t) {
+      seed ^= static_cast<uint8_t>(c);
+      seed *= 1099511628211ULL;
+    }
+  }
+  Rng rng(seed);
+
+  std::vector<int> counts(k, 0);
+  std::vector<int> assign(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    assign[i] = static_cast<int>(rng.Uniform(k));
+    ++counts[assign[i]];
+  }
+  std::vector<double> probs(k);
+  for (int iter = 0; iter < config_.infer_iterations; ++iter) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      --counts[assign[i]];
+      double acc = 0.0;
+      for (int t = 0; t < k; ++t) {
+        acc += (counts[t] + config_.alpha) * TopicWordProb(t, ids[i]);
+        probs[t] = acc;
+      }
+      assign[i] = static_cast<int>(rng.SampleFromCdf(probs));
+      ++counts[assign[i]];
+    }
+  }
+
+  Vector theta(k);
+  double total = 0.0;
+  for (int t = 0; t < k; ++t) total += counts[t] + config_.alpha;
+  for (int t = 0; t < k; ++t) {
+    theta[t] = static_cast<float>((counts[t] + config_.alpha) / total);
+  }
+  return theta;
+}
+
+Vector LdaModel::InferText(const std::string& text) const {
+  return Infer(TokenizeForVectors(text));
+}
+
+}  // namespace vec
+}  // namespace newslink

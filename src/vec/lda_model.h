@@ -1,0 +1,57 @@
+// Latent Dirichlet Allocation (Blei et al. 2003) via collapsed Gibbs
+// sampling (Griffiths & Steyvers 2004) — the LDA baseline of Table IV.
+
+#ifndef NEWSLINK_VEC_LDA_MODEL_H_
+#define NEWSLINK_VEC_LDA_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "vec/dense_vector.h"
+#include "vec/sgns_trainer.h"
+
+namespace newslink {
+namespace vec {
+
+struct LdaConfig {
+  int num_topics = 50;
+  double alpha = 1.0;   // document-topic prior (paper-style 50/K)
+  double beta = 0.01;   // topic-word prior
+  int iterations = 30;
+  int infer_iterations = 15;
+  int min_count = 2;
+  uint64_t seed = 77;
+};
+
+/// \brief Collapsed-Gibbs LDA with fold-in inference for unseen texts.
+class LdaModel {
+ public:
+  void Train(const std::vector<std::vector<std::string>>& docs,
+             const LdaConfig& config);
+
+  int num_topics() const { return config_.num_topics; }
+  size_t num_docs() const { return doc_topic_.size(); }
+
+  /// Normalized topic mixture theta of training document i.
+  Vector DocTopics(size_t i) const;
+
+  /// Fold-in inference: Gibbs over the new tokens with frozen topic-word
+  /// counts. Deterministic (RNG seeded from the tokens).
+  Vector Infer(const std::vector<std::string>& tokens) const;
+  Vector InferText(const std::string& text) const;
+
+ private:
+  double TopicWordProb(int topic, int word) const;
+
+  LdaConfig config_;
+  WordVocab vocab_;
+  std::vector<std::vector<int>> doc_topic_;  // per-doc topic counts
+  std::vector<int> topic_word_;              // K x V counts (flattened)
+  std::vector<int> topic_total_;             // K
+};
+
+}  // namespace vec
+}  // namespace newslink
+
+#endif  // NEWSLINK_VEC_LDA_MODEL_H_

@@ -1,0 +1,134 @@
+#include "vec/model_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace newslink {
+namespace vec {
+
+namespace {
+
+constexpr char kMagic[] = "NLW2V1\n";
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WritePod(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadPod(in, &len)) return false;
+  if (len > (1u << 20)) return false;  // corrupt header guard
+  s->resize(len);
+  in.read(s->data(), len);
+  return static_cast<bool>(in);
+}
+
+void WriteFloats(std::ofstream& out, const std::vector<float>& v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+bool ReadFloats(std::ifstream& in, std::vector<float>* v) {
+  uint64_t n = 0;
+  if (!ReadPod(in, &n)) return false;
+  if (n > (1ull << 32)) return false;
+  v->resize(n);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveWord2Vec(const Word2VecModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError(StrCat("cannot open ", path));
+  out.write(kMagic, sizeof(kMagic) - 1);
+
+  const SgnsConfig& config = model.config();
+  WritePod(out, static_cast<int32_t>(config.dim));
+  WritePod(out, config.subsample);
+  WritePod(out, static_cast<uint64_t>(model.vocab().size()));
+  for (size_t i = 0; i < model.vocab().size(); ++i) {
+    WriteString(out, model.vocab().word(static_cast<int>(i)));
+    WritePod(out, model.vocab().count(static_cast<int>(i)));
+  }
+  WriteFloats(out, model.input_matrix());
+  WriteFloats(out, model.output_matrix());
+  if (!out) return Status::IOError("model write failed");
+  return Status::OK();
+}
+
+Result<Word2VecModel> LoadWord2Vec(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError(StrCat("cannot open ", path));
+
+  char magic[sizeof(kMagic) - 1];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    return Status::IOError(StrCat(path, " is not a NLW2V1 model file"));
+  }
+
+  SgnsConfig config;
+  int32_t dim = 0;
+  if (!ReadPod(in, &dim) || dim <= 0 || dim > 65536) {
+    return Status::IOError("corrupt model header (dim)");
+  }
+  config.dim = dim;
+  if (!ReadPod(in, &config.subsample)) {
+    return Status::IOError("corrupt model header (subsample)");
+  }
+
+  uint64_t vocab_size = 0;
+  if (!ReadPod(in, &vocab_size) || vocab_size > (1ull << 28)) {
+    return Status::IOError("corrupt model header (vocab)");
+  }
+  std::vector<std::string> words;
+  std::vector<uint64_t> counts;
+  words.reserve(vocab_size);
+  counts.reserve(vocab_size);
+  for (uint64_t i = 0; i < vocab_size; ++i) {
+    std::string word;
+    uint64_t count = 0;
+    if (!ReadString(in, &word) || !ReadPod(in, &count)) {
+      return Status::IOError("corrupt vocabulary entry");
+    }
+    words.push_back(std::move(word));
+    counts.push_back(count);
+  }
+
+  std::vector<float> input;
+  std::vector<float> output;
+  if (!ReadFloats(in, &input) || !ReadFloats(in, &output)) {
+    return Status::IOError("corrupt embedding matrices");
+  }
+  const size_t expected = vocab_size * static_cast<size_t>(dim);
+  if (input.size() != expected || output.size() != expected) {
+    return Status::IOError("matrix size does not match vocabulary");
+  }
+
+  WordVocab vocab;
+  vocab.Restore(std::move(words), std::move(counts));
+  Word2VecModel model;
+  model.Restore(std::move(vocab), config, std::move(input),
+                std::move(output));
+  return model;
+}
+
+}  // namespace vec
+}  // namespace newslink

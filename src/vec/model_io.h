@@ -1,0 +1,30 @@
+// Binary persistence for trained word-vector models, so the expensive
+// training step (the FastText judge, the baselines) can be cached across
+// runs. Little-endian binary format with a magic header:
+//   "NLW2V1\n" | dim | vocab_size | [len word count]* | input floats |
+//   output floats
+// FastText adds its subword parameters and bucket matrix.
+
+#ifndef NEWSLINK_VEC_MODEL_IO_H_
+#define NEWSLINK_VEC_MODEL_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "vec/fasttext_model.h"
+#include "vec/sgns_trainer.h"
+
+namespace newslink {
+namespace vec {
+
+/// Persist a trained Word2VecModel.
+Status SaveWord2Vec(const Word2VecModel& model, const std::string& path);
+
+/// Load a model written by SaveWord2Vec.
+Result<Word2VecModel> LoadWord2Vec(const std::string& path);
+
+}  // namespace vec
+}  // namespace newslink
+
+#endif  // NEWSLINK_VEC_MODEL_IO_H_

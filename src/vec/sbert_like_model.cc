@@ -1,0 +1,24 @@
+#include "vec/sbert_like_model.h"
+
+namespace newslink {
+namespace vec {
+
+void SbertLikeModel::Pretrain(
+    const std::vector<std::vector<std::string>>& background_docs,
+    const SgnsConfig& config) {
+  model_.Train(background_docs, config);
+}
+
+Vector SbertLikeModel::EncodeTokens(
+    const std::vector<std::string>& tokens) const {
+  Vector v = model_.SifVector(tokens);
+  NormalizeInPlace(v);
+  return v;
+}
+
+Vector SbertLikeModel::Encode(const std::string& text) const {
+  return EncodeTokens(TokenizeForVectors(text));
+}
+
+}  // namespace vec
+}  // namespace newslink

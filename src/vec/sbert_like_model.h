@@ -1,0 +1,40 @@
+// SBERT substitute (DESIGN.md §2): what the evaluation needs from SBERT is
+// "generic pretrained sentence vectors not fitted to the target corpus".
+// We model that as SIF-weighted averages (Arora et al. 2017) of skip-gram
+// word vectors trained on a *background* corpus, so the encoder carries
+// general semantics but no corpus-specific document identity — reproducing
+// SBERT's signature profile in the paper: high SIM@k, low HIT@k.
+
+#ifndef NEWSLINK_VEC_SBERT_LIKE_MODEL_H_
+#define NEWSLINK_VEC_SBERT_LIKE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "vec/sgns_trainer.h"
+
+namespace newslink {
+namespace vec {
+
+/// \brief Pretrained-style sentence encoder.
+class SbertLikeModel {
+ public:
+  /// "Pretraining": fit word vectors on background documents (e.g. the
+  /// training split — never the test queries).
+  void Pretrain(const std::vector<std::vector<std::string>>& background_docs,
+                const SgnsConfig& config);
+
+  int dim() const { return model_.dim(); }
+
+  /// Encode a text to a unit-length sentence vector.
+  Vector Encode(const std::string& text) const;
+  Vector EncodeTokens(const std::vector<std::string>& tokens) const;
+
+ private:
+  Word2VecModel model_;
+};
+
+}  // namespace vec
+}  // namespace newslink
+
+#endif  // NEWSLINK_VEC_SBERT_LIKE_MODEL_H_

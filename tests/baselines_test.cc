@@ -1,0 +1,224 @@
+// Tests for src/baselines: the Lucene-like BM25 engine, QEPRF expansion,
+// and the dense-vector engines.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/lucene_like_engine.h"
+#include "baselines/qeprf_engine.h"
+#include "baselines/vector_engines.h"
+#include "corpus/synthetic_news.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+#include "text/gazetteer_ner.h"
+
+namespace newslink {
+namespace baselines {
+namespace {
+
+corpus::Corpus TinyCorpus() {
+  corpus::Corpus c;
+  c.Add({"d0", "", "The taliban bombing struck lahore markets today.", 0});
+  c.Add({"d1", "", "Election results were announced by the commission.", 1});
+  c.Add({"d2", "", "The striker scored in the league match.", 2});
+  c.Add({"d3", "", "Bombing attacks continued near the border region.", 0});
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// LuceneLikeEngine
+// ---------------------------------------------------------------------------
+
+TEST(LuceneLikeEngineTest, FindsKeywordMatches) {
+  LuceneLikeEngine engine;
+  engine.Index(TinyCorpus());
+  const auto results = engine.Search("taliban bombing", 2);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].doc_index, 0u);
+}
+
+TEST(LuceneLikeEngineTest, RanksMoreMatchesHigher) {
+  LuceneLikeEngine engine;
+  engine.Index(TinyCorpus());
+  const auto results = engine.Search("bombing", 4);
+  ASSERT_EQ(results.size(), 2u);  // only two docs mention bombing
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.doc_index == 0 || r.doc_index == 3);
+  }
+}
+
+TEST(LuceneLikeEngineTest, NoMatchesYieldsEmpty) {
+  LuceneLikeEngine engine;
+  engine.Index(TinyCorpus());
+  EXPECT_TRUE(engine.Search("zzzunknownzzz", 5).empty());
+}
+
+TEST(LuceneLikeEngineTest, StemmingBridgesInflections) {
+  LuceneLikeEngine engine;
+  engine.Index(TinyCorpus());
+  // "elections" stems to the same term as "election".
+  const auto results = engine.Search("elections", 2);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].doc_index, 1u);
+}
+
+TEST(LuceneLikeEngineTest, NameIsLucene) {
+  EXPECT_EQ(LuceneLikeEngine().name(), "Lucene");
+}
+
+// ---------------------------------------------------------------------------
+// QeprfEngine
+// ---------------------------------------------------------------------------
+
+class QeprfTest : public ::testing::Test {
+ protected:
+  QeprfTest() : kg_(MakeKg()), index_(kg_.graph), ner_(&index_) {}
+
+  static kg::SyntheticKg MakeKg() {
+    kg::SyntheticKgConfig config;
+    config.seed = 21;
+    config.num_countries = 2;
+    config.provinces_per_country = 2;
+    config.districts_per_province = 2;
+    config.cities_per_district = 2;
+    return kg::SyntheticKgGenerator(config).Generate();
+  }
+
+  corpus::Corpus CorpusWithKgEntities() {
+    // Build a corpus mentioning real KG entities so descriptions matter.
+    const std::string country = kg_.graph.label(kg_.Category("country")[0]);
+    const std::string province = kg_.graph.label(kg_.Category("province")[0]);
+    const std::string district = kg_.graph.label(kg_.Category("district")[0]);
+    corpus::Corpus c;
+    c.Add({"d0", "", "Fighting erupted in " + district + " yesterday.", 0});
+    c.Add({"d1", "", "Officials of " + province + " spoke after clashes.", 0});
+    c.Add({"d2", "", "The " + country + " government issued a statement.", 0});
+    c.Add({"d3", "", "Sports league results were published.", 1});
+    return c;
+  }
+
+  kg::SyntheticKg kg_;
+  kg::LabelIndex index_;
+  text::GazetteerNer ner_;
+};
+
+TEST_F(QeprfTest, ExpansionTermsComeFromDescriptions) {
+  QeprfEngine engine(&kg_.graph, &index_, &ner_);
+  engine.Index(CorpusWithKgEntities());
+  const std::string district = kg_.graph.label(kg_.Category("district")[0]);
+  const auto expansions =
+      engine.ExpansionTerms("Fighting in " + district + " continues");
+  // The district's description mentions its province -> expansion should
+  // contain at least one term that is not in the original query.
+  EXPECT_FALSE(expansions.empty());
+}
+
+TEST_F(QeprfTest, ExpandedQueryStillRanksDirectMatchFirst) {
+  QeprfEngine engine(&kg_.graph, &index_, &ner_);
+  engine.Index(CorpusWithKgEntities());
+  const std::string district = kg_.graph.label(kg_.Category("district")[0]);
+  const auto results = engine.Search("Fighting in " + district, 3);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].doc_index, 0u);
+}
+
+TEST_F(QeprfTest, ExpansionCanRecallRelatedDocs) {
+  QeprfEngine engine(&kg_.graph, &index_, &ner_);
+  engine.Index(CorpusWithKgEntities());
+  const std::string district = kg_.graph.label(kg_.Category("district")[0]);
+  // The query only names the district, but the province doc shares the
+  // expansion terms from the district's KG description.
+  const auto results = engine.Search(district + " clashes", 4);
+  std::vector<size_t> docs;
+  for (const auto& r : results) docs.push_back(r.doc_index);
+  EXPECT_NE(std::find(docs.begin(), docs.end(), 1u), docs.end())
+      << "expansion should surface the province document";
+}
+
+TEST_F(QeprfTest, QueriesWithoutEntitiesStillWork) {
+  QeprfEngine engine(&kg_.graph, &index_, &ner_);
+  engine.Index(CorpusWithKgEntities());
+  const auto results = engine.Search("sports league results", 2);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].doc_index, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Dense vector engines
+// ---------------------------------------------------------------------------
+
+corpus::Corpus TopicCorpus() {
+  corpus::Corpus c;
+  for (int i = 0; i < 12; ++i) {
+    c.Add({"s" + std::to_string(i), "",
+           "goal match league striker coach stadium goal match striker "
+           "league coach stadium goal striker.",
+           0});
+    c.Add({"p" + std::to_string(i), "",
+           "vote ballot senate motion caucus minister vote ballot motion "
+           "senate caucus minister vote senate.",
+           1});
+  }
+  return c;
+}
+
+template <typename Engine>
+void ExpectTopicRetrieval(Engine&& engine) {
+  engine.Index(TopicCorpus());
+  const auto results = engine.Search("goal striker league match", 5);
+  ASSERT_EQ(results.size(), 5u);
+  // Majority of the top-5 must be sports docs (story 0 = even indices).
+  int sports = 0;
+  for (const auto& r : results) {
+    if (r.doc_index % 2 == 0) ++sports;
+  }
+  EXPECT_GE(sports, 4);
+}
+
+TEST(VectorEnginesTest, Doc2VecRetrievesTopic) {
+  vec::Doc2VecConfig config;
+  config.sgns.dim = 16;
+  config.sgns.epochs = 6;
+  config.sgns.min_count = 1;
+  ExpectTopicRetrieval(Doc2VecEngine(config));
+}
+
+TEST(VectorEnginesTest, SbertRetrievesTopic) {
+  vec::SgnsConfig config;
+  config.dim = 16;
+  config.epochs = 6;
+  config.min_count = 1;
+  ExpectTopicRetrieval(SbertLikeEngine(config));
+}
+
+TEST(VectorEnginesTest, LdaRetrievesTopic) {
+  vec::LdaConfig config;
+  config.num_topics = 2;
+  config.alpha = 0.1;
+  config.iterations = 40;
+  config.min_count = 1;
+  ExpectTopicRetrieval(LdaEngine(config));
+}
+
+TEST(VectorEnginesTest, TrainingIndicesRestrictFitting) {
+  vec::SgnsConfig config;
+  config.dim = 8;
+  config.epochs = 2;
+  config.min_count = 1;
+  SbertLikeEngine engine(config);
+  engine.set_training_indices({0, 1, 2, 3});
+  engine.Index(TopicCorpus());
+  // Must still answer queries over the full corpus.
+  EXPECT_EQ(engine.Search("goal match", 3).size(), 3u);
+}
+
+TEST(VectorEnginesTest, EngineNames) {
+  EXPECT_EQ(Doc2VecEngine().name(), "DOC2VEC");
+  EXPECT_EQ(SbertLikeEngine().name(), "SBERT");
+  EXPECT_EQ(LdaEngine().name(), "LDA");
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace newslink

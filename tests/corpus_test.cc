@@ -1,0 +1,241 @@
+// Tests for src/corpus: containers, splitting, and the synthetic news
+// generator (determinism, story structure, controlled vocabulary mismatch).
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "corpus/synthetic_news.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+#include "text/gazetteer_ner.h"
+#include "text/news_segmenter.h"
+#include "text/sentence_splitter.h"
+
+namespace newslink {
+namespace corpus {
+namespace {
+
+kg::SyntheticKg SmallKg() {
+  kg::SyntheticKgConfig config;
+  config.seed = 11;
+  config.num_countries = 2;
+  config.provinces_per_country = 3;
+  config.districts_per_province = 2;
+  config.cities_per_district = 2;
+  return kg::SyntheticKgGenerator(config).Generate();
+}
+
+SyntheticNewsConfig SmallNewsConfig() {
+  SyntheticNewsConfig config = CnnLikeConfig();
+  config.num_stories = 20;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Corpus / splits
+// ---------------------------------------------------------------------------
+
+TEST(CorpusTest, AddAndAccess) {
+  Corpus c;
+  EXPECT_TRUE(c.empty());
+  const size_t i = c.Add(Document{"d0", "title", "text", 3});
+  EXPECT_EQ(i, 0u);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.doc(0).id, "d0");
+  EXPECT_EQ(c.doc(0).story_id, 3u);
+}
+
+TEST(SplitCorpusTest, FractionsRespected) {
+  Rng rng(1);
+  const CorpusSplit split = SplitCorpus(100, 0.8, 0.1, &rng);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_EQ(split.validation.size(), 10u);
+  EXPECT_EQ(split.test.size(), 10u);
+}
+
+TEST(SplitCorpusTest, PartitionIsCompleteAndDisjoint) {
+  Rng rng(2);
+  const CorpusSplit split = SplitCorpus(57, 0.7, 0.15, &rng);
+  std::set<size_t> all;
+  for (size_t i : split.train) all.insert(i);
+  for (size_t i : split.validation) all.insert(i);
+  for (size_t i : split.test) all.insert(i);
+  EXPECT_EQ(all.size(), 57u);  // disjoint union covers everything
+  EXPECT_EQ(*all.rbegin(), 56u);
+}
+
+TEST(SplitCorpusTest, DeterministicGivenRngSeed) {
+  Rng a(3), b(3);
+  const CorpusSplit s1 = SplitCorpus(30, 0.5, 0.2, &a);
+  const CorpusSplit s2 = SplitCorpus(30, 0.5, 0.2, &b);
+  EXPECT_EQ(s1.train, s2.train);
+  EXPECT_EQ(s1.test, s2.test);
+}
+
+TEST(SplitCorpusTest, EmptyCorpus) {
+  Rng rng(4);
+  const CorpusSplit split = SplitCorpus(0, 0.8, 0.1, &rng);
+  EXPECT_TRUE(split.train.empty());
+  EXPECT_TRUE(split.test.empty());
+}
+
+// ---------------------------------------------------------------------------
+// SyntheticNewsGenerator
+// ---------------------------------------------------------------------------
+
+TEST(SyntheticNewsTest, DeterministicForSameSeed) {
+  const kg::SyntheticKg kg = SmallKg();
+  SyntheticNewsGenerator g1(&kg, SmallNewsConfig());
+  SyntheticNewsGenerator g2(&kg, SmallNewsConfig());
+  const SyntheticCorpus a = g1.Generate();
+  const SyntheticCorpus b = g2.Generate();
+  ASSERT_EQ(a.corpus.size(), b.corpus.size());
+  for (size_t i = 0; i < a.corpus.size(); ++i) {
+    EXPECT_EQ(a.corpus.doc(i).text, b.corpus.doc(i).text);
+  }
+}
+
+TEST(SyntheticNewsTest, StoryCountAndDocBounds) {
+  const kg::SyntheticKg kg = SmallKg();
+  const SyntheticNewsConfig config = SmallNewsConfig();
+  const SyntheticCorpus sc = SyntheticNewsGenerator(&kg, config).Generate();
+  EXPECT_EQ(sc.stories.size(), static_cast<size_t>(config.num_stories));
+  EXPECT_GE(sc.corpus.size(),
+            static_cast<size_t>(config.num_stories *
+                                config.docs_per_story_min));
+  EXPECT_LE(sc.corpus.size(),
+            static_cast<size_t>(config.num_stories *
+                                config.docs_per_story_max));
+}
+
+TEST(SyntheticNewsTest, StoryIdsAreValidAndGrouped) {
+  const kg::SyntheticKg kg = SmallKg();
+  const SyntheticCorpus sc =
+      SyntheticNewsGenerator(&kg, SmallNewsConfig()).Generate();
+  for (const Document& d : sc.corpus.docs()) {
+    EXPECT_LT(d.story_id, sc.stories.size());
+  }
+}
+
+TEST(SyntheticNewsTest, DocumentsHaveSentences) {
+  const kg::SyntheticKg kg = SmallKg();
+  const SyntheticNewsConfig config = SmallNewsConfig();
+  const SyntheticCorpus sc = SyntheticNewsGenerator(&kg, config).Generate();
+  for (const Document& d : sc.corpus.docs()) {
+    const auto sentences = text::SentenceStrings(d.text);
+    EXPECT_GE(sentences.size(),
+              static_cast<size_t>(config.sentences_per_doc_min));
+    EXPECT_LE(sentences.size(),
+              static_cast<size_t>(config.sentences_per_doc_max));
+  }
+}
+
+TEST(SyntheticNewsTest, ClusterEntitiesComeFromAnchorNeighbourhood) {
+  const kg::SyntheticKg kg = SmallKg();
+  const SyntheticCorpus sc =
+      SyntheticNewsGenerator(&kg, SmallNewsConfig()).Generate();
+  for (const StoryInfo& story : sc.stories) {
+    ASSERT_FALSE(story.cluster_entities.empty());
+    EXPECT_EQ(story.cluster_entities[0], story.anchor);
+    for (kg::NodeId v : story.cluster_entities) {
+      EXPECT_LT(v, kg.graph.num_nodes());
+    }
+  }
+}
+
+TEST(SyntheticNewsTest, DocumentsMentionKgEntities) {
+  const kg::SyntheticKg kg = SmallKg();
+  const SyntheticCorpus sc =
+      SyntheticNewsGenerator(&kg, SmallNewsConfig()).Generate();
+  kg::LabelIndex index(kg.graph);
+  text::GazetteerNer ner(&index);
+  text::NewsSegmenter segmenter(&ner);
+
+  size_t docs_with_entities = 0;
+  for (size_t i = 0; i < std::min<size_t>(sc.corpus.size(), 30); ++i) {
+    const text::SegmentedDocument segmented =
+        segmenter.Segment(sc.corpus.doc(i).text);
+    if (segmented.MatchedMentions() > 0) ++docs_with_entities;
+  }
+  EXPECT_GE(docs_with_entities, 28u);  // essentially all
+}
+
+TEST(SyntheticNewsTest, MatchingRatioBelowOneButHigh) {
+  // The unknown_entity_prob knob produces Table V's ~96-97% ratio.
+  const kg::SyntheticKg kg = SmallKg();
+  SyntheticNewsConfig config = SmallNewsConfig();
+  config.num_stories = 40;
+  const SyntheticCorpus sc = SyntheticNewsGenerator(&kg, config).Generate();
+  kg::LabelIndex index(kg.graph);
+  text::GazetteerNer ner(&index);
+  text::NewsSegmenter segmenter(&ner);
+
+  size_t total = 0, matched = 0;
+  for (const Document& d : sc.corpus.docs()) {
+    const text::SegmentedDocument segmented = segmenter.Segment(d.text);
+    total += segmented.TotalMentions();
+    matched += segmented.MatchedMentions();
+  }
+  ASSERT_GT(total, 0u);
+  const double ratio = static_cast<double>(matched) / total;
+  EXPECT_GT(ratio, 0.90);
+  EXPECT_LT(ratio, 1.0);
+}
+
+TEST(SyntheticNewsTest, SameStoryDocsShareEntities) {
+  const kg::SyntheticKg kg = SmallKg();
+  const SyntheticCorpus sc =
+      SyntheticNewsGenerator(&kg, SmallNewsConfig()).Generate();
+  kg::LabelIndex index(kg.graph);
+  text::GazetteerNer ner(&index);
+  text::NewsSegmenter segmenter(&ner);
+
+  // Find two docs of the same story and compare entity overlap with a doc
+  // from a different story.
+  auto entities_of = [&](const Document& d) {
+    std::set<std::string> out;
+    for (const auto& seg : segmenter.Segment(d.text).segments) {
+      out.insert(seg.entities.begin(), seg.entities.end());
+    }
+    return out;
+  };
+  size_t same_overlap_total = 0, cases = 0;
+  for (size_t i = 0; i + 1 < sc.corpus.size() && cases < 10; ++i) {
+    if (sc.corpus.doc(i).story_id == sc.corpus.doc(i + 1).story_id) {
+      const auto a = entities_of(sc.corpus.doc(i));
+      const auto b = entities_of(sc.corpus.doc(i + 1));
+      std::vector<std::string> overlap;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(overlap));
+      same_overlap_total += overlap.size();
+      ++cases;
+    }
+  }
+  ASSERT_GT(cases, 0u);
+  EXPECT_GT(same_overlap_total, cases);  // > 1 shared entity on average
+}
+
+TEST(SyntheticNewsTest, PresetsDiffer) {
+  const SyntheticNewsConfig cnn = CnnLikeConfig();
+  const SyntheticNewsConfig kaggle = KaggleLikeConfig();
+  EXPECT_LT(cnn.synonym_registers, kaggle.synonym_registers);
+  EXPECT_LT(cnn.unknown_entity_prob, kaggle.unknown_entity_prob);
+}
+
+TEST(SyntheticNewsTest, IdPrefixUsed) {
+  const kg::SyntheticKg kg = SmallKg();
+  SyntheticNewsConfig config = SmallNewsConfig();
+  config.num_stories = 2;
+  const SyntheticCorpus sc =
+      SyntheticNewsGenerator(&kg, config).Generate("cnnx");
+  for (const Document& d : sc.corpus.docs()) {
+    EXPECT_EQ(d.id.rfind("cnnx-", 0), 0u) << d.id;
+  }
+}
+
+}  // namespace
+}  // namespace corpus
+}  // namespace newslink

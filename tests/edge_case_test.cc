@@ -1,0 +1,186 @@
+// Edge-case and failure-injection tests across the engine surface:
+// degenerate inputs, empty structures, timeouts, and misuse that must fail
+// softly instead of corrupting results.
+
+#include <gtest/gtest.h>
+
+#include "baselines/lucene_like_engine.h"
+#include "baselines/vector_engines.h"
+#include "corpus/synthetic_news.h"
+#include "embed/lcag_search.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+#include "newslink/newslink_engine.h"
+
+namespace newslink {
+namespace {
+
+class EdgeCaseTest : public ::testing::Test {
+ protected:
+  EdgeCaseTest() : world_(MakeWorld()), labels_(world_.graph) {}
+
+  static kg::SyntheticKg MakeWorld() {
+    kg::SyntheticKgConfig config;
+    config.seed = 555;
+    config.num_countries = 1;
+    config.provinces_per_country = 2;
+    config.districts_per_province = 2;
+    config.cities_per_district = 2;
+    return kg::SyntheticKgGenerator(config).Generate();
+  }
+
+  corpus::Corpus SmallCorpus() {
+    corpus::SyntheticNewsConfig config = corpus::CnnLikeConfig();
+    config.num_stories = 6;
+    return corpus::SyntheticNewsGenerator(&world_, config)
+        .Generate("edge")
+        .corpus;
+  }
+
+  kg::SyntheticKg world_;
+  kg::LabelIndex labels_;
+};
+
+// ---------------------------------------------------------------------------
+// NewsLinkEngine degenerate inputs
+// ---------------------------------------------------------------------------
+
+TEST_F(EdgeCaseTest, EmptyCorpusIndexAndSearch) {
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  corpus::Corpus empty;
+  engine.Index(empty);
+  EXPECT_TRUE(engine.Search("anything", 5).empty());
+  EXPECT_EQ(engine.EmbeddedDocumentFraction(), 0.0);
+}
+
+TEST_F(EdgeCaseTest, EmptyQueryReturnsEmpty) {
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  engine.Index(SmallCorpus());
+  EXPECT_TRUE(engine.Search("", 5).empty());
+}
+
+TEST_F(EdgeCaseTest, StopwordOnlyQueryReturnsEmpty) {
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  engine.Index(SmallCorpus());
+  EXPECT_TRUE(engine.Search("the and of with", 5).empty());
+}
+
+TEST_F(EdgeCaseTest, KZeroReturnsEmpty) {
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  const corpus::Corpus corpus = SmallCorpus();
+  engine.Index(corpus);
+  const std::string& text = corpus.doc(0).text;
+  EXPECT_TRUE(engine.Search(text.substr(0, 60), 0).empty());
+}
+
+TEST_F(EdgeCaseTest, QueryWithOnlyUnknownWordsAtBetaOne) {
+  NewsLinkConfig config;
+  config.beta = 1.0;
+  NewsLinkEngine engine(&world_.graph, &labels_, config);
+  engine.Index(SmallCorpus());
+  // Nothing links to the KG: BON side is empty and no results leak through.
+  EXPECT_TRUE(engine.Search("zzzz qqqq xxxx", 5).empty());
+}
+
+TEST_F(EdgeCaseTest, PunctuationOnlyDocumentIndexes) {
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  corpus::Corpus corpus;
+  corpus.Add({"p-0", "", "... !!! ???", 0});
+  corpus.Add({"p-1", "", "A normal sentence about nothing in particular.", 0});
+  engine.Index(corpus);  // must not crash
+  EXPECT_EQ(engine.num_indexed_docs(), 2u);
+  EXPECT_TRUE(engine.doc_embedding(0).empty());
+}
+
+TEST_F(EdgeCaseTest, SearchExplainedOnBetaZero) {
+  NewsLinkConfig config;
+  config.beta = 0.0;
+  NewsLinkEngine engine(&world_.graph, &labels_, config);
+  const corpus::Corpus corpus = SmallCorpus();
+  engine.Index(corpus);
+  const std::string& text = corpus.doc(1).text;
+  const auto results =
+      engine.SearchExplained(text.substr(0, text.find('.') + 1), 3, 3);
+  EXPECT_FALSE(results.empty());  // explanations still computed at beta=0
+}
+
+// ---------------------------------------------------------------------------
+// LCAG timeout / degenerate labels
+// ---------------------------------------------------------------------------
+
+TEST_F(EdgeCaseTest, LcagZeroTimeoutReportsTimedOut) {
+  embed::LcagSearch search(&world_.graph, &labels_);
+  embed::LcagOptions options;
+  options.timeout_seconds = 0.0;
+  // Entities far apart force expansion; the 256-pop timeout check fires
+  // before any candidate on a graph this size only if labels are far, so
+  // use max_expansions to guarantee determinism of the assertion:
+  options.max_expansions = 1;
+  const std::string l1 = kg::NormalizeLabel(
+      world_.graph.label(world_.Category("city")[0]));
+  const std::string l2 = kg::NormalizeLabel(
+      world_.graph.label(world_.Category("city").back()));
+  const embed::LcagResult result = search.Find({l1, l2}, options);
+  EXPECT_FALSE(result.found);
+}
+
+TEST_F(EdgeCaseTest, DuplicateLabelsInGroupAreHarmless) {
+  embed::LcagSearch search(&world_.graph, &labels_);
+  const std::string l = kg::NormalizeLabel(
+      world_.graph.label(world_.Category("district")[0]));
+  const embed::LcagResult result = search.Find({l, l, l});
+  ASSERT_TRUE(result.found);
+  // Three identical labels: all distances zero.
+  for (double d : result.graph.label_distances) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST_F(EdgeCaseTest, EmptyLabelListNotFound) {
+  embed::LcagSearch search(&world_.graph, &labels_);
+  EXPECT_FALSE(search.Find({}).found);
+}
+
+// ---------------------------------------------------------------------------
+// Baselines degenerate inputs
+// ---------------------------------------------------------------------------
+
+TEST_F(EdgeCaseTest, LuceneEmptyCorpus) {
+  baselines::LuceneLikeEngine engine;
+  corpus::Corpus empty;
+  engine.Index(empty);
+  EXPECT_TRUE(engine.Search("anything", 3).empty());
+}
+
+TEST_F(EdgeCaseTest, VectorEngineSingleDocCorpus) {
+  corpus::Corpus one;
+  one.Add({"solo", "", "striker goal match league goal striker.", 0});
+  vec::SgnsConfig config;
+  config.dim = 8;
+  config.min_count = 1;
+  baselines::SbertLikeEngine engine(config);
+  engine.Index(one);
+  const auto results = engine.Search("goal", 5);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].doc_index, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-ish: engine must survive adversarial document content
+// ---------------------------------------------------------------------------
+
+TEST_F(EdgeCaseTest, AdversarialDocumentsDoNotBreakIndexing) {
+  corpus::Corpus corpus;
+  corpus.Add({"a", "", std::string(5000, 'x'), 0});        // one huge token
+  corpus.Add({"b", "", "A. B. C. D. E. F. G.", 0});        // initials
+  corpus.Add({"c", "", "Mr. Dr. Gen. St. vs. etc.", 0});   // abbreviations
+  corpus.Add({"d", "", "\t\n  \n\t", 0});                  // whitespace only
+  corpus.Add({"e", "", "Word", 0});                        // no terminator
+  std::string tabs = "Tab\tseparated\ttokens\tgalore.";
+  corpus.Add({"f", "", tabs, 0});
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  engine.Index(corpus);
+  EXPECT_EQ(engine.num_indexed_docs(), 6u);
+  EXPECT_FALSE(engine.Search("word", 3).empty());
+}
+
+}  // namespace
+}  // namespace newslink

@@ -1,0 +1,260 @@
+// Tests for the production extras: SimHash near-duplicate detection,
+// ranking metrics (MRR / NDCG), and MMR result diversification.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "corpus/synthetic_news.h"
+#include "eval/ranking_metrics.h"
+#include "ir/simhash.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+#include "newslink/diversify.h"
+#include "newslink/newslink_engine.h"
+
+namespace newslink {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SimHash
+// ---------------------------------------------------------------------------
+
+TEST(SimHashTest, IdenticalTextsShareSignature) {
+  const std::string text = "The taliban bombing struck lahore markets today.";
+  EXPECT_EQ(ir::SimHash(text), ir::SimHash(text));
+}
+
+TEST(SimHashTest, NearDuplicatesAreClose) {
+  const std::string a =
+      "The taliban bombing struck lahore markets today killing dozens of "
+      "civilians according to officials in the region.";
+  const std::string b =
+      "The taliban bombing struck lahore markets yesterday killing dozens "
+      "of civilians according to officials in the region.";
+  const std::string c =
+      "Quarterly earnings at the telecom company beat analyst forecasts "
+      "driven by subscriber growth across rural provinces.";
+  const int near = ir::HammingDistance(ir::SimHash(a), ir::SimHash(b));
+  const int far = ir::HammingDistance(ir::SimHash(a), ir::SimHash(c));
+  EXPECT_LT(near, 12);
+  EXPECT_GT(far, near + 5);
+}
+
+TEST(SimHashTest, HammingDistanceBasics) {
+  EXPECT_EQ(ir::HammingDistance(0, 0), 0);
+  EXPECT_EQ(ir::HammingDistance(0, 0xFFFFFFFFFFFFFFFFULL), 64);
+  EXPECT_EQ(ir::HammingDistance(0b1010, 0b0110), 2);
+}
+
+TEST(SimHashIndexTest, FindsWithinDistanceThree) {
+  ir::SimHashIndex index;
+  const uint64_t base = 0x0123456789ABCDEFULL;
+  index.Add(base);                     // 0: exact
+  index.Add(base ^ 0b111);             // 1: distance 3
+  index.Add(base ^ 0xF000);            // 2: distance 4
+  index.Add(~base);                    // 3: distance 64
+
+  const auto hits = index.FindNear(base, 3);
+  EXPECT_EQ(hits, (std::vector<size_t>{0, 1}));
+}
+
+TEST(SimHashIndexTest, LargeDistanceFallsBackToScan) {
+  ir::SimHashIndex index;
+  const uint64_t base = 42;
+  index.Add(base ^ 0x1F);  // distance 5
+  const auto hits = index.FindNear(base, 5);
+  EXPECT_EQ(hits, (std::vector<size_t>{0}));
+}
+
+TEST(SimHashIndexTest, ScalesWithRandomSignatures) {
+  Rng rng(71);
+  ir::SimHashIndex index;
+  std::vector<uint64_t> sigs;
+  for (int i = 0; i < 500; ++i) {
+    sigs.push_back(rng.Next());
+    index.Add(sigs.back());
+  }
+  // Every signature finds itself.
+  for (size_t i = 0; i < sigs.size(); ++i) {
+    const auto hits = index.FindNear(sigs[i], 0);
+    EXPECT_NE(std::find(hits.begin(), hits.end(), i), hits.end());
+  }
+}
+
+TEST(ClusterNearDuplicatesTest, GroupsTransitively) {
+  // a ~ b (distance 2), b ~ c (distance 2), a vs c distance 4: one group
+  // by transitivity. d is far from everything.
+  const uint64_t a = 0;
+  const uint64_t b = 0b11;
+  const uint64_t c = 0b1111;
+  const uint64_t d = 0xFFFFFFFF00000000ULL;
+  const auto groups = ir::ClusterNearDuplicates({a, b, c, d}, 3);
+  EXPECT_EQ(groups[0], groups[1]);
+  EXPECT_EQ(groups[1], groups[2]);
+  EXPECT_NE(groups[0], groups[3]);
+}
+
+TEST(ClusterNearDuplicatesTest, DetectsSyntheticQuoteSiblings) {
+  // The generator's cross-quote mechanism plants verbatim sentences across
+  // stories; full near-duplicate docs only arise within a story. Verify
+  // clustering finds more groups than documents only when duplicates exist.
+  kg::SyntheticKgConfig kc;
+  kc.seed = 9;
+  kc.num_countries = 2;
+  const kg::SyntheticKg world = kg::SyntheticKgGenerator(kc).Generate();
+  corpus::SyntheticNewsConfig config = corpus::CnnLikeConfig();
+  config.num_stories = 20;
+  const corpus::SyntheticCorpus sc =
+      corpus::SyntheticNewsGenerator(&world, config).Generate("sh");
+  std::vector<uint64_t> sigs;
+  for (const auto& d : sc.corpus.docs()) sigs.push_back(ir::SimHash(d.text));
+  const auto groups = ir::ClusterNearDuplicates(sigs, 3);
+  size_t max_group = 0;
+  for (size_t g : groups) max_group = std::max(max_group, g);
+  EXPECT_LE(max_group + 1, sigs.size());  // sane group ids
+}
+
+// ---------------------------------------------------------------------------
+// Ranking metrics
+// ---------------------------------------------------------------------------
+
+std::vector<baselines::SearchResult> Results(std::vector<size_t> docs) {
+  std::vector<baselines::SearchResult> out;
+  double score = 1.0;
+  for (size_t d : docs) {
+    out.push_back({d, score});
+    score -= 0.01;
+  }
+  return out;
+}
+
+TEST(RankingMetricsTest, ReciprocalRank) {
+  EXPECT_DOUBLE_EQ(eval::ReciprocalRank(Results({7, 3, 9}), 7), 1.0);
+  EXPECT_DOUBLE_EQ(eval::ReciprocalRank(Results({7, 3, 9}), 9), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(eval::ReciprocalRank(Results({7, 3, 9}), 42), 0.0);
+  EXPECT_DOUBLE_EQ(eval::ReciprocalRank({}, 0), 0.0);
+}
+
+TEST(RankingMetricsTest, DcgWeightsEarlyRanksMore) {
+  const auto results = Results({1, 2, 3, 4});
+  EXPECT_GT(eval::DcgAtK(results, {1}, 4), eval::DcgAtK(results, {4}, 4));
+  EXPECT_DOUBLE_EQ(eval::DcgAtK(results, {1}, 4), 1.0);  // 1/log2(2)
+  EXPECT_DOUBLE_EQ(eval::DcgAtK(results, {9}, 4), 0.0);
+}
+
+TEST(RankingMetricsTest, NdcgPerfectRankingIsOne) {
+  const auto results = Results({1, 2, 3});
+  EXPECT_DOUBLE_EQ(eval::NdcgAtK(results, {1, 2, 3}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(eval::NdcgAtK(results, {1}, 3), 1.0);
+}
+
+TEST(RankingMetricsTest, NdcgPenalizesLateRelevance) {
+  const double late = eval::NdcgAtK(Results({8, 9, 1}), {1}, 3);
+  const double early = eval::NdcgAtK(Results({1, 8, 9}), {1}, 3);
+  EXPECT_GT(early, late);
+  EXPECT_GT(late, 0.0);
+  EXPECT_LT(late, 1.0);
+}
+
+TEST(RankingMetricsTest, NdcgEmptyRelevantIsZero) {
+  EXPECT_DOUBLE_EQ(eval::NdcgAtK(Results({1, 2}), {}, 2), 0.0);
+}
+
+TEST(RankingMetricsTest, NdcgRespectsCutoff) {
+  const auto results = Results({8, 9, 1});
+  EXPECT_DOUBLE_EQ(eval::NdcgAtK(results, {1}, 2), 0.0);  // rank 3 > k=2
+  EXPECT_GT(eval::NdcgAtK(results, {1}, 3), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Diversification
+// ---------------------------------------------------------------------------
+
+class DiversifyTest : public ::testing::Test {
+ protected:
+  DiversifyTest() : world_(MakeWorld()), labels_(world_.graph) {
+    corpus::SyntheticNewsConfig config = corpus::CnnLikeConfig();
+    config.num_stories = 20;
+    news_ = corpus::SyntheticNewsGenerator(&world_, config).Generate("dv");
+    engine_ = std::make_unique<NewsLinkEngine>(&world_.graph, &labels_,
+                                               NewsLinkConfig{});
+    engine_->Index(news_.corpus);
+  }
+
+  static kg::SyntheticKg MakeWorld() {
+    kg::SyntheticKgConfig config;
+    config.seed = 606;
+    config.num_countries = 2;
+    return kg::SyntheticKgGenerator(config).Generate();
+  }
+
+  kg::SyntheticKg world_;
+  kg::LabelIndex labels_;
+  corpus::SyntheticCorpus news_;
+  std::unique_ptr<NewsLinkEngine> engine_;
+};
+
+TEST_F(DiversifyTest, JaccardProperties) {
+  const auto& e0 = engine_->doc_embedding(0);
+  const auto& e1 = engine_->doc_embedding(1);
+  EXPECT_DOUBLE_EQ(EmbeddingJaccard(e0, e0), 1.0);
+  const double j = EmbeddingJaccard(e0, e1);
+  EXPECT_GE(j, 0.0);
+  EXPECT_LE(j, 1.0);
+  EXPECT_DOUBLE_EQ(EmbeddingJaccard(e0, e1), EmbeddingJaccard(e1, e0));
+  embed::DocumentEmbedding empty;
+  EXPECT_DOUBLE_EQ(EmbeddingJaccard(e0, empty), 0.0);
+}
+
+TEST_F(DiversifyTest, LambdaOneKeepsOriginalOrder) {
+  const std::string& text = news_.corpus.doc(2).text;
+  const auto results = engine_->Search(text.substr(0, text.find('.') + 1), 8);
+  ASSERT_GE(results.size(), 3u);
+  DiversifyOptions options;
+  options.lambda = 1.0;
+  const auto diversified =
+      DiversifyResults(results, engine_->embeddings(), options);
+  ASSERT_EQ(diversified.size(), results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(diversified[i].doc_index, results[i].doc_index);
+  }
+}
+
+TEST_F(DiversifyTest, DiversificationReducesStoryRepetition) {
+  const std::string& text = news_.corpus.doc(2).text;
+  const auto results =
+      engine_->Search(text.substr(0, text.find('.') + 1), 10);
+  ASSERT_GE(results.size(), 5u);
+
+  auto stories_in_top = [&](const std::vector<baselines::SearchResult>& r,
+                            size_t k) {
+    std::set<uint32_t> stories;
+    for (size_t i = 0; i < std::min(k, r.size()); ++i) {
+      stories.insert(news_.corpus.doc(r[i].doc_index).story_id);
+    }
+    return stories.size();
+  };
+
+  DiversifyOptions options;
+  options.lambda = 0.3;  // aggressive diversification
+  const auto diversified =
+      DiversifyResults(results, engine_->embeddings(), options);
+  EXPECT_GE(stories_in_top(diversified, 5), stories_in_top(results, 5));
+}
+
+TEST_F(DiversifyTest, KLimitsOutput) {
+  const std::string& text = news_.corpus.doc(4).text;
+  const auto results = engine_->Search(text.substr(0, text.find('.') + 1), 10);
+  DiversifyOptions options;
+  options.k = 3;
+  const auto diversified =
+      DiversifyResults(results, engine_->embeddings(), options);
+  EXPECT_EQ(diversified.size(), std::min<size_t>(3, results.size()));
+}
+
+TEST_F(DiversifyTest, EmptyInput) {
+  EXPECT_TRUE(DiversifyResults({}, engine_->embeddings(), {}).empty());
+}
+
+}  // namespace
+}  // namespace newslink

@@ -1,0 +1,264 @@
+// Tests for the extension features: concise novelty-aware explanations
+// (the paper's future-work items), result snippets, embedding persistence,
+// and incremental engine indexing.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "corpus/synthetic_news.h"
+#include "embed/concise_explainer.h"
+#include "embed/embedding_io.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+#include "newslink/newslink_engine.h"
+#include "newslink/snippet.h"
+
+namespace newslink {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Snippets
+// ---------------------------------------------------------------------------
+
+TEST(SnippetTest, PicksBestMatchingSentence) {
+  const std::string doc =
+      "Opening filler sentence with nothing. The taliban bombing struck "
+      "lahore markets. Closing filler text here.";
+  const std::string snippet = MakeSnippet(doc, "bombing in lahore");
+  EXPECT_EQ(snippet, "The taliban bombing struck lahore markets.");
+}
+
+TEST(SnippetTest, StemsAcrossInflections) {
+  const std::string doc =
+      "Nothing relevant here. Elections were contested fiercely.";
+  EXPECT_EQ(MakeSnippet(doc, "election"),
+            "Elections were contested fiercely.");
+}
+
+TEST(SnippetTest, FallsBackToLeadingSentence) {
+  const std::string doc = "First sentence here. Second sentence there.";
+  EXPECT_EQ(MakeSnippet(doc, "zzzz qqqq"), "First sentence here.");
+}
+
+TEST(SnippetTest, TruncatesAtWordBoundary) {
+  std::string longsent = "keyword";
+  for (int i = 0; i < 60; ++i) longsent += " filler" + std::to_string(i);
+  longsent += ".";
+  SnippetOptions options;
+  options.max_chars = 40;
+  const std::string snippet = MakeSnippet(longsent, "keyword", options);
+  EXPECT_LE(snippet.size(), 44u);
+  EXPECT_EQ(snippet.substr(snippet.size() - 3), "...");
+}
+
+TEST(SnippetTest, EmptyDocument) {
+  EXPECT_EQ(MakeSnippet("", "query"), "");
+}
+
+// ---------------------------------------------------------------------------
+// Shared world for the heavier features
+// ---------------------------------------------------------------------------
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  FeaturesTest() : world_(MakeWorld()), labels_(world_.graph) {
+    corpus::SyntheticNewsConfig config = corpus::CnnLikeConfig();
+    config.num_stories = 25;
+    news_ = corpus::SyntheticNewsGenerator(&world_, config).Generate("ft");
+  }
+
+  static kg::SyntheticKg MakeWorld() {
+    kg::SyntheticKgConfig config;
+    config.seed = 808;
+    config.num_countries = 2;
+    return kg::SyntheticKgGenerator(config).Generate();
+  }
+
+  std::string Sentence(size_t doc) const {
+    const std::string& text = news_.corpus.doc(doc).text;
+    return text.substr(0, text.find('.') + 1);
+  }
+
+  kg::SyntheticKg world_;
+  kg::LabelIndex labels_;
+  corpus::SyntheticCorpus news_;
+};
+
+// ---------------------------------------------------------------------------
+// ConciseExplainer
+// ---------------------------------------------------------------------------
+
+TEST_F(FeaturesTest, ConciseExplainerRespectsBudgets) {
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  engine.Index(news_.corpus);
+  embed::ConciseExplainer explainer(&world_.graph);
+
+  embed::ConciseOptions options;
+  options.max_paths = 3;
+  options.max_paths_per_endpoint = 1;
+  int checked = 0;
+  for (size_t d = 0; d + 1 < news_.corpus.size() && checked < 10; d += 2) {
+    const auto paths = explainer.Explain(engine.doc_embedding(d),
+                                         engine.doc_embedding(d + 1), options);
+    EXPECT_LE(paths.size(), 3u);
+    std::map<kg::NodeId, int> endpoint_uses;
+    for (const embed::ScoredPath& sp : paths) {
+      ++endpoint_uses[sp.path.nodes.front()];
+      ++endpoint_uses[sp.path.nodes.back()];
+    }
+    for (const auto& [node, uses] : endpoint_uses) {
+      EXPECT_LE(uses, 2);  // an endpoint may be source once and target once
+    }
+    if (!paths.empty()) ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(FeaturesTest, ConciseExplainerRanksNoveltyFirst) {
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  engine.Index(news_.corpus);
+  embed::ConciseExplainer explainer(&world_.graph);
+  embed::ConciseOptions options;
+  options.max_paths = 8;
+  options.max_paths_per_endpoint = 8;
+  for (size_t d = 0; d + 1 < 12; d += 2) {
+    const auto paths = explainer.Explain(engine.doc_embedding(d),
+                                         engine.doc_embedding(d + 1), options);
+    for (size_t i = 1; i < paths.size(); ++i) {
+      EXPECT_GE(paths[i - 1].score, paths[i].score);
+    }
+  }
+}
+
+TEST_F(FeaturesTest, RequireNovelInteriorFiltersDirectEdges) {
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  engine.Index(news_.corpus);
+  embed::ConciseExplainer explainer(&world_.graph);
+  embed::ConciseOptions options;
+  options.require_novel_interior = true;
+  options.max_paths = 10;
+  options.max_paths_per_endpoint = 10;
+  for (size_t d = 0; d + 1 < 12; d += 2) {
+    for (const embed::ScoredPath& sp :
+         explainer.Explain(engine.doc_embedding(d),
+                           engine.doc_embedding(d + 1), options)) {
+      EXPECT_GT(sp.novel_interior_nodes, 0);
+    }
+  }
+}
+
+TEST_F(FeaturesTest, RenderBlockMentionsLabels) {
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  engine.Index(news_.corpus);
+  embed::ConciseExplainer explainer(&world_.graph);
+  const auto paths = explainer.Explain(engine.doc_embedding(0),
+                                       engine.doc_embedding(1), {});
+  const std::string block = explainer.RenderBlock(paths);
+  if (!paths.empty()) {
+    EXPECT_FALSE(block.empty());
+    EXPECT_NE(block.find(world_.graph.label(paths[0].path.nodes.front())),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Embedding persistence + engine integration
+// ---------------------------------------------------------------------------
+
+TEST_F(FeaturesTest, EmbeddingStoreRoundTripsExactly) {
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  engine.Index(news_.corpus);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ft_embeddings.txt").string();
+  ASSERT_TRUE(embed::SaveEmbeddings(engine.embeddings(), path).ok());
+  Result<std::vector<embed::DocumentEmbedding>> loaded =
+      embed::LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), engine.embeddings().size());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    const embed::DocumentEmbedding& a = engine.embeddings()[i];
+    const embed::DocumentEmbedding& b = (*loaded)[i];
+    ASSERT_EQ(a.segment_graphs.size(), b.segment_graphs.size()) << i;
+    EXPECT_EQ(a.node_counts, b.node_counts) << i;
+    for (size_t s = 0; s < a.segment_graphs.size(); ++s) {
+      EXPECT_EQ(a.segment_graphs[s].root, b.segment_graphs[s].root);
+      EXPECT_EQ(a.segment_graphs[s].labels, b.segment_graphs[s].labels);
+      EXPECT_EQ(a.segment_graphs[s].label_distances,
+                b.segment_graphs[s].label_distances);
+      EXPECT_EQ(a.segment_graphs[s].nodes, b.segment_graphs[s].nodes);
+      EXPECT_EQ(a.segment_graphs[s].source_nodes,
+                b.segment_graphs[s].source_nodes);
+      EXPECT_EQ(a.segment_graphs[s].edges, b.segment_graphs[s].edges);
+    }
+  }
+}
+
+TEST_F(FeaturesTest, IndexWithEmbeddingsMatchesFreshIndex) {
+  NewsLinkEngine fresh(&world_.graph, &labels_, {});
+  fresh.Index(news_.corpus);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ft_emb2.txt").string();
+  ASSERT_TRUE(embed::SaveEmbeddings(fresh.embeddings(), path).ok());
+  Result<std::vector<embed::DocumentEmbedding>> loaded =
+      embed::LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok());
+
+  NewsLinkEngine restored(&world_.graph, &labels_, {});
+  ASSERT_TRUE(
+      restored.IndexWithEmbeddings(news_.corpus, std::move(*loaded)).ok());
+
+  for (size_t d : {1u, 9u, 17u}) {
+    const auto a = fresh.Search(Sentence(d), 10);
+    const auto b = restored.Search(Sentence(d), 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc_index, b[i].doc_index);
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST_F(FeaturesTest, IndexWithEmbeddingsRejectsMisalignedStore) {
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  std::vector<embed::DocumentEmbedding> wrong_size(3);
+  EXPECT_TRUE(engine.IndexWithEmbeddings(news_.corpus, std::move(wrong_size))
+                  .IsInvalidArgument());
+}
+
+TEST_F(FeaturesTest, IncrementalAddDocumentIsSearchable) {
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  engine.Index(news_.corpus);
+  const size_t before = engine.num_indexed_docs();
+
+  corpus::Document extra;
+  extra.id = "late-arrival";
+  extra.text = Sentence(3) + " " + Sentence(7);
+  const size_t index = engine.AddDocument(extra);
+  EXPECT_EQ(index, before);
+  EXPECT_EQ(engine.num_indexed_docs(), before + 1);
+
+  // The new document competes in search (it literally contains the query).
+  const auto results = engine.Search(Sentence(3), 10);
+  bool found = false;
+  for (const auto& r : results) {
+    if (r.doc_index == index) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FeaturesTest, AddDocumentOnEmptyEngineWorks) {
+  NewsLinkEngine engine(&world_.graph, &labels_, {});
+  corpus::Document doc;
+  doc.id = "only";
+  doc.text = Sentence(0);
+  EXPECT_EQ(engine.AddDocument(doc), 0u);
+  const auto results = engine.Search(Sentence(0), 3);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].doc_index, 0u);
+}
+
+}  // namespace
+}  // namespace newslink

@@ -1,0 +1,322 @@
+// Tests for src/ir: term dictionary, inverted index, BM25 and TF-IDF
+// scoring, top-k selection, text vectorization.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ir/inverted_index.h"
+#include "ir/scorer.h"
+#include "ir/term_dictionary.h"
+#include "ir/text_vectorizer.h"
+#include "ir/top_k.h"
+#include "text/porter_stemmer.h"
+
+namespace newslink {
+namespace ir {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TermDictionary
+// ---------------------------------------------------------------------------
+
+TEST(TermDictionaryTest, InternsAndFinds) {
+  TermDictionary dict;
+  const TermId a = dict.GetOrAdd("attack");
+  const TermId b = dict.GetOrAdd("bombing");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.GetOrAdd("attack"), a);
+  EXPECT_EQ(dict.Find("attack"), a);
+  EXPECT_EQ(dict.Find("unknown"), kInvalidTerm);
+  EXPECT_EQ(dict.term(a), "attack");
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// InvertedIndex
+// ---------------------------------------------------------------------------
+
+TEST(InvertedIndexTest, SequentialDocIds) {
+  InvertedIndex index;
+  EXPECT_EQ(index.AddDocument({{0, 1}}), 0u);
+  EXPECT_EQ(index.AddDocument({{1, 2}}), 1u);
+  EXPECT_EQ(index.num_docs(), 2u);
+}
+
+TEST(InvertedIndexTest, DocLengthIsSumOfTf) {
+  InvertedIndex index;
+  index.AddDocument({{0, 2}, {1, 3}});
+  EXPECT_EQ(index.DocLength(0), 5u);
+}
+
+TEST(InvertedIndexTest, AvgDocLength) {
+  InvertedIndex index;
+  index.AddDocument({{0, 2}});
+  index.AddDocument({{0, 4}});
+  EXPECT_DOUBLE_EQ(index.avg_doc_length(), 3.0);
+  InvertedIndex empty;
+  EXPECT_DOUBLE_EQ(empty.avg_doc_length(), 0.0);
+}
+
+TEST(InvertedIndexTest, PostingsSortedByDocId) {
+  InvertedIndex index;
+  index.AddDocument({{5, 1}});
+  index.AddDocument({{5, 2}});
+  index.AddDocument({{5, 3}});
+  const auto postings = index.Postings(5);
+  ASSERT_EQ(postings.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      postings.begin(), postings.end(),
+      [](const Posting& a, const Posting& b) { return a.doc < b.doc; }));
+  EXPECT_EQ(index.DocFreq(5), 3u);
+}
+
+TEST(InvertedIndexTest, UnknownTermEmpty) {
+  InvertedIndex index;
+  index.AddDocument({{0, 1}});
+  EXPECT_TRUE(index.Postings(99).empty());
+  EXPECT_EQ(index.DocFreq(99), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BM25
+// ---------------------------------------------------------------------------
+
+class Bm25Test : public ::testing::Test {
+ protected:
+  Bm25Test() {
+    // doc0: "taliban taliban attack", doc1: "attack", doc2: "election".
+    index_.AddDocument({{0, 2}, {1, 1}});
+    index_.AddDocument({{1, 1}});
+    index_.AddDocument({{2, 1}});
+    scorer_ = std::make_unique<Bm25Scorer>(&index_);
+  }
+  InvertedIndex index_;
+  std::unique_ptr<Bm25Scorer> scorer_;
+};
+
+TEST_F(Bm25Test, IdfDecreasesWithDocFreq) {
+  // term 1 (df=2) must have lower idf than term 0 (df=1).
+  EXPECT_GT(scorer_->Idf(0), scorer_->Idf(1));
+  EXPECT_GT(scorer_->Idf(1), 0.0);
+}
+
+TEST_F(Bm25Test, IdfMatchesLuceneFormula) {
+  // df=1, N=3: ln(1 + (3 - 1 + 0.5) / (1 + 0.5)) = ln(1 + 5/3).
+  EXPECT_NEAR(scorer_->Idf(0), std::log(1.0 + (3.0 - 1 + 0.5) / 1.5), 1e-12);
+}
+
+TEST_F(Bm25Test, OnlyMatchingDocsScored) {
+  const auto scores = scorer_->ScoreAll({{2, 1}});
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].doc, 2u);
+  EXPECT_GT(scores[0].score, 0.0);
+}
+
+TEST_F(Bm25Test, HigherTfScoresHigher) {
+  const auto scores = scorer_->ScoreAll({{0, 1}, {1, 1}});
+  double s0 = 0, s1 = 0;
+  for (const auto& s : scores) {
+    if (s.doc == 0) s0 = s.score;
+    if (s.doc == 1) s1 = s.score;
+  }
+  EXPECT_GT(s0, s1);  // doc0 matches both terms, one twice
+}
+
+TEST_F(Bm25Test, KnownScoreValue) {
+  // Hand-computed BM25 for query {term2} on doc2: tf=1, dl=1, avgdl=5/3.
+  const double idf = std::log(1.0 + (3.0 - 1 + 0.5) / 1.5);
+  const double norm = 1.2 * (1.0 - 0.75 + 0.75 * (1.0 / (5.0 / 3.0)));
+  const double expected = idf * 1.0 * 2.2 / (1.0 + norm);
+  const auto scores = scorer_->ScoreAll({{2, 1}});
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_NEAR(scores[0].score, expected, 1e-12);
+}
+
+TEST_F(Bm25Test, QueryTermMultiplicityScalesLinearly) {
+  const auto once = scorer_->ScoreAll({{2, 1}});
+  const auto twice = scorer_->ScoreAll({{2, 2}});
+  ASSERT_EQ(once.size(), 1u);
+  ASSERT_EQ(twice.size(), 1u);
+  EXPECT_NEAR(twice[0].score, 2 * once[0].score, 1e-12);
+}
+
+TEST_F(Bm25Test, LengthNormalizationPenalizesLongDocs) {
+  InvertedIndex index;
+  index.AddDocument({{0, 1}});            // short doc
+  index.AddDocument({{0, 1}, {1, 50}});   // long doc, same tf for term 0
+  Bm25Scorer scorer(&index);
+  const auto scores = scorer.ScoreAll({{0, 1}});
+  double short_s = 0, long_s = 0;
+  for (const auto& s : scores) {
+    if (s.doc == 0) short_s = s.score;
+    if (s.doc == 1) long_s = s.score;
+  }
+  EXPECT_GT(short_s, long_s);
+}
+
+// ---------------------------------------------------------------------------
+// TF-IDF cosine
+// ---------------------------------------------------------------------------
+
+TEST(TfIdfCosineTest, IdenticalDocScoresHighest) {
+  InvertedIndex index;
+  index.AddDocument({{0, 2}, {1, 1}});
+  index.AddDocument({{1, 1}, {2, 3}});
+  index.AddDocument({{3, 1}});
+  TfIdfCosineScorer scorer(&index);
+  // Query equal to doc0's term counts.
+  const auto scores = scorer.ScoreAll({{0, 2}, {1, 1}});
+  double best = -1;
+  DocId best_doc = kInvalidDoc;
+  for (const auto& s : scores) {
+    if (s.score > best) {
+      best = s.score;
+      best_doc = s.doc;
+    }
+  }
+  EXPECT_EQ(best_doc, 0u);
+}
+
+TEST(TfIdfCosineTest, ScoresAreBoundedByOne) {
+  InvertedIndex index;
+  index.AddDocument({{0, 1}, {1, 4}});
+  index.AddDocument({{0, 2}});
+  TfIdfCosineScorer scorer(&index);
+  for (const auto& s : scorer.ScoreAll({{0, 1}, {1, 4}})) {
+    EXPECT_LE(s.score, 1.0 + 1e-9);
+    EXPECT_GE(s.score, 0.0);
+  }
+}
+
+TEST(TfIdfCosineTest, SelfSimilarityIsOne) {
+  InvertedIndex index;
+  index.AddDocument({{0, 3}, {1, 1}, {2, 2}});
+  index.AddDocument({{4, 1}});
+  TfIdfCosineScorer scorer(&index);
+  const auto scores = scorer.ScoreAll({{0, 3}, {1, 1}, {2, 2}});
+  ASSERT_FALSE(scores.empty());
+  double doc0 = 0;
+  for (const auto& s : scores) {
+    if (s.doc == 0) doc0 = s.score;
+  }
+  EXPECT_NEAR(doc0, 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// TopKHeap / SelectTopK
+// ---------------------------------------------------------------------------
+
+TEST(TopKTest, KeepsBestK) {
+  TopKHeap heap(2);
+  heap.Push({0, 1.0});
+  heap.Push({1, 3.0});
+  heap.Push({2, 2.0});
+  const auto out = heap.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].doc, 1u);
+  EXPECT_EQ(out[1].doc, 2u);
+}
+
+TEST(TopKTest, FewerThanKItems) {
+  TopKHeap heap(10);
+  heap.Push({0, 1.0});
+  const auto out = heap.Take();
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(TopKTest, KZeroYieldsNothing) {
+  TopKHeap heap(0);
+  heap.Push({0, 1.0});
+  EXPECT_TRUE(heap.Take().empty());
+}
+
+TEST(TopKTest, TiesBreakTowardSmallerDocId) {
+  TopKHeap heap(2);
+  heap.Push({5, 1.0});
+  heap.Push({3, 1.0});
+  heap.Push({7, 1.0});
+  const auto out = heap.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].doc, 3u);
+  EXPECT_EQ(out[1].doc, 5u);
+}
+
+TEST(TopKTest, ThresholdTracksWorstKept) {
+  TopKHeap heap(2);
+  EXPECT_EQ(heap.Threshold(), -std::numeric_limits<double>::infinity());
+  heap.Push({0, 5.0});
+  EXPECT_EQ(heap.Threshold(), -std::numeric_limits<double>::infinity());
+  heap.Push({1, 3.0});
+  EXPECT_DOUBLE_EQ(heap.Threshold(), 3.0);
+  heap.Push({2, 4.0});
+  EXPECT_DOUBLE_EQ(heap.Threshold(), 4.0);
+}
+
+TEST(TopKTest, MatchesFullSortOnRandomData) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<ScoredDoc> scores;
+    for (int i = 0; i < 100; ++i) {
+      scores.push_back({static_cast<DocId>(i),
+                        static_cast<double>(rng.Uniform(50))});
+    }
+    const size_t k = 1 + rng.Uniform(20);
+    const auto fast = SelectTopK(scores, k);
+
+    auto sorted = scores;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ScoredDoc& a, const ScoredDoc& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc < b.doc;
+              });
+    sorted.resize(std::min(k, sorted.size()));
+    EXPECT_EQ(fast, sorted);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TextVectorizer
+// ---------------------------------------------------------------------------
+
+TEST(TextVectorizerTest, StemsAndDropsStopwords) {
+  TermDictionary dict;
+  const TermCounts counts = TextVectorizer::CountsForIndexing(
+      "The elections and the election.", &dict);
+  // "the"/"and" dropped; "elections" and "election" share one stem.
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0].second, 2u);
+  EXPECT_EQ(dict.term(counts[0].first), "elect");
+}
+
+TEST(TextVectorizerTest, QueryDropsUnknownTerms) {
+  TermDictionary dict;
+  TextVectorizer::CountsForIndexing("bombing attack", &dict);
+  const TermCounts q =
+      TextVectorizer::CountsForQuery("bombing earthquake", dict);
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(dict.term(q[0].first), text::PorterStem("bombing"));
+  EXPECT_EQ(dict.size(), 2u);  // query didn't grow the dictionary
+}
+
+TEST(TextVectorizerTest, OutputSortedByTermId) {
+  TermDictionary dict;
+  const TermCounts counts = TextVectorizer::CountsForIndexing(
+      "zebra attack bombing zebra candidate", &dict);
+  EXPECT_TRUE(std::is_sorted(
+      counts.begin(), counts.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST(TextVectorizerTest, SingleCharactersDropped) {
+  TermDictionary dict;
+  const TermCounts counts =
+      TextVectorizer::CountsForIndexing("a b c bombing", &dict);
+  ASSERT_EQ(counts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace newslink

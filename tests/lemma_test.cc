@@ -1,0 +1,197 @@
+// Direct verification of the paper's formal claims (Lemmas 1-3, Theorem 1)
+// on randomized inputs, complementing the example-based tests in
+// embed_test.cc.
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "embed/lcag_search.h"
+#include "kg/graph_stats.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+
+namespace newslink {
+namespace embed {
+namespace {
+
+struct LemmaWorld {
+  kg::KnowledgeGraph graph;
+  kg::LabelIndex index;
+};
+
+LemmaWorld MakeRandomWorld(uint64_t seed, int n) {
+  Rng rng(seed);
+  kg::KgBuilder b;
+  for (int i = 0; i < n; ++i) {
+    b.AddNode("node" + std::to_string(i), kg::EntityType::kGpe);
+  }
+  for (int i = 1; i < n; ++i) {
+    EXPECT_TRUE(
+        b.AddEdge(i, static_cast<kg::NodeId>(rng.Uniform(i)), "p").ok());
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<kg::NodeId>(rng.Uniform(n));
+    const auto v = static_cast<kg::NodeId>(rng.Uniform(n));
+    if (u != v) {
+      EXPECT_TRUE(b.AddEdge(u, v, "q").ok());
+    }
+  }
+  LemmaWorld world{b.Build(), {}};
+  world.index = kg::LabelIndex(world.graph);
+  return world;
+}
+
+std::vector<std::string> RandomLabels(Rng* rng, int n, size_t m) {
+  std::vector<std::string> labels;
+  for (size_t idx : rng->SampleWithoutReplacement(n, m)) {
+    labels.push_back("node" + std::to_string(idx));
+  }
+  return labels;
+}
+
+class LemmaTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LemmaTest, Lemma1GStarHasMinimumDepth) {
+  LemmaWorld world = MakeRandomWorld(GetParam(), 28);
+  Rng rng(GetParam() + 500);
+  LcagSearch search(&world.graph, &world.index);
+  const std::vector<std::string> labels = RandomLabels(&rng, 28, 3);
+
+  const LcagResult fast = search.Find(labels);
+  ASSERT_TRUE(fast.found);
+
+  // Compute every common ancestor's depth via the exhaustive machinery.
+  std::vector<std::vector<kg::NodeId>> sources;
+  for (const auto& l : labels) {
+    auto s = world.index.Lookup(l);
+    sources.emplace_back(s.begin(), s.end());
+  }
+  MultiLabelDijkstra dijkstra(&world.graph, std::move(sources));
+  MultiLabelDijkstra::PopEvent event;
+  while (dijkstra.PopNext(&event)) {
+  }
+  double min_depth = kInfDistance;
+  for (kg::NodeId v = 0; v < world.graph.num_nodes(); ++v) {
+    if (dijkstra.SettledCount(v) != 3) continue;
+    double depth = 0;
+    for (size_t i = 0; i < 3; ++i) {
+      depth = std::max(depth, dijkstra.Distance(i, v));
+    }
+    min_depth = std::min(min_depth, depth);
+  }
+  EXPECT_DOUBLE_EQ(fast.graph.depth(), min_depth);  // Lemma 1
+}
+
+TEST_P(LemmaTest, Lemma2DiameterAtMostTwiceDepth) {
+  LemmaWorld world = MakeRandomWorld(GetParam() + 1000, 28);
+  Rng rng(GetParam() + 1500);
+  LcagSearch search(&world.graph, &world.index);
+  const std::vector<std::string> labels = RandomLabels(&rng, 28, 4);
+  const LcagResult result = search.Find(labels);
+  ASSERT_TRUE(result.found);
+  const AncestorGraph& g = result.graph;
+
+  // Pairwise BFS inside the materialized subgraph (unit weights, the
+  // setting of the paper's illustrative example).
+  std::map<kg::NodeId, std::vector<kg::NodeId>> adj;
+  for (const PathEdge& e : g.edges) {
+    adj[e.from].push_back(e.to);
+    adj[e.to].push_back(e.from);
+  }
+  for (kg::NodeId start : g.nodes) {
+    std::map<kg::NodeId, double> dist = {{start, 0}};
+    std::queue<kg::NodeId> frontier;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const kg::NodeId v = frontier.front();
+      frontier.pop();
+      for (kg::NodeId nb : adj[v]) {
+        if (!dist.contains(nb)) {
+          dist[nb] = dist[v] + 1;
+          frontier.push(nb);
+        }
+      }
+    }
+    for (kg::NodeId other : g.nodes) {
+      ASSERT_TRUE(dist.contains(other));
+      EXPECT_LE(dist[other], 2 * g.depth() + 1e-9);  // Lemma 2
+    }
+  }
+}
+
+TEST_P(LemmaTest, Lemma3PopOrderIsMonotone) {
+  LemmaWorld world = MakeRandomWorld(GetParam() + 2000, 32);
+  Rng rng(GetParam() + 2500);
+  std::vector<std::vector<kg::NodeId>> sources;
+  for (size_t idx : rng.SampleWithoutReplacement(32, 3)) {
+    sources.push_back({static_cast<kg::NodeId>(idx)});
+  }
+  MultiLabelDijkstra dijkstra(&world.graph, std::move(sources));
+  MultiLabelDijkstra::PopEvent event;
+  double last = 0.0;
+  while (dijkstra.PopNext(&event)) {
+    EXPECT_GE(event.distance, last);  // Lemma 3
+    last = event.distance;
+  }
+}
+
+TEST_P(LemmaTest, Theorem1SourceDistancesAreTrueShortestPaths) {
+  // The distance vector of the returned root must equal independent BFS
+  // distances in the bi-directed graph (unit weights).
+  LemmaWorld world = MakeRandomWorld(GetParam() + 3000, 26);
+  Rng rng(GetParam() + 3500);
+  LcagSearch search(&world.graph, &world.index);
+  const std::vector<std::string> labels = RandomLabels(&rng, 26, 3);
+  const LcagResult result = search.Find(labels);
+  ASSERT_TRUE(result.found);
+
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const auto sources = world.index.Lookup(labels[i]);
+    size_t best = SIZE_MAX;
+    for (kg::NodeId s : sources) {
+      best = std::min(best, kg::BfsDistance(world.graph, s, result.graph.root));
+    }
+    EXPECT_DOUBLE_EQ(result.graph.label_distances[i],
+                     static_cast<double>(best));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaTest, ::testing::Range<uint64_t>(0, 10));
+
+// ---------------------------------------------------------------------------
+// Coverage property: G* retains every tied shortest path
+// ---------------------------------------------------------------------------
+
+TEST(CoverageTest, AllParallelShortestPathsRetained) {
+  // A --m1--> R and A --m2--> R (two tied 2-hop paths), B --> R directly.
+  // R's compactness vector [2,1] ties with m1/m2 but R has the smallest id,
+  // so it becomes the root and must retain BOTH A-paths (Def. 3 keeps the
+  // full P(l -> r, D)).
+  kg::KgBuilder b;
+  const kg::NodeId a = b.AddNode("LabelA", kg::EntityType::kGpe);   // 0
+  const kg::NodeId r = b.AddNode("Root", kg::EntityType::kGpe);     // 1
+  const kg::NodeId m1 = b.AddNode("MidOne", kg::EntityType::kGpe);  // 2
+  const kg::NodeId m2 = b.AddNode("MidTwo", kg::EntityType::kGpe);  // 3
+  const kg::NodeId bb = b.AddNode("LabelB", kg::EntityType::kGpe);  // 4
+  ASSERT_TRUE(b.AddEdge(a, m1, "p").ok());
+  ASSERT_TRUE(b.AddEdge(m1, r, "p").ok());
+  ASSERT_TRUE(b.AddEdge(a, m2, "p").ok());
+  ASSERT_TRUE(b.AddEdge(m2, r, "p").ok());
+  ASSERT_TRUE(b.AddEdge(bb, r, "p").ok());
+  kg::KnowledgeGraph g = b.Build();
+  kg::LabelIndex index(g);
+  LcagSearch search(&g, &index);
+  const LcagResult result = search.Find({"labela", "labelb"});
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.graph.root, r);
+  EXPECT_EQ(result.graph.nodes.size(), 5u);  // both mids retained
+  EXPECT_EQ(result.graph.edges.size(), 5u);
+}
+
+}  // namespace
+}  // namespace embed
+}  // namespace newslink

@@ -1,0 +1,150 @@
+// Tests for the MaxScore document-at-a-time retriever: exact agreement
+// with exhaustive TAAT scoring (including tie order), plus evidence that
+// pruning actually skips work.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ir/max_score.h"
+#include "ir/scorer.h"
+#include "ir/top_k.h"
+
+namespace newslink {
+namespace ir {
+namespace {
+
+/// DAAT sums term contributions in a different order than TAAT, so scores
+/// can differ by a few ULPs; compare with tolerance. Ranks may swap only
+/// between docs whose scores tie within the tolerance.
+void ExpectSameTopK(const std::vector<ScoredDoc>& actual,
+                    const std::vector<ScoredDoc>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  std::map<DocId, double> expected_scores;
+  for (const ScoredDoc& s : expected) expected_scores[s.doc] = s.score;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    auto it = expected_scores.find(actual[i].doc);
+    if (it != expected_scores.end()) {
+      EXPECT_NEAR(actual[i].score, it->second, 1e-9) << "doc " << actual[i].doc;
+    } else {
+      // Doc differs: must be a near-tie swap at the boundary.
+      EXPECT_NEAR(actual[i].score, expected[i].score, 1e-9) << "rank " << i;
+    }
+    if (i > 0) {
+      EXPECT_LE(actual[i].score, actual[i - 1].score + 1e-9);
+    }
+  }
+}
+
+InvertedIndex MakeRandomIndex(uint64_t seed, size_t num_docs, size_t vocab,
+                              size_t terms_per_doc) {
+  Rng rng(seed);
+  ZipfTable zipf(vocab, 1.0);
+  InvertedIndex index;
+  for (size_t d = 0; d < num_docs; ++d) {
+    std::map<TermId, uint32_t> counts;
+    for (size_t t = 0; t < terms_per_doc; ++t) {
+      ++counts[static_cast<TermId>(zipf.Sample(&rng))];
+    }
+    index.AddDocument(TermCounts(counts.begin(), counts.end()));
+  }
+  return index;
+}
+
+TEST(MaxScoreTest, EmptyQueryAndUnknownTerms) {
+  InvertedIndex index = MakeRandomIndex(1, 50, 100, 20);
+  MaxScoreRetriever retriever(&index);
+  EXPECT_TRUE(retriever.TopK({}, 10).empty());
+  EXPECT_TRUE(retriever.TopK({{9999, 1}}, 10).empty());
+  EXPECT_TRUE(retriever.TopK({{0, 1}}, 0).empty());
+}
+
+TEST(MaxScoreTest, SingleTermMatchesTaat) {
+  InvertedIndex index = MakeRandomIndex(2, 100, 50, 15);
+  Bm25Scorer scorer(&index);
+  MaxScoreRetriever retriever(&index);
+  const TermCounts query = {{3, 1}};
+  ExpectSameTopK(retriever.TopK(query, 5),
+                 SelectTopK(scorer.ScoreAll(query), 5));
+}
+
+TEST(MaxScoreTest, KLargerThanMatches) {
+  InvertedIndex index = MakeRandomIndex(3, 20, 200, 10);
+  Bm25Scorer scorer(&index);
+  MaxScoreRetriever retriever(&index);
+  const TermCounts query = {{0, 1}, {1, 2}};
+  ExpectSameTopK(retriever.TopK(query, 1000),
+                 SelectTopK(scorer.ScoreAll(query), 1000));
+}
+
+struct RandomQueryCase {
+  uint64_t seed;
+  size_t query_terms;
+  size_t k;
+};
+
+class MaxScoreAgreementTest
+    : public ::testing::TestWithParam<RandomQueryCase> {};
+
+TEST_P(MaxScoreAgreementTest, IdenticalToExhaustiveTaat) {
+  const RandomQueryCase param = GetParam();
+  InvertedIndex index = MakeRandomIndex(param.seed, 400, 300, 40);
+  Bm25Scorer scorer(&index);
+  MaxScoreRetriever retriever(&index);
+  Rng rng(param.seed * 31 + 7);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    TermCounts query;
+    std::set<TermId> used;
+    while (query.size() < param.query_terms) {
+      const TermId t = static_cast<TermId>(rng.Uniform(300));
+      if (used.insert(t).second) {
+        query.push_back({t, 1 + static_cast<uint32_t>(rng.Uniform(3))});
+      }
+    }
+    std::sort(query.begin(), query.end());
+    ExpectSameTopK(retriever.TopK(query, param.k),
+                   SelectTopK(scorer.ScoreAll(query), param.k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, MaxScoreAgreementTest,
+    ::testing::Values(RandomQueryCase{11, 2, 10}, RandomQueryCase{12, 4, 10},
+                      RandomQueryCase{13, 8, 5}, RandomQueryCase{14, 8, 50},
+                      RandomQueryCase{15, 16, 10},
+                      RandomQueryCase{16, 3, 1}));
+
+TEST(MaxScoreTest, PruningSkipsDocuments) {
+  // A highly selective rare term + broad common terms: once the heap is
+  // full of rare-term docs, common-only docs should be skipped.
+  InvertedIndex index;
+  // 500 docs with common term 0; every 50th also has rare term 1.
+  for (int d = 0; d < 500; ++d) {
+    TermCounts counts = {{0, 1}};
+    if (d % 50 == 0) counts.push_back({1, 5});
+    index.AddDocument(counts);
+  }
+  MaxScoreRetriever retriever(&index);
+  const auto top = retriever.TopK({{0, 1}, {1, 1}}, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (const ScoredDoc& s : top) {
+    EXPECT_EQ(s.doc % 50, 0u);  // all winners carry the rare term
+  }
+  EXPECT_LT(retriever.last_docs_scored(), 500u)
+      << "MaxScore must not fully score every document";
+}
+
+TEST(MaxScoreTest, WithBonStyleParams) {
+  // The BON index uses k1 = 0.8, b = 0; agreement must hold there too.
+  InvertedIndex index = MakeRandomIndex(17, 200, 100, 25);
+  const Bm25Params params{0.8, 0.0};
+  Bm25Scorer scorer(&index, params);
+  MaxScoreRetriever retriever(&index, params);
+  const TermCounts query = {{1, 3}, {5, 1}, {17, 1}};
+  ExpectSameTopK(retriever.TopK(query, 10),
+                 SelectTopK(scorer.ScoreAll(query), 10));
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace newslink

@@ -1,0 +1,214 @@
+// Tests for the full NewsLinkEngine: indexing, β-fused search (Eq. 3),
+// explained search, timing instrumentation, TreeEmb mode.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/lucene_like_engine.h"
+#include "corpus/synthetic_news.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+#include "newslink/newslink_engine.h"
+
+namespace newslink {
+namespace {
+
+class NewsLinkEngineTest : public ::testing::Test {
+ protected:
+  NewsLinkEngineTest() : kg_(MakeKg()), index_(kg_.graph) {
+    corpus::SyntheticNewsConfig config = corpus::CnnLikeConfig();
+    config.num_stories = 25;
+    corpus_ = corpus::SyntheticNewsGenerator(&kg_, config).Generate();
+  }
+
+  static kg::SyntheticKg MakeKg() {
+    kg::SyntheticKgConfig config;
+    config.seed = 77;
+    config.num_countries = 2;
+    config.provinces_per_country = 3;
+    config.districts_per_province = 2;
+    config.cities_per_district = 2;
+    return kg::SyntheticKgGenerator(config).Generate();
+  }
+
+  NewsLinkEngine MakeEngine(double beta,
+                            EmbedderKind kind = EmbedderKind::kLcag) {
+    NewsLinkConfig config;
+    config.beta = beta;
+    config.embedder = kind;
+    config.num_threads = 2;
+    return NewsLinkEngine(&kg_.graph, &index_, config);
+  }
+
+  std::string FirstSentenceOf(size_t doc) const {
+    const std::string& text = corpus_.corpus.doc(doc).text;
+    return text.substr(0, text.find('.') + 1);
+  }
+
+  kg::SyntheticKg kg_;
+  kg::LabelIndex index_;
+  corpus::SyntheticCorpus corpus_;
+};
+
+TEST_F(NewsLinkEngineTest, NameReflectsConfig) {
+  EXPECT_EQ(MakeEngine(0.2).name(), "NewsLink(0.2)");
+  EXPECT_EQ(MakeEngine(1.0, EmbedderKind::kTree).name(), "TreeEmb(1)");
+}
+
+TEST_F(NewsLinkEngineTest, IndexEmbedsMostDocuments) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  engine.Index(corpus_.corpus);
+  EXPECT_EQ(engine.num_indexed_docs(), corpus_.corpus.size());
+  // The paper reports 91-96% corpus coverage; our generator should match.
+  EXPECT_GT(engine.EmbeddedDocumentFraction(), 0.9);
+}
+
+TEST_F(NewsLinkEngineTest, PartialQueryRecoversSourceDocument) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  engine.Index(corpus_.corpus);
+  size_t hits = 0;
+  const size_t trials = 20;
+  for (size_t d = 0; d < trials; ++d) {
+    const auto results = engine.Search(FirstSentenceOf(d), 5);
+    for (const auto& r : results) {
+      if (r.doc_index == d) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(hits, trials - 3);  // robust recovery
+}
+
+TEST_F(NewsLinkEngineTest, BetaZeroMatchesLuceneRanking) {
+  NewsLinkEngine engine = MakeEngine(0.0);
+  engine.Index(corpus_.corpus);
+  baselines::LuceneLikeEngine lucene;
+  lucene.Index(corpus_.corpus);
+
+  for (size_t d = 0; d < 10; ++d) {
+    const std::string q = FirstSentenceOf(d);
+    const auto a = engine.Search(q, 5);
+    const auto b = lucene.Search(q, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc_index, b[i].doc_index)
+          << "beta=0 must reduce to the Lucene approach (paper Table VII)";
+    }
+  }
+}
+
+TEST_F(NewsLinkEngineTest, PureBonSearchWorks) {
+  NewsLinkEngine engine = MakeEngine(1.0);
+  engine.Index(corpus_.corpus);
+  const auto results = engine.Search(FirstSentenceOf(3), 5);
+  EXPECT_FALSE(results.empty());
+}
+
+TEST_F(NewsLinkEngineTest, ScoresAreDescending) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  engine.Index(corpus_.corpus);
+  const auto results = engine.Search(FirstSentenceOf(0), 10);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i].score, results[i - 1].score);
+  }
+}
+
+TEST_F(NewsLinkEngineTest, FusedScoresBoundedByOne) {
+  // Both sides are max-normalized, so a fused score is at most 1.
+  NewsLinkEngine engine = MakeEngine(0.5);
+  engine.Index(corpus_.corpus);
+  for (const auto& r : engine.Search(FirstSentenceOf(0), 10)) {
+    EXPECT_LE(r.score, 1.0 + 1e-9);
+    EXPECT_GE(r.score, 0.0);
+  }
+}
+
+TEST_F(NewsLinkEngineTest, SearchExplainedAttachesPaths) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  engine.Index(corpus_.corpus);
+  const auto results = engine.SearchExplained(FirstSentenceOf(5), 3, 4);
+  ASSERT_FALSE(results.empty());
+  bool any_paths = false;
+  for (const auto& r : results) {
+    EXPECT_LE(r.paths.size(), 4u);
+    if (!r.paths.empty()) {
+      any_paths = true;
+      const std::string rendered = r.paths[0].Render(kg_.graph);
+      EXPECT_FALSE(rendered.empty());
+    }
+  }
+  EXPECT_TRUE(any_paths);
+}
+
+TEST_F(NewsLinkEngineTest, EmbedTextProducesEmbeddingForEntitySentence) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  const embed::DocumentEmbedding emb =
+      engine.EmbedText(FirstSentenceOf(0) + " " + FirstSentenceOf(1));
+  // Synthetic sentences nearly always carry entities; embedding non-empty.
+  EXPECT_FALSE(emb.empty());
+}
+
+TEST_F(NewsLinkEngineTest, IndexTimesCoverAllComponents) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  engine.Index(corpus_.corpus);
+  const TimeBreakdown& times = engine.index_times();
+  EXPECT_EQ(times.Count("nlp"), static_cast<int64_t>(corpus_.corpus.size()));
+  EXPECT_EQ(times.Count("ne"), static_cast<int64_t>(corpus_.corpus.size()));
+  EXPECT_EQ(times.Count("ns"), static_cast<int64_t>(corpus_.corpus.size()));
+  EXPECT_GT(times.TotalSeconds("ne"), 0.0);
+}
+
+TEST_F(NewsLinkEngineTest, QueryTimesAccumulatePerQuery) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  engine.Index(corpus_.corpus);
+  engine.ResetQueryTimes();
+  engine.Search(FirstSentenceOf(0), 5);
+  engine.Search(FirstSentenceOf(1), 5);
+  EXPECT_EQ(engine.query_times().Count("nlp"), 2);
+  EXPECT_EQ(engine.query_times().Count("ne"), 2);
+  EXPECT_EQ(engine.query_times().Count("ns"), 2);
+  engine.ResetQueryTimes();
+  EXPECT_EQ(engine.query_times().Count("ns"), 0);
+}
+
+TEST_F(NewsLinkEngineTest, TreeEmbedderModeIndexesAndSearches) {
+  NewsLinkEngine engine = MakeEngine(0.2, EmbedderKind::kTree);
+  engine.Index(corpus_.corpus);
+  EXPECT_GT(engine.EmbeddedDocumentFraction(), 0.9);
+  const auto results = engine.Search(FirstSentenceOf(2), 5);
+  EXPECT_FALSE(results.empty());
+}
+
+TEST_F(NewsLinkEngineTest, TreeEmbeddingsAreSmallerThanLcag) {
+  // Coverage property: G* retains parallel shortest paths, trees do not,
+  // so LCAG embeddings must have at least as many nodes on average.
+  NewsLinkEngine lcag = MakeEngine(1.0);
+  NewsLinkEngine tree = MakeEngine(1.0, EmbedderKind::kTree);
+  lcag.Index(corpus_.corpus);
+  tree.Index(corpus_.corpus);
+  size_t lcag_nodes = 0, tree_nodes = 0;
+  for (size_t i = 0; i < corpus_.corpus.size(); ++i) {
+    lcag_nodes += lcag.doc_embedding(i).num_distinct_nodes();
+    tree_nodes += tree.doc_embedding(i).num_distinct_nodes();
+  }
+  EXPECT_GE(lcag_nodes, tree_nodes);
+}
+
+TEST_F(NewsLinkEngineTest, DeterministicAcrossRuns) {
+  NewsLinkEngine a = MakeEngine(0.2);
+  NewsLinkEngine b = MakeEngine(0.2);
+  a.Index(corpus_.corpus);
+  b.Index(corpus_.corpus);
+  const auto ra = a.Search(FirstSentenceOf(4), 10);
+  const auto rb = b.Search(FirstSentenceOf(4), 10);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].doc_index, rb[i].doc_index);
+    EXPECT_DOUBLE_EQ(ra[i].score, rb[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace newslink

@@ -1,0 +1,222 @@
+// Tests for the synthetic KG generator: determinism, connectivity, the
+// structural properties the NE component relies on.
+
+#include <queue>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+
+namespace newslink {
+namespace kg {
+namespace {
+
+SyntheticKgConfig SmallConfig() {
+  SyntheticKgConfig config;
+  config.seed = 42;
+  config.num_countries = 2;
+  config.provinces_per_country = 3;
+  config.districts_per_province = 3;
+  config.cities_per_district = 2;
+  config.duplicate_label_prob = 0.0;
+  return config;
+}
+
+size_t ReachableFrom(const KnowledgeGraph& g, NodeId start) {
+  std::set<NodeId> visited = {start};
+  std::queue<NodeId> frontier;
+  frontier.push(start);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const Arc& arc : g.OutArcs(v)) {
+      if (visited.insert(arc.dst).second) frontier.push(arc.dst);
+    }
+  }
+  return visited.size();
+}
+
+TEST(SyntheticKgTest, DeterministicForSameSeed) {
+  SyntheticKg a = SyntheticKgGenerator(SmallConfig()).Generate();
+  SyntheticKg b = SyntheticKgGenerator(SmallConfig()).Generate();
+  ASSERT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (NodeId v = 0; v < a.graph.num_nodes(); ++v) {
+    EXPECT_EQ(a.graph.label(v), b.graph.label(v));
+  }
+}
+
+TEST(SyntheticKgTest, DifferentSeedsDiffer) {
+  SyntheticKgConfig other = SmallConfig();
+  other.seed = 43;
+  SyntheticKg a = SyntheticKgGenerator(SmallConfig()).Generate();
+  SyntheticKg b = SyntheticKgGenerator(other).Generate();
+  bool any_diff = a.graph.num_nodes() != b.graph.num_nodes();
+  if (!any_diff) {
+    for (NodeId v = 0; v < a.graph.num_nodes(); ++v) {
+      if (a.graph.label(v) != b.graph.label(v)) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticKgTest, GraphIsConnected) {
+  SyntheticKg kg = SyntheticKgGenerator(SmallConfig()).Generate();
+  // The paper assumes K is connected (Sec. V-A). The generator must deliver.
+  EXPECT_EQ(ReachableFrom(kg.graph, 0), kg.graph.num_nodes());
+}
+
+TEST(SyntheticKgTest, GeographyCountsMatchConfig) {
+  SyntheticKgConfig config = SmallConfig();
+  SyntheticKg kg = SyntheticKgGenerator(config).Generate();
+  EXPECT_EQ(kg.Category("country").size(),
+            static_cast<size_t>(config.num_countries));
+  EXPECT_EQ(kg.Category("province").size(),
+            static_cast<size_t>(config.num_countries *
+                                config.provinces_per_country));
+  EXPECT_EQ(kg.Category("district").size(),
+            static_cast<size_t>(config.num_countries *
+                                config.provinces_per_country *
+                                config.districts_per_province));
+  EXPECT_EQ(kg.Category("city").size(),
+            static_cast<size_t>(config.num_countries *
+                                config.provinces_per_country *
+                                config.districts_per_province *
+                                config.cities_per_district));
+}
+
+TEST(SyntheticKgTest, AllExpectedCategoriesPresent) {
+  SyntheticKg kg = SyntheticKgGenerator(SmallConfig()).Generate();
+  for (const char* cat :
+       {"country", "province", "district", "city", "party", "politician",
+        "election", "agency", "militant_group", "company", "executive",
+        "league", "team", "player", "event"}) {
+    EXPECT_FALSE(kg.Category(cat).empty()) << cat;
+  }
+  EXPECT_TRUE(kg.Category("bogus").empty());
+}
+
+TEST(SyntheticKgTest, StoryAnchorsNonEmptyAndValid) {
+  SyntheticKg kg = SyntheticKgGenerator(SmallConfig()).Generate();
+  EXPECT_FALSE(kg.story_anchors.empty());
+  for (NodeId v : kg.story_anchors) EXPECT_LT(v, kg.graph.num_nodes());
+}
+
+TEST(SyntheticKgTest, LabelsUniqueWhenDuplicationDisabled) {
+  SyntheticKg kg = SyntheticKgGenerator(SmallConfig()).Generate();
+  std::set<std::string> labels;
+  for (NodeId v = 0; v < kg.graph.num_nodes(); ++v) {
+    EXPECT_TRUE(labels.insert(NormalizeLabel(kg.graph.label(v))).second)
+        << "duplicate label: " << kg.graph.label(v);
+  }
+}
+
+TEST(SyntheticKgTest, DuplicateLabelsProduceMultiNodeLabelSets) {
+  SyntheticKgConfig config = SmallConfig();
+  config.duplicate_label_prob = 0.5;
+  SyntheticKg kg = SyntheticKgGenerator(config).Generate();
+  LabelIndex index(kg.graph);
+  size_t ambiguous = 0;
+  index.ForEachLabel(
+      [&ambiguous](const std::string&, const std::vector<NodeId>& nodes) {
+        if (nodes.size() > 1) ++ambiguous;
+      });
+  // Ambiguous surface labels make S(l) multi-node sets (paper Def. 2).
+  EXPECT_GT(ambiguous, 10u);
+}
+
+TEST(SyntheticKgTest, DescriptionsNonEmpty) {
+  SyntheticKg kg = SyntheticKgGenerator(SmallConfig()).Generate();
+  for (NodeId v = 0; v < kg.graph.num_nodes(); ++v) {
+    EXPECT_FALSE(kg.graph.description(v).empty()) << kg.graph.label(v);
+  }
+}
+
+TEST(SyntheticKgTest, DistrictsLocatedInProvinces) {
+  SyntheticKg kg = SyntheticKgGenerator(SmallConfig()).Generate();
+  const auto& provinces = kg.Category("province");
+  const std::set<NodeId> province_set(provinces.begin(), provinces.end());
+  Result<PredicateId> located = kg.graph.FindPredicate("located_in");
+  ASSERT_TRUE(located.ok());
+  for (NodeId d : kg.Category("district")) {
+    bool in_province = false;
+    for (const Arc& arc : kg.graph.OutArcs(d)) {
+      if (arc.forward && arc.predicate == *located &&
+          province_set.contains(arc.dst)) {
+        in_province = true;
+      }
+    }
+    EXPECT_TRUE(in_province) << kg.graph.label(d);
+  }
+}
+
+TEST(SyntheticKgTest, ElectionsHaveCandidates) {
+  SyntheticKg kg = SyntheticKgGenerator(SmallConfig()).Generate();
+  Result<PredicateId> cand = kg.graph.FindPredicate("candidate_in");
+  ASSERT_TRUE(cand.ok());
+  for (NodeId e : kg.Category("election")) {
+    int candidates = 0;
+    for (const Arc& arc : kg.graph.OutArcs(e)) {
+      // Reverse arcs at the election point back to candidates.
+      if (!arc.forward && arc.predicate == *cand) ++candidates;
+    }
+    EXPECT_GE(candidates, 2) << kg.graph.label(e);
+  }
+}
+
+TEST(SyntheticKgTest, BorderEdgesCreateParallelPaths) {
+  SyntheticKgConfig config = SmallConfig();
+  config.extra_border_prob = 1.0;  // force borders
+  SyntheticKg kg = SyntheticKgGenerator(config).Generate();
+  Result<PredicateId> borders = kg.graph.FindPredicate("borders");
+  ASSERT_TRUE(borders.ok());
+  int border_edges = 0;
+  for (const EdgeRecord& e : kg.graph.edges()) {
+    if (e.predicate == *borders) ++border_edges;
+  }
+  // With prob 1, every province after the first and every district after
+  // the first (per province) gets a border edge, plus the country ring.
+  EXPECT_GT(border_edges, config.num_countries *
+                              config.provinces_per_country);
+}
+
+TEST(SyntheticKgTest, ScalesWithConfig) {
+  SyntheticKgConfig big = SmallConfig();
+  big.num_countries = 4;
+  SyntheticKg small = SyntheticKgGenerator(SmallConfig()).Generate();
+  SyntheticKg large = SyntheticKgGenerator(big).Generate();
+  EXPECT_GT(large.graph.num_nodes(), small.graph.num_nodes() * 3 / 2);
+}
+
+TEST(NameForgeTest, GeneratesUniqueNames) {
+  Rng rng(5);
+  NameForge forge(&rng);
+  std::set<std::string> names;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(names.insert(forge.PlaceName()).second);
+    EXPECT_TRUE(names.insert(forge.PersonName()).second);
+  }
+}
+
+TEST(NameForgeTest, WordsAreLowercase) {
+  Rng rng(6);
+  NameForge forge(&rng);
+  for (int i = 0; i < 100; ++i) {
+    const std::string w = forge.Word();
+    EXPECT_FALSE(w.empty());
+    for (char c : w) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) ||
+                  std::isdigit(static_cast<unsigned char>(c)) || c == ' ')
+          << w;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kg
+}  // namespace newslink

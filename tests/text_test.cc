@@ -1,0 +1,345 @@
+// Tests for src/text: tokenizer, sentence splitter, Porter stemmer,
+// stopwords, gazetteer NER, news segmentation and the maximal entity
+// co-occurrence set (paper Definition 1 / Example 2).
+
+#include <gtest/gtest.h>
+
+#include "kg/knowledge_graph.h"
+#include "kg/label_index.h"
+#include "text/gazetteer_ner.h"
+#include "text/news_segmenter.h"
+#include "text/porter_stemmer.h"
+#include "text/sentence_splitter.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace newslink {
+namespace text {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, SplitsWordsAndPunctuation) {
+  const auto tokens = Tokenize("Hello, world!");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "Hello");
+  EXPECT_EQ(tokens[1].text, ",");
+  EXPECT_EQ(tokens[2].text, "world");
+  EXPECT_EQ(tokens[3].text, "!");
+  EXPECT_TRUE(tokens[0].is_word);
+  EXPECT_FALSE(tokens[1].is_word);
+}
+
+TEST(TokenizerTest, OffsetsAreByteAccurate) {
+  const std::string s = "ab  cd";
+  const auto tokens = Tokenize(s);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(s.substr(tokens[0].begin, tokens[0].end - tokens[0].begin), "ab");
+  EXPECT_EQ(s.substr(tokens[1].begin, tokens[1].end - tokens[1].begin), "cd");
+}
+
+TEST(TokenizerTest, ApostropheStaysInWord) {
+  const auto tokens = Tokenize("don't stop");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "don't");
+}
+
+TEST(TokenizerTest, CapitalizationFlag) {
+  const auto tokens = Tokenize("Taliban attacked lahore");
+  EXPECT_TRUE(tokens[0].is_upper_initial);
+  EXPECT_FALSE(tokens[1].is_upper_initial);
+  EXPECT_FALSE(tokens[2].is_upper_initial);
+}
+
+TEST(TokenizerTest, LowercaseForm) {
+  const auto tokens = Tokenize("SWAT Valley");
+  EXPECT_EQ(tokens[0].lower, "swat");
+  EXPECT_EQ(tokens[1].lower, "valley");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n ").empty());
+}
+
+TEST(TokenizerTest, WordTokensDropsPunctuation) {
+  EXPECT_EQ(WordTokens("A b, c."), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+// ---------------------------------------------------------------------------
+// Sentence splitter
+// ---------------------------------------------------------------------------
+
+TEST(SentenceSplitterTest, SplitsOnTerminators) {
+  const auto sents = SentenceStrings("One here. Two there! Three? Four");
+  ASSERT_EQ(sents.size(), 4u);
+  EXPECT_EQ(sents[0], "One here.");
+  EXPECT_EQ(sents[1], "Two there!");
+  EXPECT_EQ(sents[2], "Three?");
+  EXPECT_EQ(sents[3], "Four");
+}
+
+TEST(SentenceSplitterTest, AbbreviationsDoNotSplit) {
+  const auto sents = SentenceStrings("Mr. Khan met Dr. Ali. They talked.");
+  ASSERT_EQ(sents.size(), 2u);
+  EXPECT_EQ(sents[0], "Mr. Khan met Dr. Ali.");
+}
+
+TEST(SentenceSplitterTest, SingleInitialsDoNotSplit) {
+  const auto sents = SentenceStrings("J. Smith arrived. He spoke.");
+  ASSERT_EQ(sents.size(), 2u);
+}
+
+TEST(SentenceSplitterTest, PeriodInsideWordDoesNotSplit) {
+  const auto sents = SentenceStrings("Version 1.5 shipped. Done.");
+  ASSERT_EQ(sents.size(), 2u);
+  EXPECT_EQ(sents[0], "Version 1.5 shipped.");
+}
+
+TEST(SentenceSplitterTest, EmptyInput) {
+  EXPECT_TRUE(SentenceStrings("").empty());
+  EXPECT_TRUE(SentenceStrings("   ").empty());
+}
+
+TEST(SentenceSplitterTest, SpansCoverSource) {
+  const std::string s = "Alpha beta. Gamma delta.";
+  const auto spans = SplitSentences(s);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].begin, 0u);
+  EXPECT_EQ(spans[1].end, s.size());
+}
+
+// ---------------------------------------------------------------------------
+// Porter stemmer
+// ---------------------------------------------------------------------------
+
+TEST(PorterStemmerTest, ClassicExamples) {
+  EXPECT_EQ(PorterStem("caresses"), "caress");
+  EXPECT_EQ(PorterStem("ponies"), "poni");
+  EXPECT_EQ(PorterStem("cats"), "cat");
+  EXPECT_EQ(PorterStem("agreed"), "agre");
+  EXPECT_EQ(PorterStem("plastered"), "plaster");
+  EXPECT_EQ(PorterStem("motoring"), "motor");
+  EXPECT_EQ(PorterStem("happy"), "happi");
+  EXPECT_EQ(PorterStem("relational"), "relat");
+  EXPECT_EQ(PorterStem("conditional"), "condit");
+  EXPECT_EQ(PorterStem("formalize"), "formal");
+  EXPECT_EQ(PorterStem("electrical"), "electr");
+  EXPECT_EQ(PorterStem("hopefulness"), "hope");
+  EXPECT_EQ(PorterStem("adjustment"), "adjust");
+  EXPECT_EQ(PorterStem("probate"), "probat");
+  EXPECT_EQ(PorterStem("controlling"), "control");
+}
+
+TEST(PorterStemmerTest, NewsVocabulary) {
+  // The property the BOW index needs: inflections share a stem.
+  EXPECT_EQ(PorterStem("election"), PorterStem("elections"));
+  EXPECT_EQ(PorterStem("attack"), PorterStem("attacked"));
+  EXPECT_EQ(PorterStem("bombing"), PorterStem("bombings"));
+  EXPECT_EQ(PorterStem("candidate"), PorterStem("candidates"));
+}
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem("by"), "by");
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemmerTest, DoubleConsonantRules) {
+  EXPECT_EQ(PorterStem("hopping"), "hop");
+  EXPECT_EQ(PorterStem("falling"), "fall");  // ll kept
+  EXPECT_EQ(PorterStem("hissing"), "hiss");  // ss kept
+}
+
+TEST(PorterStemmerTest, CvcRestoresE) {
+  EXPECT_EQ(PorterStem("hoping"), "hope");
+  EXPECT_EQ(PorterStem("filing"), "file");
+}
+
+// ---------------------------------------------------------------------------
+// Stopwords
+// ---------------------------------------------------------------------------
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  for (const char* w : {"the", "of", "and", "is", "with", "from"}) {
+    EXPECT_TRUE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ContentWordsAreNot) {
+  for (const char* w : {"taliban", "election", "bombing", "valley"}) {
+    EXPECT_FALSE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ListHasReasonableSize) {
+  EXPECT_GT(StopwordCount(), 100u);
+  EXPECT_LT(StopwordCount(), 300u);
+}
+
+// ---------------------------------------------------------------------------
+// Gazetteer NER
+// ---------------------------------------------------------------------------
+
+class NerTest : public ::testing::Test {
+ protected:
+  NerTest() {
+    kg::KgBuilder b;
+    pakistan_ = b.AddNode("Pakistan", kg::EntityType::kGpe);
+    taliban_ = b.AddNode("Taliban", kg::EntityType::kNorp);
+    swat_ = b.AddNode("Swat Valley", kg::EntityType::kGpe);
+    upper_dir_ = b.AddNode("Upper Dir", kg::EntityType::kGpe);
+    EXPECT_TRUE(b.AddEdge(swat_, pakistan_, "located_in").ok());
+    EXPECT_TRUE(b.AddEdge(upper_dir_, pakistan_, "located_in").ok());
+    EXPECT_TRUE(b.AddEdge(taliban_, pakistan_, "operates_in").ok());
+    graph_ = b.Build();
+    index_ = kg::LabelIndex(graph_);
+    ner_ = std::make_unique<GazetteerNer>(&index_);
+  }
+
+  std::vector<EntityMention> Recognize(const std::string& s) const {
+    return ner_->Recognize(Tokenize(s));
+  }
+
+  kg::NodeId pakistan_, taliban_, swat_, upper_dir_;
+  kg::KnowledgeGraph graph_;
+  kg::LabelIndex index_;
+  std::unique_ptr<GazetteerNer> ner_;
+};
+
+TEST_F(NerTest, SingleTokenMatch) {
+  const auto mentions = Recognize("Fighting continued in Pakistan today.");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].label, "pakistan");
+  EXPECT_TRUE(mentions[0].in_kg);
+}
+
+TEST_F(NerTest, MultiTokenLongestMatch) {
+  const auto mentions = Recognize("Clashes near Swat Valley intensified.");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].label, "swat valley");
+  EXPECT_EQ(mentions[0].end_token - mentions[0].begin_token, 2u);
+}
+
+TEST_F(NerTest, MatchIsCaseInsensitive) {
+  const auto mentions = Recognize("the taliban claimed responsibility");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].label, "taliban");
+}
+
+TEST_F(NerTest, SentenceInitialKgMatchStillFound) {
+  const auto mentions = Recognize("Pakistan condemned the attack.");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_TRUE(mentions[0].in_kg);
+}
+
+TEST_F(NerTest, CapitalizedRunBecomesUnmatchedMention) {
+  const auto mentions = Recognize("Officials met Farid Gulzar yesterday.");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].label, "farid gulzar");
+  EXPECT_FALSE(mentions[0].in_kg);
+}
+
+TEST_F(NerTest, SentenceInitialCapitalIgnoredWhenNotInKg) {
+  const auto mentions = Recognize("Nobody expected the outcome.");
+  EXPECT_TRUE(mentions.empty());
+}
+
+TEST_F(NerTest, CapitalizedStopwordNotAMention) {
+  const auto mentions = Recognize("He said The reason was unclear.");
+  EXPECT_TRUE(mentions.empty());
+}
+
+TEST_F(NerTest, MultipleMentionsInOrder) {
+  const auto mentions =
+      Recognize("Fighters moved from Upper Dir toward Swat Valley in "
+                "Pakistan.");
+  ASSERT_EQ(mentions.size(), 3u);
+  EXPECT_EQ(mentions[0].label, "upper dir");
+  EXPECT_EQ(mentions[1].label, "swat valley");
+  EXPECT_EQ(mentions[2].label, "pakistan");
+}
+
+TEST_F(NerTest, PunctuationBreaksRuns) {
+  const auto mentions = Recognize("They visited Pakistan, Taliban strongholds.");
+  ASSERT_EQ(mentions.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// NewsSegmenter + maximal entity co-occurrence set
+// ---------------------------------------------------------------------------
+
+TEST_F(NerTest, SegmenterGroupsEntitiesPerSentence) {
+  NewsSegmenter segmenter(ner_.get());
+  const SegmentedDocument doc = segmenter.Segment(
+      "Militants from Swat Valley attacked. The Taliban and Pakistan forces "
+      "clashed near Upper Dir.");
+  ASSERT_EQ(doc.segments.size(), 2u);
+  EXPECT_EQ(doc.segments[0].entities,
+            (std::vector<std::string>{"swat valley"}));
+  EXPECT_EQ(doc.segments[1].entities,
+            (std::vector<std::string>{"taliban", "pakistan", "upper dir"}));
+}
+
+TEST_F(NerTest, SegmenterMatchingRatio) {
+  NewsSegmenter segmenter(ner_.get());
+  const SegmentedDocument doc = segmenter.Segment(
+      "Forces in Pakistan met Farid Gulzar. The Taliban denied it.");
+  EXPECT_EQ(doc.TotalMentions(), 3u);
+  EXPECT_EQ(doc.MatchedMentions(), 2u);
+  EXPECT_NEAR(doc.EntityMatchingRatio(), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(NerTest, MatchingRatioOneWhenNoMentions) {
+  NewsSegmenter segmenter(ner_.get());
+  const SegmentedDocument doc = segmenter.Segment("nothing to see here.");
+  EXPECT_DOUBLE_EQ(doc.EntityMatchingRatio(), 1.0);
+}
+
+TEST(MaximalCooccurrenceTest, PaperExampleTwo) {
+  // Paper Example 2: L4 ⊂ L2 is ruled out, U_m = {L1, L2, L3}.
+  const std::vector<std::vector<std::string>> sets = {
+      {"pakistan", "taliban", "afghan"},                     // L1
+      {"upper dir", "afghanistan", "taliban"},               // L2
+      {"upper dir", "swat valley", "pakistan", "taliban"},   // L3
+      {"upper dir", "taliban"},                              // L4
+  };
+  EXPECT_EQ(MaximalCooccurrenceSets(sets), (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(MaximalCooccurrenceTest, DuplicatesKeepOne) {
+  const std::vector<std::vector<std::string>> sets = {
+      {"a", "b"}, {"b", "a"}, {"a", "b"}};
+  EXPECT_EQ(MaximalCooccurrenceSets(sets).size(), 1u);
+}
+
+TEST(MaximalCooccurrenceTest, EmptySetsDropped) {
+  const std::vector<std::vector<std::string>> sets = {{}, {"a"}, {}};
+  EXPECT_EQ(MaximalCooccurrenceSets(sets), (std::vector<size_t>{1}));
+}
+
+TEST(MaximalCooccurrenceTest, DisjointSetsAllKept) {
+  const std::vector<std::vector<std::string>> sets = {
+      {"a"}, {"b"}, {"c", "d"}};
+  EXPECT_EQ(MaximalCooccurrenceSets(sets).size(), 3u);
+}
+
+TEST(MaximalCooccurrenceTest, ChainOfSubsetsKeepsLargest) {
+  const std::vector<std::vector<std::string>> sets = {
+      {"a"}, {"a", "b"}, {"a", "b", "c"}};
+  EXPECT_EQ(MaximalCooccurrenceSets(sets), (std::vector<size_t>{2}));
+}
+
+TEST(MaximalCooccurrenceTest, ResultPreservesDocumentOrder) {
+  const std::vector<std::vector<std::string>> sets = {
+      {"x", "y"}, {"p", "q", "r"}, {"m"}};
+  const std::vector<size_t> kept = MaximalCooccurrenceSets(sets);
+  EXPECT_TRUE(std::is_sorted(kept.begin(), kept.end()));
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace newslink

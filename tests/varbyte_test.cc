@@ -1,0 +1,161 @@
+// Tests for VByte compression and the compressed inverted index.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ir/varbyte.h"
+
+namespace newslink {
+namespace ir {
+namespace {
+
+TEST(VarByteTest, EncodesKnownValues) {
+  std::vector<uint8_t> out;
+  VarByteEncode(0, &out);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0}));
+  out.clear();
+  VarByteEncode(127, &out);
+  EXPECT_EQ(out, (std::vector<uint8_t>{127}));
+  out.clear();
+  VarByteEncode(128, &out);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0x80, 0x01}));
+  out.clear();
+  VarByteEncode(300, &out);
+  EXPECT_EQ(out, (std::vector<uint8_t>{0xAC, 0x02}));
+}
+
+TEST(VarByteTest, RoundTripsRandomValues) {
+  Rng rng(3);
+  std::vector<uint32_t> values;
+  std::vector<uint8_t> bytes;
+  for (int i = 0; i < 1000; ++i) {
+    // Mix of small and large magnitudes.
+    const uint32_t v = static_cast<uint32_t>(
+        rng.Next() >> (rng.Uniform(28)));
+    values.push_back(v);
+    VarByteEncode(v, &bytes);
+  }
+  size_t pos = 0;
+  for (uint32_t expected : values) {
+    EXPECT_EQ(VarByteDecode(bytes, &pos), expected);
+  }
+  EXPECT_EQ(pos, bytes.size());
+}
+
+TEST(VarByteTest, MaxValueRoundTrips) {
+  std::vector<uint8_t> bytes;
+  VarByteEncode(0xFFFFFFFFu, &bytes);
+  EXPECT_EQ(bytes.size(), 5u);
+  size_t pos = 0;
+  EXPECT_EQ(VarByteDecode(bytes, &pos), 0xFFFFFFFFu);
+}
+
+TEST(CompressedPostingListTest, RoundTripsAndShrinks) {
+  Rng rng(7);
+  std::vector<Posting> postings;
+  uint32_t doc = 0;
+  for (int i = 0; i < 500; ++i) {
+    doc += 1 + static_cast<uint32_t>(rng.Uniform(30));
+    postings.push_back(Posting{doc, 1 + static_cast<uint32_t>(rng.Uniform(5))});
+  }
+  CompressedPostingList list({postings.data(), postings.size()});
+  EXPECT_EQ(list.size(), postings.size());
+  const std::vector<Posting> decoded = list.Decode();
+  ASSERT_EQ(decoded.size(), postings.size());
+  for (size_t i = 0; i < postings.size(); ++i) {
+    EXPECT_EQ(decoded[i].doc, postings[i].doc);
+    EXPECT_EQ(decoded[i].tf, postings[i].tf);
+  }
+  // Small doc-id gaps + small tfs: ~2 bytes/posting vs 8 raw.
+  EXPECT_LT(list.byte_size(), postings.size() * sizeof(Posting) / 2);
+}
+
+TEST(CompressedPostingListTest, EmptyList) {
+  CompressedPostingList list;
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_TRUE(list.Decode().empty());
+}
+
+TEST(CompressedPostingListTest, ForEachStreams) {
+  CompressedPostingList list;
+  list.Append({5, 2});
+  list.Append({9, 1});
+  std::vector<Posting> seen;
+  list.ForEach([&seen](const Posting& p) { seen.push_back(p); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].doc, 5u);
+  EXPECT_EQ(seen[1].doc, 9u);
+  EXPECT_EQ(seen[0].tf, 2u);
+}
+
+TEST(CompressedInvertedIndexTest, MirrorsUncompressedIndex) {
+  Rng rng(11);
+  ZipfTable zipf(200, 1.0);
+  InvertedIndex raw;
+  for (int d = 0; d < 300; ++d) {
+    std::map<TermId, uint32_t> counts;
+    for (int t = 0; t < 40; ++t) {
+      ++counts[static_cast<TermId>(zipf.Sample(&rng))];
+    }
+    raw.AddDocument(TermCounts(counts.begin(), counts.end()));
+  }
+  CompressedInvertedIndex compressed(raw);
+  EXPECT_EQ(compressed.num_docs(), raw.num_docs());
+  EXPECT_EQ(compressed.num_terms(), raw.num_terms());
+  EXPECT_DOUBLE_EQ(compressed.avg_doc_length(), raw.avg_doc_length());
+  for (DocId d = 0; d < raw.num_docs(); ++d) {
+    EXPECT_EQ(compressed.DocLength(d), raw.DocLength(d));
+  }
+  for (TermId t = 0; t < raw.num_terms(); ++t) {
+    EXPECT_EQ(compressed.DocFreq(t), raw.DocFreq(t));
+    const auto expected = raw.Postings(t);
+    const auto actual = compressed.Postings(t);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].doc, expected[i].doc);
+      EXPECT_EQ(actual[i].tf, expected[i].tf);
+    }
+  }
+  // Space win over raw Posting storage.
+  size_t raw_bytes = 0;
+  for (TermId t = 0; t < raw.num_terms(); ++t) {
+    raw_bytes += raw.Postings(t).size() * sizeof(Posting);
+  }
+  EXPECT_LT(compressed.PostingBytes(), raw_bytes / 2);
+}
+
+TEST(CompressedInvertedIndexTest, IncrementalAddMatchesBulk) {
+  Rng rng(13);
+  InvertedIndex raw;
+  CompressedInvertedIndex incremental;
+  for (int d = 0; d < 50; ++d) {
+    std::map<TermId, uint32_t> counts;
+    for (int t = 0; t < 10; ++t) {
+      ++counts[static_cast<TermId>(rng.Uniform(40))];
+    }
+    const TermCounts tc(counts.begin(), counts.end());
+    raw.AddDocument(tc);
+    incremental.AddDocument(tc);
+  }
+  for (TermId t = 0; t < raw.num_terms(); ++t) {
+    const auto expected = raw.Postings(t);
+    const auto actual = incremental.Postings(t);
+    ASSERT_EQ(actual.size(), expected.size()) << "term " << t;
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_EQ(actual[i].doc, expected[i].doc);
+    }
+  }
+}
+
+TEST(CompressedInvertedIndexTest, UnknownTermEmpty) {
+  CompressedInvertedIndex index;
+  EXPECT_TRUE(index.Postings(5).empty());
+  EXPECT_EQ(index.DocFreq(5), 0u);
+  int visits = 0;
+  index.ForEachPosting(5, [&visits](const Posting&) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+}  // namespace
+}  // namespace ir
+}  // namespace newslink

@@ -1,0 +1,406 @@
+// Tests for src/vec: dense vector ops, vocabulary / negative sampling,
+// skip-gram training, FastText subwords, Doc2Vec inference, the SBERT
+// stand-in and Gibbs LDA.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vec/dense_vector.h"
+#include "vec/doc2vec_model.h"
+#include "vec/fasttext_model.h"
+#include "vec/lda_model.h"
+#include "vec/sbert_like_model.h"
+#include "vec/sgns_trainer.h"
+
+namespace newslink {
+namespace vec {
+namespace {
+
+// A tiny two-topic corpus: "sports" docs and "politics" docs. Words within
+// a topic co-occur constantly, across topics never — the separation every
+// embedding model must learn.
+std::vector<std::vector<std::string>> TwoTopicCorpus(int docs_per_topic) {
+  std::vector<std::vector<std::string>> docs;
+  const std::vector<std::string> sports = {"goal",  "match", "league",
+                                           "striker", "coach", "stadium"};
+  const std::vector<std::string> politics = {"vote",   "ballot", "senate",
+                                             "motion", "caucus", "minister"};
+  Rng rng(7);
+  for (int d = 0; d < docs_per_topic; ++d) {
+    std::vector<std::string> a, b;
+    for (int i = 0; i < 30; ++i) {
+      a.push_back(sports[rng.Uniform(sports.size())]);
+      b.push_back(politics[rng.Uniform(politics.size())]);
+    }
+    docs.push_back(a);
+    docs.push_back(b);
+  }
+  return docs;
+}
+
+// ---------------------------------------------------------------------------
+// Dense vector ops
+// ---------------------------------------------------------------------------
+
+TEST(DenseVectorTest, DotAndNorm) {
+  const Vector a = {1, 2, 3};
+  const Vector b = {4, 5, 6};
+  EXPECT_FLOAT_EQ(Dot(a, b), 32.0f);
+  EXPECT_FLOAT_EQ(Norm(a), std::sqrt(14.0f));
+}
+
+TEST(DenseVectorTest, CosineSimilarityProperties) {
+  const Vector a = {1, 0};
+  const Vector b = {0, 1};
+  const Vector c = {2, 0};
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.0f, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(a, c), 1.0f, 1e-6);
+  const Vector zero = {0, 0};
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, zero), 0.0f);
+}
+
+TEST(DenseVectorTest, AddScaledAndScale) {
+  Vector a = {1, 1};
+  const Vector b = {2, 4};
+  AddScaled(a, b, 0.5f);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  EXPECT_FLOAT_EQ(a[1], 3.0f);
+  Scale(a, 2.0f);
+  EXPECT_FLOAT_EQ(a[0], 4.0f);
+}
+
+TEST(DenseVectorTest, NormalizeInPlace) {
+  Vector a = {3, 4};
+  NormalizeInPlace(a);
+  EXPECT_NEAR(Norm(a), 1.0f, 1e-6);
+  Vector zero = {0, 0};
+  NormalizeInPlace(zero);  // must not divide by zero
+  EXPECT_FLOAT_EQ(zero[0], 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// TokenizeForVectors
+// ---------------------------------------------------------------------------
+
+TEST(TokenizeForVectorsTest, DropsStopwordsAndShortWords) {
+  const auto tokens = TokenizeForVectors("The striker scored a goal!");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"striker", "scored", "goal"}));
+}
+
+// ---------------------------------------------------------------------------
+// WordVocab
+// ---------------------------------------------------------------------------
+
+TEST(WordVocabTest, MinCountPrunes) {
+  WordVocab vocab;
+  vocab.Build({{"rare", "common", "common"}, {"common"}}, 2);
+  EXPECT_EQ(vocab.size(), 1u);
+  EXPECT_GE(vocab.Find("common"), 0);
+  EXPECT_EQ(vocab.Find("rare"), -1);
+}
+
+TEST(WordVocabTest, IdsOrderedByFrequency) {
+  WordVocab vocab;
+  vocab.Build({{"b", "b", "b", "a", "a", "c"}}, 1);
+  EXPECT_EQ(vocab.Find("b"), 0);  // most frequent first
+  EXPECT_EQ(vocab.word(0), "b");
+  EXPECT_EQ(vocab.count(0), 3u);
+  EXPECT_EQ(vocab.total_count(), 6u);
+}
+
+TEST(WordVocabTest, NegativeSamplingFavoursFrequent) {
+  WordVocab vocab;
+  std::vector<std::string> doc;
+  for (int i = 0; i < 90; ++i) doc.push_back("big");
+  for (int i = 0; i < 10; ++i) doc.push_back("small");
+  vocab.Build({doc}, 1);
+  Rng rng(3);
+  int big = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (vocab.Find("big") == vocab.SampleNegative(&rng)) ++big;
+  }
+  EXPECT_GT(big, 1000);
+}
+
+TEST(WordVocabTest, KeepProbabilityLowerForFrequentWords) {
+  WordVocab vocab;
+  std::vector<std::string> doc;
+  for (int i = 0; i < 900; ++i) doc.push_back("frequent");
+  for (int i = 0; i < 5; ++i) doc.push_back("scarce");
+  vocab.Build({doc}, 1);
+  const double pf = vocab.KeepProbability(vocab.Find("frequent"), 1e-3);
+  const double ps = vocab.KeepProbability(vocab.Find("scarce"), 1e-3);
+  EXPECT_LT(pf, ps);
+  EXPECT_DOUBLE_EQ(vocab.KeepProbability(0, 0.0), 1.0);  // disabled
+}
+
+// ---------------------------------------------------------------------------
+// Word2Vec (SGNS)
+// ---------------------------------------------------------------------------
+
+TEST(Word2VecTest, LearnsTopicSeparation) {
+  Word2VecModel model;
+  SgnsConfig config;
+  config.dim = 16;
+  config.epochs = 6;
+  config.min_count = 1;
+  model.Train(TwoTopicCorpus(40), config);
+
+  const float* goal = model.WordVector("goal");
+  const float* match = model.WordVector("match");
+  const float* vote = model.WordVector("vote");
+  ASSERT_NE(goal, nullptr);
+  ASSERT_NE(match, nullptr);
+  ASSERT_NE(vote, nullptr);
+  const size_t dim = 16;
+  const float same_topic = CosineSimilarity({goal, dim}, {match, dim});
+  const float cross_topic = CosineSimilarity({goal, dim}, {vote, dim});
+  EXPECT_GT(same_topic, cross_topic + 0.2f);
+}
+
+TEST(Word2VecTest, DeterministicTraining) {
+  Word2VecModel a, b;
+  SgnsConfig config;
+  config.dim = 8;
+  config.epochs = 2;
+  config.min_count = 1;
+  const auto corpus = TwoTopicCorpus(10);
+  a.Train(corpus, config);
+  b.Train(corpus, config);
+  const float* va = a.WordVector("goal");
+  const float* vb = b.WordVector("goal");
+  ASSERT_NE(va, nullptr);
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(va[i], vb[i]);
+}
+
+TEST(Word2VecTest, OovWordHasNoVector) {
+  Word2VecModel model;
+  SgnsConfig config;
+  config.min_count = 1;
+  model.Train({{"alpha", "beta"}}, config);
+  EXPECT_EQ(model.WordVector("gamma"), nullptr);
+}
+
+TEST(Word2VecTest, AverageVectorOfEmptyTokensIsZero) {
+  Word2VecModel model;
+  SgnsConfig config;
+  config.min_count = 1;
+  model.Train({{"alpha", "beta"}}, config);
+  const Vector v = model.AverageVector({});
+  EXPECT_FLOAT_EQ(Norm(v), 0.0f);
+}
+
+TEST(Word2VecTest, SifDownweightsFrequentWords) {
+  Word2VecModel model;
+  SgnsConfig config;
+  config.dim = 8;
+  config.min_count = 1;
+  config.subsample = 0;
+  std::vector<std::vector<std::string>> corpus = TwoTopicCorpus(5);
+  model.Train(corpus, config);
+  // SIF vector differs from plain average when frequencies are skewed.
+  const Vector avg = model.AverageVector({"goal", "vote"});
+  const Vector sif = model.SifVector({"goal", "vote"});
+  EXPECT_EQ(avg.size(), sif.size());
+}
+
+TEST(SigmoidTest, SaturatesAndCenters) {
+  EXPECT_FLOAT_EQ(Sigmoid(0.0f), 0.5f);
+  EXPECT_FLOAT_EQ(Sigmoid(100.0f), 1.0f);
+  EXPECT_FLOAT_EQ(Sigmoid(-100.0f), 0.0f);
+  EXPECT_GT(Sigmoid(1.0f), 0.5f);
+}
+
+// ---------------------------------------------------------------------------
+// FastText
+// ---------------------------------------------------------------------------
+
+TEST(FastTextTest, OovWordStillGetsVector) {
+  FastTextModel model;
+  FastTextConfig config;
+  config.sgns.dim = 12;
+  config.sgns.min_count = 1;
+  config.sgns.epochs = 3;
+  config.buckets = 1000;
+  model.Train(TwoTopicCorpus(20), config);
+  // "goals" is OOV but shares subwords with "goal".
+  const Vector oov = model.WordVector("goals");
+  EXPECT_GT(Norm(oov), 0.0f);
+  const Vector known = model.WordVector("goal");
+  EXPECT_GT(CosineSimilarity(oov, known), 0.5f);
+}
+
+TEST(FastTextTest, DocumentVectorIsUnitNorm) {
+  FastTextModel model;
+  FastTextConfig config;
+  config.sgns.dim = 12;
+  config.sgns.min_count = 1;
+  config.buckets = 500;
+  model.Train(TwoTopicCorpus(10), config);
+  const Vector v = model.EncodeText("the striker scored a goal");
+  EXPECT_NEAR(Norm(v), 1.0f, 1e-5);
+  const Vector empty = model.DocumentVector({});
+  EXPECT_FLOAT_EQ(Norm(empty), 0.0f);
+}
+
+TEST(FastTextTest, SimilarTextsCloserThanDissimilar) {
+  FastTextModel model;
+  FastTextConfig config;
+  config.sgns.dim = 16;
+  config.sgns.min_count = 1;
+  config.sgns.epochs = 6;
+  config.buckets = 2000;
+  model.Train(TwoTopicCorpus(40), config);
+  const Vector a = model.EncodeText("goal match league striker");
+  const Vector b = model.EncodeText("coach stadium match goal");
+  const Vector c = model.EncodeText("vote ballot senate minister");
+  EXPECT_GT(Dot(a, b), Dot(a, c));
+}
+
+// ---------------------------------------------------------------------------
+// Doc2Vec
+// ---------------------------------------------------------------------------
+
+TEST(Doc2VecTest, TrainsAndInfersDeterministically) {
+  Doc2VecModel model;
+  Doc2VecConfig config;
+  config.sgns.dim = 12;
+  config.sgns.min_count = 1;
+  config.sgns.epochs = 4;
+  model.Train(TwoTopicCorpus(20), config);
+  EXPECT_EQ(model.num_docs(), 40u);
+  EXPECT_EQ(model.DocVector(0).size(), 12u);
+
+  const Vector a = model.Infer({"goal", "match", "striker"});
+  const Vector b = model.Infer({"goal", "match", "striker"});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Doc2VecTest, InferredVectorMatchesTopic) {
+  Doc2VecModel model;
+  Doc2VecConfig config;
+  config.sgns.dim = 16;
+  config.sgns.min_count = 1;
+  config.sgns.epochs = 8;
+  model.Train(TwoTopicCorpus(40), config);
+  Vector sports = model.Infer({"goal", "match", "league", "striker"});
+  Vector politics = model.Infer({"vote", "ballot", "senate", "caucus"});
+  NormalizeInPlace(sports);
+  NormalizeInPlace(politics);
+  // Doc 0 is a sports doc, doc 1 politics (alternating).
+  Vector d0(model.DocVector(0).begin(), model.DocVector(0).end());
+  NormalizeInPlace(d0);
+  EXPECT_GT(Dot(sports, d0), Dot(politics, d0));
+}
+
+TEST(Doc2VecTest, InferWithAllOovTokens) {
+  Doc2VecModel model;
+  Doc2VecConfig config;
+  config.sgns.dim = 8;
+  config.sgns.min_count = 1;
+  model.Train({{"alpha", "beta", "alpha"}}, config);
+  const Vector v = model.Infer({"zzz", "yyy"});
+  EXPECT_EQ(v.size(), 8u);  // falls back to the random init, no crash
+}
+
+// ---------------------------------------------------------------------------
+// SBERT stand-in
+// ---------------------------------------------------------------------------
+
+TEST(SbertLikeTest, EncodesToUnitVectors) {
+  SbertLikeModel model;
+  SgnsConfig config;
+  config.dim = 12;
+  config.min_count = 1;
+  config.epochs = 4;
+  model.Pretrain(TwoTopicCorpus(20), config);
+  const Vector v = model.Encode("the striker scored a goal in the match");
+  EXPECT_NEAR(Norm(v), 1.0f, 1e-5);
+}
+
+TEST(SbertLikeTest, TopicSimilarityOrdering) {
+  SbertLikeModel model;
+  SgnsConfig config;
+  config.dim = 16;
+  config.min_count = 1;
+  config.epochs = 6;
+  model.Pretrain(TwoTopicCorpus(40), config);
+  const Vector a = model.Encode("goal match league");
+  const Vector b = model.Encode("striker coach stadium");
+  const Vector c = model.Encode("vote ballot senate");
+  EXPECT_GT(Dot(a, b), Dot(a, c));
+}
+
+// ---------------------------------------------------------------------------
+// LDA
+// ---------------------------------------------------------------------------
+
+TEST(LdaTest, ThetaIsADistribution) {
+  LdaModel model;
+  LdaConfig config;
+  config.num_topics = 4;
+  config.iterations = 10;
+  config.min_count = 1;
+  model.Train(TwoTopicCorpus(10), config);
+  for (size_t d = 0; d < model.num_docs(); ++d) {
+    const Vector theta = model.DocTopics(d);
+    float sum = 0;
+    for (float p : theta) {
+      EXPECT_GE(p, 0.0f);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4);
+  }
+}
+
+TEST(LdaTest, SeparatesTwoTopics) {
+  LdaModel model;
+  LdaConfig config;
+  config.num_topics = 2;
+  config.alpha = 0.1;
+  config.iterations = 40;
+  config.min_count = 1;
+  config.seed = 3;
+  model.Train(TwoTopicCorpus(30), config);
+  // Same-topic training docs should have more similar mixtures than
+  // cross-topic ones (docs alternate sports/politics).
+  Vector d0 = model.DocTopics(0);
+  Vector d2 = model.DocTopics(2);
+  Vector d1 = model.DocTopics(1);
+  EXPECT_GT(CosineSimilarity(d0, d2), CosineSimilarity(d0, d1));
+}
+
+TEST(LdaTest, InferenceIsDeterministicAndNormalized) {
+  LdaModel model;
+  LdaConfig config;
+  config.num_topics = 3;
+  config.iterations = 10;
+  config.min_count = 1;
+  model.Train(TwoTopicCorpus(10), config);
+  const Vector a = model.Infer({"goal", "match"});
+  const Vector b = model.Infer({"goal", "match"});
+  EXPECT_EQ(a, b);
+  float sum = 0;
+  for (float p : a) sum += p;
+  EXPECT_NEAR(sum, 1.0f, 1e-4);
+}
+
+TEST(LdaTest, InferAllOovStillValid) {
+  LdaModel model;
+  LdaConfig config;
+  config.num_topics = 3;
+  config.iterations = 5;
+  config.min_count = 1;
+  model.Train({{"alpha", "beta", "alpha", "beta"}}, config);
+  const Vector theta = model.InferText("zzz qqq");
+  float sum = 0;
+  for (float p : theta) sum += p;
+  EXPECT_NEAR(sum, 1.0f, 1e-4);
+}
+
+}  // namespace
+}  // namespace vec
+}  // namespace newslink
