@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lcag.dir/bench_micro_lcag.cc.o"
+  "CMakeFiles/bench_micro_lcag.dir/bench_micro_lcag.cc.o.d"
+  "bench_micro_lcag"
+  "bench_micro_lcag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lcag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

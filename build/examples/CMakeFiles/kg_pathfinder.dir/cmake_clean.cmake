@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_pathfinder.dir/kg_pathfinder.cpp.o"
+  "CMakeFiles/kg_pathfinder.dir/kg_pathfinder.cpp.o.d"
+  "kg_pathfinder"
+  "kg_pathfinder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_pathfinder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newsroom_toolkit.dir/newsroom_toolkit.cpp.o"
+  "CMakeFiles/newsroom_toolkit.dir/newsroom_toolkit.cpp.o.d"
+  "newsroom_toolkit"
+  "newsroom_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newsroom_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

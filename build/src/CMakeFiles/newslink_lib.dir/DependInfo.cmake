@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/lucene_like_engine.cc" "src/CMakeFiles/newslink_lib.dir/baselines/lucene_like_engine.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/baselines/lucene_like_engine.cc.o.d"
+  "/root/repo/src/baselines/qeprf_engine.cc" "src/CMakeFiles/newslink_lib.dir/baselines/qeprf_engine.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/baselines/qeprf_engine.cc.o.d"
+  "/root/repo/src/baselines/vector_engines.cc" "src/CMakeFiles/newslink_lib.dir/baselines/vector_engines.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/baselines/vector_engines.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/newslink_lib.dir/common/status.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/newslink_lib.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/newslink_lib.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/corpus/corpus.cc" "src/CMakeFiles/newslink_lib.dir/corpus/corpus.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/corpus/corpus.cc.o.d"
+  "/root/repo/src/corpus/corpus_io.cc" "src/CMakeFiles/newslink_lib.dir/corpus/corpus_io.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/corpus/corpus_io.cc.o.d"
+  "/root/repo/src/corpus/synthetic_news.cc" "src/CMakeFiles/newslink_lib.dir/corpus/synthetic_news.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/corpus/synthetic_news.cc.o.d"
+  "/root/repo/src/embed/ancestor_graph.cc" "src/CMakeFiles/newslink_lib.dir/embed/ancestor_graph.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/embed/ancestor_graph.cc.o.d"
+  "/root/repo/src/embed/concise_explainer.cc" "src/CMakeFiles/newslink_lib.dir/embed/concise_explainer.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/embed/concise_explainer.cc.o.d"
+  "/root/repo/src/embed/document_embedding.cc" "src/CMakeFiles/newslink_lib.dir/embed/document_embedding.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/embed/document_embedding.cc.o.d"
+  "/root/repo/src/embed/embedding_io.cc" "src/CMakeFiles/newslink_lib.dir/embed/embedding_io.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/embed/embedding_io.cc.o.d"
+  "/root/repo/src/embed/lcag_search.cc" "src/CMakeFiles/newslink_lib.dir/embed/lcag_search.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/embed/lcag_search.cc.o.d"
+  "/root/repo/src/embed/path_explainer.cc" "src/CMakeFiles/newslink_lib.dir/embed/path_explainer.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/embed/path_explainer.cc.o.d"
+  "/root/repo/src/embed/tree_embedder.cc" "src/CMakeFiles/newslink_lib.dir/embed/tree_embedder.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/embed/tree_embedder.cc.o.d"
+  "/root/repo/src/eval/evaluation_runner.cc" "src/CMakeFiles/newslink_lib.dir/eval/evaluation_runner.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/eval/evaluation_runner.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/newslink_lib.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/query_selection.cc" "src/CMakeFiles/newslink_lib.dir/eval/query_selection.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/eval/query_selection.cc.o.d"
+  "/root/repo/src/eval/ranking_metrics.cc" "src/CMakeFiles/newslink_lib.dir/eval/ranking_metrics.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/eval/ranking_metrics.cc.o.d"
+  "/root/repo/src/eval/user_study.cc" "src/CMakeFiles/newslink_lib.dir/eval/user_study.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/eval/user_study.cc.o.d"
+  "/root/repo/src/ir/inverted_index.cc" "src/CMakeFiles/newslink_lib.dir/ir/inverted_index.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/ir/inverted_index.cc.o.d"
+  "/root/repo/src/ir/max_score.cc" "src/CMakeFiles/newslink_lib.dir/ir/max_score.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/ir/max_score.cc.o.d"
+  "/root/repo/src/ir/scorer.cc" "src/CMakeFiles/newslink_lib.dir/ir/scorer.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/ir/scorer.cc.o.d"
+  "/root/repo/src/ir/simhash.cc" "src/CMakeFiles/newslink_lib.dir/ir/simhash.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/ir/simhash.cc.o.d"
+  "/root/repo/src/ir/term_dictionary.cc" "src/CMakeFiles/newslink_lib.dir/ir/term_dictionary.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/ir/term_dictionary.cc.o.d"
+  "/root/repo/src/ir/text_vectorizer.cc" "src/CMakeFiles/newslink_lib.dir/ir/text_vectorizer.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/ir/text_vectorizer.cc.o.d"
+  "/root/repo/src/ir/top_k.cc" "src/CMakeFiles/newslink_lib.dir/ir/top_k.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/ir/top_k.cc.o.d"
+  "/root/repo/src/ir/varbyte.cc" "src/CMakeFiles/newslink_lib.dir/ir/varbyte.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/ir/varbyte.cc.o.d"
+  "/root/repo/src/kg/graph_stats.cc" "src/CMakeFiles/newslink_lib.dir/kg/graph_stats.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/kg/graph_stats.cc.o.d"
+  "/root/repo/src/kg/kg_io.cc" "src/CMakeFiles/newslink_lib.dir/kg/kg_io.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/kg/kg_io.cc.o.d"
+  "/root/repo/src/kg/knowledge_graph.cc" "src/CMakeFiles/newslink_lib.dir/kg/knowledge_graph.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/kg/knowledge_graph.cc.o.d"
+  "/root/repo/src/kg/label_index.cc" "src/CMakeFiles/newslink_lib.dir/kg/label_index.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/kg/label_index.cc.o.d"
+  "/root/repo/src/kg/synthetic_kg.cc" "src/CMakeFiles/newslink_lib.dir/kg/synthetic_kg.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/kg/synthetic_kg.cc.o.d"
+  "/root/repo/src/newslink/diversify.cc" "src/CMakeFiles/newslink_lib.dir/newslink/diversify.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/newslink/diversify.cc.o.d"
+  "/root/repo/src/newslink/newslink_engine.cc" "src/CMakeFiles/newslink_lib.dir/newslink/newslink_engine.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/newslink/newslink_engine.cc.o.d"
+  "/root/repo/src/newslink/snippet.cc" "src/CMakeFiles/newslink_lib.dir/newslink/snippet.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/newslink/snippet.cc.o.d"
+  "/root/repo/src/text/gazetteer_ner.cc" "src/CMakeFiles/newslink_lib.dir/text/gazetteer_ner.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/text/gazetteer_ner.cc.o.d"
+  "/root/repo/src/text/news_segmenter.cc" "src/CMakeFiles/newslink_lib.dir/text/news_segmenter.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/text/news_segmenter.cc.o.d"
+  "/root/repo/src/text/porter_stemmer.cc" "src/CMakeFiles/newslink_lib.dir/text/porter_stemmer.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/text/porter_stemmer.cc.o.d"
+  "/root/repo/src/text/sentence_splitter.cc" "src/CMakeFiles/newslink_lib.dir/text/sentence_splitter.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/text/sentence_splitter.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/CMakeFiles/newslink_lib.dir/text/stopwords.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/text/stopwords.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/newslink_lib.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/vec/dense_vector.cc" "src/CMakeFiles/newslink_lib.dir/vec/dense_vector.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/vec/dense_vector.cc.o.d"
+  "/root/repo/src/vec/doc2vec_model.cc" "src/CMakeFiles/newslink_lib.dir/vec/doc2vec_model.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/vec/doc2vec_model.cc.o.d"
+  "/root/repo/src/vec/fasttext_model.cc" "src/CMakeFiles/newslink_lib.dir/vec/fasttext_model.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/vec/fasttext_model.cc.o.d"
+  "/root/repo/src/vec/lda_model.cc" "src/CMakeFiles/newslink_lib.dir/vec/lda_model.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/vec/lda_model.cc.o.d"
+  "/root/repo/src/vec/model_io.cc" "src/CMakeFiles/newslink_lib.dir/vec/model_io.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/vec/model_io.cc.o.d"
+  "/root/repo/src/vec/sbert_like_model.cc" "src/CMakeFiles/newslink_lib.dir/vec/sbert_like_model.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/vec/sbert_like_model.cc.o.d"
+  "/root/repo/src/vec/sgns_trainer.cc" "src/CMakeFiles/newslink_lib.dir/vec/sgns_trainer.cc.o" "gcc" "src/CMakeFiles/newslink_lib.dir/vec/sgns_trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnewslink_lib.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max_score_test.dir/max_score_test.cc.o"
+  "CMakeFiles/max_score_test.dir/max_score_test.cc.o.d"
+  "max_score_test"
+  "max_score_test.pdb"
+  "max_score_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_score_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

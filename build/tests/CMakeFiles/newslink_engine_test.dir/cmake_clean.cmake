@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newslink_engine_test.dir/newslink_engine_test.cc.o"
+  "CMakeFiles/newslink_engine_test.dir/newslink_engine_test.cc.o.d"
+  "newslink_engine_test"
+  "newslink_engine_test.pdb"
+  "newslink_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newslink_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

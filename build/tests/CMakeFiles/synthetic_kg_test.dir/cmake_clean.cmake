@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_kg_test.dir/synthetic_kg_test.cc.o"
+  "CMakeFiles/synthetic_kg_test.dir/synthetic_kg_test.cc.o.d"
+  "synthetic_kg_test"
+  "synthetic_kg_test.pdb"
+  "synthetic_kg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_kg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

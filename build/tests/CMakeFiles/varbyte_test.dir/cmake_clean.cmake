@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varbyte_test.dir/varbyte_test.cc.o"
+  "CMakeFiles/varbyte_test.dir/varbyte_test.cc.o.d"
+  "varbyte_test"
+  "varbyte_test.pdb"
+  "varbyte_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varbyte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

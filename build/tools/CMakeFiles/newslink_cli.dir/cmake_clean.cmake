@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newslink_cli.dir/newslink_cli.cc.o"
+  "CMakeFiles/newslink_cli.dir/newslink_cli.cc.o.d"
+  "newslink_cli"
+  "newslink_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newslink_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
