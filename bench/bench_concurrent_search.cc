@@ -1,0 +1,168 @@
+// Concurrent query-serving benchmark: N threads of mixed queries against one
+// shared engine. Reports QPS, p50/p99 latency, text-side documents scored
+// (pruned MaxScore fusion vs the exhaustive oracle), and the LCAG cache hit
+// rate. The seed engine raced on query_times_ under this exact workload;
+// run this binary under TSan to demonstrate the fix.
+//
+// Env knobs: NEWSLINK_BENCH_STORIES (corpus size, default 120),
+//            NEWSLINK_BENCH_THREADS (worker threads, default 4).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "newslink/newslink_engine.h"
+
+using namespace newslink;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ThreadsFromEnv(int fallback) {
+  const char* env = std::getenv("NEWSLINK_BENCH_THREADS");
+  if (env == nullptr) return fallback;
+  const int v = std::atoi(env);
+  return v > 0 ? v : fallback;
+}
+
+double Percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * (sorted_ms.size() - 1));
+  return sorted_ms[idx];
+}
+
+struct RunReport {
+  double wall_seconds = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t queries = 0;
+  uint64_t bow_docs_scored = 0;
+  uint64_t bon_docs_scored = 0;
+};
+
+/// Runs every query `rounds` times across `num_threads` workers (each worker
+/// walks the query list at a different offset so distinct queries overlap).
+RunReport RunWorkload(NewsLinkEngine* engine,
+                      const std::vector<std::string>& queries, int num_threads,
+                      int rounds, size_t k) {
+  const EngineStats before = engine->stats();
+  std::vector<std::vector<double>> latencies(num_threads);
+  const auto wall_start = Clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      latencies[t].reserve(rounds * queries.size());
+      for (int round = 0; round < rounds; ++round) {
+        for (size_t q = 0; q < queries.size(); ++q) {
+          const size_t idx = (q + t) % queries.size();
+          const auto start = Clock::now();
+          engine->Search(queries[idx], k);
+          latencies[t].push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count());
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  std::vector<double> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  const EngineStats after = engine->stats();
+  RunReport report;
+  report.wall_seconds = wall;
+  report.queries = all.size();
+  report.qps = wall > 0 ? all.size() / wall : 0.0;
+  report.p50_ms = Percentile(all, 0.50);
+  report.p99_ms = Percentile(all, 0.99);
+  report.bow_docs_scored = after.bow_docs_scored - before.bow_docs_scored;
+  report.bon_docs_scored = after.bon_docs_scored - before.bon_docs_scored;
+  return report;
+}
+
+void PrintReport(const char* label, const RunReport& r) {
+  std::printf("%-22s %8.1f %9.3f %9.3f %10zu %10zu\n", label, r.qps, r.p50_ms,
+              r.p99_ms, static_cast<size_t>(r.bow_docs_scored / r.queries),
+              static_cast<size_t>(r.bon_docs_scored / r.queries));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("NewsLink reproduction — concurrent query serving\n\n");
+  const int stories = bench::StoriesFromEnv(120);
+  const int num_threads = ThreadsFromEnv(4);
+  constexpr int kRounds = 3;
+  constexpr size_t kK = 10;
+  constexpr size_t kNumQueries = 32;
+
+  auto world = bench::MakeWorld(7);
+  corpus::SyntheticNewsConfig corpus_config = corpus::CnnLikeConfig();
+  corpus_config.num_stories = stories;
+  const corpus::SyntheticCorpus dataset =
+      corpus::SyntheticNewsGenerator(&world->kg, corpus_config).Generate();
+
+  NewsLinkConfig config;
+  config.beta = 0.2;
+  config.num_threads = 2;
+  NewsLinkEngine engine(&world->kg.graph, &world->index, config);
+  engine.Index(dataset.corpus);
+
+  std::vector<std::string> queries;
+  for (size_t d = 0; d < kNumQueries && d < dataset.corpus.size(); ++d) {
+    const std::string& text = dataset.corpus.doc(d).text;
+    queries.push_back(text.substr(0, text.find('.') + 1));
+  }
+
+  std::printf("corpus %zu docs, KG %zu nodes, %zu queries x %d rounds\n\n",
+              dataset.corpus.size(), world->kg.graph.num_nodes(),
+              queries.size(), kRounds);
+  std::printf("%-22s %8s %9s %9s %10s %10s\n", "mode", "QPS", "p50 ms",
+              "p99 ms", "bow/query", "bon/query");
+  bench::PrintRule(74);
+
+  // Exhaustive oracle, single thread: the docs-scored ceiling.
+  engine.set_exhaustive_fusion(true);
+  const RunReport exhaustive = RunWorkload(&engine, queries, 1, 1, kK);
+  PrintReport("exhaustive x1", exhaustive);
+
+  // Pruned MaxScore fusion, single thread then concurrent.
+  engine.set_exhaustive_fusion(false);
+  const RunReport pruned1 = RunWorkload(&engine, queries, 1, 1, kK);
+  PrintReport("maxscore x1", pruned1);
+  const RunReport prunedN =
+      RunWorkload(&engine, queries, num_threads, kRounds, kK);
+  char label[32];
+  std::snprintf(label, sizeof(label), "maxscore x%d", num_threads);
+  PrintReport(label, prunedN);
+
+  const embed::EmbedderStats embedder = engine.stats().embedder;
+  std::printf(
+      "\nLCAG cache: %zu hits / %zu lookups (%.1f%% hit rate), "
+      "%zu entries, %zu evictions\n",
+      static_cast<size_t>(embedder.cache.hits),
+      static_cast<size_t>(embedder.cache.hits + embedder.cache.misses),
+      100.0 * embedder.cache.HitRate(),
+      static_cast<size_t>(embedder.cache.entries),
+      static_cast<size_t>(embedder.cache.evictions));
+
+  const bool fewer_docs = pruned1.bow_docs_scored < exhaustive.bow_docs_scored;
+  const bool cache_hits = embedder.cache.hits > 0;
+  std::printf("docs scored below exhaustive: %s, cache hit rate nonzero: %s\n",
+              fewer_docs ? "yes" : "NO", cache_hits ? "yes" : "NO");
+  return (fewer_docs && cache_hits) ? 0 : 1;
+}

@@ -9,10 +9,27 @@ namespace embed {
 
 bool LcagSegmentEmbedder::EmbedSegment(const std::vector<std::string>& labels,
                                        AncestorGraph* out) const {
-  LcagResult result = search_.Find(labels, options_);
+  LcagResult result =
+      search_.Find(labels, options_, cache_.enabled() ? &cache_ : nullptr);
+  segments_.fetch_add(1, std::memory_order_relaxed);
+  if (result.timed_out) timeouts_.fetch_add(1, std::memory_order_relaxed);
+  if (result.budget_exhausted) {
+    budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (!result.found) return false;
+  embedded_.fetch_add(1, std::memory_order_relaxed);
   *out = std::move(result.graph);
   return true;
+}
+
+EmbedderStats LcagSegmentEmbedder::stats() const {
+  EmbedderStats out;
+  out.segments = segments_.load(std::memory_order_relaxed);
+  out.embedded = embedded_.load(std::memory_order_relaxed);
+  out.timeouts = timeouts_.load(std::memory_order_relaxed);
+  out.budget_exhausted = budget_exhausted_.load(std::memory_order_relaxed);
+  out.cache = cache_.stats();
+  return out;
 }
 
 bool TreeSegmentEmbedder::EmbedSegment(const std::vector<std::string>& labels,

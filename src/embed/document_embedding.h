@@ -6,11 +6,14 @@
 #ifndef NEWSLINK_EMBED_DOCUMENT_EMBEDDING_H_
 #define NEWSLINK_EMBED_DOCUMENT_EMBEDDING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "embed/ancestor_graph.h"
+#include "embed/lcag_cache.h"
 #include "embed/lcag_search.h"
 #include "embed/tree_embedder.h"
 #include "kg/label_index.h"
@@ -18,10 +21,21 @@
 namespace newslink {
 namespace embed {
 
+/// \brief Cumulative embedder counters (thread-safe to read at any time).
+struct EmbedderStats {
+  uint64_t segments = 0;          // EmbedSegment calls
+  uint64_t embedded = 0;          // ... that produced a subgraph
+  uint64_t timeouts = 0;          // LCAG wall-clock timeouts
+  uint64_t budget_exhausted = 0;  // LCAG max_expansions truncations
+  LcagCache::Stats cache;         // zero-valued when caching is disabled
+};
+
 /// \brief Strategy interface: how one entity group becomes a subgraph.
 ///
 /// Implementations: LcagSegmentEmbedder (the paper's model) and
-/// TreeSegmentEmbedder (the TreeEmb baseline of Table VII).
+/// TreeSegmentEmbedder (the TreeEmb baseline of Table VII). EmbedSegment
+/// must be safe to call from many threads concurrently; both the index-time
+/// ParallelFor workers and concurrent query threads share one instance.
 class SegmentEmbedder {
  public:
   virtual ~SegmentEmbedder() = default;
@@ -34,22 +48,38 @@ class SegmentEmbedder {
 
   /// Human-readable name for reports ("NewsLink", "TreeEmb").
   virtual std::string name() const = 0;
+
+  virtual EmbedderStats stats() const { return {}; }
 };
 
 /// \brief G*-based embedder (the NewsLink NE component).
+///
+/// Owns the LCAG result cache: identical entity groups (common across news
+/// documents and repeated queries) skip Algorithms 1-3 entirely.
 class LcagSegmentEmbedder : public SegmentEmbedder {
  public:
   LcagSegmentEmbedder(const kg::KnowledgeGraph* graph,
-                      const kg::LabelIndex* index, LcagOptions options = {})
-      : search_(graph, index), options_(options) {}
+                      const kg::LabelIndex* index, LcagOptions options = {},
+                      size_t cache_capacity = 4096, size_t cache_shards = 16)
+      : search_(graph, index),
+        options_(options),
+        cache_(cache_capacity, cache_shards) {}
 
   bool EmbedSegment(const std::vector<std::string>& labels,
                     AncestorGraph* out) const override;
   std::string name() const override { return "NewsLink"; }
+  EmbedderStats stats() const override;
+
+  const LcagCache& cache() const { return cache_; }
 
  private:
   LcagSearch search_;
   LcagOptions options_;
+  mutable LcagCache cache_;
+  mutable std::atomic<uint64_t> segments_{0};
+  mutable std::atomic<uint64_t> embedded_{0};
+  mutable std::atomic<uint64_t> timeouts_{0};
+  mutable std::atomic<uint64_t> budget_exhausted_{0};
 };
 
 /// \brief Tree-based embedder (the TreeEmb baseline).

@@ -1,0 +1,106 @@
+#include "embed/lcag_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace newslink {
+namespace embed {
+
+namespace {
+
+void AppendU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (i * 8)));
+}
+
+}  // namespace
+
+std::string LcagCacheKey(const std::vector<std::vector<kg::NodeId>>& sources,
+                         const std::vector<std::string>& resolved_labels,
+                         const LcagOptions& options) {
+  std::string key;
+  // Options first: only the fields that change the *result*. The wall-clock
+  // timeout is excluded (timed-out results are never inserted).
+  AppendU64(options.max_expansions, &key);
+  key.push_back(options.all_shortest_paths ? '\1' : '\0');
+  key.push_back(options.depth_only_root ? '\1' : '\0');
+  AppendU64(sources.size(), &key);
+  for (const std::vector<kg::NodeId>& set : sources) {
+    AppendU64(set.size(), &key);
+    for (kg::NodeId v : set) AppendU64(v, &key);
+  }
+  for (const std::string& label : resolved_labels) {
+    AppendU64(label.size(), &key);
+    key += label;
+  }
+  return key;
+}
+
+LcagCache::LcagCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity) {
+  if (num_shards == 0) num_shards = 1;
+  num_shards = std::min(num_shards, std::max<size_t>(capacity, 1));
+  shard_capacity_ = (capacity + num_shards - 1) / num_shards;
+  shards_ = std::vector<Shard>(num_shards);
+}
+
+LcagCache::Shard& LcagCache::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool LcagCache::Lookup(const std::string& key, LcagResult* out) const {
+  if (!enabled()) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->value;
+  return true;
+}
+
+void LcagCache::Insert(const std::string& key, const LcagResult& value) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.lru.size() >= shard_capacity_) {
+    shard.index.erase(std::string_view(shard.lru.back().key));
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(Entry{key, value});
+  shard.index.emplace(std::string_view(shard.lru.front().key),
+                      shard.lru.begin());
+}
+
+LcagCache::Stats LcagCache::stats() const {
+  Stats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.evictions += shard.evictions;
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+void LcagCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.index.clear();
+    shard.lru.clear();
+  }
+}
+
+}  // namespace embed
+}  // namespace newslink

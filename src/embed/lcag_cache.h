@@ -1,0 +1,99 @@
+// Bounded, sharded LRU cache for G* search results. News corpora repeat
+// entity co-occurrence sets constantly (the same politicians, places, and
+// organisations are co-mentioned across many documents and queries), and
+// LCAG extraction (Algs. 1-3) is the dominant cost of both index building
+// and query processing — so memoizing Find() on the resolved source sets
+// pays for itself quickly. Sharded locking keeps the parallel index-time
+// workers from serializing on one mutex.
+
+#ifndef NEWSLINK_EMBED_LCAG_CACHE_H_
+#define NEWSLINK_EMBED_LCAG_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "embed/lcag_search.h"
+#include "kg/types.h"
+
+namespace newslink {
+namespace embed {
+
+/// Serialized cache key: the canonicalized (sorted within each set, sets
+/// ordered by label) resolved source node sets, the resolved labels, and
+/// every LcagOptions field that changes the search result. Two label sets
+/// aliasing to the same nodes still get distinct entries because the result
+/// carries the label strings.
+std::string LcagCacheKey(const std::vector<std::vector<kg::NodeId>>& sources,
+                         const std::vector<std::string>& resolved_labels,
+                         const LcagOptions& options);
+
+/// \brief A sharded LRU map from canonical source-set keys to LcagResults.
+///
+/// All methods are thread-safe; each shard has its own mutex and LRU list.
+/// Capacity 0 disables the cache (Lookup always misses, Insert drops).
+class LcagCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+
+    double HitRate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  explicit LcagCache(size_t capacity = 4096, size_t num_shards = 16);
+
+  LcagCache(const LcagCache&) = delete;
+  LcagCache& operator=(const LcagCache&) = delete;
+
+  /// Copies the cached result into `*out` and promotes the entry to
+  /// most-recently-used. Returns false (and counts a miss) when absent.
+  bool Lookup(const std::string& key, LcagResult* out) const;
+
+  /// Inserts (or refreshes) the entry, evicting the shard's LRU tail when
+  /// the shard is at capacity.
+  void Insert(const std::string& key, const LcagResult& value);
+
+  /// Aggregated counters across all shards.
+  Stats stats() const;
+
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+
+ private:
+  struct Entry {
+    std::string key;
+    LcagResult value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    // Views point into Entry::key; std::list nodes are address-stable.
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) const;
+
+  size_t capacity_;
+  size_t shard_capacity_;
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace embed
+}  // namespace newslink
+
+#endif  // NEWSLINK_EMBED_LCAG_CACHE_H_

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "embed/lcag_cache.h"
 
 namespace newslink {
 namespace embed {
@@ -250,9 +251,62 @@ std::vector<std::vector<kg::NodeId>> LcagSearch::ResolveSources(
 
 LcagResult LcagSearch::Find(const std::vector<std::string>& labels,
                             const LcagOptions& options) const {
-  LcagResult result;
+  std::vector<std::string> resolved;
   std::vector<std::vector<kg::NodeId>> sources =
-      ResolveSources(labels, &result.resolved_labels);
+      ResolveSources(labels, &resolved);
+  return FindResolved(std::move(sources), std::move(resolved), options);
+}
+
+LcagResult LcagSearch::Find(const std::vector<std::string>& labels,
+                            const LcagOptions& options,
+                            LcagCache* cache) const {
+  if (cache == nullptr) return Find(labels, options);
+  std::vector<std::string> resolved;
+  std::vector<std::vector<kg::NodeId>> sources =
+      ResolveSources(labels, &resolved);
+  // Only the m >= 2 case runs Algorithms 1-3 (the expensive search worth
+  // caching); empty / single-label groups are answered directly.
+  if (sources.size() < 2) {
+    return FindResolved(std::move(sources), std::move(resolved), options);
+  }
+
+  // Canonicalize: sort node ids within each source set, then sort the
+  // (label, set) pairs, so permutations of the same entity group share one
+  // cache entry. The search itself is order-insensitive up to the label
+  // ordering of the output vectors.
+  for (std::vector<kg::NodeId>& s : sources) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+  std::vector<size_t> order(sources.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (resolved[a] != resolved[b]) return resolved[a] < resolved[b];
+    return sources[a] < sources[b];
+  });
+  std::vector<std::vector<kg::NodeId>> canon_sources(sources.size());
+  std::vector<std::string> canon_labels(sources.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    canon_sources[i] = std::move(sources[order[i]]);
+    canon_labels[i] = std::move(resolved[order[i]]);
+  }
+
+  const std::string key = LcagCacheKey(canon_sources, canon_labels, options);
+  LcagResult result;
+  if (cache->Lookup(key, &result)) return result;
+  result = FindResolved(std::move(canon_sources), std::move(canon_labels),
+                        options);
+  // Wall-clock timeouts are non-deterministic; never serve them from cache.
+  if (!result.timed_out) cache->Insert(key, result);
+  return result;
+}
+
+LcagResult LcagSearch::FindResolved(
+    std::vector<std::vector<kg::NodeId>> sources,
+    std::vector<std::string> resolved_labels,
+    const LcagOptions& options) const {
+  LcagResult result;
+  result.resolved_labels = std::move(resolved_labels);
   if (sources.empty()) return result;
 
   const size_t m = sources.size();
@@ -307,7 +361,10 @@ LcagResult LcagSearch::Find(const std::vector<std::string>& labels,
       if (min_depth < next) break;
     }
 
-    if (result.expansions >= options.max_expansions) break;
+    if (result.expansions >= options.max_expansions) {
+      result.budget_exhausted = true;
+      break;
+    }
     if ((result.expansions & 0xFF) == 0 &&
         timer.ElapsedSeconds() > options.timeout_seconds) {
       result.timed_out = true;

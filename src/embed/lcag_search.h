@@ -127,6 +127,11 @@ struct LcagOptions {
 struct LcagResult {
   bool found = false;
   bool timed_out = false;
+  /// True when the `max_expansions` budget stopped the search before the
+  /// C1/C2 conditions (or graph exhaustion) did. Unlike `timed_out` this is
+  /// deterministic, so truncated results are still cacheable — but callers
+  /// (and engine stats) can tell the result may be non-optimal.
+  bool budget_exhausted = false;
   AncestorGraph graph;
   /// Labels that resolved to at least one KG node (others are dropped, as
   /// in the paper's exact-matching pipeline).
@@ -134,6 +139,8 @@ struct LcagResult {
   size_t expansions = 0;  // settle events
   size_t candidates_collected = 0;
 };
+
+class LcagCache;
 
 /// \brief Algorithm 1: find the Lowest Common Ancestor Graph for a label set.
 class LcagSearch {
@@ -146,6 +153,14 @@ class LcagSearch {
   LcagResult Find(const std::vector<std::string>& labels,
                   const LcagOptions& options = {}) const;
 
+  /// Like Find, but consults `cache` (keyed by the canonicalized resolved
+  /// source sets + the relevant options) before running Algorithms 1-3.
+  /// The canonical key is label-order independent, so permuted label sets
+  /// share one entry; the returned result's label order is canonical, not
+  /// the caller's. `cache == nullptr` falls back to the uncached path.
+  LcagResult Find(const std::vector<std::string>& labels,
+                  const LcagOptions& options, LcagCache* cache) const;
+
   /// Reference implementation for testing: settles the *entire* graph from
   /// every label and scans all common ancestors. Exponentially safer, much
   /// slower; Theorem 1 says Find() must agree with this on the compactness
@@ -156,6 +171,12 @@ class LcagSearch {
   std::vector<std::vector<kg::NodeId>> ResolveSources(
       const std::vector<std::string>& labels,
       std::vector<std::string>* resolved) const;
+
+  /// The core of Algorithm 1, after label resolution. `sources[i]` is the
+  /// (already resolved) S(l_i) of `resolved_labels[i]`.
+  LcagResult FindResolved(std::vector<std::vector<kg::NodeId>> sources,
+                          std::vector<std::string> resolved_labels,
+                          const LcagOptions& options) const;
 
   const kg::KnowledgeGraph* graph_;
   const kg::LabelIndex* index_;

@@ -20,8 +20,9 @@ double MaxScoreRetriever::Score(uint32_t qtf, double idf,
 }
 
 std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
-                                               size_t k) const {
-  last_docs_scored_ = 0;
+                                               size_t k,
+                                               size_t* docs_scored) const {
+  size_t scored = 0;
   struct Term {
     std::span<const Posting> postings;
     double idf;
@@ -37,7 +38,11 @@ std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
     const double bound = qtf * idf * (params_.k1 + 1.0);
     terms.push_back(Term{postings, idf, qtf, bound});
   }
-  if (terms.empty() || k == 0) return {};
+  if (terms.empty() || k == 0) {
+    last_docs_scored_.store(0, std::memory_order_relaxed);
+    if (docs_scored != nullptr) *docs_scored = 0;
+    return {};
+  }
 
   // Ascending by bound: terms[0..e) become non-essential as the threshold
   // grows.
@@ -101,9 +106,11 @@ std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
       }
     }
 
-    ++last_docs_scored_;
+    ++scored;
     heap.Push(ScoredDoc{next, score});
   }
+  last_docs_scored_.store(scored, std::memory_order_relaxed);
+  if (docs_scored != nullptr) *docs_scored = scored;
   return heap.Take();
 }
 

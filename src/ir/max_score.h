@@ -7,6 +7,8 @@
 #ifndef NEWSLINK_IR_MAX_SCORE_H_
 #define NEWSLINK_IR_MAX_SCORE_H_
 
+#include <atomic>
+#include <cstddef>
 #include <vector>
 
 #include "ir/inverted_index.h"
@@ -23,12 +25,19 @@ class MaxScoreRetriever {
       : index_(index), scorer_(index, params), params_(params) {}
 
   /// Top-k documents for the query, identical (including tie order) to
-  /// SelectTopK(Bm25Scorer::ScoreAll(query), k).
-  std::vector<ScoredDoc> TopK(const TermCounts& query, size_t k) const;
+  /// SelectTopK(Bm25Scorer::ScoreAll(query), k). Safe to call from many
+  /// threads concurrently; `docs_scored`, when non-null, receives this
+  /// call's count of fully scored documents (the per-thread-accurate way
+  /// to read the pruning instrumentation).
+  std::vector<ScoredDoc> TopK(const TermCounts& query, size_t k,
+                              size_t* docs_scored = nullptr) const;
 
-  /// Number of documents fully scored during the last TopK call
-  /// (instrumentation for tests/benchmarks; not thread-safe).
-  size_t last_docs_scored() const { return last_docs_scored_; }
+  /// Number of documents fully scored by the most recent TopK call on any
+  /// thread (single-threaded instrumentation; under concurrency use the
+  /// `docs_scored` out-parameter instead).
+  size_t last_docs_scored() const {
+    return last_docs_scored_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// BM25 contribution of one posting.
@@ -37,7 +46,7 @@ class MaxScoreRetriever {
   const InvertedIndex* index_;
   Bm25Scorer scorer_;
   Bm25Params params_;
-  mutable size_t last_docs_scored_ = 0;
+  mutable std::atomic<size_t> last_docs_scored_{0};
 };
 
 }  // namespace ir

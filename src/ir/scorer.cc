@@ -1,6 +1,8 @@
 #include "ir/scorer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <unordered_map>
 
 namespace newslink {
@@ -41,17 +43,46 @@ std::vector<ScoredDoc> Bm25Scorer::ScoreAll(const TermCounts& query) const {
   return AccumulatorsToVector(acc);
 }
 
+double Bm25Scorer::ScoreDoc(const TermCounts& query, DocId doc) const {
+  const double avgdl = index_->avg_doc_length();
+  const double dl = static_cast<double>(index_->DocLength(doc));
+  const double norm =
+      params_.k1 *
+      (1.0 - params_.b + params_.b * (avgdl > 0 ? dl / avgdl : 0.0));
+  double score = 0.0;
+  for (const auto& [term, qtf] : query) {
+    const std::span<const Posting> postings = index_->Postings(term);
+    const auto it = std::lower_bound(
+        postings.begin(), postings.end(), doc,
+        [](const Posting& p, DocId d) { return p.doc < d; });
+    if (it == postings.end() || it->doc != doc) continue;
+    const double tf = static_cast<double>(it->tf);
+    score += qtf * Idf(term) * tf * (params_.k1 + 1.0) / (tf + norm);
+  }
+  return score;
+}
+
 TfIdfCosineScorer::TfIdfCosineScorer(const InvertedIndex* index)
     : index_(index) {
-  doc_norms_.assign(index_->num_docs(), 0.0);
+  Norms();  // eager first computation, as before
+}
+
+std::shared_ptr<const std::vector<double>> TfIdfCosineScorer::Norms() const {
+  std::lock_guard<std::mutex> lock(norms_mu_);
+  if (doc_norms_ != nullptr && doc_norms_->size() == index_->num_docs()) {
+    return doc_norms_;
+  }
+  auto norms = std::make_shared<std::vector<double>>(index_->num_docs(), 0.0);
   for (TermId t = 0; t < index_->num_terms(); ++t) {
     const double idf = Idf(t);
     for (const Posting& p : index_->Postings(t)) {
       const double w = (1.0 + std::log(static_cast<double>(p.tf))) * idf;
-      doc_norms_[p.doc] += w * w;
+      (*norms)[p.doc] += w * w;
     }
   }
-  for (double& n : doc_norms_) n = n > 0 ? std::sqrt(n) : 1.0;
+  for (double& n : *norms) n = n > 0 ? std::sqrt(n) : 1.0;
+  doc_norms_ = std::move(norms);
+  return doc_norms_;
 }
 
 double TfIdfCosineScorer::Idf(TermId term) const {
@@ -63,6 +94,7 @@ double TfIdfCosineScorer::Idf(TermId term) const {
 
 std::vector<ScoredDoc> TfIdfCosineScorer::ScoreAll(
     const TermCounts& query) const {
+  const std::shared_ptr<const std::vector<double>> doc_norms = Norms();
   // Query norm.
   double qnorm = 0.0;
   for (const auto& [term, qtf] : query) {
@@ -84,7 +116,7 @@ std::vector<ScoredDoc> TfIdfCosineScorer::ScoreAll(
   std::vector<ScoredDoc> out;
   out.reserve(acc.size());
   for (const auto& [doc, dot] : acc) {
-    out.push_back(ScoredDoc{doc, dot / (qnorm * doc_norms_[doc])});
+    out.push_back(ScoredDoc{doc, dot / (qnorm * (*doc_norms)[doc])});
   }
   return out;
 }

@@ -5,6 +5,8 @@
 #ifndef NEWSLINK_IR_SCORER_H_
 #define NEWSLINK_IR_SCORER_H_
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ir/inverted_index.h"
@@ -39,6 +41,11 @@ class Bm25Scorer {
   /// Query term multiplicity contributes linearly, as in Lucene.
   std::vector<ScoredDoc> ScoreAll(const TermCounts& query) const;
 
+  /// BM25 score of one document (binary search per postings list): the
+  /// random-access path used to complete candidate scores after pruned
+  /// retrieval. Equals the doc's ScoreAll entry (0 when no term matches).
+  double ScoreDoc(const TermCounts& query, DocId doc) const;
+
  private:
   const InvertedIndex* index_;
   Bm25Params params_;
@@ -48,17 +55,24 @@ class Bm25Scorer {
 ///
 /// Document weights use (1 + ln tf) * idf with idf = ln(1 + N / df);
 /// scores are cosine similarities (both vectors length-normalized).
+/// Document norms are recomputed lazily whenever the index has grown since
+/// they were last computed (idf depends on N, so incremental patching would
+/// be wrong); concurrent ScoreAll calls are safe as long as the index is
+/// not growing at the same time.
 class TfIdfCosineScorer {
  public:
-  /// Precomputes document norms; the index must not grow afterwards.
   explicit TfIdfCosineScorer(const InvertedIndex* index);
 
   double Idf(TermId term) const;
   std::vector<ScoredDoc> ScoreAll(const TermCounts& query) const;
 
  private:
+  /// Snapshot of per-doc norms, recomputed when index_->num_docs() grew.
+  std::shared_ptr<const std::vector<double>> Norms() const;
+
   const InvertedIndex* index_;
-  std::vector<double> doc_norms_;
+  mutable std::mutex norms_mu_;
+  mutable std::shared_ptr<const std::vector<double>> doc_norms_;
 };
 
 }  // namespace ir

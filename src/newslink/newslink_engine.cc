@@ -1,8 +1,10 @@
 #include "newslink/newslink_engine.h"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -61,7 +63,8 @@ NewsLinkEngine::NewsLinkEngine(const kg::KnowledgeGraph* graph,
       explainer_(graph) {
   if (config_.embedder == EmbedderKind::kLcag) {
     embedder_ = std::make_unique<embed::LcagSegmentEmbedder>(
-        graph_, label_index_, config_.lcag);
+        graph_, label_index_, config_.lcag, config_.lcag_cache_capacity,
+        config_.lcag_cache_shards);
   } else {
     embedder_ = std::make_unique<embed::TreeSegmentEmbedder>(
         graph_, label_index_, config_.tree);
@@ -118,9 +121,17 @@ void NewsLinkEngine::Index(const corpus::Corpus& corpus) {
   }
 
   for (const TimeBreakdown& t : worker_times) index_times_.Merge(t);
+  RebuildScorers();
+}
+
+void NewsLinkEngine::RebuildScorers() {
   text_scorer_ = std::make_unique<ir::Bm25Scorer>(&text_index_, config_.bm25);
   node_scorer_ =
       std::make_unique<ir::Bm25Scorer>(&node_index_, config_.bon_bm25);
+  text_retriever_ =
+      std::make_unique<ir::MaxScoreRetriever>(&text_index_, config_.bm25);
+  node_retriever_ =
+      std::make_unique<ir::MaxScoreRetriever>(&node_index_, config_.bon_bm25);
 }
 
 Status NewsLinkEngine::IndexWithEmbeddings(
@@ -138,9 +149,7 @@ Status NewsLinkEngine::IndexWithEmbeddings(
     node_index_.AddDocument(
         BonCounts(doc_embeddings_[i], config_.bon_doc_tf_cap));
   }
-  text_scorer_ = std::make_unique<ir::Bm25Scorer>(&text_index_, config_.bm25);
-  node_scorer_ =
-      std::make_unique<ir::Bm25Scorer>(&node_index_, config_.bon_bm25);
+  RebuildScorers();
   return Status::OK();
 }
 
@@ -155,10 +164,17 @@ size_t NewsLinkEngine::AddDocument(const corpus::Document& doc) {
       BonCounts(doc_embeddings_.back(), config_.bon_doc_tf_cap));
   // Scorers read index statistics live; (re)create them so a first call to
   // AddDocument on an empty engine also works.
-  text_scorer_ = std::make_unique<ir::Bm25Scorer>(&text_index_, config_.bm25);
-  node_scorer_ =
-      std::make_unique<ir::Bm25Scorer>(&node_index_, config_.bon_bm25);
+  RebuildScorers();
   return index;
+}
+
+EngineStats NewsLinkEngine::stats() const {
+  EngineStats out;
+  out.queries = queries_.load(std::memory_order_relaxed);
+  out.bow_docs_scored = bow_docs_scored_.load(std::memory_order_relaxed);
+  out.bon_docs_scored = bon_docs_scored_.load(std::memory_order_relaxed);
+  out.embedder = embedder_->stats();
+  return out;
 }
 
 double NewsLinkEngine::EmbeddedDocumentFraction() const {
@@ -176,15 +192,20 @@ std::vector<baselines::SearchResult> NewsLinkEngine::FusedSearch(
     embed::DocumentEmbedding* query_embedding_out) const {
   NL_CHECK(text_scorer_ != nullptr) << "Index() must be called before Search";
 
+  // Per-call breakdown on the stack: Search must be callable from many
+  // threads, so the shared accumulator is only touched under its mutex at
+  // the end of the call.
+  TimeBreakdown times;
+
   // --- NLP + NE on the query -------------------------------------------
   embed::DocumentEmbedding query_embedding;
   text::SegmentedDocument segmented;
   {
-    ScopedTimer t(&query_times_, "nlp");
+    ScopedTimer t(&times, "nlp");
     segmented = SegmentText(query);
   }
   {
-    ScopedTimer t(&query_times_, "ne");
+    ScopedTimer t(&times, "ne");
     if (config_.beta > 0.0) {
       query_embedding =
           embed::EmbedDocument(*embedder_, EntityGroups(segmented, config_.use_maximal_reduction));
@@ -194,29 +215,52 @@ std::vector<baselines::SearchResult> NewsLinkEngine::FusedSearch(
   // --- NS: score both sides and fuse (Eq. 3) ----------------------------
   std::vector<baselines::SearchResult> out;
   {
-    ScopedTimer t(&query_times_, "ns");
-    std::vector<ir::ScoredDoc> bow;
-    if (config_.beta < 1.0) {
-      bow = text_scorer_->ScoreAll(
-          ir::TextVectorizer::CountsForQuery(query, text_dict_));
+    ScopedTimer t(&times, "ns");
+    const bool use_bow = config_.beta < 1.0;
+    const bool use_bon = config_.beta > 0.0;
+    // k' of the pruned path: enough slack that the true fused top-k is in
+    // the union of the per-side candidate sets.
+    const size_t kprime = std::max(k, config_.rerank_depth);
+
+    ir::TermCounts bow_query;
+    if (use_bow) {
+      bow_query = ir::TextVectorizer::CountsForQuery(query, text_dict_);
     }
-    std::vector<ir::ScoredDoc> bon;
-    if (config_.beta > 0.0) {
+    ir::TermCounts bon_query;
+    if (use_bon) {
       // Query-side BON: sources boosted over induced context nodes.
       const std::vector<kg::NodeId> source_nodes =
           query_embedding.SourceNodes();
       std::set<kg::NodeId> sources(source_nodes.begin(), source_nodes.end());
-      ir::TermCounts query_counts;
-      query_counts.reserve(query_embedding.node_counts.size());
+      bon_query.reserve(query_embedding.node_counts.size());
       for (const auto& [node, count] : query_embedding.node_counts) {
-        query_counts.push_back(
+        bon_query.push_back(
             {static_cast<ir::TermId>(node),
              sources.contains(node) ? config_.bon_query_source_weight : 1});
       }
-      bon = node_scorer_->ScoreAll(query_counts);
     }
 
-    // Max-normalize each side so β mixes scale-free scores.
+    std::vector<ir::ScoredDoc> bow;
+    std::vector<ir::ScoredDoc> bon;
+    size_t bow_scored = 0;
+    size_t bon_scored = 0;
+    if (config_.exhaustive_fusion) {
+      if (use_bow) {
+        bow = text_scorer_->ScoreAll(bow_query);
+        bow_scored = bow.size();
+      }
+      if (use_bon) {
+        bon = node_scorer_->ScoreAll(bon_query);
+        bon_scored = bon.size();
+      }
+    } else {
+      if (use_bow) bow = text_retriever_->TopK(bow_query, kprime, &bow_scored);
+      if (use_bon) bon = node_retriever_->TopK(bon_query, kprime, &bon_scored);
+    }
+
+    // Max-normalize each side so β mixes scale-free scores. The pruned
+    // lists are best-first, so their maximum IS the global per-side
+    // maximum — normalization is identical in both modes.
     auto max_score = [](const std::vector<ir::ScoredDoc>& v) {
       double m = 0.0;
       for (const ir::ScoredDoc& s : v) m = std::max(m, s.score);
@@ -233,6 +277,33 @@ std::vector<baselines::SearchResult> NewsLinkEngine::FusedSearch(
       fused[s.doc] += config_.beta * (s.score / bon_max);
     }
 
+    if (!config_.exhaustive_fusion && use_bow && use_bon) {
+      // Candidates retrieved on one side only: fill in their other-side
+      // score by random access so every union member carries its exact
+      // fused score (identical to the exhaustive oracle's).
+      std::unordered_set<ir::DocId> in_bow;
+      in_bow.reserve(bow.size());
+      for (const ir::ScoredDoc& s : bow) in_bow.insert(s.doc);
+      std::unordered_set<ir::DocId> in_bon;
+      in_bon.reserve(bon.size());
+      for (const ir::ScoredDoc& s : bon) in_bon.insert(s.doc);
+      for (auto& [doc, score] : fused) {
+        if (!in_bow.contains(doc)) {
+          score +=
+              (1.0 - config_.beta) * text_scorer_->ScoreDoc(bow_query, doc) /
+              bow_max;
+          ++bow_scored;
+        } else if (!in_bon.contains(doc)) {
+          score += config_.beta * node_scorer_->ScoreDoc(bon_query, doc) /
+                   bon_max;
+          ++bon_scored;
+        }
+      }
+    }
+
+    bow_docs_scored_.fetch_add(bow_scored, std::memory_order_relaxed);
+    bon_docs_scored_.fetch_add(bon_scored, std::memory_order_relaxed);
+
     ir::TopKHeap heap(k);
     for (const auto& [doc, score] : fused) {
       heap.Push(ir::ScoredDoc{doc, score});
@@ -240,6 +311,12 @@ std::vector<baselines::SearchResult> NewsLinkEngine::FusedSearch(
     for (const ir::ScoredDoc& s : heap.Take()) {
       out.push_back(baselines::SearchResult{s.doc, s.score});
     }
+  }
+
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(query_times_mu_);
+    query_times_.Merge(times);
   }
 
   if (query_embedding_out != nullptr) {

@@ -8,7 +8,10 @@
 #ifndef NEWSLINK_NEWSLINK_NEWSLINK_ENGINE_H_
 #define NEWSLINK_NEWSLINK_NEWSLINK_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +20,7 @@
 #include "embed/document_embedding.h"
 #include "embed/path_explainer.h"
 #include "ir/inverted_index.h"
+#include "ir/max_score.h"
 #include "ir/scorer.h"
 #include "ir/term_dictionary.h"
 #include "kg/knowledge_graph.h"
@@ -59,6 +63,33 @@ struct NewsLinkConfig {
   /// Ablation knob: false embeds EVERY news segment instead of only the
   /// maximal entity co-occurrence set of Definition 1.
   bool use_maximal_reduction = true;
+  /// Per-side candidate depth k' of the pruned NS path: each index side
+  /// retrieves max(k, rerank_depth) candidates with MaxScore before fusion.
+  /// Larger values close the (tiny) gap to the exhaustive oracle at the
+  /// cost of scoring more documents.
+  size_t rerank_depth = 64;
+  /// Exactness oracle: score every posting on both sides (the original
+  /// behaviour) instead of MaxScore top-k' retrieval + union rescoring.
+  bool exhaustive_fusion = false;
+  /// Entry capacity of the LCAG result cache shared by the index-time
+  /// workers and the query path (0 disables caching).
+  size_t lcag_cache_capacity = 4096;
+  /// Lock shards of the LCAG cache (parallel index builds contend here).
+  size_t lcag_cache_shards = 16;
+};
+
+/// \brief Cumulative engine counters; safe to read while queries run.
+struct EngineStats {
+  uint64_t queries = 0;
+  /// Documents fully BM25-scored on the text (BOW) / node (BON) side,
+  /// including pruned-path union rescoring. The exhaustive oracle counts
+  /// every accumulator it touches, so pruning shows up as a strictly
+  /// smaller number on the same workload.
+  uint64_t bow_docs_scored = 0;
+  uint64_t bon_docs_scored = 0;
+  /// NE-component counters: LCAG cache hits/misses/evictions plus timeout
+  /// and expansion-budget truncations (both index- and query-time).
+  embed::EmbedderStats embedder;
 };
 
 /// \brief A search hit with optional relationship-path explanations.
@@ -83,6 +114,11 @@ class NewsLinkEngine : public baselines::SearchEngine {
   void set_beta(double beta) { config_.beta = beta; }
   double beta() const { return config_.beta; }
 
+  /// Query-path knobs (like set_beta: affect fusion only, never the
+  /// indexes). Not safe to flip while Search calls are in flight.
+  void set_exhaustive_fusion(bool v) { config_.exhaustive_fusion = v; }
+  void set_rerank_depth(size_t d) { config_.rerank_depth = d; }
+
   /// Build embeddings and indexes for the corpus. Embedding is
   /// parallelized across documents (paper Sec. VII-G).
   void Index(const corpus::Corpus& corpus) override;
@@ -102,6 +138,9 @@ class NewsLinkEngine : public baselines::SearchEngine {
     return doc_embeddings_;
   }
 
+  /// Thread-safe: any number of threads may call Search / SearchExplained
+  /// concurrently on a fully indexed engine. Indexing and AddDocument are
+  /// NOT safe to run concurrently with queries (see DESIGN.md Sec. 7).
   std::vector<baselines::SearchResult> Search(const std::string& query,
                                               size_t k) const override;
 
@@ -128,10 +167,22 @@ class NewsLinkEngine : public baselines::SearchEngine {
 
   /// Cumulative per-component times. Indexing fills `index_times()` with
   /// buckets "nlp"/"ne"/"ns" per document; every Search() adds the same
-  /// buckets per query to `query_times()` (Fig. 7 and Table VIII).
+  /// buckets per query to `query_times()` (Fig. 7 and Table VIII). Each
+  /// query collects its breakdown on the stack and merges it into the
+  /// engine accumulator under a mutex, so concurrent searches are safe;
+  /// query_times() therefore returns a snapshot by value.
   const TimeBreakdown& index_times() const { return index_times_; }
-  const TimeBreakdown& query_times() const { return query_times_; }
-  void ResetQueryTimes() { query_times_ = TimeBreakdown(); }
+  TimeBreakdown query_times() const {
+    std::lock_guard<std::mutex> lock(query_times_mu_);
+    return query_times_;
+  }
+  void ResetQueryTimes() {
+    std::lock_guard<std::mutex> lock(query_times_mu_);
+    query_times_ = TimeBreakdown();
+  }
+
+  /// Cumulative retrieval / NE counters (thread-safe snapshot).
+  EngineStats stats() const;
 
  private:
   struct ScoredFusion {
@@ -139,10 +190,16 @@ class NewsLinkEngine : public baselines::SearchEngine {
   };
 
   /// Eq. 3 over the candidate union of both indexes; scores from each side
-  /// are max-normalized per query before mixing so β is scale-free.
+  /// are max-normalized per query before mixing so β is scale-free. By
+  /// default each side contributes only its MaxScore top-k' candidates and
+  /// the union is completed by random-access rescoring; the exhaustive
+  /// oracle (config.exhaustive_fusion) scores every posting instead.
   std::vector<baselines::SearchResult> FusedSearch(
       const std::string& query, size_t k,
       embed::DocumentEmbedding* query_embedding_out) const;
+
+  /// (Re)build the BM25 scorers + MaxScore retrievers over both indexes.
+  void RebuildScorers();
 
   const kg::KnowledgeGraph* graph_;
   const kg::LabelIndex* label_index_;
@@ -158,10 +215,17 @@ class NewsLinkEngine : public baselines::SearchEngine {
   ir::InvertedIndex node_index_;  // BON: term ids are KG node ids
   std::unique_ptr<ir::Bm25Scorer> text_scorer_;
   std::unique_ptr<ir::Bm25Scorer> node_scorer_;
+  std::unique_ptr<ir::MaxScoreRetriever> text_retriever_;
+  std::unique_ptr<ir::MaxScoreRetriever> node_retriever_;
   std::vector<embed::DocumentEmbedding> doc_embeddings_;
 
   TimeBreakdown index_times_;
-  mutable TimeBreakdown query_times_;
+  mutable std::mutex query_times_mu_;
+  mutable TimeBreakdown query_times_;  // guarded by query_times_mu_
+
+  mutable std::atomic<uint64_t> queries_{0};
+  mutable std::atomic<uint64_t> bow_docs_scored_{0};
+  mutable std::atomic<uint64_t> bon_docs_scored_{0};
 };
 
 }  // namespace newslink

@@ -1,0 +1,174 @@
+// Concurrency tests for the query path: many threads hammering Search on a
+// fully indexed engine must produce exactly the single-threaded results and
+// exactly-counted timing buckets (the seed version raced on query_times_),
+// and the pruned MaxScore fusion must agree with the exhaustive oracle.
+// Run under -fsanitize=thread in CI (see .github/workflows/ci.yml).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/synthetic_news.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+#include "newslink/newslink_engine.h"
+
+namespace newslink {
+namespace {
+
+class ConcurrentSearchTest : public ::testing::Test {
+ protected:
+  ConcurrentSearchTest() : kg_(MakeKg()), index_(kg_.graph) {
+    corpus::SyntheticNewsConfig config = corpus::CnnLikeConfig();
+    config.num_stories = 25;
+    corpus_ = corpus::SyntheticNewsGenerator(&kg_, config).Generate();
+  }
+
+  static kg::SyntheticKg MakeKg() {
+    kg::SyntheticKgConfig config;
+    config.seed = 77;
+    config.num_countries = 2;
+    config.provinces_per_country = 3;
+    config.districts_per_province = 2;
+    config.cities_per_district = 2;
+    return kg::SyntheticKgGenerator(config).Generate();
+  }
+
+  NewsLinkEngine MakeEngine(double beta) {
+    NewsLinkConfig config;
+    config.beta = beta;
+    config.num_threads = 2;
+    return NewsLinkEngine(&kg_.graph, &index_, config);
+  }
+
+  std::string FirstSentenceOf(size_t doc) const {
+    const std::string& text = corpus_.corpus.doc(doc).text;
+    return text.substr(0, text.find('.') + 1);
+  }
+
+  kg::SyntheticKg kg_;
+  kg::LabelIndex index_;
+  corpus::SyntheticCorpus corpus_;
+};
+
+TEST_F(ConcurrentSearchTest, ParallelSearchesMatchSingleThreaded) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  engine.Index(corpus_.corpus);
+
+  constexpr size_t kQueries = 8;
+  constexpr size_t kK = 10;
+  std::vector<std::string> queries;
+  std::vector<std::vector<baselines::SearchResult>> reference;
+  for (size_t d = 0; d < kQueries; ++d) {
+    queries.push_back(FirstSentenceOf(d));
+    reference.push_back(engine.Search(queries.back(), kK));
+  }
+
+  engine.ResetQueryTimes();
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t q = 0; q < queries.size(); ++q) {
+          // Stagger the query order per thread so different queries overlap.
+          const size_t idx = (q + t) % queries.size();
+          const auto results = engine.Search(queries[idx], kK);
+          bool ok = results.size() == reference[idx].size();
+          for (size_t i = 0; ok && i < results.size(); ++i) {
+            ok = results[i].doc_index == reference[idx][i].doc_index &&
+                 results[i].score == reference[idx][i].score;
+          }
+          if (!ok) mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "concurrent Search must return the single-threaded results";
+
+  // The per-call breakdowns merge losslessly under the mutex: exactly one
+  // event per bucket per query, none dropped by racing threads.
+  const int64_t total = kThreads * kRounds * static_cast<int64_t>(kQueries);
+  const TimeBreakdown times = engine.query_times();
+  EXPECT_EQ(times.Count("nlp"), total);
+  EXPECT_EQ(times.Count("ne"), total);
+  EXPECT_EQ(times.Count("ns"), total);
+}
+
+TEST_F(ConcurrentSearchTest, StatsCountQueriesAndCacheHits) {
+  NewsLinkEngine engine = MakeEngine(0.5);
+  engine.Index(corpus_.corpus);
+  const EngineStats after_index = engine.stats();
+  EXPECT_EQ(after_index.queries, 0u);
+  EXPECT_GT(after_index.embedder.segments, 0u);
+
+  const std::string q = FirstSentenceOf(0);
+  engine.Search(q, 5);
+  engine.Search(q, 5);  // repeated query: its entity groups hit the cache
+  const EngineStats after = engine.stats();
+  EXPECT_EQ(after.queries, 2u);
+  EXPECT_GT(after.bow_docs_scored, 0u);
+  EXPECT_GE(after.embedder.cache.hits, after_index.embedder.cache.hits);
+}
+
+TEST_F(ConcurrentSearchTest, PrunedFusionMatchesExhaustiveOracle) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  engine.Index(corpus_.corpus);
+
+  for (double beta : {0.0, 0.2, 0.5, 1.0}) {
+    engine.set_beta(beta);
+    for (size_t d = 0; d < 10; ++d) {
+      const std::string q = FirstSentenceOf(d);
+      engine.set_exhaustive_fusion(false);
+      const auto pruned = engine.Search(q, 5);
+      engine.set_exhaustive_fusion(true);
+      const auto exact = engine.Search(q, 5);
+      ASSERT_EQ(pruned.size(), exact.size()) << "beta=" << beta;
+      for (size_t i = 0; i < pruned.size(); ++i) {
+        EXPECT_EQ(pruned[i].doc_index, exact[i].doc_index)
+            << "beta=" << beta << " query " << d << " rank " << i;
+        EXPECT_NEAR(pruned[i].score, exact[i].score, 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(ConcurrentSearchTest, PrunedFusionScoresFewerDocuments) {
+  // Pruning only has headroom when the corpus is much larger than the
+  // rerank depth, so this test uses its own bigger corpus.
+  corpus::SyntheticNewsConfig config = corpus::CnnLikeConfig();
+  config.num_stories = 120;
+  const corpus::SyntheticCorpus big =
+      corpus::SyntheticNewsGenerator(&kg_, config).Generate();
+
+  NewsLinkEngine engine = MakeEngine(0.2);
+  engine.Index(big.corpus);
+
+  auto query = [&](size_t doc) {
+    const std::string& text = big.corpus.doc(doc).text;
+    return text.substr(0, text.find('.') + 1);
+  };
+
+  const uint64_t base_bow = engine.stats().bow_docs_scored;
+  engine.set_exhaustive_fusion(true);
+  for (size_t d = 0; d < 10; ++d) engine.Search(query(d), 5);
+  const uint64_t exhaustive_bow = engine.stats().bow_docs_scored - base_bow;
+
+  engine.set_exhaustive_fusion(false);
+  for (size_t d = 0; d < 10; ++d) engine.Search(query(d), 5);
+  const uint64_t pruned_bow =
+      engine.stats().bow_docs_scored - base_bow - exhaustive_bow;
+
+  EXPECT_LT(pruned_bow, exhaustive_bow)
+      << "MaxScore retrieval must score strictly fewer text-side documents";
+}
+
+}  // namespace
+}  // namespace newslink

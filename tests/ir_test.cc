@@ -205,6 +205,38 @@ TEST(TfIdfCosineTest, SelfSimilarityIsOne) {
   EXPECT_NEAR(doc0, 1.0, 1e-9);
 }
 
+TEST(TfIdfCosineTest, RecomputesNormsWhenIndexGrows) {
+  // Regression: norms used to be sized once at construction, so scoring a
+  // document added afterwards read doc_norms_ out of bounds.
+  InvertedIndex index;
+  index.AddDocument({{0, 2}, {1, 1}});
+  index.AddDocument({{1, 3}});
+  TfIdfCosineScorer scorer(&index);
+  scorer.ScoreAll({{0, 1}});  // norms computed for 2 docs
+
+  index.AddDocument({{0, 1}, {2, 4}});
+  index.AddDocument({{2, 1}});
+
+  // Must cover the new documents and agree exactly with a fresh scorer
+  // (idf depends on N, so stale norms would skew every cosine).
+  TfIdfCosineScorer fresh(&index);
+  for (const TermCounts& query :
+       {TermCounts{{0, 1}}, TermCounts{{2, 2}}, TermCounts{{0, 1}, {1, 1}}}) {
+    auto grown = scorer.ScoreAll(query);
+    auto expected = fresh.ScoreAll(query);
+    auto by_doc = [](const ScoredDoc& a, const ScoredDoc& b) {
+      return a.doc < b.doc;
+    };
+    std::sort(grown.begin(), grown.end(), by_doc);
+    std::sort(expected.begin(), expected.end(), by_doc);
+    ASSERT_EQ(grown.size(), expected.size());
+    for (size_t i = 0; i < grown.size(); ++i) {
+      EXPECT_EQ(grown[i].doc, expected[i].doc);
+      EXPECT_DOUBLE_EQ(grown[i].score, expected[i].score);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // TopKHeap / SelectTopK
 // ---------------------------------------------------------------------------

@@ -134,6 +134,55 @@ TEST(MaxScoreTest, PruningSkipsDocuments) {
       << "MaxScore must not fully score every document";
 }
 
+TEST(MaxScoreTest, EquivalencePropertyRandomCorporaAndQueries) {
+  // Property sweep: on random corpora and random queries the pruned
+  // retriever returns the SAME document set as exhaustive TAAT, each score
+  // within 1e-9, with ties broken towards smaller doc ids on both sides.
+  for (const uint64_t seed : {21u, 22u, 23u, 24u, 25u}) {
+    const size_t num_docs = 100 + (seed % 7) * 50;
+    InvertedIndex index = MakeRandomIndex(seed, num_docs, 250, 30);
+    Bm25Scorer scorer(&index);
+    MaxScoreRetriever retriever(&index);
+    Rng rng(seed * 977 + 13);
+
+    for (int trial = 0; trial < 20; ++trial) {
+      TermCounts query;
+      std::set<TermId> used;
+      const size_t num_terms = 1 + rng.Uniform(10);
+      while (query.size() < num_terms) {
+        const TermId t = static_cast<TermId>(rng.Uniform(250));
+        if (used.insert(t).second) {
+          query.push_back({t, 1 + static_cast<uint32_t>(rng.Uniform(4))});
+        }
+      }
+      std::sort(query.begin(), query.end());
+      const size_t k = 1 + rng.Uniform(30);
+
+      const auto pruned = retriever.TopK(query, k);
+      const auto exact = SelectTopK(scorer.ScoreAll(query), k);
+      ASSERT_EQ(pruned.size(), exact.size()) << "seed " << seed;
+
+      std::vector<DocId> pruned_docs, exact_docs;
+      for (const ScoredDoc& s : pruned) pruned_docs.push_back(s.doc);
+      for (const ScoredDoc& s : exact) exact_docs.push_back(s.doc);
+      std::vector<DocId> pruned_sorted = pruned_docs;
+      std::vector<DocId> exact_sorted = exact_docs;
+      std::sort(pruned_sorted.begin(), pruned_sorted.end());
+      std::sort(exact_sorted.begin(), exact_sorted.end());
+      ASSERT_EQ(pruned_sorted, exact_sorted)
+          << "seed " << seed << " trial " << trial << ": doc sets differ";
+
+      for (size_t i = 0; i < pruned.size(); ++i) {
+        EXPECT_NEAR(pruned[i].score, exact[i].score, 1e-9);
+        if (i > 0 && pruned[i].score == pruned[i - 1].score) {
+          EXPECT_LT(pruned[i - 1].doc, pruned[i].doc)
+              << "exact ties must order by doc id";
+        }
+      }
+    }
+  }
+}
+
 TEST(MaxScoreTest, WithBonStyleParams) {
   // The BON index uses k1 = 0.8, b = 0; agreement must hold there too.
   InvertedIndex index = MakeRandomIndex(17, 200, 100, 25);
