@@ -1,16 +1,26 @@
 // Concurrent query-serving benchmark: N threads of mixed queries against one
 // shared engine. Reports QPS, p50/p99 latency, text-side documents scored
 // (pruned MaxScore fusion vs the exhaustive oracle), and the LCAG cache hit
-// rate. The seed engine raced on query_times_ under this exact workload;
-// run this binary under TSan to demonstrate the fix.
+// rate. All queries go through the request-scoped Search(SearchRequest)
+// entry point, so the exhaustive/pruned comparison needs no engine mutation
+// between runs. Run this binary under TSan to demonstrate the
+// epoch-snapshot query path.
+//
+// --with-ingest additionally runs the concurrent workload while a writer
+// thread AddDocument()s a second synthetic corpus into the live engine,
+// verifying snapshot isolation (every hit's doc_index stays below the
+// response's snapshot_docs, epochs never move backwards per thread) and
+// gating the ingest-time p99 at 1.5x the query-only p99.
 //
 // Env knobs: NEWSLINK_BENCH_STORIES (corpus size, default 120),
 //            NEWSLINK_BENCH_THREADS (worker threads, default 4).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -46,28 +56,46 @@ struct RunReport {
   uint64_t queries = 0;
   uint64_t bow_docs_scored = 0;
   uint64_t bon_docs_scored = 0;
+  /// Snapshot-isolation violations observed by readers: a hit at or above
+  /// its response's snapshot_docs, or an epoch that moved backwards within
+  /// one thread. Must be zero.
+  uint64_t violations = 0;
 };
 
 /// Runs every query `rounds` times across `num_threads` workers (each worker
 /// walks the query list at a different offset so distinct queries overlap).
-RunReport RunWorkload(NewsLinkEngine* engine,
+RunReport RunWorkload(const NewsLinkEngine& engine, const EngineStats& before,
                       const std::vector<std::string>& queries, int num_threads,
-                      int rounds, size_t k) {
-  const EngineStats before = engine->stats();
+                      int rounds, size_t k, bool exhaustive) {
   std::vector<std::vector<double>> latencies(num_threads);
+  std::atomic<uint64_t> violations{0};
   const auto wall_start = Clock::now();
   std::vector<std::thread> workers;
   for (int t = 0; t < num_threads; ++t) {
     workers.emplace_back([&, t] {
       latencies[t].reserve(rounds * queries.size());
+      uint64_t last_epoch = 0;
       for (int round = 0; round < rounds; ++round) {
         for (size_t q = 0; q < queries.size(); ++q) {
           const size_t idx = (q + t) % queries.size();
+          baselines::SearchRequest request;
+          request.query = queries[idx];
+          request.k = k;
+          request.exhaustive_fusion = exhaustive;
           const auto start = Clock::now();
-          engine->Search(queries[idx], k);
+          const baselines::SearchResponse response = engine.Search(request);
           latencies[t].push_back(
               std::chrono::duration<double, std::milli>(Clock::now() - start)
                   .count());
+          for (const baselines::SearchHit& hit : response.hits) {
+            if (hit.doc_index >= response.snapshot_docs) {
+              violations.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          if (response.epoch < last_epoch) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+          last_epoch = response.epoch;
         }
       }
     });
@@ -82,7 +110,7 @@ RunReport RunWorkload(NewsLinkEngine* engine,
   }
   std::sort(all.begin(), all.end());
 
-  const EngineStats after = engine->stats();
+  const EngineStats after = engine.stats();
   RunReport report;
   report.wall_seconds = wall;
   report.queries = all.size();
@@ -91,7 +119,15 @@ RunReport RunWorkload(NewsLinkEngine* engine,
   report.p99_ms = Percentile(all, 0.99);
   report.bow_docs_scored = after.bow_docs_scored - before.bow_docs_scored;
   report.bon_docs_scored = after.bon_docs_scored - before.bon_docs_scored;
+  report.violations = violations.load();
   return report;
+}
+
+RunReport RunWorkload(const NewsLinkEngine& engine,
+                      const std::vector<std::string>& queries, int num_threads,
+                      int rounds, size_t k, bool exhaustive) {
+  return RunWorkload(engine, engine.stats(), queries, num_threads, rounds, k,
+                     exhaustive);
 }
 
 void PrintReport(const char* label, const RunReport& r) {
@@ -102,8 +138,14 @@ void PrintReport(const char* label, const RunReport& r) {
 
 }  // namespace
 
-int main() {
-  std::printf("NewsLink reproduction — concurrent query serving\n\n");
+int main(int argc, char** argv) {
+  bool with_ingest = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--with-ingest") == 0) with_ingest = true;
+  }
+
+  std::printf("NewsLink reproduction — concurrent query serving%s\n\n",
+              with_ingest ? " + live ingestion" : "");
   const int stories = bench::StoriesFromEnv(120);
   const int num_threads = ThreadsFromEnv(4);
   constexpr int kRounds = 3;
@@ -136,19 +178,68 @@ int main() {
   bench::PrintRule(74);
 
   // Exhaustive oracle, single thread: the docs-scored ceiling.
-  engine.set_exhaustive_fusion(true);
-  const RunReport exhaustive = RunWorkload(&engine, queries, 1, 1, kK);
+  const RunReport exhaustive =
+      RunWorkload(engine, queries, 1, 1, kK, /*exhaustive=*/true);
   PrintReport("exhaustive x1", exhaustive);
 
   // Pruned MaxScore fusion, single thread then concurrent.
-  engine.set_exhaustive_fusion(false);
-  const RunReport pruned1 = RunWorkload(&engine, queries, 1, 1, kK);
+  const RunReport pruned1 =
+      RunWorkload(engine, queries, 1, 1, kK, /*exhaustive=*/false);
   PrintReport("maxscore x1", pruned1);
   const RunReport prunedN =
-      RunWorkload(&engine, queries, num_threads, kRounds, kK);
+      RunWorkload(engine, queries, num_threads, kRounds, kK,
+                  /*exhaustive=*/false);
   char label[32];
   std::snprintf(label, sizeof(label), "maxscore x%d", num_threads);
   PrintReport(label, prunedN);
+
+  // Live ingestion: re-run the concurrent workload while a writer thread
+  // appends a second synthetic corpus into the same engine.
+  bool ingest_ok = true;
+  uint64_t ingest_violations = 0;
+  if (with_ingest) {
+    corpus::SyntheticNewsConfig ingest_config = corpus::CnnLikeConfig();
+    ingest_config.num_stories = stories;
+    ingest_config.seed = corpus_config.seed + 1;
+    const corpus::SyntheticCorpus fresh =
+        corpus::SyntheticNewsGenerator(&world->kg, ingest_config).Generate();
+
+    const size_t docs_before = engine.num_indexed_docs();
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> ingested{0};
+    std::thread writer([&] {
+      for (size_t d = 0; d < fresh.corpus.size() && !stop.load(); ++d) {
+        engine.AddDocument(fresh.corpus.doc(d));
+        ingested.fetch_add(1, std::memory_order_relaxed);
+        // Throttle: ingestion should contend with queries, not starve them.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    const RunReport ingestN =
+        RunWorkload(engine, queries, num_threads, kRounds, kK,
+                    /*exhaustive=*/false);
+    stop.store(true);
+    writer.join();
+    std::snprintf(label, sizeof(label), "maxscore x%d +ingest", num_threads);
+    PrintReport(label, ingestN);
+
+    const EngineStats stats = engine.stats();
+    const size_t docs_added = ingested.load();
+    ingest_violations = ingestN.violations;
+    const double p99_ratio =
+        prunedN.p99_ms > 0 ? ingestN.p99_ms / prunedN.p99_ms : 1.0;
+    const bool docs_consistent =
+        engine.num_indexed_docs() == docs_before + docs_added &&
+        stats.current_epoch + 1 == stats.epochs_published;
+    const bool p99_ok = p99_ratio <= 1.5;
+    std::printf(
+        "\ningest: %zu docs appended, %zu epochs published, p99 ratio "
+        "%.2fx (gate 1.50x): %s, isolation violations: %zu\n",
+        docs_added, static_cast<size_t>(stats.epochs_published), p99_ratio,
+        p99_ok ? "ok" : "FAIL",
+        static_cast<size_t>(ingest_violations));
+    ingest_ok = docs_consistent && p99_ok && ingest_violations == 0;
+  }
 
   const embed::EmbedderStats embedder = engine.stats().embedder;
   std::printf(
@@ -162,7 +253,12 @@ int main() {
 
   const bool fewer_docs = pruned1.bow_docs_scored < exhaustive.bow_docs_scored;
   const bool cache_hits = embedder.cache.hits > 0;
-  std::printf("docs scored below exhaustive: %s, cache hit rate nonzero: %s\n",
-              fewer_docs ? "yes" : "NO", cache_hits ? "yes" : "NO");
-  return (fewer_docs && cache_hits) ? 0 : 1;
+  const bool no_violations =
+      exhaustive.violations + pruned1.violations + prunedN.violations == 0;
+  std::printf(
+      "docs scored below exhaustive: %s, cache hit rate nonzero: %s, "
+      "snapshot isolation clean: %s\n",
+      fewer_docs ? "yes" : "NO", cache_hits ? "yes" : "NO",
+      no_violations ? "yes" : "NO");
+  return (fewer_docs && cache_hits && no_violations && ingest_ok) ? 0 : 1;
 }

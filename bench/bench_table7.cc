@@ -5,13 +5,16 @@
 // the sweet spot; pure-embedding search (β = 1) remains competitive; and
 // NewsLink dominates TreeEmb at matched β (coverage property of G*).
 //
-// β only affects query-time fusion, so each embedder indexes once and the
-// whole sweep reuses the indexes.
+// β only affects query-time fusion and travels per request, so each
+// embedder indexes once and the whole sweep runs CONCURRENTLY against the
+// shared indexes — one thread per β, no engine mutation between rows.
 
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/string_util.h"
 #include "newslink/newslink_engine.h"
 
 using namespace newslink;
@@ -39,25 +42,36 @@ void RunDataset(const bench::BenchWorld& world,
               "SIM@10", "SIM@20", "HIT@1", "HIT@5");
   bench::PrintRule(70);
 
+  auto sweep = [&](const NewsLinkEngine& engine, const char* base_name,
+                   const std::vector<double>& betas) {
+    std::vector<eval::EngineScores> rows(betas.size());
+    std::vector<std::thread> workers;
+    workers.reserve(betas.size());
+    for (size_t i = 0; i < betas.size(); ++i) {
+      workers.emplace_back([&, i] {
+        baselines::SearchRequest base;
+        base.beta = betas[i];
+        rows[i] = runner.Evaluate(engine, base,
+                                  StrCat(base_name, "(", betas[i], ")"));
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (const eval::EngineScores& row : rows) PrintRow(row);
+  };
+
   {
     NewsLinkConfig config;
     config.embedder = EmbedderKind::kLcag;
     NewsLinkEngine engine(&world.kg.graph, &world.index, config);
     engine.Index(dataset.data.corpus);
-    for (double beta : {0.0, 0.2, 0.5, 0.8, 1.0}) {
-      engine.set_beta(beta);
-      PrintRow(runner.Evaluate(engine));
-    }
+    sweep(engine, "NewsLink", {0.0, 0.2, 0.5, 0.8, 1.0});
   }
   {
     NewsLinkConfig config;
     config.embedder = EmbedderKind::kTree;
     NewsLinkEngine engine(&world.kg.graph, &world.index, config);
     engine.Index(dataset.data.corpus);
-    for (double beta : {0.2, 0.5, 0.8, 1.0}) {
-      engine.set_beta(beta);
-      PrintRow(runner.Evaluate(engine));
-    }
+    sweep(engine, "TreeEmb", {0.2, 0.5, 0.8, 1.0});
   }
 }
 

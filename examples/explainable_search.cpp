@@ -55,8 +55,12 @@ int main() {
     }
     std::printf("\n\n");
 
-    for (const ExplainedResult& hit :
-         engine.SearchExplained(query, /*k=*/3, /*max_paths=*/2)) {
+    baselines::SearchRequest request;
+    request.query = query;
+    request.k = 3;
+    request.explain = true;
+    request.max_paths_per_result = 2;
+    for (const baselines::SearchHit& hit : engine.Search(request).hits) {
       const corpus::Document& d = news.corpus.doc(hit.doc_index);
       std::printf("  [%5.3f] %s: %.70s...\n", hit.score, d.id.c_str(),
                   d.text.c_str());

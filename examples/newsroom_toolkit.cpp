@@ -53,7 +53,7 @@ int main() {
   DiversifyOptions mmr;
   mmr.lambda = 0.5;
   mmr.k = 4;
-  const auto diversified = DiversifyResults(raw, engine.embeddings(), mmr);
+  const auto diversified = DiversifyResults(raw, engine.SnapshotEmbeddings(), mmr);
 
   embed::ConciseExplainer explainer(&world.graph);
   const embed::DocumentEmbedding query_embedding = engine.EmbedText(query);

@@ -29,21 +29,26 @@ int main() {
       corpus::SyntheticNewsGenerator(&world, news_config).Generate("demo");
   std::printf("Corpus: %zu documents\n", news.corpus.size());
 
-  // 3. Index with NewsLink (beta = 0.2: 80%% text, 20%% KG relationships).
-  NewsLinkConfig config;
-  config.beta = 0.2;
-  NewsLinkEngine engine(&world.graph, &labels, config);
+  // 3. Index with NewsLink.
+  NewsLinkEngine engine(&world.graph, &labels, NewsLinkConfig{});
   engine.Index(news.corpus);
   std::printf("Indexed. %.1f%% of documents have subgraph embeddings.\n\n",
               100.0 * engine.EmbeddedDocumentFraction());
 
   // 4. Query with a partial text: the first sentence of some document.
+  //    Every per-query knob travels in the SearchRequest — here β = 0.2
+  //    (80% text, 20% KG relationships) and relationship-path explanations.
   const std::string& source = news.corpus.doc(7).text;
-  const std::string query = source.substr(0, source.find('.') + 1);
-  std::printf("Query: %s\n\n", query.c_str());
+  baselines::SearchRequest request;
+  request.query = source.substr(0, source.find('.') + 1);
+  request.k = 3;
+  request.beta = 0.2;
+  request.explain = true;
+  request.max_paths_per_result = 3;
+  std::printf("Query: %s\n\n", request.query.c_str());
 
-  const auto results = engine.SearchExplained(query, /*k=*/3, /*max_paths=*/3);
-  for (const ExplainedResult& r : results) {
+  const baselines::SearchResponse response = engine.Search(request);
+  for (const baselines::SearchHit& r : response.hits) {
     const corpus::Document& doc = news.corpus.doc(r.doc_index);
     std::printf("[%.3f] %s — %.60s...\n", r.score, doc.id.c_str(),
                 doc.text.c_str());
@@ -51,5 +56,7 @@ int main() {
       std::printf("    why: %s\n", p.Render(world.graph).c_str());
     }
   }
+  std::printf("\n(answered at index epoch %zu over %zu documents)\n",
+              static_cast<size_t>(response.epoch), response.snapshot_docs);
   return 0;
 }

@@ -23,6 +23,7 @@ class LuceneLikeEngine : public SearchEngine {
 
   std::string name() const override { return "Lucene"; }
   void Index(const corpus::Corpus& corpus) override;
+  using SearchEngine::Search;
   std::vector<SearchResult> Search(const std::string& query,
                                    size_t k) const override;
 

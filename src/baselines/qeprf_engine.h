@@ -41,6 +41,7 @@ class QeprfEngine : public SearchEngine {
 
   std::string name() const override { return "QEPRF"; }
   void Index(const corpus::Corpus& corpus) override;
+  using SearchEngine::Search;
   std::vector<SearchResult> Search(const std::string& query,
                                    size_t k) const override;
 

@@ -1,13 +1,24 @@
 // Common interface of every competitor in the paper's Table IV plus
 // NewsLink itself: index a corpus, then answer top-k text queries.
+//
+// The primary entry point is the request-scoped Search(SearchRequest):
+// all per-query knobs (k, fusion β, rerank depth, explanations) travel in
+// the request, so one engine instance can serve differently-parameterized
+// queries from many threads at once — engines never need mutable
+// query-path setters. Unset request fields inherit the engine's
+// configuration defaults.
 
 #ifndef NEWSLINK_BASELINES_SEARCH_ENGINE_H_
 #define NEWSLINK_BASELINES_SEARCH_ENGINE_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/timer.h"
 #include "corpus/corpus.h"
+#include "embed/path_explainer.h"
 
 namespace newslink {
 namespace baselines {
@@ -15,6 +26,52 @@ namespace baselines {
 struct SearchResult {
   size_t doc_index = 0;  // position in the indexed corpus
   double score = 0.0;
+};
+
+/// \brief One query with its per-request parameter overrides.
+///
+/// Every optional field falls back to the engine's configured default when
+/// unset, so `SearchRequest{q, k}` behaves exactly like the legacy
+/// two-argument Search. Engines that have no notion of a given knob (e.g.
+/// β on a pure-text baseline) ignore it.
+struct SearchRequest {
+  std::string query;
+  size_t k = 10;
+
+  /// Fusion weight β of Equation 3 (NewsLink engines only).
+  std::optional<double> beta;
+  /// Per-side candidate depth k' of the pruned fusion path.
+  std::optional<size_t> rerank_depth;
+  /// Score every posting on both sides instead of pruned retrieval.
+  std::optional<bool> exhaustive_fusion;
+
+  /// Attach relationship-path explanations to each hit.
+  bool explain = false;
+  /// Explanation paths per hit (only read when `explain` is set).
+  size_t max_paths_per_result = 5;
+};
+
+/// \brief A hit: document, fused score, optional explanation paths.
+struct SearchHit {
+  size_t doc_index = 0;
+  double score = 0.0;
+  /// Relationship paths between query and document entities; filled only
+  /// when the request asked for explanations.
+  std::vector<embed::RelationshipPath> paths;
+};
+
+/// \brief Hits plus per-query observability.
+struct SearchResponse {
+  std::vector<SearchHit> hits;
+  /// This query's own component time breakdown (nlp/ne/ns buckets for
+  /// NewsLink engines; empty for baselines that do not instrument).
+  TimeBreakdown timings;
+  /// The published index epoch this query ran against (0 for engines
+  /// without snapshot isolation).
+  uint64_t epoch = 0;
+  /// Number of documents visible in that epoch: every hit's doc_index is
+  /// < snapshot_docs even while ingestion runs concurrently.
+  size_t snapshot_docs = 0;
 };
 
 /// \brief A top-k document search engine.
@@ -31,6 +88,24 @@ class SearchEngine {
   /// Top-k most relevant documents for a text query, best first.
   virtual std::vector<SearchResult> Search(const std::string& query,
                                            size_t k) const = 0;
+
+  /// Request-scoped search: the one entry point evaluation harnesses and
+  /// benchmarks drive every engine through. The default adapter forwards
+  /// to the legacy (query, k) overload and reports no timings/epoch, so
+  /// baselines get the new interface for free; engines with richer
+  /// internals (NewsLinkEngine) override it.
+  virtual SearchResponse Search(const SearchRequest& request) const {
+    SearchResponse response;
+    std::vector<SearchResult> results = Search(request.query, request.k);
+    response.hits.reserve(results.size());
+    for (const SearchResult& r : results) {
+      SearchHit hit;
+      hit.doc_index = r.doc_index;
+      hit.score = r.score;
+      response.hits.push_back(std::move(hit));
+    }
+    return response;
+  }
 };
 
 }  // namespace baselines

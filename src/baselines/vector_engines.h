@@ -26,6 +26,7 @@ class DenseVectorEngineBase : public SearchEngine {
     training_indices_ = std::move(indices);
   }
 
+  using SearchEngine::Search;
   std::vector<SearchResult> Search(const std::string& query,
                                    size_t k) const override;
 

@@ -61,6 +61,7 @@ void EvaluationRunner::Prepare() {
 
 MetricScores EvaluationRunner::RunQuerySet(
     const baselines::SearchEngine& engine,
+    const baselines::SearchRequest& base_request,
     const std::vector<TestQuery>& queries) const {
   int max_k = 1;
   for (int k : config_.sim_ks) max_k = std::max(max_k, k);
@@ -68,20 +69,29 @@ MetricScores EvaluationRunner::RunQuerySet(
 
   MetricsAccumulator acc(config_.sim_ks, config_.hit_ks);
   for (const TestQuery& q : queries) {
-    const std::vector<baselines::SearchResult> results =
-        engine.Search(q.sentence, static_cast<size_t>(max_k));
+    baselines::SearchRequest request = base_request;
+    request.query = q.sentence;
+    request.k = static_cast<size_t>(max_k);
+    const baselines::SearchResponse response = engine.Search(request);
+    std::vector<baselines::SearchResult> results;
+    results.reserve(response.hits.size());
+    for (const baselines::SearchHit& hit : response.hits) {
+      results.push_back(baselines::SearchResult{hit.doc_index, hit.score});
+    }
     acc.AddQuery(q.doc_index, results, judge_vectors_);
   }
   return acc.Finalize();
 }
 
 EngineScores EvaluationRunner::Evaluate(
-    const baselines::SearchEngine& engine) const {
+    const baselines::SearchEngine& engine,
+    const baselines::SearchRequest& base_request,
+    const std::string& label) const {
   NL_CHECK(prepared_) << "call Prepare() first";
   EngineScores scores;
-  scores.engine = engine.name();
-  scores.density = RunQuerySet(engine, density_queries_);
-  scores.random = RunQuerySet(engine, random_queries_);
+  scores.engine = label.empty() ? engine.name() : label;
+  scores.density = RunQuerySet(engine, base_request, density_queries_);
+  scores.random = RunQuerySet(engine, base_request, random_queries_);
   return scores;
 }
 

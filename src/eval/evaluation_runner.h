@@ -54,8 +54,16 @@ class EvaluationRunner {
   /// Segment test docs, build both query sets, encode judge vectors.
   void Prepare();
 
-  /// Evaluate an already-indexed engine against both query sets.
-  EngineScores Evaluate(const baselines::SearchEngine& engine) const;
+  /// Evaluate an already-indexed engine against both query sets. Every
+  /// query is issued through the request-scoped Search(SearchRequest)
+  /// entry point; `base_request` carries per-evaluation overrides (e.g. a
+  /// swept fusion β) and its query/k fields are replaced per test query.
+  /// `label` overrides engine.name() in the reported scores (useful when
+  /// one engine instance serves several parameterizations). Thread-safe:
+  /// concurrent Evaluate calls on one runner share only immutable state.
+  EngineScores Evaluate(const baselines::SearchEngine& engine,
+                        const baselines::SearchRequest& base_request = {},
+                        const std::string& label = "") const;
 
   /// Table V: mean (matched / identified) mentions over density queries.
   double AverageEntityMatchingRatio() const;
@@ -72,6 +80,7 @@ class EvaluationRunner {
 
  private:
   MetricScores RunQuerySet(const baselines::SearchEngine& engine,
+                           const baselines::SearchRequest& base_request,
                            const std::vector<TestQuery>& queries) const;
 
   const corpus::Corpus* corpus_;

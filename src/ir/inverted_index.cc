@@ -1,5 +1,7 @@
 #include "ir/inverted_index.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace newslink {
@@ -10,29 +12,55 @@ DocId InvertedIndex::AddDocument(const TermCounts& counts) {
   uint32_t length = 0;
   for (const auto& [term, tf] : counts) {
     NL_DCHECK(tf > 0);
-    if (term >= postings_.size()) postings_.resize(term + 1);
-    postings_[term].push_back(Posting{doc, tf});
+    terms_.EnsureSize(static_cast<size_t>(term) + 1);
+    TermEntry* entry = terms_.Mutable(term);
+    PostingChunks* list = entry->list.load(std::memory_order_relaxed);
+    if (list == nullptr) {
+      list = new PostingChunks();
+      entry->list.store(list, std::memory_order_release);
+    }
+    list->Append(Posting{doc, tf});
     length += tf;
   }
-  doc_lengths_.push_back(length);
-  total_length_ += length;
+  total_length_.fetch_add(length, std::memory_order_release);
+  doc_lengths_.Append(length);
   return doc;
 }
 
 double InvertedIndex::avg_doc_length() const {
-  if (doc_lengths_.empty()) return 0.0;
-  return static_cast<double>(total_length_) /
-         static_cast<double>(doc_lengths_.size());
+  const size_t n = doc_lengths_.size();
+  if (n == 0) return 0.0;
+  return static_cast<double>(total_length_.load(std::memory_order_acquire)) /
+         static_cast<double>(n);
 }
 
 uint32_t InvertedIndex::DocFreq(TermId term) const {
-  if (term >= postings_.size()) return 0;
-  return static_cast<uint32_t>(postings_[term].size());
+  return static_cast<uint32_t>(Postings(term).size());
 }
 
-std::span<const Posting> InvertedIndex::Postings(TermId term) const {
-  if (term >= postings_.size()) return {};
-  return {postings_[term].data(), postings_[term].size()};
+PostingView InvertedIndex::Postings(TermId term) const {
+  if (term >= terms_.size()) return {};
+  const PostingChunks* list =
+      terms_.At(term).list.load(std::memory_order_acquire);
+  if (list == nullptr) return {};
+  return PostingView(list, list->size());
+}
+
+PostingView InvertedIndex::Postings(TermId term,
+                                    const IndexSnapshot& snapshot) const {
+  if (term >= snapshot.num_terms || term >= terms_.size()) return {};
+  const PostingChunks* list =
+      terms_.At(term).list.load(std::memory_order_acquire);
+  if (list == nullptr) return {};
+  const PostingView live(list, list->size());
+  // Postings are sorted by doc id, so the snapshot's extent of this list is
+  // the prefix of docs below the snapshot's doc count.
+  const auto bound = std::lower_bound(
+      live.begin(), live.end(), snapshot.num_docs,
+      [](const Posting& p, size_t num_docs) {
+        return static_cast<size_t>(p.doc) < num_docs;
+      });
+  return PostingView(list, static_cast<size_t>(bound - live.begin()));
 }
 
 }  // namespace ir

@@ -1,14 +1,26 @@
 // Inverted index with document statistics: the retrieval core of the NS
 // component and of the Lucene-like baseline.
+//
+// The index is a single-writer / multi-reader structure built for
+// epoch-snapshot isolation: AddDocument (one writer at a time) appends into
+// chunked, stable-address storage, and readers score against an immutable
+// IndexSnapshot — a set of extents (doc count, term count, total length)
+// captured by the writer after an append completes. Because doc ids are
+// assigned sequentially and postings are appended in doc-id order, bounding
+// every read by "doc < snapshot.num_docs" is exactly a point-in-time view:
+// a reader can never observe a half-appended document.
 
 #ifndef NEWSLINK_IR_INVERTED_INDEX_H_
 #define NEWSLINK_IR_INVERTED_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
-#include <span>
+#include <iterator>
+#include <limits>
 #include <utility>
 #include <vector>
 
+#include "ir/append_only.h"
 #include "ir/term_dictionary.h"
 
 namespace newslink {
@@ -25,31 +37,165 @@ struct Posting {
 /// Sparse term-frequency vector of a document or query.
 using TermCounts = std::vector<std::pair<TermId, uint32_t>>;
 
-/// \brief Term-at-a-time friendly inverted index.
+/// Chunked posting storage of one term (small first chunk: most terms are
+/// rare; capacity covers the full DocId space).
+using PostingChunks = AppendOnlyStore<Posting, 4, 28>;
+
+/// \brief Immutable extents of an index at one publication point.
+///
+/// Capturing is writer-side (or quiesced); consuming is lock-free from any
+/// thread. All scorer maths (idf, avgdl, norms, MaxScore bounds) must key
+/// off these values, never off live index accessors, so concurrent
+/// ingestion cannot shift statistics mid-query.
+struct IndexSnapshot {
+  size_t num_docs = 0;
+  size_t num_terms = 0;
+  uint64_t total_length = 0;
+
+  double avg_doc_length() const {
+    return num_docs == 0 ? 0.0
+                         : static_cast<double>(total_length) /
+                               static_cast<double>(num_docs);
+  }
+};
+
+/// \brief Read-only, random-access view of (a bounded prefix of) one
+/// term's postings. Iterators stay valid while the index is alive; the
+/// underlying elements are immutable once published.
+class PostingView {
+ public:
+  class Iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = Posting;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Posting*;
+    using reference = const Posting&;
+
+    Iterator() = default;
+    Iterator(const PostingChunks* chunks, size_t i) : chunks_(chunks), i_(i) {}
+
+    reference operator*() const { return chunks_->At(i_); }
+    pointer operator->() const { return &chunks_->At(i_); }
+    reference operator[](difference_type n) const { return chunks_->At(i_ + n); }
+
+    Iterator& operator++() { ++i_; return *this; }
+    Iterator operator++(int) { Iterator t = *this; ++i_; return t; }
+    Iterator& operator--() { --i_; return *this; }
+    Iterator operator--(int) { Iterator t = *this; --i_; return t; }
+    Iterator& operator+=(difference_type n) { i_ += n; return *this; }
+    Iterator& operator-=(difference_type n) { i_ -= n; return *this; }
+    friend Iterator operator+(Iterator it, difference_type n) { it += n; return it; }
+    friend Iterator operator+(difference_type n, Iterator it) { it += n; return it; }
+    friend Iterator operator-(Iterator it, difference_type n) { it -= n; return it; }
+    friend difference_type operator-(const Iterator& a, const Iterator& b) {
+      return static_cast<difference_type>(a.i_) - static_cast<difference_type>(b.i_);
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) { return a.i_ == b.i_; }
+    friend bool operator!=(const Iterator& a, const Iterator& b) { return a.i_ != b.i_; }
+    friend bool operator<(const Iterator& a, const Iterator& b) { return a.i_ < b.i_; }
+    friend bool operator>(const Iterator& a, const Iterator& b) { return a.i_ > b.i_; }
+    friend bool operator<=(const Iterator& a, const Iterator& b) { return a.i_ <= b.i_; }
+    friend bool operator>=(const Iterator& a, const Iterator& b) { return a.i_ >= b.i_; }
+
+   private:
+    const PostingChunks* chunks_ = nullptr;
+    size_t i_ = 0;
+  };
+
+  PostingView() = default;
+  PostingView(const PostingChunks* chunks, size_t count)
+      : chunks_(chunks), count_(count) {}
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  const Posting& operator[](size_t i) const { return chunks_->At(i); }
+  Iterator begin() const { return Iterator(chunks_, 0); }
+  Iterator end() const { return Iterator(chunks_, count_); }
+
+ private:
+  const PostingChunks* chunks_ = nullptr;
+  size_t count_ = 0;
+};
+
+/// \brief Term-at-a-time friendly inverted index (single writer, many
+/// concurrent snapshot readers).
 ///
 /// Documents are appended in id order; postings lists are therefore sorted
 /// by doc id by construction.
 class InvertedIndex {
  public:
+  InvertedIndex() = default;
+
+  /// Setup-time transfer only — not safe concurrently with readers.
+  InvertedIndex(InvertedIndex&& other) noexcept
+      : terms_(std::move(other.terms_)),
+        doc_lengths_(std::move(other.doc_lengths_)),
+        total_length_(other.total_length_.exchange(
+            0, std::memory_order_relaxed)) {}
+  InvertedIndex& operator=(InvertedIndex&& other) noexcept {
+    if (this != &other) {
+      terms_ = std::move(other.terms_);
+      doc_lengths_ = std::move(other.doc_lengths_);
+      total_length_.store(
+          other.total_length_.exchange(0, std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
   /// Add the next document; returns its id (sequential from 0).
+  /// Writer-only: at most one thread may append at a time, but appends may
+  /// run concurrently with snapshot-bounded readers.
   DocId AddDocument(const TermCounts& counts);
 
+  /// Current extents. Live accessors are exact on the writer thread or on
+  /// a quiescent index; concurrent readers should use an IndexSnapshot.
   size_t num_docs() const { return doc_lengths_.size(); }
-  size_t num_terms() const { return postings_.size(); }
+  size_t num_terms() const { return terms_.size(); }
 
-  /// Sum of term frequencies of the document.
-  uint32_t DocLength(DocId doc) const { return doc_lengths_[doc]; }
+  /// Sum of term frequencies of the document (doc must be below a
+  /// published num_docs).
+  uint32_t DocLength(DocId doc) const { return doc_lengths_.At(doc); }
   double avg_doc_length() const;
 
   /// Number of documents containing the term (0 for out-of-range terms).
   uint32_t DocFreq(TermId term) const;
+  uint32_t DocFreq(TermId term, const IndexSnapshot& snapshot) const {
+    return static_cast<uint32_t>(Postings(term, snapshot).size());
+  }
 
-  std::span<const Posting> Postings(TermId term) const;
+  /// Full current extent of a term's postings.
+  PostingView Postings(TermId term) const;
+
+  /// Postings bounded to the snapshot: only docs < snapshot.num_docs.
+  PostingView Postings(TermId term, const IndexSnapshot& snapshot) const;
+
+  /// Capture the current extents (writer-side or quiesced index).
+  IndexSnapshot Capture() const {
+    IndexSnapshot snap;
+    snap.num_docs = doc_lengths_.size();
+    snap.num_terms = terms_.size();
+    snap.total_length = total_length_.load(std::memory_order_acquire);
+    return snap;
+  }
 
  private:
-  std::vector<std::vector<Posting>> postings_;
-  std::vector<uint32_t> doc_lengths_;
-  uint64_t total_length_ = 0;
+  /// One slot per term id; the posting chunks are allocated lazily on the
+  /// term's first posting (sparse id spaces — BON uses KG node ids — would
+  /// otherwise pay the full chunk directory per empty slot).
+  struct TermEntry {
+    std::atomic<PostingChunks*> list{nullptr};
+
+    ~TermEntry() { delete list.load(std::memory_order_relaxed); }
+    TermEntry() = default;
+    TermEntry(const TermEntry&) = delete;
+    TermEntry& operator=(const TermEntry&) = delete;
+  };
+
+  AppendOnlyStore<TermEntry> terms_;
+  AppendOnlyStore<uint32_t> doc_lengths_;
+  std::atomic<uint64_t> total_length_{0};
 };
 
 }  // namespace ir

@@ -9,8 +9,7 @@ namespace newslink {
 namespace ir {
 
 double MaxScoreRetriever::Score(uint32_t qtf, double idf,
-                                const Posting& posting) const {
-  const double avgdl = index_->avg_doc_length();
+                                const Posting& posting, double avgdl) const {
   const double dl = static_cast<double>(index_->DocLength(posting.doc));
   const double norm =
       params_.k1 *
@@ -21,19 +20,21 @@ double MaxScoreRetriever::Score(uint32_t qtf, double idf,
 
 std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
                                                size_t k,
+                                               const IndexSnapshot& snapshot,
                                                size_t* docs_scored) const {
   size_t scored = 0;
+  const double avgdl = snapshot.avg_doc_length();
   struct Term {
-    std::span<const Posting> postings;
+    PostingView postings;
     double idf;
     uint32_t qtf;
     double bound;  // maximum possible contribution of this term
   };
   std::vector<Term> terms;
   for (const auto& [term, qtf] : query) {
-    std::span<const Posting> postings = index_->Postings(term);
+    const PostingView postings = index_->Postings(term, snapshot);
     if (postings.empty()) continue;
-    const double idf = scorer_.Idf(term);
+    const double idf = scorer_.Idf(term, snapshot);
     // tf * (k1+1) / (tf + norm) < (k1 + 1) for norm > 0; == at norm == 0.
     const double bound = qtf * idf * (params_.k1 + 1.0);
     terms.push_back(Term{postings, idf, qtf, bound});
@@ -87,7 +88,7 @@ std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
       if (cursor[t] < terms[t].postings.size() &&
           terms[t].postings[cursor[t]].doc == next) {
         score += Score(terms[t].qtf, terms[t].idf,
-                       terms[t].postings[cursor[t]]);
+                       terms[t].postings[cursor[t]], avgdl);
         ++cursor[t];
       }
     }
@@ -97,12 +98,12 @@ std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
     // the same tie-displacement reason as above.
     for (size_t t = first_essential; t-- > 0;) {
       if (score + prefix[t + 1] < heap.Threshold()) break;
-      const auto& postings = terms[t].postings;
+      const PostingView& postings = terms[t].postings;
       const auto it = std::lower_bound(
           postings.begin(), postings.end(), next,
           [](const Posting& p, DocId doc) { return p.doc < doc; });
       if (it != postings.end() && it->doc == next) {
-        score += Score(terms[t].qtf, terms[t].idf, *it);
+        score += Score(terms[t].qtf, terms[t].idf, *it, avgdl);
       }
     }
 

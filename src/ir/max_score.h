@@ -24,13 +24,22 @@ class MaxScoreRetriever {
                              Bm25Params params = {})
       : index_(index), scorer_(index, params), params_(params) {}
 
-  /// Top-k documents for the query, identical (including tie order) to
-  /// SelectTopK(Bm25Scorer::ScoreAll(query), k). Safe to call from many
-  /// threads concurrently; `docs_scored`, when non-null, receives this
-  /// call's count of fully scored documents (the per-thread-accurate way
-  /// to read the pruning instrumentation).
+  /// Top-k documents for the query within `snapshot`, identical (including
+  /// tie order) to SelectTopK(Bm25Scorer::ScoreAll(query, snapshot), k).
+  /// Safe to call from many threads concurrently, including while a writer
+  /// appends documents: the per-term upper bounds, idf, and avgdl are all
+  /// derived from the snapshot, never from live index statistics, so a
+  /// concurrent append can neither loosen nor tighten this query's bounds.
+  /// `docs_scored`, when non-null, receives this call's count of fully
+  /// scored documents (the per-thread-accurate way to read the pruning
+  /// instrumentation).
   std::vector<ScoredDoc> TopK(const TermCounts& query, size_t k,
+                              const IndexSnapshot& snapshot,
                               size_t* docs_scored = nullptr) const;
+  std::vector<ScoredDoc> TopK(const TermCounts& query, size_t k,
+                              size_t* docs_scored = nullptr) const {
+    return TopK(query, k, index_->Capture(), docs_scored);
+  }
 
   /// Number of documents fully scored by the most recent TopK call on any
   /// thread (single-threaded instrumentation; under concurrency use the
@@ -41,7 +50,8 @@ class MaxScoreRetriever {
 
  private:
   /// BM25 contribution of one posting.
-  double Score(uint32_t qtf, double idf, const Posting& posting) const;
+  double Score(uint32_t qtf, double idf, const Posting& posting,
+               double avgdl) const;
 
   const InvertedIndex* index_;
   Bm25Scorer scorer_;

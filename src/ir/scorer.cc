@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <span>
 #include <unordered_map>
 
 namespace newslink {
@@ -20,18 +19,19 @@ std::vector<ScoredDoc> AccumulatorsToVector(
 
 }  // namespace
 
-double Bm25Scorer::Idf(TermId term) const {
-  const double n = static_cast<double>(index_->num_docs());
-  const double df = static_cast<double>(index_->DocFreq(term));
+double Bm25Scorer::Idf(TermId term, const IndexSnapshot& snapshot) const {
+  const double n = static_cast<double>(snapshot.num_docs);
+  const double df = static_cast<double>(index_->DocFreq(term, snapshot));
   return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
 }
 
-std::vector<ScoredDoc> Bm25Scorer::ScoreAll(const TermCounts& query) const {
+std::vector<ScoredDoc> Bm25Scorer::ScoreAll(
+    const TermCounts& query, const IndexSnapshot& snapshot) const {
   std::unordered_map<DocId, double> acc;
-  const double avgdl = index_->avg_doc_length();
+  const double avgdl = snapshot.avg_doc_length();
   for (const auto& [term, qtf] : query) {
-    const double idf = Idf(term);
-    for (const Posting& p : index_->Postings(term)) {
+    const double idf = Idf(term, snapshot);
+    for (const Posting& p : index_->Postings(term, snapshot)) {
       const double dl = static_cast<double>(index_->DocLength(p.doc));
       const double norm =
           params_.k1 * (1.0 - params_.b +
@@ -43,72 +43,91 @@ std::vector<ScoredDoc> Bm25Scorer::ScoreAll(const TermCounts& query) const {
   return AccumulatorsToVector(acc);
 }
 
-double Bm25Scorer::ScoreDoc(const TermCounts& query, DocId doc) const {
-  const double avgdl = index_->avg_doc_length();
+double Bm25Scorer::ScoreDoc(const TermCounts& query, DocId doc,
+                            const IndexSnapshot& snapshot) const {
+  const double avgdl = snapshot.avg_doc_length();
   const double dl = static_cast<double>(index_->DocLength(doc));
   const double norm =
       params_.k1 *
       (1.0 - params_.b + params_.b * (avgdl > 0 ? dl / avgdl : 0.0));
   double score = 0.0;
   for (const auto& [term, qtf] : query) {
-    const std::span<const Posting> postings = index_->Postings(term);
+    const PostingView postings = index_->Postings(term, snapshot);
     const auto it = std::lower_bound(
         postings.begin(), postings.end(), doc,
         [](const Posting& p, DocId d) { return p.doc < d; });
     if (it == postings.end() || it->doc != doc) continue;
     const double tf = static_cast<double>(it->tf);
-    score += qtf * Idf(term) * tf * (params_.k1 + 1.0) / (tf + norm);
+    score += qtf * Idf(term, snapshot) * tf * (params_.k1 + 1.0) / (tf + norm);
   }
   return score;
 }
 
 TfIdfCosineScorer::TfIdfCosineScorer(const InvertedIndex* index)
     : index_(index) {
-  Norms();  // eager first computation, as before
+  Norms(index_->Capture());  // eager first computation, as before
 }
 
-std::shared_ptr<const std::vector<double>> TfIdfCosineScorer::Norms() const {
-  std::lock_guard<std::mutex> lock(norms_mu_);
-  if (doc_norms_ != nullptr && doc_norms_->size() == index_->num_docs()) {
-    return doc_norms_;
-  }
-  auto norms = std::make_shared<std::vector<double>>(index_->num_docs(), 0.0);
-  for (TermId t = 0; t < index_->num_terms(); ++t) {
-    const double idf = Idf(t);
-    for (const Posting& p : index_->Postings(t)) {
+std::shared_ptr<const std::vector<double>> TfIdfCosineScorer::ComputeNorms(
+    const IndexSnapshot& snapshot) const {
+  auto norms = std::make_shared<std::vector<double>>(snapshot.num_docs, 0.0);
+  for (TermId t = 0; t < snapshot.num_terms; ++t) {
+    const double idf = Idf(t, snapshot);
+    for (const Posting& p : index_->Postings(t, snapshot)) {
       const double w = (1.0 + std::log(static_cast<double>(p.tf))) * idf;
       (*norms)[p.doc] += w * w;
     }
   }
   for (double& n : *norms) n = n > 0 ? std::sqrt(n) : 1.0;
-  doc_norms_ = std::move(norms);
-  return doc_norms_;
+  return norms;
 }
 
-double TfIdfCosineScorer::Idf(TermId term) const {
-  const double n = static_cast<double>(index_->num_docs());
-  const double df = static_cast<double>(index_->DocFreq(term));
+std::shared_ptr<const std::vector<double>> TfIdfCosineScorer::Norms(
+    const IndexSnapshot& snapshot) const {
+  {
+    std::lock_guard<std::mutex> lock(norms_mu_);
+    if (doc_norms_ != nullptr && doc_norms_->size() == snapshot.num_docs) {
+      return doc_norms_;
+    }
+  }
+  // Computed outside the lock: a slow recompute must not serialize queries
+  // that already have a matching cache entry.
+  auto norms = ComputeNorms(snapshot);
+  std::lock_guard<std::mutex> lock(norms_mu_);
+  // Keep the cache monotone: only advance it, so one stale reader cannot
+  // evict the entry every concurrent fresh reader wants.
+  if (doc_norms_ == nullptr || doc_norms_->size() < norms->size()) {
+    doc_norms_ = norms;
+  }
+  return norms;
+}
+
+double TfIdfCosineScorer::Idf(TermId term,
+                              const IndexSnapshot& snapshot) const {
+  const double n = static_cast<double>(snapshot.num_docs);
+  const double df = static_cast<double>(index_->DocFreq(term, snapshot));
   if (df == 0.0) return 0.0;
   return std::log(1.0 + n / df);
 }
 
 std::vector<ScoredDoc> TfIdfCosineScorer::ScoreAll(
-    const TermCounts& query) const {
-  const std::shared_ptr<const std::vector<double>> doc_norms = Norms();
+    const TermCounts& query, const IndexSnapshot& snapshot) const {
+  const std::shared_ptr<const std::vector<double>> doc_norms = Norms(snapshot);
   // Query norm.
   double qnorm = 0.0;
   for (const auto& [term, qtf] : query) {
-    const double w = (1.0 + std::log(static_cast<double>(qtf))) * Idf(term);
+    const double w =
+        (1.0 + std::log(static_cast<double>(qtf))) * Idf(term, snapshot);
     qnorm += w * w;
   }
   qnorm = qnorm > 0 ? std::sqrt(qnorm) : 1.0;
 
   std::unordered_map<DocId, double> acc;
   for (const auto& [term, qtf] : query) {
-    const double idf = Idf(term);
+    const double idf = Idf(term, snapshot);
     if (idf == 0.0) continue;
     const double qw = (1.0 + std::log(static_cast<double>(qtf))) * idf;
-    for (const Posting& p : index_->Postings(term)) {
+    for (const Posting& p : index_->Postings(term, snapshot)) {
       const double dw = (1.0 + std::log(static_cast<double>(p.tf))) * idf;
       acc[p.doc] += qw * dw;
     }

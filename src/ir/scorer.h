@@ -1,6 +1,12 @@
 // Relevance scoring over an InvertedIndex: BM25 (Robertson & Zaragoza 2009,
 // the paper's term weighting, with Lucene 7.x default parameters) and
 // TF-IDF / cosine VSM (Salton et al. 1975).
+//
+// Every scoring method is parameterized by an ir::IndexSnapshot so that all
+// collection statistics (N, df, avgdl, norms) come from one published epoch
+// — a query never mixes statistics from before and after a concurrent
+// append. The snapshot-free overloads capture the current extents on entry
+// and exist for single-phase engines (index once, then query).
 
 #ifndef NEWSLINK_IR_SCORER_H_
 #define NEWSLINK_IR_SCORER_H_
@@ -35,16 +41,25 @@ class Bm25Scorer {
       : index_(index), params_(params) {}
 
   /// Lucene-style BM25 idf: ln(1 + (N - df + 0.5) / (df + 0.5)); always > 0.
-  double Idf(TermId term) const;
+  double Idf(TermId term, const IndexSnapshot& snapshot) const;
+  double Idf(TermId term) const { return Idf(term, index_->Capture()); }
 
-  /// Score every document containing at least one query term.
+  /// Score every snapshot document containing at least one query term.
   /// Query term multiplicity contributes linearly, as in Lucene.
-  std::vector<ScoredDoc> ScoreAll(const TermCounts& query) const;
+  std::vector<ScoredDoc> ScoreAll(const TermCounts& query,
+                                  const IndexSnapshot& snapshot) const;
+  std::vector<ScoredDoc> ScoreAll(const TermCounts& query) const {
+    return ScoreAll(query, index_->Capture());
+  }
 
   /// BM25 score of one document (binary search per postings list): the
   /// random-access path used to complete candidate scores after pruned
   /// retrieval. Equals the doc's ScoreAll entry (0 when no term matches).
-  double ScoreDoc(const TermCounts& query, DocId doc) const;
+  double ScoreDoc(const TermCounts& query, DocId doc,
+                  const IndexSnapshot& snapshot) const;
+  double ScoreDoc(const TermCounts& query, DocId doc) const {
+    return ScoreDoc(query, doc, index_->Capture());
+  }
 
  private:
   const InvertedIndex* index_;
@@ -55,24 +70,37 @@ class Bm25Scorer {
 ///
 /// Document weights use (1 + ln tf) * idf with idf = ln(1 + N / df);
 /// scores are cosine similarities (both vectors length-normalized).
-/// Document norms are recomputed lazily whenever the index has grown since
-/// they were last computed (idf depends on N, so incremental patching would
-/// be wrong); concurrent ScoreAll calls are safe as long as the index is
-/// not growing at the same time.
+/// Document norms are recomputed per snapshot doc count (idf depends on N,
+/// so incremental patching would be wrong) and cached behind a mutex +
+/// shared_ptr, so concurrent ScoreAll calls against different epochs are
+/// each exact.
 class TfIdfCosineScorer {
  public:
   explicit TfIdfCosineScorer(const InvertedIndex* index);
 
-  double Idf(TermId term) const;
-  std::vector<ScoredDoc> ScoreAll(const TermCounts& query) const;
+  double Idf(TermId term, const IndexSnapshot& snapshot) const;
+  double Idf(TermId term) const { return Idf(term, index_->Capture()); }
+
+  std::vector<ScoredDoc> ScoreAll(const TermCounts& query,
+                                  const IndexSnapshot& snapshot) const;
+  std::vector<ScoredDoc> ScoreAll(const TermCounts& query) const {
+    return ScoreAll(query, index_->Capture());
+  }
 
  private:
-  /// Snapshot of per-doc norms, recomputed when index_->num_docs() grew.
-  std::shared_ptr<const std::vector<double>> Norms() const;
+  /// Per-doc norms for exactly `snapshot`. The single-entry cache is keyed
+  /// by the snapshot's doc count (norms are a pure function of it); a query
+  /// holding an older epoch than the cache recomputes without clobbering
+  /// the newer entry.
+  std::shared_ptr<const std::vector<double>> Norms(
+      const IndexSnapshot& snapshot) const;
+
+  std::shared_ptr<const std::vector<double>> ComputeNorms(
+      const IndexSnapshot& snapshot) const;
 
   const InvertedIndex* index_;
   mutable std::mutex norms_mu_;
-  mutable std::shared_ptr<const std::vector<double>> doc_norms_;
+  mutable std::shared_ptr<const std::vector<double>> doc_norms_;  // guarded
 };
 
 }  // namespace ir

@@ -1,9 +1,12 @@
 #include "ir/term_dictionary.h"
 
+#include <mutex>
+
 namespace newslink {
 namespace ir {
 
 TermId TermDictionary::GetOrAdd(std::string_view term) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(std::string(term));
   if (it != ids_.end()) return it->second;
   const TermId id = static_cast<TermId>(terms_.size());
@@ -13,8 +16,19 @@ TermId TermDictionary::GetOrAdd(std::string_view term) {
 }
 
 TermId TermDictionary::Find(std::string_view term) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(std::string(term));
   return it == ids_.end() ? kInvalidTerm : it->second;
+}
+
+std::string TermDictionary::term(TermId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return terms_[id];
+}
+
+size_t TermDictionary::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return terms_.size();
 }
 
 }  // namespace ir

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -20,18 +21,28 @@ using TermId = uint32_t;
 inline constexpr TermId kInvalidTerm = std::numeric_limits<TermId>::max();
 
 /// \brief Bidirectional string <-> TermId mapping.
+///
+/// Interning (GetOrAdd) takes the writer lock; lookups (Find, term, size)
+/// take a shared lock, so any number of query threads may resolve terms
+/// while a single ingestion writer interns new vocabulary. A term interned
+/// after a reader's snapshot was published simply has no postings within
+/// that snapshot, so a "too fresh" id is harmless on the query path.
 class TermDictionary {
  public:
-  /// Intern a term, assigning a fresh id on first sight.
+  /// Intern a term, assigning a fresh id on first sight (writer path).
   TermId GetOrAdd(std::string_view term);
 
   /// Look up without interning; kInvalidTerm when absent.
   TermId Find(std::string_view term) const;
 
-  const std::string& term(TermId id) const { return terms_[id]; }
-  size_t size() const { return terms_.size(); }
+  /// The term string of an id (by value: the backing storage may grow
+  /// concurrently).
+  std::string term(TermId id) const;
+
+  size_t size() const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, TermId> ids_;
   std::vector<std::string> terms_;
 };

@@ -51,7 +51,9 @@ std::vector<Posting> CompressedPostingList::Decode() const {
 CompressedInvertedIndex::CompressedInvertedIndex(const InvertedIndex& index) {
   postings_.reserve(index.num_terms());
   for (TermId t = 0; t < index.num_terms(); ++t) {
-    postings_.emplace_back(index.Postings(t));
+    CompressedPostingList list;
+    for (const Posting& p : index.Postings(t)) list.Append(p);
+    postings_.push_back(std::move(list));
   }
   doc_lengths_.reserve(index.num_docs());
   for (DocId d = 0; d < index.num_docs(); ++d) {

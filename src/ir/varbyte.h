@@ -8,6 +8,7 @@
 #define NEWSLINK_IR_VARBYTE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ir/inverted_index.h"

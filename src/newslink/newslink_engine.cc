@@ -60,7 +60,11 @@ NewsLinkEngine::NewsLinkEngine(const kg::KnowledgeGraph* graph,
       label_index_(label_index),
       config_(config),
       ner_(label_index),
-      explainer_(graph) {
+      explainer_(graph),
+      text_scorer_(&text_index_, config_.bm25),
+      node_scorer_(&node_index_, config_.bon_bm25),
+      text_retriever_(&text_index_, config_.bm25),
+      node_retriever_(&node_index_, config_.bon_bm25) {
   if (config_.embedder == EmbedderKind::kLcag) {
     embedder_ = std::make_unique<embed::LcagSegmentEmbedder>(
         graph_, label_index_, config_.lcag, config_.lcag_cache_capacity,
@@ -69,6 +73,7 @@ NewsLinkEngine::NewsLinkEngine(const kg::KnowledgeGraph* graph,
     embedder_ = std::make_unique<embed::TreeSegmentEmbedder>(
         graph_, label_index_, config_.tree);
   }
+  PublishSnapshot();  // epoch 0: the empty collection is queryable
 }
 
 std::string NewsLinkEngine::name() const {
@@ -85,16 +90,46 @@ text::SegmentedDocument NewsLinkEngine::SegmentText(
 
 embed::DocumentEmbedding NewsLinkEngine::EmbedText(
     const std::string& text) const {
-  return embed::EmbedDocument(*embedder_, EntityGroups(SegmentText(text), config_.use_maximal_reduction));
+  return embed::EmbedDocument(
+      *embedder_,
+      EntityGroups(SegmentText(text), config_.use_maximal_reduction));
+}
+
+std::shared_ptr<const NewsLinkEngine::EngineSnapshot>
+NewsLinkEngine::AcquireSnapshot() const {
+  snapshot_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void NewsLinkEngine::PublishSnapshot() {
+  auto* snap = new EngineSnapshot;
+  snap->epoch = epochs_published_.fetch_add(1, std::memory_order_relaxed);
+  snap->text = text_index_.Capture();
+  snap->node = node_index_.Capture();
+  NL_DCHECK(snap->text.num_docs == snap->node.num_docs)
+      << "both index sides must cover the same documents";
+  snap->num_docs = snap->text.num_docs;
+  // The deleter shares ownership of the reclamation counter (not the
+  // engine) so accounting stays correct even for snapshots outliving it.
+  std::shared_ptr<std::atomic<uint64_t>> reclaimed = snapshots_reclaimed_;
+  std::shared_ptr<const EngineSnapshot> ptr(
+      snap, [reclaimed](const EngineSnapshot* s) {
+        delete s;
+        reclaimed->fetch_add(1, std::memory_order_relaxed);
+      });
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(ptr);
 }
 
 void NewsLinkEngine::Index(const corpus::Corpus& corpus) {
   const size_t n = corpus.size();
-  doc_embeddings_.resize(n);
-  std::vector<ir::TermCounts> text_counts(n);
+  std::vector<embed::DocumentEmbedding> embeddings(n);
   std::vector<TimeBreakdown> worker_times(n);
 
-  // NLP + NE per document, in parallel (documents are independent).
+  // NLP + NE per document, in parallel (documents are independent); the
+  // results land in a local buffer so concurrent queries — which see the
+  // pre-Index epoch until the publish below — never observe the workers.
   ThreadPool pool(config_.num_threads);
   pool.ParallelFor(n, [&](size_t i) {
     TimeBreakdown& times = worker_times[i];
@@ -105,33 +140,25 @@ void NewsLinkEngine::Index(const corpus::Corpus& corpus) {
     }
     {
       ScopedTimer t(&times, "ne");
-      doc_embeddings_[i] =
-          embed::EmbedDocument(*embedder_, EntityGroups(segmented, config_.use_maximal_reduction));
+      embeddings[i] = embed::EmbedDocument(
+          *embedder_, EntityGroups(segmented, config_.use_maximal_reduction));
     }
   });
 
-  // NS: build both inverted indexes (sequential: index ids must align).
+  // NS: build both inverted indexes (sequential: index ids must align),
+  // then publish the whole corpus as one epoch.
+  std::lock_guard<std::mutex> writer(writer_mu_);
   for (size_t i = 0; i < n; ++i) {
     ScopedTimer t(&worker_times[i], "ns");
-    text_counts[i] =
-        ir::TextVectorizer::CountsForIndexing(corpus.doc(i).text, &text_dict_);
-    text_index_.AddDocument(text_counts[i]);
+    text_index_.AddDocument(
+        ir::TextVectorizer::CountsForIndexing(corpus.doc(i).text, &text_dict_));
     node_index_.AddDocument(
-        BonCounts(doc_embeddings_[i], config_.bon_doc_tf_cap));
+        BonCounts(embeddings[i], config_.bon_doc_tf_cap));
+    doc_embeddings_.Append(std::move(embeddings[i]));
   }
+  PublishSnapshot();
 
   for (const TimeBreakdown& t : worker_times) index_times_.Merge(t);
-  RebuildScorers();
-}
-
-void NewsLinkEngine::RebuildScorers() {
-  text_scorer_ = std::make_unique<ir::Bm25Scorer>(&text_index_, config_.bm25);
-  node_scorer_ =
-      std::make_unique<ir::Bm25Scorer>(&node_index_, config_.bon_bm25);
-  text_retriever_ =
-      std::make_unique<ir::MaxScoreRetriever>(&text_index_, config_.bm25);
-  node_retriever_ =
-      std::make_unique<ir::MaxScoreRetriever>(&node_index_, config_.bon_bm25);
 }
 
 Status NewsLinkEngine::IndexWithEmbeddings(
@@ -142,30 +169,45 @@ Status NewsLinkEngine::IndexWithEmbeddings(
         StrCat("embedding store has ", embeddings.size(),
                " entries for a corpus of ", corpus.size()));
   }
-  doc_embeddings_ = std::move(embeddings);
+  std::lock_guard<std::mutex> writer(writer_mu_);
   for (size_t i = 0; i < corpus.size(); ++i) {
     text_index_.AddDocument(
         ir::TextVectorizer::CountsForIndexing(corpus.doc(i).text, &text_dict_));
     node_index_.AddDocument(
-        BonCounts(doc_embeddings_[i], config_.bon_doc_tf_cap));
+        BonCounts(embeddings[i], config_.bon_doc_tf_cap));
+    doc_embeddings_.Append(std::move(embeddings[i]));
   }
-  RebuildScorers();
+  PublishSnapshot();
   return Status::OK();
 }
 
 size_t NewsLinkEngine::AddDocument(const corpus::Document& doc) {
-  const size_t index = doc_embeddings_.size();
+  // NLP + NE are the expensive stages; run them before taking the writer
+  // lock so concurrent AddDocument callers only serialize on the (cheap)
+  // index appends.
   text::SegmentedDocument segmented = SegmentText(doc.text);
-  doc_embeddings_.push_back(embed::EmbedDocument(
-      *embedder_, EntityGroups(segmented, config_.use_maximal_reduction)));
+  embed::DocumentEmbedding embedding = embed::EmbedDocument(
+      *embedder_, EntityGroups(segmented, config_.use_maximal_reduction));
+
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  const size_t index = doc_embeddings_.size();
   text_index_.AddDocument(
       ir::TextVectorizer::CountsForIndexing(doc.text, &text_dict_));
-  node_index_.AddDocument(
-      BonCounts(doc_embeddings_.back(), config_.bon_doc_tf_cap));
-  // Scorers read index statistics live; (re)create them so a first call to
-  // AddDocument on an empty engine also works.
-  RebuildScorers();
+  node_index_.AddDocument(BonCounts(embedding, config_.bon_doc_tf_cap));
+  doc_embeddings_.Append(std::move(embedding));
+  PublishSnapshot();
   return index;
+}
+
+std::vector<embed::DocumentEmbedding> NewsLinkEngine::SnapshotEmbeddings()
+    const {
+  const std::shared_ptr<const EngineSnapshot> snap = AcquireSnapshot();
+  std::vector<embed::DocumentEmbedding> out;
+  out.reserve(snap->num_docs);
+  for (size_t i = 0; i < snap->num_docs; ++i) {
+    out.push_back(doc_embeddings_.At(i));
+  }
+  return out;
 }
 
 EngineStats NewsLinkEngine::stats() const {
@@ -173,24 +215,46 @@ EngineStats NewsLinkEngine::stats() const {
   out.queries = queries_.load(std::memory_order_relaxed);
   out.bow_docs_scored = bow_docs_scored_.load(std::memory_order_relaxed);
   out.bon_docs_scored = bon_docs_scored_.load(std::memory_order_relaxed);
+  out.epochs_published = epochs_published_.load(std::memory_order_relaxed);
+  out.snapshots_reclaimed =
+      snapshots_reclaimed_->load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    out.current_epoch = snapshot_->epoch;
+  }
+  // Read after current_epoch so acquisitions >= what queries saw.
+  out.snapshot_acquisitions =
+      snapshot_acquisitions_.load(std::memory_order_relaxed);
   out.embedder = embedder_->stats();
   return out;
 }
 
 double NewsLinkEngine::EmbeddedDocumentFraction() const {
-  if (doc_embeddings_.empty()) return 0.0;
+  const std::shared_ptr<const EngineSnapshot> snap = AcquireSnapshot();
+  if (snap->num_docs == 0) return 0.0;
   size_t embedded = 0;
-  for (const embed::DocumentEmbedding& e : doc_embeddings_) {
-    if (!e.empty()) ++embedded;
+  for (size_t i = 0; i < snap->num_docs; ++i) {
+    if (!doc_embeddings_.At(i).empty()) ++embedded;
   }
-  return static_cast<double>(embedded) /
-         static_cast<double>(doc_embeddings_.size());
+  return static_cast<double>(embedded) / static_cast<double>(snap->num_docs);
 }
 
-std::vector<baselines::SearchResult> NewsLinkEngine::FusedSearch(
-    const std::string& query, size_t k,
-    embed::DocumentEmbedding* query_embedding_out) const {
-  NL_CHECK(text_scorer_ != nullptr) << "Index() must be called before Search";
+baselines::SearchResponse NewsLinkEngine::Search(
+    const baselines::SearchRequest& request) const {
+  // Resolve per-request knobs against the engine defaults.
+  const double beta = request.beta.value_or(config_.beta);
+  const size_t rerank_depth = request.rerank_depth.value_or(config_.rerank_depth);
+  const bool exhaustive =
+      request.exhaustive_fusion.value_or(config_.exhaustive_fusion);
+  const size_t k = request.k;
+
+  // One epoch for the whole query: every statistic, posting, and embedding
+  // read below comes from this snapshot.
+  const std::shared_ptr<const EngineSnapshot> snap = AcquireSnapshot();
+
+  baselines::SearchResponse response;
+  response.epoch = snap->epoch;
+  response.snapshot_docs = snap->num_docs;
 
   // Per-call breakdown on the stack: Search must be callable from many
   // threads, so the shared accumulator is only touched under its mutex at
@@ -202,29 +266,29 @@ std::vector<baselines::SearchResult> NewsLinkEngine::FusedSearch(
   text::SegmentedDocument segmented;
   {
     ScopedTimer t(&times, "nlp");
-    segmented = SegmentText(query);
+    segmented = SegmentText(request.query);
   }
   {
     ScopedTimer t(&times, "ne");
-    if (config_.beta > 0.0) {
-      query_embedding =
-          embed::EmbedDocument(*embedder_, EntityGroups(segmented, config_.use_maximal_reduction));
+    // Explanations need a query embedding even at beta == 0.
+    if (beta > 0.0 || request.explain) {
+      query_embedding = embed::EmbedDocument(
+          *embedder_, EntityGroups(segmented, config_.use_maximal_reduction));
     }
   }
 
   // --- NS: score both sides and fuse (Eq. 3) ----------------------------
-  std::vector<baselines::SearchResult> out;
   {
     ScopedTimer t(&times, "ns");
-    const bool use_bow = config_.beta < 1.0;
-    const bool use_bon = config_.beta > 0.0;
+    const bool use_bow = beta < 1.0;
+    const bool use_bon = beta > 0.0;
     // k' of the pruned path: enough slack that the true fused top-k is in
     // the union of the per-side candidate sets.
-    const size_t kprime = std::max(k, config_.rerank_depth);
+    const size_t kprime = std::max(k, rerank_depth);
 
     ir::TermCounts bow_query;
     if (use_bow) {
-      bow_query = ir::TextVectorizer::CountsForQuery(query, text_dict_);
+      bow_query = ir::TextVectorizer::CountsForQuery(request.query, text_dict_);
     }
     ir::TermCounts bon_query;
     if (use_bon) {
@@ -244,18 +308,22 @@ std::vector<baselines::SearchResult> NewsLinkEngine::FusedSearch(
     std::vector<ir::ScoredDoc> bon;
     size_t bow_scored = 0;
     size_t bon_scored = 0;
-    if (config_.exhaustive_fusion) {
+    if (exhaustive) {
       if (use_bow) {
-        bow = text_scorer_->ScoreAll(bow_query);
+        bow = text_scorer_.ScoreAll(bow_query, snap->text);
         bow_scored = bow.size();
       }
       if (use_bon) {
-        bon = node_scorer_->ScoreAll(bon_query);
+        bon = node_scorer_.ScoreAll(bon_query, snap->node);
         bon_scored = bon.size();
       }
     } else {
-      if (use_bow) bow = text_retriever_->TopK(bow_query, kprime, &bow_scored);
-      if (use_bon) bon = node_retriever_->TopK(bon_query, kprime, &bon_scored);
+      if (use_bow) {
+        bow = text_retriever_.TopK(bow_query, kprime, snap->text, &bow_scored);
+      }
+      if (use_bon) {
+        bon = node_retriever_.TopK(bon_query, kprime, snap->node, &bon_scored);
+      }
     }
 
     // Max-normalize each side so β mixes scale-free scores. The pruned
@@ -271,13 +339,13 @@ std::vector<baselines::SearchResult> NewsLinkEngine::FusedSearch(
 
     std::unordered_map<ir::DocId, double> fused;
     for (const ir::ScoredDoc& s : bow) {
-      fused[s.doc] += (1.0 - config_.beta) * (s.score / bow_max);
+      fused[s.doc] += (1.0 - beta) * (s.score / bow_max);
     }
     for (const ir::ScoredDoc& s : bon) {
-      fused[s.doc] += config_.beta * (s.score / bon_max);
+      fused[s.doc] += beta * (s.score / bon_max);
     }
 
-    if (!config_.exhaustive_fusion && use_bow && use_bon) {
+    if (!exhaustive && use_bow && use_bon) {
       // Candidates retrieved on one side only: fill in their other-side
       // score by random access so every union member carries its exact
       // fused score (identical to the exhaustive oracle's).
@@ -289,12 +357,11 @@ std::vector<baselines::SearchResult> NewsLinkEngine::FusedSearch(
       for (const ir::ScoredDoc& s : bon) in_bon.insert(s.doc);
       for (auto& [doc, score] : fused) {
         if (!in_bow.contains(doc)) {
-          score +=
-              (1.0 - config_.beta) * text_scorer_->ScoreDoc(bow_query, doc) /
-              bow_max;
+          score += (1.0 - beta) *
+                   text_scorer_.ScoreDoc(bow_query, doc, snap->text) / bow_max;
           ++bow_scored;
         } else if (!in_bon.contains(doc)) {
-          score += config_.beta * node_scorer_->ScoreDoc(bon_query, doc) /
+          score += beta * node_scorer_.ScoreDoc(bon_query, doc, snap->node) /
                    bon_max;
           ++bon_scored;
         }
@@ -308,8 +375,23 @@ std::vector<baselines::SearchResult> NewsLinkEngine::FusedSearch(
     for (const auto& [doc, score] : fused) {
       heap.Push(ir::ScoredDoc{doc, score});
     }
+    response.hits.reserve(std::min(k, fused.size()));
     for (const ir::ScoredDoc& s : heap.Take()) {
-      out.push_back(baselines::SearchResult{s.doc, s.score});
+      baselines::SearchHit hit;
+      hit.doc_index = s.doc;
+      hit.score = s.score;
+      response.hits.push_back(std::move(hit));
+    }
+  }
+
+  if (request.explain) {
+    // Hits come from this snapshot, so every doc_index is below
+    // snap->num_docs and its embedding is fully published.
+    ScopedTimer t(&times, "explain");
+    for (baselines::SearchHit& hit : response.hits) {
+      hit.paths =
+          explainer_.Explain(query_embedding, doc_embeddings_.At(hit.doc_index),
+                             request.max_paths_per_result);
     }
   }
 
@@ -318,39 +400,33 @@ std::vector<baselines::SearchResult> NewsLinkEngine::FusedSearch(
     std::lock_guard<std::mutex> lock(query_times_mu_);
     query_times_.Merge(times);
   }
-
-  if (query_embedding_out != nullptr) {
-    *query_embedding_out = std::move(query_embedding);
-  }
-  return out;
+  response.timings = std::move(times);
+  return response;
 }
 
 std::vector<baselines::SearchResult> NewsLinkEngine::Search(
     const std::string& query, size_t k) const {
-  return FusedSearch(query, k, nullptr);
+  baselines::SearchRequest request;
+  request.query = query;
+  request.k = k;
+  const baselines::SearchResponse response = Search(request);
+  std::vector<baselines::SearchResult> out;
+  out.reserve(response.hits.size());
+  for (const baselines::SearchHit& hit : response.hits) {
+    out.push_back(baselines::SearchResult{hit.doc_index, hit.score});
+  }
+  return out;
 }
 
 std::vector<ExplainedResult> NewsLinkEngine::SearchExplained(
     const std::string& query, size_t k, size_t max_paths) const {
-  embed::DocumentEmbedding query_embedding;
-  std::vector<baselines::SearchResult> hits =
-      FusedSearch(query, k, &query_embedding);
-  // An explanation needs a query embedding even at beta == 0.
-  if (query_embedding.empty() && config_.beta == 0.0) {
-    query_embedding = EmbedText(query);
-  }
-
-  std::vector<ExplainedResult> out;
-  out.reserve(hits.size());
-  for (const baselines::SearchResult& hit : hits) {
-    ExplainedResult er;
-    er.doc_index = hit.doc_index;
-    er.score = hit.score;
-    er.paths = explainer_.Explain(query_embedding,
-                                  doc_embeddings_[hit.doc_index], max_paths);
-    out.push_back(std::move(er));
-  }
-  return out;
+  baselines::SearchRequest request;
+  request.query = query;
+  request.k = k;
+  request.explain = true;
+  request.max_paths_per_result = max_paths;
+  baselines::SearchResponse response = Search(request);
+  return std::move(response.hits);
 }
 
 }  // namespace newslink

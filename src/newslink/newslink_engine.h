@@ -4,6 +4,16 @@
 // NS component's dual inverted indexes (BOW over text, BON over embedding
 // nodes). Query processing fuses both scores with Equation 3 and can attach
 // relationship-path explanations (Tables II/VI).
+//
+// Concurrency model (epoch-based snapshot isolation, DESIGN.md Sec. 7):
+// queries and ingestion run concurrently. A writer (Index /
+// IndexWithEmbeddings / AddDocument) appends under `writer_mu_` and then
+// publishes a new immutable EngineSnapshot — index extents, collection
+// statistics, and the epoch number — with a single pointer swap. Every
+// query acquires the current snapshot at entry and evaluates entirely
+// against it: it can never observe a half-appended document or mix
+// statistics from two epochs. Old snapshots are reclaimed when their last
+// reader releases them.
 
 #ifndef NEWSLINK_NEWSLINK_NEWSLINK_ENGINE_H_
 #define NEWSLINK_NEWSLINK_NEWSLINK_ENGINE_H_
@@ -19,6 +29,7 @@
 #include "common/timer.h"
 #include "embed/document_embedding.h"
 #include "embed/path_explainer.h"
+#include "ir/append_only.h"
 #include "ir/inverted_index.h"
 #include "ir/max_score.h"
 #include "ir/scorer.h"
@@ -38,6 +49,8 @@ enum class EmbedderKind {
 
 struct NewsLinkConfig {
   /// β of Equation 3: 0 = pure text (reduces to Lucene), 1 = pure BON.
+  /// This is the *default* for queries that do not carry their own β —
+  /// per-query values travel in baselines::SearchRequest::beta.
   double beta = 0.2;
   EmbedderKind embedder = EmbedderKind::kLcag;
   embed::LcagOptions lcag;
@@ -63,13 +76,14 @@ struct NewsLinkConfig {
   /// Ablation knob: false embeds EVERY news segment instead of only the
   /// maximal entity co-occurrence set of Definition 1.
   bool use_maximal_reduction = true;
-  /// Per-side candidate depth k' of the pruned NS path: each index side
-  /// retrieves max(k, rerank_depth) candidates with MaxScore before fusion.
-  /// Larger values close the (tiny) gap to the exhaustive oracle at the
-  /// cost of scoring more documents.
+  /// Default per-side candidate depth k' of the pruned NS path: each index
+  /// side retrieves max(k, rerank_depth) candidates with MaxScore before
+  /// fusion (overridable per request). Larger values close the (tiny) gap
+  /// to the exhaustive oracle at the cost of scoring more documents.
   size_t rerank_depth = 64;
-  /// Exactness oracle: score every posting on both sides (the original
-  /// behaviour) instead of MaxScore top-k' retrieval + union rescoring.
+  /// Exactness oracle default: score every posting on both sides instead
+  /// of MaxScore top-k' retrieval + union rescoring (overridable per
+  /// request).
   bool exhaustive_fusion = false;
   /// Entry capacity of the LCAG result cache shared by the index-time
   /// workers and the query path (0 disables caching).
@@ -87,17 +101,20 @@ struct EngineStats {
   /// smaller number on the same workload.
   uint64_t bow_docs_scored = 0;
   uint64_t bon_docs_scored = 0;
+  /// Snapshot lifecycle: epochs published by writers (the empty epoch 0
+  /// counts), snapshots handed to queries, snapshots whose last reader has
+  /// released them, and the epoch currently installed.
+  uint64_t epochs_published = 0;
+  uint64_t snapshot_acquisitions = 0;
+  uint64_t snapshots_reclaimed = 0;
+  uint64_t current_epoch = 0;
   /// NE-component counters: LCAG cache hits/misses/evictions plus timeout
   /// and expansion-budget truncations (both index- and query-time).
   embed::EmbedderStats embedder;
 };
 
 /// \brief A search hit with optional relationship-path explanations.
-struct ExplainedResult {
-  size_t doc_index = 0;
-  double score = 0.0;
-  std::vector<embed::RelationshipPath> paths;
-};
+using ExplainedResult = baselines::SearchHit;
 
 /// \brief The NewsLink search engine.
 class NewsLinkEngine : public baselines::SearchEngine {
@@ -109,18 +126,11 @@ class NewsLinkEngine : public baselines::SearchEngine {
 
   std::string name() const override;
 
-  /// β only affects query-time fusion (Eq. 3), never the indexes — so one
-  /// indexed engine can serve a whole β sweep (paper Table VII).
-  void set_beta(double beta) { config_.beta = beta; }
+  /// Default fusion weight (Eq. 3) for requests that do not set their own.
   double beta() const { return config_.beta; }
 
-  /// Query-path knobs (like set_beta: affect fusion only, never the
-  /// indexes). Not safe to flip while Search calls are in flight.
-  void set_exhaustive_fusion(bool v) { config_.exhaustive_fusion = v; }
-  void set_rerank_depth(size_t d) { config_.rerank_depth = d; }
-
-  /// Build embeddings and indexes for the corpus. Embedding is
-  /// parallelized across documents (paper Sec. VII-G).
+  /// Build embeddings and indexes for the corpus, then publish one epoch.
+  /// Embedding is parallelized across documents (paper Sec. VII-G).
   void Index(const corpus::Corpus& corpus) override;
 
   /// Index with precomputed embeddings (one per document, as produced by
@@ -128,24 +138,31 @@ class NewsLinkEngine : public baselines::SearchEngine {
   Status IndexWithEmbeddings(const corpus::Corpus& corpus,
                              std::vector<embed::DocumentEmbedding> embeddings);
 
-  /// Append one document to a live index (incremental ingestion). The new
-  /// document is searchable immediately; returns its document index.
+  /// Append one document to a live index (incremental ingestion) and
+  /// publish a new epoch. Safe to call while queries run: in-flight
+  /// queries keep their acquired epoch; later queries see the new
+  /// document. Concurrent AddDocument callers serialize on the writer
+  /// lock (NLP + NE run outside it). Returns the new document's index.
   size_t AddDocument(const corpus::Document& doc);
 
-  /// All document embeddings, aligned with corpus order (for persistence
-  /// via embed::SaveEmbeddings).
-  const std::vector<embed::DocumentEmbedding>& embeddings() const {
-    return doc_embeddings_;
-  }
+  /// Copy of the embeddings visible in the current epoch, aligned with
+  /// corpus order (for persistence via embed::SaveEmbeddings). A copy —
+  /// not a reference — so the caller's view stays stable while ingestion
+  /// continues.
+  std::vector<embed::DocumentEmbedding> SnapshotEmbeddings() const;
 
-  /// Thread-safe: any number of threads may call Search / SearchExplained
-  /// concurrently on a fully indexed engine. Indexing and AddDocument are
-  /// NOT safe to run concurrently with queries (see DESIGN.md Sec. 7).
+  /// Request-scoped search: THE query entry point. Acquires the current
+  /// epoch, resolves unset request fields from the engine config, scores
+  /// both index sides against that one snapshot, fuses (Eq. 3), and —
+  /// when request.explain is set — attaches relationship paths. Any
+  /// number of threads may call this concurrently with each other and
+  /// with AddDocument.
+  baselines::SearchResponse Search(
+      const baselines::SearchRequest& request) const override;
+
+  /// Legacy adapters, rerouted through Search(SearchRequest).
   std::vector<baselines::SearchResult> Search(const std::string& query,
                                               size_t k) const override;
-
-  /// Search with relationship-path explanations extracted from the overlap
-  /// of the query and result embeddings.
   std::vector<ExplainedResult> SearchExplained(const std::string& query,
                                                size_t k,
                                                size_t max_paths = 5) const;
@@ -156,21 +173,27 @@ class NewsLinkEngine : public baselines::SearchEngine {
   /// NLP output for a standalone text.
   text::SegmentedDocument SegmentText(const std::string& text) const;
 
+  /// Embedding of an indexed document. The reference is stable for the
+  /// engine's lifetime (append-only storage never relocates elements);
+  /// only call with i < num_indexed_docs() — or, under concurrent
+  /// ingestion, i < a SearchResponse's snapshot_docs.
   const embed::DocumentEmbedding& doc_embedding(size_t i) const {
-    return doc_embeddings_[i];
+    return doc_embeddings_.At(i);
   }
   size_t num_indexed_docs() const { return doc_embeddings_.size(); }
 
   /// Fraction of indexed documents with a non-empty embedding (the paper
-  /// reports 96.3% / 91.2% corpus coverage).
+  /// reports 96.3% / 91.2% corpus coverage). Evaluated over the current
+  /// epoch.
   double EmbeddedDocumentFraction() const;
 
   /// Cumulative per-component times. Indexing fills `index_times()` with
   /// buckets "nlp"/"ne"/"ns" per document; every Search() adds the same
   /// buckets per query to `query_times()` (Fig. 7 and Table VIII). Each
-  /// query collects its breakdown on the stack and merges it into the
-  /// engine accumulator under a mutex, so concurrent searches are safe;
-  /// query_times() therefore returns a snapshot by value.
+  /// query collects its breakdown on the stack (also returned in its
+  /// SearchResponse) and merges it into the engine accumulator under a
+  /// mutex, so concurrent searches are safe; query_times() therefore
+  /// returns a snapshot by value.
   const TimeBreakdown& index_times() const { return index_times_; }
   TimeBreakdown query_times() const {
     std::lock_guard<std::mutex> lock(query_times_mu_);
@@ -181,25 +204,26 @@ class NewsLinkEngine : public baselines::SearchEngine {
     query_times_ = TimeBreakdown();
   }
 
-  /// Cumulative retrieval / NE counters (thread-safe snapshot).
+  /// Cumulative retrieval / NE / snapshot counters (thread-safe snapshot).
   EngineStats stats() const;
 
  private:
-  struct ScoredFusion {
-    std::vector<baselines::SearchResult> results;
+  /// One published epoch: immutable extents + statistics of both indexes.
+  /// Everything a query reads about the collection comes from here.
+  struct EngineSnapshot {
+    uint64_t epoch = 0;
+    ir::IndexSnapshot text;
+    ir::IndexSnapshot node;
+    size_t num_docs = 0;  // == text.num_docs == node.num_docs
   };
 
-  /// Eq. 3 over the candidate union of both indexes; scores from each side
-  /// are max-normalized per query before mixing so β is scale-free. By
-  /// default each side contributes only its MaxScore top-k' candidates and
-  /// the union is completed by random-access rescoring; the exhaustive
-  /// oracle (config.exhaustive_fusion) scores every posting instead.
-  std::vector<baselines::SearchResult> FusedSearch(
-      const std::string& query, size_t k,
-      embed::DocumentEmbedding* query_embedding_out) const;
+  /// Current epoch for a query; the shared_ptr keeps it alive until the
+  /// last reader releases it.
+  std::shared_ptr<const EngineSnapshot> AcquireSnapshot() const;
 
-  /// (Re)build the BM25 scorers + MaxScore retrievers over both indexes.
-  void RebuildScorers();
+  /// Capture both indexes and install a new epoch (caller holds
+  /// writer_mu_, or is the constructor).
+  void PublishSnapshot();
 
   const kg::KnowledgeGraph* graph_;
   const kg::LabelIndex* label_index_;
@@ -209,15 +233,30 @@ class NewsLinkEngine : public baselines::SearchEngine {
   std::unique_ptr<embed::SegmentEmbedder> embedder_;
   embed::PathExplainer explainer_;
 
-  // NS component state.
+  // NS component state. The indexes are append-only and support bounded
+  // (snapshot-scoped) reads; scorers and retrievers are stateless over
+  // them and constructed exactly once.
   ir::TermDictionary text_dict_;
   ir::InvertedIndex text_index_;
   ir::InvertedIndex node_index_;  // BON: term ids are KG node ids
-  std::unique_ptr<ir::Bm25Scorer> text_scorer_;
-  std::unique_ptr<ir::Bm25Scorer> node_scorer_;
-  std::unique_ptr<ir::MaxScoreRetriever> text_retriever_;
-  std::unique_ptr<ir::MaxScoreRetriever> node_retriever_;
-  std::vector<embed::DocumentEmbedding> doc_embeddings_;
+  ir::Bm25Scorer text_scorer_;
+  ir::Bm25Scorer node_scorer_;
+  ir::MaxScoreRetriever text_retriever_;
+  ir::MaxScoreRetriever node_retriever_;
+  ir::AppendOnlyStore<embed::DocumentEmbedding> doc_embeddings_;
+
+  // Writer side: serializes ingestion; queries never take this lock.
+  std::mutex writer_mu_;
+
+  // Published-snapshot slot. A mutex-guarded shared_ptr swap (not
+  // std::atomic<shared_ptr>) keeps the fast path simple and portable; the
+  // critical section is two refcount operations.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const EngineSnapshot> snapshot_;  // guarded by snapshot_mu_
+  std::shared_ptr<std::atomic<uint64_t>> snapshots_reclaimed_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
+  std::atomic<uint64_t> epochs_published_{0};
+  mutable std::atomic<uint64_t> snapshot_acquisitions_{0};
 
   TimeBreakdown index_times_;
   mutable std::mutex query_times_mu_;

@@ -1,7 +1,8 @@
-// Concurrency tests for the query path: many threads hammering Search on a
-// fully indexed engine must produce exactly the single-threaded results and
-// exactly-counted timing buckets (the seed version raced on query_times_),
-// and the pruned MaxScore fusion must agree with the exhaustive oracle.
+// Concurrency tests for the query path: many threads hammering Search must
+// produce exactly the single-threaded results and exactly-counted timing
+// buckets, the pruned MaxScore fusion must agree with the exhaustive oracle
+// on every published epoch, and queries racing AddDocument must only ever
+// observe complete epoch snapshots (no torn reads, no partial documents).
 // Run under -fsanitize=thread in CI (see .github/workflows/ci.yml).
 
 #include <atomic>
@@ -123,18 +124,157 @@ TEST_F(ConcurrentSearchTest, PrunedFusionMatchesExhaustiveOracle) {
   engine.Index(corpus_.corpus);
 
   for (double beta : {0.0, 0.2, 0.5, 1.0}) {
-    engine.set_beta(beta);
     for (size_t d = 0; d < 10; ++d) {
-      const std::string q = FirstSentenceOf(d);
-      engine.set_exhaustive_fusion(false);
-      const auto pruned = engine.Search(q, 5);
-      engine.set_exhaustive_fusion(true);
-      const auto exact = engine.Search(q, 5);
+      baselines::SearchRequest request;
+      request.query = FirstSentenceOf(d);
+      request.k = 5;
+      request.beta = beta;
+      request.exhaustive_fusion = false;
+      const auto pruned = engine.Search(request).hits;
+      request.exhaustive_fusion = true;
+      const auto exact = engine.Search(request).hits;
       ASSERT_EQ(pruned.size(), exact.size()) << "beta=" << beta;
       for (size_t i = 0; i < pruned.size(); ++i) {
         EXPECT_EQ(pruned[i].doc_index, exact[i].doc_index)
             << "beta=" << beta << " query " << d << " rank " << i;
         EXPECT_NEAR(pruned[i].score, exact[i].score, 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(ConcurrentSearchTest, RequestDefaultsMatchLegacySearch) {
+  NewsLinkEngine engine = MakeEngine(0.5);
+  engine.Index(corpus_.corpus);
+
+  for (size_t d = 0; d < 8; ++d) {
+    const std::string q = FirstSentenceOf(d);
+    const auto legacy = engine.Search(q, 7);
+
+    baselines::SearchRequest request;
+    request.query = q;
+    request.k = 7;  // every optional knob unset: inherits the config
+    const baselines::SearchResponse response = engine.Search(request);
+
+    ASSERT_EQ(legacy.size(), response.hits.size()) << "query " << d;
+    for (size_t i = 0; i < legacy.size(); ++i) {
+      EXPECT_EQ(legacy[i].doc_index, response.hits[i].doc_index);
+      EXPECT_EQ(legacy[i].score, response.hits[i].score);
+    }
+    EXPECT_EQ(response.snapshot_docs, corpus_.corpus.size());
+    EXPECT_GT(response.timings.Count("ns"), 0);
+  }
+}
+
+TEST_F(ConcurrentSearchTest, WriterVsReadersSeeOnlyCompleteEpochs) {
+  // The tentpole TSan scenario: one writer ingesting documents while
+  // reader threads query. Every response must be internally consistent —
+  // all hits below its snapshot_docs, snapshot at least the pre-ingest
+  // corpus, epochs non-decreasing per thread.
+  NewsLinkEngine engine = MakeEngine(0.2);
+  engine.Index(corpus_.corpus);
+  const size_t base_docs = corpus_.corpus.size();
+
+  corpus::SyntheticNewsConfig fresh_config = corpus::CnnLikeConfig();
+  fresh_config.num_stories = 8;
+  fresh_config.seed = 4242;
+  const corpus::SyntheticCorpus fresh =
+      corpus::SyntheticNewsGenerator(&kg_, fresh_config).Generate();
+
+  std::atomic<int> violations{0};
+  std::atomic<bool> done{false};
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t last_epoch = 0;
+      size_t last_docs = 0;
+      int round = 0;
+      // Keep querying until the writer finishes (and at least once).
+      do {
+        baselines::SearchRequest request;
+        request.query = FirstSentenceOf((t + round++) % 8);
+        request.k = 10;
+        const baselines::SearchResponse r = engine.Search(request);
+        if (r.snapshot_docs < base_docs) violations.fetch_add(1);
+        if (r.epoch < last_epoch || r.snapshot_docs < last_docs) {
+          violations.fetch_add(1);
+        }
+        for (const baselines::SearchHit& hit : r.hits) {
+          if (hit.doc_index >= r.snapshot_docs) violations.fetch_add(1);
+        }
+        last_epoch = r.epoch;
+        last_docs = r.snapshot_docs;
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+
+  size_t added = 0;
+  for (size_t d = 0; d < fresh.corpus.size(); ++d) {
+    const size_t index = engine.AddDocument(fresh.corpus.doc(d));
+    EXPECT_EQ(index, base_docs + added);
+    ++added;
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_EQ(violations.load(), 0)
+      << "readers must never observe a half-published epoch";
+  EXPECT_EQ(engine.num_indexed_docs(), base_docs + added);
+
+  const EngineStats stats = engine.stats();
+  // Epoch 0 (empty) + Index + one per AddDocument.
+  EXPECT_EQ(stats.epochs_published, 2 + added);
+  EXPECT_EQ(stats.current_epoch, 1 + added);
+  EXPECT_GT(stats.snapshot_acquisitions, 0u);
+  // Every superseded epoch has been reclaimed (no readers left).
+  EXPECT_EQ(stats.snapshots_reclaimed, stats.epochs_published - 1);
+
+  // The appended documents are searchable at the final epoch.
+  baselines::SearchRequest request;
+  const std::string& text = fresh.corpus.doc(0).text;
+  request.query = text.substr(0, text.find('.') + 1);
+  request.k = 5;
+  const baselines::SearchResponse final_response = engine.Search(request);
+  EXPECT_EQ(final_response.snapshot_docs, base_docs + added);
+}
+
+TEST_F(ConcurrentSearchTest, PrunedMatchesExhaustiveOnEveryPublishedEpoch) {
+  // Snapshot-keyed bounds property: after every single published epoch —
+  // including mid-ingestion ones — pruned fusion must still equal the
+  // exhaustive oracle evaluated at that same epoch.
+  NewsLinkEngine engine = MakeEngine(0.2);
+
+  corpus::SyntheticNewsConfig config = corpus::CnnLikeConfig();
+  config.num_stories = 6;
+  config.seed = 1234;
+  const corpus::SyntheticCorpus stream =
+      corpus::SyntheticNewsGenerator(&kg_, config).Generate();
+
+  engine.Index(corpus_.corpus);
+  size_t expected_docs = corpus_.corpus.size();
+  for (size_t d = 0; d < stream.corpus.size(); ++d) {
+    engine.AddDocument(stream.corpus.doc(d));
+    ++expected_docs;
+    for (double beta : {0.2, 0.7}) {
+      baselines::SearchRequest request;
+      request.query = FirstSentenceOf(d % 8);
+      request.k = 5;
+      request.beta = beta;
+      request.exhaustive_fusion = false;
+      const baselines::SearchResponse pruned = engine.Search(request);
+      request.exhaustive_fusion = true;
+      const baselines::SearchResponse exact = engine.Search(request);
+
+      EXPECT_EQ(pruned.snapshot_docs, expected_docs);
+      EXPECT_EQ(exact.snapshot_docs, expected_docs);
+      ASSERT_EQ(pruned.hits.size(), exact.hits.size())
+          << "epoch with " << expected_docs << " docs, beta=" << beta;
+      for (size_t i = 0; i < pruned.hits.size(); ++i) {
+        EXPECT_EQ(pruned.hits[i].doc_index, exact.hits[i].doc_index)
+            << "epoch with " << expected_docs << " docs, beta=" << beta
+            << " rank " << i;
+        EXPECT_NEAR(pruned.hits[i].score, exact.hits[i].score, 1e-9);
       }
     }
   }
@@ -156,13 +296,19 @@ TEST_F(ConcurrentSearchTest, PrunedFusionScoresFewerDocuments) {
     return text.substr(0, text.find('.') + 1);
   };
 
+  auto run = [&](size_t doc, bool exhaustive) {
+    baselines::SearchRequest request;
+    request.query = query(doc);
+    request.k = 5;
+    request.exhaustive_fusion = exhaustive;
+    engine.Search(request);
+  };
+
   const uint64_t base_bow = engine.stats().bow_docs_scored;
-  engine.set_exhaustive_fusion(true);
-  for (size_t d = 0; d < 10; ++d) engine.Search(query(d), 5);
+  for (size_t d = 0; d < 10; ++d) run(d, /*exhaustive=*/true);
   const uint64_t exhaustive_bow = engine.stats().bow_docs_scored - base_bow;
 
-  engine.set_exhaustive_fusion(false);
-  for (size_t d = 0; d < 10; ++d) engine.Search(query(d), 5);
+  for (size_t d = 0; d < 10; ++d) run(d, /*exhaustive=*/false);
   const uint64_t pruned_bow =
       engine.stats().bow_docs_scored - base_bow - exhaustive_bow;
 

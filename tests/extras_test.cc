@@ -213,7 +213,7 @@ TEST_F(DiversifyTest, LambdaOneKeepsOriginalOrder) {
   DiversifyOptions options;
   options.lambda = 1.0;
   const auto diversified =
-      DiversifyResults(results, engine_->embeddings(), options);
+      DiversifyResults(results, engine_->SnapshotEmbeddings(), options);
   ASSERT_EQ(diversified.size(), results.size());
   for (size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(diversified[i].doc_index, results[i].doc_index);
@@ -238,7 +238,7 @@ TEST_F(DiversifyTest, DiversificationReducesStoryRepetition) {
   DiversifyOptions options;
   options.lambda = 0.3;  // aggressive diversification
   const auto diversified =
-      DiversifyResults(results, engine_->embeddings(), options);
+      DiversifyResults(results, engine_->SnapshotEmbeddings(), options);
   EXPECT_GE(stories_in_top(diversified, 5), stories_in_top(results, 5));
 }
 
@@ -248,12 +248,12 @@ TEST_F(DiversifyTest, KLimitsOutput) {
   DiversifyOptions options;
   options.k = 3;
   const auto diversified =
-      DiversifyResults(results, engine_->embeddings(), options);
+      DiversifyResults(results, engine_->SnapshotEmbeddings(), options);
   EXPECT_EQ(diversified.size(), std::min<size_t>(3, results.size()));
 }
 
 TEST_F(DiversifyTest, EmptyInput) {
-  EXPECT_TRUE(DiversifyResults({}, engine_->embeddings(), {}).empty());
+  EXPECT_TRUE(DiversifyResults({}, engine_->SnapshotEmbeddings(), {}).empty());
 }
 
 }  // namespace

@@ -172,13 +172,15 @@ TEST_F(FeaturesTest, EmbeddingStoreRoundTripsExactly) {
 
   const std::string path =
       (std::filesystem::temp_directory_path() / "ft_embeddings.txt").string();
-  ASSERT_TRUE(embed::SaveEmbeddings(engine.embeddings(), path).ok());
+  const std::vector<embed::DocumentEmbedding> embeddings =
+      engine.SnapshotEmbeddings();
+  ASSERT_TRUE(embed::SaveEmbeddings(embeddings, path).ok());
   Result<std::vector<embed::DocumentEmbedding>> loaded =
       embed::LoadEmbeddings(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  ASSERT_EQ(loaded->size(), engine.embeddings().size());
+  ASSERT_EQ(loaded->size(), embeddings.size());
   for (size_t i = 0; i < loaded->size(); ++i) {
-    const embed::DocumentEmbedding& a = engine.embeddings()[i];
+    const embed::DocumentEmbedding& a = embeddings[i];
     const embed::DocumentEmbedding& b = (*loaded)[i];
     ASSERT_EQ(a.segment_graphs.size(), b.segment_graphs.size()) << i;
     EXPECT_EQ(a.node_counts, b.node_counts) << i;
@@ -201,7 +203,7 @@ TEST_F(FeaturesTest, IndexWithEmbeddingsMatchesFreshIndex) {
 
   const std::string path =
       (std::filesystem::temp_directory_path() / "ft_emb2.txt").string();
-  ASSERT_TRUE(embed::SaveEmbeddings(fresh.embeddings(), path).ok());
+  ASSERT_TRUE(embed::SaveEmbeddings(fresh.SnapshotEmbeddings(), path).ok());
   Result<std::vector<embed::DocumentEmbedding>> loaded =
       embed::LoadEmbeddings(path);
   ASSERT_TRUE(loaded.ok());

@@ -164,29 +164,27 @@ int SearchCmd(const Flags& flags) {
   }
 
   kg::LabelIndex labels(*graph);
-  NewsLinkConfig config;
-  config.beta = flags.GetDouble("beta", 0.2);
-  NewsLinkEngine engine(&*graph, &labels, config);
+  NewsLinkEngine engine(&*graph, &labels, NewsLinkConfig{});
   engine.Index(*docs);
   std::printf("indexed %zu docs (%.1f%% embedded); query: %s\n\n",
               docs->size(), 100.0 * engine.EmbeddedDocumentFraction(),
               query.c_str());
 
-  const size_t k = flags.GetInt("k", 5);
-  if (flags.Has("explain")) {
-    for (const ExplainedResult& hit : engine.SearchExplained(query, k, 4)) {
-      const corpus::Document& d = docs->doc(hit.doc_index);
-      std::printf("[%6.3f] %s  %.80s...\n", hit.score, d.id.c_str(),
-                  d.text.c_str());
-      for (const embed::RelationshipPath& p : hit.paths) {
-        std::printf("         why: %s\n", p.Render(*graph).c_str());
-      }
-    }
-  } else {
-    for (const baselines::SearchResult& hit : engine.Search(query, k)) {
-      const corpus::Document& d = docs->doc(hit.doc_index);
-      std::printf("[%6.3f] %s  %.80s...\n", hit.score, d.id.c_str(),
-                  d.text.c_str());
+  // All query knobs are per-request: the indexed engine itself is never
+  // reconfigured, so repeated searches with different β reuse the indexes.
+  baselines::SearchRequest request;
+  request.query = query;
+  request.k = flags.GetInt("k", 5);
+  request.beta = flags.GetDouble("beta", 0.2);
+  request.explain = flags.Has("explain");
+  request.max_paths_per_result = 4;
+  const baselines::SearchResponse response = engine.Search(request);
+  for (const baselines::SearchHit& hit : response.hits) {
+    const corpus::Document& d = docs->doc(hit.doc_index);
+    std::printf("[%6.3f] %s  %.80s...\n", hit.score, d.id.c_str(),
+                d.text.c_str());
+    for (const embed::RelationshipPath& p : hit.paths) {
+      std::printf("         why: %s\n", p.Render(*graph).c_str());
     }
   }
   return 0;
