@@ -1,10 +1,12 @@
 // Concurrent query-serving benchmark: N threads of mixed queries against one
 // shared engine. Reports QPS, p50/p99 latency, text-side documents scored
-// (pruned MaxScore fusion vs the exhaustive oracle), and the LCAG cache hit
-// rate. All queries go through the request-scoped Search(SearchRequest)
-// entry point, so the exhaustive/pruned comparison needs no engine mutation
-// between runs. Run this binary under TSan to demonstrate the
-// epoch-snapshot query path.
+// (pruned MaxScore fusion vs the exhaustive oracle), the LCAG cache hit
+// rate, and the span-tree coverage of the per-request traces. All queries go
+// through the request-scoped Search(SearchRequest) entry point with tracing
+// enabled, so the numbers here measure the engine *with* the observability
+// layer on — and gate that the layer accounts for where the time went
+// (mean span coverage >= 95% of each query's wall-clock). Run this binary
+// under TSan to demonstrate the epoch-snapshot query path.
 //
 // --with-ingest additionally runs the concurrent workload while a writer
 // thread AddDocument()s a second synthetic corpus into the live engine,
@@ -12,10 +14,11 @@
 // response's snapshot_docs, epochs never move backwards per thread) and
 // gating the ingest-time p99 at 1.5x the query-only p99.
 //
+// --metrics-out FILE writes the engine's final Prometheus exposition.
+//
 // Env knobs: NEWSLINK_BENCH_STORIES (corpus size, default 120),
 //            NEWSLINK_BENCH_THREADS (worker threads, default 4).
 
-#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -27,6 +30,8 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "newslink/newslink_engine.h"
 
 using namespace newslink;
@@ -42,12 +47,6 @@ int ThreadsFromEnv(int fallback) {
   return v > 0 ? v : fallback;
 }
 
-double Percentile(std::vector<double> sorted_ms, double p) {
-  if (sorted_ms.empty()) return 0.0;
-  const size_t idx = static_cast<size_t>(p * (sorted_ms.size() - 1));
-  return sorted_ms[idx];
-}
-
 struct RunReport {
   double wall_seconds = 0;
   double qps = 0;
@@ -56,6 +55,9 @@ struct RunReport {
   uint64_t queries = 0;
   uint64_t bow_docs_scored = 0;
   uint64_t bon_docs_scored = 0;
+  /// Mean fraction of each query's wall-clock accounted for by the direct
+  /// children (nlp/ne/ns/explain) of its "search" root span.
+  double span_coverage = 0;
   /// Snapshot-isolation violations observed by readers: a hit at or above
   /// its response's snapshot_docs, or an epoch that moved backwards within
   /// one thread. Must be zero.
@@ -64,16 +66,25 @@ struct RunReport {
 
 /// Runs every query `rounds` times across `num_threads` workers (each worker
 /// walks the query list at a different offset so distinct queries overlap).
-RunReport RunWorkload(const NewsLinkEngine& engine, const EngineStats& before,
+/// Every request carries trace=true: latency numbers include the full
+/// observability layer.
+RunReport RunWorkload(const NewsLinkEngine& engine,
                       const std::vector<std::string>& queries, int num_threads,
                       int rounds, size_t k, bool exhaustive) {
-  std::vector<std::vector<double>> latencies(num_threads);
+  const uint64_t bow_before = engine.Metrics().CounterValue(kBowDocsScored);
+  const uint64_t bon_before = engine.Metrics().CounterValue(kBonDocsScored);
+
+  // One shared wait-free histogram instead of per-thread latency vectors —
+  // the same instrument type the engine exports, at bench-gate resolution.
+  metrics::Histogram latencies(bench::LatencyHistogramOptions());
   std::atomic<uint64_t> violations{0};
+  std::vector<double> coverage_sums(num_threads, 0.0);
+  std::vector<uint64_t> coverage_counts(num_threads, 0);
+
   const auto wall_start = Clock::now();
   std::vector<std::thread> workers;
   for (int t = 0; t < num_threads; ++t) {
     workers.emplace_back([&, t] {
-      latencies[t].reserve(rounds * queries.size());
       uint64_t last_epoch = 0;
       for (int round = 0; round < rounds; ++round) {
         for (size_t q = 0; q < queries.size(); ++q) {
@@ -82,11 +93,11 @@ RunReport RunWorkload(const NewsLinkEngine& engine, const EngineStats& before,
           request.query = queries[idx];
           request.k = k;
           request.exhaustive_fusion = exhaustive;
+          request.trace = true;
           const auto start = Clock::now();
           const baselines::SearchResponse response = engine.Search(request);
-          latencies[t].push_back(
-              std::chrono::duration<double, std::milli>(Clock::now() - start)
-                  .count());
+          latencies.Observe(
+              std::chrono::duration<double>(Clock::now() - start).count());
           for (const baselines::SearchHit& hit : response.hits) {
             if (hit.doc_index >= response.snapshot_docs) {
               violations.fetch_add(1, std::memory_order_relaxed);
@@ -96,6 +107,11 @@ RunReport RunWorkload(const NewsLinkEngine& engine, const EngineStats& before,
             violations.fetch_add(1, std::memory_order_relaxed);
           }
           last_epoch = response.epoch;
+          if (response.trace.duration_seconds > 0.0) {
+            coverage_sums[t] += response.trace.ChildrenSeconds() /
+                                response.trace.duration_seconds;
+            ++coverage_counts[t];
+          }
         }
       }
     });
@@ -104,44 +120,47 @@ RunReport RunWorkload(const NewsLinkEngine& engine, const EngineStats& before,
   const double wall =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
 
-  std::vector<double> all;
-  for (const auto& per_thread : latencies) {
-    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  double coverage_sum = 0.0;
+  uint64_t coverage_count = 0;
+  for (int t = 0; t < num_threads; ++t) {
+    coverage_sum += coverage_sums[t];
+    coverage_count += coverage_counts[t];
   }
-  std::sort(all.begin(), all.end());
 
-  const EngineStats after = engine.stats();
   RunReport report;
   report.wall_seconds = wall;
-  report.queries = all.size();
-  report.qps = wall > 0 ? all.size() / wall : 0.0;
-  report.p50_ms = Percentile(all, 0.50);
-  report.p99_ms = Percentile(all, 0.99);
-  report.bow_docs_scored = after.bow_docs_scored - before.bow_docs_scored;
-  report.bon_docs_scored = after.bon_docs_scored - before.bon_docs_scored;
+  report.queries = latencies.Count();
+  report.qps = wall > 0 ? report.queries / wall : 0.0;
+  report.p50_ms = latencies.Percentile(0.50) * 1e3;
+  report.p99_ms = latencies.Percentile(0.99) * 1e3;
+  report.bow_docs_scored =
+      engine.Metrics().CounterValue(kBowDocsScored) - bow_before;
+  report.bon_docs_scored =
+      engine.Metrics().CounterValue(kBonDocsScored) - bon_before;
+  report.span_coverage =
+      coverage_count > 0 ? coverage_sum / coverage_count : 0.0;
   report.violations = violations.load();
   return report;
 }
 
-RunReport RunWorkload(const NewsLinkEngine& engine,
-                      const std::vector<std::string>& queries, int num_threads,
-                      int rounds, size_t k, bool exhaustive) {
-  return RunWorkload(engine, engine.stats(), queries, num_threads, rounds, k,
-                     exhaustive);
-}
-
 void PrintReport(const char* label, const RunReport& r) {
-  std::printf("%-22s %8.1f %9.3f %9.3f %10zu %10zu\n", label, r.qps, r.p50_ms,
-              r.p99_ms, static_cast<size_t>(r.bow_docs_scored / r.queries),
-              static_cast<size_t>(r.bon_docs_scored / r.queries));
+  std::printf("%-22s %8.1f %9.3f %9.3f %10zu %10zu %8.1f%%\n", label, r.qps,
+              r.p50_ms, r.p99_ms,
+              static_cast<size_t>(r.bow_docs_scored / r.queries),
+              static_cast<size_t>(r.bon_docs_scored / r.queries),
+              100.0 * r.span_coverage);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool with_ingest = false;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--with-ingest") == 0) with_ingest = true;
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    }
   }
 
   std::printf("NewsLink reproduction — concurrent query serving%s\n\n",
@@ -161,6 +180,10 @@ int main(int argc, char** argv) {
   NewsLinkConfig config;
   config.beta = 0.2;
   config.num_threads = 2;
+  // Exercise the slow-query log under the concurrent workload: a generous
+  // threshold keeps the fast path honest while still recording entries.
+  config.slow_query_threshold_seconds = 1e-6;
+  config.slow_query_log_capacity = 8;
   NewsLinkEngine engine(&world->kg.graph, &world->index, config);
   engine.Index(dataset.corpus);
 
@@ -173,9 +196,9 @@ int main(int argc, char** argv) {
   std::printf("corpus %zu docs, KG %zu nodes, %zu queries x %d rounds\n\n",
               dataset.corpus.size(), world->kg.graph.num_nodes(),
               queries.size(), kRounds);
-  std::printf("%-22s %8s %9s %9s %10s %10s\n", "mode", "QPS", "p50 ms",
-              "p99 ms", "bow/query", "bon/query");
-  bench::PrintRule(74);
+  std::printf("%-22s %8s %9s %9s %10s %10s %9s\n", "mode", "QPS", "p50 ms",
+              "p99 ms", "bow/query", "bon/query", "coverage");
+  bench::PrintRule(84);
 
   // Exhaustive oracle, single thread: the docs-scored ceiling.
   const RunReport exhaustive =
@@ -223,42 +246,68 @@ int main(int argc, char** argv) {
     std::snprintf(label, sizeof(label), "maxscore x%d +ingest", num_threads);
     PrintReport(label, ingestN);
 
-    const EngineStats stats = engine.stats();
+    const uint64_t epochs_published =
+        engine.Metrics().CounterValue(kEpochsPublished);
+    const uint64_t current_epoch =
+        static_cast<uint64_t>(engine.Metrics().GaugeValue(kCurrentEpoch));
     const size_t docs_added = ingested.load();
     ingest_violations = ingestN.violations;
     const double p99_ratio =
         prunedN.p99_ms > 0 ? ingestN.p99_ms / prunedN.p99_ms : 1.0;
     const bool docs_consistent =
         engine.num_indexed_docs() == docs_before + docs_added &&
-        stats.current_epoch + 1 == stats.epochs_published;
+        current_epoch + 1 == epochs_published;
     const bool p99_ok = p99_ratio <= 1.5;
     std::printf(
         "\ningest: %zu docs appended, %zu epochs published, p99 ratio "
         "%.2fx (gate 1.50x): %s, isolation violations: %zu\n",
-        docs_added, static_cast<size_t>(stats.epochs_published), p99_ratio,
+        docs_added, static_cast<size_t>(epochs_published), p99_ratio,
         p99_ok ? "ok" : "FAIL",
         static_cast<size_t>(ingest_violations));
     ingest_ok = docs_consistent && p99_ok && ingest_violations == 0;
   }
 
-  const embed::EmbedderStats embedder = engine.stats().embedder;
+  const metrics::Registry& metrics = engine.Metrics();
+  const uint64_t cache_hits = metrics.CounterValue(embed::kLcagCacheHits);
+  const uint64_t cache_misses = metrics.CounterValue(embed::kLcagCacheMisses);
   std::printf(
       "\nLCAG cache: %zu hits / %zu lookups (%.1f%% hit rate), "
       "%zu entries, %zu evictions\n",
-      static_cast<size_t>(embedder.cache.hits),
-      static_cast<size_t>(embedder.cache.hits + embedder.cache.misses),
-      100.0 * embedder.cache.HitRate(),
-      static_cast<size_t>(embedder.cache.entries),
-      static_cast<size_t>(embedder.cache.evictions));
+      static_cast<size_t>(cache_hits),
+      static_cast<size_t>(cache_hits + cache_misses),
+      cache_hits + cache_misses > 0
+          ? 100.0 * cache_hits / (cache_hits + cache_misses)
+          : 0.0,
+      static_cast<size_t>(metrics.GaugeValue(embed::kLcagCacheEntries)),
+      static_cast<size_t>(metrics.CounterValue(embed::kLcagCacheEvictions)));
+  std::printf("slow-query log: %zu entries over %.0fus threshold\n",
+              engine.slow_query_log().size(),
+              config.slow_query_threshold_seconds * 1e6);
 
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f != nullptr) {
+      const std::string body = metrics.RenderPrometheus();
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    }
+  }
+
+  // Coverage gate over the traced concurrent run: the span tree must
+  // account for >= 95% of each query's wall-clock on average.
+  const bool coverage_ok = prunedN.span_coverage >= 0.95;
   const bool fewer_docs = pruned1.bow_docs_scored < exhaustive.bow_docs_scored;
-  const bool cache_hits = embedder.cache.hits > 0;
+  const bool cache_ok = cache_hits > 0;
   const bool no_violations =
       exhaustive.violations + pruned1.violations + prunedN.violations == 0;
   std::printf(
       "docs scored below exhaustive: %s, cache hit rate nonzero: %s, "
-      "snapshot isolation clean: %s\n",
-      fewer_docs ? "yes" : "NO", cache_hits ? "yes" : "NO",
-      no_violations ? "yes" : "NO");
-  return (fewer_docs && cache_hits && no_violations && ingest_ok) ? 0 : 1;
+      "snapshot isolation clean: %s, span coverage %.1f%% (gate 95%%): %s\n",
+      fewer_docs ? "yes" : "NO", cache_ok ? "yes" : "NO",
+      no_violations ? "yes" : "NO", 100.0 * prunedN.span_coverage,
+      coverage_ok ? "ok" : "FAIL");
+  return (fewer_docs && cache_ok && no_violations && ingest_ok && coverage_ok)
+             ? 0
+             : 1;
 }

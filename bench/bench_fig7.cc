@@ -14,11 +14,15 @@ using namespace newslink;
 
 namespace {
 
+double StageSum(const NewsLinkEngine& engine, std::string_view name) {
+  const metrics::Histogram* h = engine.Metrics().FindHistogram(name);
+  return h != nullptr ? h->Sum() : 0.0;
+}
+
 void Report(const char* name, const NewsLinkEngine& engine, size_t docs) {
-  const TimeBreakdown& t = engine.index_times();
-  const double nlp = t.TotalSeconds("nlp") / docs * 1e3;
-  const double ne = t.TotalSeconds("ne") / docs * 1e3;
-  const double ns = t.TotalSeconds("ns") / docs * 1e3;
+  const double nlp = StageSum(engine, kIndexNlpSeconds) / docs * 1e3;
+  const double ne = StageSum(engine, kIndexNeSeconds) / docs * 1e3;
+  const double ns = StageSum(engine, kIndexNsSeconds) / docs * 1e3;
   std::printf("%-10s %12.3f %12.3f %12.3f %12.3f\n", name, nlp, ne, ns,
               nlp + ne + ns);
 }
@@ -49,7 +53,7 @@ int main() {
     NewsLinkEngine engine(&world->kg.graph, &world->index, config);
     engine.Index(dataset->data.corpus);
     Report("NewsLink", engine, docs);
-    ne_newslink = engine.index_times().TotalSeconds("ne");
+    ne_newslink = StageSum(engine, kIndexNeSeconds);
   }
   {
     NewsLinkConfig config;
@@ -58,7 +62,7 @@ int main() {
     NewsLinkEngine engine(&world->kg.graph, &world->index, config);
     engine.Index(dataset->data.corpus);
     Report("TreeEmb", engine, docs);
-    ne_tree = engine.index_times().TotalSeconds("ne");
+    ne_tree = StageSum(engine, kIndexNeSeconds);
   }
 
   std::printf("\nNE speedup of NewsLink over TreeEmb: %.2fx\n",

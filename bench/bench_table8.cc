@@ -38,17 +38,18 @@ void RunScale(const char* label, uint64_t seed, int kg_multiplier,
   NewsLinkEngine engine(&world.kg.graph, &world.index, config);
   engine.Index(dataset->data.corpus);
 
-  engine.ResetQueryTimes();
   size_t queries = 0;
   for (const eval::TestQuery& q : runner.density_queries()) {
     engine.Search(q.sentence, 20);
     ++queries;
   }
 
-  const TimeBreakdown& times = engine.query_times();
-  const double nlp = times.MeanSeconds("nlp") * 1e3;
-  const double ne = times.MeanSeconds("ne") * 1e3;
-  const double ns = times.MeanSeconds("ns") * 1e3;
+  // The engine is fresh per scale, so the per-stage query histograms hold
+  // exactly this loop's observations; Mean() is the per-query mean.
+  const metrics::Registry& metrics = engine.Metrics();
+  const double nlp = metrics.FindHistogram(kQueryNlpSeconds)->Mean() * 1e3;
+  const double ne = metrics.FindHistogram(kQueryNeSeconds)->Mean() * 1e3;
+  const double ns = metrics.FindHistogram(kQueryNsSeconds)->Mean() * 1e3;
   const double total = nlp + ne + ns;
 
   std::printf("--- %s: KG %zu nodes, corpus %zu docs, %zu queries ---\n",

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "corpus/corpus.h"
 #include "corpus/synthetic_news.h"
@@ -85,6 +86,18 @@ inline std::unique_ptr<BenchDataset> MakeDataset(
   ft.buckets = 50000;
   out->judge.Train(docs, ft);
   return out;
+}
+
+/// Latency histogram layout shared by the bench harnesses: fine geometric
+/// buckets (8% width, 1us..~100s in seconds) so interpolated percentiles
+/// are accurate enough to feed the p99 regression gates — the quantization
+/// error (< growth-1) is far inside the gates' 1.05x/1.5x margins.
+inline metrics::HistogramOptions LatencyHistogramOptions() {
+  metrics::HistogramOptions options;
+  options.min = 1e-6;
+  options.growth = 1.08;
+  options.num_buckets = 240;
+  return options;
 }
 
 /// Default story counts keep each heavy bench under ~2 minutes on one core

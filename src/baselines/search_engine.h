@@ -2,11 +2,17 @@
 // NewsLink itself: index a corpus, then answer top-k text queries.
 //
 // The primary entry point is the request-scoped Search(SearchRequest):
-// all per-query knobs (k, fusion β, rerank depth, explanations) travel in
-// the request, so one engine instance can serve differently-parameterized
-// queries from many threads at once — engines never need mutable
-// query-path setters. Unset request fields inherit the engine's
+// all per-query knobs (k, fusion β, rerank depth, explanations, tracing)
+// travel in the request, so one engine instance can serve differently-
+// parameterized queries from many threads at once — engines never need
+// mutable query-path setters. Unset request fields inherit the engine's
 // configuration defaults.
+//
+// Observability (DESIGN.md Sec. 8): every engine owns a metrics::Registry,
+// reachable via Metrics(). The default Search adapter records the shared
+// engine_queries_total / engine_query_seconds series, so every baseline is
+// instrumented for free; engines with richer internals (NewsLinkEngine)
+// register additional series in the same registry.
 
 #ifndef NEWSLINK_BASELINES_SEARCH_ENGINE_H_
 #define NEWSLINK_BASELINES_SEARCH_ENGINE_H_
@@ -14,14 +20,21 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "corpus/corpus.h"
 #include "embed/path_explainer.h"
 
 namespace newslink {
 namespace baselines {
+
+/// Registry series shared by every engine (the default adapter feeds them).
+inline constexpr std::string_view kEngineQueries = "engine_queries_total";
+inline constexpr std::string_view kEngineQuerySeconds = "engine_query_seconds";
 
 struct SearchResult {
   size_t doc_index = 0;  // position in the indexed corpus
@@ -49,6 +62,11 @@ struct SearchRequest {
   bool explain = false;
   /// Explanation paths per hit (only read when `explain` is set).
   size_t max_paths_per_result = 5;
+
+  /// Return this query's span tree on SearchResponse::trace. The tree is
+  /// always collected (span begin/end is nanoseconds against millisecond
+  /// stages); this flag only controls whether it survives onto the response.
+  bool trace = false;
 };
 
 /// \brief A hit: document, fused score, optional explanation paths.
@@ -63,8 +81,9 @@ struct SearchHit {
 /// \brief Hits plus per-query observability.
 struct SearchResponse {
   std::vector<SearchHit> hits;
-  /// This query's own component time breakdown (nlp/ne/ns buckets for
-  /// NewsLink engines; empty for baselines that do not instrument).
+  /// This query's own component time breakdown, derived from the span tree
+  /// (one bucket per direct child of the root span: nlp/ne/ns buckets for
+  /// NewsLink engines; a single bucket for uninstrumented baselines).
   TimeBreakdown timings;
   /// The published index epoch this query ran against (0 for engines
   /// without snapshot isolation).
@@ -72,11 +91,25 @@ struct SearchResponse {
   /// Number of documents visible in that epoch: every hit's doc_index is
   /// < snapshot_docs even while ingestion runs concurrently.
   size_t snapshot_docs = 0;
+  /// The query's span tree; filled only when SearchRequest::trace is set.
+  TraceSpan trace;
 };
 
 /// \brief A top-k document search engine.
+///
+/// Non-copyable: the engine owns its metrics registry (atomics + mutex),
+/// and instrument pointers handed to members must stay stable. The registry
+/// is declared here, in the base, so derived members (snapshots, caches)
+/// that reference instruments are destroyed before it.
 class SearchEngine {
  public:
+  SearchEngine()
+      : queries_(registry_.GetCounter(kEngineQueries, "Search calls")),
+        query_seconds_(registry_.GetHistogram(
+            kEngineQuerySeconds, {}, "end-to-end query latency, seconds")) {}
+
+  SearchEngine(const SearchEngine&) = delete;
+  SearchEngine& operator=(const SearchEngine&) = delete;
   virtual ~SearchEngine() = default;
 
   /// Display name for evaluation tables ("Lucene", "DOC2VEC", ...).
@@ -91,12 +124,17 @@ class SearchEngine {
 
   /// Request-scoped search: the one entry point evaluation harnesses and
   /// benchmarks drive every engine through. The default adapter forwards
-  /// to the legacy (query, k) overload and reports no timings/epoch, so
-  /// baselines get the new interface for free; engines with richer
-  /// internals (NewsLinkEngine) override it.
+  /// to the legacy (query, k) overload under a single "search" span and
+  /// feeds the shared engine_* series, so baselines get instrumentation
+  /// for free; engines with richer internals (NewsLinkEngine) override it.
   virtual SearchResponse Search(const SearchRequest& request) const {
+    Trace trace;
     SearchResponse response;
-    std::vector<SearchResult> results = Search(request.query, request.k);
+    std::vector<SearchResult> results;
+    {
+      ScopedSpan span(&trace, "search");
+      results = Search(request.query, request.k);
+    }
     response.hits.reserve(results.size());
     for (const SearchResult& r : results) {
       SearchHit hit;
@@ -104,8 +142,27 @@ class SearchEngine {
       hit.score = r.score;
       response.hits.push_back(std::move(hit));
     }
+    TraceSpan root = trace.Finish();
+    queries_->Inc();
+    query_seconds_->Observe(root.duration_seconds);
+    response.timings.Add("search", root.duration_seconds);
+    if (request.trace) response.trace = std::move(root);
     return response;
   }
+
+  /// The consolidated view over every counter/gauge/histogram this engine
+  /// (and its components) maintains — replaces the per-engine ad-hoc stats
+  /// accessors.
+  const metrics::Registry& Metrics() const { return registry_; }
+
+ protected:
+  /// Derived engines register their own series here.
+  metrics::Registry* registry() const { return &registry_; }
+
+ private:
+  mutable metrics::Registry registry_;
+  metrics::Counter* queries_;
+  metrics::Histogram* query_seconds_;
 };
 
 }  // namespace baselines

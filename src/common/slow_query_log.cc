@@ -1,0 +1,39 @@
+#include "common/slow_query_log.h"
+
+#include <cstdio>
+
+namespace newslink {
+
+void SlowQueryLog::Record(SlowQueryRecord record) {
+  if (!ShouldRecord(record.seconds)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= capacity_) entries_.pop_front();
+  entries_.push_back(std::move(record));
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryRecord>(entries_.begin(), entries_.end());
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string SlowQueryLog::ToJson() const {
+  const std::vector<SlowQueryRecord> entries = Entries();
+  std::string out = "[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ",";
+    char ms[32];
+    std::snprintf(ms, sizeof(ms), "%.3f", entries[i].seconds * 1e3);
+    out += "{\"query\":" + JsonEscape(entries[i].query) + ",\"ms\":" + ms +
+           ",\"epoch\":" + std::to_string(entries[i].epoch) +
+           ",\"trace\":" + entries[i].trace.ToJson() + "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace newslink

@@ -1,0 +1,66 @@
+// Slow-query log (DESIGN.md Sec. 8): a bounded ring of the most recent
+// queries whose wall-clock crossed a configurable threshold, each carrying
+// its full span tree. The fast path pays one comparison per query; only
+// slow queries take the log mutex, so the log never contends with healthy
+// traffic.
+
+#ifndef NEWSLINK_COMMON_SLOW_QUERY_LOG_H_
+#define NEWSLINK_COMMON_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace newslink {
+
+/// \brief One logged slow query.
+struct SlowQueryRecord {
+  std::string query;
+  double seconds = 0.0;
+  uint64_t epoch = 0;  // index epoch the query ran against
+  TraceSpan trace;     // full span tree
+};
+
+/// \brief Thread-safe bounded log of recent slow queries.
+class SlowQueryLog {
+ public:
+  /// `threshold_seconds <= 0` disables the log entirely.
+  explicit SlowQueryLog(double threshold_seconds = 0.0, size_t capacity = 32)
+      : threshold_seconds_(threshold_seconds),
+        capacity_(capacity == 0 ? 1 : capacity) {}
+
+  bool enabled() const { return threshold_seconds_ > 0.0; }
+  double threshold_seconds() const { return threshold_seconds_; }
+
+  /// True when this duration qualifies — callers check this *before*
+  /// building a record so fast queries never pay for one.
+  bool ShouldRecord(double seconds) const {
+    return enabled() && seconds >= threshold_seconds_;
+  }
+
+  /// Append (dropping the oldest entry at capacity). Records below the
+  /// threshold are ignored, so callers may call unconditionally.
+  void Record(SlowQueryRecord record);
+
+  /// Snapshot, oldest first.
+  std::vector<SlowQueryRecord> Entries() const;
+
+  size_t size() const;
+
+  /// JSON array of {"query", "ms", "epoch", "trace"} objects.
+  std::string ToJson() const;
+
+ private:
+  double threshold_seconds_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryRecord> entries_;  // guarded by mu_
+};
+
+}  // namespace newslink
+
+#endif  // NEWSLINK_COMMON_SLOW_QUERY_LOG_H_

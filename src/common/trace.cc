@@ -1,0 +1,163 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace newslink {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+std::string FormatMillis(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", seconds * 1e3);
+  return buf;
+}
+
+}  // namespace
+
+const TraceSpan* TraceSpan::Find(std::string_view span_name) const {
+  if (name == span_name) return this;
+  for (const TraceSpan& child : children) {
+    if (const TraceSpan* found = child.Find(span_name)) return found;
+  }
+  return nullptr;
+}
+
+double TraceSpan::ChildrenSeconds() const {
+  double total = 0.0;
+  for (const TraceSpan& child : children) total += child.duration_seconds;
+  return total;
+}
+
+std::string TraceSpan::ToJson() const {
+  std::string out = "{\"name\":" + JsonEscape(name);
+  out += ",\"start_ms\":" + FormatMillis(start_seconds);
+  out += ",\"dur_ms\":" + FormatMillis(duration_seconds);
+  if (!notes.empty()) {
+    out += ",\"notes\":{";
+    for (size_t i = 0; i < notes.size(); ++i) {
+      if (i > 0) out += ",";
+      out += JsonEscape(notes[i].first) + ":" + JsonEscape(notes[i].second);
+    }
+    out += "}";
+  }
+  if (!children.empty()) {
+    out += ",\"children\":[";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) out += ",";
+      out += children[i].ToJson();
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+TimeBreakdown SpanBreakdown(const TraceSpan& root) {
+  TimeBreakdown out;
+  for (const TraceSpan& child : root.children) {
+    out.Add(child.name, child.duration_seconds);
+  }
+  return out;
+}
+
+Trace::Trace() : epoch_(Clock::now()) {}
+
+size_t Trace::Begin(std::string_view name) {
+  const size_t index = nodes_.size();
+  Node node;
+  node.name = std::string(name);
+  node.start_seconds = Elapsed();
+  if (open_.empty()) {
+    roots_.push_back(index);
+  } else {
+    node.parent = open_.back();
+    nodes_[open_.back()].children.push_back(index);
+  }
+  nodes_.push_back(std::move(node));
+  open_.push_back(index);
+  return index;
+}
+
+void Trace::End(size_t handle) {
+  // Close handle and (defensively) any span opened after it that was
+  // never closed — keeps the tree well-formed under early returns.
+  while (!open_.empty()) {
+    const size_t top = open_.back();
+    open_.pop_back();
+    nodes_[top].duration_seconds = Elapsed() - nodes_[top].start_seconds;
+    if (top == handle) break;
+  }
+}
+
+void Trace::Note(std::string_view key, std::string_view value) {
+  if (open_.empty()) return;
+  nodes_[open_.back()].notes.emplace_back(std::string(key),
+                                          std::string(value));
+}
+
+TraceSpan Trace::Finish() {
+  while (!open_.empty()) {
+    const size_t top = open_.back();
+    open_.pop_back();
+    nodes_[top].duration_seconds = Elapsed() - nodes_[top].start_seconds;
+  }
+
+  // Materialize the nested tree from the arena, bottom-up: children were
+  // appended after their parents, so a reverse pass sees each node's
+  // children already built.
+  std::vector<TraceSpan> built(nodes_.size());
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    TraceSpan& span = built[i];
+    span.name = std::move(nodes_[i].name);
+    span.start_seconds = nodes_[i].start_seconds;
+    span.duration_seconds = nodes_[i].duration_seconds;
+    span.notes = std::move(nodes_[i].notes);
+    span.children.reserve(nodes_[i].children.size());
+    for (size_t child : nodes_[i].children) {
+      span.children.push_back(std::move(built[child]));
+    }
+  }
+
+  TraceSpan root;
+  if (roots_.size() == 1) {
+    root = std::move(built[roots_[0]]);
+  } else if (!roots_.empty()) {
+    root.name = "trace";
+    double end = 0.0;
+    for (size_t r : roots_) {
+      end = std::max(end, built[r].start_seconds + built[r].duration_seconds);
+      root.children.push_back(std::move(built[r]));
+    }
+    root.duration_seconds = end;
+  }
+  nodes_.clear();
+  roots_.clear();
+  return root;
+}
+
+}  // namespace newslink

@@ -1,0 +1,122 @@
+// Per-request trace spans (DESIGN.md Sec. 8): every Search call collects a
+// tree of named, timed spans — the one source of truth for "where did this
+// query's time go". The engine derives its SearchResponse timings from the
+// tree, feeds the per-stage histograms from it, attaches it to the
+// response when SearchRequest::trace is set, and records it in the
+// slow-query log when the query crosses the latency threshold.
+//
+// A Trace belongs to one request on one thread (it is NOT thread-safe);
+// distinct requests each build their own trace concurrently. Span
+// begin/end cost one steady_clock read each — a handful of nanoseconds
+// against millisecond-scale stages.
+
+#ifndef NEWSLINK_COMMON_TRACE_H_
+#define NEWSLINK_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace newslink {
+
+/// \brief One completed span: a named interval with nested children and
+/// optional key/value notes ("cache_hit" = "true", ...).
+struct TraceSpan {
+  std::string name;
+  /// Start offset from the trace epoch, seconds.
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  std::vector<std::pair<std::string, std::string>> notes;
+  std::vector<TraceSpan> children;
+
+  bool empty() const { return name.empty() && children.empty(); }
+
+  /// Depth-first search for the first span with this name (may return
+  /// `this`); nullptr when absent.
+  const TraceSpan* Find(std::string_view span_name) const;
+
+  /// Sum of the direct children's durations — the "accounted for" share of
+  /// this span's own duration.
+  double ChildrenSeconds() const;
+
+  /// Nested JSON object: {"name", "start_ms", "dur_ms", "notes", "children"}.
+  std::string ToJson() const;
+};
+
+/// JSON string literal (quotes included) with control characters escaped;
+/// shared by the span-tree, slow-query-log, and registry JSON renderers.
+std::string JsonEscape(std::string_view s);
+
+/// Legacy bucket view of a span tree: one TimeBreakdown bucket per direct
+/// child of the root (the nlp/ne/ns/explain stages), so code written
+/// against the old accumulator API keeps working on top of spans.
+TimeBreakdown SpanBreakdown(const TraceSpan& root);
+
+/// \brief Collector that builds one span tree for one request.
+class Trace {
+ public:
+  Trace();
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Open a span nested under the innermost open span (or at top level).
+  /// Returns a handle for End; Begin/End must nest like brackets.
+  size_t Begin(std::string_view name);
+
+  void End(size_t handle);
+
+  /// Attach a note to the innermost open span (dropped when none is open).
+  void Note(std::string_view key, std::string_view value);
+
+  /// Close any still-open spans and return the tree. A single top-level
+  /// span becomes the root; multiple top-level spans are wrapped under a
+  /// synthetic "trace" root. The Trace is spent afterwards.
+  TraceSpan Finish();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Node {
+    std::string name;
+    double start_seconds = 0.0;
+    double duration_seconds = 0.0;
+    size_t parent = SIZE_MAX;
+    std::vector<std::pair<std::string, std::string>> notes;
+    std::vector<size_t> children;  // indices into nodes_
+  };
+
+  double Elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - epoch_).count();
+  }
+
+  Clock::time_point epoch_;
+  std::vector<Node> nodes_;
+  std::vector<size_t> roots_;
+  std::vector<size_t> open_;  // stack of open node indices
+};
+
+/// \brief RAII guard for one span. A null trace makes it a no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, std::string_view name)
+      : trace_(trace), handle_(trace ? trace->Begin(name) : 0) {}
+  ~ScopedSpan() {
+    if (trace_ != nullptr) trace_->End(handle_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Trace* trace_;
+  size_t handle_;
+};
+
+}  // namespace newslink
+
+#endif  // NEWSLINK_COMMON_TRACE_H_

@@ -7,34 +7,57 @@
 namespace newslink {
 namespace embed {
 
+LcagSegmentEmbedder::LcagSegmentEmbedder(const kg::KnowledgeGraph* graph,
+                                         const kg::LabelIndex* index,
+                                         LcagOptions options,
+                                         size_t cache_capacity,
+                                         size_t cache_shards,
+                                         metrics::Registry* registry)
+    : owned_registry_(registry == nullptr
+                          ? std::make_unique<metrics::Registry>()
+                          : nullptr),
+      registry_(registry == nullptr ? owned_registry_.get() : registry),
+      search_(graph, index),
+      options_(options),
+      cache_(cache_capacity, cache_shards, registry_),
+      segments_(registry_->GetCounter(kEmbedderSegments,
+                                      "EmbedSegment calls")),
+      embedded_(registry_->GetCounter(kEmbedderEmbedded,
+                                      "segments that produced a subgraph")),
+      timeouts_(registry_->GetCounter(kEmbedderTimeouts,
+                                      "LCAG wall-clock timeouts")),
+      budget_exhausted_(registry_->GetCounter(
+          kEmbedderBudgetExhausted, "LCAG max_expansions truncations")) {}
+
 bool LcagSegmentEmbedder::EmbedSegment(const std::vector<std::string>& labels,
-                                       AncestorGraph* out) const {
+                                       AncestorGraph* out,
+                                       SegmentEmbedOutcome* outcome) const {
   LcagResult result =
       search_.Find(labels, options_, cache_.enabled() ? &cache_ : nullptr);
-  segments_.fetch_add(1, std::memory_order_relaxed);
-  if (result.timed_out) timeouts_.fetch_add(1, std::memory_order_relaxed);
-  if (result.budget_exhausted) {
-    budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  segments_->Inc();
+  if (result.timed_out) timeouts_->Inc();
+  if (result.budget_exhausted) budget_exhausted_->Inc();
+  if (outcome != nullptr) {
+    outcome->found = result.found;
+    outcome->cache_hit = result.cache_hit;
+    outcome->timed_out = result.timed_out;
+    outcome->budget_exhausted = result.budget_exhausted;
+    outcome->expansions = result.expansions;
   }
   if (!result.found) return false;
-  embedded_.fetch_add(1, std::memory_order_relaxed);
+  embedded_->Inc();
   *out = std::move(result.graph);
   return true;
 }
 
-EmbedderStats LcagSegmentEmbedder::stats() const {
-  EmbedderStats out;
-  out.segments = segments_.load(std::memory_order_relaxed);
-  out.embedded = embedded_.load(std::memory_order_relaxed);
-  out.timeouts = timeouts_.load(std::memory_order_relaxed);
-  out.budget_exhausted = budget_exhausted_.load(std::memory_order_relaxed);
-  out.cache = cache_.stats();
-  return out;
-}
-
 bool TreeSegmentEmbedder::EmbedSegment(const std::vector<std::string>& labels,
-                                       AncestorGraph* out) const {
+                                       AncestorGraph* out,
+                                       SegmentEmbedOutcome* outcome) const {
   TreeEmbedResult result = embedder_.Find(labels, options_);
+  if (outcome != nullptr) {
+    *outcome = {};
+    outcome->found = result.found;
+  }
   if (!result.found) return false;
   *out = std::move(result.tree);
   return true;
@@ -62,13 +85,27 @@ std::vector<kg::NodeId> DocumentEmbedding::InducedNodes() const {
 
 DocumentEmbedding EmbedDocument(
     const SegmentEmbedder& embedder,
-    const std::vector<std::vector<std::string>>& entity_groups) {
+    const std::vector<std::vector<std::string>>& entity_groups,
+    Trace* trace) {
   DocumentEmbedding out;
   std::map<kg::NodeId, uint32_t> counts;
   for (const std::vector<std::string>& labels : entity_groups) {
     if (labels.empty()) continue;
     AncestorGraph graph;
-    if (!embedder.EmbedSegment(labels, &graph)) continue;
+    SegmentEmbedOutcome outcome;
+    bool ok;
+    if (trace != nullptr) {
+      ScopedSpan span(trace, "segment");
+      ok = embedder.EmbedSegment(labels, &graph, &outcome);
+      trace->Note("labels", std::to_string(labels.size()));
+      if (outcome.cache_hit) trace->Note("cache_hit", "true");
+      if (outcome.timed_out) trace->Note("timed_out", "true");
+      if (outcome.budget_exhausted) trace->Note("budget_exhausted", "true");
+      if (!ok) trace->Note("found", "false");
+    } else {
+      ok = embedder.EmbedSegment(labels, &graph, &outcome);
+    }
+    if (!ok) continue;
     for (kg::NodeId v : graph.nodes) ++counts[v];
     out.segment_graphs.push_back(std::move(graph));
   }

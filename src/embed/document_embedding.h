@@ -6,12 +6,14 @@
 #ifndef NEWSLINK_EMBED_DOCUMENT_EMBEDDING_H_
 #define NEWSLINK_EMBED_DOCUMENT_EMBEDDING_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "embed/ancestor_graph.h"
 #include "embed/lcag_cache.h"
 #include "embed/lcag_search.h"
@@ -21,13 +23,20 @@
 namespace newslink {
 namespace embed {
 
-/// \brief Cumulative embedder counters (thread-safe to read at any time).
-struct EmbedderStats {
-  uint64_t segments = 0;          // EmbedSegment calls
-  uint64_t embedded = 0;          // ... that produced a subgraph
-  uint64_t timeouts = 0;          // LCAG wall-clock timeouts
-  uint64_t budget_exhausted = 0;  // LCAG max_expansions truncations
-  LcagCache::Stats cache;         // zero-valued when caching is disabled
+/// Registry series names used by the NE component.
+inline constexpr std::string_view kEmbedderSegments = "embedder_segments_total";
+inline constexpr std::string_view kEmbedderEmbedded = "embedder_embedded_total";
+inline constexpr std::string_view kEmbedderTimeouts = "embedder_timeouts_total";
+inline constexpr std::string_view kEmbedderBudgetExhausted =
+    "embedder_budget_exhausted_total";
+
+/// \brief Per-call outcome of one EmbedSegment (feeds trace-span notes).
+struct SegmentEmbedOutcome {
+  bool found = false;
+  bool cache_hit = false;
+  bool timed_out = false;
+  bool budget_exhausted = false;
+  size_t expansions = 0;  // settle events (0 on a cache hit)
 };
 
 /// \brief Strategy interface: how one entity group becomes a subgraph.
@@ -36,20 +45,22 @@ struct EmbedderStats {
 /// TreeSegmentEmbedder (the TreeEmb baseline of Table VII). EmbedSegment
 /// must be safe to call from many threads concurrently; both the index-time
 /// ParallelFor workers and concurrent query threads share one instance.
+/// Cumulative counters live in a metrics::Registry (the embedder_* and
+/// lcag_cache_* series) rather than bespoke stats structs.
 class SegmentEmbedder {
  public:
   virtual ~SegmentEmbedder() = default;
 
   /// Embed one entity group. Returns false when no connected subgraph was
   /// found (unmatched labels or timeout) — the segment is then skipped, as
-  /// the paper drops documents without embeddings (Sec. VII-A).
+  /// the paper drops documents without embeddings (Sec. VII-A). `outcome`,
+  /// when non-null, receives this call's per-segment observability.
   virtual bool EmbedSegment(const std::vector<std::string>& labels,
-                            AncestorGraph* out) const = 0;
+                            AncestorGraph* out,
+                            SegmentEmbedOutcome* outcome = nullptr) const = 0;
 
   /// Human-readable name for reports ("NewsLink", "TreeEmb").
   virtual std::string name() const = 0;
-
-  virtual EmbedderStats stats() const { return {}; }
 };
 
 /// \brief G*-based embedder (the NewsLink NE component).
@@ -58,28 +69,33 @@ class SegmentEmbedder {
 /// documents and repeated queries) skip Algorithms 1-3 entirely.
 class LcagSegmentEmbedder : public SegmentEmbedder {
  public:
+  /// `registry`, when given, receives the embedder_* counters and the
+  /// cache's lcag_cache_* series (and must outlive the embedder); nullptr
+  /// gives the embedder a private registry reachable via Metrics().
   LcagSegmentEmbedder(const kg::KnowledgeGraph* graph,
                       const kg::LabelIndex* index, LcagOptions options = {},
-                      size_t cache_capacity = 4096, size_t cache_shards = 16)
-      : search_(graph, index),
-        options_(options),
-        cache_(cache_capacity, cache_shards) {}
+                      size_t cache_capacity = 4096, size_t cache_shards = 16,
+                      metrics::Registry* registry = nullptr);
 
-  bool EmbedSegment(const std::vector<std::string>& labels,
-                    AncestorGraph* out) const override;
+  bool EmbedSegment(const std::vector<std::string>& labels, AncestorGraph* out,
+                    SegmentEmbedOutcome* outcome = nullptr) const override;
   std::string name() const override { return "NewsLink"; }
-  EmbedderStats stats() const override;
+
+  /// The registry holding this embedder's (and its cache's) series.
+  const metrics::Registry& Metrics() const { return *registry_; }
 
   const LcagCache& cache() const { return cache_; }
 
  private:
+  std::unique_ptr<metrics::Registry> owned_registry_;  // when none was passed
+  metrics::Registry* registry_;
   LcagSearch search_;
   LcagOptions options_;
   mutable LcagCache cache_;
-  mutable std::atomic<uint64_t> segments_{0};
-  mutable std::atomic<uint64_t> embedded_{0};
-  mutable std::atomic<uint64_t> timeouts_{0};
-  mutable std::atomic<uint64_t> budget_exhausted_{0};
+  metrics::Counter* segments_;
+  metrics::Counter* embedded_;
+  metrics::Counter* timeouts_;
+  metrics::Counter* budget_exhausted_;
 };
 
 /// \brief Tree-based embedder (the TreeEmb baseline).
@@ -90,8 +106,8 @@ class TreeSegmentEmbedder : public SegmentEmbedder {
                       TreeEmbedOptions options = {})
       : embedder_(graph, index), options_(options) {}
 
-  bool EmbedSegment(const std::vector<std::string>& labels,
-                    AncestorGraph* out) const override;
+  bool EmbedSegment(const std::vector<std::string>& labels, AncestorGraph* out,
+                    SegmentEmbedOutcome* outcome = nullptr) const override;
   std::string name() const override { return "TreeEmb"; }
 
  private:
@@ -120,10 +136,13 @@ struct DocumentEmbedding {
 };
 
 /// Embed every entity group (the maximal co-occurrence set) of a document
-/// and take the union.
+/// and take the union. `trace`, when non-null, receives one "segment" span
+/// per entity group, annotated with the group size and the LCAG outcome
+/// (cache_hit / timed_out / budget_exhausted).
 DocumentEmbedding EmbedDocument(
     const SegmentEmbedder& embedder,
-    const std::vector<std::vector<std::string>>& entity_groups);
+    const std::vector<std::vector<std::string>>& entity_groups,
+    Trace* trace = nullptr);
 
 }  // namespace embed
 }  // namespace newslink

@@ -35,12 +35,23 @@ std::string LcagCacheKey(const std::vector<std::vector<kg::NodeId>>& sources,
   return key;
 }
 
-LcagCache::LcagCache(size_t capacity, size_t num_shards)
+LcagCache::LcagCache(size_t capacity, size_t num_shards,
+                     metrics::Registry* registry)
     : capacity_(capacity) {
   if (num_shards == 0) num_shards = 1;
   num_shards = std::min(num_shards, std::max<size_t>(capacity, 1));
   shard_capacity_ = (capacity + num_shards - 1) / num_shards;
   shards_ = std::vector<Shard>(num_shards);
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<metrics::Registry>();
+    registry = owned_registry_.get();
+  }
+  registry_ = registry;
+  hits_ = registry_->GetCounter(kLcagCacheHits, "LCAG cache lookup hits");
+  misses_ = registry_->GetCounter(kLcagCacheMisses, "LCAG cache lookup misses");
+  evictions_ =
+      registry_->GetCounter(kLcagCacheEvictions, "LCAG cache LRU evictions");
+  entries_ = registry_->GetGauge(kLcagCacheEntries, "LCAG cache live entries");
 }
 
 LcagCache::Shard& LcagCache::ShardFor(const std::string& key) const {
@@ -53,12 +64,14 @@ bool LcagCache::Lookup(const std::string& key, LcagResult* out) const {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    ++shard.misses;
+    misses_->Inc();
     return false;
   }
-  ++shard.hits;
+  hits_->Inc();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *out = it->second->value;
+  // Results restored from the cache report the saved Algorithms 1-3 work.
+  out->cache_hit = true;
   return true;
 }
 
@@ -75,28 +88,21 @@ void LcagCache::Insert(const std::string& key, const LcagResult& value) {
   while (shard.lru.size() >= shard_capacity_) {
     shard.index.erase(std::string_view(shard.lru.back().key));
     shard.lru.pop_back();
-    ++shard.evictions;
+    evictions_->Inc();
+    entries_->Add(-1.0);
   }
   shard.lru.push_front(Entry{key, value});
+  // Cached entries never claim to be hits; the flag is set on Lookup.
+  shard.lru.front().value.cache_hit = false;
   shard.index.emplace(std::string_view(shard.lru.front().key),
                       shard.lru.begin());
-}
-
-LcagCache::Stats LcagCache::stats() const {
-  Stats out;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    out.hits += shard.hits;
-    out.misses += shard.misses;
-    out.evictions += shard.evictions;
-    out.entries += shard.lru.size();
-  }
-  return out;
+  entries_->Add(1.0);
 }
 
 void LcagCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
+    entries_->Add(-static_cast<double>(shard.lru.size()));
     shard.index.clear();
     shard.lru.clear();
   }

@@ -132,6 +132,9 @@ struct LcagResult {
   /// deterministic, so truncated results are still cacheable — but callers
   /// (and engine stats) can tell the result may be non-optimal.
   bool budget_exhausted = false;
+  /// True when this result was served from an LcagCache instead of running
+  /// Algorithms 1-3 (query-path observability: the NE span notes it).
+  bool cache_hit = false;
   AncestorGraph graph;
   /// Labels that resolved to at least one KG node (others are dropped, as
   /// in the paper's exact-matching pipeline).

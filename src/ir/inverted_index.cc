@@ -24,6 +24,10 @@ DocId InvertedIndex::AddDocument(const TermCounts& counts) {
   }
   total_length_.fetch_add(length, std::memory_order_release);
   doc_lengths_.Append(length);
+  if (docs_added_ != nullptr) {
+    docs_added_->Inc();
+    postings_added_->Inc(counts.size());
+  }
   return doc;
 }
 

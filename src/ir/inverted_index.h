@@ -17,9 +17,12 @@
 #include <cstdint>
 #include <iterator>
 #include <limits>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "ir/append_only.h"
 #include "ir/term_dictionary.h"
 
@@ -132,7 +135,9 @@ class InvertedIndex {
       : terms_(std::move(other.terms_)),
         doc_lengths_(std::move(other.doc_lengths_)),
         total_length_(other.total_length_.exchange(
-            0, std::memory_order_relaxed)) {}
+            0, std::memory_order_relaxed)),
+        docs_added_(other.docs_added_),
+        postings_added_(other.postings_added_) {}
   InvertedIndex& operator=(InvertedIndex&& other) noexcept {
     if (this != &other) {
       terms_ = std::move(other.terms_);
@@ -140,8 +145,21 @@ class InvertedIndex {
       total_length_.store(
           other.total_length_.exchange(0, std::memory_order_relaxed),
           std::memory_order_relaxed);
+      docs_added_ = other.docs_added_;
+      postings_added_ = other.postings_added_;
     }
     return *this;
+  }
+
+  /// Register cumulative ingestion series (`<prefix>_index_docs_total`,
+  /// `<prefix>_index_postings_total`) in `registry`. Setup-time only (same
+  /// single-writer discipline as AddDocument); the registry must outlive
+  /// the index.
+  void EnableMetrics(metrics::Registry* registry, std::string_view prefix) {
+    docs_added_ = registry->GetCounter(
+        std::string(prefix) + "_index_docs_total", "documents appended");
+    postings_added_ = registry->GetCounter(
+        std::string(prefix) + "_index_postings_total", "postings appended");
   }
 
   /// Add the next document; returns its id (sequential from 0).
@@ -196,6 +214,8 @@ class InvertedIndex {
   AppendOnlyStore<TermEntry> terms_;
   AppendOnlyStore<uint32_t> doc_lengths_;
   std::atomic<uint64_t> total_length_{0};
+  metrics::Counter* docs_added_ = nullptr;  // null until EnableMetrics
+  metrics::Counter* postings_added_ = nullptr;
 };
 
 }  // namespace ir

@@ -42,6 +42,7 @@ std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
   if (terms.empty() || k == 0) {
     last_docs_scored_.store(0, std::memory_order_relaxed);
     if (docs_scored != nullptr) *docs_scored = 0;
+    if (calls_ != nullptr) calls_->Inc();
     return {};
   }
 
@@ -112,6 +113,10 @@ std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
   }
   last_docs_scored_.store(scored, std::memory_order_relaxed);
   if (docs_scored != nullptr) *docs_scored = scored;
+  if (calls_ != nullptr) {
+    calls_->Inc();
+    docs_scored_counter_->Inc(scored);
+  }
   return heap.Take();
 }
 

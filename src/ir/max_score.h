@@ -9,8 +9,11 @@
 
 #include <atomic>
 #include <cstddef>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
 #include "ir/inverted_index.h"
 #include "ir/scorer.h"
 
@@ -23,6 +26,17 @@ class MaxScoreRetriever {
   explicit MaxScoreRetriever(const InvertedIndex* index,
                              Bm25Params params = {})
       : index_(index), scorer_(index, params), params_(params) {}
+
+  /// Register cumulative retrieval series (`<prefix>_maxscore_calls_total`,
+  /// `<prefix>_maxscore_docs_scored_total`) in `registry`. Call once at
+  /// setup, before queries run; the registry must outlive the retriever.
+  void EnableMetrics(metrics::Registry* registry, std::string_view prefix) {
+    calls_ = registry->GetCounter(std::string(prefix) + "_maxscore_calls_total",
+                                  "TopK invocations");
+    docs_scored_counter_ = registry->GetCounter(
+        std::string(prefix) + "_maxscore_docs_scored_total",
+        "documents fully scored (pruning skips the rest)");
+  }
 
   /// Top-k documents for the query within `snapshot`, identical (including
   /// tie order) to SelectTopK(Bm25Scorer::ScoreAll(query, snapshot), k).
@@ -57,6 +71,8 @@ class MaxScoreRetriever {
   Bm25Scorer scorer_;
   Bm25Params params_;
   mutable std::atomic<size_t> last_docs_scored_{0};
+  metrics::Counter* calls_ = nullptr;  // null until EnableMetrics
+  metrics::Counter* docs_scored_counter_ = nullptr;
 };
 
 }  // namespace ir

@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -64,11 +65,52 @@ NewsLinkEngine::NewsLinkEngine(const kg::KnowledgeGraph* graph,
       text_scorer_(&text_index_, config_.bm25),
       node_scorer_(&node_index_, config_.bon_bm25),
       text_retriever_(&text_index_, config_.bm25),
-      node_retriever_(&node_index_, config_.bon_bm25) {
+      node_retriever_(&node_index_, config_.bon_bm25),
+      queries_(registry()->GetCounter(baselines::kEngineQueries,
+                                      "Search calls")),
+      bow_docs_scored_(registry()->GetCounter(
+          kBowDocsScored, "documents BM25-scored on the text (BOW) side")),
+      bon_docs_scored_(registry()->GetCounter(
+          kBonDocsScored, "documents BM25-scored on the node (BON) side")),
+      epochs_published_(registry()->GetCounter(
+          kEpochsPublished, "snapshots published by writers")),
+      snapshot_acquisitions_(registry()->GetCounter(
+          kSnapshotAcquisitions, "snapshots handed to queries")),
+      snapshots_reclaimed_(registry()->GetCounter(
+          kSnapshotsReclaimed, "snapshots whose last reader released them")),
+      slow_queries_(registry()->GetCounter(
+          kSlowQueries, "queries over the slow-query threshold")),
+      current_epoch_(registry()->GetGauge(kCurrentEpoch,
+                                          "epoch currently installed")),
+      indexed_docs_(registry()->GetGauge(
+          kIndexedDocs, "documents visible in the current epoch")),
+      query_seconds_(registry()->GetHistogram(
+          baselines::kEngineQuerySeconds, {},
+          "end-to-end query latency, seconds")),
+      query_nlp_seconds_(registry()->GetHistogram(
+          kQueryNlpSeconds, {}, "per-query NLP stage, seconds")),
+      query_ne_seconds_(registry()->GetHistogram(
+          kQueryNeSeconds, {}, "per-query NE stage, seconds")),
+      query_ns_seconds_(registry()->GetHistogram(
+          kQueryNsSeconds, {}, "per-query NS stage, seconds")),
+      query_explain_seconds_(registry()->GetHistogram(
+          kQueryExplainSeconds, {}, "per-query explanation stage, seconds")),
+      index_nlp_seconds_(registry()->GetHistogram(
+          kIndexNlpSeconds, {}, "per-document NLP stage at index time")),
+      index_ne_seconds_(registry()->GetHistogram(
+          kIndexNeSeconds, {}, "per-document NE stage at index time")),
+      index_ns_seconds_(registry()->GetHistogram(
+          kIndexNsSeconds, {}, "per-document NS appends at index time")),
+      slow_log_(config_.slow_query_threshold_seconds,
+                config_.slow_query_log_capacity) {
+  text_index_.EnableMetrics(registry(), "bow");
+  node_index_.EnableMetrics(registry(), "bon");
+  text_retriever_.EnableMetrics(registry(), "bow");
+  node_retriever_.EnableMetrics(registry(), "bon");
   if (config_.embedder == EmbedderKind::kLcag) {
     embedder_ = std::make_unique<embed::LcagSegmentEmbedder>(
         graph_, label_index_, config_.lcag, config_.lcag_cache_capacity,
-        config_.lcag_cache_shards);
+        config_.lcag_cache_shards, registry());
   } else {
     embedder_ = std::make_unique<embed::TreeSegmentEmbedder>(
         graph_, label_index_, config_.tree);
@@ -97,26 +139,33 @@ embed::DocumentEmbedding NewsLinkEngine::EmbedText(
 
 std::shared_ptr<const NewsLinkEngine::EngineSnapshot>
 NewsLinkEngine::AcquireSnapshot() const {
-  snapshot_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_acquisitions_->Inc();
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;
 }
 
 void NewsLinkEngine::PublishSnapshot() {
   auto* snap = new EngineSnapshot;
-  snap->epoch = epochs_published_.fetch_add(1, std::memory_order_relaxed);
+  // Publishers are serialized (writer_mu_ or the constructor), so reading
+  // then incrementing the epoch counter is race-free.
+  snap->epoch = epochs_published_->Value();
+  epochs_published_->Inc();
   snap->text = text_index_.Capture();
   snap->node = node_index_.Capture();
   NL_DCHECK(snap->text.num_docs == snap->node.num_docs)
       << "both index sides must cover the same documents";
   snap->num_docs = snap->text.num_docs;
-  // The deleter shares ownership of the reclamation counter (not the
-  // engine) so accounting stays correct even for snapshots outliving it.
-  std::shared_ptr<std::atomic<uint64_t>> reclaimed = snapshots_reclaimed_;
+  current_epoch_->Set(static_cast<double>(snap->epoch));
+  indexed_docs_->Set(static_cast<double>(snap->num_docs));
+  // The deleter may run on whichever thread drops the last reference; the
+  // counter it bumps lives in the base-class registry, which outlives the
+  // snapshot slot (a derived member), and EngineSnapshot never escapes the
+  // engine's own API.
+  metrics::Counter* reclaimed = snapshots_reclaimed_;
   std::shared_ptr<const EngineSnapshot> ptr(
       snap, [reclaimed](const EngineSnapshot* s) {
         delete s;
-        reclaimed->fetch_add(1, std::memory_order_relaxed);
+        reclaimed->Inc();
       });
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = std::move(ptr);
@@ -125,40 +174,35 @@ void NewsLinkEngine::PublishSnapshot() {
 void NewsLinkEngine::Index(const corpus::Corpus& corpus) {
   const size_t n = corpus.size();
   std::vector<embed::DocumentEmbedding> embeddings(n);
-  std::vector<TimeBreakdown> worker_times(n);
 
   // NLP + NE per document, in parallel (documents are independent); the
   // results land in a local buffer so concurrent queries — which see the
   // pre-Index epoch until the publish below — never observe the workers.
+  // Histogram observations are wait-free, so workers feed them directly.
   ThreadPool pool(config_.num_threads);
   pool.ParallelFor(n, [&](size_t i) {
-    TimeBreakdown& times = worker_times[i];
-    text::SegmentedDocument segmented;
-    {
-      ScopedTimer t(&times, "nlp");
-      segmented = SegmentText(corpus.doc(i).text);
-    }
-    {
-      ScopedTimer t(&times, "ne");
-      embeddings[i] = embed::EmbedDocument(
-          *embedder_, EntityGroups(segmented, config_.use_maximal_reduction));
-    }
+    WallTimer timer;
+    text::SegmentedDocument segmented = SegmentText(corpus.doc(i).text);
+    index_nlp_seconds_->Observe(timer.ElapsedSeconds());
+    timer.Restart();
+    embeddings[i] = embed::EmbedDocument(
+        *embedder_, EntityGroups(segmented, config_.use_maximal_reduction));
+    index_ne_seconds_->Observe(timer.ElapsedSeconds());
   });
 
   // NS: build both inverted indexes (sequential: index ids must align),
   // then publish the whole corpus as one epoch.
   std::lock_guard<std::mutex> writer(writer_mu_);
   for (size_t i = 0; i < n; ++i) {
-    ScopedTimer t(&worker_times[i], "ns");
+    WallTimer timer;
     text_index_.AddDocument(
         ir::TextVectorizer::CountsForIndexing(corpus.doc(i).text, &text_dict_));
     node_index_.AddDocument(
         BonCounts(embeddings[i], config_.bon_doc_tf_cap));
     doc_embeddings_.Append(std::move(embeddings[i]));
+    index_ns_seconds_->Observe(timer.ElapsedSeconds());
   }
   PublishSnapshot();
-
-  for (const TimeBreakdown& t : worker_times) index_times_.Merge(t);
 }
 
 Status NewsLinkEngine::IndexWithEmbeddings(
@@ -171,11 +215,13 @@ Status NewsLinkEngine::IndexWithEmbeddings(
   }
   std::lock_guard<std::mutex> writer(writer_mu_);
   for (size_t i = 0; i < corpus.size(); ++i) {
+    WallTimer timer;
     text_index_.AddDocument(
         ir::TextVectorizer::CountsForIndexing(corpus.doc(i).text, &text_dict_));
     node_index_.AddDocument(
         BonCounts(embeddings[i], config_.bon_doc_tf_cap));
     doc_embeddings_.Append(std::move(embeddings[i]));
+    index_ns_seconds_->Observe(timer.ElapsedSeconds());
   }
   PublishSnapshot();
   return Status::OK();
@@ -185,16 +231,22 @@ size_t NewsLinkEngine::AddDocument(const corpus::Document& doc) {
   // NLP + NE are the expensive stages; run them before taking the writer
   // lock so concurrent AddDocument callers only serialize on the (cheap)
   // index appends.
+  WallTimer timer;
   text::SegmentedDocument segmented = SegmentText(doc.text);
+  index_nlp_seconds_->Observe(timer.ElapsedSeconds());
+  timer.Restart();
   embed::DocumentEmbedding embedding = embed::EmbedDocument(
       *embedder_, EntityGroups(segmented, config_.use_maximal_reduction));
+  index_ne_seconds_->Observe(timer.ElapsedSeconds());
 
   std::lock_guard<std::mutex> writer(writer_mu_);
+  timer.Restart();
   const size_t index = doc_embeddings_.size();
   text_index_.AddDocument(
       ir::TextVectorizer::CountsForIndexing(doc.text, &text_dict_));
   node_index_.AddDocument(BonCounts(embedding, config_.bon_doc_tf_cap));
   doc_embeddings_.Append(std::move(embedding));
+  index_ns_seconds_->Observe(timer.ElapsedSeconds());
   PublishSnapshot();
   return index;
 }
@@ -207,25 +259,6 @@ std::vector<embed::DocumentEmbedding> NewsLinkEngine::SnapshotEmbeddings()
   for (size_t i = 0; i < snap->num_docs; ++i) {
     out.push_back(doc_embeddings_.At(i));
   }
-  return out;
-}
-
-EngineStats NewsLinkEngine::stats() const {
-  EngineStats out;
-  out.queries = queries_.load(std::memory_order_relaxed);
-  out.bow_docs_scored = bow_docs_scored_.load(std::memory_order_relaxed);
-  out.bon_docs_scored = bon_docs_scored_.load(std::memory_order_relaxed);
-  out.epochs_published = epochs_published_.load(std::memory_order_relaxed);
-  out.snapshots_reclaimed =
-      snapshots_reclaimed_->load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
-    out.current_epoch = snapshot_->epoch;
-  }
-  // Read after current_epoch so acquisitions >= what queries saw.
-  out.snapshot_acquisitions =
-      snapshot_acquisitions_.load(std::memory_order_relaxed);
-  out.embedder = embedder_->stats();
   return out;
 }
 
@@ -248,6 +281,12 @@ baselines::SearchResponse NewsLinkEngine::Search(
       request.exhaustive_fusion.value_or(config_.exhaustive_fusion);
   const size_t k = request.k;
 
+  // The query's span tree: one "search" root with a child per component
+  // stage. Everything downstream — SearchResponse::timings, the per-stage
+  // histograms, the slow-query log — derives from this one tree.
+  Trace query_trace;
+  const size_t root_handle = query_trace.Begin("search");
+
   // One epoch for the whole query: every statistic, posting, and embedding
   // read below comes from this snapshot.
   const std::shared_ptr<const EngineSnapshot> snap = AcquireSnapshot();
@@ -256,30 +295,29 @@ baselines::SearchResponse NewsLinkEngine::Search(
   response.epoch = snap->epoch;
   response.snapshot_docs = snap->num_docs;
 
-  // Per-call breakdown on the stack: Search must be callable from many
-  // threads, so the shared accumulator is only touched under its mutex at
-  // the end of the call.
-  TimeBreakdown times;
-
   // --- NLP + NE on the query -------------------------------------------
   embed::DocumentEmbedding query_embedding;
   text::SegmentedDocument segmented;
   {
-    ScopedTimer t(&times, "nlp");
+    ScopedSpan span(&query_trace, "nlp");
     segmented = SegmentText(request.query);
+    query_trace.Note("segments", std::to_string(segmented.segments.size()));
   }
   {
-    ScopedTimer t(&times, "ne");
+    ScopedSpan span(&query_trace, "ne");
     // Explanations need a query embedding even at beta == 0.
     if (beta > 0.0 || request.explain) {
       query_embedding = embed::EmbedDocument(
-          *embedder_, EntityGroups(segmented, config_.use_maximal_reduction));
+          *embedder_, EntityGroups(segmented, config_.use_maximal_reduction),
+          &query_trace);
+    } else {
+      query_trace.Note("skipped", "beta=0");
     }
   }
 
   // --- NS: score both sides and fuse (Eq. 3) ----------------------------
   {
-    ScopedTimer t(&times, "ns");
+    ScopedSpan span(&query_trace, "ns");
     const bool use_bow = beta < 1.0;
     const bool use_bon = beta > 0.0;
     // k' of the pruned path: enough slack that the true fused top-k is in
@@ -368,8 +406,10 @@ baselines::SearchResponse NewsLinkEngine::Search(
       }
     }
 
-    bow_docs_scored_.fetch_add(bow_scored, std::memory_order_relaxed);
-    bon_docs_scored_.fetch_add(bon_scored, std::memory_order_relaxed);
+    bow_docs_scored_->Inc(bow_scored);
+    bon_docs_scored_->Inc(bon_scored);
+    query_trace.Note("bow_scored", std::to_string(bow_scored));
+    query_trace.Note("bon_scored", std::to_string(bon_scored));
 
     ir::TopKHeap heap(k);
     for (const auto& [doc, score] : fused) {
@@ -387,7 +427,7 @@ baselines::SearchResponse NewsLinkEngine::Search(
   if (request.explain) {
     // Hits come from this snapshot, so every doc_index is below
     // snap->num_docs and its embedding is fully published.
-    ScopedTimer t(&times, "explain");
+    ScopedSpan span(&query_trace, "explain");
     for (baselines::SearchHit& hit : response.hits) {
       hit.paths =
           explainer_.Explain(query_embedding, doc_embeddings_.At(hit.doc_index),
@@ -395,12 +435,35 @@ baselines::SearchResponse NewsLinkEngine::Search(
     }
   }
 
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(query_times_mu_);
-    query_times_.Merge(times);
+  query_trace.End(root_handle);
+  TraceSpan root = query_trace.Finish();
+
+  // Cumulative series + the response's own view, all from the one tree.
+  queries_->Inc();
+  query_seconds_->Observe(root.duration_seconds);
+  for (const TraceSpan& child : root.children) {
+    if (child.name == "nlp") {
+      query_nlp_seconds_->Observe(child.duration_seconds);
+    } else if (child.name == "ne") {
+      query_ne_seconds_->Observe(child.duration_seconds);
+    } else if (child.name == "ns") {
+      query_ns_seconds_->Observe(child.duration_seconds);
+    } else if (child.name == "explain") {
+      query_explain_seconds_->Observe(child.duration_seconds);
+    }
   }
-  response.timings = std::move(times);
+  response.timings = SpanBreakdown(root);
+
+  if (slow_log_.ShouldRecord(root.duration_seconds)) {
+    slow_queries_->Inc();
+    SlowQueryRecord record;
+    record.query = request.query;
+    record.seconds = root.duration_seconds;
+    record.epoch = snap->epoch;
+    record.trace = root;  // copy: the response may still want the tree
+    slow_log_.Record(std::move(record));
+  }
+  if (request.trace) response.trace = std::move(root);
   return response;
 }
 

@@ -14,6 +14,13 @@
 // against it: it can never observe a half-appended document or mix
 // statistics from two epochs. Old snapshots are reclaimed when their last
 // reader releases them.
+//
+// Observability (DESIGN.md Sec. 8): every cumulative counter, gauge, and
+// latency histogram lives in the engine's metrics::Registry (Metrics() on
+// the base class); per-query time attribution comes from the span tree
+// each Search call builds (SearchResponse::timings / ::trace), and queries
+// crossing `slow_query_threshold_seconds` land in slow_query_log() with
+// their full tree.
 
 #ifndef NEWSLINK_NEWSLINK_NEWSLINK_ENGINE_H_
 #define NEWSLINK_NEWSLINK_NEWSLINK_ENGINE_H_
@@ -23,10 +30,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "baselines/search_engine.h"
+#include "common/metrics.h"
+#include "common/slow_query_log.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "embed/document_embedding.h"
 #include "embed/path_explainer.h"
 #include "ir/append_only.h"
@@ -40,6 +51,31 @@
 #include "text/news_segmenter.h"
 
 namespace newslink {
+
+/// Registry series names maintained by NewsLinkEngine, on top of the
+/// engine_* series of the baselines::SearchEngine base and the embedder_*
+/// / lcag_cache_* series of its NE component (all in the same registry).
+inline constexpr std::string_view kBowDocsScored = "bow_docs_scored_total";
+inline constexpr std::string_view kBonDocsScored = "bon_docs_scored_total";
+inline constexpr std::string_view kEpochsPublished = "epochs_published_total";
+inline constexpr std::string_view kSnapshotAcquisitions =
+    "snapshot_acquisitions_total";
+inline constexpr std::string_view kSnapshotsReclaimed =
+    "snapshots_reclaimed_total";
+inline constexpr std::string_view kCurrentEpoch = "current_epoch";
+inline constexpr std::string_view kIndexedDocs = "indexed_docs";
+inline constexpr std::string_view kSlowQueries = "slow_queries_total";
+/// Per-query component latency histograms (seconds), fed from the query's
+/// span tree — Fig. 7 / Table VIII breakdowns read these.
+inline constexpr std::string_view kQueryNlpSeconds = "query_nlp_seconds";
+inline constexpr std::string_view kQueryNeSeconds = "query_ne_seconds";
+inline constexpr std::string_view kQueryNsSeconds = "query_ns_seconds";
+inline constexpr std::string_view kQueryExplainSeconds =
+    "query_explain_seconds";
+/// Per-document component latency histograms for index builds / ingestion.
+inline constexpr std::string_view kIndexNlpSeconds = "index_nlp_seconds";
+inline constexpr std::string_view kIndexNeSeconds = "index_ne_seconds";
+inline constexpr std::string_view kIndexNsSeconds = "index_ns_seconds";
 
 /// \brief Which NE-component model embeds the news segments.
 enum class EmbedderKind {
@@ -90,27 +126,11 @@ struct NewsLinkConfig {
   size_t lcag_cache_capacity = 4096;
   /// Lock shards of the LCAG cache (parallel index builds contend here).
   size_t lcag_cache_shards = 16;
-};
-
-/// \brief Cumulative engine counters; safe to read while queries run.
-struct EngineStats {
-  uint64_t queries = 0;
-  /// Documents fully BM25-scored on the text (BOW) / node (BON) side,
-  /// including pruned-path union rescoring. The exhaustive oracle counts
-  /// every accumulator it touches, so pruning shows up as a strictly
-  /// smaller number on the same workload.
-  uint64_t bow_docs_scored = 0;
-  uint64_t bon_docs_scored = 0;
-  /// Snapshot lifecycle: epochs published by writers (the empty epoch 0
-  /// counts), snapshots handed to queries, snapshots whose last reader has
-  /// released them, and the epoch currently installed.
-  uint64_t epochs_published = 0;
-  uint64_t snapshot_acquisitions = 0;
-  uint64_t snapshots_reclaimed = 0;
-  uint64_t current_epoch = 0;
-  /// NE-component counters: LCAG cache hits/misses/evictions plus timeout
-  /// and expansion-budget truncations (both index- and query-time).
-  embed::EmbedderStats embedder;
+  /// Queries at least this slow (end-to-end seconds) are recorded — with
+  /// their full span tree — in slow_query_log(). <= 0 disables the log.
+  double slow_query_threshold_seconds = 0.0;
+  /// Most-recent entries kept by the slow-query log.
+  size_t slow_query_log_capacity = 32;
 };
 
 /// \brief A search hit with optional relationship-path explanations.
@@ -156,7 +176,9 @@ class NewsLinkEngine : public baselines::SearchEngine {
   /// both index sides against that one snapshot, fuses (Eq. 3), and —
   /// when request.explain is set — attaches relationship paths. Any
   /// number of threads may call this concurrently with each other and
-  /// with AddDocument.
+  /// with AddDocument. The call builds a span tree (root "search" with
+  /// children nlp/ne/ns/explain); SearchResponse::timings is derived from
+  /// it and SearchRequest::trace returns it whole.
   baselines::SearchResponse Search(
       const baselines::SearchRequest& request) const override;
 
@@ -187,25 +209,9 @@ class NewsLinkEngine : public baselines::SearchEngine {
   /// epoch.
   double EmbeddedDocumentFraction() const;
 
-  /// Cumulative per-component times. Indexing fills `index_times()` with
-  /// buckets "nlp"/"ne"/"ns" per document; every Search() adds the same
-  /// buckets per query to `query_times()` (Fig. 7 and Table VIII). Each
-  /// query collects its breakdown on the stack (also returned in its
-  /// SearchResponse) and merges it into the engine accumulator under a
-  /// mutex, so concurrent searches are safe; query_times() therefore
-  /// returns a snapshot by value.
-  const TimeBreakdown& index_times() const { return index_times_; }
-  TimeBreakdown query_times() const {
-    std::lock_guard<std::mutex> lock(query_times_mu_);
-    return query_times_;
-  }
-  void ResetQueryTimes() {
-    std::lock_guard<std::mutex> lock(query_times_mu_);
-    query_times_ = TimeBreakdown();
-  }
-
-  /// Cumulative retrieval / NE / snapshot counters (thread-safe snapshot).
-  EngineStats stats() const;
+  /// Recent queries over config.slow_query_threshold_seconds, each with
+  /// its full span tree.
+  const SlowQueryLog& slow_query_log() const { return slow_log_; }
 
  private:
   /// One published epoch: immutable extents + statistics of both indexes.
@@ -253,18 +259,30 @@ class NewsLinkEngine : public baselines::SearchEngine {
   // critical section is two refcount operations.
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const EngineSnapshot> snapshot_;  // guarded by snapshot_mu_
-  std::shared_ptr<std::atomic<uint64_t>> snapshots_reclaimed_ =
-      std::make_shared<std::atomic<uint64_t>>(0);
-  std::atomic<uint64_t> epochs_published_{0};
-  mutable std::atomic<uint64_t> snapshot_acquisitions_{0};
 
-  TimeBreakdown index_times_;
-  mutable std::mutex query_times_mu_;
-  mutable TimeBreakdown query_times_;  // guarded by query_times_mu_
+  // Instrument pointers into the base-class registry. Stable for the
+  // engine's lifetime; the registry (a base-class member) outlives every
+  // derived member, so the snapshot deleter below may capture
+  // snapshots_reclaimed_ (EngineSnapshot never escapes the engine).
+  metrics::Counter* queries_;
+  metrics::Counter* bow_docs_scored_;
+  metrics::Counter* bon_docs_scored_;
+  metrics::Counter* epochs_published_;
+  metrics::Counter* snapshot_acquisitions_;
+  metrics::Counter* snapshots_reclaimed_;
+  metrics::Counter* slow_queries_;
+  metrics::Gauge* current_epoch_;
+  metrics::Gauge* indexed_docs_;
+  metrics::Histogram* query_seconds_;
+  metrics::Histogram* query_nlp_seconds_;
+  metrics::Histogram* query_ne_seconds_;
+  metrics::Histogram* query_ns_seconds_;
+  metrics::Histogram* query_explain_seconds_;
+  metrics::Histogram* index_nlp_seconds_;
+  metrics::Histogram* index_ne_seconds_;
+  metrics::Histogram* index_ns_seconds_;
 
-  mutable std::atomic<uint64_t> queries_{0};
-  mutable std::atomic<uint64_t> bow_docs_scored_{0};
-  mutable std::atomic<uint64_t> bon_docs_scored_{0};
+  mutable SlowQueryLog slow_log_;  // Search (const) records into it
 };
 
 }  // namespace newslink

@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include "corpus/synthetic_news.h"
+#include "embed/document_embedding.h"
+#include "embed/lcag_cache.h"
 #include "kg/label_index.h"
 #include "kg/synthetic_kg.h"
 #include "newslink/newslink_engine.h"
@@ -68,7 +70,8 @@ TEST_F(ConcurrentSearchTest, ParallelSearchesMatchSingleThreaded) {
     reference.push_back(engine.Search(queries.back(), kK));
   }
 
-  engine.ResetQueryTimes();
+  const uint64_t nlp_before =
+      engine.Metrics().FindHistogram(kQueryNlpSeconds)->Count();
   constexpr int kThreads = 4;
   constexpr int kRounds = 3;
   std::atomic<int> mismatches{0};
@@ -94,29 +97,33 @@ TEST_F(ConcurrentSearchTest, ParallelSearchesMatchSingleThreaded) {
   EXPECT_EQ(mismatches.load(), 0)
       << "concurrent Search must return the single-threaded results";
 
-  // The per-call breakdowns merge losslessly under the mutex: exactly one
-  // event per bucket per query, none dropped by racing threads.
-  const int64_t total = kThreads * kRounds * static_cast<int64_t>(kQueries);
-  const TimeBreakdown times = engine.query_times();
-  EXPECT_EQ(times.Count("nlp"), total);
-  EXPECT_EQ(times.Count("ne"), total);
-  EXPECT_EQ(times.Count("ns"), total);
+  // The sharded registry instruments lose no events under contention:
+  // exactly one observation per stage per query across all threads.
+  const uint64_t total = kThreads * kRounds * kQueries;
+  const metrics::Registry& metrics = engine.Metrics();
+  EXPECT_EQ(metrics.FindHistogram(kQueryNlpSeconds)->Count(),
+            nlp_before + total);
+  EXPECT_EQ(metrics.FindHistogram(kQueryNeSeconds)->Count(),
+            nlp_before + total);
+  EXPECT_EQ(metrics.FindHistogram(kQueryNsSeconds)->Count(),
+            nlp_before + total);
 }
 
-TEST_F(ConcurrentSearchTest, StatsCountQueriesAndCacheHits) {
+TEST_F(ConcurrentSearchTest, MetricsCountQueriesAndCacheHits) {
   NewsLinkEngine engine = MakeEngine(0.5);
   engine.Index(corpus_.corpus);
-  const EngineStats after_index = engine.stats();
-  EXPECT_EQ(after_index.queries, 0u);
-  EXPECT_GT(after_index.embedder.segments, 0u);
+  const metrics::Registry& metrics = engine.Metrics();
+  EXPECT_EQ(metrics.CounterValue(baselines::kEngineQueries), 0u);
+  EXPECT_GT(metrics.CounterValue(embed::kEmbedderSegments), 0u);
+  const uint64_t hits_after_index =
+      metrics.CounterValue(embed::kLcagCacheHits);
 
   const std::string q = FirstSentenceOf(0);
   engine.Search(q, 5);
   engine.Search(q, 5);  // repeated query: its entity groups hit the cache
-  const EngineStats after = engine.stats();
-  EXPECT_EQ(after.queries, 2u);
-  EXPECT_GT(after.bow_docs_scored, 0u);
-  EXPECT_GE(after.embedder.cache.hits, after_index.embedder.cache.hits);
+  EXPECT_EQ(metrics.CounterValue(baselines::kEngineQueries), 2u);
+  EXPECT_GT(metrics.CounterValue(kBowDocsScored), 0u);
+  EXPECT_GE(metrics.CounterValue(embed::kLcagCacheHits), hits_after_index);
 }
 
 TEST_F(ConcurrentSearchTest, PrunedFusionMatchesExhaustiveOracle) {
@@ -222,13 +229,14 @@ TEST_F(ConcurrentSearchTest, WriterVsReadersSeeOnlyCompleteEpochs) {
       << "readers must never observe a half-published epoch";
   EXPECT_EQ(engine.num_indexed_docs(), base_docs + added);
 
-  const EngineStats stats = engine.stats();
+  const metrics::Registry& metrics = engine.Metrics();
+  const uint64_t epochs_published = metrics.CounterValue(kEpochsPublished);
   // Epoch 0 (empty) + Index + one per AddDocument.
-  EXPECT_EQ(stats.epochs_published, 2 + added);
-  EXPECT_EQ(stats.current_epoch, 1 + added);
-  EXPECT_GT(stats.snapshot_acquisitions, 0u);
+  EXPECT_EQ(epochs_published, 2 + added);
+  EXPECT_EQ(metrics.GaugeValue(kCurrentEpoch), 1.0 + added);
+  EXPECT_GT(metrics.CounterValue(kSnapshotAcquisitions), 0u);
   // Every superseded epoch has been reclaimed (no readers left).
-  EXPECT_EQ(stats.snapshots_reclaimed, stats.epochs_published - 1);
+  EXPECT_EQ(metrics.CounterValue(kSnapshotsReclaimed), epochs_published - 1);
 
   // The appended documents are searchable at the final epoch.
   baselines::SearchRequest request;
@@ -304,13 +312,13 @@ TEST_F(ConcurrentSearchTest, PrunedFusionScoresFewerDocuments) {
     engine.Search(request);
   };
 
-  const uint64_t base_bow = engine.stats().bow_docs_scored;
+  auto bow_scored = [&] { return engine.Metrics().CounterValue(kBowDocsScored); };
+  const uint64_t base_bow = bow_scored();
   for (size_t d = 0; d < 10; ++d) run(d, /*exhaustive=*/true);
-  const uint64_t exhaustive_bow = engine.stats().bow_docs_scored - base_bow;
+  const uint64_t exhaustive_bow = bow_scored() - base_bow;
 
   for (size_t d = 0; d < 10; ++d) run(d, /*exhaustive=*/false);
-  const uint64_t pruned_bow =
-      engine.stats().bow_docs_scored - base_bow - exhaustive_bow;
+  const uint64_t pruned_bow = bow_scored() - base_bow - exhaustive_bow;
 
   EXPECT_LT(pruned_bow, exhaustive_bow)
       << "MaxScore retrieval must score strictly fewer text-side documents";

@@ -69,11 +69,14 @@ TEST(LcagCacheTest, InsertLookupRoundTrip) {
   ASSERT_TRUE(cache.Lookup("a", &out));
   EXPECT_TRUE(out.found);
   EXPECT_EQ(out.graph.root, 7u);
-  const LcagCache::Stats stats = cache.stats();
-  EXPECT_EQ(stats.hits, 1u);
-  EXPECT_EQ(stats.misses, 1u);
-  EXPECT_EQ(stats.entries, 1u);
-  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+  // The same numbers are visible through the consolidated registry view.
+  EXPECT_EQ(cache.Metrics().CounterValue(kLcagCacheHits), 1u);
+  EXPECT_EQ(cache.Metrics().CounterValue(kLcagCacheMisses), 1u);
+  EXPECT_EQ(cache.Metrics().GaugeValue(kLcagCacheEntries), 1.0);
 }
 
 TEST(LcagCacheTest, EvictsLeastRecentlyUsed) {
@@ -87,8 +90,8 @@ TEST(LcagCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_TRUE(cache.Lookup("a", &out));
   EXPECT_FALSE(cache.Lookup("b", &out));
   EXPECT_TRUE(cache.Lookup("c", &out));
-  EXPECT_EQ(cache.stats().evictions, 1u);
-  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.entries(), 2u);
 }
 
 TEST(LcagCacheTest, ZeroCapacityDisables) {
@@ -97,7 +100,7 @@ TEST(LcagCacheTest, ZeroCapacityDisables) {
   cache.Insert("a", MakeResult(1));
   LcagResult out;
   EXPECT_FALSE(cache.Lookup("a", &out));
-  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.entries(), 0u);
 }
 
 TEST(LcagCacheTest, ClearEmptiesAllShards) {
@@ -105,9 +108,9 @@ TEST(LcagCacheTest, ClearEmptiesAllShards) {
   for (int i = 0; i < 32; ++i) {
     cache.Insert(std::string("key") + std::to_string(i), MakeResult(i));
   }
-  EXPECT_EQ(cache.stats().entries, 32u);
+  EXPECT_EQ(cache.entries(), 32u);
   cache.Clear();
-  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.entries(), 0u);
   LcagResult out;
   EXPECT_FALSE(cache.Lookup("key5", &out));
 }
@@ -163,9 +166,8 @@ TEST_F(LcagCacheSearchTest, CachedFindMatchesUncached) {
   EXPECT_EQ(cached_hit.graph.nodes, cached_miss.graph.nodes);
   EXPECT_EQ(cached_hit.graph.edges.size(), cached_miss.graph.edges.size());
 
-  const LcagCache::Stats stats = cache.stats();
-  EXPECT_EQ(stats.hits, 1u);
-  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
 }
 
 TEST_F(LcagCacheSearchTest, PermutedLabelsShareOneEntry) {
@@ -179,9 +181,9 @@ TEST_F(LcagCacheSearchTest, PermutedLabelsShareOneEntry) {
   ASSERT_TRUE(b.found);
   EXPECT_EQ(a.graph.root, b.graph.root);
   EXPECT_EQ(a.graph.nodes, b.graph.nodes);
-  EXPECT_EQ(cache.stats().misses, 1u);
-  EXPECT_EQ(cache.stats().hits, 1u);
-  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
 }
 
 TEST_F(LcagCacheSearchTest, SingleLabelGroupsBypassTheCache) {
@@ -189,8 +191,8 @@ TEST_F(LcagCacheSearchTest, SingleLabelGroupsBypassTheCache) {
   LcagCache cache(128);
   const LcagResult r = search.Find({"taliban"}, {}, &cache);
   ASSERT_TRUE(r.found);
-  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 0u);
-  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
 }
 
 TEST_F(LcagCacheSearchTest, BudgetExhaustedIsFlagged) {
@@ -219,7 +221,7 @@ TEST_F(LcagCacheSearchTest, BudgetExhaustedResultsAreCacheable) {
       search.Find({"taliban", "upper dir"}, tight, &cache);
   EXPECT_TRUE(first.budget_exhausted);
   EXPECT_TRUE(second.budget_exhausted);
-  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.hits(), 1u);
 }
 
 TEST_F(LcagCacheSearchTest, ConcurrentFindsAreSafeAndConsistent) {
@@ -254,11 +256,10 @@ TEST_F(LcagCacheSearchTest, ConcurrentFindsAreSafeAndConsistent) {
   for (std::thread& w : workers) w.join();
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
 
-  const LcagCache::Stats stats = cache.stats();
-  EXPECT_EQ(stats.hits + stats.misses,
+  EXPECT_EQ(cache.hits() + cache.misses(),
             static_cast<uint64_t>(kThreads * kRounds));
-  EXPECT_GT(stats.hits, 0u);
-  EXPECT_EQ(stats.entries, groups.size());
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_EQ(cache.entries(), groups.size());
 }
 
 }  // namespace

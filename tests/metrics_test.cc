@@ -1,0 +1,341 @@
+// Tests for the observability layer (DESIGN.md Sec. 8): counter/gauge/
+// histogram semantics (bucket placement, interpolated percentiles, the
+// growth-bounded relative error), registry registration and exposition
+// (Prometheus text + JSON), trace span-tree nesting, and the slow-query
+// log. The Concurrent* tests run under -fsanitize=thread in CI alongside
+// the engine concurrency suite.
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/slow_query_log.h"
+#include "common/trace.h"
+
+namespace newslink {
+namespace metrics {
+namespace {
+
+TEST(CounterTest, IncrementsAccumulate) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.5);
+  g.Add(-1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.0);
+}
+
+TEST(HistogramTest, BucketPlacementFollowsGeometricLayout) {
+  HistogramOptions options;
+  options.min = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 4;  // bounds 1, 2, 4, 8; overflow above 8
+  Histogram h(options);
+
+  // Finite bucket i covers (min * growth^(i-1), min * growth^i]; values at
+  // or below min land in bucket 0.
+  h.Observe(0.5);   // bucket 0 (underflow clamps to the first bucket)
+  h.Observe(1.0);   // bucket 0 (inclusive upper bound)
+  h.Observe(1.5);   // bucket 1
+  h.Observe(2.0);   // bucket 1 (inclusive upper bound)
+  h.Observe(5.0);   // bucket 3
+  h.Observe(100.0); // overflow
+
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(counts[4], 1u);
+
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(3), 8.0);
+
+  EXPECT_EQ(h.Count(), 6u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 100.0);
+}
+
+TEST(HistogramTest, PercentileRelativeErrorBoundedByGrowth) {
+  // 1000 uniform samples in [1ms, 1s): every interpolated quantile must be
+  // within a bucket width (relative error <= growth - 1) of the truth.
+  HistogramOptions options;
+  options.min = 1e-6;
+  options.growth = 1.08;
+  options.num_buckets = 240;
+  Histogram h(options);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(1e-3 + i * (1.0 - 1e-3) / 1000.0);
+  }
+  for (double v : values) h.Observe(v);
+
+  for (double p : {0.10, 0.50, 0.90, 0.99}) {
+    const double exact = values[static_cast<size_t>(p * (values.size() - 1))];
+    const double estimated = h.Percentile(p);
+    EXPECT_NEAR(estimated / exact, 1.0, options.growth - 1.0)
+        << "p=" << p << " exact=" << exact << " estimated=" << estimated;
+  }
+}
+
+TEST(HistogramTest, EmptyAndOverflowPercentiles) {
+  HistogramOptions options;
+  options.min = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 3;  // finite upper bounds 1, 2, 4
+  Histogram h(options);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+
+  h.Observe(1000.0);  // overflow-only population
+  // The overflow bucket has no upper bound: report its lower bound (the
+  // last finite bucket's upper bound).
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 4.0);
+}
+
+TEST(RegistryTest, GetReturnsStableInstrumentPerName) {
+  Registry registry;
+  Counter* a = registry.GetCounter("requests_total");
+  Counter* b = registry.GetCounter("requests_total");
+  EXPECT_EQ(a, b);
+  a->Inc(3);
+  EXPECT_EQ(registry.CounterValue("requests_total"), 3u);
+
+  EXPECT_EQ(registry.FindCounter("missing"), nullptr);
+  EXPECT_EQ(registry.CounterValue("missing"), 0u);
+  EXPECT_EQ(registry.FindHistogram("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("missing"), 0.0);
+}
+
+TEST(RegistryTest, PrometheusExpositionListsAllSeries) {
+  Registry registry;
+  registry.GetCounter("queries_total", "Total queries")->Inc(7);
+  registry.GetGauge("current_epoch")->Set(3);
+  HistogramOptions options;
+  options.min = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 3;
+  Histogram* h = registry.GetHistogram("latency_seconds", options);
+  h->Observe(1.5);
+  h->Observe(3.0);
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE queries_total counter"), std::string::npos);
+  EXPECT_NE(text.find("queries_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE current_epoch gauge"), std::string::npos);
+  EXPECT_NE(text.find("current_epoch 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_seconds histogram"), std::string::npos);
+  // Cumulative buckets: the le="+Inf" bucket equals the total count.
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_sum"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonDumpCarriesSummaryStatistics) {
+  Registry registry;
+  registry.GetCounter("hits_total")->Inc(2);
+  registry.GetHistogram("seconds")->Observe(0.25);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"hits_total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(RegistryTest, ConcurrentCounterIncrementsLoseNothing) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("concurrent_total");
+  Histogram* histogram = registry.GetHistogram("concurrent_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        counter->Inc();
+        histogram->Observe(1e-3);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(histogram->Count(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationIsSafe) {
+  // Mixed Get (registration mutex) and Inc (wait-free) from many threads.
+  Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        registry.GetCounter("shared_total")->Inc();
+        registry.GetCounter("own_" + std::to_string(t) + "_total")->Inc();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(registry.CounterValue("shared_total"),
+            static_cast<uint64_t>(kThreads) * 200);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.CounterValue("own_" + std::to_string(t) + "_total"),
+              200u);
+  }
+}
+
+}  // namespace
+}  // namespace metrics
+
+namespace {
+
+TEST(TraceTest, SpansNestLikeBrackets) {
+  Trace trace;
+  const size_t root = trace.Begin("search");
+  {
+    const size_t nlp = trace.Begin("nlp");
+    trace.Note("segments", "3");
+    trace.End(nlp);
+    const size_t ne = trace.Begin("ne");
+    const size_t segment = trace.Begin("segment");
+    trace.Note("cache_hit", "true");
+    trace.End(segment);
+    trace.End(ne);
+  }
+  trace.End(root);
+  const TraceSpan tree = trace.Finish();
+
+  EXPECT_EQ(tree.name, "search");
+  ASSERT_EQ(tree.children.size(), 2u);
+  EXPECT_EQ(tree.children[0].name, "nlp");
+  ASSERT_EQ(tree.children[0].notes.size(), 1u);
+  EXPECT_EQ(tree.children[0].notes[0].first, "segments");
+  EXPECT_EQ(tree.children[0].notes[0].second, "3");
+  EXPECT_EQ(tree.children[1].name, "ne");
+  ASSERT_EQ(tree.children[1].children.size(), 1u);
+  EXPECT_EQ(tree.children[1].children[0].name, "segment");
+
+  const TraceSpan* found = tree.Find("segment");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->notes[0].second, "true");
+  EXPECT_EQ(tree.Find("absent"), nullptr);
+
+  // Children are fully contained in the root interval.
+  EXPECT_LE(tree.ChildrenSeconds(), tree.duration_seconds + 1e-9);
+}
+
+TEST(TraceTest, ScopedSpanIsNoOpOnNullTrace) {
+  ScopedSpan span(nullptr, "nlp");  // must not crash
+  Trace trace;
+  {
+    ScopedSpan root(&trace, "search");
+    ScopedSpan child(&trace, "ns");
+  }
+  const TraceSpan tree = trace.Finish();
+  EXPECT_EQ(tree.name, "search");
+  ASSERT_EQ(tree.children.size(), 1u);
+  EXPECT_EQ(tree.children[0].name, "ns");
+}
+
+TEST(TraceTest, SpanBreakdownMirrorsDirectChildren) {
+  Trace trace;
+  const size_t root = trace.Begin("search");
+  trace.End(trace.Begin("nlp"));
+  trace.End(trace.Begin("ns"));
+  trace.End(root);
+  const TraceSpan tree = trace.Finish();
+  const TimeBreakdown breakdown = SpanBreakdown(tree);
+  EXPECT_EQ(breakdown.Count("nlp"), 1);
+  EXPECT_EQ(breakdown.Count("ns"), 1);
+  EXPECT_EQ(breakdown.Count("ne"), 0);
+  EXPECT_GE(breakdown.TotalSeconds("nlp"), 0.0);
+}
+
+TEST(TraceTest, ToJsonEscapesAndNests) {
+  Trace trace;
+  const size_t root = trace.Begin("search");
+  trace.Note("query", "say \"hi\"\n");
+  trace.End(root);
+  const std::string json = trace.Finish().ToJson();
+  EXPECT_NE(json.find("\"name\":\"search\""), std::string::npos);
+  EXPECT_NE(json.find("say \\\"hi\\\"\\n"), std::string::npos);
+  EXPECT_EQ(JsonEscape("a\tb"), "\"a\\tb\"");
+}
+
+TEST(TraceTest, ConcurrentDistinctTracesAreIndependent) {
+  // One Trace per request per thread — the concurrency contract. Each
+  // thread builds its own tree; none may observe another's spans.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < 200; ++round) {
+        Trace trace;
+        const size_t root = trace.Begin("search");
+        trace.End(trace.Begin("nlp"));
+        trace.End(root);
+        const TraceSpan tree = trace.Finish();
+        if (tree.name != "search" || tree.children.size() != 1) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesRecording) {
+  SlowQueryLog log(/*threshold_seconds=*/0.010, /*capacity=*/2);
+  EXPECT_TRUE(log.enabled());
+  EXPECT_FALSE(log.ShouldRecord(0.005));
+  EXPECT_TRUE(log.ShouldRecord(0.020));
+
+  SlowQueryRecord fast;
+  fast.query = "fast";
+  fast.seconds = 0.001;
+  log.Record(fast);  // below threshold: dropped
+  EXPECT_EQ(log.size(), 0u);
+
+  for (int i = 0; i < 3; ++i) {
+    SlowQueryRecord slow;
+    slow.query = "slow" + std::to_string(i);
+    slow.seconds = 0.020;
+    log.Record(slow);
+  }
+  // Bounded at capacity 2, oldest dropped.
+  const std::vector<SlowQueryRecord> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].query, "slow1");
+  EXPECT_EQ(entries[1].query, "slow2");
+  EXPECT_NE(log.ToJson().find("\"slow2\""), std::string::npos);
+}
+
+TEST(SlowQueryLogTest, DisabledByDefault) {
+  SlowQueryLog log;
+  EXPECT_FALSE(log.enabled());
+  EXPECT_FALSE(log.ShouldRecord(1e9));
+  SlowQueryRecord record;
+  record.seconds = 1e9;
+  log.Record(record);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+}  // namespace
+}  // namespace newslink

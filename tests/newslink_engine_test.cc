@@ -150,27 +150,124 @@ TEST_F(NewsLinkEngineTest, EmbedTextProducesEmbeddingForEntitySentence) {
   EXPECT_FALSE(emb.empty());
 }
 
-TEST_F(NewsLinkEngineTest, IndexTimesCoverAllComponents) {
+TEST_F(NewsLinkEngineTest, IndexStageHistogramsCoverAllComponents) {
   NewsLinkEngine engine = MakeEngine(0.2);
   engine.Index(corpus_.corpus);
-  const TimeBreakdown& times = engine.index_times();
-  EXPECT_EQ(times.Count("nlp"), static_cast<int64_t>(corpus_.corpus.size()));
-  EXPECT_EQ(times.Count("ne"), static_cast<int64_t>(corpus_.corpus.size()));
-  EXPECT_EQ(times.Count("ns"), static_cast<int64_t>(corpus_.corpus.size()));
-  EXPECT_GT(times.TotalSeconds("ne"), 0.0);
+  const metrics::Registry& metrics = engine.Metrics();
+  const uint64_t docs = corpus_.corpus.size();
+  EXPECT_EQ(metrics.FindHistogram(kIndexNlpSeconds)->Count(), docs);
+  EXPECT_EQ(metrics.FindHistogram(kIndexNeSeconds)->Count(), docs);
+  EXPECT_EQ(metrics.FindHistogram(kIndexNsSeconds)->Count(), docs);
+  EXPECT_GT(metrics.FindHistogram(kIndexNeSeconds)->Sum(), 0.0);
 }
 
-TEST_F(NewsLinkEngineTest, QueryTimesAccumulatePerQuery) {
+TEST_F(NewsLinkEngineTest, QueryStageHistogramsAccumulatePerQuery) {
   NewsLinkEngine engine = MakeEngine(0.2);
   engine.Index(corpus_.corpus);
-  engine.ResetQueryTimes();
   engine.Search(FirstSentenceOf(0), 5);
   engine.Search(FirstSentenceOf(1), 5);
-  EXPECT_EQ(engine.query_times().Count("nlp"), 2);
-  EXPECT_EQ(engine.query_times().Count("ne"), 2);
-  EXPECT_EQ(engine.query_times().Count("ns"), 2);
-  engine.ResetQueryTimes();
-  EXPECT_EQ(engine.query_times().Count("ns"), 0);
+  const metrics::Registry& metrics = engine.Metrics();
+  EXPECT_EQ(metrics.FindHistogram(kQueryNlpSeconds)->Count(), 2u);
+  EXPECT_EQ(metrics.FindHistogram(kQueryNeSeconds)->Count(), 2u);
+  EXPECT_EQ(metrics.FindHistogram(kQueryNsSeconds)->Count(), 2u);
+  // The shared engine-level series move in lockstep.
+  EXPECT_EQ(metrics.CounterValue(baselines::kEngineQueries), 2u);
+  EXPECT_EQ(metrics.FindHistogram(baselines::kEngineQuerySeconds)->Count(),
+            2u);
+}
+
+TEST_F(NewsLinkEngineTest, TraceSpansCoverEveryFusedQueryStage) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  engine.Index(corpus_.corpus);
+
+  baselines::SearchRequest request;
+  request.query = FirstSentenceOf(0);
+  request.k = 5;
+  request.explain = true;
+  request.max_paths_per_result = 3;
+  request.trace = true;
+  const baselines::SearchResponse response = engine.Search(request);
+
+  const TraceSpan& root = response.trace;
+  EXPECT_EQ(root.name, "search");
+  EXPECT_GT(root.duration_seconds, 0.0);
+  ASSERT_EQ(root.children.size(), 4u);
+  EXPECT_EQ(root.children[0].name, "nlp");
+  EXPECT_EQ(root.children[1].name, "ne");
+  EXPECT_EQ(root.children[2].name, "ns");
+  EXPECT_EQ(root.children[3].name, "explain");
+
+  // The NLP span notes the segment count; the NS span notes how many
+  // documents each side scored.
+  ASSERT_FALSE(root.children[0].notes.empty());
+  EXPECT_EQ(root.children[0].notes[0].first, "segments");
+  const TraceSpan* ns = root.Find("ns");
+  ASSERT_NE(ns, nullptr);
+  ASSERT_EQ(ns->notes.size(), 2u);
+  EXPECT_EQ(ns->notes[0].first, "bow_scored");
+  EXPECT_EQ(ns->notes[1].first, "bon_scored");
+
+  // The NE stage nests one "segment" span per embedded entity group.
+  const TraceSpan* ne = root.Find("ne");
+  ASSERT_NE(ne, nullptr);
+  EXPECT_FALSE(ne->children.empty());
+  EXPECT_EQ(ne->children[0].name, "segment");
+
+  // The stage spans account for (nearly) all of the query's wall-clock;
+  // the bench gates the concurrent mean at 95%, unit tests use a laxer
+  // bound to stay robust on loaded CI machines.
+  EXPECT_GE(root.ChildrenSeconds(), 0.80 * root.duration_seconds);
+  EXPECT_LE(root.ChildrenSeconds(), root.duration_seconds + 1e-9);
+
+  // The response timings are the same tree, bucketed.
+  EXPECT_EQ(response.timings.Count("nlp"), 1);
+  EXPECT_NEAR(response.timings.TotalSeconds("ns"), ns->duration_seconds,
+              1e-12);
+}
+
+TEST_F(NewsLinkEngineTest, TraceIsOptInAndNeSkipNoted) {
+  NewsLinkEngine engine = MakeEngine(0.0);
+  engine.Index(corpus_.corpus);
+
+  baselines::SearchRequest request;
+  request.query = FirstSentenceOf(1);
+  request.k = 5;
+  const baselines::SearchResponse untraced = engine.Search(request);
+  EXPECT_TRUE(untraced.trace.empty());
+
+  request.trace = true;
+  const baselines::SearchResponse traced = engine.Search(request);
+  // beta == 0 without explanations: the NE stage is skipped and says so.
+  const TraceSpan* ne = traced.trace.Find("ne");
+  ASSERT_NE(ne, nullptr);
+  ASSERT_EQ(ne->notes.size(), 1u);
+  EXPECT_EQ(ne->notes[0].first, "skipped");
+  EXPECT_EQ(ne->notes[0].second, "beta=0");
+  EXPECT_TRUE(ne->children.empty());
+}
+
+TEST_F(NewsLinkEngineTest, SlowQueryLogRecordsTraceAboveThreshold) {
+  NewsLinkConfig config;
+  config.beta = 0.2;
+  config.num_threads = 2;
+  config.slow_query_threshold_seconds = 1e-9;  // everything is "slow"
+  config.slow_query_log_capacity = 4;
+  NewsLinkEngine engine(&kg_.graph, &index_, config);
+  engine.Index(corpus_.corpus);
+
+  for (size_t d = 0; d < 6; ++d) engine.Search(FirstSentenceOf(d), 3);
+  EXPECT_EQ(engine.slow_query_log().size(), 4u);  // bounded at capacity
+  const std::vector<SlowQueryRecord> entries = engine.slow_query_log().Entries();
+  EXPECT_EQ(entries.back().query, FirstSentenceOf(5));
+  EXPECT_EQ(entries.back().trace.name, "search");
+  EXPECT_FALSE(entries.back().trace.children.empty());
+  EXPECT_EQ(engine.Metrics().CounterValue(kSlowQueries), 6u);
+
+  // Disabled by default: no records, no overhead.
+  NewsLinkEngine quiet = MakeEngine(0.2);
+  quiet.Index(corpus_.corpus);
+  quiet.Search(FirstSentenceOf(0), 3);
+  EXPECT_EQ(quiet.slow_query_log().size(), 0u);
 }
 
 TEST_F(NewsLinkEngineTest, TreeEmbedderModeIndexesAndSearches) {

@@ -8,12 +8,15 @@
 //       Generate a news corpus over an existing KG dump.
 //
 //   newslink_cli search <kg_prefix> <corpus_tsv> <query...> [--beta B]
-//       [--k N] [--explain]
+//       [--k N] [--explain] [--trace] [--metrics-out FILE]
 //       Index the corpus and run one query, optionally with relationship-
-//       path explanations.
+//       path explanations, the query's span tree, and a metrics dump.
 //
-//   newslink_cli stats <kg_prefix>
-//       Print structural statistics of a KG dump.
+//   newslink_cli stats <kg_prefix> [<corpus_tsv>] [--query TEXT]
+//       [--format prom|json] [--metrics-out FILE]
+//       Without a corpus: structural statistics of a KG dump. With one:
+//       index it (optionally run a query) and print the engine's metrics
+//       registry — Prometheus text exposition by default, JSON on demand.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on I/O failures.
 
@@ -60,13 +63,18 @@ struct Flags {
   }
 };
 
+/// Flags that take no value.
+bool IsBooleanFlag(const std::string& name) {
+  return name == "explain" || name == "trace";
+}
+
 Flags ParseFlags(int argc, char** argv, int first) {
   Flags flags;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     if (StartsWith(arg, "--")) {
       const std::string name = arg.substr(2);
-      if (name == "explain") {
+      if (IsBooleanFlag(name)) {
         flags.named[name] = "true";
       } else if (i + 1 < argc) {
         flags.named[name] = argv[++i];
@@ -88,9 +96,30 @@ int Usage() {
       "  newslink_cli generate-corpus <kg_prefix> <out_tsv> [--seed N]\n"
       "               [--stories N] [--preset cnn|kaggle]\n"
       "  newslink_cli search <kg_prefix> <corpus_tsv> <query...> [--beta B]\n"
-      "               [--k N] [--explain]\n"
-      "  newslink_cli stats <kg_prefix>\n");
+      "               [--k N] [--explain] [--trace] [--metrics-out FILE]\n"
+      "  newslink_cli stats <kg_prefix> [<corpus_tsv>] [--query TEXT]\n"
+      "               [--format prom|json] [--metrics-out FILE]\n");
   return 1;
+}
+
+/// Render the engine's registry in the requested format ("prom" | "json").
+std::string RenderMetrics(const NewsLinkEngine& engine,
+                          const std::string& format) {
+  return format == "json" ? engine.Metrics().RenderJson()
+                          : engine.Metrics().RenderPrometheus();
+}
+
+/// Write a metrics dump to `path` (the extension does not matter; the
+/// --format flag picks the exposition).
+int WriteMetricsFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 2;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return 0;
 }
 
 int GenerateKg(const Flags& flags) {
@@ -178,6 +207,7 @@ int SearchCmd(const Flags& flags) {
   request.beta = flags.GetDouble("beta", 0.2);
   request.explain = flags.Has("explain");
   request.max_paths_per_result = 4;
+  request.trace = flags.Has("trace");
   const baselines::SearchResponse response = engine.Search(request);
   for (const baselines::SearchHit& hit : response.hits) {
     const corpus::Document& d = docs->doc(hit.doc_index);
@@ -186,6 +216,15 @@ int SearchCmd(const Flags& flags) {
     for (const embed::RelationshipPath& p : hit.paths) {
       std::printf("         why: %s\n", p.Render(*graph).c_str());
     }
+  }
+  if (request.trace) {
+    std::printf("\ntrace: %s\n", response.trace.ToJson().c_str());
+  }
+  if (flags.Has("metrics-out")) {
+    const int rc = WriteMetricsFile(
+        flags.Get("metrics-out", ""),
+        RenderMetrics(engine, flags.Get("format", "prom")));
+    if (rc != 0) return rc;
   }
   return 0;
 }
@@ -197,12 +236,40 @@ int StatsCmd(const Flags& flags) {
     std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
     return 2;
   }
-  const kg::GraphStats stats = kg::ComputeGraphStats(*graph, 8);
-  std::printf("nodes: %zu\nedges: %zu\ncomponents: %zu (largest %zu)\n"
-              "avg degree: %.2f (max %zu)\nest. mean distance: %.2f\n",
-              stats.num_nodes, stats.num_edges, stats.num_components,
-              stats.largest_component, stats.average_degree, stats.max_degree,
-              stats.estimated_mean_distance);
+
+  if (flags.positional.size() < 2) {
+    // KG-only mode: structural statistics of the graph dump.
+    const kg::GraphStats stats = kg::ComputeGraphStats(*graph, 8);
+    std::printf("nodes: %zu\nedges: %zu\ncomponents: %zu (largest %zu)\n"
+                "avg degree: %.2f (max %zu)\nest. mean distance: %.2f\n",
+                stats.num_nodes, stats.num_edges, stats.num_components,
+                stats.largest_component, stats.average_degree, stats.max_degree,
+                stats.estimated_mean_distance);
+    return 0;
+  }
+
+  // Engine-metrics mode: index the corpus (and run an optional query) so
+  // the registry carries real series, then expose it.
+  Result<corpus::Corpus> docs = corpus::LoadTsv(flags.positional[1]);
+  if (!docs.ok()) {
+    std::fprintf(stderr, "%s\n", docs.status().ToString().c_str());
+    return 2;
+  }
+  kg::LabelIndex labels(*graph);
+  NewsLinkEngine engine(&*graph, &labels, NewsLinkConfig{});
+  engine.Index(*docs);
+  if (flags.Has("query")) {
+    baselines::SearchRequest request;
+    request.query = flags.Get("query", "");
+    request.k = flags.GetInt("k", 10);
+    engine.Search(request);
+  }
+
+  const std::string body = RenderMetrics(engine, flags.Get("format", "prom"));
+  std::fputs(body.c_str(), stdout);
+  if (flags.Has("metrics-out")) {
+    return WriteMetricsFile(flags.Get("metrics-out", ""), body);
+  }
   return 0;
 }
 
