@@ -14,6 +14,10 @@
 // response's snapshot_docs, epochs never move backwards per thread) and
 // gating the ingest-time p99 at 1.5x the query-only p99.
 //
+// Before the query phases, the bench times a cold index build against a
+// warm start (SaveSnapshot + LoadSnapshot into a fresh engine) and gates
+// the warm path at >= 10x faster than the cold build.
+//
 // --metrics-out FILE writes the engine's final Prometheus exposition.
 //
 // Env knobs: NEWSLINK_BENCH_STORIES (corpus size, default 120),
@@ -24,6 +28,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -185,7 +190,43 @@ int main(int argc, char** argv) {
   config.slow_query_threshold_seconds = 1e-6;
   config.slow_query_log_capacity = 8;
   NewsLinkEngine engine(&world->kg.graph, &world->index, config);
+  const auto cold_start = Clock::now();
   engine.Index(dataset.corpus);
+  const double cold_seconds =
+      std::chrono::duration<double>(Clock::now() - cold_start).count();
+
+  // Cold vs warm start: save a snapshot and reload it into a fresh engine
+  // (the build-once / serve-warm split of DESIGN.md Sec. 9). The warm path
+  // skips the NLP/NE pipeline entirely, so it must be >= 10x faster.
+  const std::string snapshot_path =
+      (std::filesystem::temp_directory_path() / "bench_concurrent.snap")
+          .string();
+  double warm_seconds = 0.0;
+  bool warm_ok = false;
+  {
+    const Status saved = engine.SaveSnapshot(snapshot_path);
+    if (!saved.ok()) {
+      std::printf("snapshot save FAILED: %s\n", saved.ToString().c_str());
+    } else {
+      NewsLinkEngine warm(&world->kg.graph, &world->index, config);
+      const auto warm_start = Clock::now();
+      const Status loaded = warm.LoadSnapshot(snapshot_path);
+      warm_seconds =
+          std::chrono::duration<double>(Clock::now() - warm_start).count();
+      if (!loaded.ok()) {
+        std::printf("snapshot load FAILED: %s\n", loaded.ToString().c_str());
+      } else {
+        warm_ok = warm.num_indexed_docs() == engine.num_indexed_docs() &&
+                  warm_seconds * 10.0 <= cold_seconds;
+      }
+    }
+    std::remove(snapshot_path.c_str());
+  }
+  std::printf(
+      "cold build %.3fs, warm snapshot load %.3fs (%.0fx, gate 10x): %s\n\n",
+      cold_seconds, warm_seconds,
+      warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0,
+      warm_ok ? "ok" : "FAIL");
 
   std::vector<std::string> queries;
   for (size_t d = 0; d < kNumQueries && d < dataset.corpus.size(); ++d) {
@@ -307,7 +348,8 @@ int main(int argc, char** argv) {
       fewer_docs ? "yes" : "NO", cache_ok ? "yes" : "NO",
       no_violations ? "yes" : "NO", 100.0 * prunedN.span_coverage,
       coverage_ok ? "ok" : "FAIL");
-  return (fewer_docs && cache_ok && no_violations && ingest_ok && coverage_ok)
+  return (fewer_docs && cache_ok && no_violations && ingest_ok &&
+          coverage_ok && warm_ok)
              ? 0
              : 1;
 }

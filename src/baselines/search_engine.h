@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/status.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "corpus/corpus.h"
@@ -148,6 +150,25 @@ class SearchEngine {
     response.timings.Add("search", root.duration_seconds);
     if (request.trace) response.trace = std::move(root);
     return response;
+  }
+
+  /// Persist the engine's index state to a versioned snapshot file
+  /// (DESIGN.md Sec. 9), so a later process can LoadSnapshot instead of
+  /// re-running the expensive indexing pipeline. Engines without snapshot
+  /// support keep the Unimplemented default.
+  virtual Status SaveSnapshot(const std::string& path) const {
+    (void)path;
+    return Status::Unimplemented(
+        StrCat(name(), " does not support snapshots"));
+  }
+
+  /// Restore state saved by SaveSnapshot into this (empty) engine. Stale,
+  /// truncated, or corrupt snapshots return a Status without mutating the
+  /// engine.
+  virtual Status LoadSnapshot(const std::string& path) {
+    (void)path;
+    return Status::Unimplemented(
+        StrCat(name(), " does not support snapshots"));
   }
 
   /// The consolidated view over every counter/gauge/histogram this engine

@@ -1,0 +1,181 @@
+#include "common/snapshot_file.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/binary_io.h"
+#include "common/string_util.h"
+
+namespace newslink {
+
+namespace {
+
+/// Sanity ceilings: a snapshot with more sections or longer names than this
+/// is corrupt, not big.
+constexpr uint32_t kMaxSections = 64;
+constexpr size_t kMaxSectionName = 128;
+
+Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError(StrCat("cannot open ", path));
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError(StrCat("read failed on ", path));
+  return bytes;
+}
+
+/// Parse the verified byte stream. `sections_out == nullptr` stops after
+/// the header (the cheap manifest probe).
+Status ParseVerified(ByteReader* reader, SnapshotHeader* header,
+                     std::vector<SnapshotSection>* sections_out) {
+  uint16_t version_lo, version_hi;
+  char magic[6];
+  NL_RETURN_IF_ERROR(reader->ReadRaw(magic, sizeof(magic)));
+  if (std::string_view(magic, sizeof(magic)) != kSnapshotMagic) {
+    return Status::IOError("not a NewsLink snapshot (bad magic)");
+  }
+  uint8_t v0, v1;
+  NL_RETURN_IF_ERROR(reader->ReadU8(&v0));
+  NL_RETURN_IF_ERROR(reader->ReadU8(&v1));
+  version_lo = v0;
+  version_hi = v1;
+  header->format_version =
+      static_cast<uint16_t>(version_lo | (version_hi << 8));
+  if (header->format_version != kSnapshotFormatVersion) {
+    return Status::IOError(
+        StrCat("unsupported snapshot format version ", header->format_version,
+               " (this build reads version ", kSnapshotFormatVersion, ")"));
+  }
+  NL_RETURN_IF_ERROR(reader->ReadU64(&header->kg_fingerprint));
+  NL_RETURN_IF_ERROR(reader->ReadU64(&header->corpus_fingerprint));
+  NL_RETURN_IF_ERROR(reader->ReadU64(&header->config_fingerprint));
+  NL_RETURN_IF_ERROR(reader->ReadU64(&header->num_docs));
+  if (sections_out == nullptr) return Status::OK();
+
+  uint32_t num_sections;
+  NL_RETURN_IF_ERROR(reader->ReadU32(&num_sections));
+  if (num_sections > kMaxSections) {
+    return Status::IOError(
+        StrCat("implausible section count ", num_sections));
+  }
+  sections_out->reserve(num_sections);
+  for (uint32_t s = 0; s < num_sections; ++s) {
+    SnapshotSection section;
+    NL_RETURN_IF_ERROR(reader->ReadString(&section.name, kMaxSectionName));
+    uint64_t payload_len;
+    uint32_t crc;
+    NL_RETURN_IF_ERROR(reader->ReadU64(&payload_len));
+    NL_RETURN_IF_ERROR(reader->ReadU32(&crc));
+    if (payload_len > reader->remaining()) {
+      return Status::IOError(
+          StrCat("section '", section.name, "' claims ", payload_len,
+                 " bytes, ", reader->remaining(), " remain"));
+    }
+    section.payload.resize(payload_len);
+    NL_RETURN_IF_ERROR(reader->ReadRaw(section.payload.data(), payload_len));
+    const uint32_t actual = Crc32(section.payload);
+    if (actual != crc) {
+      return Status::IOError(
+          StrCat("section '", section.name, "' CRC mismatch: stored ", crc,
+                 ", computed ", actual));
+    }
+    sections_out->push_back(std::move(section));
+  }
+  return reader->ExpectEnd();
+}
+
+/// Verify the trailing whole-file CRC and return a reader over the covered
+/// prefix.
+Result<std::span<const uint8_t>> VerifyFileCrc(
+    const std::vector<uint8_t>& bytes, const std::string& path) {
+  if (bytes.size() < 4) {
+    return Status::IOError(StrCat(path, ": too short to be a snapshot"));
+  }
+  const std::span<const uint8_t> body(bytes.data(), bytes.size() - 4);
+  ByteReader tail(
+      std::span<const uint8_t>(bytes.data() + body.size(), 4));
+  uint32_t stored = 0;
+  NL_RETURN_IF_ERROR(tail.ReadU32(&stored));
+  const uint32_t actual = Crc32(body);
+  if (stored != actual) {
+    return Status::IOError(
+        StrCat(path, ": file CRC mismatch: stored ", stored, ", computed ",
+               actual, " (torn write or corruption)"));
+  }
+  return body;
+}
+
+}  // namespace
+
+const SnapshotSection* SnapshotFile::Find(std::string_view name) const {
+  for (const SnapshotSection& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Status WriteSnapshotFile(const std::string& path, const SnapshotHeader& header,
+                         const std::vector<SnapshotSection>& sections) {
+  if (sections.size() > kMaxSections) {
+    return Status::InvalidArgument(
+        StrCat("too many sections: ", sections.size()));
+  }
+  ByteWriter out;
+  out.WriteRaw(kSnapshotMagic.data(), kSnapshotMagic.size());
+  out.WriteU8(static_cast<uint8_t>(header.format_version & 0xFF));
+  out.WriteU8(static_cast<uint8_t>(header.format_version >> 8));
+  out.WriteU64(header.kg_fingerprint);
+  out.WriteU64(header.corpus_fingerprint);
+  out.WriteU64(header.config_fingerprint);
+  out.WriteU64(header.num_docs);
+  out.WriteU32(static_cast<uint32_t>(sections.size()));
+  for (const SnapshotSection& section : sections) {
+    if (section.name.size() > kMaxSectionName) {
+      return Status::InvalidArgument(
+          StrCat("section name too long: ", section.name));
+    }
+    out.WriteString(section.name);
+    out.WriteU64(section.payload.size());
+    out.WriteU32(Crc32(section.payload));
+    out.WriteRaw(section.payload.data(), section.payload.size());
+  }
+  out.WriteU32(Crc32(out.bytes()));
+
+  // Write-then-rename so a crash mid-write never leaves a half snapshot at
+  // the published path.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) return Status::IOError(StrCat("cannot open ", tmp));
+    file.write(reinterpret_cast<const char*>(out.bytes().data()),
+               static_cast<std::streamsize>(out.size()));
+    if (!file) return Status::IOError(StrCat("write failed on ", tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError(StrCat("cannot rename ", tmp, " to ", path));
+  }
+  return Status::OK();
+}
+
+Result<SnapshotFile> ReadSnapshotFile(const std::string& path) {
+  NL_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes, ReadWholeFile(path));
+  NL_ASSIGN_OR_RETURN(const std::span<const uint8_t> body,
+                      VerifyFileCrc(bytes, path));
+  SnapshotFile file;
+  ByteReader reader(body);
+  NL_RETURN_IF_ERROR(ParseVerified(&reader, &file.header, &file.sections));
+  return file;
+}
+
+Result<SnapshotHeader> ReadSnapshotHeader(const std::string& path) {
+  NL_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes, ReadWholeFile(path));
+  NL_ASSIGN_OR_RETURN(const std::span<const uint8_t> body,
+                      VerifyFileCrc(bytes, path));
+  SnapshotHeader header;
+  ByteReader reader(body);
+  NL_RETURN_IF_ERROR(ParseVerified(&reader, &header, nullptr));
+  return header;
+}
+
+}  // namespace newslink

@@ -1,0 +1,79 @@
+// Versioned, checksummed, sectioned container for on-disk engine snapshots
+// (DESIGN.md Sec. 9). Layout:
+//
+//   magic "NLSNAP" + u16 format version
+//   header: kg / corpus / config fingerprints, document count
+//   u32 section count
+//   per section: name (u32 len + bytes), u64 payload length,
+//                u32 CRC32(payload), payload bytes
+//   u32 CRC32 of everything above (whole-file integrity)
+//
+// Readers verify the magic, the version, the file CRC, and every section
+// CRC before handing a single payload byte to a deserializer, so torn
+// writes, truncation, and bit flips surface as Status errors — never as a
+// crash in a downstream parser. Fingerprints let the loader reject a
+// snapshot built against a different KG, corpus, or engine configuration
+// instead of silently serving stale artifacts.
+
+#ifndef NEWSLINK_COMMON_SNAPSHOT_FILE_H_
+#define NEWSLINK_COMMON_SNAPSHOT_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace newslink {
+
+inline constexpr std::string_view kSnapshotMagic = "NLSNAP";
+inline constexpr uint16_t kSnapshotFormatVersion = 1;
+
+/// \brief Identity of the artifacts inside a snapshot.
+struct SnapshotHeader {
+  uint16_t format_version = kSnapshotFormatVersion;
+  /// Fingerprint of the knowledge graph the indexes were built against.
+  uint64_t kg_fingerprint = 0;
+  /// Chained fingerprint of every document indexed, in order.
+  uint64_t corpus_fingerprint = 0;
+  /// Fingerprint of the engine-configuration fields that shape the stored
+  /// artifacts (embedder kind, LCAG options, BON caps, ...).
+  uint64_t config_fingerprint = 0;
+  /// Documents covered by the snapshot.
+  uint64_t num_docs = 0;
+};
+
+/// \brief One named, independently checksummed payload.
+struct SnapshotSection {
+  std::string name;
+  std::vector<uint8_t> payload;
+};
+
+/// \brief A fully verified snapshot file (all CRCs already checked).
+struct SnapshotFile {
+  SnapshotHeader header;
+  std::vector<SnapshotSection> sections;
+
+  /// The section named `name`, or nullptr when absent.
+  const SnapshotSection* Find(std::string_view name) const;
+};
+
+/// Serialize and atomically write (`path` + ".tmp", then rename) the
+/// snapshot. The byte stream is deterministic: identical inputs produce
+/// identical files, which CI exploits to byte-compare a save after a load.
+Status WriteSnapshotFile(const std::string& path, const SnapshotHeader& header,
+                         const std::vector<SnapshotSection>& sections);
+
+/// Read and verify a snapshot file: magic, format version, file CRC, and
+/// every per-section CRC. Any mismatch or truncation returns a Status.
+Result<SnapshotFile> ReadSnapshotFile(const std::string& path);
+
+/// Read and verify only the header (still checks the file CRC, so a cheap
+/// "is this snapshot intact and compatible" probe exists for tools).
+Result<SnapshotHeader> ReadSnapshotHeader(const std::string& path);
+
+}  // namespace newslink
+
+#endif  // NEWSLINK_COMMON_SNAPSHOT_FILE_H_

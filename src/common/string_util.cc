@@ -1,6 +1,9 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
 
 namespace newslink {
 
@@ -63,6 +66,49 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
 bool EndsWith(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() &&
          s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseUint32(std::string_view s, uint32_t* out) {
+  uint64_t wide;
+  if (!ParseUint64(s, &wide) ||
+      wide > std::numeric_limits<uint32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(wide);
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  const std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseFloat(std::string_view s, float* out) {
+  double wide;
+  if (!ParseDouble(s, &wide)) return false;
+  *out = static_cast<float>(wide);
+  return true;
 }
 
 }  // namespace newslink

@@ -5,6 +5,15 @@
 
 namespace newslink {
 
+namespace {
+
+/// The pool whose WorkerLoop is running on this thread (null on external
+/// threads). Lets ParallelFor detect reentrancy: a worker that blocked in
+/// Wait() would deadlock once every worker is occupied by its caller.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -39,6 +48,14 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  if (t_worker_pool == this) {
+    // Called from one of our own workers (e.g. a submitted task fans out):
+    // Wait() below would block this worker while the loop tasks sit behind
+    // it in the queue — with all workers occupied by such callers, nobody
+    // ever drains the queue. Run the loop inline on this thread instead.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   // One task per worker strided over [0, n): cheap for small n, balanced
   // enough for our document-granularity workloads.
   auto counter = std::make_shared<std::atomic<size_t>>(0);
@@ -56,6 +73,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {

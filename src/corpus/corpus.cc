@@ -2,10 +2,26 @@
 
 #include <numeric>
 
+#include "common/binary_io.h"
 #include "common/logging.h"
 
 namespace newslink {
 namespace corpus {
+
+uint64_t DocumentFingerprint(const Document& doc) {
+  Fingerprinter fp;
+  fp.Add(doc.id)
+      .Add(static_cast<uint64_t>(doc.story_id))
+      .Add(doc.title)
+      .Add(doc.text);
+  return fp.Digest();
+}
+
+uint64_t ChainCorpusFingerprint(uint64_t chain, const Document& doc) {
+  Fingerprinter fp;
+  fp.Add(chain).Add(DocumentFingerprint(doc));
+  return fp.Digest();
+}
 
 CorpusSplit SplitCorpus(size_t n, double train_frac, double validation_frac,
                         Rng* rng) {

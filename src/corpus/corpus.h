@@ -41,6 +41,17 @@ class Corpus {
   std::vector<Document> docs_;
 };
 
+/// Content fingerprint of one document (FNV-1a over id, story, title,
+/// text). Used to chain the corpus fingerprint stored in engine snapshots.
+uint64_t DocumentFingerprint(const Document& doc);
+
+/// Fold `doc` into a running corpus fingerprint. Chaining document by
+/// document (rather than hashing the whole corpus at once) lets bulk
+/// Index() and incremental AddDocument() agree on the same value, so a
+/// snapshot taken after live ingestion still carries a verifiable corpus
+/// identity.
+uint64_t ChainCorpusFingerprint(uint64_t chain, const Document& doc);
+
 /// \brief Index sets of a random split.
 struct CorpusSplit {
   std::vector<size_t> train;

@@ -1,6 +1,5 @@
 #include "corpus/corpus_io.h"
 
-#include <cstdlib>
 #include <fstream>
 
 #include "common/string_util.h"
@@ -80,12 +79,15 @@ Result<Corpus> LoadTsv(const std::string& path) {
     }
     Document doc;
     doc.id = Unescape(fields[0]);
-    doc.story_id =
-        static_cast<uint32_t>(std::strtoul(fields[1].c_str(), nullptr, 10));
+    if (!ParseUint32(fields[1], &doc.story_id)) {
+      return Status::IOError(
+          StrCat("corpus line has bad story id '", fields[1], "': ", line));
+    }
     doc.title = Unescape(fields[2]);
     doc.text = Unescape(fields[3]);
     corpus.Add(std::move(doc));
   }
+  if (in.bad()) return Status::IOError(StrCat("read failed on ", path));
   return corpus;
 }
 

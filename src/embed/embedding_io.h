@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "embed/document_embedding.h"
@@ -31,8 +32,18 @@ Status SaveEmbeddings(const std::vector<DocumentEmbedding>& embeddings,
 
 /// Load a store written by SaveEmbeddings. Node counts are recomputed from
 /// the segment graphs, so the result is bit-identical to the original.
+/// Every numeric field is strictly parsed: trailing junk, overflow, or a
+/// truncated record returns Status instead of a silently-zeroed embedding.
 Result<std::vector<DocumentEmbedding>> LoadEmbeddings(
     const std::string& path);
+
+/// Binary codec for engine snapshots (DESIGN.md Sec. 9): same payload as
+/// the text format, ~4x smaller and deterministic. Node counts are
+/// recomputed on load, exactly as in LoadEmbeddings.
+void SerializeEmbeddings(const std::vector<DocumentEmbedding>& embeddings,
+                         ByteWriter* out);
+Status DeserializeEmbeddings(ByteReader* reader,
+                             std::vector<DocumentEmbedding>* out);
 
 }  // namespace embed
 }  // namespace newslink

@@ -1,0 +1,47 @@
+// Binary (de)serialization of the IR layer for engine snapshots
+// (DESIGN.md Sec. 9): TermDictionary and InvertedIndex to/from section
+// payloads of a snapshot file. Posting lists use the same delta-gap +
+// varint layout as CompressedPostingList, so the on-disk form inherits the
+// varbyte codec's compression; every read is bounds-checked and every
+// structural invariant (monotonic doc ids, in-range lengths, positive term
+// frequencies) is re-validated on load, so a corrupt payload that slipped
+// past the CRCs still fails with a Status instead of poisoning the index.
+
+#ifndef NEWSLINK_IR_INDEX_IO_H_
+#define NEWSLINK_IR_INDEX_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "ir/inverted_index.h"
+#include "ir/term_dictionary.h"
+
+namespace newslink {
+namespace ir {
+
+/// Serialize the dictionary: u64 term count followed by length-prefixed
+/// term strings in id order. Deterministic (ids are dense and ordered).
+void SerializeTermDictionary(const TermDictionary& dict, ByteWriter* out);
+
+/// Parse the term strings (slot i holds the term of id i). Duplicate terms
+/// — which would silently alias two ids — are rejected. Parsing into plain
+/// strings (not a TermDictionary) lets callers validate every snapshot
+/// section before mutating any engine state.
+Status DeserializeTermStrings(ByteReader* reader,
+                              std::vector<std::string>* terms);
+
+/// Serialize an index captured at quiescence: u64 num_docs, varint doc
+/// lengths, u64 num_terms, then per term a varint posting count and the
+/// delta-gap (doc, tf) varint stream.
+void SerializeInvertedIndex(const InvertedIndex& index, ByteWriter* out);
+
+/// Rebuild an index via the restore API. `index` must be empty.
+Status DeserializeInvertedIndex(ByteReader* reader, InvertedIndex* index);
+
+}  // namespace ir
+}  // namespace newslink
+
+#endif  // NEWSLINK_IR_INDEX_IO_H_

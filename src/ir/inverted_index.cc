@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace newslink {
 namespace ir {
@@ -29,6 +30,64 @@ DocId InvertedIndex::AddDocument(const TermCounts& counts) {
     postings_added_->Inc(counts.size());
   }
   return doc;
+}
+
+Status InvertedIndex::RestoreDocLengths(std::span<const uint32_t> lengths) {
+  if (doc_lengths_.size() != 0 || terms_.size() != 0) {
+    return Status::FailedPrecondition(
+        "RestoreDocLengths requires an empty index");
+  }
+  uint64_t total = 0;
+  for (const uint32_t length : lengths) {
+    doc_lengths_.Append(length);
+    total += length;
+  }
+  total_length_.store(total, std::memory_order_release);
+  if (docs_added_ != nullptr) docs_added_->Inc(lengths.size());
+  return Status::OK();
+}
+
+void InvertedIndex::EnsureNumTerms(size_t n) {
+  if (n > terms_.size()) terms_.EnsureSize(n);
+}
+
+Status InvertedIndex::RestoreTermPostings(TermId term,
+                                          std::span<const Posting> postings) {
+  const size_t num_docs = doc_lengths_.size();
+  terms_.EnsureSize(static_cast<size_t>(term) + 1);
+  TermEntry* entry = terms_.Mutable(term);
+  if (entry->list.load(std::memory_order_relaxed) != nullptr) {
+    return Status::FailedPrecondition(
+        StrCat("term ", term, " already has postings"));
+  }
+  // Validate the whole list before installing anything so a mid-list
+  // failure cannot leave a half-restored term.
+  DocId last_doc = 0;
+  bool first = true;
+  for (const Posting& p : postings) {
+    if (!first && p.doc <= last_doc) {
+      return Status::InvalidArgument(
+          StrCat("term ", term, ": doc ids not strictly increasing (", p.doc,
+                 " after ", last_doc, ")"));
+    }
+    if (static_cast<size_t>(p.doc) >= num_docs) {
+      return Status::InvalidArgument(
+          StrCat("term ", term, ": doc id ", p.doc, " out of range (",
+                 num_docs, " docs)"));
+    }
+    if (p.tf == 0) {
+      return Status::InvalidArgument(
+          StrCat("term ", term, ": doc ", p.doc, " has zero term frequency"));
+    }
+    last_doc = p.doc;
+    first = false;
+  }
+  if (postings.empty()) return Status::OK();
+  auto* list = new PostingChunks();
+  for (const Posting& p : postings) list->Append(p);
+  entry->list.store(list, std::memory_order_release);
+  if (postings_added_ != nullptr) postings_added_->Inc(postings.size());
+  return Status::OK();
 }
 
 double InvertedIndex::avg_doc_length() const {

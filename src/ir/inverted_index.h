@@ -17,12 +17,14 @@
 #include <cstdint>
 #include <iterator>
 #include <limits>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/status.h"
 #include "ir/append_only.h"
 #include "ir/term_dictionary.h"
 
@@ -188,6 +190,27 @@ class InvertedIndex {
 
   /// Postings bounded to the snapshot: only docs < snapshot.num_docs.
   PostingView Postings(TermId term, const IndexSnapshot& snapshot) const;
+
+  // --- Snapshot-restore API (used by index_io) ------------------------
+  //
+  // Restoring bypasses AddDocument so a loaded index is bit-identical in
+  // layout to a freshly built one without replaying documents. All three
+  // calls are setup-time only (no concurrent readers); RestoreDocLengths
+  // must run first so posting validation can bound doc ids.
+
+  /// Install all document lengths at once. The index must be empty.
+  Status RestoreDocLengths(std::span<const uint32_t> lengths);
+
+  /// Grow the term-slot directory to `n` entries (empty postings). Needed
+  /// because trailing terms with no postings still count toward num_terms.
+  void EnsureNumTerms(size_t n);
+
+  /// Install one term's full posting list. Doc ids must be strictly
+  /// increasing, below num_docs(), with positive term frequencies; the
+  /// term must not have postings yet. Violations return InvalidArgument —
+  /// this is the line of defense that turns a corrupt snapshot section
+  /// into a clean load failure instead of a poisoned index.
+  Status RestoreTermPostings(TermId term, std::span<const Posting> postings);
 
   /// Capture the current extents (writer-side or quiesced index).
   IndexSnapshot Capture() const {

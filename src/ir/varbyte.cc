@@ -1,6 +1,9 @@
 #include "ir/varbyte.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace newslink {
 namespace ir {
@@ -27,18 +30,40 @@ uint32_t VarByteDecode(const std::vector<uint8_t>& data, size_t* pos) {
 
 CompressedPostingList::CompressedPostingList(
     std::span<const Posting> postings) {
-  for (const Posting& p : postings) Append(p);
+  std::vector<Posting> sorted(postings.begin(), postings.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Posting& a, const Posting& b) {
+                     return a.doc < b.doc;
+                   });
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    Posting merged = sorted[i];
+    while (i + 1 < sorted.size() && sorted[i + 1].doc == merged.doc) {
+      merged.tf += sorted[++i].tf;
+    }
+    if (merged.tf == 0) continue;
+    const Status s = Append(merged);
+    NL_DCHECK(s.ok()) << s.ToString();
+    (void)s;
+  }
 }
 
-void CompressedPostingList::Append(const Posting& posting) {
-  NL_DCHECK(empty_ || posting.doc > last_doc_)
-      << "doc ids must be strictly increasing";
+Status CompressedPostingList::Append(const Posting& posting) {
+  if (!empty_ && posting.doc <= last_doc_) {
+    return Status::InvalidArgument(
+        StrCat("posting doc ids must be strictly increasing: got ",
+               posting.doc, " after ", last_doc_));
+  }
+  if (posting.tf == 0) {
+    return Status::InvalidArgument(
+        StrCat("posting for doc ", posting.doc, " has zero term frequency"));
+  }
   const uint32_t gap = empty_ ? posting.doc : posting.doc - last_doc_;
   VarByteEncode(gap, &bytes_);
   VarByteEncode(posting.tf, &bytes_);
   last_doc_ = posting.doc;
   empty_ = false;
   ++count_;
+  return Status::OK();
 }
 
 std::vector<Posting> CompressedPostingList::Decode() const {
@@ -51,8 +76,14 @@ std::vector<Posting> CompressedPostingList::Decode() const {
 CompressedInvertedIndex::CompressedInvertedIndex(const InvertedIndex& index) {
   postings_.reserve(index.num_terms());
   for (TermId t = 0; t < index.num_terms(); ++t) {
+    // InvertedIndex postings are sorted by construction, so Append cannot
+    // fail here.
     CompressedPostingList list;
-    for (const Posting& p : index.Postings(t)) list.Append(p);
+    for (const Posting& p : index.Postings(t)) {
+      const Status s = list.Append(p);
+      NL_DCHECK(s.ok()) << s.ToString();
+      (void)s;
+    }
     postings_.push_back(std::move(list));
   }
   doc_lengths_.reserve(index.num_docs());
@@ -64,11 +95,25 @@ CompressedInvertedIndex::CompressedInvertedIndex(const InvertedIndex& index) {
 
 DocId CompressedInvertedIndex::AddDocument(const TermCounts& counts) {
   const DocId doc = static_cast<DocId>(doc_lengths_.size());
+  // Coalesce duplicate terms first: a repeated term would hit this doc's
+  // posting twice and trip the monotonicity check in Append.
+  TermCounts coalesced(counts);
+  std::stable_sort(coalesced.begin(), coalesced.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
   uint32_t length = 0;
-  for (const auto& [term, tf] : counts) {
-    NL_DCHECK(tf > 0);
+  for (size_t i = 0; i < coalesced.size(); ++i) {
+    const TermId term = coalesced[i].first;
+    uint32_t tf = coalesced[i].second;
+    while (i + 1 < coalesced.size() && coalesced[i + 1].first == term) {
+      tf += coalesced[++i].second;
+    }
+    if (tf == 0) continue;
     if (term >= postings_.size()) postings_.resize(term + 1);
-    postings_[term].Append(Posting{doc, tf});
+    const Status s = postings_[term].Append(Posting{doc, tf});
+    NL_DCHECK(s.ok()) << s.ToString();
+    (void)s;
     length += tf;
   }
   doc_lengths_.push_back(length);

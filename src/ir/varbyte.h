@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "ir/inverted_index.h"
 
 namespace newslink {
@@ -28,11 +29,17 @@ class CompressedPostingList {
  public:
   CompressedPostingList() = default;
 
-  /// Compress an uncompressed list (must be sorted by doc id).
+  /// Compress an uncompressed list. Out-of-order doc ids are sorted and
+  /// duplicates merged (term frequencies summed) before encoding, so this
+  /// constructor always produces a valid list.
   explicit CompressedPostingList(std::span<const Posting> postings);
 
-  /// Append a posting; doc ids must arrive in strictly increasing order.
-  void Append(const Posting& posting);
+  /// Append a posting. Doc ids must arrive in strictly increasing order and
+  /// tf must be positive; violations return InvalidArgument without
+  /// touching the list. (The delta-gap encoding stores `doc - last_doc_`,
+  /// so a non-monotonic id would silently wrap uint32_t and corrupt every
+  /// posting after it — rejection here is what keeps the stream decodable.)
+  Status Append(const Posting& posting);
 
   /// Decode the full list.
   std::vector<Posting> Decode() const;

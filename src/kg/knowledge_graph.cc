@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/binary_io.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -72,6 +73,26 @@ std::string KnowledgeGraph::ArcToString(NodeId src, const Arc& arc) const {
     return StrCat(label(src), " --", pred, "--> ", label(arc.dst));
   }
   return StrCat(label(src), " <--", pred, "-- ", label(arc.dst));
+}
+
+uint64_t KnowledgeGraph::Fingerprint() const {
+  Fingerprinter fp;
+  fp.Add(static_cast<uint64_t>(num_nodes()));
+  for (size_t v = 0; v < labels_.size(); ++v) {
+    fp.Add(labels_[v])
+        .Add(static_cast<uint64_t>(types_[v]))
+        .Add(descriptions_[v]);
+  }
+  fp.Add(static_cast<uint64_t>(predicate_names_.size()));
+  for (const std::string& name : predicate_names_) fp.Add(name);
+  fp.Add(static_cast<uint64_t>(edges_.size()));
+  for (const EdgeRecord& e : edges_) {
+    fp.Add(static_cast<uint64_t>(e.src))
+        .Add(static_cast<uint64_t>(e.dst))
+        .Add(static_cast<uint64_t>(e.predicate))
+        .Add(static_cast<double>(e.weight));
+  }
+  return fp.Digest();
 }
 
 NodeId KgBuilder::AddNode(std::string label, EntityType type,

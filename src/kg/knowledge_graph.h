@@ -60,6 +60,13 @@ class KnowledgeGraph {
   /// human-readable explanations.
   std::string ArcToString(NodeId src, const Arc& arc) const;
 
+  /// FNV-1a fingerprint over nodes (label, type, description), predicate
+  /// names, and the original edge list. Engine snapshots store this so a
+  /// snapshot built against one KG is rejected when loaded against another
+  /// (node ids baked into posting lists would otherwise silently point at
+  /// the wrong entities).
+  uint64_t Fingerprint() const;
+
  private:
   friend class KgBuilder;
 

@@ -7,9 +7,13 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/binary_io.h"
 #include "common/logging.h"
+#include "common/snapshot_file.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "embed/embedding_io.h"
+#include "ir/index_io.h"
 #include "ir/text_vectorizer.h"
 #include "ir/top_k.h"
 
@@ -193,6 +197,7 @@ void NewsLinkEngine::Index(const corpus::Corpus& corpus) {
   // NS: build both inverted indexes (sequential: index ids must align),
   // then publish the whole corpus as one epoch.
   std::lock_guard<std::mutex> writer(writer_mu_);
+  uint64_t corpus_fp = corpus_fingerprint_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < n; ++i) {
     WallTimer timer;
     text_index_.AddDocument(
@@ -200,8 +205,10 @@ void NewsLinkEngine::Index(const corpus::Corpus& corpus) {
     node_index_.AddDocument(
         BonCounts(embeddings[i], config_.bon_doc_tf_cap));
     doc_embeddings_.Append(std::move(embeddings[i]));
+    corpus_fp = corpus::ChainCorpusFingerprint(corpus_fp, corpus.doc(i));
     index_ns_seconds_->Observe(timer.ElapsedSeconds());
   }
+  corpus_fingerprint_.store(corpus_fp, std::memory_order_release);
   PublishSnapshot();
 }
 
@@ -214,6 +221,7 @@ Status NewsLinkEngine::IndexWithEmbeddings(
                " entries for a corpus of ", corpus.size()));
   }
   std::lock_guard<std::mutex> writer(writer_mu_);
+  uint64_t corpus_fp = corpus_fingerprint_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < corpus.size(); ++i) {
     WallTimer timer;
     text_index_.AddDocument(
@@ -221,8 +229,10 @@ Status NewsLinkEngine::IndexWithEmbeddings(
     node_index_.AddDocument(
         BonCounts(embeddings[i], config_.bon_doc_tf_cap));
     doc_embeddings_.Append(std::move(embeddings[i]));
+    corpus_fp = corpus::ChainCorpusFingerprint(corpus_fp, corpus.doc(i));
     index_ns_seconds_->Observe(timer.ElapsedSeconds());
   }
+  corpus_fingerprint_.store(corpus_fp, std::memory_order_release);
   PublishSnapshot();
   return Status::OK();
 }
@@ -246,9 +256,174 @@ size_t NewsLinkEngine::AddDocument(const corpus::Document& doc) {
       ir::TextVectorizer::CountsForIndexing(doc.text, &text_dict_));
   node_index_.AddDocument(BonCounts(embedding, config_.bon_doc_tf_cap));
   doc_embeddings_.Append(std::move(embedding));
+  corpus_fingerprint_.store(
+      corpus::ChainCorpusFingerprint(
+          corpus_fingerprint_.load(std::memory_order_relaxed), doc),
+      std::memory_order_release);
   index_ns_seconds_->Observe(timer.ElapsedSeconds());
   PublishSnapshot();
   return index;
+}
+
+uint64_t NewsLinkEngine::ConfigFingerprint(const NewsLinkConfig& config) {
+  // Only fields that shape the *stored* artifacts participate: loading a
+  // snapshot under a different query-side knob (β, rerank depth, BM25
+  // parameters) is fine, but a different embedder or reduction setting
+  // means the persisted embeddings and BON postings are simply wrong for
+  // this engine. Wall-clock limits (timeouts) are excluded on purpose —
+  // they bound effort, not output, on any input that completes.
+  Fingerprinter fp;
+  fp.Add(static_cast<uint64_t>(config.embedder))
+      .Add(static_cast<uint64_t>(config.bon_doc_tf_cap))
+      .Add(static_cast<uint64_t>(config.use_maximal_reduction ? 1 : 0))
+      .Add(static_cast<uint64_t>(config.lcag.all_shortest_paths ? 1 : 0))
+      .Add(static_cast<uint64_t>(config.lcag.depth_only_root ? 1 : 0))
+      .Add(static_cast<uint64_t>(config.lcag.max_expansions))
+      .Add(static_cast<uint64_t>(config.tree.max_expansions));
+  return fp.Digest();
+}
+
+Status NewsLinkEngine::SaveSnapshot(const std::string& path) const {
+  // Quiesce writers: with writer_mu_ held, both indexes, the dictionary,
+  // and the embedding store are frozen and mutually consistent. Queries
+  // keep running against published epochs throughout.
+  std::lock_guard<std::mutex> writer(writer_mu_);
+
+  SnapshotHeader header;
+  header.kg_fingerprint = graph_->Fingerprint();
+  header.corpus_fingerprint =
+      corpus_fingerprint_.load(std::memory_order_acquire);
+  header.config_fingerprint = ConfigFingerprint(config_);
+  header.num_docs = text_index_.num_docs();
+
+  std::vector<SnapshotSection> sections;
+  {
+    ByteWriter w;
+    ir::SerializeTermDictionary(text_dict_, &w);
+    sections.push_back(SnapshotSection{"text_dict", w.TakeBytes()});
+  }
+  {
+    ByteWriter w;
+    ir::SerializeInvertedIndex(text_index_, &w);
+    sections.push_back(SnapshotSection{"text_index", w.TakeBytes()});
+  }
+  {
+    ByteWriter w;
+    ir::SerializeInvertedIndex(node_index_, &w);
+    sections.push_back(SnapshotSection{"node_index", w.TakeBytes()});
+  }
+  {
+    std::vector<embed::DocumentEmbedding> embeddings;
+    embeddings.reserve(doc_embeddings_.size());
+    for (size_t i = 0; i < doc_embeddings_.size(); ++i) {
+      embeddings.push_back(doc_embeddings_.At(i));
+    }
+    ByteWriter w;
+    embed::SerializeEmbeddings(embeddings, &w);
+    sections.push_back(SnapshotSection{"embeddings", w.TakeBytes()});
+  }
+  return WriteSnapshotFile(path, header, sections);
+}
+
+Status NewsLinkEngine::LoadSnapshot(const std::string& path) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  if (text_index_.num_docs() != 0 || text_dict_.size() != 0 ||
+      doc_embeddings_.size() != 0) {
+    return Status::FailedPrecondition(
+        "LoadSnapshot requires an empty engine (nothing indexed yet)");
+  }
+
+  NL_ASSIGN_OR_RETURN(const SnapshotFile file, ReadSnapshotFile(path));
+
+  // Reject stale artifacts before touching any payload: postings and
+  // embeddings reference KG node ids, and their shape depends on the
+  // artifact-shaping config, so a mismatch means silently wrong results.
+  const uint64_t kg_fp = graph_->Fingerprint();
+  if (file.header.kg_fingerprint != kg_fp) {
+    return Status::FailedPrecondition(
+        StrCat("snapshot was built against a different knowledge graph "
+               "(snapshot KG fingerprint ",
+               file.header.kg_fingerprint, ", engine KG fingerprint ", kg_fp,
+               ")"));
+  }
+  const uint64_t config_fp = ConfigFingerprint(config_);
+  if (file.header.config_fingerprint != config_fp) {
+    return Status::FailedPrecondition(
+        StrCat("snapshot was built under a different engine configuration "
+               "(snapshot config fingerprint ",
+               file.header.config_fingerprint, ", engine config fingerprint ",
+               config_fp, ")"));
+  }
+
+  const char* kRequired[] = {"text_dict", "text_index", "node_index",
+                             "embeddings"};
+  for (const char* name : kRequired) {
+    if (file.Find(name) == nullptr) {
+      return Status::IOError(StrCat("snapshot missing section '", name, "'"));
+    }
+  }
+
+  // Parse and validate every section into locals first; engine members are
+  // only touched after the whole snapshot proved sound, so a corrupt file
+  // leaves this engine untouched and usable.
+  std::vector<std::string> terms;
+  {
+    ByteReader r(file.Find("text_dict")->payload);
+    NL_RETURN_IF_ERROR(ir::DeserializeTermStrings(&r, &terms));
+    NL_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  ir::InvertedIndex text_index;
+  {
+    ByteReader r(file.Find("text_index")->payload);
+    NL_RETURN_IF_ERROR(ir::DeserializeInvertedIndex(&r, &text_index));
+    NL_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  ir::InvertedIndex node_index;
+  {
+    ByteReader r(file.Find("node_index")->payload);
+    NL_RETURN_IF_ERROR(ir::DeserializeInvertedIndex(&r, &node_index));
+    NL_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  std::vector<embed::DocumentEmbedding> embeddings;
+  {
+    ByteReader r(file.Find("embeddings")->payload);
+    NL_RETURN_IF_ERROR(embed::DeserializeEmbeddings(&r, &embeddings));
+    NL_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+
+  // Cross-section consistency: all four artifacts must cover the same
+  // documents, and the dictionary must cover every text term.
+  if (text_index.num_docs() != file.header.num_docs ||
+      node_index.num_docs() != file.header.num_docs ||
+      embeddings.size() != file.header.num_docs) {
+    return Status::IOError(
+        StrCat("inconsistent document counts: header ", file.header.num_docs,
+               ", text index ", text_index.num_docs(), ", node index ",
+               node_index.num_docs(), ", embeddings ", embeddings.size()));
+  }
+  if (text_index.num_terms() > terms.size()) {
+    return Status::IOError(
+        StrCat("text index references ", text_index.num_terms(),
+               " terms but the dictionary holds ", terms.size()));
+  }
+
+  // Commit. Everything below is infallible. Moving the locals in clears
+  // the members' instrument pointers, so metrics are re-attached right
+  // after (the registry returns the same counters it handed out before).
+  text_index_ = std::move(text_index);
+  node_index_ = std::move(node_index);
+  text_index_.EnableMetrics(registry(), "bow");
+  node_index_.EnableMetrics(registry(), "bon");
+  for (size_t i = 0; i < terms.size(); ++i) {
+    text_dict_.GetOrAdd(terms[i]);
+  }
+  for (embed::DocumentEmbedding& e : embeddings) {
+    doc_embeddings_.Append(std::move(e));
+  }
+  corpus_fingerprint_.store(file.header.corpus_fingerprint,
+                            std::memory_order_release);
+  PublishSnapshot();
+  return Status::OK();
 }
 
 std::vector<embed::DocumentEmbedding> NewsLinkEngine::SnapshotEmbeddings()

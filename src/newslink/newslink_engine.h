@@ -171,6 +171,34 @@ class NewsLinkEngine : public baselines::SearchEngine {
   /// continues.
   std::vector<embed::DocumentEmbedding> SnapshotEmbeddings() const;
 
+  /// Serialize the full NS-component state — term dictionary, both
+  /// inverted indexes, document embeddings — plus the KG / corpus / config
+  /// fingerprints into a versioned snapshot file (DESIGN.md Sec. 9).
+  /// Quiesces writers (takes the writer lock); queries keep running.
+  /// Deterministic: saving the same state twice yields identical bytes.
+  Status SaveSnapshot(const std::string& path) const override;
+
+  /// Restore a SaveSnapshot file into this engine, which must be empty
+  /// (freshly constructed, nothing indexed). Skips the NLP/NE pipeline
+  /// entirely — the warm-start path. Rejects snapshots whose KG or config
+  /// fingerprint differs from this engine's (FailedPrecondition) and any
+  /// corrupt or truncated file (IOError); on failure the engine is left
+  /// untouched and usable. Live AddDocument ingestion may continue on top
+  /// of the loaded state.
+  Status LoadSnapshot(const std::string& path) override;
+
+  /// Chained fingerprint of every document indexed so far (0 when empty);
+  /// stored in snapshots so tools can verify a snapshot actually matches a
+  /// given corpus file.
+  uint64_t corpus_fingerprint() const {
+    return corpus_fingerprint_.load(std::memory_order_acquire);
+  }
+
+  /// Fingerprint of the artifact-shaping configuration fields (embedder
+  /// kind, BON caps, LCAG structure options — not wall-clock limits).
+  /// Snapshots refuse to load under a config with a different value.
+  static uint64_t ConfigFingerprint(const NewsLinkConfig& config);
+
   /// Request-scoped search: THE query entry point. Acquires the current
   /// epoch, resolves unset request fields from the engine config, scores
   /// both index sides against that one snapshot, fuses (Eq. 3), and —
@@ -252,7 +280,12 @@ class NewsLinkEngine : public baselines::SearchEngine {
   ir::AppendOnlyStore<embed::DocumentEmbedding> doc_embeddings_;
 
   // Writer side: serializes ingestion; queries never take this lock.
-  std::mutex writer_mu_;
+  // Mutable so SaveSnapshot (const: it only reads) can quiesce writers.
+  mutable std::mutex writer_mu_;
+
+  // Chained corpus fingerprint (corpus::ChainCorpusFingerprint folds in
+  // every indexed document). Written under writer_mu_; read lock-free.
+  std::atomic<uint64_t> corpus_fingerprint_{0};
 
   // Published-snapshot slot. A mutex-guarded shared_ptr swap (not
   // std::atomic<shared_ptr>) keeps the fast path simple and portable; the

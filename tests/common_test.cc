@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -336,6 +337,40 @@ TEST(ThreadPoolTest, WaitIdempotent) {
 TEST(ThreadPoolTest, DefaultThreadCountPositive) {
   ThreadPool pool;
   EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForFromWorkerRunsInline) {
+  // Regression: ParallelFor called from a pool worker used to Submit its
+  // loop tasks behind the caller and then Wait() — with every worker
+  // occupied by such a caller, nobody drained the queue and the pool
+  // deadlocked. Nested calls must run inline on the calling worker.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<int> outer_done{0};
+  for (int outer = 0; outer < 4; ++outer) {
+    pool.Submit([&pool, &hits, &outer_done] {
+      pool.ParallelFor(hits.size(),
+                       [&hits](size_t i) { hits[i].fetch_add(1); });
+      outer_done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(outer_done.load(), 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 4);
+}
+
+TEST(ThreadPoolTest, ParallelForFromForeignWorkerStillParallel) {
+  // A worker of pool A fanning out on pool B is not reentrant — B's
+  // workers are free, so the parallel path must still be taken (and must
+  // complete).
+  ThreadPool a(1);
+  ThreadPool b(2);
+  std::atomic<int> count{0};
+  a.Submit([&b, &count] {
+    b.ParallelFor(32, [&count](size_t) { count.fetch_add(1); });
+  });
+  a.Wait();
+  EXPECT_EQ(count.load(), 32);
 }
 
 }  // namespace

@@ -1,0 +1,385 @@
+// Tests for the versioned engine snapshot format (DESIGN.md Sec. 9):
+// build -> save -> load round trips, live ingestion on top of a loaded
+// snapshot, fingerprint-based staleness rejection, and the hardened
+// readers' behaviour under truncation and bit flips. Every failure path
+// must return Status — never crash — and leave the engine untouched.
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/binary_io.h"
+#include "common/snapshot_file.h"
+#include "corpus/corpus.h"
+#include "corpus/corpus_io.h"
+#include "corpus/synthetic_news.h"
+#include "embed/embedding_io.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+#include "newslink/newslink_engine.h"
+
+namespace newslink {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+// One world + corpus + indexed engine + saved snapshot, built once and
+// shared read-only by every test (indexing runs the full NLP/NE pipeline
+// and dominates suite runtime).
+struct SharedState {
+  SharedState()
+      : world(MakeWorld()),
+        labels(world.graph),
+        news(MakeNews(&world)),
+        engine(&world.graph, &labels, NewsLinkConfig{}) {
+    engine.Index(news.corpus);
+    snapshot_path = testing::TempDir() + "snapshot_test_main.snap";
+    save_status = engine.SaveSnapshot(snapshot_path);
+    if (save_status.ok()) snapshot_bytes = ReadFileBytes(snapshot_path);
+  }
+
+  static kg::SyntheticKg MakeWorld() {
+    kg::SyntheticKgConfig config;
+    config.seed = 1234;
+    config.num_countries = 2;
+    return kg::SyntheticKgGenerator(config).Generate();
+  }
+
+  static corpus::SyntheticCorpus MakeNews(const kg::SyntheticKg* world) {
+    corpus::SyntheticNewsConfig config = corpus::CnnLikeConfig();
+    config.num_stories = 25;
+    return corpus::SyntheticNewsGenerator(world, config).Generate("it");
+  }
+
+  // First sentence of a document: a query with known relevant results.
+  std::string Sentence(size_t doc) const {
+    const std::string& text = news.corpus.doc(doc).text;
+    return text.substr(0, text.find('.') + 1);
+  }
+
+  std::vector<std::string> Queries() const {
+    std::vector<std::string> queries;
+    for (size_t d : {size_t{0}, size_t{3}, size_t{7}, size_t{12}}) {
+      queries.push_back(Sentence(d));
+    }
+    return queries;
+  }
+
+  kg::SyntheticKg world;
+  kg::LabelIndex labels;
+  corpus::SyntheticCorpus news;
+  NewsLinkEngine engine;
+  std::string snapshot_path;
+  Status save_status;
+  std::string snapshot_bytes;
+};
+
+SharedState& State() {
+  static SharedState* state = new SharedState();
+  return *state;
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(State().save_status.ok()) << State().save_status.ToString();
+    ASSERT_FALSE(State().snapshot_bytes.empty());
+  }
+};
+
+TEST_F(SnapshotTest, HeaderCarriesFingerprints) {
+  SharedState& s = State();
+  Result<SnapshotHeader> header = ReadSnapshotHeader(s.snapshot_path);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->format_version, kSnapshotFormatVersion);
+  EXPECT_EQ(header->kg_fingerprint, s.world.graph.Fingerprint());
+  EXPECT_EQ(header->corpus_fingerprint, s.engine.corpus_fingerprint());
+  EXPECT_EQ(header->config_fingerprint,
+            NewsLinkEngine::ConfigFingerprint(NewsLinkConfig{}));
+  EXPECT_EQ(header->num_docs, s.news.corpus.size());
+}
+
+TEST_F(SnapshotTest, LoadReproducesExactSearchResults) {
+  SharedState& s = State();
+  NewsLinkEngine loaded(&s.world.graph, &s.labels, NewsLinkConfig{});
+  const Status status = loaded.LoadSnapshot(s.snapshot_path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(loaded.num_indexed_docs(), s.engine.num_indexed_docs());
+  EXPECT_EQ(loaded.corpus_fingerprint(), s.engine.corpus_fingerprint());
+
+  for (const std::string& query : s.Queries()) {
+    for (bool exhaustive : {false, true}) {
+      baselines::SearchRequest request;
+      request.query = query;
+      request.k = 10;
+      request.exhaustive_fusion = exhaustive;
+      const baselines::SearchResponse expected = s.engine.Search(request);
+      const baselines::SearchResponse actual = loaded.Search(request);
+      ASSERT_EQ(actual.hits.size(), expected.hits.size())
+          << "query: " << query << " exhaustive: " << exhaustive;
+      for (size_t i = 0; i < expected.hits.size(); ++i) {
+        EXPECT_EQ(actual.hits[i].doc_index, expected.hits[i].doc_index)
+            << "rank " << i << " query: " << query;
+        // Bit-exact, not approximately equal: the snapshot restores the
+        // very same index contents and statistics.
+        EXPECT_EQ(actual.hits[i].score, expected.hits[i].score)
+            << "rank " << i << " query: " << query;
+      }
+    }
+  }
+}
+
+TEST_F(SnapshotTest, ResaveOfLoadedSnapshotIsByteIdentical) {
+  SharedState& s = State();
+  NewsLinkEngine loaded(&s.world.graph, &s.labels, NewsLinkConfig{});
+  ASSERT_TRUE(loaded.LoadSnapshot(s.snapshot_path).ok());
+  const std::string resave_path = testing::TempDir() + "snapshot_resave.snap";
+  const Status status = loaded.SaveSnapshot(resave_path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(ReadFileBytes(resave_path), s.snapshot_bytes);
+}
+
+TEST_F(SnapshotTest, IngestionContinuesOnLoadedSnapshot) {
+  SharedState& s = State();
+  const corpus::Corpus& full = s.news.corpus;
+  ASSERT_GT(full.size(), 4u);
+  const size_t cut = full.size() - 2;
+  corpus::Corpus partial;
+  for (size_t i = 0; i < cut; ++i) partial.Add(full.doc(i));
+
+  // Build + save over the truncated corpus, then load and ingest the tail.
+  const std::string path = testing::TempDir() + "snapshot_partial.snap";
+  {
+    NewsLinkEngine builder(&s.world.graph, &s.labels, NewsLinkConfig{});
+    builder.Index(partial);
+    ASSERT_TRUE(builder.SaveSnapshot(path).ok());
+  }
+  NewsLinkEngine loaded(&s.world.graph, &s.labels, NewsLinkConfig{});
+  ASSERT_TRUE(loaded.LoadSnapshot(path).ok());
+  for (size_t i = cut; i < full.size(); ++i) {
+    EXPECT_EQ(loaded.AddDocument(full.doc(i)), i);
+  }
+  EXPECT_EQ(loaded.num_indexed_docs(), full.size());
+  // The chained fingerprint after live ingestion matches the bulk build's.
+  EXPECT_EQ(loaded.corpus_fingerprint(), s.engine.corpus_fingerprint());
+
+  // And the loaded-then-ingested engine ranks like the bulk-built one —
+  // including for a query drawn from an ingested document.
+  std::vector<std::string> queries = s.Queries();
+  queries.push_back(s.Sentence(full.size() - 1));
+  for (const std::string& query : queries) {
+    const auto expected = s.engine.Search(query, 10);
+    const auto actual = loaded.Search(query, 10);
+    ASSERT_EQ(actual.size(), expected.size()) << "query: " << query;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].doc_index, expected[i].doc_index)
+          << "rank " << i << " query: " << query;
+      EXPECT_DOUBLE_EQ(actual[i].score, expected[i].score)
+          << "rank " << i << " query: " << query;
+    }
+  }
+}
+
+TEST_F(SnapshotTest, LoadRejectsNonEmptyEngine) {
+  SharedState& s = State();
+  NewsLinkEngine engine(&s.world.graph, &s.labels, NewsLinkConfig{});
+  engine.AddDocument(s.news.corpus.doc(0));
+  const Status status = engine.LoadSnapshot(s.snapshot_path);
+  EXPECT_TRUE(status.IsFailedPrecondition()) << status.ToString();
+  EXPECT_EQ(engine.num_indexed_docs(), 1u);
+}
+
+TEST_F(SnapshotTest, LoadRejectsDifferentKnowledgeGraph) {
+  SharedState& s = State();
+  kg::SyntheticKgConfig config;
+  config.seed = 99;
+  config.num_countries = 2;
+  kg::SyntheticKg other = kg::SyntheticKgGenerator(config).Generate();
+  kg::LabelIndex other_labels(other.graph);
+  ASSERT_NE(other.graph.Fingerprint(), s.world.graph.Fingerprint());
+
+  NewsLinkEngine engine(&other.graph, &other_labels, NewsLinkConfig{});
+  const Status status = engine.LoadSnapshot(s.snapshot_path);
+  EXPECT_TRUE(status.IsFailedPrecondition()) << status.ToString();
+  EXPECT_EQ(engine.num_indexed_docs(), 0u);
+}
+
+TEST_F(SnapshotTest, LoadRejectsDifferentConfig) {
+  SharedState& s = State();
+  NewsLinkConfig config;
+  config.bon_doc_tf_cap = 5;  // artifact-shaping: changes index contents
+  ASSERT_NE(NewsLinkEngine::ConfigFingerprint(config),
+            NewsLinkEngine::ConfigFingerprint(NewsLinkConfig{}));
+  NewsLinkEngine engine(&s.world.graph, &s.labels, config);
+  const Status status = engine.LoadSnapshot(s.snapshot_path);
+  EXPECT_TRUE(status.IsFailedPrecondition()) << status.ToString();
+}
+
+TEST_F(SnapshotTest, QueryOnlyConfigChangesDoNotInvalidateSnapshots) {
+  SharedState& s = State();
+  NewsLinkConfig config;
+  config.beta = 0.7;        // query-side fusion weight
+  config.rerank_depth = 8;  // query-side candidate depth
+  EXPECT_EQ(NewsLinkEngine::ConfigFingerprint(config),
+            NewsLinkEngine::ConfigFingerprint(NewsLinkConfig{}));
+  NewsLinkEngine engine(&s.world.graph, &s.labels, config);
+  EXPECT_TRUE(engine.LoadSnapshot(s.snapshot_path).ok());
+}
+
+TEST_F(SnapshotTest, LoadRejectsMissingFile) {
+  SharedState& s = State();
+  NewsLinkEngine engine(&s.world.graph, &s.labels, NewsLinkConfig{});
+  const Status status =
+      engine.LoadSnapshot(testing::TempDir() + "no_such_snapshot.snap");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(SnapshotTest, TruncatedSnapshotsAlwaysFailCleanly) {
+  SharedState& s = State();
+  const std::string path = testing::TempDir() + "snapshot_truncated.snap";
+  // One engine reused across the whole sweep: a failed load must leave it
+  // empty and usable, so hundreds of failures in a row are fine.
+  NewsLinkEngine engine(&s.world.graph, &s.labels, NewsLinkConfig{});
+  const size_t size = s.snapshot_bytes.size();
+  std::vector<size_t> cuts = {0, 1, 2, 5, size / 2, size - 1};
+  for (size_t cut = 3; cut < size; cut += 97) cuts.push_back(cut);
+  for (size_t cut : cuts) {
+    WriteFileBytes(path, s.snapshot_bytes.substr(0, cut));
+    const Status status = engine.LoadSnapshot(path);
+    EXPECT_FALSE(status.ok()) << "prefix of " << cut << " bytes loaded";
+    EXPECT_EQ(engine.num_indexed_docs(), 0u);
+  }
+  // After every rejection the engine still accepts the intact snapshot.
+  ASSERT_TRUE(engine.LoadSnapshot(s.snapshot_path).ok());
+  EXPECT_EQ(engine.num_indexed_docs(), s.news.corpus.size());
+  EXPECT_FALSE(engine.Search(s.Sentence(0), 5).empty());
+}
+
+TEST_F(SnapshotTest, BitFlippedSnapshotsAlwaysFailCleanly) {
+  SharedState& s = State();
+  const std::string path = testing::TempDir() + "snapshot_bitflip.snap";
+  NewsLinkEngine engine(&s.world.graph, &s.labels, NewsLinkConfig{});
+  // Every byte of the file is covered by the magic check, the per-section
+  // CRCs, or the whole-file CRC, so ANY single-bit flip must be rejected.
+  for (size_t offset = 0; offset < s.snapshot_bytes.size(); offset += 131) {
+    for (uint8_t bit : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::string corrupt = s.snapshot_bytes;
+      corrupt[offset] = static_cast<char>(
+          static_cast<uint8_t>(corrupt[offset]) ^ bit);
+      WriteFileBytes(path, corrupt);
+      const Status status = engine.LoadSnapshot(path);
+      EXPECT_FALSE(status.ok())
+          << "bit flip at offset " << offset << " accepted";
+      EXPECT_EQ(engine.num_indexed_docs(), 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hardened readers: embeddings (text + binary) and corpus TSV.
+// ---------------------------------------------------------------------------
+
+TEST_F(SnapshotTest, LoadEmbeddingsRejectsTruncatedRecord) {
+  SharedState& s = State();
+  const std::string path = testing::TempDir() + "embeddings_trunc.txt";
+  const std::vector<embed::DocumentEmbedding> embeddings =
+      s.engine.SnapshotEmbeddings();
+  ASSERT_TRUE(embed::SaveEmbeddings(embeddings, path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_TRUE(embed::LoadEmbeddings(path).ok());
+
+  // Cut inside a segment record ("nodes" line onward missing): the loader
+  // must report truncation, not return a silently incomplete embedding.
+  const size_t cut = bytes.find("nodes ");
+  ASSERT_NE(cut, std::string::npos);
+  WriteFileBytes(path, bytes.substr(0, cut + 2));
+  const Result<std::vector<embed::DocumentEmbedding>> truncated =
+      embed::LoadEmbeddings(path);
+  EXPECT_FALSE(truncated.ok());
+}
+
+TEST_F(SnapshotTest, LoadEmbeddingsRejectsCorruptNumbers) {
+  SharedState& s = State();
+  const std::string path = testing::TempDir() + "embeddings_corrupt.txt";
+  const std::vector<embed::DocumentEmbedding> embeddings =
+      s.engine.SnapshotEmbeddings();
+  ASSERT_TRUE(embed::SaveEmbeddings(embeddings, path).ok());
+  const std::string bytes = ReadFileBytes(path);
+
+  // Non-numeric junk inside a dists line.
+  const size_t dists = bytes.find("dists ");
+  ASSERT_NE(dists, std::string::npos);
+  const std::string corrupt =
+      bytes.substr(0, dists + 6) + "x" + bytes.substr(dists + 6);
+  WriteFileBytes(path, corrupt);
+  EXPECT_FALSE(embed::LoadEmbeddings(path).ok());
+
+  // Segment count that overflows uint64.
+  const size_t eol = bytes.find('\n');
+  ASSERT_NE(eol, std::string::npos);
+  WriteFileBytes(path,
+                 "doc 99999999999999999999999" + bytes.substr(eol));
+  EXPECT_FALSE(embed::LoadEmbeddings(path).ok());
+}
+
+TEST_F(SnapshotTest, BinaryEmbeddingCodecRoundTripsAndRejectsTruncation) {
+  SharedState& s = State();
+  const std::vector<embed::DocumentEmbedding> embeddings =
+      s.engine.SnapshotEmbeddings();
+  ByteWriter writer;
+  embed::SerializeEmbeddings(embeddings, &writer);
+  const std::vector<uint8_t>& bytes = writer.bytes();
+
+  std::vector<embed::DocumentEmbedding> decoded;
+  ByteReader full(bytes);
+  ASSERT_TRUE(embed::DeserializeEmbeddings(&full, &decoded).ok());
+  ASSERT_TRUE(full.ExpectEnd().ok());
+  ASSERT_EQ(decoded.size(), embeddings.size());
+  for (size_t i = 0; i < embeddings.size(); ++i) {
+    EXPECT_EQ(decoded[i].segment_graphs.size(),
+              embeddings[i].segment_graphs.size());
+  }
+
+  // The stream has no slack: every strict prefix must fail (the declared
+  // counts always promise more data than remains).
+  std::vector<size_t> cuts = {0, 1, 7, 8, 9, bytes.size() / 2,
+                              bytes.size() - 1};
+  for (size_t cut = 13; cut < bytes.size(); cut += 211) cuts.push_back(cut);
+  for (size_t cut : cuts) {
+    std::vector<embed::DocumentEmbedding> out;
+    ByteReader reader(std::span<const uint8_t>(bytes.data(), cut));
+    const Status status = embed::DeserializeEmbeddings(&reader, &out);
+    EXPECT_FALSE(status.ok() && reader.ExpectEnd().ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST_F(SnapshotTest, CorpusLoaderRejectsCorruptStoryId) {
+  const std::string path = testing::TempDir() + "corpus_corrupt.tsv";
+  WriteFileBytes(path, "d1\t2x\tTitle\tBody\n");
+  const Result<corpus::Corpus> loaded = corpus::LoadTsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status().ToString();
+
+  WriteFileBytes(path, "d1\t4294967296\tTitle\tBody\n");  // > uint32 max
+  EXPECT_FALSE(corpus::LoadTsv(path).ok());
+}
+
+}  // namespace
+}  // namespace newslink

@@ -88,6 +88,59 @@ TEST(CompressedPostingListTest, ForEachStreams) {
   EXPECT_EQ(seen[0].tf, 2u);
 }
 
+TEST(CompressedPostingListTest, RejectsNonMonotonicDocIds) {
+  // Regression: a non-monotonic doc id used to delta-encode as
+  // `doc - last_doc_`, wrapping uint32_t and silently corrupting every
+  // posting after it. It must be rejected instead, leaving the list as-is.
+  CompressedPostingList list;
+  EXPECT_TRUE(list.Append({10, 2}).ok());
+  const Status backwards = list.Append({3, 1});
+  EXPECT_TRUE(backwards.IsInvalidArgument()) << backwards.ToString();
+  const Status duplicate = list.Append({10, 1});
+  EXPECT_TRUE(duplicate.IsInvalidArgument()) << duplicate.ToString();
+  ASSERT_EQ(list.size(), 1u);
+  const std::vector<Posting> decoded = list.Decode();
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].doc, 10u);
+  EXPECT_EQ(decoded[0].tf, 2u);
+  // The list stays usable after a rejection.
+  EXPECT_TRUE(list.Append({11, 3}).ok());
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(CompressedPostingListTest, RejectsZeroTermFrequency) {
+  CompressedPostingList list;
+  EXPECT_TRUE(list.Append({4, 0}).IsInvalidArgument());
+  EXPECT_EQ(list.size(), 0u);
+}
+
+TEST(CompressedPostingListTest, SpanConstructorSortsAndMerges) {
+  // Out-of-order and duplicated doc ids are normalized (sorted, tf summed)
+  // rather than corrupting the delta stream.
+  const std::vector<Posting> messy = {{9, 1}, {3, 2}, {9, 4}, {1, 1}};
+  CompressedPostingList list({messy.data(), messy.size()});
+  const std::vector<Posting> decoded = list.Decode();
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0].doc, 1u);
+  EXPECT_EQ(decoded[0].tf, 1u);
+  EXPECT_EQ(decoded[1].doc, 3u);
+  EXPECT_EQ(decoded[1].tf, 2u);
+  EXPECT_EQ(decoded[2].doc, 9u);
+  EXPECT_EQ(decoded[2].tf, 5u);
+}
+
+TEST(CompressedInvertedIndexTest, AddDocumentCoalescesDuplicateTerms) {
+  // A repeated term in one document's counts used to hit the same posting
+  // list twice for one doc id, tripping the monotonicity invariant.
+  CompressedInvertedIndex index;
+  index.AddDocument({{7, 2}, {3, 1}, {7, 5}});
+  const std::vector<Posting> postings = index.Postings(7);
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0].doc, 0u);
+  EXPECT_EQ(postings[0].tf, 7u);
+  EXPECT_EQ(index.DocLength(0), 8u);
+}
+
 TEST(CompressedInvertedIndexTest, MirrorsUncompressedIndex) {
   Rng rng(11);
   ZipfTable zipf(200, 1.0);

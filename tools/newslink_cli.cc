@@ -7,27 +7,44 @@
 //       [--stories N] [--preset cnn|kaggle]
 //       Generate a news corpus over an existing KG dump.
 //
+//   newslink_cli build-index <kg_prefix> <corpus_tsv> <out_snapshot>
+//       [--snapshot IN]
+//       Build the full engine state over the corpus (the expensive NLP/NE
+//       pipeline) and persist it as a versioned snapshot. With --snapshot,
+//       warm-start from an existing snapshot instead of rebuilding and
+//       re-save (a load→save round trip is byte-identical, which CI
+//       verifies with cmp).
+//
 //   newslink_cli search <kg_prefix> <corpus_tsv> <query...> [--beta B]
-//       [--k N] [--explain] [--trace] [--metrics-out FILE]
-//       Index the corpus and run one query, optionally with relationship-
-//       path explanations, the query's span tree, and a metrics dump.
+//       [--k N] [--explain] [--trace] [--metrics-out FILE] [--snapshot PATH]
+//       Index the corpus — or warm-start from a snapshot — and run one
+//       query, optionally with relationship-path explanations, the query's
+//       span tree, and a metrics dump.
 //
 //   newslink_cli stats <kg_prefix> [<corpus_tsv>] [--query TEXT]
-//       [--format prom|json] [--metrics-out FILE]
+//       [--format prom|json] [--metrics-out FILE] [--snapshot PATH]
 //       Without a corpus: structural statistics of a KG dump. With one:
 //       index it (optionally run a query) and print the engine's metrics
 //       registry — Prometheus text exposition by default, JSON on demand.
 //
-// Exit code 0 on success, 1 on usage errors, 2 on I/O failures.
+//   newslink_cli serve <kg_prefix> <corpus_tsv> [--snapshot PATH] [--k N]
+//       [--beta B]
+//       Warm-start (or index) and answer one query per stdin line until
+//       EOF — the build-once / serve-warm loop.
+//
+// Exit code 0 on success, 1 on usage errors, 2 on I/O failures (including
+// corrupt, truncated, or stale snapshots).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "corpus/corpus_io.h"
 #include "corpus/synthetic_news.h"
 #include "kg/graph_stats.h"
@@ -95,11 +112,53 @@ int Usage() {
       "  newslink_cli generate-kg <out_prefix> [--seed N] [--countries N]\n"
       "  newslink_cli generate-corpus <kg_prefix> <out_tsv> [--seed N]\n"
       "               [--stories N] [--preset cnn|kaggle]\n"
+      "  newslink_cli build-index <kg_prefix> <corpus_tsv> <out_snapshot>\n"
+      "               [--snapshot IN]\n"
       "  newslink_cli search <kg_prefix> <corpus_tsv> <query...> [--beta B]\n"
       "               [--k N] [--explain] [--trace] [--metrics-out FILE]\n"
+      "               [--snapshot PATH]\n"
       "  newslink_cli stats <kg_prefix> [<corpus_tsv>] [--query TEXT]\n"
-      "               [--format prom|json] [--metrics-out FILE]\n");
+      "               [--format prom|json] [--metrics-out FILE]\n"
+      "               [--snapshot PATH]\n"
+      "  newslink_cli serve <kg_prefix> <corpus_tsv> [--snapshot PATH]\n"
+      "               [--k N] [--beta B]\n");
   return 1;
+}
+
+/// Chained fingerprint of the whole corpus, matching what an engine that
+/// indexed these documents in order would report.
+uint64_t CorpusFingerprintOf(const corpus::Corpus& docs) {
+  uint64_t fp = 0;
+  for (const corpus::Document& doc : docs.docs()) {
+    fp = corpus::ChainCorpusFingerprint(fp, doc);
+  }
+  return fp;
+}
+
+/// Populate an empty engine: warm-start from `snapshot_path` when given
+/// (verifying the snapshot's corpus fingerprint against the loaded corpus,
+/// so a snapshot of a *different* corpus is rejected, not served), else run
+/// the full indexing pipeline. Returns 0 or the process exit code.
+int PopulateEngine(NewsLinkEngine* engine, const corpus::Corpus& docs,
+                   const std::string& snapshot_path) {
+  if (snapshot_path.empty()) {
+    engine->Index(docs);
+    return 0;
+  }
+  const Status status = engine->LoadSnapshot(snapshot_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  if (engine->num_indexed_docs() != docs.size() ||
+      engine->corpus_fingerprint() != CorpusFingerprintOf(docs)) {
+    std::fprintf(stderr,
+                 "snapshot %s does not match the corpus (stale snapshot? "
+                 "rebuild with build-index)\n",
+                 snapshot_path.c_str());
+    return 2;
+  }
+  return 0;
 }
 
 /// Render the engine's registry in the requested format ("prom" | "json").
@@ -174,6 +233,74 @@ int GenerateCorpus(const Flags& flags) {
   return 0;
 }
 
+int BuildIndexCmd(const Flags& flags) {
+  if (flags.positional.size() < 3) return Usage();
+  Result<kg::KnowledgeGraph> graph = kg::LoadTsv(flags.positional[0]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 2;
+  }
+  Result<corpus::Corpus> docs = corpus::LoadTsv(flags.positional[1]);
+  if (!docs.ok()) {
+    std::fprintf(stderr, "%s\n", docs.status().ToString().c_str());
+    return 2;
+  }
+  kg::LabelIndex labels(*graph);
+  NewsLinkEngine engine(&*graph, &labels, NewsLinkConfig{});
+  WallTimer timer;
+  const int rc = PopulateEngine(&engine, *docs, flags.Get("snapshot", ""));
+  if (rc != 0) return rc;
+  const double populate_seconds = timer.ElapsedSeconds();
+  const Status status = engine.SaveSnapshot(flags.positional[2]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  std::printf("%s %zu docs in %.3fs; snapshot written to %s\n",
+              flags.Has("snapshot") ? "loaded" : "indexed", docs->size(),
+              populate_seconds, flags.positional[2].c_str());
+  return 0;
+}
+
+int ServeCmd(const Flags& flags) {
+  if (flags.positional.size() < 2) return Usage();
+  Result<kg::KnowledgeGraph> graph = kg::LoadTsv(flags.positional[0]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 2;
+  }
+  Result<corpus::Corpus> docs = corpus::LoadTsv(flags.positional[1]);
+  if (!docs.ok()) {
+    std::fprintf(stderr, "%s\n", docs.status().ToString().c_str());
+    return 2;
+  }
+  kg::LabelIndex labels(*graph);
+  NewsLinkEngine engine(&*graph, &labels, NewsLinkConfig{});
+  WallTimer timer;
+  const int rc = PopulateEngine(&engine, *docs, flags.Get("snapshot", ""));
+  if (rc != 0) return rc;
+  std::fprintf(stderr, "ready (%zu docs, %.3fs); one query per line\n",
+               engine.num_indexed_docs(), timer.ElapsedSeconds());
+
+  baselines::SearchRequest request;
+  request.k = flags.GetInt("k", 5);
+  request.beta = flags.GetDouble("beta", 0.2);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (Trim(line).empty()) continue;
+    request.query = line;
+    const baselines::SearchResponse response = engine.Search(request);
+    for (const baselines::SearchHit& hit : response.hits) {
+      const corpus::Document& d = docs->doc(hit.doc_index);
+      std::printf("[%6.3f] %s  %.80s...\n", hit.score, d.id.c_str(),
+                  d.text.c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int SearchCmd(const Flags& flags) {
   if (flags.positional.size() < 3) return Usage();
   Result<kg::KnowledgeGraph> graph = kg::LoadTsv(flags.positional[0]);
@@ -194,10 +321,11 @@ int SearchCmd(const Flags& flags) {
 
   kg::LabelIndex labels(*graph);
   NewsLinkEngine engine(&*graph, &labels, NewsLinkConfig{});
-  engine.Index(*docs);
-  std::printf("indexed %zu docs (%.1f%% embedded); query: %s\n\n",
-              docs->size(), 100.0 * engine.EmbeddedDocumentFraction(),
-              query.c_str());
+  const int rc = PopulateEngine(&engine, *docs, flags.Get("snapshot", ""));
+  if (rc != 0) return rc;
+  std::printf("%s %zu docs (%.1f%% embedded); query: %s\n\n",
+              flags.Has("snapshot") ? "loaded" : "indexed", docs->size(),
+              100.0 * engine.EmbeddedDocumentFraction(), query.c_str());
 
   // All query knobs are per-request: the indexed engine itself is never
   // reconfigured, so repeated searches with different β reuse the indexes.
@@ -257,7 +385,8 @@ int StatsCmd(const Flags& flags) {
   }
   kg::LabelIndex labels(*graph);
   NewsLinkEngine engine(&*graph, &labels, NewsLinkConfig{});
-  engine.Index(*docs);
+  const int rc = PopulateEngine(&engine, *docs, flags.Get("snapshot", ""));
+  if (rc != 0) return rc;
   if (flags.Has("query")) {
     baselines::SearchRequest request;
     request.query = flags.Get("query", "");
@@ -281,7 +410,9 @@ int main(int argc, char** argv) {
   const Flags flags = ParseFlags(argc, argv, 2);
   if (command == "generate-kg") return GenerateKg(flags);
   if (command == "generate-corpus") return GenerateCorpus(flags);
+  if (command == "build-index") return BuildIndexCmd(flags);
   if (command == "search") return SearchCmd(flags);
   if (command == "stats") return StatsCmd(flags);
+  if (command == "serve") return ServeCmd(flags);
   return Usage();
 }
