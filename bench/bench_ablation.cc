@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "common/logging.h"
 #include "bench/bench_util.h"
 #include "common/timer.h"
 #include "newslink/newslink_engine.h"
@@ -24,7 +25,7 @@ void Run(const bench::BenchWorld& world, const bench::BenchDataset& dataset,
          const eval::EvaluationRunner& runner, const Variant& variant) {
   NewsLinkEngine engine(&world.kg.graph, &world.index, variant.config);
   WallTimer timer;
-  engine.Index(dataset.data.corpus);
+  NL_CHECK(engine.Index(dataset.data.corpus).ok());
   const double index_seconds = timer.ElapsedSeconds();
 
   size_t embedding_nodes = 0;

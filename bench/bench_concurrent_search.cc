@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "bench/bench_util.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -160,9 +161,11 @@ void PrintReport(const char* label, const RunReport& r) {
 
 int main(int argc, char** argv) {
   bool with_ingest = false;
+  bool with_batch = false;
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--with-ingest") == 0) with_ingest = true;
+    if (std::strcmp(argv[i], "--batch") == 0) with_batch = true;
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     }
@@ -191,7 +194,7 @@ int main(int argc, char** argv) {
   config.slow_query_log_capacity = 8;
   NewsLinkEngine engine(&world->kg.graph, &world->index, config);
   const auto cold_start = Clock::now();
-  engine.Index(dataset.corpus);
+  NL_CHECK(engine.Index(dataset.corpus).ok());
   const double cold_seconds =
       std::chrono::duration<double>(Clock::now() - cold_start).count();
 
@@ -256,6 +259,50 @@ int main(int argc, char** argv) {
   char label[32];
   std::snprintf(label, sizeof(label), "maxscore x%d", num_threads);
   PrintReport(label, prunedN);
+
+  // --batch: the same query set as ONE SearchBatch() call (the server's
+  // array-body /v1/search path). Gates hit parity against per-request
+  // Search() and reports the fan-out speedup over a sequential replay.
+  bool batch_ok = true;
+  if (with_batch) {
+    std::vector<baselines::SearchRequest> requests;
+    requests.reserve(queries.size());
+    for (const std::string& q : queries) {
+      baselines::SearchRequest request;
+      request.query = q;
+      request.k = kK;
+      requests.push_back(request);
+    }
+    const auto batch_start = Clock::now();
+    const std::vector<baselines::SearchResponse> batched =
+        engine.SearchBatch(requests);
+    const double batch_seconds =
+        std::chrono::duration<double>(Clock::now() - batch_start).count();
+
+    const auto seq_start = Clock::now();
+    std::vector<baselines::SearchResponse> sequential;
+    sequential.reserve(requests.size());
+    for (const baselines::SearchRequest& request : requests) {
+      sequential.push_back(engine.Search(request));
+    }
+    const double seq_seconds =
+        std::chrono::duration<double>(Clock::now() - seq_start).count();
+
+    batch_ok = batched.size() == requests.size();
+    for (size_t i = 0; batch_ok && i < requests.size(); ++i) {
+      batch_ok = batched[i].hits.size() == sequential[i].hits.size();
+      for (size_t h = 0; batch_ok && h < batched[i].hits.size(); ++h) {
+        batch_ok = batched[i].hits[h].doc_index ==
+                   sequential[i].hits[h].doc_index;
+      }
+    }
+    std::printf(
+        "\nbatch: %zu queries in %.3fs (sequential %.3fs, %.1fx), hit "
+        "parity: %s\n",
+        requests.size(), batch_seconds, seq_seconds,
+        batch_seconds > 0 ? seq_seconds / batch_seconds : 0.0,
+        batch_ok ? "ok" : "FAIL");
+  }
 
   // Live ingestion: re-run the concurrent workload while a writer thread
   // appends a second synthetic corpus into the same engine.
@@ -349,7 +396,7 @@ int main(int argc, char** argv) {
       no_violations ? "yes" : "NO", 100.0 * prunedN.span_coverage,
       coverage_ok ? "ok" : "FAIL");
   return (fewer_docs && cache_ok && no_violations && ingest_ok &&
-          coverage_ok && warm_ok)
+          coverage_ok && warm_ok && batch_ok)
              ? 0
              : 1;
 }

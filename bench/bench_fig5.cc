@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/logging.h"
 #include "bench/bench_util.h"
 #include "eval/user_study.h"
 #include "newslink/newslink_engine.h"
@@ -23,7 +24,7 @@ int main() {
   NewsLinkConfig config;
   config.beta = 1.0;  // the paper's study uses embeddings only
   NewsLinkEngine engine(&world->kg.graph, &world->index, config);
-  engine.Index(dataset->data.corpus);
+  NL_CHECK(engine.Index(dataset->data.corpus).ok());
 
   eval::SimulatedUserStudy study(&world->kg.graph, /*participants=*/20,
                                  /*seed=*/5);
@@ -38,7 +39,7 @@ int main() {
        ++d) {
     const std::string& text = dataset->data.corpus.doc(d).text;
     const std::string query = text.substr(0, text.find('.') + 1);
-    const auto results = engine.Search(query, 2);
+    const auto results = engine.Search({query, 2}).hits;
     if (results.empty()) continue;
     size_t r = results[0].doc_index;
     if (r == d) {

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/logging.h"
 #include "bench/bench_util.h"
 #include "embed/path_explainer.h"
 #include "newslink/newslink_engine.h"
@@ -22,7 +23,7 @@ int main() {
   NewsLinkConfig config;
   config.beta = 1.0;  // retrieval via subgraph embeddings only, as in Sec. VII-E
   NewsLinkEngine engine(&world->kg.graph, &world->index, config);
-  engine.Index(dataset->data.corpus);
+  NL_CHECK(engine.Index(dataset->data.corpus).ok());
 
   // Pick a query pair with rich explanations: prefer a case whose top
   // result shares few keywords but many relationship paths.
@@ -34,7 +35,7 @@ int main() {
        ++d) {
     const std::string& text = dataset->data.corpus.doc(d).text;
     const std::string query = text.substr(0, text.find('.') + 1);
-    const auto results = engine.SearchExplained(query, 2, 6);
+    const auto results = engine.Search({.query = query, .k = 2, .explain = true, .max_paths_per_result = 6}).hits;
     for (const ExplainedResult& r : results) {
       if (r.doc_index == d) continue;
       if (r.paths.size() > best_paths) {

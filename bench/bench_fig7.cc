@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "common/logging.h"
 #include "bench/bench_util.h"
 #include "newslink/newslink_engine.h"
 
@@ -51,7 +52,7 @@ int main() {
     config.embedder = EmbedderKind::kLcag;
     config.num_threads = 1;  // single-threaded: clean per-doc attribution
     NewsLinkEngine engine(&world->kg.graph, &world->index, config);
-    engine.Index(dataset->data.corpus);
+    NL_CHECK(engine.Index(dataset->data.corpus).ok());
     Report("NewsLink", engine, docs);
     ne_newslink = StageSum(engine, kIndexNeSeconds);
   }
@@ -60,7 +61,7 @@ int main() {
     config.embedder = EmbedderKind::kTree;
     config.num_threads = 1;
     NewsLinkEngine engine(&world->kg.graph, &world->index, config);
-    engine.Index(dataset->data.corpus);
+    NL_CHECK(engine.Index(dataset->data.corpus).ok());
     Report("TreeEmb", engine, docs);
     ne_tree = StageSum(engine, kIndexNeSeconds);
   }

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/logging.h"
 #include "baselines/lucene_like_engine.h"
 #include "baselines/qeprf_engine.h"
 #include "baselines/vector_engines.h"
@@ -53,7 +54,7 @@ void RunDataset(const bench::BenchWorld& world,
     config.sgns.epochs = 8;
     baselines::Doc2VecEngine engine(config);
     engine.set_training_indices(train);
-    engine.Index(dataset.data.corpus);
+    NL_CHECK(engine.Index(dataset.data.corpus).ok());
     PrintRow(runner.Evaluate(engine));
   }
   {
@@ -62,7 +63,7 @@ void RunDataset(const bench::BenchWorld& world,
     config.epochs = 2;
     baselines::SbertLikeEngine engine(config);
     engine.set_training_indices(train);
-    engine.Index(dataset.data.corpus);
+    NL_CHECK(engine.Index(dataset.data.corpus).ok());
     PrintRow(runner.Evaluate(engine));
   }
   {
@@ -72,24 +73,24 @@ void RunDataset(const bench::BenchWorld& world,
     config.iterations = 20;
     baselines::LdaEngine engine(config);
     engine.set_training_indices(train);
-    engine.Index(dataset.data.corpus);
+    NL_CHECK(engine.Index(dataset.data.corpus).ok());
     PrintRow(runner.Evaluate(engine));
   }
   {
     baselines::QeprfEngine engine(&world.kg.graph, &world.index, &world.ner);
-    engine.Index(dataset.data.corpus);
+    NL_CHECK(engine.Index(dataset.data.corpus).ok());
     PrintRow(runner.Evaluate(engine));
   }
   {
     baselines::LuceneLikeEngine engine;
-    engine.Index(dataset.data.corpus);
+    NL_CHECK(engine.Index(dataset.data.corpus).ok());
     PrintRow(runner.Evaluate(engine));
   }
   {
     NewsLinkConfig config;
     config.beta = 0.2;
     NewsLinkEngine engine(&world.kg.graph, &world.index, config);
-    engine.Index(dataset.data.corpus);
+    NL_CHECK(engine.Index(dataset.data.corpus).ok());
     std::printf("%-14s (corpus coverage: %.1f%% of documents embedded)\n",
                 "", 100.0 * engine.EmbeddedDocumentFraction());
     PrintRow(runner.Evaluate(engine));

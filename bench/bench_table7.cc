@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "newslink/newslink_engine.h"
@@ -63,14 +64,14 @@ void RunDataset(const bench::BenchWorld& world,
     NewsLinkConfig config;
     config.embedder = EmbedderKind::kLcag;
     NewsLinkEngine engine(&world.kg.graph, &world.index, config);
-    engine.Index(dataset.data.corpus);
+    NL_CHECK(engine.Index(dataset.data.corpus).ok());
     sweep(engine, "NewsLink", {0.0, 0.2, 0.5, 0.8, 1.0});
   }
   {
     NewsLinkConfig config;
     config.embedder = EmbedderKind::kTree;
     NewsLinkEngine engine(&world.kg.graph, &world.index, config);
-    engine.Index(dataset.data.corpus);
+    NL_CHECK(engine.Index(dataset.data.corpus).ok());
     sweep(engine, "TreeEmb", {0.2, 0.5, 0.8, 1.0});
   }
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/logging.h"
 #include "bench/bench_util.h"
 #include "newslink/newslink_engine.h"
 
@@ -36,11 +37,11 @@ void RunScale(const char* label, uint64_t seed, int kg_multiplier,
   NewsLinkConfig config;
   config.beta = 0.2;
   NewsLinkEngine engine(&world.kg.graph, &world.index, config);
-  engine.Index(dataset->data.corpus);
+  NL_CHECK(engine.Index(dataset->data.corpus).ok());
 
   size_t queries = 0;
   for (const eval::TestQuery& q : runner.density_queries()) {
-    engine.Search(q.sentence, 20);
+    engine.Search({q.sentence, 20}).hits;
     ++queries;
   }
 

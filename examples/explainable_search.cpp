@@ -3,6 +3,7 @@
 // print the relationship paths and induced background entities that explain
 // WHY the result is related (paper Fig. 6 / Tables I, II, VI).
 
+#include "common/logging.h"
 #include <cstdio>
 #include <string>
 
@@ -28,7 +29,7 @@ int main() {
   NewsLinkConfig config;
   config.beta = 0.2;
   NewsLinkEngine engine(&world.graph, &labels, config);
-  engine.Index(news.corpus);
+  NL_CHECK(engine.Index(news.corpus).ok());
   std::printf("indexed %zu documents over a %zu-node KG\n\n",
               news.corpus.size(), world.graph.num_nodes());
 

@@ -4,6 +4,7 @@
 //   * diversified search results (one representative per story),
 //   * snippets + concise novelty-ranked explanations per hit.
 
+#include "common/logging.h"
 #include <cstdio>
 #include <map>
 #include <string>
@@ -49,7 +50,7 @@ int main() {
   const std::string query = source.substr(0, source.find('.') + 1);
   std::printf("QUERY: %s\n\n", query.c_str());
 
-  const auto raw = engine.Search(query, 10);
+  const auto raw = engine.Search({query, 10}).hits;
   DiversifyOptions mmr;
   mmr.lambda = 0.5;
   mmr.k = 4;
@@ -57,7 +58,7 @@ int main() {
 
   embed::ConciseExplainer explainer(&world.graph);
   const embed::DocumentEmbedding query_embedding = engine.EmbedText(query);
-  for (const baselines::SearchResult& hit : diversified) {
+  for (const baselines::SearchHit& hit : diversified) {
     const corpus::Document& doc = news.corpus.doc(hit.doc_index);
     std::printf("[story %2u] %s\n  snippet: %s\n", doc.story_id,
                 doc.id.c_str(), MakeSnippet(doc.text, query).c_str());

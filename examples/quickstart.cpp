@@ -2,6 +2,7 @@
 // with NewsLink, and run an explained search — the 60-second tour of the
 // public API.
 
+#include "common/logging.h"
 #include <cstdio>
 #include <string>
 
@@ -31,7 +32,7 @@ int main() {
 
   // 3. Index with NewsLink.
   NewsLinkEngine engine(&world.graph, &labels, NewsLinkConfig{});
-  engine.Index(news.corpus);
+  NL_CHECK(engine.Index(news.corpus).ok());
   std::printf("Indexed. %.1f%% of documents have subgraph embeddings.\n\n",
               100.0 * engine.EmbeddedDocumentFraction());
 

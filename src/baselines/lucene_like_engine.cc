@@ -6,19 +6,28 @@
 namespace newslink {
 namespace baselines {
 
-void LuceneLikeEngine::Index(const corpus::Corpus& corpus) {
+Status LuceneLikeEngine::Index(const corpus::Corpus& corpus) {
+  if (scorer_ != nullptr) {
+    return Status::FailedPrecondition("Lucene engine is already indexed");
+  }
   for (const corpus::Document& doc : corpus.docs()) {
     index_.AddDocument(ir::TextVectorizer::CountsForIndexing(doc.text, &dict_));
   }
   scorer_ = std::make_unique<ir::Bm25Scorer>(&index_, params_);
+  return Status::OK();
 }
 
-std::vector<SearchResult> LuceneLikeEngine::Search(const std::string& query,
-                                                   size_t k) const {
+SearchResponse LuceneLikeEngine::Search(const SearchRequest& request) const {
+  return RankedSearch(request,
+                      [this](const SearchRequest& r) { return Rank(r); });
+}
+
+std::vector<SearchResult> LuceneLikeEngine::Rank(
+    const SearchRequest& request) const {
   const ir::TermCounts counts =
-      ir::TextVectorizer::CountsForQuery(query, dict_);
+      ir::TextVectorizer::CountsForQuery(request.query, dict_);
   const std::vector<ir::ScoredDoc> top =
-      ir::SelectTopK(scorer_->ScoreAll(counts), k);
+      ir::SelectTopK(scorer_->ScoreAll(counts), request.k);
   std::vector<SearchResult> out;
   out.reserve(top.size());
   for (const ir::ScoredDoc& s : top) {

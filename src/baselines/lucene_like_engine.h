@@ -22,15 +22,15 @@ class LuceneLikeEngine : public SearchEngine {
   explicit LuceneLikeEngine(ir::Bm25Params params = {}) : params_(params) {}
 
   std::string name() const override { return "Lucene"; }
-  void Index(const corpus::Corpus& corpus) override;
-  using SearchEngine::Search;
-  std::vector<SearchResult> Search(const std::string& query,
-                                   size_t k) const override;
+  Status Index(const corpus::Corpus& corpus) override;
+  SearchResponse Search(const SearchRequest& request) const override;
 
   const ir::InvertedIndex& index() const { return index_; }
   const ir::TermDictionary& dictionary() const { return dict_; }
 
  private:
+  std::vector<SearchResult> Rank(const SearchRequest& request) const;
+
   ir::Bm25Params params_;
   ir::TermDictionary dict_;
   ir::InvertedIndex index_;

@@ -17,7 +17,10 @@ QeprfEngine::QeprfEngine(const kg::KnowledgeGraph* graph,
                          const text::GazetteerNer* ner, QeprfConfig config)
     : graph_(graph), label_index_(label_index), ner_(ner), config_(config) {}
 
-void QeprfEngine::Index(const corpus::Corpus& corpus) {
+Status QeprfEngine::Index(const corpus::Corpus& corpus) {
+  if (scorer_ != nullptr) {
+    return Status::FailedPrecondition("QEPRF engine is already indexed");
+  }
   forward_.reserve(corpus.size());
   for (const corpus::Document& doc : corpus.docs()) {
     forward_.push_back(
@@ -25,6 +28,7 @@ void QeprfEngine::Index(const corpus::Corpus& corpus) {
     index_.AddDocument(forward_.back());
   }
   scorer_ = std::make_unique<ir::Bm25Scorer>(&index_, config_.bm25);
+  return Status::OK();
 }
 
 ir::TermCounts QeprfEngine::ExpandQuery(const std::string& query) const {
@@ -100,11 +104,15 @@ std::vector<std::string> QeprfEngine::ExpansionTerms(
   return out;
 }
 
-std::vector<SearchResult> QeprfEngine::Search(const std::string& query,
-                                              size_t k) const {
-  const ir::TermCounts expanded = ExpandQuery(query);
+SearchResponse QeprfEngine::Search(const SearchRequest& request) const {
+  return RankedSearch(request,
+                      [this](const SearchRequest& r) { return Rank(r); });
+}
+
+std::vector<SearchResult> QeprfEngine::Rank(const SearchRequest& request) const {
+  const ir::TermCounts expanded = ExpandQuery(request.query);
   const std::vector<ir::ScoredDoc> top =
-      ir::SelectTopK(scorer_->ScoreAll(expanded), k);
+      ir::SelectTopK(scorer_->ScoreAll(expanded), request.k);
   std::vector<SearchResult> out;
   out.reserve(top.size());
   for (const ir::ScoredDoc& s : top) {

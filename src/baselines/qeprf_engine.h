@@ -40,15 +40,14 @@ class QeprfEngine : public SearchEngine {
               const text::GazetteerNer* ner, QeprfConfig config = {});
 
   std::string name() const override { return "QEPRF"; }
-  void Index(const corpus::Corpus& corpus) override;
-  using SearchEngine::Search;
-  std::vector<SearchResult> Search(const std::string& query,
-                                   size_t k) const override;
+  Status Index(const corpus::Corpus& corpus) override;
+  SearchResponse Search(const SearchRequest& request) const override;
 
   /// Expansion terms chosen for a query (exposed for tests / case studies).
   std::vector<std::string> ExpansionTerms(const std::string& query) const;
 
  private:
+  std::vector<SearchResult> Rank(const SearchRequest& request) const;
   ir::TermCounts ExpandQuery(const std::string& query) const;
 
   const kg::KnowledgeGraph* graph_;

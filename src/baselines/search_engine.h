@@ -1,24 +1,30 @@
 // Common interface of every competitor in the paper's Table IV plus
 // NewsLink itself: index a corpus, then answer top-k text queries.
 //
-// The primary entry point is the request-scoped Search(SearchRequest):
-// all per-query knobs (k, fusion β, rerank depth, explanations, tracing)
-// travel in the request, so one engine instance can serve differently-
-// parameterized queries from many threads at once — engines never need
-// mutable query-path setters. Unset request fields inherit the engine's
-// configuration defaults.
+// The one query entry point is the request-scoped Search(SearchRequest):
+// all per-query knobs (k, fusion β, rerank depth, explanations, tracing,
+// deadline) travel in the request, so one engine instance can serve
+// differently-parameterized queries from many threads at once — engines
+// never need mutable query-path setters, and there is no separate
+// (query, k) overload anymore. SearchBatch answers many requests at once;
+// the default adapter fans them out across a thread pool, one snapshot
+// acquisition per request.
+//
+// Indexing is fallible: Index returns Status, so corpus and model failures
+// surface to the caller instead of being logged and swallowed.
 //
 // Observability (DESIGN.md Sec. 8): every engine owns a metrics::Registry,
-// reachable via Metrics(). The default Search adapter records the shared
-// engine_queries_total / engine_query_seconds series, so every baseline is
-// instrumented for free; engines with richer internals (NewsLinkEngine)
-// register additional series in the same registry.
+// reachable read-only via Metrics() and writable via mutable_metrics() (the
+// serving layer registers its request/error/latency series there, so one
+// /metrics scrape covers engine and server alike).
 
 #ifndef NEWSLINK_BASELINES_SEARCH_ENGINE_H_
 #define NEWSLINK_BASELINES_SEARCH_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,7 +40,7 @@
 namespace newslink {
 namespace baselines {
 
-/// Registry series shared by every engine (the default adapter feeds them).
+/// Registry series shared by every engine (the ranking adapter feeds them).
 inline constexpr std::string_view kEngineQueries = "engine_queries_total";
 inline constexpr std::string_view kEngineQuerySeconds = "engine_query_seconds";
 
@@ -46,9 +52,9 @@ struct SearchResult {
 /// \brief One query with its per-request parameter overrides.
 ///
 /// Every optional field falls back to the engine's configured default when
-/// unset, so `SearchRequest{q, k}` behaves exactly like the legacy
-/// two-argument Search. Engines that have no notion of a given knob (e.g.
-/// β on a pure-text baseline) ignore it.
+/// unset, so `SearchRequest{q, k}` carries exactly the legacy two-argument
+/// semantics. Engines that have no notion of a given knob (e.g. β on a
+/// pure-text baseline) ignore it.
 struct SearchRequest {
   std::string query;
   size_t k = 10;
@@ -69,6 +75,12 @@ struct SearchRequest {
   /// always collected (span begin/end is nanoseconds against millisecond
   /// stages); this flag only controls whether it survives onto the response.
   bool trace = false;
+
+  /// Wall-clock budget for this query, seconds. Engines honor it through
+  /// their stage-level budget/timeout plumbing: once the deadline passes,
+  /// optional stages (NE fusion, explanations) are skipped and the trace
+  /// carries a "deadline_exceeded" note. Unset = no deadline.
+  std::optional<double> deadline_seconds;
 };
 
 /// \brief A hit: document, fused score, optional explanation paths.
@@ -93,6 +105,9 @@ struct SearchResponse {
   /// Number of documents visible in that epoch: every hit's doc_index is
   /// < snapshot_docs even while ingestion runs concurrently.
   size_t snapshot_docs = 0;
+  /// True when the request's deadline cut the query short (degraded
+  /// results: skipped stages, missing explanations).
+  bool deadline_exceeded = false;
   /// The query's span tree; filled only when SearchRequest::trace is set.
   TraceSpan trace;
 };
@@ -117,40 +132,22 @@ class SearchEngine {
   /// Display name for evaluation tables ("Lucene", "DOC2VEC", ...).
   virtual std::string name() const = 0;
 
-  /// Build the index over `corpus`. Called exactly once.
-  virtual void Index(const corpus::Corpus& corpus) = 0;
+  /// Build the index over `corpus`. Called exactly once on an empty
+  /// engine; indexing twice is FailedPrecondition, and corpus or model
+  /// failures come back as a Status instead of being logged.
+  virtual Status Index(const corpus::Corpus& corpus) = 0;
 
-  /// Top-k most relevant documents for a text query, best first.
-  virtual std::vector<SearchResult> Search(const std::string& query,
-                                           size_t k) const = 0;
+  /// Request-scoped search: THE query entry point every harness, bench,
+  /// and server drives every engine through. Thread-safe: any number of
+  /// threads may call it concurrently.
+  virtual SearchResponse Search(const SearchRequest& request) const = 0;
 
-  /// Request-scoped search: the one entry point evaluation harnesses and
-  /// benchmarks drive every engine through. The default adapter forwards
-  /// to the legacy (query, k) overload under a single "search" span and
-  /// feeds the shared engine_* series, so baselines get instrumentation
-  /// for free; engines with richer internals (NewsLinkEngine) override it.
-  virtual SearchResponse Search(const SearchRequest& request) const {
-    Trace trace;
-    SearchResponse response;
-    std::vector<SearchResult> results;
-    {
-      ScopedSpan span(&trace, "search");
-      results = Search(request.query, request.k);
-    }
-    response.hits.reserve(results.size());
-    for (const SearchResult& r : results) {
-      SearchHit hit;
-      hit.doc_index = r.doc_index;
-      hit.score = r.score;
-      response.hits.push_back(std::move(hit));
-    }
-    TraceSpan root = trace.Finish();
-    queries_->Inc();
-    query_seconds_->Observe(root.duration_seconds);
-    response.timings.Add("search", root.duration_seconds);
-    if (request.trace) response.trace = std::move(root);
-    return response;
-  }
+  /// Answer many requests, responses aligned with `requests`. The default
+  /// adapter fans the batch out across a thread pool — each request is an
+  /// independent Search call with its own snapshot acquisition, so a batch
+  /// straddling a concurrent ingest may observe multiple epochs.
+  virtual std::vector<SearchResponse> SearchBatch(
+      std::span<const SearchRequest> requests) const;
 
   /// Persist the engine's index state to a versioned snapshot file
   /// (DESIGN.md Sec. 9), so a later process can LoadSnapshot instead of
@@ -172,13 +169,26 @@ class SearchEngine {
   }
 
   /// The consolidated view over every counter/gauge/histogram this engine
-  /// (and its components) maintains — replaces the per-engine ad-hoc stats
-  /// accessors.
+  /// (and its components) maintains.
   const metrics::Registry& Metrics() const { return registry_; }
+
+  /// Writable registry handle for components that serve this engine and
+  /// want their series in the same scrape (the HTTP serving layer). The
+  /// registry outlives every instrument pointer it hands out.
+  metrics::Registry* mutable_metrics() const { return &registry_; }
 
  protected:
   /// Derived engines register their own series here.
   metrics::Registry* registry() const { return &registry_; }
+
+  /// Adapter for plain ranking engines: wraps a (request → results)
+  /// function in the shared instrumentation — one "search" span, the
+  /// engine_* series, timings/trace on the response. Baselines implement
+  /// Search(request) as a one-liner over this.
+  SearchResponse RankedSearch(
+      const SearchRequest& request,
+      const std::function<std::vector<SearchResult>(const SearchRequest&)>&
+          rank) const;
 
  private:
   mutable metrics::Registry registry_;

@@ -31,28 +31,32 @@ void DenseVectorEngineBase::StoreDocVector(vec::Vector v) {
   ++num_docs_;
 }
 
-std::vector<SearchResult> DenseVectorEngineBase::Search(
-    const std::string& query, size_t k) const {
-  vec::Vector q = EncodeQuery(query);
-  vec::NormalizeInPlace(q);
-  ir::TopKHeap heap(k);
-  for (size_t d = 0; d < num_docs_; ++d) {
-    const float score =
-        vec::Dot(q, {doc_matrix_.data() + d * dim_, dim_});
-    heap.Push(ir::ScoredDoc{static_cast<ir::DocId>(d), score});
-  }
-  std::vector<SearchResult> out;
-  for (const ir::ScoredDoc& s : heap.Take()) {
-    out.push_back(SearchResult{s.doc, s.score});
-  }
-  return out;
+SearchResponse DenseVectorEngineBase::Search(
+    const SearchRequest& request) const {
+  return RankedSearch(request, [this](const SearchRequest& r) {
+    vec::Vector q = EncodeQuery(r.query);
+    vec::NormalizeInPlace(q);
+    ir::TopKHeap heap(r.k);
+    for (size_t d = 0; d < num_docs_; ++d) {
+      const float score = vec::Dot(q, {doc_matrix_.data() + d * dim_, dim_});
+      heap.Push(ir::ScoredDoc{static_cast<ir::DocId>(d), score});
+    }
+    std::vector<SearchResult> out;
+    for (const ir::ScoredDoc& s : heap.Take()) {
+      out.push_back(SearchResult{s.doc, s.score});
+    }
+    return out;
+  });
 }
 
 // ---------------------------------------------------------------------------
 // Doc2VecEngine
 // ---------------------------------------------------------------------------
 
-void Doc2VecEngine::Index(const corpus::Corpus& corpus) {
+Status Doc2VecEngine::Index(const corpus::Corpus& corpus) {
+  if (indexed()) {
+    return Status::FailedPrecondition("DOC2VEC engine is already indexed");
+  }
   dim_ = static_cast<size_t>(config_.sgns.dim);
   model_.Train(TrainingTokens(corpus), config_);
   for (const corpus::Document& d : corpus.docs()) {
@@ -61,6 +65,7 @@ void Doc2VecEngine::Index(const corpus::Corpus& corpus) {
     // "infers vector representations of all documents".
     StoreDocVector(model_.InferText(d.text));
   }
+  return Status::OK();
 }
 
 vec::Vector Doc2VecEngine::EncodeQuery(const std::string& query) const {
@@ -71,12 +76,16 @@ vec::Vector Doc2VecEngine::EncodeQuery(const std::string& query) const {
 // SbertLikeEngine
 // ---------------------------------------------------------------------------
 
-void SbertLikeEngine::Index(const corpus::Corpus& corpus) {
+Status SbertLikeEngine::Index(const corpus::Corpus& corpus) {
+  if (indexed()) {
+    return Status::FailedPrecondition("SBERT engine is already indexed");
+  }
   dim_ = static_cast<size_t>(config_.dim);
   model_.Pretrain(TrainingTokens(corpus), config_);
   for (const corpus::Document& d : corpus.docs()) {
     StoreDocVector(model_.Encode(d.text));
   }
+  return Status::OK();
 }
 
 vec::Vector SbertLikeEngine::EncodeQuery(const std::string& query) const {
@@ -87,12 +96,16 @@ vec::Vector SbertLikeEngine::EncodeQuery(const std::string& query) const {
 // LdaEngine
 // ---------------------------------------------------------------------------
 
-void LdaEngine::Index(const corpus::Corpus& corpus) {
+Status LdaEngine::Index(const corpus::Corpus& corpus) {
+  if (indexed()) {
+    return Status::FailedPrecondition("LDA engine is already indexed");
+  }
   dim_ = static_cast<size_t>(config_.num_topics);
   model_.Train(TrainingTokens(corpus), config_);
   for (const corpus::Document& d : corpus.docs()) {
     StoreDocVector(model_.InferText(d.text));
   }
+  return Status::OK();
 }
 
 vec::Vector LdaEngine::EncodeQuery(const std::string& query) const {

@@ -26,13 +26,14 @@ class DenseVectorEngineBase : public SearchEngine {
     training_indices_ = std::move(indices);
   }
 
-  using SearchEngine::Search;
-  std::vector<SearchResult> Search(const std::string& query,
-                                   size_t k) const override;
+  SearchResponse Search(const SearchRequest& request) const override;
 
  protected:
   /// Encode a query text to a vector comparable with document vectors.
   virtual vec::Vector EncodeQuery(const std::string& query) const = 0;
+
+  /// True once a derived Index() stored vectors (double-Index guard).
+  bool indexed() const { return num_docs_ > 0; }
 
   /// Tokenized views of the training subset (or all docs).
   std::vector<std::vector<std::string>> TrainingTokens(
@@ -53,7 +54,7 @@ class Doc2VecEngine : public DenseVectorEngineBase {
   explicit Doc2VecEngine(vec::Doc2VecConfig config = {}) : config_(config) {}
 
   std::string name() const override { return "DOC2VEC"; }
-  void Index(const corpus::Corpus& corpus) override;
+  Status Index(const corpus::Corpus& corpus) override;
 
  protected:
   vec::Vector EncodeQuery(const std::string& query) const override;
@@ -69,7 +70,7 @@ class SbertLikeEngine : public DenseVectorEngineBase {
   explicit SbertLikeEngine(vec::SgnsConfig config = {}) : config_(config) {}
 
   std::string name() const override { return "SBERT"; }
-  void Index(const corpus::Corpus& corpus) override;
+  Status Index(const corpus::Corpus& corpus) override;
 
  protected:
   vec::Vector EncodeQuery(const std::string& query) const override;
@@ -85,7 +86,7 @@ class LdaEngine : public DenseVectorEngineBase {
   explicit LdaEngine(vec::LdaConfig config = {}) : config_(config) {}
 
   std::string name() const override { return "LDA"; }
-  void Index(const corpus::Corpus& corpus) override;
+  Status Index(const corpus::Corpus& corpus) override;
 
  protected:
   vec::Vector EncodeQuery(const std::string& query) const override;

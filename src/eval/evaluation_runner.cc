@@ -73,12 +73,7 @@ MetricScores EvaluationRunner::RunQuerySet(
     request.query = q.sentence;
     request.k = static_cast<size_t>(max_k);
     const baselines::SearchResponse response = engine.Search(request);
-    std::vector<baselines::SearchResult> results;
-    results.reserve(response.hits.size());
-    for (const baselines::SearchHit& hit : response.hits) {
-      results.push_back(baselines::SearchResult{hit.doc_index, hit.score});
-    }
-    acc.AddQuery(q.doc_index, results, judge_vectors_);
+    acc.AddQuery(q.doc_index, response.hits, judge_vectors_);
   }
   return acc.Finalize();
 }

@@ -8,7 +8,7 @@ namespace newslink {
 namespace eval {
 
 void MetricsAccumulator::AddQuery(
-    size_t query_doc, const std::vector<baselines::SearchResult>& results,
+    size_t query_doc, const std::vector<baselines::SearchHit>& results,
     const std::vector<vec::Vector>& judge_vectors) {
   NL_CHECK(query_doc < judge_vectors.size());
   ++num_queries_;

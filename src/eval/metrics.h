@@ -33,7 +33,7 @@ class MetricsAccumulator {
   /// `judge_vectors[d]` must be the unit-norm judge embedding of corpus
   /// document d; `results` ranked best-first.
   void AddQuery(size_t query_doc,
-                const std::vector<baselines::SearchResult>& results,
+                const std::vector<baselines::SearchHit>& results,
                 const std::vector<vec::Vector>& judge_vectors);
 
   /// Averages over all added queries.

@@ -6,7 +6,7 @@
 namespace newslink {
 namespace eval {
 
-double ReciprocalRank(const std::vector<baselines::SearchResult>& results,
+double ReciprocalRank(const std::vector<baselines::SearchHit>& results,
                       size_t relevant_doc) {
   for (size_t i = 0; i < results.size(); ++i) {
     if (results[i].doc_index == relevant_doc) {
@@ -16,7 +16,7 @@ double ReciprocalRank(const std::vector<baselines::SearchResult>& results,
   return 0.0;
 }
 
-double DcgAtK(const std::vector<baselines::SearchResult>& results,
+double DcgAtK(const std::vector<baselines::SearchHit>& results,
               const std::set<size_t>& relevant, size_t k) {
   double dcg = 0.0;
   const size_t limit = std::min(k, results.size());
@@ -28,7 +28,7 @@ double DcgAtK(const std::vector<baselines::SearchResult>& results,
   return dcg;
 }
 
-double NdcgAtK(const std::vector<baselines::SearchResult>& results,
+double NdcgAtK(const std::vector<baselines::SearchHit>& results,
                const std::set<size_t>& relevant, size_t k) {
   if (relevant.empty()) return 0.0;
   double ideal = 0.0;

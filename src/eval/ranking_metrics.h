@@ -14,15 +14,15 @@ namespace newslink {
 namespace eval {
 
 /// 1/rank of `relevant_doc` within `results` (1-indexed), 0 when absent.
-double ReciprocalRank(const std::vector<baselines::SearchResult>& results,
+double ReciprocalRank(const std::vector<baselines::SearchHit>& results,
                       size_t relevant_doc);
 
 /// Binary-relevance DCG@k: sum of 1/log2(rank+1) over relevant hits.
-double DcgAtK(const std::vector<baselines::SearchResult>& results,
+double DcgAtK(const std::vector<baselines::SearchHit>& results,
               const std::set<size_t>& relevant, size_t k);
 
 /// NDCG@k with binary relevance; 0 when `relevant` is empty.
-double NdcgAtK(const std::vector<baselines::SearchResult>& results,
+double NdcgAtK(const std::vector<baselines::SearchHit>& results,
                const std::set<size_t>& relevant, size_t k);
 
 }  // namespace eval

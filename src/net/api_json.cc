@@ -1,0 +1,188 @@
+#include "net/api_json.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace newslink {
+namespace net {
+
+namespace {
+
+/// Field must be a number >= 0 that is exactly an integer.
+Result<size_t> AsSize(const json::Value& v, std::string_view field) {
+  if (v.type() != json::Value::Type::kNumber) {
+    return Status::InvalidArgument(StrCat("\"", field, "\" must be a number"));
+  }
+  const double d = v.AsDouble();
+  if (!(d >= 0) || d != std::floor(d)) {
+    return Status::InvalidArgument(
+        StrCat("\"", field, "\" must be a non-negative integer"));
+  }
+  return static_cast<size_t>(d);
+}
+
+Result<bool> AsBoolStrict(const json::Value& v, std::string_view field) {
+  if (v.type() != json::Value::Type::kBool) {
+    return Status::InvalidArgument(StrCat("\"", field, "\" must be a boolean"));
+  }
+  return v.AsBool();
+}
+
+Result<std::string> AsStringStrict(const json::Value& v,
+                                   std::string_view field) {
+  if (v.type() != json::Value::Type::kString) {
+    return Status::InvalidArgument(StrCat("\"", field, "\" must be a string"));
+  }
+  return v.AsString();
+}
+
+}  // namespace
+
+Result<baselines::SearchRequest> SearchRequestFromJson(
+    const json::Value& value) {
+  if (value.type() != json::Value::Type::kObject) {
+    return Status::InvalidArgument("search request must be a JSON object");
+  }
+  baselines::SearchRequest request;
+  bool have_query = false;
+  for (const auto& [key, field] : value.members()) {
+    if (key == "query") {
+      NL_ASSIGN_OR_RETURN(request.query, AsStringStrict(field, key));
+      have_query = true;
+    } else if (key == "k") {
+      NL_ASSIGN_OR_RETURN(request.k, AsSize(field, key));
+    } else if (key == "beta") {
+      if (field.type() != json::Value::Type::kNumber) {
+        return Status::InvalidArgument("\"beta\" must be a number");
+      }
+      request.beta = field.AsDouble();
+    } else if (key == "rerank_depth") {
+      NL_ASSIGN_OR_RETURN(size_t depth, AsSize(field, key));
+      request.rerank_depth = depth;
+    } else if (key == "exhaustive_fusion") {
+      NL_ASSIGN_OR_RETURN(bool flag, AsBoolStrict(field, key));
+      request.exhaustive_fusion = flag;
+    } else if (key == "explain") {
+      NL_ASSIGN_OR_RETURN(request.explain, AsBoolStrict(field, key));
+    } else if (key == "max_paths") {
+      NL_ASSIGN_OR_RETURN(request.max_paths_per_result, AsSize(field, key));
+    } else if (key == "trace") {
+      NL_ASSIGN_OR_RETURN(request.trace, AsBoolStrict(field, key));
+    } else if (key == "deadline_seconds") {
+      if (field.type() != json::Value::Type::kNumber ||
+          !(field.AsDouble() > 0)) {
+        return Status::InvalidArgument(
+            "\"deadline_seconds\" must be a positive number");
+      }
+      request.deadline_seconds = field.AsDouble();
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown search request field: \"", key, "\""));
+    }
+  }
+  if (!have_query || request.query.empty()) {
+    return Status::InvalidArgument("\"query\" is required and must be non-empty");
+  }
+  if (request.k == 0) {
+    return Status::InvalidArgument("\"k\" must be at least 1");
+  }
+  return request;
+}
+
+json::Value TraceSpanToJson(const TraceSpan& span) {
+  json::Value out = json::Value::Object();
+  out.Set("name", json::Value::Str(span.name));
+  out.Set("start_ms", json::Value::Number(span.start_seconds * 1e3));
+  out.Set("dur_ms", json::Value::Number(span.duration_seconds * 1e3));
+  if (!span.notes.empty()) {
+    json::Value notes = json::Value::Object();
+    for (const auto& [key, note] : span.notes) {
+      notes.Set(key, json::Value::Str(note));
+    }
+    out.Set("notes", std::move(notes));
+  }
+  if (!span.children.empty()) {
+    json::Value children = json::Value::Array();
+    for (const TraceSpan& child : span.children) {
+      children.Append(TraceSpanToJson(child));
+    }
+    out.Set("children", std::move(children));
+  }
+  return out;
+}
+
+json::Value SearchResponseToJson(const baselines::SearchResponse& response,
+                                 const corpus::Corpus* corpus,
+                                 const kg::KnowledgeGraph* graph) {
+  json::Value out = json::Value::Object();
+  json::Value hits = json::Value::Array();
+  for (const baselines::SearchHit& hit : response.hits) {
+    json::Value h = json::Value::Object();
+    h.Set("doc_index", json::Value::Uint(hit.doc_index));
+    h.Set("score", json::Value::Number(hit.score));
+    if (corpus != nullptr && hit.doc_index < corpus->size()) {
+      const corpus::Document& doc = corpus->doc(hit.doc_index);
+      h.Set("doc_id", json::Value::Str(doc.id));
+      h.Set("title", json::Value::Str(doc.title));
+    }
+    if (!hit.paths.empty()) {
+      json::Value paths = json::Value::Array();
+      for (const embed::RelationshipPath& path : hit.paths) {
+        json::Value p = json::Value::Object();
+        p.Set("length", json::Value::Uint(path.length()));
+        if (graph != nullptr) {
+          p.Set("rendered", json::Value::Str(path.Render(*graph)));
+        }
+        paths.Append(std::move(p));
+      }
+      h.Set("paths", std::move(paths));
+    }
+    hits.Append(std::move(h));
+  }
+  out.Set("hits", std::move(hits));
+  out.Set("epoch", json::Value::Uint(response.epoch));
+  out.Set("snapshot_docs", json::Value::Uint(response.snapshot_docs));
+  if (response.deadline_exceeded) {
+    out.Set("deadline_exceeded", json::Value::Bool(true));
+  }
+  json::Value timings = json::Value::Object();
+  for (const auto& [bucket, seconds] : response.timings.buckets()) {
+    timings.Set(StrCat(bucket, "_ms"), json::Value::Number(seconds * 1e3));
+  }
+  out.Set("timings", std::move(timings));
+  if (!response.trace.empty()) {
+    out.Set("trace", TraceSpanToJson(response.trace));
+  }
+  return out;
+}
+
+Result<corpus::Document> DocumentFromJson(const json::Value& value) {
+  if (value.type() != json::Value::Type::kObject) {
+    return Status::InvalidArgument("document must be a JSON object");
+  }
+  corpus::Document doc;
+  for (const auto& [key, field] : value.members()) {
+    if (key == "id") {
+      NL_ASSIGN_OR_RETURN(doc.id, AsStringStrict(field, key));
+    } else if (key == "title") {
+      NL_ASSIGN_OR_RETURN(doc.title, AsStringStrict(field, key));
+    } else if (key == "text") {
+      NL_ASSIGN_OR_RETURN(doc.text, AsStringStrict(field, key));
+    } else if (key == "story_id") {
+      NL_ASSIGN_OR_RETURN(size_t story, AsSize(field, key));
+      doc.story_id = static_cast<uint32_t>(story);
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown document field: \"", key, "\""));
+    }
+  }
+  if (doc.text.empty()) {
+    return Status::InvalidArgument("\"text\" is required and must be non-empty");
+  }
+  return doc;
+}
+
+}  // namespace net
+}  // namespace newslink

@@ -1,0 +1,52 @@
+// JSON codecs for the /v1 wire protocol (DESIGN.md Sec. 10): strict
+// request decoding (unknown fields are InvalidArgument, so client typos
+// fail loudly instead of silently running a default query) and response
+// encoding shared by the server and any in-process caller that wants the
+// wire representation.
+
+#ifndef NEWSLINK_NET_API_JSON_H_
+#define NEWSLINK_NET_API_JSON_H_
+
+#include "baselines/search_engine.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "corpus/corpus.h"
+#include "kg/knowledge_graph.h"
+
+namespace newslink {
+namespace net {
+
+/// Decode one search request object:
+///   {"query": "...", "k": 10, "beta": 0.6, "rerank_depth": 50,
+///    "exhaustive_fusion": false, "explain": true, "max_paths": 5,
+///    "trace": false, "deadline_seconds": 0.2}
+/// Only "query" is required; everything else falls back to the engine's
+/// defaults. Unknown fields and wrong types are InvalidArgument.
+Result<baselines::SearchRequest> SearchRequestFromJson(
+    const json::Value& value);
+
+/// Encode a response; hits carry doc identity from `corpus` and, when the
+/// engine attached explanation paths, their rendered arrow notation from
+/// `graph` (both may be null: hits then carry indices/scores only).
+///   {"hits": [{"doc_index", "score", "doc_id", "title", "paths": [...]}],
+///    "epoch", "snapshot_docs", "deadline_exceeded"?, "timings": {...},
+///    "trace"?: {...}}
+json::Value SearchResponseToJson(const baselines::SearchResponse& response,
+                                 const corpus::Corpus* corpus,
+                                 const kg::KnowledgeGraph* graph);
+
+/// Decode one document for live ingestion:
+///   {"id": "...", "title": "...", "text": "...", "story_id": 0}
+/// "text" is required and must be non-empty; "id" defaults to a
+/// server-assigned value when empty/absent; unknown fields are
+/// InvalidArgument.
+Result<corpus::Document> DocumentFromJson(const json::Value& value);
+
+/// Span tree as a json::Value (mirrors TraceSpan::ToJson's shape:
+/// {"name", "start_ms", "dur_ms", "notes"?, "children"?}).
+json::Value TraceSpanToJson(const TraceSpan& span);
+
+}  // namespace net
+}  // namespace newslink
+
+#endif  // NEWSLINK_NET_API_JSON_H_

@@ -1,0 +1,82 @@
+#include "net/drain.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace newslink {
+namespace net {
+
+namespace {
+
+/// Self-pipe written by the handler, read by Wait(). File-scope: signal
+/// handlers cannot capture state.
+int g_pipe_read = -1;
+int g_pipe_write = -1;
+
+void OnSignal(int /*signo*/) {
+  const char byte = 1;
+  // write() is async-signal-safe; a full pipe just means we're already
+  // draining, so the lost byte is harmless.
+  [[maybe_unused]] ssize_t n = ::write(g_pipe_write, &byte, 1);
+}
+
+}  // namespace
+
+DrainSignal& DrainSignal::Instance() {
+  static DrainSignal instance;
+  return instance;
+}
+
+Status DrainSignal::Install() {
+  bool expected = false;
+  if (!installed_.compare_exchange_strong(expected, true)) {
+    return Status::OK();  // already installed
+  }
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    installed_.store(false);
+    return Status::IOError(StrCat("pipe: ", std::strerror(errno)));
+  }
+  g_pipe_read = fds[0];
+  g_pipe_write = fds[1];
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnSignal;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (::sigaction(SIGINT, &action, nullptr) != 0 ||
+      ::sigaction(SIGTERM, &action, nullptr) != 0) {
+    return Status::IOError(StrCat("sigaction: ", std::strerror(errno)));
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+  return Status::OK();
+}
+
+void DrainSignal::Wait() {
+  char byte = 0;
+  while (true) {
+    if (signaled()) return;
+    const ssize_t n = ::read(g_pipe_read, &byte, 1);
+    if (n == 1) break;
+    if (n < 0 && errno == EINTR) continue;
+    break;  // pipe closed — treat as a shutdown request
+  }
+  signaled_.store(true, std::memory_order_release);
+}
+
+void DrainSignal::Trigger() {
+  signaled_.store(true, std::memory_order_release);
+  if (g_pipe_write >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(g_pipe_write, &byte, 1);
+  }
+}
+
+}  // namespace net
+}  // namespace newslink

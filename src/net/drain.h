@@ -1,0 +1,45 @@
+// SIGINT/SIGTERM → graceful drain, the async-signal-safe way: the handler
+// writes one byte to a self-pipe; a normal thread blocks on the read end
+// and then calls HttpServer::Shutdown(). Nothing signal-unsafe ever runs
+// in handler context.
+
+#ifndef NEWSLINK_NET_DRAIN_H_
+#define NEWSLINK_NET_DRAIN_H_
+
+#include <atomic>
+
+#include "common/status.h"
+
+namespace newslink {
+namespace net {
+
+/// \brief Process-wide shutdown signal latch (install once).
+class DrainSignal {
+ public:
+  /// The single instance (signal handlers need a global target).
+  static DrainSignal& Instance();
+
+  /// Install SIGINT + SIGTERM handlers routing into this latch. Also
+  /// ignores SIGPIPE (socket writes report EPIPE instead). Idempotent.
+  Status Install();
+
+  /// Block until a signal arrives (or Trigger() is called).
+  void Wait();
+
+  /// True once signaled.
+  bool signaled() const { return signaled_.load(std::memory_order_acquire); }
+
+  /// Programmatic trigger, for tests and for "drain now" admin paths.
+  void Trigger();
+
+ private:
+  DrainSignal() = default;
+
+  std::atomic<bool> installed_{false};
+  std::atomic<bool> signaled_{false};
+};
+
+}  // namespace net
+}  // namespace newslink
+
+#endif  // NEWSLINK_NET_DRAIN_H_

@@ -1,0 +1,295 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace newslink {
+namespace net {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// RFC 7230 token characters (methods, header names).
+bool IsTokenChar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!':
+    case '#':
+    case '$':
+    case '%':
+    case '&':
+    case '\'':
+    case '*':
+    case '+':
+    case '-':
+    case '.':
+    case '^':
+    case '_':
+    case '`':
+    case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), IsTokenChar);
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (EqualsIgnoreCase(k, name)) return &v;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string* connection = FindHeader("Connection");
+  if (version == "HTTP/1.0") {
+    return connection != nullptr && EqualsIgnoreCase(*connection, "keep-alive");
+  }
+  return connection == nullptr || !EqualsIgnoreCase(*connection, "close");
+}
+
+std::string_view HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 201:
+      return "Created";
+    case 204:
+      return "No Content";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 409:
+      return "Conflict";
+    case 411:
+      return "Length Required";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    case 505:
+      return "HTTP Version Not Supported";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(response.status));
+  out.push_back(' ');
+  out.append(HttpReasonPhrase(response.status));
+  out.append("\r\n");
+  if (!response.content_type.empty()) {
+    out.append("Content-Type: ");
+    out.append(response.content_type);
+    out.append("\r\n");
+  }
+  out.append("Content-Length: ");
+  out.append(std::to_string(response.body.size()));
+  out.append("\r\n");
+  out.append(keep_alive ? "Connection: keep-alive\r\n"
+                        : "Connection: close\r\n");
+  for (const auto& [k, v] : response.headers) {
+    out.append(k);
+    out.append(": ");
+    out.append(v);
+    out.append("\r\n");
+  }
+  out.append("\r\n");
+  out.append(response.body);
+  return out;
+}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status,
+                                                 std::string_view message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_message_ = message;
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Consume(std::string_view bytes) {
+  // Always buffer: bytes arriving after kComplete belong to the next
+  // pipelined request and are parsed after Reset().
+  buffer_.append(bytes);
+  if (state_ != State::kNeedMore) return state_;
+  return Advance();
+}
+
+HttpRequestParser::State HttpRequestParser::Advance() {
+  if (!head_done_) {
+    // Find the blank line terminating the head. Accept strict CRLFCRLF and
+    // bare-LF line endings (curl always sends CRLF; tests may not).
+    size_t head_end = buffer_.find("\r\n\r\n");
+    size_t separator_len = 4;
+    if (head_end == std::string::npos) {
+      head_end = buffer_.find("\n\n");
+      separator_len = 2;
+    }
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        return Fail(431, "request head exceeds limit");
+      }
+      return state_;
+    }
+    if (head_end > limits_.max_head_bytes) {
+      return Fail(431, "request head exceeds limit");
+    }
+    const State s = ParseHead(head_end, separator_len);
+    if (s == State::kError) return s;
+    head_done_ = true;
+  }
+  if (buffer_.size() < body_expected_) {
+    return state_;  // kNeedMore
+  }
+  request_.body = buffer_.substr(0, body_expected_);
+  buffer_.erase(0, body_expected_);
+  state_ = State::kComplete;
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::ParseHead(size_t head_end,
+                                                      size_t separator_len) {
+  const std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + separator_len);
+
+  // Split into lines on LF, trimming an optional trailing CR.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= head.size()) {
+    size_t nl = head.find('\n', start);
+    std::string line = nl == std::string::npos
+                           ? head.substr(start)
+                           : head.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(std::move(line));
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  if (lines.empty() || lines[0].empty()) {
+    Fail(400, "empty request line");
+    return state_;
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::vector<std::string> parts = SplitWhitespace(lines[0]);
+  if (parts.size() != 3) {
+    Fail(400, "malformed request line");
+    return state_;
+  }
+  if (!IsToken(parts[0])) {
+    Fail(400, "invalid method token");
+    return state_;
+  }
+  if (parts[1].empty() || parts[1][0] != '/') {
+    Fail(400, "request target must be origin-form");
+    return state_;
+  }
+  if (parts[2] != "HTTP/1.1" && parts[2] != "HTTP/1.0") {
+    Fail(505, "unsupported HTTP version");
+    return state_;
+  }
+  request_.method = parts[0];
+  request_.target = parts[1];
+  request_.version = parts[2];
+
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    const size_t colon = lines[i].find(':');
+    if (colon == std::string::npos || colon == 0) {
+      Fail(400, "malformed header line");
+      return state_;
+    }
+    std::string name = lines[i].substr(0, colon);
+    if (!IsToken(name)) {
+      Fail(400, "invalid header name");
+      return state_;
+    }
+    std::string value(Trim(std::string_view(lines[i]).substr(colon + 1)));
+    request_.headers.emplace_back(std::move(name), std::move(value));
+    if (request_.headers.size() > limits_.max_headers) {
+      Fail(431, "too many headers");
+      return state_;
+    }
+  }
+
+  // Body framing. Chunked coding is deliberately unsupported: every client
+  // of this API sends sized bodies.
+  const std::string* te = request_.FindHeader("Transfer-Encoding");
+  if (te != nullptr) {
+    Fail(501, "transfer encodings are not supported");
+    return state_;
+  }
+  const std::string* cl = request_.FindHeader("Content-Length");
+  if (cl == nullptr) {
+    if (request_.method == "POST" || request_.method == "PUT") {
+      Fail(411, "POST requires Content-Length");
+      return state_;
+    }
+    body_expected_ = 0;
+    return state_;
+  }
+  uint64_t length = 0;
+  if (!ParseUint64(*cl, &length)) {
+    Fail(400, "invalid Content-Length");
+    return state_;
+  }
+  if (length > limits_.max_body_bytes) {
+    Fail(413, "body exceeds limit");
+    return state_;
+  }
+  body_expected_ = static_cast<size_t>(length);
+  return state_;
+}
+
+void HttpRequestParser::Reset() {
+  request_ = HttpRequest{};
+  state_ = State::kNeedMore;
+  head_done_ = false;
+  body_expected_ = 0;
+  error_status_ = 0;
+  error_message_.clear();
+  if (!buffer_.empty()) {
+    // Pipelined bytes: immediately try to parse the next request.
+    Advance();
+  }
+}
+
+}  // namespace net
+}  // namespace newslink

@@ -1,0 +1,114 @@
+// HTTP/1.1 wire types: request/response structs, an incremental
+// request parser with hard limits, and the response serializer
+// (DESIGN.md Sec. 10). Dependency-free — the server speaks exactly the
+// subset the NewsLink API needs: identity bodies sized by Content-Length,
+// keep-alive, no chunked transfer coding (501 on request).
+//
+// The parser is a byte-feed state machine: hand it whatever recv()
+// produced and it answers "need more", "one request complete", or "this
+// connection is unsalvageable" with the HTTP status to send back. Limits
+// (header bytes, body bytes, header count) are enforced *while* reading,
+// so an abusive client cannot balloon memory before being rejected.
+
+#ifndef NEWSLINK_NET_HTTP_H_
+#define NEWSLINK_NET_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace newslink {
+namespace net {
+
+/// \brief One parsed request.
+struct HttpRequest {
+  std::string method;   // uppercase token, e.g. "POST"
+  std::string target;   // origin-form path, e.g. "/v1/search"
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with this name, case-insensitively; nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+
+  /// Connection persistence: HTTP/1.1 defaults to keep-alive unless the
+  /// client sent "Connection: close"; HTTP/1.0 requires an explicit
+  /// "Connection: keep-alive".
+  bool KeepAlive() const;
+};
+
+/// \brief One response to serialize.
+struct HttpResponse {
+  int status = 200;
+  /// Content-Type of `body`; the serializer emits it (with Content-Length)
+  /// unless the body is empty.
+  std::string content_type = "application/json";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+};
+
+/// Canonical reason phrase ("OK", "Not Found", ...); "Unknown" otherwise.
+std::string_view HttpReasonPhrase(int status);
+
+/// Serialize status line + headers + body. `keep_alive` controls the
+/// Connection header the server advertises back.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// \brief Hard limits enforced while parsing a request.
+struct HttpParserLimits {
+  size_t max_head_bytes = 16 * 1024;        // request line + headers
+  size_t max_body_bytes = 4 * 1024 * 1024;  // Content-Length ceiling
+  size_t max_headers = 64;
+};
+
+/// \brief Incremental parser for one connection.
+///
+/// Feed bytes with Consume until it reports kComplete (read the request,
+/// then Reset for the next keep-alive request — pipelined leftover bytes
+/// carry over) or kError (send error_status() and close). Not thread-safe;
+/// one parser per connection.
+class HttpRequestParser {
+ public:
+  enum class State { kNeedMore, kComplete, kError };
+
+  explicit HttpRequestParser(HttpParserLimits limits = {})
+      : limits_(limits) {}
+
+  /// Append bytes from the socket and advance the state machine.
+  State Consume(std::string_view bytes);
+
+  State state() const { return state_; }
+
+  /// Valid only in kComplete.
+  const HttpRequest& request() const { return request_; }
+
+  /// Valid only in kError: the 4xx/5xx to answer before closing.
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Discard the completed request and start parsing the next one from any
+  /// leftover (pipelined) bytes already consumed.
+  void Reset();
+
+ private:
+  State Fail(int status, std::string_view message);
+  /// Try to finish head / body parsing from buffer_.
+  State Advance();
+  State ParseHead(size_t head_end, size_t separator_len);
+
+  HttpParserLimits limits_;
+  std::string buffer_;
+  HttpRequest request_;
+  State state_ = State::kNeedMore;
+  bool head_done_ = false;
+  size_t body_expected_ = 0;
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+}  // namespace net
+}  // namespace newslink
+
+#endif  // NEWSLINK_NET_HTTP_H_

@@ -1,0 +1,320 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "net/status_http.h"
+
+namespace newslink {
+namespace net {
+
+namespace {
+
+void SetSocketTimeout(int fd, int option, double seconds) {
+  if (seconds <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec =
+      static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+std::string_view PathOf(std::string_view target) {
+  const size_t q = target.find('?');
+  return q == std::string_view::npos ? target : target.substr(0, q);
+}
+
+std::string QueryParam(std::string_view target, std::string_view key) {
+  const size_t q = target.find('?');
+  if (q == std::string_view::npos) return "";
+  std::string_view query = target.substr(q + 1);
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    if (eq == std::string_view::npos && pair == key) return "";
+    if (amp == std::string_view::npos) break;
+    query = query.substr(amp + 1);
+  }
+  return "";
+}
+
+HttpServer::HttpServer(HttpServerOptions options, metrics::Registry* registry)
+    : options_(std::move(options)) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<metrics::Registry>();
+    registry = owned_registry_.get();
+  }
+  registry_ = registry;
+  connections_ =
+      registry_->GetCounter(kHttpConnections, "TCP connections accepted");
+  connections_rejected_ = registry_->GetCounter(
+      kHttpConnectionsRejected, "connections refused by admission control");
+  requests_ = registry_->GetCounter(kHttpRequests, "HTTP requests served");
+  request_errors_ = registry_->GetCounter(
+      kHttpRequestErrors, "HTTP responses with a 4xx/5xx status");
+  request_seconds_ = registry_->GetHistogram(
+      kHttpRequestSeconds, {}, "request latency (parse to response flushed)");
+  inflight_ = registry_->GetGauge(kHttpInflightRequests,
+                                  "requests currently being handled");
+}
+
+HttpServer::~HttpServer() { Shutdown(); }
+
+void HttpServer::Handle(std::string method, std::string path,
+                        Handler handler) {
+  NL_CHECK(!running()) << "register routes before Start()";
+  routes_.push_back(Route{std::move(method), std::move(path),
+                          std::move(handler)});
+}
+
+Status HttpServer::Start() {
+  if (running()) return Status::FailedPrecondition("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(StrCat("socket: ", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument(
+        StrCat("not an IPv4 address: ", options_.bind_address));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status = Status::IOError(
+        StrCat("bind ", options_.bind_address, ":", options_.port, ": ",
+               std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const Status status =
+        Status::IOError(StrCat("listen: ", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  draining_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_done_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listener closed (drain) or fatal: stop accepting.
+      return;
+    }
+    connections_->Inc();
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    if (options_.max_connections > 0 &&
+        open_connections_.load(std::memory_order_acquire) >=
+            options_.max_connections) {
+      // Admission control: refuse before parsing anything.
+      connections_rejected_->Inc();
+      const std::string wire = SerializeResponse(
+          ErrorResponseAt(503, "server connection limit reached"),
+          /*keep_alive=*/false);
+      (void)WriteAll(fd, wire);
+      ::close(fd);
+      continue;
+    }
+    open_connections_.fetch_add(1, std::memory_order_acq_rel);
+    SetSocketTimeout(fd, SO_RCVTIMEO, options_.read_timeout_seconds);
+    SetSocketTimeout(fd, SO_SNDTIMEO, options_.write_timeout_seconds);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      active_fds_.insert(fd);
+    }
+    pool_->Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+HttpResponse HttpServer::Dispatch(const HttpRequest& request) {
+  const std::string_view path = PathOf(request.target);
+  bool path_matched = false;
+  for (const Route& route : routes_) {
+    if (route.path == path) {
+      if (route.method == request.method) return route.handler(request);
+      path_matched = true;
+    }
+  }
+  if (path_matched) {
+    return ErrorResponseAt(405, StrCat(request.method, " not allowed here"));
+  }
+  return ErrorResponseAt(404, StrCat("no such endpoint: ", path));
+}
+
+bool HttpServer::WriteAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // write timeout or peer gone
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void HttpServer::HandleConnection(int fd) {
+  if (draining_.load(std::memory_order_acquire)) {
+    // Queued behind the drain: refuse without parsing.
+    const std::string wire = SerializeResponse(
+        ErrorResponseAt(503, "server is draining"), /*keep_alive=*/false);
+    (void)WriteAll(fd, wire);
+  } else {
+    HttpRequestParser parser(options_.limits);
+    size_t served = 0;
+    char buf[8192];
+    while (true) {
+      // Read until one full request (or a hard error) is in hand.
+      bool peer_gone = false;
+      bool idle_timeout = false;
+      bool mid_request_timeout = false;
+      bool saw_bytes = false;
+      while (parser.state() == HttpRequestParser::State::kNeedMore) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          saw_bytes = true;
+          parser.Consume(std::string_view(buf, static_cast<size_t>(n)));
+          continue;
+        }
+        if (n == 0) {
+          peer_gone = true;
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (saw_bytes) {
+            mid_request_timeout = true;
+          } else {
+            idle_timeout = true;  // idle keep-alive: close silently
+          }
+          break;
+        }
+        peer_gone = true;
+        break;
+      }
+      if (peer_gone || idle_timeout) break;
+      if (mid_request_timeout) {
+        request_errors_->Inc();
+        const std::string wire = SerializeResponse(
+            ErrorResponseAt(408, "timed out reading request"),
+            /*keep_alive=*/false);
+        (void)WriteAll(fd, wire);
+        break;
+      }
+      if (parser.state() == HttpRequestParser::State::kError) {
+        request_errors_->Inc();
+        const std::string wire = SerializeResponse(
+            ErrorResponseAt(parser.error_status(), parser.error_message()),
+            /*keep_alive=*/false);
+        (void)WriteAll(fd, wire);
+        break;
+      }
+
+      // One complete request: route it.
+      WallTimer timer;
+      inflight_->Add(1.0);
+      const HttpResponse response = Dispatch(parser.request());
+      requests_->Inc();
+      if (response.status >= 400) request_errors_->Inc();
+      ++served;
+      const bool keep_alive =
+          options_.keep_alive && parser.request().KeepAlive() &&
+          served < options_.max_requests_per_connection &&
+          !draining_.load(std::memory_order_acquire);
+      const bool wrote = WriteAll(fd, SerializeResponse(response, keep_alive));
+      inflight_->Add(-1.0);
+      request_seconds_->Observe(timer.ElapsedSeconds());
+      if (!wrote || !keep_alive) break;
+      parser.Reset();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    active_fds_.erase(fd);
+  }
+  ::close(fd);
+  open_connections_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void HttpServer::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (shutdown_done_ || !running_.load(std::memory_order_acquire)) return;
+
+  draining_.store(true, std::memory_order_release);
+  // Unblock accept(): half-close then close the listener. The accept
+  // thread exits on the failed accept.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Wake idle keep-alive readers: half-close the receive side so their
+  // blocked recv() returns 0. In-flight handlers are untouched — their
+  // sockets can still write responses.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
+  }
+
+  // The pool destructor drains queued connections (each sees draining_ and
+  // answers 503) and joins every worker: in-flight requests finish here.
+  pool_.reset();
+
+  running_.store(false, std::memory_order_release);
+  shutdown_done_ = true;
+}
+
+}  // namespace net
+}  // namespace newslink

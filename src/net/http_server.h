@@ -1,0 +1,158 @@
+// net::HttpServer — the from-scratch HTTP/1.1 serving layer (DESIGN.md
+// Sec. 10): one listener + accept thread, a worker pool (common/ThreadPool)
+// owning one connection per task, per-connection read/write timeouts,
+// request-size limits, keep-alive, connection-level admission control, and
+// graceful drain (stop accepting, let in-flight requests finish, join).
+//
+// Threading model: Start() spawns the accept thread; each accepted
+// connection is handed to the pool, whose worker runs the connection's
+// whole keep-alive loop (read → route → handler → write). Handlers run on
+// worker threads and must be thread-safe across each other — the engine's
+// request-scoped Search API is exactly that.
+//
+// Drain semantics: Shutdown() (idempotent, callable from any thread or a
+// signal-watcher) closes the listener so no new connection is admitted,
+// half-closes idle connections so blocked readers wake, lets every
+// in-flight request complete and its response flush, then joins all
+// threads. Queued-but-unstarted connections receive 503.
+
+#ifndef NEWSLINK_NET_HTTP_SERVER_H_
+#define NEWSLINK_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/http.h"
+
+namespace newslink {
+namespace net {
+
+/// Registry series maintained by the server.
+inline constexpr std::string_view kHttpConnections = "http_connections_total";
+inline constexpr std::string_view kHttpConnectionsRejected =
+    "http_connections_rejected_total";
+inline constexpr std::string_view kHttpRequests = "http_requests_total";
+inline constexpr std::string_view kHttpRequestErrors =
+    "http_request_errors_total";
+inline constexpr std::string_view kHttpRequestSeconds = "http_request_seconds";
+inline constexpr std::string_view kHttpInflightRequests =
+    "http_inflight_requests";
+
+/// Path component of a request target ("/v1/stats?format=json" → "/v1/stats").
+std::string_view PathOf(std::string_view target);
+
+/// Value of `key` in the target's query string ("" when absent). Handles
+/// '&'-separated pairs; no percent-decoding (API parameters are tokens).
+std::string QueryParam(std::string_view target, std::string_view key);
+
+struct HttpServerOptions {
+  /// Dotted-quad address to bind ("127.0.0.1" loopback, "0.0.0.0" all).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read the choice from port()).
+  uint16_t port = 0;
+  /// Worker threads == maximum concurrently-served connections
+  /// (0 = hardware concurrency).
+  size_t num_workers = 8;
+  /// Admission control: accepted-but-unfinished connections beyond this
+  /// bound are answered 503 immediately (never parsed). 0 = unlimited.
+  size_t max_connections = 256;
+  /// Per-connection socket timeouts. A read timeout mid-request answers
+  /// 408; on an idle keep-alive connection it just closes.
+  double read_timeout_seconds = 10.0;
+  double write_timeout_seconds = 10.0;
+  /// Request parsing limits (head bytes, body bytes, header count).
+  HttpParserLimits limits;
+  /// Serve multiple requests per connection.
+  bool keep_alive = true;
+  size_t max_requests_per_connection = 1024;
+};
+
+/// \brief Minimal multi-threaded HTTP/1.1 server.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// `registry`, when given, receives the http_* series (and must outlive
+  /// the server); nullptr gives the server a private registry.
+  explicit HttpServer(HttpServerOptions options = {},
+                      metrics::Registry* registry = nullptr);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register an exact-path route (query strings are stripped before
+  /// matching). Must be called before Start().
+  void Handle(std::string method, std::string path, Handler handler);
+
+  /// Bind, listen, and start accepting. Fails with IOError when the
+  /// address or port is unavailable.
+  Status Start();
+
+  /// The bound port (after Start(); useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Graceful drain; blocks until every worker finished. Idempotent and
+  /// safe to call concurrently (later callers wait for the first).
+  void Shutdown();
+
+ private:
+  struct Route {
+    std::string method;
+    std::string path;
+    Handler handler;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Route a parsed request; never fails (404/405 fall out here).
+  HttpResponse Dispatch(const HttpRequest& request);
+  /// Best-effort full write honoring the socket's write timeout.
+  bool WriteAll(int fd, std::string_view bytes);
+
+  HttpServerOptions options_;
+  std::unique_ptr<metrics::Registry> owned_registry_;
+  metrics::Registry* registry_;
+  metrics::Counter* connections_;
+  metrics::Counter* connections_rejected_;
+  metrics::Counter* requests_;
+  metrics::Counter* request_errors_;
+  metrics::Histogram* request_seconds_;
+  metrics::Gauge* inflight_;
+
+  std::vector<Route> routes_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Connections currently owned by a worker or queued for one.
+  std::atomic<size_t> open_connections_{0};
+  std::mutex conns_mu_;
+  std::unordered_set<int> active_fds_;  // guarded by conns_mu_
+
+  std::mutex shutdown_mu_;  // serializes concurrent Shutdown callers
+  bool shutdown_done_ = false;
+};
+
+}  // namespace net
+}  // namespace newslink
+
+#endif  // NEWSLINK_NET_HTTP_SERVER_H_

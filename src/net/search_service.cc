@@ -1,0 +1,170 @@
+#include "net/search_service.h"
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "net/api_json.h"
+#include "net/status_http.h"
+
+namespace newslink {
+namespace net {
+
+namespace {
+
+HttpResponse JsonOk(const json::Value& body, int status = 200) {
+  HttpResponse response;
+  response.status = status;
+  response.body = body.Dump();
+  response.body.push_back('\n');
+  return response;
+}
+
+}  // namespace
+
+SearchService::SearchService(newslink::NewsLinkEngine* engine,
+                             corpus::Corpus* corpus,
+                             const kg::KnowledgeGraph* graph,
+                             SearchServiceOptions options)
+    : engine_(engine), corpus_(corpus), graph_(graph), options_(options) {
+  metrics::Registry* registry = engine_->mutable_metrics();
+  rejected_ = registry->GetCounter(
+      kSearchRejected, "searches refused by admission control");
+  ingested_ = registry->GetCounter(kDocumentsIngested,
+                                   "documents ingested over HTTP");
+  current_epoch_ = registry->GetGauge(newslink::kCurrentEpoch,
+                                      "latest published epoch");
+}
+
+void SearchService::RegisterRoutes(HttpServer* server) {
+  server->Handle("POST", "/v1/search",
+                 [this](const HttpRequest& r) { return HandleSearch(r); });
+  server->Handle("POST", "/v1/documents", [this](const HttpRequest& r) {
+    return HandleAddDocument(r);
+  });
+  server->Handle("GET", "/metrics",
+                 [this](const HttpRequest& r) { return HandleMetrics(r); });
+  server->Handle("GET", "/healthz",
+                 [this](const HttpRequest& r) { return HandleHealth(r); });
+  server->Handle("GET", "/v1/stats",
+                 [this](const HttpRequest& r) { return HandleStats(r); });
+}
+
+HttpResponse SearchService::HandleSearch(const HttpRequest& request) {
+  Result<json::Value> body = json::Parse(request.body);
+  if (!body.ok()) return ErrorResponse(body.status());
+
+  // Decode before admitting: malformed requests should cost a 400, not an
+  // admission slot.
+  const bool batched = body->is_array();
+  std::vector<baselines::SearchRequest> requests;
+  if (batched) {
+    if (body->size() == 0) {
+      return ErrorResponse(
+          Status::InvalidArgument("batch must contain at least one request"));
+    }
+    if (body->size() > options_.max_batch) {
+      return ErrorResponse(Status::InvalidArgument(
+          StrCat("batch of ", body->size(), " exceeds limit of ",
+                 options_.max_batch)));
+    }
+    requests.reserve(body->size());
+    for (const json::Value& item : body->items()) {
+      Result<baselines::SearchRequest> decoded = SearchRequestFromJson(item);
+      if (!decoded.ok()) return ErrorResponse(decoded.status());
+      requests.push_back(std::move(*decoded));
+    }
+  } else {
+    Result<baselines::SearchRequest> decoded = SearchRequestFromJson(*body);
+    if (!decoded.ok()) return ErrorResponse(decoded.status());
+    requests.push_back(std::move(*decoded));
+  }
+
+  // Admission: one slot per HTTP request, batch or not.
+  if (inflight_searches_.fetch_add(1, std::memory_order_acq_rel) >=
+      options_.max_inflight_searches) {
+    inflight_searches_.fetch_sub(1, std::memory_order_acq_rel);
+    rejected_->Inc();
+    return ErrorResponseAt(503, "search admission limit reached");
+  }
+
+  std::vector<baselines::SearchResponse> responses =
+      batched ? engine_->SearchBatch(requests)
+              : std::vector<baselines::SearchResponse>{
+                    engine_->Search(requests.front())};
+  inflight_searches_.fetch_sub(1, std::memory_order_acq_rel);
+
+  // Corpus reads (titles) happen under the shared lock; every doc_index in
+  // a response is < its snapshot_docs <= corpus size (ingest appends the
+  // corpus before publishing the epoch).
+  std::shared_lock<std::shared_mutex> lock(corpus_mu_);
+  if (batched) {
+    json::Value out = json::Value::Array();
+    for (const baselines::SearchResponse& response : responses) {
+      out.Append(SearchResponseToJson(response, corpus_, graph_));
+    }
+    return JsonOk(out);
+  }
+  return JsonOk(SearchResponseToJson(responses.front(), corpus_, graph_));
+}
+
+HttpResponse SearchService::HandleAddDocument(const HttpRequest& request) {
+  Result<json::Value> body = json::Parse(request.body);
+  if (!body.ok()) return ErrorResponse(body.status());
+  Result<corpus::Document> decoded = DocumentFromJson(*body);
+  if (!decoded.ok()) return ErrorResponse(decoded.status());
+  corpus::Document doc = std::move(*decoded);
+
+  size_t doc_index = 0;
+  {
+    // Exclusive: the corpus append must be visible before the engine
+    // publishes the epoch that can return this doc_index.
+    std::unique_lock<std::shared_mutex> lock(corpus_mu_);
+    if (doc.id.empty()) doc.id = StrCat("live-", corpus_->size());
+    corpus_->Add(doc);
+    doc_index = engine_->AddDocument(doc);
+  }
+  ingested_->Inc();
+
+  json::Value out = json::Value::Object();
+  out.Set("doc_index", json::Value::Uint(doc_index));
+  out.Set("doc_id", json::Value::Str(doc.id));
+  out.Set("epoch",
+          json::Value::Uint(static_cast<uint64_t>(current_epoch_->Value())));
+  return JsonOk(out, 201);
+}
+
+HttpResponse SearchService::HandleMetrics(const HttpRequest&) const {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = engine_->Metrics().RenderPrometheus();
+  return response;
+}
+
+HttpResponse SearchService::HandleHealth(const HttpRequest&) const {
+  json::Value out = json::Value::Object();
+  out.Set("status", json::Value::Str("ok"));
+  out.Set("engine", json::Value::Str(engine_->name()));
+  return JsonOk(out);
+}
+
+HttpResponse SearchService::HandleStats(const HttpRequest&) const {
+  json::Value out = json::Value::Object();
+  out.Set("engine", json::Value::Str(engine_->name()));
+  {
+    std::shared_lock<std::shared_mutex> lock(corpus_mu_);
+    out.Set("docs", json::Value::Uint(corpus_->size()));
+  }
+  out.Set("epoch",
+          json::Value::Uint(static_cast<uint64_t>(current_epoch_->Value())));
+  // The registry renders itself to JSON text; re-parse so it nests as a
+  // real object instead of an escaped string.
+  Result<json::Value> registry_json =
+      json::Parse(engine_->Metrics().RenderJson());
+  if (registry_json.ok()) out.Set("metrics", std::move(*registry_json));
+  return JsonOk(out);
+}
+
+}  // namespace net
+}  // namespace newslink

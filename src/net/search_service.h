@@ -1,0 +1,92 @@
+// The /v1 API surface (DESIGN.md Sec. 10): a SearchService binds one
+// NewsLinkEngine, its corpus, and the knowledge graph to HTTP routes:
+//
+//   POST /v1/search     one SearchRequest object (or an array of them —
+//                       answered via SearchBatch) → SearchResponse JSON
+//   POST /v1/documents  one document → live AddDocument, new epoch
+//   GET  /metrics       Prometheus text exposition of the engine registry
+//   GET  /v1/stats      engine + corpus + registry snapshot as JSON
+//   GET  /healthz       liveness probe
+//
+// Concurrency: searches run lock-free on the engine's epoch snapshots.
+// The corpus, however, is a plain append-only vector shared with ingestion,
+// so a shared_mutex guards it — ingest appends under the exclusive side
+// *before* the engine publishes the new epoch, and response rendering reads
+// titles under the shared side. Any doc_index a snapshot can return is
+// therefore always present in the corpus.
+//
+// Admission control: at most max_inflight_searches search requests run at
+// once; excess requests are answered 503 without touching the engine.
+
+#ifndef NEWSLINK_NET_SEARCH_SERVICE_H_
+#define NEWSLINK_NET_SEARCH_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <shared_mutex>
+#include <string_view>
+
+#include "corpus/corpus.h"
+#include "kg/knowledge_graph.h"
+#include "net/http.h"
+#include "net/http_server.h"
+#include "newslink/newslink_engine.h"
+
+namespace newslink {
+namespace net {
+
+/// Registry series maintained by the service (registered on the engine's
+/// registry so one /metrics scrape covers engine, server, and service).
+inline constexpr std::string_view kSearchRejected =
+    "search_requests_rejected_total";
+inline constexpr std::string_view kDocumentsIngested =
+    "http_documents_ingested_total";
+
+struct SearchServiceOptions {
+  /// Concurrent /v1/search requests admitted; excess get 503. The value 0
+  /// rejects every search — useful to test admission deterministically and
+  /// as an administrative "shed all load" mode.
+  size_t max_inflight_searches = 64;
+  /// Maximum requests in one batched /v1/search array body.
+  size_t max_batch = 64;
+};
+
+/// \brief Binds an engine + corpus + graph to the /v1 HTTP API.
+///
+/// The engine, corpus, and graph must outlive the service; the service must
+/// outlive the HttpServer it registered routes on.
+class SearchService {
+ public:
+  SearchService(newslink::NewsLinkEngine* engine, corpus::Corpus* corpus,
+                const kg::KnowledgeGraph* graph,
+                SearchServiceOptions options = {});
+
+  /// Register every endpoint on `server` (call before server->Start()).
+  void RegisterRoutes(HttpServer* server);
+
+  // Handlers are public so tests can drive the service without a socket.
+  HttpResponse HandleSearch(const HttpRequest& request);
+  HttpResponse HandleAddDocument(const HttpRequest& request);
+  HttpResponse HandleMetrics(const HttpRequest& request) const;
+  HttpResponse HandleHealth(const HttpRequest& request) const;
+  HttpResponse HandleStats(const HttpRequest& request) const;
+
+ private:
+  newslink::NewsLinkEngine* engine_;
+  corpus::Corpus* corpus_;
+  const kg::KnowledgeGraph* graph_;
+  SearchServiceOptions options_;
+
+  /// Guards corpus_ (append-only): exclusive for ingest, shared for reads.
+  mutable std::shared_mutex corpus_mu_;
+
+  std::atomic<size_t> inflight_searches_{0};
+  metrics::Counter* rejected_;
+  metrics::Counter* ingested_;
+  metrics::Gauge* current_epoch_;
+};
+
+}  // namespace net
+}  // namespace newslink
+
+#endif  // NEWSLINK_NET_SEARCH_SERVICE_H_

@@ -1,0 +1,36 @@
+// The ONE place engine Status codes become HTTP statuses and JSON error
+// bodies (DESIGN.md Sec. 10, "error model"). Every endpoint handler routes
+// its failures through ErrorResponse so clients always see the same shape:
+//
+//   {"error": {"code": "InvalidArgument", "status": 400, "message": "..."}}
+
+#ifndef NEWSLINK_NET_STATUS_HTTP_H_
+#define NEWSLINK_NET_STATUS_HTTP_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "net/http.h"
+
+namespace newslink {
+namespace net {
+
+/// HTTP status for a Status code: OK→200, InvalidArgument/OutOfRange→400,
+/// NotFound→404, AlreadyExists/FailedPrecondition→409, Timeout→408,
+/// Unimplemented→501, IOError/Internal (and anything else)→500.
+int StatusToHttp(const Status& status);
+
+/// Stable wire name of a Status code ("InvalidArgument", ...).
+std::string_view StatusCodeName(Status::Code code);
+
+/// JSON error body + mapped HTTP status for a non-OK Status.
+HttpResponse ErrorResponse(const Status& status);
+
+/// An error response at an explicit HTTP status (for transport-level
+/// failures — parse errors, admission rejections — that have no Status).
+HttpResponse ErrorResponseAt(int http_status, std::string_view message);
+
+}  // namespace net
+}  // namespace newslink
+
+#endif  // NEWSLINK_NET_STATUS_HTTP_H_

@@ -30,8 +30,8 @@ double EmbeddingJaccard(const embed::DocumentEmbedding& a,
                   : static_cast<double>(intersection) / static_cast<double>(uni);
 }
 
-std::vector<baselines::SearchResult> DiversifyResults(
-    const std::vector<baselines::SearchResult>& results,
+std::vector<baselines::SearchHit> DiversifyResults(
+    const std::vector<baselines::SearchHit>& results,
     const std::vector<embed::DocumentEmbedding>& embeddings,
     const DiversifyOptions& options) {
   if (results.empty()) return {};
@@ -43,7 +43,7 @@ std::vector<baselines::SearchResult> DiversifyResults(
       std::max(results.front().score, 1e-12);  // engine output: descending
 
   std::vector<bool> used(results.size(), false);
-  std::vector<baselines::SearchResult> out;
+  std::vector<baselines::SearchHit> out;
   out.reserve(k);
   while (out.size() < k) {
     double best_mmr = -1e300;
@@ -52,7 +52,7 @@ std::vector<baselines::SearchResult> DiversifyResults(
       if (used[i]) continue;
       NL_DCHECK(results[i].doc_index < embeddings.size());
       double max_sim = 0.0;
-      for (const baselines::SearchResult& chosen : out) {
+      for (const baselines::SearchHit& chosen : out) {
         max_sim = std::max(
             max_sim, EmbeddingJaccard(embeddings[results[i].doc_index],
                                       embeddings[chosen.doc_index]));
@@ -68,7 +68,7 @@ std::vector<baselines::SearchResult> DiversifyResults(
     }
     if (best == results.size()) break;
     used[best] = true;
-    out.push_back(baselines::SearchResult{results[best].doc_index, best_mmr});
+    out.push_back(baselines::SearchHit{results[best].doc_index, best_mmr});
   }
   return out;
 }

@@ -32,8 +32,8 @@ double EmbeddingJaccard(const embed::DocumentEmbedding& a,
 /// `embeddings[results[i].doc_index]` must be valid for every result.
 /// Scores of the input results should be descending (engine output order);
 /// returned results carry their MMR selection scores.
-std::vector<baselines::SearchResult> DiversifyResults(
-    const std::vector<baselines::SearchResult>& results,
+std::vector<baselines::SearchHit> DiversifyResults(
+    const std::vector<baselines::SearchHit>& results,
     const std::vector<embed::DocumentEmbedding>& embeddings,
     const DiversifyOptions& options = {});
 

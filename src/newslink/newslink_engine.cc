@@ -175,7 +175,11 @@ void NewsLinkEngine::PublishSnapshot() {
   snapshot_ = std::move(ptr);
 }
 
-void NewsLinkEngine::Index(const corpus::Corpus& corpus) {
+Status NewsLinkEngine::Index(const corpus::Corpus& corpus) {
+  if (num_indexed_docs() != 0) {
+    return Status::FailedPrecondition(
+        "Index requires an empty engine; use AddDocument for live ingestion");
+  }
   const size_t n = corpus.size();
   std::vector<embed::DocumentEmbedding> embeddings(n);
 
@@ -210,6 +214,7 @@ void NewsLinkEngine::Index(const corpus::Corpus& corpus) {
   }
   corpus_fingerprint_.store(corpus_fp, std::memory_order_release);
   PublishSnapshot();
+  return Status::OK();
 }
 
 Status NewsLinkEngine::IndexWithEmbeddings(
@@ -456,6 +461,15 @@ baselines::SearchResponse NewsLinkEngine::Search(
       request.exhaustive_fusion.value_or(config_.exhaustive_fusion);
   const size_t k = request.k;
 
+  // Per-request deadline (best-effort degradation): checked at stage
+  // boundaries, never mid-scoring. Optional stages (query NE, explain)
+  // are skipped once the budget is spent; the response flags it.
+  WallTimer deadline_timer;
+  const double deadline = request.deadline_seconds.value_or(0.0);
+  const auto past_deadline = [&deadline_timer, deadline]() {
+    return deadline > 0.0 && deadline_timer.ElapsedSeconds() >= deadline;
+  };
+
   // The query's span tree: one "search" root with a child per component
   // stage. Everything downstream — SearchResponse::timings, the per-stage
   // histograms, the slow-query log — derives from this one tree.
@@ -481,7 +495,11 @@ baselines::SearchResponse NewsLinkEngine::Search(
   {
     ScopedSpan span(&query_trace, "ne");
     // Explanations need a query embedding even at beta == 0.
-    if (beta > 0.0 || request.explain) {
+    if ((beta > 0.0 || request.explain) && past_deadline()) {
+      // Degrade to text-only retrieval rather than blowing the budget.
+      response.deadline_exceeded = true;
+      query_trace.Note("skipped", "deadline");
+    } else if (beta > 0.0 || request.explain) {
       query_embedding = embed::EmbedDocument(
           *embedder_, EntityGroups(segmented, config_.use_maximal_reduction),
           &query_trace);
@@ -599,7 +617,10 @@ baselines::SearchResponse NewsLinkEngine::Search(
     }
   }
 
-  if (request.explain) {
+  if (request.explain && past_deadline()) {
+    response.deadline_exceeded = true;
+    query_trace.Note("explain_skipped", "deadline");
+  } else if (request.explain) {
     // Hits come from this snapshot, so every doc_index is below
     // snap->num_docs and its embedding is fully published.
     ScopedSpan span(&query_trace, "explain");
@@ -610,6 +631,9 @@ baselines::SearchResponse NewsLinkEngine::Search(
     }
   }
 
+  if (response.deadline_exceeded) {
+    query_trace.Note("deadline_exceeded", "true");
+  }
   query_trace.End(root_handle);
   TraceSpan root = query_trace.Finish();
 
@@ -640,31 +664,6 @@ baselines::SearchResponse NewsLinkEngine::Search(
   }
   if (request.trace) response.trace = std::move(root);
   return response;
-}
-
-std::vector<baselines::SearchResult> NewsLinkEngine::Search(
-    const std::string& query, size_t k) const {
-  baselines::SearchRequest request;
-  request.query = query;
-  request.k = k;
-  const baselines::SearchResponse response = Search(request);
-  std::vector<baselines::SearchResult> out;
-  out.reserve(response.hits.size());
-  for (const baselines::SearchHit& hit : response.hits) {
-    out.push_back(baselines::SearchResult{hit.doc_index, hit.score});
-  }
-  return out;
-}
-
-std::vector<ExplainedResult> NewsLinkEngine::SearchExplained(
-    const std::string& query, size_t k, size_t max_paths) const {
-  baselines::SearchRequest request;
-  request.query = query;
-  request.k = k;
-  request.explain = true;
-  request.max_paths_per_result = max_paths;
-  baselines::SearchResponse response = Search(request);
-  return std::move(response.hits);
 }
 
 }  // namespace newslink

@@ -151,7 +151,8 @@ class NewsLinkEngine : public baselines::SearchEngine {
 
   /// Build embeddings and indexes for the corpus, then publish one epoch.
   /// Embedding is parallelized across documents (paper Sec. VII-G).
-  void Index(const corpus::Corpus& corpus) override;
+  /// Indexing into a non-empty engine is FailedPrecondition.
+  Status Index(const corpus::Corpus& corpus) override;
 
   /// Index with precomputed embeddings (one per document, as produced by
   /// embed::LoadEmbeddings) — skips the expensive NE stage entirely.
@@ -209,13 +210,6 @@ class NewsLinkEngine : public baselines::SearchEngine {
   /// it and SearchRequest::trace returns it whole.
   baselines::SearchResponse Search(
       const baselines::SearchRequest& request) const override;
-
-  /// Legacy adapters, rerouted through Search(SearchRequest).
-  std::vector<baselines::SearchResult> Search(const std::string& query,
-                                              size_t k) const override;
-  std::vector<ExplainedResult> SearchExplained(const std::string& query,
-                                               size_t k,
-                                               size_t max_paths = 5) const;
 
   /// Run the NLP + NE components on a standalone text (e.g. a query).
   embed::DocumentEmbedding EmbedText(const std::string& text) const;

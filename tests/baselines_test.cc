@@ -32,16 +32,16 @@ corpus::Corpus TinyCorpus() {
 
 TEST(LuceneLikeEngineTest, FindsKeywordMatches) {
   LuceneLikeEngine engine;
-  engine.Index(TinyCorpus());
-  const auto results = engine.Search("taliban bombing", 2);
+  ASSERT_TRUE(engine.Index(TinyCorpus()).ok());
+  const auto results = engine.Search({"taliban bombing", 2}).hits;
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].doc_index, 0u);
 }
 
 TEST(LuceneLikeEngineTest, RanksMoreMatchesHigher) {
   LuceneLikeEngine engine;
-  engine.Index(TinyCorpus());
-  const auto results = engine.Search("bombing", 4);
+  ASSERT_TRUE(engine.Index(TinyCorpus()).ok());
+  const auto results = engine.Search({"bombing", 4}).hits;
   ASSERT_EQ(results.size(), 2u);  // only two docs mention bombing
   for (const auto& r : results) {
     EXPECT_TRUE(r.doc_index == 0 || r.doc_index == 3);
@@ -50,15 +50,15 @@ TEST(LuceneLikeEngineTest, RanksMoreMatchesHigher) {
 
 TEST(LuceneLikeEngineTest, NoMatchesYieldsEmpty) {
   LuceneLikeEngine engine;
-  engine.Index(TinyCorpus());
-  EXPECT_TRUE(engine.Search("zzzunknownzzz", 5).empty());
+  ASSERT_TRUE(engine.Index(TinyCorpus()).ok());
+  EXPECT_TRUE(engine.Search({"zzzunknownzzz", 5}).hits.empty());
 }
 
 TEST(LuceneLikeEngineTest, StemmingBridgesInflections) {
   LuceneLikeEngine engine;
-  engine.Index(TinyCorpus());
+  ASSERT_TRUE(engine.Index(TinyCorpus()).ok());
   // "elections" stems to the same term as "election".
-  const auto results = engine.Search("elections", 2);
+  const auto results = engine.Search({"elections", 2}).hits;
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].doc_index, 1u);
 }
@@ -105,7 +105,7 @@ class QeprfTest : public ::testing::Test {
 
 TEST_F(QeprfTest, ExpansionTermsComeFromDescriptions) {
   QeprfEngine engine(&kg_.graph, &index_, &ner_);
-  engine.Index(CorpusWithKgEntities());
+  ASSERT_TRUE(engine.Index(CorpusWithKgEntities()).ok());
   const std::string district = kg_.graph.label(kg_.Category("district")[0]);
   const auto expansions =
       engine.ExpansionTerms("Fighting in " + district + " continues");
@@ -116,20 +116,20 @@ TEST_F(QeprfTest, ExpansionTermsComeFromDescriptions) {
 
 TEST_F(QeprfTest, ExpandedQueryStillRanksDirectMatchFirst) {
   QeprfEngine engine(&kg_.graph, &index_, &ner_);
-  engine.Index(CorpusWithKgEntities());
+  ASSERT_TRUE(engine.Index(CorpusWithKgEntities()).ok());
   const std::string district = kg_.graph.label(kg_.Category("district")[0]);
-  const auto results = engine.Search("Fighting in " + district, 3);
+  const auto results = engine.Search({"Fighting in " + district, 3}).hits;
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].doc_index, 0u);
 }
 
 TEST_F(QeprfTest, ExpansionCanRecallRelatedDocs) {
   QeprfEngine engine(&kg_.graph, &index_, &ner_);
-  engine.Index(CorpusWithKgEntities());
+  ASSERT_TRUE(engine.Index(CorpusWithKgEntities()).ok());
   const std::string district = kg_.graph.label(kg_.Category("district")[0]);
   // The query only names the district, but the province doc shares the
   // expansion terms from the district's KG description.
-  const auto results = engine.Search(district + " clashes", 4);
+  const auto results = engine.Search({district + " clashes", 4}).hits;
   std::vector<size_t> docs;
   for (const auto& r : results) docs.push_back(r.doc_index);
   EXPECT_NE(std::find(docs.begin(), docs.end(), 1u), docs.end())
@@ -138,8 +138,8 @@ TEST_F(QeprfTest, ExpansionCanRecallRelatedDocs) {
 
 TEST_F(QeprfTest, QueriesWithoutEntitiesStillWork) {
   QeprfEngine engine(&kg_.graph, &index_, &ner_);
-  engine.Index(CorpusWithKgEntities());
-  const auto results = engine.Search("sports league results", 2);
+  ASSERT_TRUE(engine.Index(CorpusWithKgEntities()).ok());
+  const auto results = engine.Search({"sports league results", 2}).hits;
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].doc_index, 3u);
 }
@@ -165,8 +165,8 @@ corpus::Corpus TopicCorpus() {
 
 template <typename Engine>
 void ExpectTopicRetrieval(Engine&& engine) {
-  engine.Index(TopicCorpus());
-  const auto results = engine.Search("goal striker league match", 5);
+  ASSERT_TRUE(engine.Index(TopicCorpus()).ok());
+  const auto results = engine.Search({"goal striker league match", 5}).hits;
   ASSERT_EQ(results.size(), 5u);
   // Majority of the top-5 must be sports docs (story 0 = even indices).
   int sports = 0;
@@ -208,9 +208,9 @@ TEST(VectorEnginesTest, TrainingIndicesRestrictFitting) {
   config.min_count = 1;
   SbertLikeEngine engine(config);
   engine.set_training_indices({0, 1, 2, 3});
-  engine.Index(TopicCorpus());
+  ASSERT_TRUE(engine.Index(TopicCorpus()).ok());
   // Must still answer queries over the full corpus.
-  EXPECT_EQ(engine.Search("goal match", 3).size(), 3u);
+  EXPECT_EQ(engine.Search({"goal match", 3}).hits.size(), 3u);
 }
 
 TEST(VectorEnginesTest, EngineNames) {

@@ -59,15 +59,15 @@ class ConcurrentSearchTest : public ::testing::Test {
 
 TEST_F(ConcurrentSearchTest, ParallelSearchesMatchSingleThreaded) {
   NewsLinkEngine engine = MakeEngine(0.2);
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
 
   constexpr size_t kQueries = 8;
   constexpr size_t kK = 10;
   std::vector<std::string> queries;
-  std::vector<std::vector<baselines::SearchResult>> reference;
+  std::vector<std::vector<baselines::SearchHit>> reference;
   for (size_t d = 0; d < kQueries; ++d) {
     queries.push_back(FirstSentenceOf(d));
-    reference.push_back(engine.Search(queries.back(), kK));
+    reference.push_back(engine.Search({queries.back(), kK}).hits);
   }
 
   const uint64_t nlp_before =
@@ -82,7 +82,7 @@ TEST_F(ConcurrentSearchTest, ParallelSearchesMatchSingleThreaded) {
         for (size_t q = 0; q < queries.size(); ++q) {
           // Stagger the query order per thread so different queries overlap.
           const size_t idx = (q + t) % queries.size();
-          const auto results = engine.Search(queries[idx], kK);
+          const auto results = engine.Search({queries[idx], kK}).hits;
           bool ok = results.size() == reference[idx].size();
           for (size_t i = 0; ok && i < results.size(); ++i) {
             ok = results[i].doc_index == reference[idx][i].doc_index &&
@@ -111,7 +111,7 @@ TEST_F(ConcurrentSearchTest, ParallelSearchesMatchSingleThreaded) {
 
 TEST_F(ConcurrentSearchTest, MetricsCountQueriesAndCacheHits) {
   NewsLinkEngine engine = MakeEngine(0.5);
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
   const metrics::Registry& metrics = engine.Metrics();
   EXPECT_EQ(metrics.CounterValue(baselines::kEngineQueries), 0u);
   EXPECT_GT(metrics.CounterValue(embed::kEmbedderSegments), 0u);
@@ -119,8 +119,8 @@ TEST_F(ConcurrentSearchTest, MetricsCountQueriesAndCacheHits) {
       metrics.CounterValue(embed::kLcagCacheHits);
 
   const std::string q = FirstSentenceOf(0);
-  engine.Search(q, 5);
-  engine.Search(q, 5);  // repeated query: its entity groups hit the cache
+  engine.Search({q, 5}).hits;
+  engine.Search({q, 5}).hits;  // repeated query: its entity groups hit the cache
   EXPECT_EQ(metrics.CounterValue(baselines::kEngineQueries), 2u);
   EXPECT_GT(metrics.CounterValue(kBowDocsScored), 0u);
   EXPECT_GE(metrics.CounterValue(embed::kLcagCacheHits), hits_after_index);
@@ -128,7 +128,7 @@ TEST_F(ConcurrentSearchTest, MetricsCountQueriesAndCacheHits) {
 
 TEST_F(ConcurrentSearchTest, PrunedFusionMatchesExhaustiveOracle) {
   NewsLinkEngine engine = MakeEngine(0.2);
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
 
   for (double beta : {0.0, 0.2, 0.5, 1.0}) {
     for (size_t d = 0; d < 10; ++d) {
@@ -152,11 +152,11 @@ TEST_F(ConcurrentSearchTest, PrunedFusionMatchesExhaustiveOracle) {
 
 TEST_F(ConcurrentSearchTest, RequestDefaultsMatchLegacySearch) {
   NewsLinkEngine engine = MakeEngine(0.5);
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
 
   for (size_t d = 0; d < 8; ++d) {
     const std::string q = FirstSentenceOf(d);
-    const auto legacy = engine.Search(q, 7);
+    const auto legacy = engine.Search({q, 7}).hits;
 
     baselines::SearchRequest request;
     request.query = q;
@@ -179,7 +179,7 @@ TEST_F(ConcurrentSearchTest, WriterVsReadersSeeOnlyCompleteEpochs) {
   // all hits below its snapshot_docs, snapshot at least the pre-ingest
   // corpus, epochs non-decreasing per thread.
   NewsLinkEngine engine = MakeEngine(0.2);
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
   const size_t base_docs = corpus_.corpus.size();
 
   corpus::SyntheticNewsConfig fresh_config = corpus::CnnLikeConfig();
@@ -259,7 +259,7 @@ TEST_F(ConcurrentSearchTest, PrunedMatchesExhaustiveOnEveryPublishedEpoch) {
   const corpus::SyntheticCorpus stream =
       corpus::SyntheticNewsGenerator(&kg_, config).Generate();
 
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
   size_t expected_docs = corpus_.corpus.size();
   for (size_t d = 0; d < stream.corpus.size(); ++d) {
     engine.AddDocument(stream.corpus.doc(d));
@@ -297,7 +297,7 @@ TEST_F(ConcurrentSearchTest, PrunedFusionScoresFewerDocuments) {
       corpus::SyntheticNewsGenerator(&kg_, config).Generate();
 
   NewsLinkEngine engine = MakeEngine(0.2);
-  engine.Index(big.corpus);
+  ASSERT_TRUE(engine.Index(big.corpus).ok());
 
   auto query = [&](size_t doc) {
     const std::string& text = big.corpus.doc(doc).text;

@@ -48,38 +48,38 @@ class EdgeCaseTest : public ::testing::Test {
 TEST_F(EdgeCaseTest, EmptyCorpusIndexAndSearch) {
   NewsLinkEngine engine(&world_.graph, &labels_, {});
   corpus::Corpus empty;
-  engine.Index(empty);
-  EXPECT_TRUE(engine.Search("anything", 5).empty());
+  ASSERT_TRUE(engine.Index(empty).ok());
+  EXPECT_TRUE(engine.Search({"anything", 5}).hits.empty());
   EXPECT_EQ(engine.EmbeddedDocumentFraction(), 0.0);
 }
 
 TEST_F(EdgeCaseTest, EmptyQueryReturnsEmpty) {
   NewsLinkEngine engine(&world_.graph, &labels_, {});
-  engine.Index(SmallCorpus());
-  EXPECT_TRUE(engine.Search("", 5).empty());
+  ASSERT_TRUE(engine.Index(SmallCorpus()).ok());
+  EXPECT_TRUE(engine.Search({"", 5}).hits.empty());
 }
 
 TEST_F(EdgeCaseTest, StopwordOnlyQueryReturnsEmpty) {
   NewsLinkEngine engine(&world_.graph, &labels_, {});
-  engine.Index(SmallCorpus());
-  EXPECT_TRUE(engine.Search("the and of with", 5).empty());
+  ASSERT_TRUE(engine.Index(SmallCorpus()).ok());
+  EXPECT_TRUE(engine.Search({"the and of with", 5}).hits.empty());
 }
 
 TEST_F(EdgeCaseTest, KZeroReturnsEmpty) {
   NewsLinkEngine engine(&world_.graph, &labels_, {});
   const corpus::Corpus corpus = SmallCorpus();
-  engine.Index(corpus);
+  ASSERT_TRUE(engine.Index(corpus).ok());
   const std::string& text = corpus.doc(0).text;
-  EXPECT_TRUE(engine.Search(text.substr(0, 60), 0).empty());
+  EXPECT_TRUE(engine.Search({text.substr(0, 60), 0}).hits.empty());
 }
 
 TEST_F(EdgeCaseTest, QueryWithOnlyUnknownWordsAtBetaOne) {
   NewsLinkConfig config;
   config.beta = 1.0;
   NewsLinkEngine engine(&world_.graph, &labels_, config);
-  engine.Index(SmallCorpus());
+  ASSERT_TRUE(engine.Index(SmallCorpus()).ok());
   // Nothing links to the KG: BON side is empty and no results leak through.
-  EXPECT_TRUE(engine.Search("zzzz qqqq xxxx", 5).empty());
+  EXPECT_TRUE(engine.Search({"zzzz qqqq xxxx", 5}).hits.empty());
 }
 
 TEST_F(EdgeCaseTest, PunctuationOnlyDocumentIndexes) {
@@ -97,10 +97,10 @@ TEST_F(EdgeCaseTest, SearchExplainedOnBetaZero) {
   config.beta = 0.0;
   NewsLinkEngine engine(&world_.graph, &labels_, config);
   const corpus::Corpus corpus = SmallCorpus();
-  engine.Index(corpus);
+  ASSERT_TRUE(engine.Index(corpus).ok());
   const std::string& text = corpus.doc(1).text;
   const auto results =
-      engine.SearchExplained(text.substr(0, text.find('.') + 1), 3, 3);
+      engine.Search({.query = text.substr(0, text.find('.') + 1), .k = 3, .explain = true, .max_paths_per_result = 3}).hits;
   EXPECT_FALSE(results.empty());  // explanations still computed at beta=0
 }
 
@@ -146,8 +146,8 @@ TEST_F(EdgeCaseTest, EmptyLabelListNotFound) {
 TEST_F(EdgeCaseTest, LuceneEmptyCorpus) {
   baselines::LuceneLikeEngine engine;
   corpus::Corpus empty;
-  engine.Index(empty);
-  EXPECT_TRUE(engine.Search("anything", 3).empty());
+  ASSERT_TRUE(engine.Index(empty).ok());
+  EXPECT_TRUE(engine.Search({"anything", 3}).hits.empty());
 }
 
 TEST_F(EdgeCaseTest, VectorEngineSingleDocCorpus) {
@@ -157,8 +157,8 @@ TEST_F(EdgeCaseTest, VectorEngineSingleDocCorpus) {
   config.dim = 8;
   config.min_count = 1;
   baselines::SbertLikeEngine engine(config);
-  engine.Index(one);
-  const auto results = engine.Search("goal", 5);
+  ASSERT_TRUE(engine.Index(one).ok());
+  const auto results = engine.Search({"goal", 5}).hits;
   ASSERT_EQ(results.size(), 1u);
   EXPECT_EQ(results[0].doc_index, 0u);
 }
@@ -177,9 +177,9 @@ TEST_F(EdgeCaseTest, AdversarialDocumentsDoNotBreakIndexing) {
   std::string tabs = "Tab\tseparated\ttokens\tgalore.";
   corpus.Add({"f", "", tabs, 0});
   NewsLinkEngine engine(&world_.graph, &labels_, {});
-  engine.Index(corpus);
+  ASSERT_TRUE(engine.Index(corpus).ok());
   EXPECT_EQ(engine.num_indexed_docs(), 6u);
-  EXPECT_FALSE(engine.Search("word", 3).empty());
+  EXPECT_FALSE(engine.Search({"word", 3}).hits.empty());
 }
 
 }  // namespace

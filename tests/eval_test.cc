@@ -201,7 +201,7 @@ TEST_F(RunnerTest, LuceneScoresAreSane) {
   EvaluationRunner runner(&sc_.corpus, &split_, &ner_, &judge_);
   runner.Prepare();
   baselines::LuceneLikeEngine lucene;
-  lucene.Index(sc_.corpus);
+  ASSERT_TRUE(lucene.Index(sc_.corpus).ok());
   const EngineScores scores = runner.Evaluate(lucene);
   EXPECT_EQ(scores.engine, "Lucene");
   // Partial-sentence queries over this corpus must mostly recover Q.
@@ -230,7 +230,7 @@ TEST_F(UserStudyTest, FeaturesAndOutcomeAreConsistent) {
   NewsLinkConfig config;
   config.beta = 1.0;  // the paper's study uses embeddings only
   NewsLinkEngine engine(&kg_.graph, &index_, config);
-  engine.Index(sc_.corpus);
+  ASSERT_TRUE(engine.Index(sc_.corpus).ok());
 
   // The paper presented ten *curated* pairs; mirror that by keeping only
   // pairs whose embeddings contribute substantive induced context.
@@ -241,7 +241,7 @@ TEST_F(UserStudyTest, FeaturesAndOutcomeAreConsistent) {
   for (size_t d = 0; d < 40 && cases.size() < 10; ++d) {
     const std::string& text = sc_.corpus.doc(d).text;
     const std::string query = text.substr(0, text.find('.') + 1);
-    const auto results = engine.Search(query, 2);
+    const auto results = engine.Search({query, 2}).hits;
     if (results.empty()) continue;
     size_t r = results[0].doc_index;
     if (r == d && results.size() > 1) r = results[1].doc_index;
@@ -277,7 +277,7 @@ TEST_F(UserStudyTest, DeterministicOutcome) {
   NewsLinkConfig config;
   config.beta = 1.0;
   NewsLinkEngine engine(&kg_.graph, &index_, config);
-  engine.Index(sc_.corpus);
+  ASSERT_TRUE(engine.Index(sc_.corpus).ok());
   const embed::DocumentEmbedding& e0 = engine.doc_embedding(0);
   const embed::DocumentEmbedding& e1 = engine.doc_embedding(1);
   StudyCase c{sc_.corpus.doc(0).text, sc_.corpus.doc(1).text, &e0, &e1};

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "corpus/synthetic_news.h"
 #include "eval/ranking_metrics.h"
@@ -118,8 +119,8 @@ TEST(ClusterNearDuplicatesTest, DetectsSyntheticQuoteSiblings) {
 // Ranking metrics
 // ---------------------------------------------------------------------------
 
-std::vector<baselines::SearchResult> Results(std::vector<size_t> docs) {
-  std::vector<baselines::SearchResult> out;
+std::vector<baselines::SearchHit> Results(std::vector<size_t> docs) {
+  std::vector<baselines::SearchHit> out;
   double score = 1.0;
   for (size_t d : docs) {
     out.push_back({d, score});
@@ -178,7 +179,7 @@ class DiversifyTest : public ::testing::Test {
     news_ = corpus::SyntheticNewsGenerator(&world_, config).Generate("dv");
     engine_ = std::make_unique<NewsLinkEngine>(&world_.graph, &labels_,
                                                NewsLinkConfig{});
-    engine_->Index(news_.corpus);
+    NL_CHECK(engine_->Index(news_.corpus).ok());
   }
 
   static kg::SyntheticKg MakeWorld() {
@@ -208,7 +209,7 @@ TEST_F(DiversifyTest, JaccardProperties) {
 
 TEST_F(DiversifyTest, LambdaOneKeepsOriginalOrder) {
   const std::string& text = news_.corpus.doc(2).text;
-  const auto results = engine_->Search(text.substr(0, text.find('.') + 1), 8);
+  const auto results = engine_->Search({text.substr(0, text.find('.') + 1), 8}).hits;
   ASSERT_GE(results.size(), 3u);
   DiversifyOptions options;
   options.lambda = 1.0;
@@ -223,10 +224,10 @@ TEST_F(DiversifyTest, LambdaOneKeepsOriginalOrder) {
 TEST_F(DiversifyTest, DiversificationReducesStoryRepetition) {
   const std::string& text = news_.corpus.doc(2).text;
   const auto results =
-      engine_->Search(text.substr(0, text.find('.') + 1), 10);
+      engine_->Search({text.substr(0, text.find('.') + 1), 10}).hits;
   ASSERT_GE(results.size(), 5u);
 
-  auto stories_in_top = [&](const std::vector<baselines::SearchResult>& r,
+  auto stories_in_top = [&](const std::vector<baselines::SearchHit>& r,
                             size_t k) {
     std::set<uint32_t> stories;
     for (size_t i = 0; i < std::min(k, r.size()); ++i) {
@@ -244,7 +245,7 @@ TEST_F(DiversifyTest, DiversificationReducesStoryRepetition) {
 
 TEST_F(DiversifyTest, KLimitsOutput) {
   const std::string& text = news_.corpus.doc(4).text;
-  const auto results = engine_->Search(text.substr(0, text.find('.') + 1), 10);
+  const auto results = engine_->Search({text.substr(0, text.find('.') + 1), 10}).hits;
   DiversifyOptions options;
   options.k = 3;
   const auto diversified =

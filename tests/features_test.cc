@@ -91,7 +91,7 @@ class FeaturesTest : public ::testing::Test {
 
 TEST_F(FeaturesTest, ConciseExplainerRespectsBudgets) {
   NewsLinkEngine engine(&world_.graph, &labels_, {});
-  engine.Index(news_.corpus);
+  ASSERT_TRUE(engine.Index(news_.corpus).ok());
   embed::ConciseExplainer explainer(&world_.graph);
 
   embed::ConciseOptions options;
@@ -117,7 +117,7 @@ TEST_F(FeaturesTest, ConciseExplainerRespectsBudgets) {
 
 TEST_F(FeaturesTest, ConciseExplainerRanksNoveltyFirst) {
   NewsLinkEngine engine(&world_.graph, &labels_, {});
-  engine.Index(news_.corpus);
+  ASSERT_TRUE(engine.Index(news_.corpus).ok());
   embed::ConciseExplainer explainer(&world_.graph);
   embed::ConciseOptions options;
   options.max_paths = 8;
@@ -133,7 +133,7 @@ TEST_F(FeaturesTest, ConciseExplainerRanksNoveltyFirst) {
 
 TEST_F(FeaturesTest, RequireNovelInteriorFiltersDirectEdges) {
   NewsLinkEngine engine(&world_.graph, &labels_, {});
-  engine.Index(news_.corpus);
+  ASSERT_TRUE(engine.Index(news_.corpus).ok());
   embed::ConciseExplainer explainer(&world_.graph);
   embed::ConciseOptions options;
   options.require_novel_interior = true;
@@ -150,7 +150,7 @@ TEST_F(FeaturesTest, RequireNovelInteriorFiltersDirectEdges) {
 
 TEST_F(FeaturesTest, RenderBlockMentionsLabels) {
   NewsLinkEngine engine(&world_.graph, &labels_, {});
-  engine.Index(news_.corpus);
+  ASSERT_TRUE(engine.Index(news_.corpus).ok());
   embed::ConciseExplainer explainer(&world_.graph);
   const auto paths = explainer.Explain(engine.doc_embedding(0),
                                        engine.doc_embedding(1), {});
@@ -168,7 +168,7 @@ TEST_F(FeaturesTest, RenderBlockMentionsLabels) {
 
 TEST_F(FeaturesTest, EmbeddingStoreRoundTripsExactly) {
   NewsLinkEngine engine(&world_.graph, &labels_, {});
-  engine.Index(news_.corpus);
+  ASSERT_TRUE(engine.Index(news_.corpus).ok());
 
   const std::string path =
       (std::filesystem::temp_directory_path() / "ft_embeddings.txt").string();
@@ -199,7 +199,7 @@ TEST_F(FeaturesTest, EmbeddingStoreRoundTripsExactly) {
 
 TEST_F(FeaturesTest, IndexWithEmbeddingsMatchesFreshIndex) {
   NewsLinkEngine fresh(&world_.graph, &labels_, {});
-  fresh.Index(news_.corpus);
+  ASSERT_TRUE(fresh.Index(news_.corpus).ok());
 
   const std::string path =
       (std::filesystem::temp_directory_path() / "ft_emb2.txt").string();
@@ -213,8 +213,8 @@ TEST_F(FeaturesTest, IndexWithEmbeddingsMatchesFreshIndex) {
       restored.IndexWithEmbeddings(news_.corpus, std::move(*loaded)).ok());
 
   for (size_t d : {1u, 9u, 17u}) {
-    const auto a = fresh.Search(Sentence(d), 10);
-    const auto b = restored.Search(Sentence(d), 10);
+    const auto a = fresh.Search({Sentence(d), 10}).hits;
+    const auto b = restored.Search({Sentence(d), 10}).hits;
     ASSERT_EQ(a.size(), b.size());
     for (size_t i = 0; i < a.size(); ++i) {
       EXPECT_EQ(a[i].doc_index, b[i].doc_index);
@@ -232,7 +232,7 @@ TEST_F(FeaturesTest, IndexWithEmbeddingsRejectsMisalignedStore) {
 
 TEST_F(FeaturesTest, IncrementalAddDocumentIsSearchable) {
   NewsLinkEngine engine(&world_.graph, &labels_, {});
-  engine.Index(news_.corpus);
+  ASSERT_TRUE(engine.Index(news_.corpus).ok());
   const size_t before = engine.num_indexed_docs();
 
   corpus::Document extra;
@@ -243,7 +243,7 @@ TEST_F(FeaturesTest, IncrementalAddDocumentIsSearchable) {
   EXPECT_EQ(engine.num_indexed_docs(), before + 1);
 
   // The new document competes in search (it literally contains the query).
-  const auto results = engine.Search(Sentence(3), 10);
+  const auto results = engine.Search({Sentence(3), 10}).hits;
   bool found = false;
   for (const auto& r : results) {
     if (r.doc_index == index) found = true;
@@ -257,7 +257,7 @@ TEST_F(FeaturesTest, AddDocumentOnEmptyEngineWorks) {
   doc.id = "only";
   doc.text = Sentence(0);
   EXPECT_EQ(engine.AddDocument(doc), 0u);
-  const auto results = engine.Search(Sentence(0), 3);
+  const auto results = engine.Search({Sentence(0), 3}).hits;
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results[0].doc_index, 0u);
 }

@@ -72,13 +72,13 @@ TEST_F(IntegrationTest, FullPersistenceRoundTripPreservesSearch) {
   kg::LabelIndex labels2(*kg2);
 
   NewsLinkEngine original(&world_.graph, &labels_, {});
-  original.Index(news_.corpus);
+  ASSERT_TRUE(original.Index(news_.corpus).ok());
   NewsLinkEngine reloaded(&*kg2, &labels2, {});
-  reloaded.Index(*corpus2);
+  ASSERT_TRUE(reloaded.Index(*corpus2).ok());
 
   for (size_t d : {0u, 5u, 11u}) {
-    const auto a = original.Search(Sentence(d), 10);
-    const auto b = reloaded.Search(Sentence(d), 10);
+    const auto a = original.Search({Sentence(d), 10}).hits;
+    const auto b = reloaded.Search({Sentence(d), 10}).hits;
     ASSERT_EQ(a.size(), b.size());
     for (size_t i = 0; i < a.size(); ++i) {
       EXPECT_EQ(a[i].doc_index, b[i].doc_index);
@@ -89,18 +89,18 @@ TEST_F(IntegrationTest, FullPersistenceRoundTripPreservesSearch) {
 
 TEST_F(IntegrationTest, AllEnginesReturnValidResults) {
   baselines::LuceneLikeEngine lucene;
-  lucene.Index(news_.corpus);
+  ASSERT_TRUE(lucene.Index(news_.corpus).ok());
   text::GazetteerNer ner(&labels_);
   baselines::QeprfEngine qeprf(&world_.graph, &labels_, &ner);
-  qeprf.Index(news_.corpus);
+  ASSERT_TRUE(qeprf.Index(news_.corpus).ok());
   NewsLinkEngine newslink(&world_.graph, &labels_, {});
-  newslink.Index(news_.corpus);
+  ASSERT_TRUE(newslink.Index(news_.corpus).ok());
 
   const std::string query = Sentence(20);
   for (baselines::SearchEngine* engine :
        std::initializer_list<baselines::SearchEngine*>{&lucene, &qeprf,
                                                        &newslink}) {
-    const auto results = engine->Search(query, 7);
+    const auto results = engine->Search({query, 7}).hits;
     EXPECT_LE(results.size(), 7u) << engine->name();
     std::set<size_t> seen;
     for (const auto& r : results) {
@@ -116,8 +116,8 @@ TEST_F(IntegrationTest, AllEnginesReturnValidResults) {
 
 TEST_F(IntegrationTest, ExplainedPathsUseRealGraphElements) {
   NewsLinkEngine engine(&world_.graph, &labels_, {});
-  engine.Index(news_.corpus);
-  const auto results = engine.SearchExplained(Sentence(8), 5, 4);
+  ASSERT_TRUE(engine.Index(news_.corpus).ok());
+  const auto results = engine.Search({.query = Sentence(8), .k = 5, .explain = true, .max_paths_per_result = 4}).hits;
   ASSERT_FALSE(results.empty());
   for (const ExplainedResult& r : results) {
     for (const embed::RelationshipPath& p : r.paths) {
@@ -158,7 +158,7 @@ TEST_F(IntegrationTest, EndToEndEvaluationRuns) {
   runner.Prepare();
 
   NewsLinkEngine engine(&world_.graph, &labels_, {});
-  engine.Index(news_.corpus);
+  ASSERT_TRUE(engine.Index(news_.corpus).ok());
   const eval::EngineScores scores = runner.Evaluate(engine);
   // Smoke-level sanity on a small corpus: most queries recover Q in top-5.
   EXPECT_GT(scores.density.hit_at.at(5), 0.6);
@@ -175,11 +175,11 @@ TEST_F(IntegrationTest, WholePipelineIsDeterministic) {
     corpus::SyntheticCorpus news =
         corpus::SyntheticNewsGenerator(&world, config).Generate("it");
     NewsLinkEngine engine(&world.graph, &labels, {});
-    engine.Index(news.corpus);
+    EXPECT_TRUE(engine.Index(news.corpus).ok());
     std::string signature;
     const std::string& text = news.corpus.doc(13).text;
     for (const auto& r :
-         engine.Search(text.substr(0, text.find('.') + 1), 10)) {
+         engine.Search({text.substr(0, text.find('.') + 1), 10}).hits) {
       signature += std::to_string(r.doc_index) + ":" +
                    std::to_string(r.score) + ";";
     }

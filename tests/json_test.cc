@@ -1,0 +1,137 @@
+// common/json: the wire document model. Round trips must be lossless for
+// every shape the /v1 protocol uses, the writer must emit valid JSON for
+// hostile strings, and the strict parser must reject malformed documents
+// with a useful byte offset instead of guessing.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace newslink {
+namespace json {
+namespace {
+
+/// Parse `text` or fail the test with the parser's message.
+Value MustParse(const std::string& text) {
+  Result<Value> parsed = Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << " for " << text;
+  return parsed.ok() ? std::move(parsed).value() : Value();
+}
+
+TEST(JsonWriterTest, Scalars) {
+  EXPECT_EQ(Value::Null().Dump(), "null");
+  EXPECT_EQ(Value::Bool(true).Dump(), "true");
+  EXPECT_EQ(Value::Bool(false).Dump(), "false");
+  EXPECT_EQ(Value::Str("hi").Dump(), "\"hi\"");
+  EXPECT_EQ(Value::Number(1.5).Dump(), "1.5");
+}
+
+TEST(JsonWriterTest, IntegralNumbersRenderWithoutDecimalPoint) {
+  EXPECT_EQ(Value::Int(0).Dump(), "0");
+  EXPECT_EQ(Value::Int(-42).Dump(), "-42");
+  EXPECT_EQ(Value::Uint(9007199254740992ull).Dump(), "9007199254740992");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersRenderAsNull) {
+  EXPECT_EQ(Value::Number(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(Value::Number(std::numeric_limits<double>::quiet_NaN()).Dump(),
+            "null");
+}
+
+TEST(JsonWriterTest, EscapesQuotesBackslashesAndControlBytes) {
+  EXPECT_EQ(Value::Str("a\"b\\c").Dump(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(Value::Str("line\nbreak\ttab").Dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(Value::Str(std::string("nul\0byte", 8)).Dump(),
+            "\"nul\\u0000byte\"");
+}
+
+TEST(JsonWriterTest, Utf8PassesThroughVerbatim) {
+  const std::string s = "caf\xc3\xa9 \xe2\x86\x92 \xf0\x9f\x97\x9e";
+  EXPECT_EQ(Value::Str(s).Dump(), "\"" + s + "\"");
+}
+
+TEST(JsonWriterTest, ObjectsPreserveInsertionOrder) {
+  Value v = Value::Object();
+  v.Set("zebra", Value::Int(1));
+  v.Set("alpha", Value::Int(2));
+  v.Set("mid", Value::Str("x"));
+  EXPECT_EQ(v.Dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":\"x\"}");
+}
+
+TEST(JsonParserTest, ScalarsAndWhitespace) {
+  EXPECT_TRUE(MustParse(" null ").is_null());
+  EXPECT_TRUE(MustParse("true").AsBool());
+  EXPECT_FALSE(MustParse("false").AsBool(true));
+  EXPECT_DOUBLE_EQ(MustParse("-2.75e2").AsDouble(), -275.0);
+  EXPECT_EQ(MustParse("\t42\n").AsInt(), 42);
+  EXPECT_TRUE(MustParse("17").integral());
+  EXPECT_FALSE(MustParse("17.5").integral());
+}
+
+TEST(JsonParserTest, DecodesEscapesAndSurrogatePairs) {
+  EXPECT_EQ(MustParse("\"a\\u0041\\n\"").AsString(), "aA\n");
+  // U+1F5DE (rolled-up newspaper) as a surrogate pair.
+  EXPECT_EQ(MustParse("\"\\ud83d\\uddde\"").AsString(), "\xf0\x9f\x97\x9e");
+}
+
+TEST(JsonParserTest, NestedDocument) {
+  const Value v = MustParse(
+      "{\"hits\": [{\"doc_index\": 3, \"score\": 0.5, "
+      "\"paths\": [\"a\", \"b\"]}], \"epoch\": 2}");
+  const Value* hits = v.Find("hits");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(hits->at(0).Find("doc_index")->AsUint(), 3u);
+  EXPECT_EQ(hits->at(0).Find("paths")->size(), 2u);
+  EXPECT_EQ(v.Find("epoch")->AsUint(), 2u);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, RoundTripIsStable) {
+  const std::string wire =
+      "{\"query\":\"berlin \\\"wall\\\"\",\"k\":10,\"beta\":0.25,"
+      "\"flags\":[true,false,null],\"nested\":{\"deep\":[1,2,3]}}";
+  const Value once = MustParse(wire);
+  EXPECT_EQ(once.Dump(), wire);
+  EXPECT_EQ(MustParse(once.Dump()).Dump(), wire);
+}
+
+TEST(JsonParserTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",          "{",        "[1,",       "{\"a\":}",  "nul",
+      "tru",       "01",       "+1",        "1.",        "\"unterminated",
+      "\"\\q\"",   "{'a':1}",  "[1 2]",     "{\"a\" 1}", "\"\\ud83d\"",
+      "{\"a\":1,}"};
+  for (const char* text : bad) {
+    EXPECT_FALSE(Parse(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Parse("{} {}").ok());
+  EXPECT_FALSE(Parse("1 1").ok());
+  EXPECT_FALSE(Parse("null x").ok());
+}
+
+TEST(JsonParserTest, EnforcesDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 8; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 8; ++i) deep += "]";
+  EXPECT_TRUE(Parse(deep, /*max_depth=*/8).ok());
+  EXPECT_FALSE(Parse(deep, /*max_depth=*/7).ok());
+}
+
+TEST(JsonParserTest, ErrorsCarryByteOffset) {
+  const Result<Value> r = Parse("{\"a\": nope}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("at byte"), std::string::npos)
+      << r.status().ToString();
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace newslink

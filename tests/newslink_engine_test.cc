@@ -58,7 +58,7 @@ TEST_F(NewsLinkEngineTest, NameReflectsConfig) {
 
 TEST_F(NewsLinkEngineTest, IndexEmbedsMostDocuments) {
   NewsLinkEngine engine = MakeEngine(0.2);
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
   EXPECT_EQ(engine.num_indexed_docs(), corpus_.corpus.size());
   // The paper reports 91-96% corpus coverage; our generator should match.
   EXPECT_GT(engine.EmbeddedDocumentFraction(), 0.9);
@@ -66,11 +66,11 @@ TEST_F(NewsLinkEngineTest, IndexEmbedsMostDocuments) {
 
 TEST_F(NewsLinkEngineTest, PartialQueryRecoversSourceDocument) {
   NewsLinkEngine engine = MakeEngine(0.2);
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
   size_t hits = 0;
   const size_t trials = 20;
   for (size_t d = 0; d < trials; ++d) {
-    const auto results = engine.Search(FirstSentenceOf(d), 5);
+    const auto results = engine.Search({FirstSentenceOf(d), 5}).hits;
     for (const auto& r : results) {
       if (r.doc_index == d) {
         ++hits;
@@ -83,14 +83,14 @@ TEST_F(NewsLinkEngineTest, PartialQueryRecoversSourceDocument) {
 
 TEST_F(NewsLinkEngineTest, BetaZeroMatchesLuceneRanking) {
   NewsLinkEngine engine = MakeEngine(0.0);
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
   baselines::LuceneLikeEngine lucene;
-  lucene.Index(corpus_.corpus);
+  ASSERT_TRUE(lucene.Index(corpus_.corpus).ok());
 
   for (size_t d = 0; d < 10; ++d) {
     const std::string q = FirstSentenceOf(d);
-    const auto a = engine.Search(q, 5);
-    const auto b = lucene.Search(q, 5);
+    const auto a = engine.Search({q, 5}).hits;
+    const auto b = lucene.Search({q, 5}).hits;
     ASSERT_EQ(a.size(), b.size());
     for (size_t i = 0; i < a.size(); ++i) {
       EXPECT_EQ(a[i].doc_index, b[i].doc_index)
@@ -101,15 +101,15 @@ TEST_F(NewsLinkEngineTest, BetaZeroMatchesLuceneRanking) {
 
 TEST_F(NewsLinkEngineTest, PureBonSearchWorks) {
   NewsLinkEngine engine = MakeEngine(1.0);
-  engine.Index(corpus_.corpus);
-  const auto results = engine.Search(FirstSentenceOf(3), 5);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
+  const auto results = engine.Search({FirstSentenceOf(3), 5}).hits;
   EXPECT_FALSE(results.empty());
 }
 
 TEST_F(NewsLinkEngineTest, ScoresAreDescending) {
   NewsLinkEngine engine = MakeEngine(0.2);
-  engine.Index(corpus_.corpus);
-  const auto results = engine.Search(FirstSentenceOf(0), 10);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
+  const auto results = engine.Search({FirstSentenceOf(0), 10}).hits;
   for (size_t i = 1; i < results.size(); ++i) {
     EXPECT_LE(results[i].score, results[i - 1].score);
   }
@@ -118,8 +118,8 @@ TEST_F(NewsLinkEngineTest, ScoresAreDescending) {
 TEST_F(NewsLinkEngineTest, FusedScoresBoundedByOne) {
   // Both sides are max-normalized, so a fused score is at most 1.
   NewsLinkEngine engine = MakeEngine(0.5);
-  engine.Index(corpus_.corpus);
-  for (const auto& r : engine.Search(FirstSentenceOf(0), 10)) {
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
+  for (const auto& r : engine.Search({FirstSentenceOf(0), 10}).hits) {
     EXPECT_LE(r.score, 1.0 + 1e-9);
     EXPECT_GE(r.score, 0.0);
   }
@@ -127,8 +127,8 @@ TEST_F(NewsLinkEngineTest, FusedScoresBoundedByOne) {
 
 TEST_F(NewsLinkEngineTest, SearchExplainedAttachesPaths) {
   NewsLinkEngine engine = MakeEngine(0.2);
-  engine.Index(corpus_.corpus);
-  const auto results = engine.SearchExplained(FirstSentenceOf(5), 3, 4);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
+  const auto results = engine.Search({.query = FirstSentenceOf(5), .k = 3, .explain = true, .max_paths_per_result = 4}).hits;
   ASSERT_FALSE(results.empty());
   bool any_paths = false;
   for (const auto& r : results) {
@@ -152,7 +152,7 @@ TEST_F(NewsLinkEngineTest, EmbedTextProducesEmbeddingForEntitySentence) {
 
 TEST_F(NewsLinkEngineTest, IndexStageHistogramsCoverAllComponents) {
   NewsLinkEngine engine = MakeEngine(0.2);
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
   const metrics::Registry& metrics = engine.Metrics();
   const uint64_t docs = corpus_.corpus.size();
   EXPECT_EQ(metrics.FindHistogram(kIndexNlpSeconds)->Count(), docs);
@@ -163,9 +163,9 @@ TEST_F(NewsLinkEngineTest, IndexStageHistogramsCoverAllComponents) {
 
 TEST_F(NewsLinkEngineTest, QueryStageHistogramsAccumulatePerQuery) {
   NewsLinkEngine engine = MakeEngine(0.2);
-  engine.Index(corpus_.corpus);
-  engine.Search(FirstSentenceOf(0), 5);
-  engine.Search(FirstSentenceOf(1), 5);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
+  engine.Search({FirstSentenceOf(0), 5}).hits;
+  engine.Search({FirstSentenceOf(1), 5}).hits;
   const metrics::Registry& metrics = engine.Metrics();
   EXPECT_EQ(metrics.FindHistogram(kQueryNlpSeconds)->Count(), 2u);
   EXPECT_EQ(metrics.FindHistogram(kQueryNeSeconds)->Count(), 2u);
@@ -178,7 +178,7 @@ TEST_F(NewsLinkEngineTest, QueryStageHistogramsAccumulatePerQuery) {
 
 TEST_F(NewsLinkEngineTest, TraceSpansCoverEveryFusedQueryStage) {
   NewsLinkEngine engine = MakeEngine(0.2);
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
 
   baselines::SearchRequest request;
   request.query = FirstSentenceOf(0);
@@ -227,7 +227,7 @@ TEST_F(NewsLinkEngineTest, TraceSpansCoverEveryFusedQueryStage) {
 
 TEST_F(NewsLinkEngineTest, TraceIsOptInAndNeSkipNoted) {
   NewsLinkEngine engine = MakeEngine(0.0);
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
 
   baselines::SearchRequest request;
   request.query = FirstSentenceOf(1);
@@ -253,9 +253,9 @@ TEST_F(NewsLinkEngineTest, SlowQueryLogRecordsTraceAboveThreshold) {
   config.slow_query_threshold_seconds = 1e-9;  // everything is "slow"
   config.slow_query_log_capacity = 4;
   NewsLinkEngine engine(&kg_.graph, &index_, config);
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
 
-  for (size_t d = 0; d < 6; ++d) engine.Search(FirstSentenceOf(d), 3);
+  for (size_t d = 0; d < 6; ++d) engine.Search({FirstSentenceOf(d), 3}).hits;
   EXPECT_EQ(engine.slow_query_log().size(), 4u);  // bounded at capacity
   const std::vector<SlowQueryRecord> entries = engine.slow_query_log().Entries();
   EXPECT_EQ(entries.back().query, FirstSentenceOf(5));
@@ -265,16 +265,16 @@ TEST_F(NewsLinkEngineTest, SlowQueryLogRecordsTraceAboveThreshold) {
 
   // Disabled by default: no records, no overhead.
   NewsLinkEngine quiet = MakeEngine(0.2);
-  quiet.Index(corpus_.corpus);
-  quiet.Search(FirstSentenceOf(0), 3);
+  ASSERT_TRUE(quiet.Index(corpus_.corpus).ok());
+  quiet.Search({FirstSentenceOf(0), 3}).hits;
   EXPECT_EQ(quiet.slow_query_log().size(), 0u);
 }
 
 TEST_F(NewsLinkEngineTest, TreeEmbedderModeIndexesAndSearches) {
   NewsLinkEngine engine = MakeEngine(0.2, EmbedderKind::kTree);
-  engine.Index(corpus_.corpus);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
   EXPECT_GT(engine.EmbeddedDocumentFraction(), 0.9);
-  const auto results = engine.Search(FirstSentenceOf(2), 5);
+  const auto results = engine.Search({FirstSentenceOf(2), 5}).hits;
   EXPECT_FALSE(results.empty());
 }
 
@@ -283,8 +283,8 @@ TEST_F(NewsLinkEngineTest, TreeEmbeddingsAreSmallerThanLcag) {
   // so LCAG embeddings must have at least as many nodes on average.
   NewsLinkEngine lcag = MakeEngine(1.0);
   NewsLinkEngine tree = MakeEngine(1.0, EmbedderKind::kTree);
-  lcag.Index(corpus_.corpus);
-  tree.Index(corpus_.corpus);
+  ASSERT_TRUE(lcag.Index(corpus_.corpus).ok());
+  ASSERT_TRUE(tree.Index(corpus_.corpus).ok());
   size_t lcag_nodes = 0, tree_nodes = 0;
   for (size_t i = 0; i < corpus_.corpus.size(); ++i) {
     lcag_nodes += lcag.doc_embedding(i).num_distinct_nodes();
@@ -296,10 +296,10 @@ TEST_F(NewsLinkEngineTest, TreeEmbeddingsAreSmallerThanLcag) {
 TEST_F(NewsLinkEngineTest, DeterministicAcrossRuns) {
   NewsLinkEngine a = MakeEngine(0.2);
   NewsLinkEngine b = MakeEngine(0.2);
-  a.Index(corpus_.corpus);
-  b.Index(corpus_.corpus);
-  const auto ra = a.Search(FirstSentenceOf(4), 10);
-  const auto rb = b.Search(FirstSentenceOf(4), 10);
+  ASSERT_TRUE(a.Index(corpus_.corpus).ok());
+  ASSERT_TRUE(b.Index(corpus_.corpus).ok());
+  const auto ra = a.Search({FirstSentenceOf(4), 10}).hits;
+  const auto rb = b.Search({FirstSentenceOf(4), 10}).hits;
   ASSERT_EQ(ra.size(), rb.size());
   for (size_t i = 0; i < ra.size(); ++i) {
     EXPECT_EQ(ra[i].doc_index, rb[i].doc_index);

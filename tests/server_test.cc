@@ -1,0 +1,420 @@
+// End-to-end tests for the serving subsystem over real loopback sockets:
+// /v1/search parity with the in-process engine (hits, scores, paths,
+// epoch), live ingestion through /v1/documents, the Prometheus scrape,
+// admission control, malformed bodies (4xx — never a crash), routing
+// fallbacks, searches racing ingestion, and graceful drain under load.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "corpus/synthetic_news.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+#include "net/drain.h"
+#include "net/http_server.h"
+#include "net/search_service.h"
+#include "newslink/newslink_engine.h"
+
+namespace newslink {
+namespace net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A deliberately tiny HTTP client: one request per connection, read to EOF.
+// ---------------------------------------------------------------------------
+
+std::string RawExchange(uint16_t port, const std::string& wire) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string reply;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    reply.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+std::string Request(uint16_t port, const std::string& method,
+                    const std::string& target, const std::string& body = "") {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: 127.0.0.1\r\nConnection: close\r\n";
+  if (!body.empty()) {
+    wire += "Content-Type: application/json\r\n";
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n" + body;
+  return RawExchange(port, wire);
+}
+
+int StatusOf(const std::string& reply) {
+  if (reply.size() < 12 || reply.compare(0, 9, "HTTP/1.1 ") != 0) return -1;
+  return std::atoi(reply.c_str() + 9);
+}
+
+std::string BodyOf(const std::string& reply) {
+  const size_t sep = reply.find("\r\n\r\n");
+  return sep == std::string::npos ? "" : reply.substr(sep + 4);
+}
+
+json::Value JsonBodyOf(const std::string& reply) {
+  Result<json::Value> v = json::Parse(BodyOf(reply));
+  EXPECT_TRUE(v.ok()) << v.status().ToString() << "\nreply: " << reply;
+  return v.ok() ? std::move(v).value() : json::Value();
+}
+
+// ---------------------------------------------------------------------------
+// Fixture: a small indexed engine behind a loopback server.
+// ---------------------------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : kg_(MakeKg()), labels_(kg_.graph) {
+    corpus::SyntheticNewsConfig config = corpus::CnnLikeConfig();
+    config.num_stories = 12;
+    news_ = corpus::SyntheticNewsGenerator(&kg_, config).Generate("sv");
+    corpus_ = news_.corpus;
+
+    NewsLinkConfig engine_config;
+    engine_config.beta = 0.2;
+    engine_config.num_threads = 2;
+    engine_ = std::make_unique<NewsLinkEngine>(&kg_.graph, &labels_,
+                                               engine_config);
+    NL_CHECK(engine_->Index(corpus_).ok());
+  }
+
+  static kg::SyntheticKg MakeKg() {
+    kg::SyntheticKgConfig config;
+    config.seed = 909;
+    config.num_countries = 2;
+    return kg::SyntheticKgGenerator(config).Generate();
+  }
+
+  /// Start the /v1 API on an ephemeral loopback port.
+  void StartServer(SearchServiceOptions service_options = {}) {
+    service_ = std::make_unique<SearchService>(engine_.get(), &corpus_,
+                                               &kg_.graph, service_options);
+    HttpServerOptions options;
+    options.port = 0;
+    options.num_workers = 4;
+    server_ =
+        std::make_unique<HttpServer>(options, engine_->mutable_metrics());
+    service_->RegisterRoutes(server_.get());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+  }
+
+  std::string QueryFor(size_t doc) const {
+    const std::string& text = corpus_.doc(doc).text;
+    return text.substr(0, text.find('.') + 1);
+  }
+
+  kg::SyntheticKg kg_;
+  kg::LabelIndex labels_;
+  corpus::SyntheticCorpus news_;
+  corpus::Corpus corpus_;
+  std::unique_ptr<NewsLinkEngine> engine_;
+  std::unique_ptr<SearchService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(ServerTest, SearchOverSocketMatchesInProcessSearch) {
+  StartServer();
+
+  baselines::SearchRequest request;
+  request.query = QueryFor(3);
+  request.k = 5;
+  request.explain = true;
+  request.max_paths_per_result = 3;
+  const baselines::SearchResponse expected = engine_->Search(request);
+  ASSERT_FALSE(expected.hits.empty());
+
+  json::Value wire = json::Value::Object();
+  wire.Set("query", json::Value::Str(request.query));
+  wire.Set("k", json::Value::Uint(request.k));
+  wire.Set("explain", json::Value::Bool(true));
+  wire.Set("max_paths", json::Value::Uint(request.max_paths_per_result));
+  const std::string reply =
+      Request(server_->port(), "POST", "/v1/search", wire.Dump());
+  ASSERT_EQ(StatusOf(reply), 200) << reply;
+
+  const json::Value body = JsonBodyOf(reply);
+  EXPECT_EQ(body.Find("epoch")->AsUint(), expected.epoch);
+  EXPECT_EQ(body.Find("snapshot_docs")->AsUint(), expected.snapshot_docs);
+  const json::Value* hits = body.Find("hits");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_EQ(hits->size(), expected.hits.size());
+  for (size_t i = 0; i < expected.hits.size(); ++i) {
+    const json::Value& hit = hits->at(i);
+    const baselines::SearchHit& want = expected.hits[i];
+    EXPECT_EQ(hit.Find("doc_index")->AsUint(), want.doc_index) << "hit " << i;
+    // The writer emits the shortest round-tripping decimal, so the parsed
+    // score is bit-identical to the in-process double.
+    EXPECT_EQ(hit.Find("score")->AsDouble(), want.score) << "hit " << i;
+    EXPECT_EQ(hit.Find("doc_id")->AsString(), corpus_.doc(want.doc_index).id);
+    const json::Value* paths = hit.Find("paths");
+    if (want.paths.empty()) {
+      EXPECT_EQ(paths, nullptr);
+    } else {
+      ASSERT_NE(paths, nullptr) << "hit " << i;
+      ASSERT_EQ(paths->size(), want.paths.size());
+      for (size_t p = 0; p < want.paths.size(); ++p) {
+        EXPECT_EQ(paths->at(p).Find("rendered")->AsString(),
+                  want.paths[p].Render(kg_.graph));
+      }
+    }
+  }
+}
+
+TEST_F(ServerTest, BatchedSearchAnswersEveryRequestInOrder) {
+  StartServer();
+  json::Value batch = json::Value::Array();
+  for (size_t d = 0; d < 3; ++d) {
+    json::Value one = json::Value::Object();
+    one.Set("query", json::Value::Str(QueryFor(d)));
+    one.Set("k", json::Value::Uint(4));
+    batch.Append(std::move(one));
+  }
+  const std::string reply =
+      Request(server_->port(), "POST", "/v1/search", batch.Dump());
+  ASSERT_EQ(StatusOf(reply), 200) << reply;
+  const json::Value body = JsonBodyOf(reply);
+  ASSERT_TRUE(body.is_array());
+  ASSERT_EQ(body.size(), 3u);
+  for (size_t d = 0; d < 3; ++d) {
+    const baselines::SearchResponse expected =
+        engine_->Search({QueryFor(d), 4});
+    const json::Value* hits = body.at(d).Find("hits");
+    ASSERT_NE(hits, nullptr);
+    ASSERT_EQ(hits->size(), expected.hits.size());
+    for (size_t i = 0; i < expected.hits.size(); ++i) {
+      EXPECT_EQ(hits->at(i).Find("doc_index")->AsUint(),
+                expected.hits[i].doc_index);
+    }
+  }
+
+  // Empty and oversized batches are client errors.
+  EXPECT_EQ(StatusOf(Request(server_->port(), "POST", "/v1/search", "[]")),
+            400);
+}
+
+TEST_F(ServerTest, IngestPublishesNewEpochAndDocBecomesVisible) {
+  StartServer();
+  const uint64_t epoch_before =
+      JsonBodyOf(Request(server_->port(), "GET", "/v1/stats"))
+          .Find("epoch")
+          ->AsUint();
+  const size_t docs_before = corpus_.size();
+
+  json::Value doc = json::Value::Object();
+  doc.Set("title", json::Value::Str("Breaking"));
+  doc.Set("text", json::Value::Str(corpus_.doc(0).text));
+  const std::string reply =
+      Request(server_->port(), "POST", "/v1/documents", doc.Dump());
+  ASSERT_EQ(StatusOf(reply), 201) << reply;
+  const json::Value created = JsonBodyOf(reply);
+  EXPECT_EQ(created.Find("doc_index")->AsUint(), docs_before);
+  EXPECT_EQ(created.Find("doc_id")->AsString(),
+            "live-" + std::to_string(docs_before));
+  EXPECT_GT(created.Find("epoch")->AsUint(), epoch_before);
+
+  // The new snapshot must cover the ingested document.
+  json::Value probe = json::Value::Object();
+  probe.Set("query", json::Value::Str(QueryFor(0)));
+  probe.Set("k", json::Value::Uint(3));
+  const json::Value search = JsonBodyOf(
+      Request(server_->port(), "POST", "/v1/search", probe.Dump()));
+  EXPECT_EQ(search.Find("snapshot_docs")->AsUint(), docs_before + 1);
+}
+
+TEST_F(ServerTest, MetricsHealthAndStatsEndpoints) {
+  StartServer();
+  // Run one query so the engine series are non-trivial.
+  json::Value probe = json::Value::Object();
+  probe.Set("query", json::Value::Str(QueryFor(1)));
+  ASSERT_EQ(StatusOf(Request(server_->port(), "POST", "/v1/search",
+                             probe.Dump())),
+            200);
+
+  const std::string scrape = Request(server_->port(), "GET", "/metrics");
+  EXPECT_EQ(StatusOf(scrape), 200);
+  EXPECT_NE(scrape.find("text/plain"), std::string::npos);
+  const std::string exposition = BodyOf(scrape);
+  EXPECT_NE(exposition.find(std::string(baselines::kEngineQueries)),
+            std::string::npos);
+  EXPECT_NE(exposition.find(std::string(kHttpRequests)), std::string::npos);
+
+  const json::Value health =
+      JsonBodyOf(Request(server_->port(), "GET", "/healthz"));
+  EXPECT_EQ(health.Find("status")->AsString(), "ok");
+
+  const json::Value stats =
+      JsonBodyOf(Request(server_->port(), "GET", "/v1/stats"));
+  EXPECT_EQ(stats.Find("docs")->AsUint(), corpus_.size());
+  ASSERT_NE(stats.Find("metrics"), nullptr);
+  EXPECT_TRUE(stats.Find("metrics")->is_object());
+}
+
+TEST_F(ServerTest, MalformedBodiesAreClientErrorsNotCrashes) {
+  StartServer();
+  const uint16_t port = server_->port();
+  EXPECT_EQ(StatusOf(Request(port, "POST", "/v1/search", "{not json")), 400);
+  EXPECT_EQ(StatusOf(Request(port, "POST", "/v1/search", "{}")), 400);
+  EXPECT_EQ(StatusOf(Request(port, "POST", "/v1/search",
+                             "{\"query\":\"q\",\"zzz\":1}")),
+            400);
+  EXPECT_EQ(StatusOf(Request(port, "POST", "/v1/documents", "{\"id\":\"x\"}")),
+            400);
+  EXPECT_EQ(StatusOf(Request(port, "GET", "/nope")), 404);
+  EXPECT_EQ(StatusOf(Request(port, "GET", "/v1/search")), 405);
+  // Transport-level garbage gets an HTTP error, and the server survives.
+  const std::string garbage = RawExchange(port, "]]]]\r\n\r\n");
+  EXPECT_GE(StatusOf(garbage), 400);
+  EXPECT_EQ(StatusOf(Request(port, "GET", "/healthz")), 200);
+}
+
+TEST_F(ServerTest, AdmissionControlShedsLoadWith503) {
+  SearchServiceOptions options;
+  options.max_inflight_searches = 0;  // reject-all mode
+  StartServer(options);
+  json::Value probe = json::Value::Object();
+  probe.Set("query", json::Value::Str(QueryFor(0)));
+  const std::string reply =
+      Request(server_->port(), "POST", "/v1/search", probe.Dump());
+  EXPECT_EQ(StatusOf(reply), 503) << reply;
+  EXPECT_GE(engine_->Metrics().CounterValue(kSearchRejected), 1u);
+  // Malformed bodies still cost a 400, not an admission slot.
+  EXPECT_EQ(StatusOf(Request(server_->port(), "POST", "/v1/search", "nope")),
+            400);
+}
+
+TEST_F(ServerTest, ConcurrentSearchesWhileIngesting) {
+  StartServer();
+  const uint16_t port = server_->port();
+  constexpr int kReaders = 3;
+  constexpr int kQueriesPerReader = 6;
+  std::atomic<int> failures{0};
+
+  std::thread writer([&] {
+    for (int d = 0; d < 5; ++d) {
+      json::Value doc = json::Value::Object();
+      doc.Set("text", json::Value::Str(corpus_.doc(d % 3).text));
+      if (StatusOf(Request(port, "POST", "/v1/documents", doc.Dump())) !=
+          201) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerReader; ++q) {
+        json::Value probe = json::Value::Object();
+        probe.Set("query", json::Value::Str(QueryFor((t + q) % 8)));
+        probe.Set("k", json::Value::Uint(5));
+        const std::string reply =
+            Request(port, "POST", "/v1/search", probe.Dump());
+        if (StatusOf(reply) != 200) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Snapshot isolation, observed through the wire: every hit must be
+        // covered by the response's own snapshot.
+        const json::Value body = JsonBodyOf(reply);
+        const uint64_t snapshot_docs = body.Find("snapshot_docs")->AsUint();
+        for (const json::Value& hit : body.Find("hits")->items()) {
+          if (hit.Find("doc_index")->AsUint() >= snapshot_docs) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ServerTest, GracefulDrainFinishesInflightThenRefuses) {
+  StartServer();
+  const uint16_t port = server_->port();
+
+  // Keep a stream of requests in flight while another thread drains.
+  std::atomic<bool> stop{false};
+  std::atomic<int> ok{0}, refused{0}, broken{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 2; ++t) {
+    clients.emplace_back([&, t] {
+      json::Value probe = json::Value::Object();
+      probe.Set("query", json::Value::Str(QueryFor(t)));
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::string reply =
+            Request(port, "POST", "/v1/search", probe.Dump());
+        const int status = StatusOf(reply);
+        if (status == 200) {
+          ok.fetch_add(1);
+        } else if (status == 503) {
+          refused.fetch_add(1);
+        } else {
+          // Empty replies are connections the drain already refused.
+          broken.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Let the clients land a few successful queries first.
+  while (ok.load() < 3) std::this_thread::yield();
+
+  server_->Shutdown();
+  EXPECT_FALSE(server_->running());
+  stop.store(true, std::memory_order_release);
+  for (std::thread& c : clients) c.join();
+  EXPECT_GE(ok.load(), 3);
+
+  // After drain, the port no longer accepts work.
+  EXPECT_EQ(StatusOf(Request(port, "GET", "/healthz")), -1);
+}
+
+TEST(DrainSignalTest, TriggerUnblocksWaitAndLatches) {
+  DrainSignal& drain = DrainSignal::Instance();
+  ASSERT_TRUE(drain.Install().ok());
+  std::thread waiter([&] { drain.Wait(); });
+  drain.Trigger();
+  waiter.join();
+  EXPECT_TRUE(drain.signaled());
+  drain.Wait();  // already signaled: returns immediately
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace newslink

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "common/binary_io.h"
 #include "common/snapshot_file.h"
 #include "corpus/corpus.h"
@@ -48,7 +49,7 @@ struct SharedState {
         labels(world.graph),
         news(MakeNews(&world)),
         engine(&world.graph, &labels, NewsLinkConfig{}) {
-    engine.Index(news.corpus);
+    NL_CHECK(engine.Index(news.corpus).ok());
     snapshot_path = testing::TempDir() + "snapshot_test_main.snap";
     save_status = engine.SaveSnapshot(snapshot_path);
     if (save_status.ok()) snapshot_bytes = ReadFileBytes(snapshot_path);
@@ -167,7 +168,7 @@ TEST_F(SnapshotTest, IngestionContinuesOnLoadedSnapshot) {
   const std::string path = testing::TempDir() + "snapshot_partial.snap";
   {
     NewsLinkEngine builder(&s.world.graph, &s.labels, NewsLinkConfig{});
-    builder.Index(partial);
+    ASSERT_TRUE(builder.Index(partial).ok());
     ASSERT_TRUE(builder.SaveSnapshot(path).ok());
   }
   NewsLinkEngine loaded(&s.world.graph, &s.labels, NewsLinkConfig{});
@@ -184,8 +185,8 @@ TEST_F(SnapshotTest, IngestionContinuesOnLoadedSnapshot) {
   std::vector<std::string> queries = s.Queries();
   queries.push_back(s.Sentence(full.size() - 1));
   for (const std::string& query : queries) {
-    const auto expected = s.engine.Search(query, 10);
-    const auto actual = loaded.Search(query, 10);
+    const auto expected = s.engine.Search({query, 10}).hits;
+    const auto actual = loaded.Search({query, 10}).hits;
     ASSERT_EQ(actual.size(), expected.size()) << "query: " << query;
     for (size_t i = 0; i < expected.size(); ++i) {
       EXPECT_EQ(actual[i].doc_index, expected[i].doc_index)
@@ -268,7 +269,7 @@ TEST_F(SnapshotTest, TruncatedSnapshotsAlwaysFailCleanly) {
   // After every rejection the engine still accepts the intact snapshot.
   ASSERT_TRUE(engine.LoadSnapshot(s.snapshot_path).ok());
   EXPECT_EQ(engine.num_indexed_docs(), s.news.corpus.size());
-  EXPECT_FALSE(engine.Search(s.Sentence(0), 5).empty());
+  EXPECT_FALSE(engine.Search({s.Sentence(0), 5}).hits.empty());
 }
 
 TEST_F(SnapshotTest, BitFlippedSnapshotsAlwaysFailCleanly) {

@@ -27,10 +27,13 @@
 //       index it (optionally run a query) and print the engine's metrics
 //       registry — Prometheus text exposition by default, JSON on demand.
 //
-//   newslink_cli serve <kg_prefix> <corpus_tsv> [--snapshot PATH] [--k N]
-//       [--beta B]
-//       Warm-start (or index) and answer one query per stdin line until
-//       EOF — the build-once / serve-warm loop.
+//   newslink_cli serve <kg_prefix> <corpus_tsv> [--snapshot PATH]
+//       [--host ADDR] [--port N] [--workers N] [--max-inflight N]
+//       [--port-file PATH]
+//       Warm-start (or index) and serve the /v1 HTTP API (POST /v1/search,
+//       POST /v1/documents, GET /metrics, /healthz, /v1/stats) until
+//       SIGINT/SIGTERM, then drain gracefully. --port 0 picks an ephemeral
+//       port; --port-file writes the chosen port for scripts to read.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on I/O failures (including
 // corrupt, truncated, or stale snapshots).
@@ -51,6 +54,9 @@
 #include "kg/kg_io.h"
 #include "kg/label_index.h"
 #include "kg/synthetic_kg.h"
+#include "net/drain.h"
+#include "net/http_server.h"
+#include "net/search_service.h"
 #include "newslink/newslink_engine.h"
 
 using namespace newslink;
@@ -121,7 +127,8 @@ int Usage() {
       "               [--format prom|json] [--metrics-out FILE]\n"
       "               [--snapshot PATH]\n"
       "  newslink_cli serve <kg_prefix> <corpus_tsv> [--snapshot PATH]\n"
-      "               [--k N] [--beta B]\n");
+      "               [--host ADDR] [--port N] [--workers N]\n"
+      "               [--max-inflight N] [--port-file PATH]\n");
   return 1;
 }
 
@@ -142,7 +149,11 @@ uint64_t CorpusFingerprintOf(const corpus::Corpus& docs) {
 int PopulateEngine(NewsLinkEngine* engine, const corpus::Corpus& docs,
                    const std::string& snapshot_path) {
   if (snapshot_path.empty()) {
-    engine->Index(docs);
+    const Status status = engine->Index(docs);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 2;
+    }
     return 0;
   }
   const Status status = engine->LoadSnapshot(snapshot_path);
@@ -279,25 +290,45 @@ int ServeCmd(const Flags& flags) {
   WallTimer timer;
   const int rc = PopulateEngine(&engine, *docs, flags.Get("snapshot", ""));
   if (rc != 0) return rc;
-  std::fprintf(stderr, "ready (%zu docs, %.3fs); one query per line\n",
-               engine.num_indexed_docs(), timer.ElapsedSeconds());
 
-  baselines::SearchRequest request;
-  request.k = flags.GetInt("k", 5);
-  request.beta = flags.GetDouble("beta", 0.2);
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (Trim(line).empty()) continue;
-    request.query = line;
-    const baselines::SearchResponse response = engine.Search(request);
-    for (const baselines::SearchHit& hit : response.hits) {
-      const corpus::Document& d = docs->doc(hit.doc_index);
-      std::printf("[%6.3f] %s  %.80s...\n", hit.score, d.id.c_str(),
-                  d.text.c_str());
-    }
-    std::printf("\n");
-    std::fflush(stdout);
+  // Install the signal latch before the server starts so a SIGTERM racing
+  // startup still drains instead of killing the process mid-listen.
+  const Status installed = net::DrainSignal::Instance().Install();
+  if (!installed.ok()) {
+    std::fprintf(stderr, "%s\n", installed.ToString().c_str());
+    return 2;
   }
+
+  net::SearchServiceOptions service_options;
+  service_options.max_inflight_searches =
+      flags.GetInt("max-inflight", service_options.max_inflight_searches);
+  net::SearchService service(&engine, &*docs, &*graph, service_options);
+
+  net::HttpServerOptions server_options;
+  server_options.bind_address = flags.Get("host", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(flags.GetInt("port", 8080));
+  server_options.num_workers = flags.GetInt("workers", 8);
+  net::HttpServer server(server_options, engine.mutable_metrics());
+  service.RegisterRoutes(&server);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 2;
+  }
+  if (flags.Has("port-file")) {
+    const int rc = WriteMetricsFile(flags.Get("port-file", ""),
+                                    StrCat(server.port(), "\n"));
+    if (rc != 0) return rc;
+  }
+  std::fprintf(stderr,
+               "ready (%zu docs, %.3fs); serving http://%s:%u/v1/search\n",
+               engine.num_indexed_docs(), timer.ElapsedSeconds(),
+               server_options.bind_address.c_str(), server.port());
+
+  net::DrainSignal::Instance().Wait();
+  std::fprintf(stderr, "draining...\n");
+  server.Shutdown();
+  std::fprintf(stderr, "drained\n");
   return 0;
 }
 
