@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +62,7 @@ struct RunReport {
   uint64_t queries = 0;
   uint64_t bow_docs_scored = 0;
   uint64_t bon_docs_scored = 0;
+  uint64_t bow_blocks_skipped = 0;
   /// Mean fraction of each query's wall-clock accounted for by the direct
   /// children (nlp/ne/ns/explain) of its "search" root span.
   double span_coverage = 0;
@@ -79,6 +81,8 @@ RunReport RunWorkload(const NewsLinkEngine& engine,
                       int rounds, size_t k, bool exhaustive) {
   const uint64_t bow_before = engine.Metrics().CounterValue(kBowDocsScored);
   const uint64_t bon_before = engine.Metrics().CounterValue(kBonDocsScored);
+  const uint64_t blocks_before =
+      engine.Metrics().CounterValue(kBowBlocksSkipped);
 
   // One shared wait-free histogram instead of per-thread latency vectors —
   // the same instrument type the engine exports, at bench-gate resolution.
@@ -143,6 +147,8 @@ RunReport RunWorkload(const NewsLinkEngine& engine,
       engine.Metrics().CounterValue(kBowDocsScored) - bow_before;
   report.bon_docs_scored =
       engine.Metrics().CounterValue(kBonDocsScored) - bon_before;
+  report.bow_blocks_skipped =
+      engine.Metrics().CounterValue(kBowBlocksSkipped) - blocks_before;
   report.span_coverage =
       coverage_count > 0 ? coverage_sum / coverage_count : 0.0;
   report.violations = violations.load();
@@ -150,10 +156,11 @@ RunReport RunWorkload(const NewsLinkEngine& engine,
 }
 
 void PrintReport(const char* label, const RunReport& r) {
-  std::printf("%-22s %8.1f %9.3f %9.3f %10zu %10zu %8.1f%%\n", label, r.qps,
-              r.p50_ms, r.p99_ms,
+  std::printf("%-22s %8.1f %9.3f %9.3f %10zu %10zu %10zu %8.1f%%\n", label,
+              r.qps, r.p50_ms, r.p99_ms,
               static_cast<size_t>(r.bow_docs_scored / r.queries),
               static_cast<size_t>(r.bon_docs_scored / r.queries),
+              static_cast<size_t>(r.bow_blocks_skipped / r.queries),
               100.0 * r.span_coverage);
 }
 
@@ -162,10 +169,12 @@ void PrintReport(const char* label, const RunReport& r) {
 int main(int argc, char** argv) {
   bool with_ingest = false;
   bool with_batch = false;
+  bool prune_gate = false;
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--with-ingest") == 0) with_ingest = true;
     if (std::strcmp(argv[i], "--batch") == 0) with_batch = true;
+    if (std::strcmp(argv[i], "--prune-gate") == 0) prune_gate = true;
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     }
@@ -188,6 +197,10 @@ int main(int argc, char** argv) {
   NewsLinkConfig config;
   config.beta = 0.2;
   config.num_threads = 2;
+  // Build with SimHash doc-id reordering so the whole bench — snapshot
+  // round-trip, warm reload, live ingestion after the permutation — runs
+  // against the reordered layout that block-max pruning is designed for.
+  config.reorder_docs = true;
   // Exercise the slow-query log under the concurrent workload: a generous
   // threshold keeps the fast path honest while still recording entries.
   config.slow_query_threshold_seconds = 1e-6;
@@ -223,7 +236,7 @@ int main(int argc, char** argv) {
                   warm_seconds * 10.0 <= cold_seconds;
       }
     }
-    std::remove(snapshot_path.c_str());
+    // The file stays on disk: the block-max A/B engine below warm-loads it.
   }
   std::printf(
       "cold build %.3fs, warm snapshot load %.3fs (%.0fx, gate 10x): %s\n\n",
@@ -240,9 +253,10 @@ int main(int argc, char** argv) {
   std::printf("corpus %zu docs, KG %zu nodes, %zu queries x %d rounds\n\n",
               dataset.corpus.size(), world->kg.graph.num_nodes(),
               queries.size(), kRounds);
-  std::printf("%-22s %8s %9s %9s %10s %10s %9s\n", "mode", "QPS", "p50 ms",
-              "p99 ms", "bow/query", "bon/query", "coverage");
-  bench::PrintRule(84);
+  std::printf("%-22s %8s %9s %9s %10s %10s %10s %9s\n", "mode", "QPS",
+              "p50 ms", "p99 ms", "bow/query", "bon/query", "blk skip",
+              "coverage");
+  bench::PrintRule(95);
 
   // Exhaustive oracle, single thread: the docs-scored ceiling.
   const RunReport exhaustive =
@@ -259,6 +273,49 @@ int main(int argc, char** argv) {
   char label[32];
   std::snprintf(label, sizeof(label), "maxscore x%d", num_threads);
   PrintReport(label, prunedN);
+
+  // Block-max A/B: a classic-MaxScore engine (per-block bounds off) warm-
+  // loaded from the same snapshot. The block-max engine must return the
+  // same hits while scoring no more text-side documents.
+  bool blockmax_ok = true;
+  {
+    NewsLinkConfig plain_config = config;
+    plain_config.use_block_max = false;
+    NewsLinkEngine plain(&world->kg.graph, &world->index, plain_config);
+    const Status loaded = plain.LoadSnapshot(snapshot_path);
+    if (!loaded.ok()) {
+      std::printf("\nplain-maxscore snapshot load FAILED: %s\n",
+                  loaded.ToString().c_str());
+      blockmax_ok = false;
+    } else {
+      const RunReport plain1 =
+          RunWorkload(plain, queries, 1, 1, kK, /*exhaustive=*/false);
+      PrintReport("maxscore(no blkmax)", plain1);
+      bool parity = true;
+      for (const std::string& q : queries) {
+        baselines::SearchRequest request;
+        request.query = q;
+        request.k = kK;
+        const auto a = engine.Search(request).hits;
+        const auto b = plain.Search(request).hits;
+        parity = parity && a.size() == b.size();
+        for (size_t i = 0; parity && i < a.size(); ++i) {
+          parity = a[i].doc_index == b[i].doc_index &&
+                   std::fabs(a[i].score - b[i].score) <= 1e-6;
+        }
+      }
+      const bool work_ok = pruned1.bow_docs_scored <= plain1.bow_docs_scored;
+      std::printf(
+          "\nblock-max A/B: %zu bow docs/query vs %zu plain, blocks "
+          "skipped/query %zu, hit parity: %s, no extra work: %s\n",
+          static_cast<size_t>(pruned1.bow_docs_scored / pruned1.queries),
+          static_cast<size_t>(plain1.bow_docs_scored / plain1.queries),
+          static_cast<size_t>(pruned1.bow_blocks_skipped / pruned1.queries),
+          parity ? "ok" : "FAIL", work_ok ? "ok" : "FAIL");
+      blockmax_ok = parity && work_ok;
+    }
+    std::remove(snapshot_path.c_str());
+  }
 
   // --batch: the same query set as ONE SearchBatch() call (the server's
   // array-body /v1/search path). Gates hit parity against per-request
@@ -385,18 +442,31 @@ int main(int argc, char** argv) {
   // Coverage gate over the traced concurrent run: the span tree must
   // account for >= 95% of each query's wall-clock on average.
   const bool coverage_ok = prunedN.span_coverage >= 0.95;
-  const bool fewer_docs = pruned1.bow_docs_scored < exhaustive.bow_docs_scored;
+  // Same queries, same top-k: block-max pruning must do at most half the
+  // text-side scoring work of the exhaustive oracle.
+  const double docs_reduction =
+      pruned1.bow_docs_scored > 0
+          ? static_cast<double>(exhaustive.bow_docs_scored) /
+                static_cast<double>(pruned1.bow_docs_scored)
+          : 0.0;
+  // The 2x bar needs a corpus large enough for pruning to have headroom, so
+  // it is only enforced under --prune-gate (CI runs that at >= 240 stories);
+  // without the flag the ratio is reported but informational.
+  const bool fewer_docs = !prune_gate || docs_reduction >= 2.0;
   const bool cache_ok = cache_hits > 0;
   const bool no_violations =
       exhaustive.violations + pruned1.violations + prunedN.violations == 0;
   std::printf(
-      "docs scored below exhaustive: %s, cache hit rate nonzero: %s, "
-      "snapshot isolation clean: %s, span coverage %.1f%% (gate 95%%): %s\n",
-      fewer_docs ? "yes" : "NO", cache_ok ? "yes" : "NO",
+      "docs-scored reduction %.1fx (gate 2.0x, %s): %s, cache hit rate "
+      "nonzero: %s, snapshot isolation clean: %s, span coverage %.1f%% "
+      "(gate 95%%): %s\n",
+      docs_reduction, prune_gate ? "enforced" : "informational",
+      prune_gate ? (docs_reduction >= 2.0 ? "ok" : "FAIL") : "--",
+      cache_ok ? "yes" : "NO",
       no_violations ? "yes" : "NO", 100.0 * prunedN.span_coverage,
       coverage_ok ? "ok" : "FAIL");
   return (fewer_docs && cache_ok && no_violations && ingest_ok &&
-          coverage_ok && warm_ok && batch_ok)
+          coverage_ok && warm_ok && batch_ok && blockmax_ok)
              ? 0
              : 1;
 }

@@ -116,7 +116,9 @@ void BM_VarBytePostings(benchmark::State& state) {
   const ir::CompressedPostingList list({postings.data(), postings.size()});
   for (auto _ : state) {
     uint64_t acc = 0;
-    list.ForEach([&acc](const ir::Posting& p) { acc += p.doc + p.tf; });
+    const Status s =
+        list.ForEach([&acc](const ir::Posting& p) { acc += p.doc + p.tf; });
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
     benchmark::DoNotOptimize(acc);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *

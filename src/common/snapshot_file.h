@@ -29,7 +29,12 @@
 namespace newslink {
 
 inline constexpr std::string_view kSnapshotMagic = "NLSNAP";
-inline constexpr uint16_t kSnapshotFormatVersion = 1;
+/// On-disk format version. Readers reject any other version outright (a
+/// snapshot is a cache — rebuild, don't migrate). History:
+///   1: initial sectioned container.
+///   2: doc-id map section ("doc_map") for reorder-aware engines; absence
+///      would silently mis-route hits, so v1 files are stale.
+inline constexpr uint16_t kSnapshotFormatVersion = 2;
 
 /// \brief Identity of the artifacts inside a snapshot.
 struct SnapshotHeader {

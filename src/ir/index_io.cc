@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "ir/reorder.h"
 
 namespace newslink {
 namespace ir {
@@ -104,6 +105,32 @@ Status DeserializeInvertedIndex(ByteReader* reader, InvertedIndex* index) {
     }
     NL_RETURN_IF_ERROR(
         index->RestoreTermPostings(static_cast<TermId>(t), postings));
+  }
+  return Status::OK();
+}
+
+void SerializeDocMap(std::span<const uint32_t> internal_to_external,
+                     ByteWriter* out) {
+  out->WriteU64(internal_to_external.size());
+  for (const uint32_t external : internal_to_external) {
+    out->WriteVarint(external);
+  }
+}
+
+Status DeserializeDocMap(ByteReader* reader, std::vector<uint32_t>* map) {
+  uint64_t count;
+  NL_RETURN_IF_ERROR(reader->ReadU64(&count));
+  NL_RETURN_IF_ERROR(reader->CheckCount(count, 1));
+  map->clear();
+  map->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t external;
+    NL_RETURN_IF_ERROR(reader->ReadVarint(&external));
+    map->push_back(external);
+  }
+  if (!IsPermutation(*map)) {
+    return Status::IOError(
+        StrCat("doc map is not a permutation of ", count, " doc ids"));
   }
   return Status::OK();
 }

@@ -11,6 +11,7 @@
 #define NEWSLINK_IR_INDEX_IO_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/binary_io.h"
@@ -40,6 +41,17 @@ void SerializeInvertedIndex(const InvertedIndex& index, ByteWriter* out);
 
 /// Rebuild an index via the restore API. `index` must be empty.
 Status DeserializeInvertedIndex(ByteReader* reader, InvertedIndex* index);
+
+/// Serialize a doc-id map (internal id -> external corpus row, from the
+/// doc-reordering pass): u64 count followed by varint external ids.
+/// Deterministic.
+void SerializeDocMap(std::span<const uint32_t> internal_to_external,
+                     ByteWriter* out);
+
+/// Parse and validate a doc-id map. The map must be a permutation of
+/// [0, count) — anything else (out-of-range id, duplicate) is IOError, so
+/// a corrupt map can never mis-route a search hit to the wrong document.
+Status DeserializeDocMap(ByteReader* reader, std::vector<uint32_t>* map);
 
 }  // namespace ir
 }  // namespace newslink

@@ -15,15 +15,20 @@ DocId InvertedIndex::AddDocument(const TermCounts& counts) {
     NL_DCHECK(tf > 0);
     terms_.EnsureSize(static_cast<size_t>(term) + 1);
     TermEntry* entry = terms_.Mutable(term);
-    PostingChunks* list = entry->list.load(std::memory_order_relaxed);
+    TermPostings* list = entry->list.load(std::memory_order_relaxed);
     if (list == nullptr) {
-      list = new PostingChunks();
+      list = new TermPostings();
       entry->list.store(list, std::memory_order_release);
     }
     list->Append(Posting{doc, tf});
     length += tf;
   }
   total_length_.fetch_add(length, std::memory_order_release);
+  uint32_t prev_min = min_doc_length_.load(std::memory_order_relaxed);
+  while (length < prev_min &&
+         !min_doc_length_.compare_exchange_weak(prev_min, length,
+                                                std::memory_order_relaxed)) {
+  }
   doc_lengths_.Append(length);
   if (docs_added_ != nullptr) {
     docs_added_->Inc();
@@ -38,10 +43,13 @@ Status InvertedIndex::RestoreDocLengths(std::span<const uint32_t> lengths) {
         "RestoreDocLengths requires an empty index");
   }
   uint64_t total = 0;
+  uint32_t min_length = min_doc_length_.load(std::memory_order_relaxed);
   for (const uint32_t length : lengths) {
     doc_lengths_.Append(length);
     total += length;
+    min_length = std::min(min_length, length);
   }
+  min_doc_length_.store(min_length, std::memory_order_relaxed);
   total_length_.store(total, std::memory_order_release);
   if (docs_added_ != nullptr) docs_added_->Inc(lengths.size());
   return Status::OK();
@@ -83,7 +91,7 @@ Status InvertedIndex::RestoreTermPostings(TermId term,
     first = false;
   }
   if (postings.empty()) return Status::OK();
-  auto* list = new PostingChunks();
+  auto* list = new TermPostings();
   for (const Posting& p : postings) list->Append(p);
   entry->list.store(list, std::memory_order_release);
   if (postings_added_ != nullptr) postings_added_->Inc(postings.size());
@@ -103,19 +111,19 @@ uint32_t InvertedIndex::DocFreq(TermId term) const {
 
 PostingView InvertedIndex::Postings(TermId term) const {
   if (term >= terms_.size()) return {};
-  const PostingChunks* list =
+  const TermPostings* list =
       terms_.At(term).list.load(std::memory_order_acquire);
   if (list == nullptr) return {};
-  return PostingView(list, list->size());
+  return PostingView(&list->postings, list->postings.size());
 }
 
 PostingView InvertedIndex::Postings(TermId term,
                                     const IndexSnapshot& snapshot) const {
   if (term >= snapshot.num_terms || term >= terms_.size()) return {};
-  const PostingChunks* list =
+  const TermPostings* list =
       terms_.At(term).list.load(std::memory_order_acquire);
   if (list == nullptr) return {};
-  const PostingView live(list, list->size());
+  const PostingView live(&list->postings, list->postings.size());
   // Postings are sorted by doc id, so the snapshot's extent of this list is
   // the prefix of docs below the snapshot's doc count.
   const auto bound = std::lower_bound(
@@ -123,7 +131,20 @@ PostingView InvertedIndex::Postings(TermId term,
       [](const Posting& p, size_t num_docs) {
         return static_cast<size_t>(p.doc) < num_docs;
       });
-  return PostingView(list, static_cast<size_t>(bound - live.begin()));
+  return PostingView(&list->postings,
+                     static_cast<size_t>(bound - live.begin()));
+}
+
+TermBlockMax InvertedIndex::BlockMax(TermId term) const {
+  if (term >= terms_.size()) return {};
+  const TermPostings* list =
+      terms_.At(term).list.load(std::memory_order_acquire);
+  if (list == nullptr) return {};
+  TermBlockMax out;
+  out.block_max = &list->block_max;
+  out.num_blocks = list->block_max.size();  // acquire: entries are readable
+  out.max_tf = list->max_tf.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace ir

@@ -46,6 +46,31 @@ using TermCounts = std::vector<std::pair<TermId, uint32_t>>;
 /// rare; capacity covers the full DocId space).
 using PostingChunks = AppendOnlyStore<Posting, 4, 28>;
 
+/// Postings per block-max block (Ding & Suel): every posting list — live
+/// chunked storage and the compressed snapshot form alike — is divided
+/// into runs of this many postings, and each completed run publishes its
+/// maximum term frequency so retrieval can bound a block's best possible
+/// contribution without decoding it.
+inline constexpr size_t kPostingBlockSize = 64;
+
+/// Per-completed-block max-tf storage (one uint32_t per kPostingBlockSize
+/// postings; capacity covers the full DocId space worth of blocks).
+using BlockMaxStore = AppendOnlyStore<uint32_t, 2, 25>;
+
+/// \brief Block-max metadata of one term, as seen by a reader.
+///
+/// `num_blocks` counts completed blocks whose per-block max tf is readable
+/// in `block_max` (postings beyond `num_blocks * kPostingBlockSize` form an
+/// open tail block with no published bound yet — fall back to `max_tf`).
+/// `max_tf` is the maximum term frequency over every posting appended so
+/// far; because appends only grow it, it is always a valid upper bound for
+/// any snapshot-bounded prefix of the list.
+struct TermBlockMax {
+  const BlockMaxStore* block_max = nullptr;
+  size_t num_blocks = 0;
+  uint32_t max_tf = 0;
+};
+
 /// \brief Immutable extents of an index at one publication point.
 ///
 /// Capturing is writer-side (or quiesced); consuming is lock-free from any
@@ -138,6 +163,8 @@ class InvertedIndex {
         doc_lengths_(std::move(other.doc_lengths_)),
         total_length_(other.total_length_.exchange(
             0, std::memory_order_relaxed)),
+        min_doc_length_(other.min_doc_length_.exchange(
+            std::numeric_limits<uint32_t>::max(), std::memory_order_relaxed)),
         docs_added_(other.docs_added_),
         postings_added_(other.postings_added_) {}
   InvertedIndex& operator=(InvertedIndex&& other) noexcept {
@@ -146,6 +173,11 @@ class InvertedIndex {
       doc_lengths_ = std::move(other.doc_lengths_);
       total_length_.store(
           other.total_length_.exchange(0, std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      min_doc_length_.store(
+          other.min_doc_length_.exchange(
+              std::numeric_limits<uint32_t>::max(),
+              std::memory_order_relaxed),
           std::memory_order_relaxed);
       docs_added_ = other.docs_added_;
       postings_added_ = other.postings_added_;
@@ -179,6 +211,15 @@ class InvertedIndex {
   uint32_t DocLength(DocId doc) const { return doc_lengths_.At(doc); }
   double avg_doc_length() const;
 
+  /// Smallest document length added so far (0 for an empty index). The
+  /// live value only ever decreases, so it lower-bounds the minimum over
+  /// any published snapshot's prefix — safe for score upper bounds under
+  /// concurrent append.
+  uint32_t MinDocLength() const {
+    const uint32_t v = min_doc_length_.load(std::memory_order_relaxed);
+    return v == std::numeric_limits<uint32_t>::max() ? 0 : v;
+  }
+
   /// Number of documents containing the term (0 for out-of-range terms).
   uint32_t DocFreq(TermId term) const;
   uint32_t DocFreq(TermId term, const IndexSnapshot& snapshot) const {
@@ -190,6 +231,15 @@ class InvertedIndex {
 
   /// Postings bounded to the snapshot: only docs < snapshot.num_docs.
   PostingView Postings(TermId term, const IndexSnapshot& snapshot) const;
+
+  /// Block-max metadata of a term (zeroed for unknown/empty terms). The
+  /// bounds are upper bounds for ANY prefix of the list, so a reader
+  /// working against a snapshot may use them directly: a completed block
+  /// that extends past the snapshot still bounds the snapshot-visible part
+  /// of that block from above (max over a superset). A reader that races
+  /// an append may observe fewer completed blocks than postings imply;
+  /// the open tail is then covered by `max_tf`.
+  TermBlockMax BlockMax(TermId term) const;
 
   // --- Snapshot-restore API (used by index_io) ------------------------
   //
@@ -222,11 +272,39 @@ class InvertedIndex {
   }
 
  private:
-  /// One slot per term id; the posting chunks are allocated lazily on the
+  /// One term's postings plus its block-max sidecar. Appends keep the
+  /// sidecar in lockstep with the postings: the moment a block fills, its
+  /// max tf is published into `block_max` and is immutable from then on.
+  struct TermPostings {
+    PostingChunks postings;
+    BlockMaxStore block_max;
+    /// Max tf over all postings so far (monotone; relaxed is fine because
+    /// it only ever under-approximates transiently for a racing reader,
+    /// and snapshot publication orders it for quiesced readers).
+    std::atomic<uint32_t> max_tf{0};
+    /// Writer-only scratch: max tf of the still-open tail block.
+    uint32_t tail_max = 0;
+
+    /// Writer-only. Postings must arrive in strictly increasing doc order
+    /// (callers validate); publishes block metadata as blocks complete.
+    void Append(const Posting& p) {
+      if (p.tf > max_tf.load(std::memory_order_relaxed)) {
+        max_tf.store(p.tf, std::memory_order_relaxed);
+      }
+      if (p.tf > tail_max) tail_max = p.tf;
+      postings.Append(p);
+      if (postings.size() % kPostingBlockSize == 0) {
+        block_max.Append(tail_max);
+        tail_max = 0;
+      }
+    }
+  };
+
+  /// One slot per term id; the posting storage is allocated lazily on the
   /// term's first posting (sparse id spaces — BON uses KG node ids — would
   /// otherwise pay the full chunk directory per empty slot).
   struct TermEntry {
-    std::atomic<PostingChunks*> list{nullptr};
+    std::atomic<TermPostings*> list{nullptr};
 
     ~TermEntry() { delete list.load(std::memory_order_relaxed); }
     TermEntry() = default;
@@ -237,6 +315,8 @@ class InvertedIndex {
   AppendOnlyStore<TermEntry> terms_;
   AppendOnlyStore<uint32_t> doc_lengths_;
   std::atomic<uint64_t> total_length_{0};
+  std::atomic<uint32_t> min_doc_length_{
+      std::numeric_limits<uint32_t>::max()};
   metrics::Counter* docs_added_ = nullptr;  // null until EnableMetrics
   metrics::Counter* postings_added_ = nullptr;
 };

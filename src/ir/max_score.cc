@@ -18,14 +18,33 @@ double MaxScoreRetriever::Score(uint32_t qtf, double idf,
   return qtf * idf * tf * (params_.k1 + 1.0) / (tf + norm);
 }
 
+double MaxScoreRetriever::TfBound(uint32_t max_tf, double norm_min) const {
+  // tf * (k1+1) / (tf + c) is nondecreasing in tf for c >= 0, so plugging
+  // a lower bound on the norm and the maximum tf bounds every posting from
+  // above.
+  const double tf = static_cast<double>(max_tf);
+  return tf * (params_.k1 + 1.0) / (tf + norm_min);
+}
+
 std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
                                                size_t k,
                                                const IndexSnapshot& snapshot,
-                                               size_t* docs_scored) const {
+                                               size_t* docs_scored,
+                                               size_t* blocks_skipped) const {
   size_t scored = 0;
+  size_t skipped_blocks = 0;
   const double avgdl = snapshot.avg_doc_length();
+  // Smallest norm any scored doc can have: norm is increasing in dl, the
+  // live MinDocLength() only ever decreases, and Score() uses this same
+  // snapshot avgdl — so this floor is valid even under concurrent append.
+  const double norm_min = std::max(
+      0.0, params_.k1 * (1.0 - params_.b +
+                         params_.b * (avgdl > 0
+                                          ? index_->MinDocLength() / avgdl
+                                          : 0.0)));
   struct Term {
     PostingView postings;
+    TermBlockMax blocks;
     double idf;
     uint32_t qtf;
     double bound;  // maximum possible contribution of this term
@@ -36,15 +55,31 @@ std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
     if (postings.empty()) continue;
     const double idf = scorer_.Idf(term, snapshot);
     // tf * (k1+1) / (tf + norm) < (k1 + 1) for norm > 0; == at norm == 0.
-    const double bound = qtf * idf * (params_.k1 + 1.0);
-    terms.push_back(Term{postings, idf, qtf, bound});
+    double bound = qtf * idf * (params_.k1 + 1.0);
+    TermBlockMax blocks;
+    if (options_.use_block_max) {
+      blocks = index_->BlockMax(term);
+      if (blocks.max_tf > 0) {
+        // Tighter: the term's max tf caps every posting (the live max is a
+        // superset max, hence still valid for this snapshot's prefix).
+        bound = qtf * idf * TfBound(blocks.max_tf, norm_min);
+      }
+    }
+    terms.push_back(Term{postings, blocks, idf, qtf, bound});
   }
-  if (terms.empty() || k == 0) {
-    last_docs_scored_.store(0, std::memory_order_relaxed);
-    if (docs_scored != nullptr) *docs_scored = 0;
-    if (calls_ != nullptr) calls_->Inc();
-    return {};
-  }
+  auto finish = [&](std::vector<ScoredDoc> result) {
+    last_docs_scored_.store(scored, std::memory_order_relaxed);
+    last_blocks_skipped_.store(skipped_blocks, std::memory_order_relaxed);
+    if (docs_scored != nullptr) *docs_scored = scored;
+    if (blocks_skipped != nullptr) *blocks_skipped = skipped_blocks;
+    if (calls_ != nullptr) {
+      calls_->Inc();
+      docs_scored_counter_->Inc(scored);
+      blocks_skipped_counter_->Inc(skipped_blocks);
+    }
+    return result;
+  };
+  if (terms.empty() || k == 0) return finish({});
 
   // Ascending by bound: terms[0..e) become non-essential as the threshold
   // grows.
@@ -83,6 +118,54 @@ std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
     }
     if (next == kInvalidDoc) break;
 
+    if (options_.use_block_max) {
+      // Block-max check: bound the best score any doc in [next, safe_end]
+      // could reach, where safe_end is the smallest current-block-end doc
+      // across the essential lists (every essential posting for a doc in
+      // that range lies inside its list's current block, so the block max
+      // caps its tf). If even that bound cannot beat the threshold, jump
+      // all essential cursors past safe_end without decoding a thing.
+      double upper = prefix[first_essential];
+      DocId safe_end = kInvalidDoc;
+      for (size_t t = first_essential; t < terms.size(); ++t) {
+        const size_t n = terms[t].postings.size();
+        if (cursor[t] >= n) continue;
+        const size_t block = cursor[t] / kPostingBlockSize;
+        if (block < terms[t].blocks.num_blocks) {
+          const uint32_t block_max_tf = terms[t].blocks.block_max->At(block);
+          upper += terms[t].qtf * terms[t].idf * TfBound(block_max_tf, norm_min);
+          const size_t block_end =
+              std::min((block + 1) * kPostingBlockSize, n) - 1;
+          safe_end = std::min(safe_end, terms[t].postings[block_end].doc);
+        } else {
+          // Open tail block (no published block max): fall back to the
+          // term-level bound over the rest of the list.
+          upper += terms[t].bound;
+          safe_end = std::min(safe_end, terms[t].postings[n - 1].doc);
+        }
+      }
+      // Strict: a doc tying the threshold must still be scored (it can
+      // displace the heap's worst entry), so only skip when even the upper
+      // bound falls short. safe_end >= next, so the range is never empty
+      // and the skip below always advances the cursor that defined `next`.
+      if (upper < heap.Threshold()) {
+        for (size_t t = first_essential; t < terms.size(); ++t) {
+          const PostingView& postings = terms[t].postings;
+          if (cursor[t] >= postings.size()) continue;
+          const auto it = std::upper_bound(
+              postings.begin() + static_cast<std::ptrdiff_t>(cursor[t]),
+              postings.end(), safe_end,
+              [](DocId doc, const Posting& p) { return doc < p.doc; });
+          const size_t new_pos =
+              static_cast<size_t>(it - postings.begin());
+          skipped_blocks +=
+              new_pos / kPostingBlockSize - cursor[t] / kPostingBlockSize;
+          cursor[t] = new_pos;
+        }
+        continue;
+      }
+    }
+
     // Score essential terms at `next`, advancing their cursors.
     double score = 0.0;
     for (size_t t = first_essential; t < terms.size(); ++t) {
@@ -111,13 +194,7 @@ std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
     ++scored;
     heap.Push(ScoredDoc{next, score});
   }
-  last_docs_scored_.store(scored, std::memory_order_relaxed);
-  if (docs_scored != nullptr) *docs_scored = scored;
-  if (calls_ != nullptr) {
-    calls_->Inc();
-    docs_scored_counter_->Inc(scored);
-  }
-  return heap.Take();
+  return finish(heap.Take());
 }
 
 }  // namespace ir

@@ -1,8 +1,11 @@
 // Document-at-a-time top-k retrieval with MaxScore pruning (Turtle & Flood
 // 1995) — the dynamic-pruning family behind the threshold-style top-k
-// processing the paper cites for the NS component ([49]). Produces exactly
-// the same top-k as exhaustive TAAT scoring while skipping documents that
-// cannot make the heap.
+// processing the paper cites for the NS component ([49]). Extended to
+// Block-Max MaxScore (Ding & Suel 2011): per-block max-tf bounds let the
+// essential lists skip whole blocks whose best possible score cannot beat
+// the heap threshold. Either way the retriever produces exactly the same
+// top-k as exhaustive TAAT scoring while skipping documents that cannot
+// make the heap.
 
 #ifndef NEWSLINK_IR_MAX_SCORE_H_
 #define NEWSLINK_IR_MAX_SCORE_H_
@@ -20,15 +23,28 @@
 namespace newslink {
 namespace ir {
 
-/// \brief BM25 top-k with MaxScore dynamic pruning.
+struct MaxScoreOptions {
+  /// Use block-max bounds: per-term bounds tightened from the term's max
+  /// observed tf, plus whole-block skipping over the essential lists when
+  /// no doc in the current block range can beat the heap threshold.
+  /// `false` reverts to classic MaxScore with the loose (k1+1) term bound
+  /// — kept for A/B measurement; the returned top-k is identical either
+  /// way, only the amount of work differs.
+  bool use_block_max = true;
+};
+
+/// \brief BM25 top-k with (Block-Max) MaxScore dynamic pruning.
 class MaxScoreRetriever {
  public:
   explicit MaxScoreRetriever(const InvertedIndex* index,
-                             Bm25Params params = {})
-      : index_(index), scorer_(index, params), params_(params) {}
+                             Bm25Params params = {},
+                             MaxScoreOptions options = {})
+      : index_(index), scorer_(index, params), params_(params),
+        options_(options) {}
 
   /// Register cumulative retrieval series (`<prefix>_maxscore_calls_total`,
-  /// `<prefix>_maxscore_docs_scored_total`) in `registry`. Call once at
+  /// `<prefix>_maxscore_docs_scored_total`,
+  /// `<prefix>_maxscore_blocks_skipped_total`) in `registry`. Call once at
   /// setup, before queries run; the registry must outlive the retriever.
   void EnableMetrics(metrics::Registry* registry, std::string_view prefix) {
     calls_ = registry->GetCounter(std::string(prefix) + "_maxscore_calls_total",
@@ -36,6 +52,9 @@ class MaxScoreRetriever {
     docs_scored_counter_ = registry->GetCounter(
         std::string(prefix) + "_maxscore_docs_scored_total",
         "documents fully scored (pruning skips the rest)");
+    blocks_skipped_counter_ = registry->GetCounter(
+        std::string(prefix) + "_maxscore_blocks_skipped_total",
+        "posting blocks skipped without decoding (block-max pruning)");
   }
 
   /// Top-k documents for the query within `snapshot`, identical (including
@@ -44,15 +63,19 @@ class MaxScoreRetriever {
   /// appends documents: the per-term upper bounds, idf, and avgdl are all
   /// derived from the snapshot, never from live index statistics, so a
   /// concurrent append can neither loosen nor tighten this query's bounds.
-  /// `docs_scored`, when non-null, receives this call's count of fully
-  /// scored documents (the per-thread-accurate way to read the pruning
+  /// (Block-max bounds are monotone under append — the max over a grown
+  /// list only rises — so they stay valid upper bounds for the snapshot's
+  /// prefix too.) `docs_scored` / `blocks_skipped`, when non-null, receive
+  /// this call's counts (the per-thread-accurate way to read the pruning
   /// instrumentation).
   std::vector<ScoredDoc> TopK(const TermCounts& query, size_t k,
                               const IndexSnapshot& snapshot,
-                              size_t* docs_scored = nullptr) const;
+                              size_t* docs_scored = nullptr,
+                              size_t* blocks_skipped = nullptr) const;
   std::vector<ScoredDoc> TopK(const TermCounts& query, size_t k,
-                              size_t* docs_scored = nullptr) const {
-    return TopK(query, k, index_->Capture(), docs_scored);
+                              size_t* docs_scored = nullptr,
+                              size_t* blocks_skipped = nullptr) const {
+    return TopK(query, k, index_->Capture(), docs_scored, blocks_skipped);
   }
 
   /// Number of documents fully scored by the most recent TopK call on any
@@ -62,17 +85,33 @@ class MaxScoreRetriever {
     return last_docs_scored_.load(std::memory_order_relaxed);
   }
 
+  /// Posting blocks skipped without decoding by the most recent TopK call
+  /// (same single-threaded caveat as last_docs_scored).
+  size_t last_blocks_skipped() const {
+    return last_blocks_skipped_.load(std::memory_order_relaxed);
+  }
+
+  const MaxScoreOptions& options() const { return options_; }
+
  private:
   /// BM25 contribution of one posting.
   double Score(uint32_t qtf, double idf, const Posting& posting,
                double avgdl) const;
 
+  /// Upper bound on tf * (k1+1) / (tf + norm) over all documents, given
+  /// only that the term frequency is at most `max_tf`: norm is minimized
+  /// at dl == 0, and the expression is nondecreasing in tf.
+  double TfBound(uint32_t max_tf, double norm_min) const;
+
   const InvertedIndex* index_;
   Bm25Scorer scorer_;
   Bm25Params params_;
+  MaxScoreOptions options_;
   mutable std::atomic<size_t> last_docs_scored_{0};
+  mutable std::atomic<size_t> last_blocks_skipped_{0};
   metrics::Counter* calls_ = nullptr;  // null until EnableMetrics
   metrics::Counter* docs_scored_counter_ = nullptr;
+  metrics::Counter* blocks_skipped_counter_ = nullptr;
 };
 
 }  // namespace ir

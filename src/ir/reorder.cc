@@ -1,0 +1,41 @@
+#include "ir/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace newslink {
+namespace ir {
+
+std::vector<uint32_t> SignatureSortOrder(
+    std::span<const uint64_t> signatures) {
+  std::vector<uint32_t> order(signatures.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (signatures[a] != signatures[b]) return signatures[a] < signatures[b];
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<uint32_t> InvertPermutation(std::span<const uint32_t> order) {
+  std::vector<uint32_t> inverse(order.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    NL_DCHECK(order[i] < order.size());
+    inverse[order[i]] = i;
+  }
+  return inverse;
+}
+
+bool IsPermutation(std::span<const uint32_t> ids) {
+  std::vector<bool> seen(ids.size(), false);
+  for (const uint32_t id : ids) {
+    if (id >= ids.size() || seen[id]) return false;
+    seen[id] = true;
+  }
+  return true;
+}
+
+}  // namespace ir
+}  // namespace newslink

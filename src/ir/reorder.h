@@ -1,0 +1,42 @@
+// Doc-ID reordering for block-max pruning: renumber documents so that
+// textually similar documents receive adjacent internal ids. Clustered ids
+// make posting blocks coherent — a block's max tf is close to its typical
+// tf — which tightens block-max bounds and lets Block-Max MaxScore skip
+// more (Ding & Suel 2011; the full solution is recursive graph bisection,
+// Dhulipala et al. 2016 — sorting by SimHash signature is the classic
+// cheap first cut that captures most of the clustering win at O(n log n)).
+//
+// The permutation lives at the index-build boundary: internal ids order
+// postings and embeddings, external ids (corpus row numbers) are what the
+// public API speaks. Helpers here build, invert, and validate that
+// mapping; the engine owns applying it consistently.
+
+#ifndef NEWSLINK_IR_REORDER_H_
+#define NEWSLINK_IR_REORDER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace newslink {
+namespace ir {
+
+/// Order documents by similarity signature: returns `order` such that
+/// order[internal_id] = external_id, sorted ascending by
+/// (signatures[external_id], external_id). The secondary key makes the
+/// permutation deterministic, and in particular the identity permutation
+/// when all signatures collide.
+std::vector<uint32_t> SignatureSortOrder(std::span<const uint64_t> signatures);
+
+/// Inverse of a permutation: result[order[i]] = i. `order` must be a valid
+/// permutation of [0, order.size()).
+std::vector<uint32_t> InvertPermutation(std::span<const uint32_t> order);
+
+/// True iff `ids` is a permutation of [0, ids.size()) — the validation
+/// gate for doc-id maps loaded from disk.
+bool IsPermutation(std::span<const uint32_t> ids);
+
+}  // namespace ir
+}  // namespace newslink
+
+#endif  // NEWSLINK_IR_REORDER_H_

@@ -34,6 +34,10 @@ void TopKHeap::Push(ScoredDoc item) {
 }
 
 double TopKHeap::Threshold() const {
+  // k == 0 means nothing can ever enter the heap, so the entry bar is +inf.
+  // (Without this guard, `items_.size() < k_` is false for an empty heap
+  // and items_.front() reads an empty vector.)
+  if (k_ == 0) return std::numeric_limits<double>::infinity();
   if (items_.size() < k_) return -std::numeric_limits<double>::infinity();
   return items_.front().score;
 }

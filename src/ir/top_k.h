@@ -21,7 +21,8 @@ class TopKHeap {
 
   void Push(ScoredDoc item);
 
-  /// Smallest score currently needed to enter the heap (-inf while unfull).
+  /// Smallest score currently needed to enter the heap: -inf while unfull,
+  /// +inf when k == 0 (nothing can ever enter).
   double Threshold() const;
 
   /// Extract results ordered best-first. The heap is consumed.

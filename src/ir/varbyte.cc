@@ -16,16 +16,37 @@ void VarByteEncode(uint32_t value, std::vector<uint8_t>* out) {
   out->push_back(static_cast<uint8_t>(value));
 }
 
-uint32_t VarByteDecode(const std::vector<uint8_t>& data, size_t* pos) {
-  uint32_t value = 0;
-  int shift = 0;
-  while (true) {
-    NL_DCHECK(*pos < data.size());
-    const uint8_t byte = data[(*pos)++];
-    value |= static_cast<uint32_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) return value;
-    shift += 7;
+Status VarByteDecode(std::span<const uint8_t> data, size_t* pos,
+                     uint32_t* value) {
+  uint32_t result = 0;
+  // A uint32_t needs at most 5 groups of 7 bits; the 5th group may only
+  // carry the top 4 bits (shift 28). Capping the loop here is what keeps a
+  // malicious continuation-bit run from shifting past 31 bits (UB) or
+  // walking off the end of the buffer.
+  for (int shift = 0; shift <= 28; shift += 7) {
+    if (*pos >= data.size()) {
+      return Status::IOError("varbyte: truncated encoding");
+    }
+    const uint8_t byte = data[*pos];
+    const uint32_t payload = byte & 0x7F;
+    if (shift == 28 && payload > 0x0F) {
+      return Status::IOError("varbyte: value overflows 32 bits");
+    }
+    if (shift > 0 && payload == 0 && (byte & 0x80) == 0) {
+      // VarByteEncode never emits a final byte with no payload bits; such
+      // an overlong encoding means the stream was not produced by us.
+      return Status::IOError("varbyte: overlong encoding");
+    }
+    result |= payload << shift;
+    if ((byte & 0x80) == 0) {
+      ++(*pos);
+      *value = result;
+      return Status::OK();
+    }
+    ++(*pos);
   }
+  --(*pos);  // Leave *pos at the offending 6th byte.
+  return Status::IOError("varbyte: encoding longer than 5 bytes");
 }
 
 CompressedPostingList::CompressedPostingList(
@@ -57,20 +78,54 @@ Status CompressedPostingList::Append(const Posting& posting) {
     return Status::InvalidArgument(
         StrCat("posting for doc ", posting.doc, " has zero term frequency"));
   }
+  if (count_ % kPostingBlockSize == 0) {
+    blocks_.push_back(PostingBlock{posting.doc, posting.doc, 0, bytes_.size()});
+  }
   const uint32_t gap = empty_ ? posting.doc : posting.doc - last_doc_;
   VarByteEncode(gap, &bytes_);
   VarByteEncode(posting.tf, &bytes_);
+  PostingBlock& blk = blocks_.back();
+  blk.last_doc = posting.doc;
+  blk.max_tf = std::max(blk.max_tf, posting.tf);
   last_doc_ = posting.doc;
   empty_ = false;
   ++count_;
   return Status::OK();
 }
 
-std::vector<Posting> CompressedPostingList::Decode() const {
-  std::vector<Posting> out;
-  out.reserve(count_);
-  ForEach([&out](const Posting& p) { out.push_back(p); });
-  return out;
+Status CompressedPostingList::Decode(std::vector<Posting>* out) const {
+  out->clear();
+  out->reserve(count_);
+  return ForEach([out](const Posting& p) { out->push_back(p); });
+}
+
+Status CompressedPostingList::DecodeBlock(size_t block,
+                                          std::vector<Posting>* out) const {
+  out->clear();
+  if (block >= blocks_.size()) {
+    return Status::InvalidArgument(
+        StrCat("block ", block, " out of range (", blocks_.size(), " blocks)"));
+  }
+  const PostingBlock& meta = blocks_[block];
+  const size_t count = BlockCount(block);
+  const size_t end_byte =
+      block + 1 < blocks_.size() ? blocks_[block + 1].byte_offset
+                                 : bytes_.size();
+  const DocId start_doc = block == 0 ? 0 : blocks_[block - 1].last_doc;
+  size_t pos = meta.byte_offset;
+  out->reserve(count);
+  NL_RETURN_IF_ERROR(DecodePostings(
+      std::span<const uint8_t>(bytes_), &pos, count, start_doc,
+      /*allow_zero_first_gap=*/block == 0,
+      [out](const Posting& p) { out->push_back(p); }));
+  // Cross-check the payload against the block's metadata: a corrupted byte
+  // that still decodes as valid varbytes shows up as a boundary mismatch.
+  if (pos != end_byte || out->front().doc != meta.first_doc ||
+      out->back().doc != meta.last_doc) {
+    return Status::IOError(
+        StrCat("posting block ", block, " does not match its metadata"));
+  }
+  return Status::OK();
 }
 
 CompressedInvertedIndex::CompressedInvertedIndex(const InvertedIndex& index) {
@@ -134,7 +189,11 @@ uint32_t CompressedInvertedIndex::DocFreq(TermId term) const {
 
 std::vector<Posting> CompressedInvertedIndex::Postings(TermId term) const {
   if (term >= postings_.size()) return {};
-  return postings_[term].Decode();
+  std::vector<Posting> out;
+  const Status s = postings_[term].Decode(&out);
+  NL_DCHECK(s.ok()) << s.ToString();
+  (void)s;
+  return out;
 }
 
 size_t CompressedInvertedIndex::PostingBytes() const {

@@ -3,6 +3,17 @@
 // classic space/speed point for inverted indexes (Scholer et al. 2002).
 // CompressedPostingList stores (delta-gap docids, tf) streams ~3-5x smaller
 // than raw Posting vectors while decoding at memory speed.
+//
+// The list is laid out in fixed-size blocks of kPostingBlockSize postings
+// (Ding & Suel's block-max organization): each block carries its first/last
+// doc id, its maximum term frequency, and the byte offset of its encoded
+// payload, so a reader can skip whole blocks whose max-tf bound cannot
+// matter and decode any block independently of the rest of the stream.
+//
+// Every decode path is bounds-checked and returns Status: truncated
+// streams, overlong or >32-bit encodings, zero gaps/frequencies, and
+// doc-id overflow all surface as IOError — never as an out-of-bounds read
+// or undefined shift, even in Release builds where NL_DCHECK compiles away.
 
 #ifndef NEWSLINK_IR_VARBYTE_H_
 #define NEWSLINK_IR_VARBYTE_H_
@@ -20,11 +31,61 @@ namespace ir {
 /// Append the VByte encoding of `value` to `out`.
 void VarByteEncode(uint32_t value, std::vector<uint8_t>* out);
 
-/// Decode one VByte value from `data` starting at *pos; advances *pos.
-/// Returns the decoded value (callers must ensure *pos < data.size()).
-uint32_t VarByteDecode(const std::vector<uint8_t>& data, size_t* pos);
+/// Decode one VByte value from `data` starting at *pos into *value,
+/// advancing *pos past the consumed bytes. Returns IOError — without
+/// reading past the buffer or shifting beyond 31 bits — when the stream is
+/// truncated, the encoding spans more than 5 bytes, the final byte would
+/// overflow 32 bits, or the encoding is overlong (a multi-byte encoding
+/// whose last byte contributes no bits). On error *pos is left at the
+/// offending byte.
+Status VarByteDecode(std::span<const uint8_t> data, size_t* pos,
+                     uint32_t* value);
 
-/// \brief A delta-gap, VByte-compressed posting list.
+/// Decode `count` (doc-gap, tf) pairs from `bytes` starting at *pos,
+/// calling `fn(Posting)` for each. `start_doc` seeds the delta chain (the
+/// previous block's last doc id, or 0 for the head of a list, where the
+/// first gap is the absolute doc id and may be zero iff
+/// `allow_zero_first_gap`). Structural validation matches the index
+/// restore path: zero gaps after the first posting, zero term frequencies,
+/// and doc ids overflowing 32 bits are IOError, so a corrupt stream can
+/// never materialize an invalid posting.
+template <typename Fn>
+Status DecodePostings(std::span<const uint8_t> bytes, size_t* pos,
+                      size_t count, DocId start_doc, bool allow_zero_first_gap,
+                      Fn&& fn) {
+  DocId doc = start_doc;
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t gap = 0;
+    uint32_t tf = 0;
+    NL_RETURN_IF_ERROR(VarByteDecode(bytes, pos, &gap));
+    NL_RETURN_IF_ERROR(VarByteDecode(bytes, pos, &tf));
+    if (gap == 0 && !(i == 0 && allow_zero_first_gap)) {
+      return Status::IOError("posting stream: zero doc-id gap");
+    }
+    const uint64_t next = static_cast<uint64_t>(doc) + gap;
+    if (next > static_cast<uint64_t>(kInvalidDoc) - 1) {
+      return Status::IOError("posting stream: doc id overflows");
+    }
+    if (tf == 0) {
+      return Status::IOError("posting stream: zero term frequency");
+    }
+    doc = static_cast<DocId>(next);
+    fn(Posting{doc, tf});
+  }
+  return Status::OK();
+}
+
+/// \brief Per-block metadata of a CompressedPostingList (block-max form).
+struct PostingBlock {
+  DocId first_doc = 0;
+  DocId last_doc = 0;
+  /// Maximum term frequency inside the block: the block-max bound.
+  uint32_t max_tf = 0;
+  /// Offset of the block's first encoded byte inside the list's stream.
+  size_t byte_offset = 0;
+};
+
+/// \brief A delta-gap, VByte-compressed posting list in block-max form.
 class CompressedPostingList {
  public:
   CompressedPostingList() = default;
@@ -41,26 +102,45 @@ class CompressedPostingList {
   /// posting after it — rejection here is what keeps the stream decodable.)
   Status Append(const Posting& posting);
 
-  /// Decode the full list.
-  std::vector<Posting> Decode() const;
+  /// Decode the full list into *out (cleared first). IOError on a corrupt
+  /// stream; *out then holds the valid prefix decoded so far.
+  Status Decode(std::vector<Posting>* out) const;
 
-  /// Visit each posting without materializing the vector.
+  /// Decode one block independently of the rest of the stream (*out is
+  /// cleared first). The decoded postings are cross-checked against the
+  /// block's metadata, so corruption inside the payload is IOError.
+  Status DecodeBlock(size_t block, std::vector<Posting>* out) const;
+
+  /// Visit each posting without materializing the vector. Stops with
+  /// IOError at the first corrupt byte (see DecodePostings).
   template <typename Fn>
-  void ForEach(Fn&& fn) const {
+  Status ForEach(Fn&& fn) const {
     size_t pos = 0;
-    uint32_t doc = 0;
-    for (size_t i = 0; i < count_; ++i) {
-      doc += VarByteDecode(bytes_, &pos);
-      const uint32_t tf = VarByteDecode(bytes_, &pos);
-      fn(Posting{doc, tf});
+    NL_RETURN_IF_ERROR(DecodePostings(
+        std::span<const uint8_t>(bytes_), &pos, count_, 0,
+        /*allow_zero_first_gap=*/true, fn));
+    if (pos != bytes_.size()) {
+      return Status::IOError("posting stream: trailing bytes after postings");
     }
+    return Status::OK();
   }
 
   size_t size() const { return count_; }
   size_t byte_size() const { return bytes_.size(); }
 
+  /// Number of blocks (the last one may be partially filled).
+  size_t num_blocks() const { return blocks_.size(); }
+  const PostingBlock& block(size_t i) const { return blocks_[i]; }
+  /// Postings in block `i` (kPostingBlockSize except possibly the last).
+  size_t BlockCount(size_t i) const {
+    return i + 1 < blocks_.size()
+               ? kPostingBlockSize
+               : count_ - (blocks_.size() - 1) * kPostingBlockSize;
+  }
+
  private:
   std::vector<uint8_t> bytes_;
+  std::vector<PostingBlock> blocks_;
   size_t count_ = 0;
   uint32_t last_doc_ = 0;
   bool empty_ = true;
@@ -84,11 +164,15 @@ class CompressedInvertedIndex {
   double avg_doc_length() const;
   uint32_t DocFreq(TermId term) const;
 
+  /// Decoded postings of `term` (empty for unknown terms). The streams are
+  /// produced by Append, so decoding cannot fail; a corrupt stream here
+  /// would mean in-process memory corruption and is NL_DCHECKed.
   std::vector<Posting> Postings(TermId term) const;
 
   template <typename Fn>
-  void ForEachPosting(TermId term, Fn&& fn) const {
-    if (term < postings_.size()) postings_[term].ForEach(fn);
+  Status ForEachPosting(TermId term, Fn&& fn) const {
+    if (term >= postings_.size()) return Status::OK();
+    return postings_[term].ForEach(fn);
   }
 
   /// Total bytes of compressed posting data.

@@ -14,6 +14,8 @@
 #include "common/thread_pool.h"
 #include "embed/embedding_io.h"
 #include "ir/index_io.h"
+#include "ir/reorder.h"
+#include "ir/simhash.h"
 #include "ir/text_vectorizer.h"
 #include "ir/top_k.h"
 
@@ -68,8 +70,10 @@ NewsLinkEngine::NewsLinkEngine(const kg::KnowledgeGraph* graph,
       explainer_(graph),
       text_scorer_(&text_index_, config_.bm25),
       node_scorer_(&node_index_, config_.bon_bm25),
-      text_retriever_(&text_index_, config_.bm25),
-      node_retriever_(&node_index_, config_.bon_bm25),
+      text_retriever_(&text_index_, config_.bm25,
+                      ir::MaxScoreOptions{config_.use_block_max}),
+      node_retriever_(&node_index_, config_.bon_bm25,
+                      ir::MaxScoreOptions{config_.use_block_max}),
       queries_(registry()->GetCounter(baselines::kEngineQueries,
                                       "Search calls")),
       bow_docs_scored_(registry()->GetCounter(
@@ -182,6 +186,7 @@ Status NewsLinkEngine::Index(const corpus::Corpus& corpus) {
   }
   const size_t n = corpus.size();
   std::vector<embed::DocumentEmbedding> embeddings(n);
+  std::vector<uint64_t> signatures(config_.reorder_docs ? n : 0);
 
   // NLP + NE per document, in parallel (documents are independent); the
   // results land in a local buffer so concurrent queries — which see the
@@ -196,21 +201,45 @@ Status NewsLinkEngine::Index(const corpus::Corpus& corpus) {
     embeddings[i] = embed::EmbedDocument(
         *embedder_, EntityGroups(segmented, config_.use_maximal_reduction));
     index_ne_seconds_->Observe(timer.ElapsedSeconds());
+    if (config_.reorder_docs) signatures[i] = ir::SimHash(corpus.doc(i).text);
   });
 
   // NS: build both inverted indexes (sequential: index ids must align),
-  // then publish the whole corpus as one epoch.
+  // then publish the whole corpus as one epoch. With reordering on, docs
+  // are ingested in signature order so similar documents get adjacent
+  // internal ids; the permutation is recorded so the public API keeps
+  // speaking corpus row numbers.
+  const std::vector<uint32_t> order =
+      config_.reorder_docs
+          ? ir::SignatureSortOrder(signatures)
+          : std::vector<uint32_t>();
   std::lock_guard<std::mutex> writer(writer_mu_);
-  uint64_t corpus_fp = corpus_fingerprint_.load(std::memory_order_relaxed);
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t d = 0; d < n; ++d) {
+    const size_t e = config_.reorder_docs ? order[d] : d;
     WallTimer timer;
     text_index_.AddDocument(
-        ir::TextVectorizer::CountsForIndexing(corpus.doc(i).text, &text_dict_));
+        ir::TextVectorizer::CountsForIndexing(corpus.doc(e).text, &text_dict_));
     node_index_.AddDocument(
-        BonCounts(embeddings[i], config_.bon_doc_tf_cap));
-    doc_embeddings_.Append(std::move(embeddings[i]));
-    corpus_fp = corpus::ChainCorpusFingerprint(corpus_fp, corpus.doc(i));
+        BonCounts(embeddings[e], config_.bon_doc_tf_cap));
+    doc_embeddings_.Append(std::move(embeddings[e]));
+    internal_to_external_.Append(static_cast<uint32_t>(e));
     index_ns_seconds_->Observe(timer.ElapsedSeconds());
+  }
+  if (config_.reorder_docs) {
+    for (const uint32_t internal : ir::InvertPermutation(order)) {
+      external_to_internal_.Append(internal);
+    }
+  } else {
+    for (size_t e = 0; e < n; ++e) {
+      external_to_internal_.Append(static_cast<uint32_t>(e));
+    }
+  }
+  // The corpus fingerprint chains documents in CORPUS order regardless of
+  // the ingestion permutation, so the same corpus always fingerprints the
+  // same way and snapshot/corpus verification stays order-independent.
+  uint64_t corpus_fp = corpus_fingerprint_.load(std::memory_order_relaxed);
+  for (size_t e = 0; e < n; ++e) {
+    corpus_fp = corpus::ChainCorpusFingerprint(corpus_fp, corpus.doc(e));
   }
   corpus_fingerprint_.store(corpus_fp, std::memory_order_release);
   PublishSnapshot();
@@ -225,17 +254,44 @@ Status NewsLinkEngine::IndexWithEmbeddings(
         StrCat("embedding store has ", embeddings.size(),
                " entries for a corpus of ", corpus.size()));
   }
+  if (num_indexed_docs() != 0) {
+    return Status::FailedPrecondition(
+        "IndexWithEmbeddings requires an empty engine; use AddDocument for "
+        "live ingestion");
+  }
+  const size_t n = corpus.size();
+  std::vector<uint32_t> order;
+  if (config_.reorder_docs) {
+    std::vector<uint64_t> signatures(n);
+    for (size_t i = 0; i < n; ++i) {
+      signatures[i] = ir::SimHash(corpus.doc(i).text);
+    }
+    order = ir::SignatureSortOrder(signatures);
+  }
   std::lock_guard<std::mutex> writer(writer_mu_);
-  uint64_t corpus_fp = corpus_fingerprint_.load(std::memory_order_relaxed);
-  for (size_t i = 0; i < corpus.size(); ++i) {
+  for (size_t d = 0; d < n; ++d) {
+    const size_t e = config_.reorder_docs ? order[d] : d;
     WallTimer timer;
     text_index_.AddDocument(
-        ir::TextVectorizer::CountsForIndexing(corpus.doc(i).text, &text_dict_));
+        ir::TextVectorizer::CountsForIndexing(corpus.doc(e).text, &text_dict_));
     node_index_.AddDocument(
-        BonCounts(embeddings[i], config_.bon_doc_tf_cap));
-    doc_embeddings_.Append(std::move(embeddings[i]));
-    corpus_fp = corpus::ChainCorpusFingerprint(corpus_fp, corpus.doc(i));
+        BonCounts(embeddings[e], config_.bon_doc_tf_cap));
+    doc_embeddings_.Append(std::move(embeddings[e]));
+    internal_to_external_.Append(static_cast<uint32_t>(e));
     index_ns_seconds_->Observe(timer.ElapsedSeconds());
+  }
+  if (config_.reorder_docs) {
+    for (const uint32_t internal : ir::InvertPermutation(order)) {
+      external_to_internal_.Append(internal);
+    }
+  } else {
+    for (size_t e = 0; e < n; ++e) {
+      external_to_internal_.Append(static_cast<uint32_t>(e));
+    }
+  }
+  uint64_t corpus_fp = corpus_fingerprint_.load(std::memory_order_relaxed);
+  for (size_t e = 0; e < n; ++e) {
+    corpus_fp = corpus::ChainCorpusFingerprint(corpus_fp, corpus.doc(e));
   }
   corpus_fingerprint_.store(corpus_fp, std::memory_order_release);
   PublishSnapshot();
@@ -261,6 +317,10 @@ size_t NewsLinkEngine::AddDocument(const corpus::Document& doc) {
       ir::TextVectorizer::CountsForIndexing(doc.text, &text_dict_));
   node_index_.AddDocument(BonCounts(embedding, config_.bon_doc_tf_cap));
   doc_embeddings_.Append(std::move(embedding));
+  // Incremental docs keep internal == external (reordering is a bulk-index
+  // pass); both maps grow in lockstep with the indexes.
+  internal_to_external_.Append(static_cast<uint32_t>(index));
+  external_to_internal_.Append(static_cast<uint32_t>(index));
   corpus_fingerprint_.store(
       corpus::ChainCorpusFingerprint(
           corpus_fingerprint_.load(std::memory_order_relaxed), doc),
@@ -327,6 +387,16 @@ Status NewsLinkEngine::SaveSnapshot(const std::string& path) const {
     embed::SerializeEmbeddings(embeddings, &w);
     sections.push_back(SnapshotSection{"embeddings", w.TakeBytes()});
   }
+  {
+    std::vector<uint32_t> doc_map;
+    doc_map.reserve(internal_to_external_.size());
+    for (size_t i = 0; i < internal_to_external_.size(); ++i) {
+      doc_map.push_back(internal_to_external_.At(i));
+    }
+    ByteWriter w;
+    ir::SerializeDocMap(doc_map, &w);
+    sections.push_back(SnapshotSection{"doc_map", w.TakeBytes()});
+  }
   return WriteSnapshotFile(path, header, sections);
 }
 
@@ -361,7 +431,7 @@ Status NewsLinkEngine::LoadSnapshot(const std::string& path) {
   }
 
   const char* kRequired[] = {"text_dict", "text_index", "node_index",
-                             "embeddings"};
+                             "embeddings", "doc_map"};
   for (const char* name : kRequired) {
     if (file.Find(name) == nullptr) {
       return Status::IOError(StrCat("snapshot missing section '", name, "'"));
@@ -395,16 +465,24 @@ Status NewsLinkEngine::LoadSnapshot(const std::string& path) {
     NL_RETURN_IF_ERROR(embed::DeserializeEmbeddings(&r, &embeddings));
     NL_RETURN_IF_ERROR(r.ExpectEnd());
   }
+  std::vector<uint32_t> doc_map;
+  {
+    ByteReader r(file.Find("doc_map")->payload);
+    NL_RETURN_IF_ERROR(ir::DeserializeDocMap(&r, &doc_map));
+    NL_RETURN_IF_ERROR(r.ExpectEnd());
+  }
 
   // Cross-section consistency: all four artifacts must cover the same
   // documents, and the dictionary must cover every text term.
   if (text_index.num_docs() != file.header.num_docs ||
       node_index.num_docs() != file.header.num_docs ||
-      embeddings.size() != file.header.num_docs) {
+      embeddings.size() != file.header.num_docs ||
+      doc_map.size() != file.header.num_docs) {
     return Status::IOError(
         StrCat("inconsistent document counts: header ", file.header.num_docs,
                ", text index ", text_index.num_docs(), ", node index ",
-               node_index.num_docs(), ", embeddings ", embeddings.size()));
+               node_index.num_docs(), ", embeddings ", embeddings.size(),
+               ", doc map ", doc_map.size()));
   }
   if (text_index.num_terms() > terms.size()) {
     return Status::IOError(
@@ -425,6 +503,15 @@ Status NewsLinkEngine::LoadSnapshot(const std::string& path) {
   for (embed::DocumentEmbedding& e : embeddings) {
     doc_embeddings_.Append(std::move(e));
   }
+  // Restore the doc-id map exactly as written (not recomputed): a snapshot
+  // built with reordering keeps its clustered layout — and its byte-
+  // identical re-save — regardless of this engine's reorder_docs setting.
+  for (const uint32_t external : doc_map) {
+    internal_to_external_.Append(external);
+  }
+  for (const uint32_t internal : ir::InvertPermutation(doc_map)) {
+    external_to_internal_.Append(internal);
+  }
   corpus_fingerprint_.store(file.header.corpus_fingerprint,
                             std::memory_order_release);
   PublishSnapshot();
@@ -437,7 +524,9 @@ std::vector<embed::DocumentEmbedding> NewsLinkEngine::SnapshotEmbeddings()
   std::vector<embed::DocumentEmbedding> out;
   out.reserve(snap->num_docs);
   for (size_t i = 0; i < snap->num_docs; ++i) {
-    out.push_back(doc_embeddings_.At(i));
+    // Corpus order: undo the internal reordering so the saved store lines
+    // up row-for-row with the corpus file.
+    out.push_back(doc_embeddings_.At(external_to_internal_.At(i)));
   }
   return out;
 }
@@ -621,7 +710,7 @@ baselines::SearchResponse NewsLinkEngine::Search(
     response.deadline_exceeded = true;
     query_trace.Note("explain_skipped", "deadline");
   } else if (request.explain) {
-    // Hits come from this snapshot, so every doc_index is below
+    // Hits still carry internal ids here, so every doc_index is below
     // snap->num_docs and its embedding is fully published.
     ScopedSpan span(&query_trace, "explain");
     for (baselines::SearchHit& hit : response.hits) {
@@ -629,6 +718,13 @@ baselines::SearchResponse NewsLinkEngine::Search(
           explainer_.Explain(query_embedding, doc_embeddings_.At(hit.doc_index),
                              request.max_paths_per_result);
     }
+  }
+
+  // Translate hits to corpus row numbers — the only id space the public
+  // API speaks. (Identity unless a reordering pass or reordered snapshot
+  // installed a real permutation.)
+  for (baselines::SearchHit& hit : response.hits) {
+    hit.doc_index = internal_to_external_.At(hit.doc_index);
   }
 
   if (response.deadline_exceeded) {

@@ -57,6 +57,10 @@ namespace newslink {
 /// / lcag_cache_* series of its NE component (all in the same registry).
 inline constexpr std::string_view kBowDocsScored = "bow_docs_scored_total";
 inline constexpr std::string_view kBonDocsScored = "bon_docs_scored_total";
+/// Registered by the text-side MaxScoreRetriever (prefix "bow"): posting
+/// blocks the block-max bound eliminated without decoding.
+inline constexpr std::string_view kBowBlocksSkipped =
+    "bow_maxscore_blocks_skipped_total";
 inline constexpr std::string_view kEpochsPublished = "epochs_published_total";
 inline constexpr std::string_view kSnapshotAcquisitions =
     "snapshot_acquisitions_total";
@@ -131,6 +135,19 @@ struct NewsLinkConfig {
   double slow_query_threshold_seconds = 0.0;
   /// Most-recent entries kept by the slow-query log.
   size_t slow_query_log_capacity = 32;
+  /// Doc-ID reordering at bulk-index time (Index / IndexWithEmbeddings):
+  /// renumber internal doc ids so SimHash-similar documents sit adjacent,
+  /// which makes posting blocks coherent and block-max pruning effective.
+  /// Purely internal — the public API (SearchHit::doc_index,
+  /// doc_embedding(), SnapshotEmbeddings()) always speaks corpus row
+  /// numbers, and the permutation is persisted in snapshots, so results
+  /// are identical with or without it. Excluded from ConfigFingerprint for
+  /// the same reason: a snapshot carries its own doc map.
+  bool reorder_docs = false;
+  /// Block-Max MaxScore on both retrieval sides (false = classic MaxScore
+  /// term bounds; identical results, more documents scored). Query-side
+  /// only, so also excluded from ConfigFingerprint.
+  bool use_block_max = true;
 };
 
 /// \brief A search hit with optional relationship-path explanations.
@@ -155,7 +172,8 @@ class NewsLinkEngine : public baselines::SearchEngine {
   Status Index(const corpus::Corpus& corpus) override;
 
   /// Index with precomputed embeddings (one per document, as produced by
-  /// embed::LoadEmbeddings) — skips the expensive NE stage entirely.
+  /// embed::LoadEmbeddings) — skips the expensive NE stage entirely. Like
+  /// Index, requires an empty engine (the doc-id map starts at row 0).
   Status IndexWithEmbeddings(const corpus::Corpus& corpus,
                              std::vector<embed::DocumentEmbedding> embeddings);
 
@@ -217,12 +235,13 @@ class NewsLinkEngine : public baselines::SearchEngine {
   /// NLP output for a standalone text.
   text::SegmentedDocument SegmentText(const std::string& text) const;
 
-  /// Embedding of an indexed document. The reference is stable for the
-  /// engine's lifetime (append-only storage never relocates elements);
-  /// only call with i < num_indexed_docs() — or, under concurrent
-  /// ingestion, i < a SearchResponse's snapshot_docs.
+  /// Embedding of an indexed document, addressed by corpus row number
+  /// (the same ids SearchHit::doc_index reports). The reference is stable
+  /// for the engine's lifetime (append-only storage never relocates
+  /// elements); only call with i < num_indexed_docs() — or, under
+  /// concurrent ingestion, i < a SearchResponse's snapshot_docs.
   const embed::DocumentEmbedding& doc_embedding(size_t i) const {
-    return doc_embeddings_.At(i);
+    return doc_embeddings_.At(external_to_internal_.At(i));
   }
   size_t num_indexed_docs() const { return doc_embeddings_.size(); }
 
@@ -272,6 +291,15 @@ class NewsLinkEngine : public baselines::SearchEngine {
   ir::MaxScoreRetriever text_retriever_;
   ir::MaxScoreRetriever node_retriever_;
   ir::AppendOnlyStore<embed::DocumentEmbedding> doc_embeddings_;
+
+  // Doc-id permutation from the reordering pass (identity when
+  // config_.reorder_docs is off). Internal ids order postings and
+  // doc_embeddings_; external ids are corpus row numbers — the only ids
+  // the public API exposes. Both directions are append-only and published
+  // in lockstep with the indexes, so a query translating a hit under its
+  // snapshot always finds the entry.
+  ir::AppendOnlyStore<uint32_t> internal_to_external_;
+  ir::AppendOnlyStore<uint32_t> external_to_internal_;
 
   // Writer side: serializes ingestion; queries never take this lock.
   // Mutable so SaveSnapshot (const: it only reads) can quiesce writers.

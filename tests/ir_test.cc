@@ -265,6 +265,39 @@ TEST(TopKTest, KZeroYieldsNothing) {
   EXPECT_TRUE(heap.Take().empty());
 }
 
+TEST(TopKTest, KZeroThresholdIsPlusInfinity) {
+  // Regression: with k == 0 the heap is simultaneously "empty" and "full",
+  // and Threshold() used to read items_.front() of an empty vector (UB).
+  // +inf is the correct bound: no candidate can ever enter the heap, so
+  // pruning retrievers may skip every document.
+  TopKHeap heap(0);
+  EXPECT_EQ(heap.Threshold(), std::numeric_limits<double>::infinity());
+  heap.Push({0, 1e30});
+  EXPECT_EQ(heap.Threshold(), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(heap.Take().empty());
+}
+
+TEST(TopKTest, KLargerThanCandidatesKeepsAllSorted) {
+  TopKHeap heap(100);
+  heap.Push({4, 1.0});
+  heap.Push({2, 3.0});
+  heap.Push({9, 2.0});
+  EXPECT_EQ(heap.Threshold(), -std::numeric_limits<double>::infinity());
+  const auto out = heap.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].doc, 2u);
+  EXPECT_EQ(out[1].doc, 9u);
+  EXPECT_EQ(out[2].doc, 4u);
+}
+
+TEST(TopKTest, SelectTopKZeroAndOversized) {
+  const std::vector<ScoredDoc> scores = {{0, 1.0}, {1, 2.0}};
+  EXPECT_TRUE(SelectTopK(scores, 0).empty());
+  const auto all = SelectTopK(scores, 10);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].doc, 1u);
+}
+
 TEST(TopKTest, TiesBreakTowardSmallerDocId) {
   TopKHeap heap(2);
   heap.Push({5, 1.0});

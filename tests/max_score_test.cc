@@ -183,6 +183,99 @@ TEST(MaxScoreTest, EquivalencePropertyRandomCorporaAndQueries) {
   }
 }
 
+TEST(MaxScoreTest, BlockMaxAgreesWithPlainMaxScoreAndScoresFewerDocs) {
+  // Three-way agreement — Block-Max MaxScore, classic MaxScore, exhaustive
+  // TAAT — plus the monotone work bound: per-block upper bounds are at
+  // least as tight as whole-list bounds, so block-max never scores more.
+  for (const uint64_t seed : {61u, 62u, 63u}) {
+    InvertedIndex index = MakeRandomIndex(seed, 600, 200, 35);
+    Bm25Scorer scorer(&index);
+    MaxScoreRetriever block_max(&index, {}, MaxScoreOptions{true});
+    MaxScoreRetriever plain(&index, {}, MaxScoreOptions{false});
+    Rng rng(seed * 131 + 5);
+
+    for (int trial = 0; trial < 10; ++trial) {
+      TermCounts query;
+      std::set<TermId> used;
+      const size_t num_terms = 2 + rng.Uniform(6);
+      while (query.size() < num_terms) {
+        const TermId t = static_cast<TermId>(rng.Uniform(200));
+        if (used.insert(t).second) {
+          query.push_back({t, 1 + static_cast<uint32_t>(rng.Uniform(3))});
+        }
+      }
+      std::sort(query.begin(), query.end());
+      const size_t k = 1 + rng.Uniform(20);
+
+      size_t blocked_scored = 0, blocks_skipped = 0, plain_scored = 0;
+      const auto blocked = block_max.TopK(query, k, &blocked_scored,
+                                          &blocks_skipped);
+      const auto unblocked = plain.TopK(query, k, &plain_scored);
+      const auto exact = SelectTopK(scorer.ScoreAll(query), k);
+      ExpectSameTopK(blocked, exact);
+      ExpectSameTopK(unblocked, exact);
+      EXPECT_LE(blocked_scored, plain_scored)
+          << "seed " << seed << " trial " << trial;
+    }
+  }
+}
+
+TEST(MaxScoreTest, BlockMaxSkipsWholeBlocks) {
+  // term 1's first posting block is all tf == 10 and every later block is
+  // tf == 1. Once the heap fills from the first block, every tf == 1
+  // block's upper bound falls below the threshold and classic MaxScore's
+  // doc-at-a-time walk turns into whole-block skips. (b must stay well
+  // inside (0, 1): at b == 0 the bound is exact and the threshold ties the
+  // total bound, ending the walk via the essential split instead.)
+  InvertedIndex index;
+  const int n = 64 * static_cast<int>(kPostingBlockSize);
+  for (int d = 0; d < n; ++d) {
+    TermCounts counts = {{0, 1}};
+    if (d % 4 == 0) {
+      counts.push_back(
+          {1, d < 4 * static_cast<int>(kPostingBlockSize) ? 10u : 1u});
+    }
+    index.AddDocument(counts);
+  }
+  const Bm25Params params{1.2, 0.5};
+  Bm25Scorer scorer(&index, params);
+  MaxScoreRetriever retriever(&index, params);
+  size_t docs_scored = 0, blocks_skipped = 0;
+  const TermCounts query = {{0, 1}, {1, 1}};
+  const auto top = retriever.TopK(query, 5, &docs_scored, &blocks_skipped);
+  ExpectSameTopK(top, SelectTopK(scorer.ScoreAll(query), 5));
+  ASSERT_EQ(top.size(), 5u);
+  for (const ScoredDoc& s : top) {
+    EXPECT_LT(s.doc, static_cast<DocId>(4 * kPostingBlockSize));
+  }
+  EXPECT_GT(blocks_skipped, 0u) << "range skips must cross block boundaries";
+  EXPECT_EQ(blocks_skipped, retriever.last_blocks_skipped());
+  EXPECT_LT(docs_scored, static_cast<size_t>(n) / 8)
+      << "block-max should prune nearly all tf == 1 blocks";
+
+  // Classic MaxScore on the same query cannot skip those blocks: the term
+  // bound (tf == 10) keeps every candidate's upper estimate above the
+  // threshold, so it scores far more documents.
+  MaxScoreRetriever plain(&index, params, MaxScoreOptions{false});
+  size_t plain_scored = 0;
+  ExpectSameTopK(plain.TopK(query, 5, &plain_scored),
+                 SelectTopK(scorer.ScoreAll(query), 5));
+  EXPECT_GT(plain_scored, 2 * docs_scored)
+      << "the per-block bound must beat the whole-list bound here";
+}
+
+TEST(MaxScoreTest, BlockMaxHandlesPartialTailBlock) {
+  // List lengths deliberately not multiples of kPostingBlockSize: the tail
+  // postings past the last recorded block max fall back to the term bound.
+  InvertedIndex index =
+      MakeRandomIndex(71, 3 * kPostingBlockSize + 17, 40, 12);
+  Bm25Scorer scorer(&index);
+  MaxScoreRetriever retriever(&index);
+  const TermCounts query = {{0, 1}, {3, 2}, {8, 1}};
+  ExpectSameTopK(retriever.TopK(query, 7),
+                 SelectTopK(scorer.ScoreAll(query), 7));
+}
+
 TEST(MaxScoreTest, WithBonStyleParams) {
   // The BON index uses k1 = 0.8, b = 0; agreement must hold there too.
   InvertedIndex index = MakeRandomIndex(17, 200, 100, 25);

@@ -2,6 +2,7 @@
 // explained search, timing instrumentation, TreeEmb mode.
 
 #include <algorithm>
+#include <map>
 
 #include <gtest/gtest.h>
 
@@ -291,6 +292,100 @@ TEST_F(NewsLinkEngineTest, TreeEmbeddingsAreSmallerThanLcag) {
     tree_nodes += tree.doc_embedding(i).num_distinct_nodes();
   }
   EXPECT_GE(lcag_nodes, tree_nodes);
+}
+
+TEST_F(NewsLinkEngineTest, ReorderedIndexReturnsSameHitsAsNaturalOrder) {
+  // reorder_docs renumbers internal doc ids by SimHash signature but the
+  // API speaks corpus row numbers throughout, so searches must surface the
+  // same documents with the same scores. Ranks may swap only between docs
+  // whose fused scores tie (the fused heap breaks ties by internal id).
+  NewsLinkEngine natural = MakeEngine(0.2);
+  NewsLinkConfig config;
+  config.beta = 0.2;
+  config.num_threads = 2;
+  config.reorder_docs = true;
+  NewsLinkEngine reordered(&kg_.graph, &index_, config);
+  ASSERT_TRUE(natural.Index(corpus_.corpus).ok());
+  ASSERT_TRUE(reordered.Index(corpus_.corpus).ok());
+  EXPECT_EQ(reordered.num_indexed_docs(), corpus_.corpus.size());
+
+  for (size_t d = 0; d < 10; ++d) {
+    const std::string q = FirstSentenceOf(d);
+    const auto a = natural.Search({q, 8}).hits;
+    const auto b = reordered.Search({q, 8}).hits;
+    ASSERT_EQ(a.size(), b.size()) << "query doc " << d;
+    std::map<size_t, double> a_scores, b_scores;
+    for (const auto& h : a) a_scores[h.doc_index] = h.score;
+    for (const auto& h : b) b_scores[h.doc_index] = h.score;
+    for (const auto& [doc, score] : a_scores) {
+      const auto it = b_scores.find(doc);
+      if (it != b_scores.end()) {
+        EXPECT_NEAR(score, it->second, 1e-9) << "doc " << doc;
+      } else {
+        // Boundary swap: only legal between tying scores.
+        EXPECT_NEAR(score, a.back().score, 1e-9) << "doc " << doc;
+      }
+    }
+    for (size_t i = 0; i < b.size(); ++i) {
+      EXPECT_NEAR(b[i].score, a[i].score, 1e-9) << "rank " << i;
+    }
+  }
+}
+
+TEST_F(NewsLinkEngineTest, ReorderKeepsEmbeddingsInCorpusRowOrder) {
+  NewsLinkEngine natural = MakeEngine(0.2);
+  NewsLinkConfig config;
+  config.beta = 0.2;
+  config.num_threads = 2;
+  config.reorder_docs = true;
+  NewsLinkEngine reordered(&kg_.graph, &index_, config);
+  ASSERT_TRUE(natural.Index(corpus_.corpus).ok());
+  ASSERT_TRUE(reordered.Index(corpus_.corpus).ok());
+
+  // doc_embedding(i) and SnapshotEmbeddings() both address corpus rows, so
+  // the reordered engine must agree with the natural one row by row.
+  const auto natural_embs = natural.SnapshotEmbeddings();
+  const auto reordered_embs = reordered.SnapshotEmbeddings();
+  ASSERT_EQ(natural_embs.size(), reordered_embs.size());
+  for (size_t i = 0; i < natural_embs.size(); ++i) {
+    EXPECT_EQ(reordered_embs[i].node_counts, natural_embs[i].node_counts)
+        << "row " << i;
+    EXPECT_EQ(reordered.doc_embedding(i).node_counts,
+              natural.doc_embedding(i).node_counts)
+        << "row " << i;
+  }
+}
+
+TEST_F(NewsLinkEngineTest, AddDocumentOnReorderedIndexUsesNextCorpusRow) {
+  NewsLinkConfig config;
+  config.beta = 0.2;
+  config.num_threads = 2;
+  config.reorder_docs = true;
+  NewsLinkEngine engine(&kg_.graph, &index_, config);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
+
+  corpus::Document doc = corpus_.corpus.doc(7);
+  doc.id = "live-append";
+  const size_t row = engine.AddDocument(doc);
+  EXPECT_EQ(row, corpus_.corpus.size());
+  EXPECT_EQ(engine.num_indexed_docs(), corpus_.corpus.size() + 1);
+  // The appended copy is a duplicate of row 7, so a query drawn from doc 7
+  // must surface the new row among its hits.
+  const auto hits = engine.Search({FirstSentenceOf(7), 10}).hits;
+  const bool found = std::any_of(
+      hits.begin(), hits.end(),
+      [row](const baselines::SearchHit& h) { return h.doc_index == row; });
+  EXPECT_TRUE(found) << "live-appended duplicate not retrievable";
+}
+
+TEST_F(NewsLinkEngineTest, BulkIndexingRequiresEmptyEngine) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
+  EXPECT_TRUE(engine.Index(corpus_.corpus).IsFailedPrecondition());
+  EXPECT_TRUE(engine
+                  .IndexWithEmbeddings(corpus_.corpus,
+                                       engine.SnapshotEmbeddings())
+                  .IsFailedPrecondition());
 }
 
 TEST_F(NewsLinkEngineTest, DeterministicAcrossRuns) {

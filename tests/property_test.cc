@@ -10,6 +10,8 @@
 #include "common/rng.h"
 #include "embed/lcag_search.h"
 #include "ir/inverted_index.h"
+#include "ir/max_score.h"
+#include "ir/reorder.h"
 #include "ir/scorer.h"
 #include "ir/top_k.h"
 #include "kg/graph_stats.h"
@@ -304,6 +306,94 @@ TEST_P(TopKTieTest, MatchesFullSortWithFewDistinctScores) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TopKTieTest,
                          ::testing::Range<uint64_t>(0, 6));
+
+// ---------------------------------------------------------------------------
+// Block-Max MaxScore vs exhaustive scoring, across epochs and doc orders
+// ---------------------------------------------------------------------------
+
+class BlockMaxOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BlockMaxOracleTest, MatchesExhaustiveAcrossEpochsAndReorder) {
+  // Property: for every snapshot epoch of a growing index — whether the
+  // documents were ingested in natural or signature-sorted order — Block-Max
+  // MaxScore returns the same top-k as exhaustive TAAT + SelectTopK: same
+  // doc set, scores within summation-order tolerance, ties ordered by doc
+  // id. The reordered index is checked against its own oracle (its doc ids
+  // name different documents by design).
+  Rng rng(GetParam() * 7919 + 3);
+  const size_t num_docs = 300;
+  const size_t vocab = 120;
+
+  std::vector<ir::TermCounts> docs(num_docs);
+  for (auto& doc : docs) {
+    std::map<ir::TermId, uint32_t> counts;
+    const size_t n = 5 + rng.Uniform(40);
+    for (size_t i = 0; i < n; ++i) {
+      ++counts[static_cast<ir::TermId>(rng.Uniform(vocab))];
+    }
+    doc.assign(counts.begin(), counts.end());
+  }
+  // A synthetic signature-sort permutation, standing in for the engine's
+  // SimHash-based doc-id reordering.
+  std::vector<uint64_t> signatures(num_docs);
+  for (auto& s : signatures) s = rng.Next();
+  const std::vector<uint32_t> order = ir::SignatureSortOrder(signatures);
+  ASSERT_TRUE(ir::IsPermutation(order));
+
+  for (const bool reorder : {false, true}) {
+    ir::InvertedIndex index;
+    std::vector<ir::IndexSnapshot> epochs;
+    for (size_t d = 0; d < num_docs; ++d) {
+      index.AddDocument(docs[reorder ? order[d] : d]);
+      if (d == num_docs / 3 || d == 2 * num_docs / 3 ||
+          d == num_docs - 1) {
+        epochs.push_back(index.Capture());
+      }
+    }
+    ir::Bm25Scorer scorer(&index);
+    ir::MaxScoreRetriever block_max(&index);
+    ir::MaxScoreRetriever plain(&index, {}, ir::MaxScoreOptions{false});
+
+    Rng qrng(GetParam() * 271 + (reorder ? 1 : 0));
+    for (const ir::IndexSnapshot& snapshot : epochs) {
+      for (int trial = 0; trial < 8; ++trial) {
+        ir::TermCounts query;
+        std::set<ir::TermId> used;
+        const size_t num_terms = 1 + qrng.Uniform(8);
+        while (query.size() < num_terms) {
+          const ir::TermId t = static_cast<ir::TermId>(qrng.Uniform(vocab));
+          if (used.insert(t).second) {
+            query.push_back({t, 1 + static_cast<uint32_t>(qrng.Uniform(3))});
+          }
+        }
+        std::sort(query.begin(), query.end());
+        const size_t k = 1 + qrng.Uniform(25);
+
+        const auto exact =
+            ir::SelectTopK(scorer.ScoreAll(query, snapshot), k);
+        for (const auto* retriever : {&block_max, &plain}) {
+          const auto pruned = retriever->TopK(query, k, snapshot);
+          ASSERT_EQ(pruned.size(), exact.size());
+          std::set<ir::DocId> pruned_docs, exact_docs;
+          for (const auto& s : pruned) pruned_docs.insert(s.doc);
+          for (const auto& s : exact) exact_docs.insert(s.doc);
+          ASSERT_EQ(pruned_docs, exact_docs)
+              << "reorder=" << reorder << " trial " << trial;
+          for (size_t i = 0; i < pruned.size(); ++i) {
+            EXPECT_NEAR(pruned[i].score, exact[i].score, 1e-9);
+            if (i > 0 && pruned[i].score == pruned[i - 1].score) {
+              EXPECT_LT(pruned[i - 1].doc, pruned[i].doc)
+                  << "ties must order by doc id";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockMaxOracleTest,
+                         ::testing::Range<uint64_t>(0, 5));
 
 }  // namespace
 }  // namespace newslink

@@ -292,6 +292,129 @@ TEST_F(SnapshotTest, BitFlippedSnapshotsAlwaysFailCleanly) {
   }
 }
 
+TEST_F(SnapshotTest, StaleFormatVersionIsRejectedOutright) {
+  // A v1 file (pre doc-map) with a VALID file CRC must still be refused:
+  // the version gate, not checksumming, is what protects against silently
+  // mis-reading an older layout.
+  SharedState& s = State();
+  std::string stale = s.snapshot_bytes;
+  ASSERT_GT(stale.size(), 12u);
+  // Bytes 6-7 hold the little-endian format version, right after "NLSNAP".
+  stale[6] = 1;
+  stale[7] = 0;
+  const uint32_t crc = Crc32(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(stale.data()), stale.size() - 4));
+  for (int i = 0; i < 4; ++i) {
+    stale[stale.size() - 4 + static_cast<size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  const std::string path = testing::TempDir() + "snapshot_stale_version.snap";
+  WriteFileBytes(path, stale);
+
+  const Result<SnapshotFile> parsed = ReadSnapshotFile(path);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("format version"),
+            std::string::npos)
+      << parsed.status().ToString();
+
+  NewsLinkEngine engine(&s.world.graph, &s.labels, NewsLinkConfig{});
+  EXPECT_FALSE(engine.LoadSnapshot(path).ok());
+  EXPECT_EQ(engine.num_indexed_docs(), 0u);
+}
+
+TEST_F(SnapshotTest, CorruptDocMapSectionIsRejected) {
+  // CRC-clean but semantically invalid doc maps (not a permutation, or the
+  // wrong cardinality) must fail the load and leave the engine empty.
+  SharedState& s = State();
+  const Result<SnapshotFile> file = ReadSnapshotFile(s.snapshot_path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_NE(file->Find("doc_map"), nullptr);
+
+  const auto rewrite = [&](const std::vector<uint8_t>& payload,
+                           bool drop_section, const std::string& path) {
+    std::vector<SnapshotSection> sections;
+    for (const SnapshotSection& section : file->sections) {
+      if (section.name == "doc_map") {
+        if (drop_section) continue;
+        sections.push_back({section.name, payload});
+      } else {
+        sections.push_back(section);
+      }
+    }
+    NL_CHECK(WriteSnapshotFile(path, file->header, sections).ok());
+  };
+
+  NewsLinkEngine engine(&s.world.graph, &s.labels, NewsLinkConfig{});
+  const size_t n = file->header.num_docs;
+  const std::string path = testing::TempDir() + "snapshot_bad_docmap.snap";
+
+  {
+    // Right count, but every entry is 0: not a permutation.
+    ByteWriter out;
+    out.WriteU64(n);
+    for (size_t i = 0; i < n; ++i) out.WriteVarint(0);
+    rewrite(out.TakeBytes(), false, path);
+    const Status status = engine.LoadSnapshot(path);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("permutation"), std::string::npos)
+        << status.ToString();
+    EXPECT_EQ(engine.num_indexed_docs(), 0u);
+  }
+  {
+    // A valid permutation of the WRONG cardinality.
+    ByteWriter out;
+    out.WriteU64(n - 1);
+    for (size_t i = 0; i + 1 < n; ++i) {
+      out.WriteVarint(static_cast<uint32_t>(i));
+    }
+    rewrite(out.TakeBytes(), false, path);
+    EXPECT_FALSE(engine.LoadSnapshot(path).ok());
+    EXPECT_EQ(engine.num_indexed_docs(), 0u);
+  }
+  {
+    // Section missing entirely (a hand-rolled v2 file without it).
+    rewrite({}, true, path);
+    EXPECT_FALSE(engine.LoadSnapshot(path).ok());
+    EXPECT_EQ(engine.num_indexed_docs(), 0u);
+  }
+  // The engine remains usable after the rejections.
+  ASSERT_TRUE(engine.LoadSnapshot(s.snapshot_path).ok());
+  EXPECT_EQ(engine.num_indexed_docs(), s.news.corpus.size());
+}
+
+TEST_F(SnapshotTest, ReorderedEngineRoundTripsThroughSnapshot) {
+  // Save from a reorder_docs engine, load into a default-config engine:
+  // hits (corpus rows) and scores must match the source engine exactly,
+  // and a re-save must be byte-identical (the doc map is persisted
+  // as-written, not recomputed from the loader's config).
+  SharedState& s = State();
+  NewsLinkConfig config;
+  config.reorder_docs = true;
+  NewsLinkEngine source(&s.world.graph, &s.labels, config);
+  ASSERT_TRUE(source.Index(s.news.corpus).ok());
+  const std::string path = testing::TempDir() + "snapshot_reordered.snap";
+  ASSERT_TRUE(source.SaveSnapshot(path).ok());
+
+  NewsLinkEngine loaded(&s.world.graph, &s.labels, NewsLinkConfig{});
+  const Status status = loaded.LoadSnapshot(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(loaded.num_indexed_docs(), s.news.corpus.size());
+
+  for (const std::string& query : s.Queries()) {
+    const auto expected = source.Search({query, 10}).hits;
+    const auto actual = loaded.Search({query, 10}).hits;
+    ASSERT_EQ(actual.size(), expected.size()) << "query: " << query;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].doc_index, expected[i].doc_index) << "rank " << i;
+      EXPECT_EQ(actual[i].score, expected[i].score) << "rank " << i;
+    }
+  }
+
+  const std::string resave = testing::TempDir() + "snapshot_reordered2.snap";
+  ASSERT_TRUE(loaded.SaveSnapshot(resave).ok());
+  EXPECT_EQ(ReadFileBytes(resave), ReadFileBytes(path));
+}
+
 // ---------------------------------------------------------------------------
 // Hardened readers: embeddings (text + binary) and corpus TSV.
 // ---------------------------------------------------------------------------

@@ -1,4 +1,7 @@
-// Tests for VByte compression and the compressed inverted index.
+// Tests for VByte compression, the block-max posting list, and the
+// compressed inverted index — including the malformed-input corpora
+// (truncated / overlong / bit-flipped streams) that the Release-mode
+// decoder must reject with Status instead of reading out of bounds.
 
 #include <gtest/gtest.h>
 
@@ -8,6 +11,13 @@
 namespace newslink {
 namespace ir {
 namespace {
+
+uint32_t DecodeOk(const std::vector<uint8_t>& bytes, size_t* pos) {
+  uint32_t value = 0;
+  const Status s = VarByteDecode(bytes, pos, &value);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return value;
+}
 
 TEST(VarByteTest, EncodesKnownValues) {
   std::vector<uint8_t> out;
@@ -37,7 +47,7 @@ TEST(VarByteTest, RoundTripsRandomValues) {
   }
   size_t pos = 0;
   for (uint32_t expected : values) {
-    EXPECT_EQ(VarByteDecode(bytes, &pos), expected);
+    EXPECT_EQ(DecodeOk(bytes, &pos), expected);
   }
   EXPECT_EQ(pos, bytes.size());
 }
@@ -47,7 +57,121 @@ TEST(VarByteTest, MaxValueRoundTrips) {
   VarByteEncode(0xFFFFFFFFu, &bytes);
   EXPECT_EQ(bytes.size(), 5u);
   size_t pos = 0;
-  EXPECT_EQ(VarByteDecode(bytes, &pos), 0xFFFFFFFFu);
+  EXPECT_EQ(DecodeOk(bytes, &pos), 0xFFFFFFFFu);
+}
+
+TEST(VarByteTest, RejectsEmptyAndTruncatedStreams) {
+  // Regression: the decoder used to walk past the buffer in Release builds
+  // (the bounds NL_DCHECK compiles away). Every truncation must now be a
+  // clean IOError with *pos at the failure point.
+  uint32_t value = 0;
+  size_t pos = 0;
+  EXPECT_TRUE(VarByteDecode(std::span<const uint8_t>(), &pos, &value)
+                  .IsIOError());
+
+  std::vector<uint8_t> bytes;
+  VarByteEncode(1u << 20, &bytes);  // multi-byte encoding
+  for (size_t cut = 0; cut + 1 < bytes.size(); ++cut) {
+    const std::span<const uint8_t> truncated(bytes.data(), cut + 1);
+    // Keep only continuation bytes: drop the terminator.
+    pos = 0;
+    const Status s = VarByteDecode(truncated, &pos, &value);
+    EXPECT_TRUE(s.IsIOError()) << "cut=" << cut << " " << s.ToString();
+    EXPECT_EQ(pos, truncated.size());
+  }
+}
+
+TEST(VarByteTest, RejectsRunawayContinuationBytes) {
+  // All-continuation input: the old decoder would shift past 31 bits (UB)
+  // and read forever; the new one must stop at 5 bytes.
+  const std::vector<uint8_t> runaway(64, 0xFF);
+  size_t pos = 0;
+  uint32_t value = 0;
+  const Status s = VarByteDecode(runaway, &pos, &value);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_EQ(pos, 4u) << "*pos must sit at the offending 5th byte";
+
+  // Continuation bits that survive the overflow check (payload fits) still
+  // hit the 5-byte length cap.
+  const std::vector<uint8_t> six = {0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+  pos = 0;
+  EXPECT_TRUE(VarByteDecode(six, &pos, &value).IsIOError());
+  EXPECT_LE(pos, six.size());
+}
+
+TEST(VarByteTest, RejectsFifthByteOverflow) {
+  // 5 bytes whose last carries more than the top 4 bits of a uint32_t.
+  const std::vector<uint8_t> overflow = {0xFF, 0xFF, 0xFF, 0xFF, 0x10};
+  size_t pos = 0;
+  uint32_t value = 0;
+  EXPECT_TRUE(VarByteDecode(overflow, &pos, &value).IsIOError());
+
+  // ... while the largest valid 5th byte decodes fine.
+  const std::vector<uint8_t> max = {0xFF, 0xFF, 0xFF, 0xFF, 0x0F};
+  pos = 0;
+  EXPECT_EQ(DecodeOk(max, &pos), 0xFFFFFFFFu);
+}
+
+TEST(VarByteTest, RejectsOverlongEncodings) {
+  // {0x80, 0x00} re-encodes 0 in two bytes; VarByteEncode never produces
+  // it, so it marks a stream we did not write.
+  const std::vector<uint8_t> overlong_zero = {0x80, 0x00};
+  size_t pos = 0;
+  uint32_t value = 0;
+  EXPECT_TRUE(VarByteDecode(overlong_zero, &pos, &value).IsIOError());
+
+  const std::vector<uint8_t> overlong_127 = {0xFF, 0x00};
+  pos = 0;
+  EXPECT_TRUE(VarByteDecode(overlong_127, &pos, &value).IsIOError());
+}
+
+TEST(VarByteTest, DecodeNeverCrashesOnRandomBytes) {
+  // Fuzz under ASan/UBSan: random byte soup either decodes or returns
+  // Status — never reads out of bounds, never shifts past 31 bits.
+  Rng rng(29);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> junk(rng.Uniform(9));
+    for (uint8_t& b : junk) b = static_cast<uint8_t>(rng.Uniform(256));
+    size_t pos = 0;
+    uint32_t value = 0;
+    const Status s = VarByteDecode(junk, &pos, &value);
+    if (s.ok()) {
+      EXPECT_LE(pos, junk.size());
+    }
+  }
+}
+
+TEST(DecodePostingsTest, ValidatesStructureNotJustVarbytes) {
+  // A stream can be varbyte-clean yet structurally corrupt; every such
+  // case must surface as IOError, mirroring the snapshot-load validation.
+  const auto decode = [](const std::vector<uint8_t>& bytes, size_t count) {
+    size_t pos = 0;
+    return DecodePostings(std::span<const uint8_t>(bytes), &pos, count, 0,
+                          /*allow_zero_first_gap=*/true,
+                          [](const Posting&) {});
+  };
+
+  std::vector<uint8_t> zero_gap;
+  VarByteEncode(3, &zero_gap);  // doc 3
+  VarByteEncode(1, &zero_gap);  // tf 1
+  VarByteEncode(0, &zero_gap);  // zero gap: duplicate doc id
+  VarByteEncode(2, &zero_gap);
+  EXPECT_TRUE(decode(zero_gap, 2).IsIOError());
+
+  std::vector<uint8_t> zero_tf;
+  VarByteEncode(3, &zero_tf);
+  VarByteEncode(0, &zero_tf);  // tf 0
+  EXPECT_TRUE(decode(zero_tf, 1).IsIOError());
+
+  std::vector<uint8_t> overflowing;
+  VarByteEncode(0xFFFFFFFFu, &overflowing);  // doc 2^32-1 == kInvalidDoc
+  VarByteEncode(1, &overflowing);
+  EXPECT_TRUE(decode(overflowing, 1).IsIOError());
+
+  std::vector<uint8_t> truncated;
+  VarByteEncode(3, &truncated);
+  VarByteEncode(1, &truncated);
+  EXPECT_TRUE(decode(truncated, 2).IsIOError()) << "count demands more bytes";
 }
 
 TEST(CompressedPostingListTest, RoundTripsAndShrinks) {
@@ -60,7 +184,8 @@ TEST(CompressedPostingListTest, RoundTripsAndShrinks) {
   }
   CompressedPostingList list({postings.data(), postings.size()});
   EXPECT_EQ(list.size(), postings.size());
-  const std::vector<Posting> decoded = list.Decode();
+  std::vector<Posting> decoded;
+  ASSERT_TRUE(list.Decode(&decoded).ok());
   ASSERT_EQ(decoded.size(), postings.size());
   for (size_t i = 0; i < postings.size(); ++i) {
     EXPECT_EQ(decoded[i].doc, postings[i].doc);
@@ -73,15 +198,19 @@ TEST(CompressedPostingListTest, RoundTripsAndShrinks) {
 TEST(CompressedPostingListTest, EmptyList) {
   CompressedPostingList list;
   EXPECT_EQ(list.size(), 0u);
-  EXPECT_TRUE(list.Decode().empty());
+  EXPECT_EQ(list.num_blocks(), 0u);
+  std::vector<Posting> decoded;
+  EXPECT_TRUE(list.Decode(&decoded).ok());
+  EXPECT_TRUE(decoded.empty());
 }
 
 TEST(CompressedPostingListTest, ForEachStreams) {
   CompressedPostingList list;
-  list.Append({5, 2});
-  list.Append({9, 1});
+  ASSERT_TRUE(list.Append({5, 2}).ok());
+  ASSERT_TRUE(list.Append({9, 1}).ok());
   std::vector<Posting> seen;
-  list.ForEach([&seen](const Posting& p) { seen.push_back(p); });
+  ASSERT_TRUE(list.ForEach([&seen](const Posting& p) { seen.push_back(p); })
+                  .ok());
   ASSERT_EQ(seen.size(), 2u);
   EXPECT_EQ(seen[0].doc, 5u);
   EXPECT_EQ(seen[1].doc, 9u);
@@ -99,7 +228,8 @@ TEST(CompressedPostingListTest, RejectsNonMonotonicDocIds) {
   const Status duplicate = list.Append({10, 1});
   EXPECT_TRUE(duplicate.IsInvalidArgument()) << duplicate.ToString();
   ASSERT_EQ(list.size(), 1u);
-  const std::vector<Posting> decoded = list.Decode();
+  std::vector<Posting> decoded;
+  ASSERT_TRUE(list.Decode(&decoded).ok());
   ASSERT_EQ(decoded.size(), 1u);
   EXPECT_EQ(decoded[0].doc, 10u);
   EXPECT_EQ(decoded[0].tf, 2u);
@@ -119,7 +249,8 @@ TEST(CompressedPostingListTest, SpanConstructorSortsAndMerges) {
   // rather than corrupting the delta stream.
   const std::vector<Posting> messy = {{9, 1}, {3, 2}, {9, 4}, {1, 1}};
   CompressedPostingList list({messy.data(), messy.size()});
-  const std::vector<Posting> decoded = list.Decode();
+  std::vector<Posting> decoded;
+  ASSERT_TRUE(list.Decode(&decoded).ok());
   ASSERT_EQ(decoded.size(), 3u);
   EXPECT_EQ(decoded[0].doc, 1u);
   EXPECT_EQ(decoded[0].tf, 1u);
@@ -127,6 +258,102 @@ TEST(CompressedPostingListTest, SpanConstructorSortsAndMerges) {
   EXPECT_EQ(decoded[1].tf, 2u);
   EXPECT_EQ(decoded[2].doc, 9u);
   EXPECT_EQ(decoded[2].tf, 5u);
+}
+
+TEST(CompressedPostingListTest, BlockMetadataTracksMaxTf) {
+  CompressedPostingList list;
+  const size_t n = kPostingBlockSize * 3 + 10;  // 3 full blocks + a tail
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t tf = static_cast<uint32_t>(1 + i % 7);
+    ASSERT_TRUE(list.Append({static_cast<DocId>(i * 2 + 1), tf}).ok());
+  }
+  ASSERT_EQ(list.num_blocks(), 4u);
+  EXPECT_EQ(list.BlockCount(0), kPostingBlockSize);
+  EXPECT_EQ(list.BlockCount(3), 10u);
+  for (size_t b = 0; b < list.num_blocks(); ++b) {
+    const PostingBlock& meta = list.block(b);
+    std::vector<Posting> block;
+    ASSERT_TRUE(list.DecodeBlock(b, &block).ok()) << "block " << b;
+    ASSERT_EQ(block.size(), list.BlockCount(b));
+    EXPECT_EQ(block.front().doc, meta.first_doc);
+    EXPECT_EQ(block.back().doc, meta.last_doc);
+    uint32_t max_tf = 0;
+    for (const Posting& p : block) max_tf = std::max(max_tf, p.tf);
+    EXPECT_EQ(meta.max_tf, max_tf) << "block " << b;
+  }
+
+  // Concatenating the blocks reproduces the full decode.
+  std::vector<Posting> whole;
+  ASSERT_TRUE(list.Decode(&whole).ok());
+  std::vector<Posting> concat;
+  for (size_t b = 0; b < list.num_blocks(); ++b) {
+    std::vector<Posting> block;
+    ASSERT_TRUE(list.DecodeBlock(b, &block).ok());
+    concat.insert(concat.end(), block.begin(), block.end());
+  }
+  ASSERT_EQ(concat.size(), whole.size());
+  for (size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(concat[i].doc, whole[i].doc);
+    EXPECT_EQ(concat[i].tf, whole[i].tf);
+  }
+  EXPECT_TRUE(list.DecodeBlock(4, &whole).IsInvalidArgument());
+}
+
+TEST(CompressedPostingListTest, BitFlipsNeverCrashTheDecoder) {
+  // Flip every bit of a real encoded stream, one at a time, and decode the
+  // mutated stream both whole (DecodePostings) and per block. Under
+  // ASan/UBSan this is the no-OOB/no-UB guarantee; functionally, each
+  // mutation either decodes (the flip landed in a tf or produced another
+  // valid stream) or returns Status.
+  CompressedPostingList list;
+  Rng rng(41);
+  DocId doc = 0;
+  for (int i = 0; i < 200; ++i) {
+    doc += 1 + static_cast<uint32_t>(rng.Uniform(1000));
+    ASSERT_TRUE(
+        list.Append({doc, 1 + static_cast<uint32_t>(rng.Uniform(200))}).ok());
+  }
+  std::vector<uint8_t> clean;
+  {
+    // Re-encode through the public API to get the raw stream bytes.
+    std::vector<Posting> decoded;
+    ASSERT_TRUE(list.Decode(&decoded).ok());
+    DocId last = 0;
+    for (size_t i = 0; i < decoded.size(); ++i) {
+      VarByteEncode(i == 0 ? decoded[i].doc : decoded[i].doc - last, &clean);
+      VarByteEncode(decoded[i].tf, &clean);
+      last = decoded[i].doc;
+    }
+  }
+  size_t rejected = 0;
+  for (size_t byte = 0; byte < clean.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> mutated = clean;
+      mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+      size_t pos = 0;
+      size_t count = 0;
+      const Status s = DecodePostings(
+          std::span<const uint8_t>(mutated), &pos, list.size(), 0,
+          /*allow_zero_first_gap=*/true, [&count](const Posting&) { ++count; });
+      if (!s.ok()) {
+        ++rejected;
+      } else {
+        EXPECT_EQ(count, list.size());
+        EXPECT_LE(pos, mutated.size());
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0u) << "some mutations must be structurally invalid";
+
+  // Truncation sweep on the clean stream: every prefix either decodes
+  // fewer postings than requested (IOError) or is bit-exact.
+  for (size_t cut = 0; cut < clean.size(); ++cut) {
+    size_t pos = 0;
+    const Status s = DecodePostings(
+        std::span<const uint8_t>(clean.data(), cut), &pos, list.size(), 0,
+        /*allow_zero_first_gap=*/true, [](const Posting&) {});
+    EXPECT_TRUE(s.IsIOError()) << "cut=" << cut;
+  }
 }
 
 TEST(CompressedInvertedIndexTest, AddDocumentCoalescesDuplicateTerms) {
@@ -205,7 +432,8 @@ TEST(CompressedInvertedIndexTest, UnknownTermEmpty) {
   EXPECT_TRUE(index.Postings(5).empty());
   EXPECT_EQ(index.DocFreq(5), 0u);
   int visits = 0;
-  index.ForEachPosting(5, [&visits](const Posting&) { ++visits; });
+  EXPECT_TRUE(
+      index.ForEachPosting(5, [&visits](const Posting&) { ++visits; }).ok());
   EXPECT_EQ(visits, 0);
 }
 

@@ -8,12 +8,15 @@
 //       Generate a news corpus over an existing KG dump.
 //
 //   newslink_cli build-index <kg_prefix> <corpus_tsv> <out_snapshot>
-//       [--snapshot IN]
+//       [--snapshot IN] [--reorder]
 //       Build the full engine state over the corpus (the expensive NLP/NE
 //       pipeline) and persist it as a versioned snapshot. With --snapshot,
 //       warm-start from an existing snapshot instead of rebuilding and
 //       re-save (a load→save round trip is byte-identical, which CI
-//       verifies with cmp).
+//       verifies with cmp). --reorder renumbers internal doc ids by SimHash
+//       similarity at build time (better block-max pruning); search results
+//       are identical, and the snapshot records the id map, so serving a
+//       reordered snapshot needs no flag.
 //
 //   newslink_cli search <kg_prefix> <corpus_tsv> <query...> [--beta B]
 //       [--k N] [--explain] [--trace] [--metrics-out FILE] [--snapshot PATH]
@@ -88,7 +91,7 @@ struct Flags {
 
 /// Flags that take no value.
 bool IsBooleanFlag(const std::string& name) {
-  return name == "explain" || name == "trace";
+  return name == "explain" || name == "trace" || name == "reorder";
 }
 
 Flags ParseFlags(int argc, char** argv, int first) {
@@ -119,7 +122,7 @@ int Usage() {
       "  newslink_cli generate-corpus <kg_prefix> <out_tsv> [--seed N]\n"
       "               [--stories N] [--preset cnn|kaggle]\n"
       "  newslink_cli build-index <kg_prefix> <corpus_tsv> <out_snapshot>\n"
-      "               [--snapshot IN]\n"
+      "               [--snapshot IN] [--reorder]\n"
       "  newslink_cli search <kg_prefix> <corpus_tsv> <query...> [--beta B]\n"
       "               [--k N] [--explain] [--trace] [--metrics-out FILE]\n"
       "               [--snapshot PATH]\n"
@@ -257,7 +260,9 @@ int BuildIndexCmd(const Flags& flags) {
     return 2;
   }
   kg::LabelIndex labels(*graph);
-  NewsLinkEngine engine(&*graph, &labels, NewsLinkConfig{});
+  NewsLinkConfig config;
+  config.reorder_docs = flags.Has("reorder");
+  NewsLinkEngine engine(&*graph, &labels, config);
   WallTimer timer;
   const int rc = PopulateEngine(&engine, *docs, flags.Get("snapshot", ""));
   if (rc != 0) return rc;
