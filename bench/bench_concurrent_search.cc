@@ -18,6 +18,11 @@
 // warm start (SaveSnapshot + LoadSnapshot into a fresh engine) and gates
 // the warm path at >= 10x faster than the cold build.
 //
+// --shards N runs the concurrent workload against in-process ShardedEngines
+// at every shard count 1..N (round-robin partition, scatter-gather over the
+// fan-out pool), reporting QPS/p99 per shard count and gating hit parity
+// against the single engine.
+//
 // --metrics-out FILE writes the engine's final Prometheus exposition.
 //
 // Env knobs: NEWSLINK_BENCH_STORIES (corpus size, default 120),
@@ -40,6 +45,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "newslink/newslink_engine.h"
+#include "newslink/sharded_engine.h"
 
 using namespace newslink;
 
@@ -76,7 +82,7 @@ struct RunReport {
 /// walks the query list at a different offset so distinct queries overlap).
 /// Every request carries trace=true: latency numbers include the full
 /// observability layer.
-RunReport RunWorkload(const NewsLinkEngine& engine,
+RunReport RunWorkload(const baselines::SearchEngine& engine,
                       const std::vector<std::string>& queries, int num_threads,
                       int rounds, size_t k, bool exhaustive) {
   const uint64_t bow_before = engine.Metrics().CounterValue(kBowDocsScored);
@@ -170,11 +176,15 @@ int main(int argc, char** argv) {
   bool with_ingest = false;
   bool with_batch = false;
   bool prune_gate = false;
+  size_t max_shards = 0;
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--with-ingest") == 0) with_ingest = true;
     if (std::strcmp(argv[i], "--batch") == 0) with_batch = true;
     if (std::strcmp(argv[i], "--prune-gate") == 0) prune_gate = true;
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      max_shards = static_cast<size_t>(std::atoi(argv[++i]));
+    }
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     }
@@ -361,6 +371,49 @@ int main(int argc, char** argv) {
         batch_ok ? "ok" : "FAIL");
   }
 
+  // --shards N: the same concurrent workload against in-process
+  // ShardedEngines at shard counts 1..N (round-robin partition). The merge
+  // is score-safe, so every count must reproduce the single engine's hits.
+  bool shards_ok = true;
+  if (max_shards > 0) {
+    std::printf("\nscatter-gather (ShardedEngine, round-robin):\n");
+    std::printf("%-22s %8s %9s %9s\n", "mode", "QPS", "p50 ms", "p99 ms");
+    bench::PrintRule(52);
+    for (size_t n = 1; n <= max_shards; ++n) {
+      ShardedOptions shard_options;
+      shard_options.num_shards = n;
+      ShardedEngine sharded(&world->kg.graph, &world->index, config,
+                            shard_options);
+      NL_CHECK(sharded.Index(dataset.corpus).ok());
+      const RunReport report =
+          RunWorkload(sharded, queries, num_threads, 1, kK,
+                      /*exhaustive=*/false);
+      std::snprintf(label, sizeof(label), "sharded n=%zu x%d", n,
+                    num_threads);
+      std::printf("%-22s %8.1f %9.3f %9.3f\n", label, report.qps,
+                  report.p50_ms, report.p99_ms);
+      for (const std::string& q : queries) {
+        baselines::SearchRequest request;
+        request.query = q;
+        request.k = kK;
+        const auto expected = engine.Search(request).hits;
+        const auto actual = sharded.Search(request).hits;
+        bool parity = expected.size() == actual.size();
+        for (size_t i = 0; parity && i < expected.size(); ++i) {
+          parity = expected[i].doc_index == actual[i].doc_index &&
+                   std::fabs(expected[i].score - actual[i].score) <= 1e-6;
+        }
+        if (!parity) {
+          std::printf("  hit parity vs single engine FAILED at n=%zu\n", n);
+          shards_ok = false;
+          break;
+        }
+      }
+    }
+    std::printf("hit parity across shard counts 1..%zu: %s\n", max_shards,
+                shards_ok ? "ok" : "FAIL");
+  }
+
   // Live ingestion: re-run the concurrent workload while a writer thread
   // appends a second synthetic corpus into the same engine.
   bool ingest_ok = true;
@@ -466,7 +519,7 @@ int main(int argc, char** argv) {
       no_violations ? "yes" : "NO", 100.0 * prunedN.span_coverage,
       coverage_ok ? "ok" : "FAIL");
   return (fewer_docs && cache_ok && no_violations && ingest_ok &&
-          coverage_ok && warm_ok && batch_ok && blockmax_ok)
+          coverage_ok && warm_ok && batch_ok && blockmax_ok && shards_ok)
              ? 0
              : 1;
 }

@@ -110,6 +110,18 @@ struct SearchResponse {
   bool deadline_exceeded = false;
   /// The query's span tree; filled only when SearchRequest::trace is set.
   TraceSpan trace;
+
+  // Scatter-gather fields (sharded / coordinator serving; additive — zero
+  // for single-index engines, and the JSON codec only emits them when
+  // shards_total > 0 so existing consumers see an unchanged shape).
+  /// Shards this query fanned out to (0 = not a sharded engine).
+  size_t shards_total = 0;
+  /// Shards that answered within their budget. < shards_total means the
+  /// hits cover only part of the corpus.
+  size_t shards_answered = 0;
+  /// True when any shard was skipped (down or past its deadline budget):
+  /// the response is a best-effort merge over the answering shards.
+  bool degraded = false;
 };
 
 /// \brief A top-k document search engine.

@@ -26,22 +26,26 @@ double MaxScoreRetriever::TfBound(uint32_t max_tf, double norm_min) const {
   return tf * (params_.k1 + 1.0) / (tf + norm_min);
 }
 
-std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
-                                               size_t k,
-                                               const IndexSnapshot& snapshot,
-                                               size_t* docs_scored,
-                                               size_t* blocks_skipped) const {
+std::vector<ScoredDoc> MaxScoreRetriever::TopK(
+    const TermCounts& query, size_t k, const IndexSnapshot& snapshot,
+    size_t* docs_scored, size_t* blocks_skipped,
+    const CollectionStats* collection) const {
   size_t scored = 0;
   size_t skipped_blocks = 0;
-  const double avgdl = snapshot.avg_doc_length();
+  const double avgdl =
+      collection ? collection->avg_doc_length() : snapshot.avg_doc_length();
+  const double num_docs = static_cast<double>(
+      collection ? collection->num_docs : snapshot.num_docs);
   // Smallest norm any scored doc can have: norm is increasing in dl, the
   // live MinDocLength() only ever decreases, and Score() uses this same
   // snapshot avgdl — so this floor is valid even under concurrent append.
+  // A collection-wide minimum (shard serving) is <= the local one: bounds
+  // merely loosen.
+  const double min_dl = static_cast<double>(
+      collection ? collection->min_doc_length : index_->MinDocLength());
   const double norm_min = std::max(
       0.0, params_.k1 * (1.0 - params_.b +
-                         params_.b * (avgdl > 0
-                                          ? index_->MinDocLength() / avgdl
-                                          : 0.0)));
+                         params_.b * (avgdl > 0 ? min_dl / avgdl : 0.0)));
   struct Term {
     PostingView postings;
     TermBlockMax blocks;
@@ -50,19 +54,29 @@ std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
     double bound;  // maximum possible contribution of this term
   };
   std::vector<Term> terms;
-  for (const auto& [term, qtf] : query) {
+  for (size_t i = 0; i < query.size(); ++i) {
+    const auto& [term, qtf] = query[i];
     const PostingView postings = index_->Postings(term, snapshot);
     if (postings.empty()) continue;
-    const double idf = scorer_.Idf(term, snapshot);
+    const double idf =
+        collection
+            ? Bm25Scorer::IdfValue(num_docs,
+                                   static_cast<double>(collection->df[i]))
+            : scorer_.Idf(term, snapshot);
     // tf * (k1+1) / (tf + norm) < (k1 + 1) for norm > 0; == at norm == 0.
     double bound = qtf * idf * (params_.k1 + 1.0);
     TermBlockMax blocks;
     if (options_.use_block_max) {
       blocks = index_->BlockMax(term);
-      if (blocks.max_tf > 0) {
-        // Tighter: the term's max tf caps every posting (the live max is a
-        // superset max, hence still valid for this snapshot's prefix).
-        bound = qtf * idf * TfBound(blocks.max_tf, norm_min);
+      // Tighter: the term's max tf caps every posting (the live max is a
+      // superset max, hence still valid for this snapshot's prefix). With
+      // collection stats the cap is the collection-wide maximum, >= any
+      // local tf — looser but keeps the bound ordering identical to a
+      // single index over the union.
+      const uint32_t tf_cap =
+          collection ? collection->max_tf[i] : blocks.max_tf;
+      if (tf_cap > 0) {
+        bound = qtf * idf * TfBound(tf_cap, norm_min);
       }
     }
     terms.push_back(Term{postings, blocks, idf, qtf, bound});
@@ -82,9 +96,13 @@ std::vector<ScoredDoc> MaxScoreRetriever::TopK(const TermCounts& query,
   if (terms.empty() || k == 0) return finish({});
 
   // Ascending by bound: terms[0..e) become non-essential as the threshold
-  // grows.
-  std::sort(terms.begin(), terms.end(),
-            [](const Term& a, const Term& b) { return a.bound < b.bound; });
+  // grows. Stable, so equal-bound terms keep their query order — a shard
+  // evaluating a sub-collection with CollectionStats accumulates per-doc
+  // contributions in the same sequence as a single index over the union.
+  std::stable_sort(terms.begin(), terms.end(),
+                   [](const Term& a, const Term& b) {
+                     return a.bound < b.bound;
+                   });
   std::vector<double> prefix(terms.size() + 1, 0.0);
   for (size_t i = 0; i < terms.size(); ++i) {
     prefix[i + 1] = prefix[i] + terms[i].bound;

@@ -68,10 +68,21 @@ class MaxScoreRetriever {
   /// prefix too.) `docs_scored` / `blocks_skipped`, when non-null, receive
   /// this call's counts (the per-thread-accurate way to read the pruning
   /// instrumentation).
+  ///
+  /// With non-null `collection` (the shard-serving hook), N / avgdl / df /
+  /// min-doc-length / term-level max-tf come from it instead of the local
+  /// index, so the returned scores equal ScoreAll(query, snapshot,
+  /// collection) — the shard's documents scored as members of the whole
+  /// collection. Collection-wide max_tf >= the local maximum and a
+  /// collection-wide minimum doc length <= the local one only loosen the
+  /// pruning bounds, so the result is still exact. Block-level maxima stay
+  /// local (they bound local postings, which is all skipping needs).
   std::vector<ScoredDoc> TopK(const TermCounts& query, size_t k,
                               const IndexSnapshot& snapshot,
                               size_t* docs_scored = nullptr,
-                              size_t* blocks_skipped = nullptr) const;
+                              size_t* blocks_skipped = nullptr,
+                              const CollectionStats* collection = nullptr)
+      const;
   std::vector<ScoredDoc> TopK(const TermCounts& query, size_t k,
                               size_t* docs_scored = nullptr,
                               size_t* blocks_skipped = nullptr) const {

@@ -19,18 +19,28 @@ std::vector<ScoredDoc> AccumulatorsToVector(
 
 }  // namespace
 
+double Bm25Scorer::IdfValue(double num_docs, double df) {
+  return std::log(1.0 + (num_docs - df + 0.5) / (df + 0.5));
+}
+
 double Bm25Scorer::Idf(TermId term, const IndexSnapshot& snapshot) const {
-  const double n = static_cast<double>(snapshot.num_docs);
-  const double df = static_cast<double>(index_->DocFreq(term, snapshot));
-  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+  return IdfValue(static_cast<double>(snapshot.num_docs),
+                  static_cast<double>(index_->DocFreq(term, snapshot)));
 }
 
 std::vector<ScoredDoc> Bm25Scorer::ScoreAll(
-    const TermCounts& query, const IndexSnapshot& snapshot) const {
+    const TermCounts& query, const IndexSnapshot& snapshot,
+    const CollectionStats* collection) const {
   std::unordered_map<DocId, double> acc;
-  const double avgdl = snapshot.avg_doc_length();
-  for (const auto& [term, qtf] : query) {
-    const double idf = Idf(term, snapshot);
+  const double avgdl =
+      collection ? collection->avg_doc_length() : snapshot.avg_doc_length();
+  const double n = static_cast<double>(
+      collection ? collection->num_docs : snapshot.num_docs);
+  for (size_t i = 0; i < query.size(); ++i) {
+    const auto& [term, qtf] = query[i];
+    const double df = static_cast<double>(
+        collection ? collection->df[i] : index_->DocFreq(term, snapshot));
+    const double idf = IdfValue(n, df);
     for (const Posting& p : index_->Postings(term, snapshot)) {
       const double dl = static_cast<double>(index_->DocLength(p.doc));
       const double norm =
@@ -44,21 +54,28 @@ std::vector<ScoredDoc> Bm25Scorer::ScoreAll(
 }
 
 double Bm25Scorer::ScoreDoc(const TermCounts& query, DocId doc,
-                            const IndexSnapshot& snapshot) const {
-  const double avgdl = snapshot.avg_doc_length();
+                            const IndexSnapshot& snapshot,
+                            const CollectionStats* collection) const {
+  const double avgdl =
+      collection ? collection->avg_doc_length() : snapshot.avg_doc_length();
+  const double n = static_cast<double>(
+      collection ? collection->num_docs : snapshot.num_docs);
   const double dl = static_cast<double>(index_->DocLength(doc));
   const double norm =
       params_.k1 *
       (1.0 - params_.b + params_.b * (avgdl > 0 ? dl / avgdl : 0.0));
   double score = 0.0;
-  for (const auto& [term, qtf] : query) {
+  for (size_t i = 0; i < query.size(); ++i) {
+    const auto& [term, qtf] = query[i];
     const PostingView postings = index_->Postings(term, snapshot);
     const auto it = std::lower_bound(
         postings.begin(), postings.end(), doc,
         [](const Posting& p, DocId d) { return p.doc < d; });
     if (it == postings.end() || it->doc != doc) continue;
+    const double df = static_cast<double>(
+        collection ? collection->df[i] : index_->DocFreq(term, snapshot));
     const double tf = static_cast<double>(it->tf);
-    score += qtf * Idf(term, snapshot) * tf * (params_.k1 + 1.0) / (tf + norm);
+    score += qtf * IdfValue(n, df) * tf * (params_.k1 + 1.0) / (tf + norm);
   }
   return score;
 }

@@ -34,6 +34,40 @@ struct Bm25Params {
   double b = 0.75;
 };
 
+/// \brief Collection-level statistics to score with *instead of* the
+/// snapshot's own.
+///
+/// The distributed-search hook: a shard holding one partition of a corpus
+/// scores its documents with the statistics of the whole collection (union
+/// of shards) so that per-document BM25 values are bit-identical to a
+/// single index over the union. Document-level inputs (tf, doc length)
+/// still come from the local index — only N, avgdl, df, and the pruning
+/// bounds' inputs are replaced.
+///
+/// `df` (and `max_tf`, when used for bounds) are aligned *by query
+/// position*: entry i describes the i-th entry of the TermCounts passed
+/// alongside, because local term ids differ per shard and cannot key a
+/// shared table.
+struct CollectionStats {
+  uint64_t num_docs = 0;
+  uint64_t total_length = 0;
+  /// Smallest document length in the collection (bounds input; a global
+  /// minimum is <= any local one, so bounds stay valid upper bounds).
+  uint32_t min_doc_length = 0;
+  /// Collection document frequency of query entry i.
+  std::vector<uint64_t> df;
+  /// Collection-wide maximum tf of query entry i (0 = unknown; bounds then
+  /// fall back to the loose (k1+1) cap).
+  std::vector<uint32_t> max_tf;
+
+  /// Mirrors IndexSnapshot::avg_doc_length() arithmetic exactly.
+  double avg_doc_length() const {
+    return num_docs == 0 ? 0.0
+                         : static_cast<double>(total_length) /
+                               static_cast<double>(num_docs);
+  }
+};
+
 /// \brief Term-at-a-time BM25 scorer.
 class Bm25Scorer {
  public:
@@ -44,10 +78,20 @@ class Bm25Scorer {
   double Idf(TermId term, const IndexSnapshot& snapshot) const;
   double Idf(TermId term) const { return Idf(term, index_->Capture()); }
 
+  /// The idf formula on raw statistics — the one arithmetic every path
+  /// (snapshot-local or CollectionStats-overridden) goes through, so a
+  /// shard given the collection's (N, df) reproduces the exact bits.
+  static double IdfValue(double num_docs, double df);
+
   /// Score every snapshot document containing at least one query term.
   /// Query term multiplicity contributes linearly, as in Lucene.
+  /// With non-null `collection`, N / avgdl / df come from it (df by query
+  /// position) instead of the snapshot; postings and doc lengths are still
+  /// the snapshot's.
   std::vector<ScoredDoc> ScoreAll(const TermCounts& query,
-                                  const IndexSnapshot& snapshot) const;
+                                  const IndexSnapshot& snapshot,
+                                  const CollectionStats* collection = nullptr)
+      const;
   std::vector<ScoredDoc> ScoreAll(const TermCounts& query) const {
     return ScoreAll(query, index_->Capture());
   }
@@ -55,8 +99,10 @@ class Bm25Scorer {
   /// BM25 score of one document (binary search per postings list): the
   /// random-access path used to complete candidate scores after pruned
   /// retrieval. Equals the doc's ScoreAll entry (0 when no term matches).
+  /// `collection` as in ScoreAll.
   double ScoreDoc(const TermCounts& query, DocId doc,
-                  const IndexSnapshot& snapshot) const;
+                  const IndexSnapshot& snapshot,
+                  const CollectionStats* collection = nullptr) const;
   double ScoreDoc(const TermCounts& query, DocId doc) const {
     return ScoreDoc(query, doc, index_->Capture());
   }

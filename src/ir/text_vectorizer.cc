@@ -34,8 +34,28 @@ TermCounts TextVectorizer::CountsForIndexing(const std::string& text,
 
 TermCounts TextVectorizer::CountsForQuery(const std::string& text,
                                           const TermDictionary& dict) {
-  return Count(text,
-               [&dict](const std::string& stem) { return dict.Find(stem); });
+  return CountsFromStems(StemsForQuery(text), dict);
+}
+
+StemCounts TextVectorizer::StemsForQuery(const std::string& text) {
+  std::map<std::string, uint32_t> counts;
+  for (const std::string& word : text::WordTokens(text)) {
+    if (word.size() < 2 || text::IsStopword(word)) continue;
+    ++counts[text::PorterStem(word)];
+  }
+  return StemCounts(counts.begin(), counts.end());
+}
+
+TermCounts TextVectorizer::CountsFromStems(const StemCounts& stems,
+                                           const TermDictionary& dict) {
+  TermCounts counts;
+  counts.reserve(stems.size());
+  for (const auto& [stem, qtf] : stems) {
+    const TermId id = dict.Find(stem);
+    if (id == kInvalidTerm) continue;
+    counts.push_back({id, qtf});
+  }
+  return counts;
 }
 
 }  // namespace ir

@@ -5,12 +5,20 @@
 #define NEWSLINK_IR_TEXT_VECTORIZER_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ir/inverted_index.h"
 #include "ir/term_dictionary.h"
 
 namespace newslink {
 namespace ir {
+
+/// A query as (stem, count) pairs, sorted by stem — the dictionary-free
+/// representation that means the same thing to every index. This is what
+/// travels between a search coordinator and its shards: local term ids are
+/// meaningless across dictionaries, stems are not.
+using StemCounts = std::vector<std::pair<std::string, uint32_t>>;
 
 /// \brief Stateless pipeline around a TermDictionary.
 class TextVectorizer {
@@ -21,8 +29,21 @@ class TextVectorizer {
                                       TermDictionary* dict);
 
   /// Counts for querying: unknown terms are dropped (they match nothing).
+  /// Output order is the canonical stem order of StemsForQuery, NOT term-id
+  /// order, so every dictionary maps the same query to the same term
+  /// *sequence* (scoring accumulates per-doc contributions in query order;
+  /// a canonical order makes shard scores bit-equal to single-index ones).
   static TermCounts CountsForQuery(const std::string& text,
                                    const TermDictionary& dict);
+
+  /// The query pipeline without a dictionary: tokenize, drop stopwords and
+  /// single characters, Porter-stem, count. Sorted by stem.
+  static StemCounts StemsForQuery(const std::string& text);
+
+  /// Map prepared stems through `dict`, preserving their order; unknown
+  /// stems are dropped. CountsForQuery == CountsFromStems(StemsForQuery).
+  static TermCounts CountsFromStems(const StemCounts& stems,
+                                    const TermDictionary& dict);
 };
 
 }  // namespace ir

@@ -147,6 +147,13 @@ json::Value SearchResponseToJson(const baselines::SearchResponse& response,
   if (response.deadline_exceeded) {
     out.Set("deadline_exceeded", json::Value::Bool(true));
   }
+  // Scatter-gather block: additive — emitted only for sharded responses,
+  // so single-engine consumers keep seeing the exact pre-sharding shape.
+  if (response.shards_total > 0) {
+    out.Set("shards_total", json::Value::Uint(response.shards_total));
+    out.Set("shards_answered", json::Value::Uint(response.shards_answered));
+    out.Set("degraded", json::Value::Bool(response.degraded));
+  }
   json::Value timings = json::Value::Object();
   for (const auto& [bucket, seconds] : response.timings.buckets()) {
     timings.Set(StrCat(bucket, "_ms"), json::Value::Number(seconds * 1e3));
@@ -182,6 +189,433 @@ Result<corpus::Document> DocumentFromJson(const json::Value& value) {
     return Status::InvalidArgument("\"text\" is required and must be non-empty");
   }
   return doc;
+}
+
+// --- Shard RPC codecs (versioned) ---------------------------------------
+
+namespace {
+
+/// Field must be a number that is exactly a non-negative integer (u64).
+Result<uint64_t> AsU64(const json::Value& v, std::string_view field) {
+  NL_ASSIGN_OR_RETURN(const size_t u, AsSize(v, field));
+  return static_cast<uint64_t>(u);
+}
+
+Result<double> AsNumberStrict(const json::Value& v, std::string_view field) {
+  if (v.type() != json::Value::Type::kNumber) {
+    return Status::InvalidArgument(StrCat("\"", field, "\" must be a number"));
+  }
+  return v.AsDouble();
+}
+
+json::Value U64VectorToJson(const std::vector<uint64_t>& values) {
+  json::Value out = json::Value::Array();
+  for (const uint64_t v : values) out.Append(json::Value::Uint(v));
+  return out;
+}
+
+json::Value U32VectorToJson(const std::vector<uint32_t>& values) {
+  json::Value out = json::Value::Array();
+  for (const uint32_t v : values) out.Append(json::Value::Uint(v));
+  return out;
+}
+
+Result<std::vector<uint64_t>> U64VectorFromJson(const json::Value& v,
+                                                std::string_view field) {
+  if (!v.is_array()) {
+    return Status::InvalidArgument(StrCat("\"", field, "\" must be an array"));
+  }
+  std::vector<uint64_t> out;
+  out.reserve(v.size());
+  for (const json::Value& item : v.items()) {
+    NL_ASSIGN_OR_RETURN(const uint64_t value, AsU64(item, field));
+    out.push_back(value);
+  }
+  return out;
+}
+
+Result<std::vector<uint32_t>> U32VectorFromJson(const json::Value& v,
+                                                std::string_view field) {
+  NL_ASSIGN_OR_RETURN(const std::vector<uint64_t> wide,
+                      U64VectorFromJson(v, field));
+  std::vector<uint32_t> out;
+  out.reserve(wide.size());
+  for (const uint64_t value : wide) {
+    if (value > UINT32_MAX) {
+      return Status::InvalidArgument(
+          StrCat("\"", field, "\" entry exceeds 32 bits"));
+    }
+    out.push_back(static_cast<uint32_t>(value));
+  }
+  return out;
+}
+
+/// The version handshake: every shard message leads with api_version, and
+/// both sides reject a peer speaking another version with
+/// FailedPrecondition — mapped to HTTP 409 — so rolling upgrades fail
+/// loudly at the first RPC instead of silently merging wrong numbers.
+Status CheckApiVersion(bool seen, uint64_t version) {
+  if (!seen) {
+    return Status::FailedPrecondition(
+        "shard message carries no api_version (peer predates the "
+        "versioned shard RPC)");
+  }
+  if (version != kShardApiVersion) {
+    return Status::FailedPrecondition(
+        StrCat("shard api_version mismatch: peer speaks ", version,
+               ", this binary speaks ", kShardApiVersion));
+  }
+  return Status::OK();
+}
+
+json::Value ShardQueryToJson(const ShardQuery& query) {
+  json::Value out = json::Value::Object();
+  json::Value stems = json::Value::Array();
+  for (const auto& [stem, qtf] : query.text_stems) {
+    json::Value pair = json::Value::Array();
+    pair.Append(json::Value::Str(stem));
+    pair.Append(json::Value::Uint(qtf));
+    stems.Append(std::move(pair));
+  }
+  out.Set("text_stems", std::move(stems));
+  json::Value nodes = json::Value::Array();
+  for (const auto& [node, weight] : query.node_terms) {
+    json::Value pair = json::Value::Array();
+    pair.Append(json::Value::Uint(node));
+    pair.Append(json::Value::Uint(weight));
+    nodes.Append(std::move(pair));
+  }
+  out.Set("node_terms", std::move(nodes));
+  out.Set("use_bow", json::Value::Bool(query.use_bow));
+  out.Set("use_bon", json::Value::Bool(query.use_bon));
+  out.Set("kprime", json::Value::Uint(query.kprime));
+  out.Set("exhaustive", json::Value::Bool(query.exhaustive));
+  return out;
+}
+
+Result<ShardQuery> ShardQueryFromJson(const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("\"query\" must be a JSON object");
+  }
+  ShardQuery query;
+  for (const auto& [key, field] : value.members()) {
+    if (key == "text_stems") {
+      if (!field.is_array()) {
+        return Status::InvalidArgument("\"text_stems\" must be an array");
+      }
+      for (const json::Value& item : field.items()) {
+        if (!item.is_array() || item.size() != 2) {
+          return Status::InvalidArgument(
+              "\"text_stems\" entries must be [stem, count] pairs");
+        }
+        NL_ASSIGN_OR_RETURN(std::string stem,
+                            AsStringStrict(item.at(0), key));
+        NL_ASSIGN_OR_RETURN(const uint64_t qtf, AsU64(item.at(1), key));
+        query.text_stems.push_back(
+            {std::move(stem), static_cast<uint32_t>(qtf)});
+      }
+    } else if (key == "node_terms") {
+      if (!field.is_array()) {
+        return Status::InvalidArgument("\"node_terms\" must be an array");
+      }
+      for (const json::Value& item : field.items()) {
+        if (!item.is_array() || item.size() != 2) {
+          return Status::InvalidArgument(
+              "\"node_terms\" entries must be [node, weight] pairs");
+        }
+        NL_ASSIGN_OR_RETURN(const uint64_t node, AsU64(item.at(0), key));
+        NL_ASSIGN_OR_RETURN(const uint64_t weight, AsU64(item.at(1), key));
+        query.node_terms.push_back({static_cast<uint32_t>(node),
+                                    static_cast<uint32_t>(weight)});
+      }
+    } else if (key == "use_bow") {
+      NL_ASSIGN_OR_RETURN(query.use_bow, AsBoolStrict(field, key));
+    } else if (key == "use_bon") {
+      NL_ASSIGN_OR_RETURN(query.use_bon, AsBoolStrict(field, key));
+    } else if (key == "kprime") {
+      NL_ASSIGN_OR_RETURN(query.kprime, AsU64(field, key));
+    } else if (key == "exhaustive") {
+      NL_ASSIGN_OR_RETURN(query.exhaustive, AsBoolStrict(field, key));
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown shard query field: \"", key, "\""));
+    }
+  }
+  return query;
+}
+
+/// The statistics block shared by plan responses and search requests
+/// (field names identical; only the wrapper differs).
+template <typename Stats>
+void StatsToJson(const Stats& stats, json::Value* out) {
+  out->Set("num_docs", json::Value::Uint(stats.num_docs));
+  out->Set("text_total_length", json::Value::Uint(stats.text_total_length));
+  out->Set("node_total_length", json::Value::Uint(stats.node_total_length));
+  out->Set("text_min_doc_length",
+           json::Value::Uint(stats.text_min_doc_length));
+  out->Set("node_min_doc_length",
+           json::Value::Uint(stats.node_min_doc_length));
+  out->Set("text_df", U64VectorToJson(stats.text_df));
+  out->Set("node_df", U64VectorToJson(stats.node_df));
+  out->Set("text_max_tf", U32VectorToJson(stats.text_max_tf));
+  out->Set("node_max_tf", U32VectorToJson(stats.node_max_tf));
+}
+
+/// Decode one statistics field into `stats`; true when `key` was one.
+template <typename Stats>
+Result<bool> StatsFieldFromJson(std::string_view key,
+                                const json::Value& field, Stats* stats) {
+  if (key == "num_docs") {
+    NL_ASSIGN_OR_RETURN(stats->num_docs, AsU64(field, key));
+  } else if (key == "text_total_length") {
+    NL_ASSIGN_OR_RETURN(stats->text_total_length, AsU64(field, key));
+  } else if (key == "node_total_length") {
+    NL_ASSIGN_OR_RETURN(stats->node_total_length, AsU64(field, key));
+  } else if (key == "text_min_doc_length") {
+    NL_ASSIGN_OR_RETURN(const uint64_t v, AsU64(field, key));
+    stats->text_min_doc_length = static_cast<uint32_t>(v);
+  } else if (key == "node_min_doc_length") {
+    NL_ASSIGN_OR_RETURN(const uint64_t v, AsU64(field, key));
+    stats->node_min_doc_length = static_cast<uint32_t>(v);
+  } else if (key == "text_df") {
+    NL_ASSIGN_OR_RETURN(stats->text_df, U64VectorFromJson(field, key));
+  } else if (key == "node_df") {
+    NL_ASSIGN_OR_RETURN(stats->node_df, U64VectorFromJson(field, key));
+  } else if (key == "text_max_tf") {
+    NL_ASSIGN_OR_RETURN(stats->text_max_tf, U32VectorFromJson(field, key));
+  } else if (key == "node_max_tf") {
+    NL_ASSIGN_OR_RETURN(stats->node_max_tf, U32VectorFromJson(field, key));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+json::Value ShardPlanRequestToJson(const ShardPlanRpcRequest& request) {
+  json::Value out = json::Value::Object();
+  out.Set("api_version", json::Value::Uint(kShardApiVersion));
+  out.Set("shard", json::Value::Uint(request.shard));
+  if (request.deadline_seconds > 0) {
+    out.Set("deadline_seconds", json::Value::Number(request.deadline_seconds));
+  }
+  out.Set("query", ShardQueryToJson(request.query));
+  return out;
+}
+
+Result<ShardPlanRpcRequest> ShardPlanRequestFromJson(
+    const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("shard plan request must be a JSON object");
+  }
+  ShardPlanRpcRequest request;
+  bool have_version = false;
+  uint64_t version = 0;
+  bool have_query = false;
+  for (const auto& [key, field] : value.members()) {
+    if (key == "api_version") {
+      NL_ASSIGN_OR_RETURN(version, AsU64(field, key));
+      have_version = true;
+    } else if (key == "shard") {
+      NL_ASSIGN_OR_RETURN(request.shard, AsU64(field, key));
+    } else if (key == "deadline_seconds") {
+      NL_ASSIGN_OR_RETURN(request.deadline_seconds,
+                          AsNumberStrict(field, key));
+    } else if (key == "query") {
+      NL_ASSIGN_OR_RETURN(request.query, ShardQueryFromJson(field));
+      have_query = true;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown shard plan request field: \"", key, "\""));
+    }
+  }
+  NL_RETURN_IF_ERROR(CheckApiVersion(have_version, version));
+  if (!have_query) {
+    return Status::InvalidArgument("shard plan request needs a \"query\"");
+  }
+  return request;
+}
+
+json::Value ShardPlanResponseToJson(const ShardPlanRpcResponse& response) {
+  json::Value out = json::Value::Object();
+  out.Set("api_version", json::Value::Uint(kShardApiVersion));
+  out.Set("shard", json::Value::Uint(response.shard));
+  out.Set("epoch", json::Value::Uint(response.plan.epoch));
+  StatsToJson(response.plan, &out);
+  return out;
+}
+
+Result<ShardPlanRpcResponse> ShardPlanResponseFromJson(
+    const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument(
+        "shard plan response must be a JSON object");
+  }
+  ShardPlanRpcResponse response;
+  bool have_version = false;
+  uint64_t version = 0;
+  for (const auto& [key, field] : value.members()) {
+    if (key == "api_version") {
+      NL_ASSIGN_OR_RETURN(version, AsU64(field, key));
+      have_version = true;
+    } else if (key == "shard") {
+      NL_ASSIGN_OR_RETURN(response.shard, AsU64(field, key));
+    } else if (key == "epoch") {
+      NL_ASSIGN_OR_RETURN(response.plan.epoch, AsU64(field, key));
+    } else {
+      NL_ASSIGN_OR_RETURN(const bool consumed,
+                          StatsFieldFromJson(key, field, &response.plan));
+      if (!consumed) {
+        return Status::InvalidArgument(
+            StrCat("unknown shard plan response field: \"", key, "\""));
+      }
+    }
+  }
+  NL_RETURN_IF_ERROR(CheckApiVersion(have_version, version));
+  return response;
+}
+
+json::Value ShardSearchRequestToJson(const ShardSearchRpcRequest& request) {
+  json::Value out = json::Value::Object();
+  out.Set("api_version", json::Value::Uint(kShardApiVersion));
+  out.Set("shard", json::Value::Uint(request.shard));
+  out.Set("expected_epoch", json::Value::Uint(request.expected_epoch));
+  if (request.deadline_seconds > 0) {
+    out.Set("deadline_seconds", json::Value::Number(request.deadline_seconds));
+  }
+  out.Set("query", ShardQueryToJson(request.query));
+  json::Value global = json::Value::Object();
+  StatsToJson(request.global, &global);
+  out.Set("global", std::move(global));
+  return out;
+}
+
+Result<ShardSearchRpcRequest> ShardSearchRequestFromJson(
+    const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument(
+        "shard search request must be a JSON object");
+  }
+  ShardSearchRpcRequest request;
+  bool have_version = false;
+  uint64_t version = 0;
+  bool have_query = false;
+  bool have_global = false;
+  for (const auto& [key, field] : value.members()) {
+    if (key == "api_version") {
+      NL_ASSIGN_OR_RETURN(version, AsU64(field, key));
+      have_version = true;
+    } else if (key == "shard") {
+      NL_ASSIGN_OR_RETURN(request.shard, AsU64(field, key));
+    } else if (key == "expected_epoch") {
+      NL_ASSIGN_OR_RETURN(request.expected_epoch, AsU64(field, key));
+    } else if (key == "deadline_seconds") {
+      NL_ASSIGN_OR_RETURN(request.deadline_seconds,
+                          AsNumberStrict(field, key));
+    } else if (key == "query") {
+      NL_ASSIGN_OR_RETURN(request.query, ShardQueryFromJson(field));
+      have_query = true;
+    } else if (key == "global") {
+      if (!field.is_object()) {
+        return Status::InvalidArgument("\"global\" must be a JSON object");
+      }
+      for (const auto& [stat_key, stat_field] : field.members()) {
+        NL_ASSIGN_OR_RETURN(
+            const bool consumed,
+            StatsFieldFromJson(stat_key, stat_field, &request.global));
+        if (!consumed) {
+          return Status::InvalidArgument(
+              StrCat("unknown global statistics field: \"", stat_key, "\""));
+        }
+      }
+      have_global = true;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown shard search request field: \"", key, "\""));
+    }
+  }
+  NL_RETURN_IF_ERROR(CheckApiVersion(have_version, version));
+  if (!have_query || !have_global) {
+    return Status::InvalidArgument(
+        "shard search request needs \"query\" and \"global\"");
+  }
+  return request;
+}
+
+json::Value ShardSearchResponseToJson(const ShardSearchRpcResponse& response) {
+  json::Value out = json::Value::Object();
+  out.Set("api_version", json::Value::Uint(kShardApiVersion));
+  out.Set("shard", json::Value::Uint(response.shard));
+  out.Set("epoch", json::Value::Uint(response.result.epoch));
+  out.Set("snapshot_docs", json::Value::Uint(response.result.snapshot_docs));
+  out.Set("bow_max", json::Value::Number(response.result.bow_max));
+  out.Set("bon_max", json::Value::Number(response.result.bon_max));
+  out.Set("bow_scored", json::Value::Uint(response.result.bow_scored));
+  out.Set("bon_scored", json::Value::Uint(response.result.bon_scored));
+  json::Value candidates = json::Value::Array();
+  for (const ShardCandidate& c : response.result.candidates) {
+    json::Value triple = json::Value::Array();
+    triple.Append(json::Value::Uint(c.doc));
+    triple.Append(json::Value::Number(c.bow));
+    triple.Append(json::Value::Number(c.bon));
+    candidates.Append(std::move(triple));
+  }
+  out.Set("candidates", std::move(candidates));
+  return out;
+}
+
+Result<ShardSearchRpcResponse> ShardSearchResponseFromJson(
+    const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument(
+        "shard search response must be a JSON object");
+  }
+  ShardSearchRpcResponse response;
+  bool have_version = false;
+  uint64_t version = 0;
+  for (const auto& [key, field] : value.members()) {
+    if (key == "api_version") {
+      NL_ASSIGN_OR_RETURN(version, AsU64(field, key));
+      have_version = true;
+    } else if (key == "shard") {
+      NL_ASSIGN_OR_RETURN(response.shard, AsU64(field, key));
+    } else if (key == "epoch") {
+      NL_ASSIGN_OR_RETURN(response.result.epoch, AsU64(field, key));
+    } else if (key == "snapshot_docs") {
+      NL_ASSIGN_OR_RETURN(response.result.snapshot_docs, AsU64(field, key));
+    } else if (key == "bow_max") {
+      NL_ASSIGN_OR_RETURN(response.result.bow_max, AsNumberStrict(field, key));
+    } else if (key == "bon_max") {
+      NL_ASSIGN_OR_RETURN(response.result.bon_max, AsNumberStrict(field, key));
+    } else if (key == "bow_scored") {
+      NL_ASSIGN_OR_RETURN(response.result.bow_scored, AsU64(field, key));
+    } else if (key == "bon_scored") {
+      NL_ASSIGN_OR_RETURN(response.result.bon_scored, AsU64(field, key));
+    } else if (key == "candidates") {
+      if (!field.is_array()) {
+        return Status::InvalidArgument("\"candidates\" must be an array");
+      }
+      response.result.candidates.reserve(field.size());
+      for (const json::Value& item : field.items()) {
+        if (!item.is_array() || item.size() != 3) {
+          return Status::InvalidArgument(
+              "\"candidates\" entries must be [doc, bow, bon] triples");
+        }
+        ShardCandidate c;
+        NL_ASSIGN_OR_RETURN(const uint64_t doc, AsU64(item.at(0), key));
+        c.doc = static_cast<uint32_t>(doc);
+        NL_ASSIGN_OR_RETURN(c.bow, AsNumberStrict(item.at(1), key));
+        NL_ASSIGN_OR_RETURN(c.bon, AsNumberStrict(item.at(2), key));
+        response.result.candidates.push_back(c);
+      }
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown shard search response field: \"", key, "\""));
+    }
+  }
+  NL_RETURN_IF_ERROR(CheckApiVersion(have_version, version));
+  return response;
 }
 
 }  // namespace net

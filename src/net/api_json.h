@@ -4,14 +4,25 @@
 // encoding shared by the server and any in-process caller that wants the
 // wire representation.
 
+// The shard RPC surface (DESIGN.md Sec. 12) also lives here: versioned
+// /v1/shard/plan + /v1/shard/search codecs for coordinator↔shard traffic.
+// Every shard message carries `api_version`; a missing or mismatched
+// version decodes to FailedPrecondition (HTTP 409), so incompatible peers
+// fail loudly instead of drifting. Scores travel as JSON numbers, which
+// common/json round-trips bit-exactly (shortest-round-trip rendering), so
+// the distributed merge stays bit-identical to the in-process one.
+
 #ifndef NEWSLINK_NET_API_JSON_H_
 #define NEWSLINK_NET_API_JSON_H_
+
+#include <cstdint>
 
 #include "baselines/search_engine.h"
 #include "common/json.h"
 #include "common/result.h"
 #include "corpus/corpus.h"
 #include "kg/knowledge_graph.h"
+#include "newslink/shard_api.h"
 
 namespace newslink {
 namespace net {
@@ -45,6 +56,56 @@ Result<corpus::Document> DocumentFromJson(const json::Value& value);
 /// Span tree as a json::Value (mirrors TraceSpan::ToJson's shape:
 /// {"name", "start_ms", "dur_ms", "notes"?, "children"?}).
 json::Value TraceSpanToJson(const TraceSpan& span);
+
+// --- Shard RPC (versioned; newslink::kShardApiVersion) ------------------
+
+/// \brief POST /v1/shard/plan body: the coordinator-prepared query plus
+/// the target shard id and its wall-clock budget for this phase.
+struct ShardPlanRpcRequest {
+  uint64_t shard = 0;
+  /// Per-shard deadline budget, seconds (0 = none). Advisory on the shard
+  /// side — the coordinator's client enforces it on the wire.
+  double deadline_seconds = 0;
+  ShardQuery query;
+};
+
+/// \brief /v1/shard/plan 200 body.
+struct ShardPlanRpcResponse {
+  uint64_t shard = 0;
+  ShardPlan plan;
+};
+
+/// \brief POST /v1/shard/search body. `expected_epoch` echoes the plan's
+/// epoch; a shard whose published epoch moved answers FailedPrecondition
+/// (409) so the coordinator re-plans instead of mixing epochs.
+struct ShardSearchRpcRequest {
+  uint64_t shard = 0;
+  uint64_t expected_epoch = 0;
+  double deadline_seconds = 0;
+  ShardQuery query;
+  ShardGlobalStats global;
+};
+
+/// \brief /v1/shard/search 200 body (docs-scored counters included).
+struct ShardSearchRpcResponse {
+  uint64_t shard = 0;
+  ShardSearchResult result;
+};
+
+// Encoders always stamp api_version = kShardApiVersion. Decoders reject a
+// missing/mismatched api_version with FailedPrecondition and any unknown
+// field with InvalidArgument (same strictness as the public /v1 codecs).
+json::Value ShardPlanRequestToJson(const ShardPlanRpcRequest& request);
+Result<ShardPlanRpcRequest> ShardPlanRequestFromJson(const json::Value& value);
+json::Value ShardPlanResponseToJson(const ShardPlanRpcResponse& response);
+Result<ShardPlanRpcResponse> ShardPlanResponseFromJson(
+    const json::Value& value);
+json::Value ShardSearchRequestToJson(const ShardSearchRpcRequest& request);
+Result<ShardSearchRpcRequest> ShardSearchRequestFromJson(
+    const json::Value& value);
+json::Value ShardSearchResponseToJson(const ShardSearchRpcResponse& response);
+Result<ShardSearchRpcResponse> ShardSearchResponseFromJson(
+    const json::Value& value);
 
 }  // namespace net
 }  // namespace newslink

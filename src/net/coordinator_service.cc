@@ -1,0 +1,352 @@
+#include "net/coordinator_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "common/trace.h"
+#include "net/api_json.h"
+#include "net/search_service.h"
+#include "net/status_http.h"
+#include "newslink/shard_merge.h"
+
+namespace newslink {
+namespace net {
+
+namespace {
+
+HttpResponse JsonOk(const json::Value& body, int status = 200) {
+  HttpResponse response;
+  response.status = status;
+  response.body = body.Dump();
+  response.body.push_back('\n');
+  return response;
+}
+
+}  // namespace
+
+CoordinatorService::CoordinatorService(
+    const newslink::NewsLinkEngine* prep, NewsLinkConfig config,
+    std::vector<std::unique_ptr<ShardClient>> shards,
+    CoordinatorOptions options)
+    : prep_(prep),
+      config_(config),
+      shards_(std::move(shards)),
+      options_(options),
+      pool_(std::max<size_t>(shards_.size(), 1)),
+      queries_(prep_->mutable_metrics()->GetCounter(baselines::kEngineQueries)),
+      query_seconds_(prep_->mutable_metrics()->GetHistogram(
+          baselines::kEngineQuerySeconds)),
+      degraded_(prep_->mutable_metrics()->GetCounter(
+          kCoordinatorDegraded, "responses merged over a partial shard set")),
+      shard_errors_(prep_->mutable_metrics()->GetCounter(
+          kCoordinatorShardErrors, "shard RPCs that failed or timed out")),
+      rejected_(prep_->mutable_metrics()->GetCounter(
+          kSearchRejected, "searches refused by admission control")) {
+  NL_CHECK(!shards_.empty()) << "coordinator needs at least one shard";
+}
+
+std::string CoordinatorService::name() const {
+  return StrCat("Coordinator[", shards_.size(), " shards]");
+}
+
+void CoordinatorService::RegisterRoutes(HttpServer* server) {
+  server->Handle("POST", "/v1/search",
+                 [this](const HttpRequest& r) { return HandleSearch(r); });
+  server->Handle("GET", "/metrics",
+                 [this](const HttpRequest& r) { return HandleMetrics(r); });
+  server->Handle("GET", "/healthz",
+                 [this](const HttpRequest& r) { return HandleHealth(r); });
+  server->Handle("GET", "/v1/stats",
+                 [this](const HttpRequest& r) { return HandleStats(r); });
+}
+
+baselines::SearchResponse CoordinatorService::Search(
+    const baselines::SearchRequest& request) const {
+  const double beta = request.beta.value_or(config_.beta);
+  const size_t k = request.k;
+  const size_t n = shards_.size();
+
+  WallTimer deadline_timer;
+  const double deadline = request.deadline_seconds.value_or(0.0);
+  // Budget for the next shard RPC: the per-shard cap, tightened by
+  // whatever remains of the request's own deadline. <= 0 means the
+  // request deadline already passed — skip the call entirely.
+  const auto wire_budget = [this, &deadline_timer, deadline]() {
+    double budget = options_.shard_deadline_seconds;
+    if (deadline > 0.0) {
+      const double left = deadline - deadline_timer.ElapsedSeconds();
+      budget = budget > 0.0 ? std::min(budget, left) : left;
+      if (left <= 0.0) return -1.0;
+    }
+    return budget;
+  };
+
+  Trace query_trace;
+  // Anchor for the hand-spliced shard spans below (a Trace is
+  // single-threaded; shard wall times are recorded in the workers).
+  WallTimer trace_timer;
+  const size_t root_handle = query_trace.Begin("search");
+
+  baselines::SearchResponse response;
+  response.shards_total = n;
+
+  // --- NLP + NE on the query: once, at the coordinator ------------------
+  embed::DocumentEmbedding query_embedding;
+  {
+    ScopedSpan span(&query_trace, "nlp");
+    const text::SegmentedDocument segmented =
+        prep_->SegmentText(request.query);
+    query_trace.Note("segments", std::to_string(segmented.segments.size()));
+  }
+  {
+    ScopedSpan span(&query_trace, "ne");
+    if (beta > 0.0) {
+      query_embedding = prep_->EmbedText(request.query);
+    } else {
+      query_trace.Note("skipped", "beta=0");
+    }
+  }
+
+  // --- NS: two-phase scatter-gather over RPC ------------------------------
+  std::vector<std::unique_ptr<ShardSearchResult>> results(n);
+  std::vector<std::string> shard_errors(n);
+  std::vector<double> shard_start(n, 0.0);
+  std::vector<double> shard_seconds(n, 0.0);
+  std::atomic<bool> timed_out{false};
+  {
+    ScopedSpan span(&query_trace, "ns");
+    const ShardQuery shard_query =
+        prep_->PrepareShardQuery(request, query_embedding);
+
+    // A shard whose epoch moves between PLAN and SEARCH answers 409; the
+    // whole round restarts once, because its new statistics change the
+    // collection-wide view every other shard scored with.
+    for (int round = 0; round < 2; ++round) {
+      std::vector<std::optional<ShardPlan>> plans(n);
+      pool_.ParallelFor(n, [&](size_t s) {
+        const double budget = wire_budget();
+        if (budget <= 0.0 && deadline > 0.0) {
+          shard_errors[s] = "TIMEOUT: request deadline exhausted";
+          timed_out.store(true, std::memory_order_relaxed);
+          return;
+        }
+        Result<ShardPlanRpcResponse> plan =
+            shards_[s]->Plan(shard_query, budget);
+        if (plan.ok()) {
+          plans[s] = std::move(plan->plan);
+          shard_errors[s].clear();
+        } else {
+          shard_errors[s] = plan.status().ToString();
+          if (plan.status().IsTimeout()) {
+            timed_out.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+
+      ShardGlobalStats global;
+      size_t planned = 0;
+      for (const std::optional<ShardPlan>& plan : plans) {
+        if (plan.has_value()) {
+          MergeShardPlan(*plan, &global);
+          ++planned;
+        }
+      }
+      if (planned == 0) break;
+
+      std::atomic<bool> epoch_moved{false};
+      pool_.ParallelFor(n, [&](size_t s) {
+        if (!plans[s].has_value()) return;
+        const double budget = wire_budget();
+        if (budget <= 0.0 && deadline > 0.0) {
+          shard_errors[s] = "TIMEOUT: request deadline exhausted";
+          timed_out.store(true, std::memory_order_relaxed);
+          return;
+        }
+        shard_start[s] = trace_timer.ElapsedSeconds();
+        WallTimer timer;
+        Result<ShardSearchRpcResponse> result =
+            shards_[s]->Search(shard_query, global, plans[s]->epoch, budget);
+        shard_seconds[s] = timer.ElapsedSeconds();
+        if (result.ok()) {
+          results[s] =
+              std::make_unique<ShardSearchResult>(std::move(result->result));
+          shard_errors[s].clear();
+        } else {
+          shard_errors[s] = result.status().ToString();
+          if (result.status().IsFailedPrecondition()) {
+            epoch_moved.store(true, std::memory_order_relaxed);
+          }
+          if (result.status().IsTimeout()) {
+            timed_out.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+      if (!epoch_moved.load(std::memory_order_relaxed)) break;
+      if (round == 0) {
+        // Results scored against the stale merge must not mix with the
+        // retry's — drop everything and re-plan at the new epochs.
+        for (std::unique_ptr<ShardSearchResult>& r : results) r.reset();
+      }
+    }
+
+    ShardFuseParams fuse;
+    fuse.beta = beta;
+    fuse.use_bow = shard_query.use_bow;
+    fuse.use_bon = shard_query.use_bon;
+    fuse.k = k;
+    std::vector<const ShardSearchResult*> ptrs(n);
+    for (size_t s = 0; s < n; ++s) ptrs[s] = results[s].get();
+    // Round-robin partition: shard s's local row l is global row l*n + s.
+    const std::vector<ir::ScoredDoc> merged = MergeShardCandidates(
+        fuse, ptrs, [n](size_t s, uint32_t local) {
+          return static_cast<uint32_t>(local * n + s);
+        });
+    response.hits.reserve(merged.size());
+    for (const ir::ScoredDoc& scored : merged) {
+      baselines::SearchHit hit;
+      hit.doc_index = scored.doc;
+      hit.score = scored.score;
+      response.hits.push_back(std::move(hit));
+    }
+    query_trace.Note("shards", std::to_string(n));
+  }
+
+  for (size_t s = 0; s < n; ++s) {
+    if (results[s] == nullptr) continue;
+    ++response.shards_answered;
+    response.epoch += results[s]->epoch;
+    response.snapshot_docs += results[s]->snapshot_docs;
+  }
+  response.degraded = response.shards_answered < response.shards_total;
+  if (response.degraded) degraded_->Inc();
+  if (timed_out.load(std::memory_order_relaxed)) {
+    response.deadline_exceeded = true;
+    query_trace.Note("deadline_exceeded", "true");
+  }
+  for (const std::string& error : shard_errors) {
+    if (!error.empty()) shard_errors_->Inc();
+  }
+
+  query_trace.End(root_handle);
+  TraceSpan root = query_trace.Finish();
+  // One span child per shard under "ns", timed in the workers above.
+  for (TraceSpan& child : root.children) {
+    if (child.name != "ns") continue;
+    for (size_t s = 0; s < n; ++s) {
+      TraceSpan shard_span;
+      shard_span.name = StrCat("shard", s);
+      shard_span.start_seconds = shard_start[s];
+      shard_span.duration_seconds = shard_seconds[s];
+      if (results[s] != nullptr) {
+        shard_span.notes.push_back(
+            {"epoch", std::to_string(results[s]->epoch)});
+        shard_span.notes.push_back(
+            {"candidates", std::to_string(results[s]->candidates.size())});
+      } else {
+        shard_span.notes.push_back({"error", shard_errors[s]});
+      }
+      child.children.push_back(std::move(shard_span));
+    }
+    break;
+  }
+
+  queries_->Inc();
+  query_seconds_->Observe(root.duration_seconds);
+  response.timings = SpanBreakdown(root);
+  if (request.trace) response.trace = std::move(root);
+  return response;
+}
+
+HttpResponse CoordinatorService::HandleSearch(const HttpRequest& request) {
+  Result<json::Value> body = json::Parse(request.body);
+  if (!body.ok()) return ErrorResponse(body.status());
+
+  const bool batched = body->is_array();
+  std::vector<baselines::SearchRequest> requests;
+  if (batched) {
+    if (body->size() == 0) {
+      return ErrorResponse(
+          Status::InvalidArgument("batch must contain at least one request"));
+    }
+    if (body->size() > options_.max_batch) {
+      return ErrorResponse(Status::InvalidArgument(
+          StrCat("batch of ", body->size(), " exceeds limit of ",
+                 options_.max_batch)));
+    }
+    requests.reserve(body->size());
+    for (const json::Value& item : body->items()) {
+      Result<baselines::SearchRequest> decoded = SearchRequestFromJson(item);
+      if (!decoded.ok()) return ErrorResponse(decoded.status());
+      requests.push_back(std::move(*decoded));
+    }
+  } else {
+    Result<baselines::SearchRequest> decoded = SearchRequestFromJson(*body);
+    if (!decoded.ok()) return ErrorResponse(decoded.status());
+    requests.push_back(std::move(*decoded));
+  }
+  for (const baselines::SearchRequest& r : requests) {
+    if (r.explain) {
+      return ErrorResponse(Status::InvalidArgument(
+          "\"explain\" is not available on a coordinator (document "
+          "embeddings live on the shards; query a shard directly)"));
+    }
+  }
+
+  if (inflight_searches_.fetch_add(1, std::memory_order_acq_rel) >=
+      options_.max_inflight_searches) {
+    inflight_searches_.fetch_sub(1, std::memory_order_acq_rel);
+    rejected_->Inc();
+    return ErrorResponseAt(503, "search admission limit reached");
+  }
+  std::vector<baselines::SearchResponse> responses(requests.size());
+  pool_.ParallelFor(requests.size(),
+                    [&](size_t i) { responses[i] = Search(requests[i]); });
+  inflight_searches_.fetch_sub(1, std::memory_order_acq_rel);
+
+  // No corpus or graph here: hits carry indices and scores only.
+  if (batched) {
+    json::Value out = json::Value::Array();
+    for (const baselines::SearchResponse& response : responses) {
+      out.Append(SearchResponseToJson(response, nullptr, nullptr));
+    }
+    return JsonOk(out);
+  }
+  return JsonOk(SearchResponseToJson(responses.front(), nullptr, nullptr));
+}
+
+HttpResponse CoordinatorService::HandleStats(const HttpRequest&) const {
+  json::Value out = json::Value::Object();
+  out.Set("engine", json::Value::Str(name()));
+  out.Set("shards_total",
+          json::Value::Uint(static_cast<uint64_t>(shards_.size())));
+  json::Value shard_blocks = json::Value::Array();
+  for (const std::unique_ptr<ShardClient>& shard : shards_) {
+    shard_blocks.Append(shard->HealthJson());
+  }
+  out.Set("shards", std::move(shard_blocks));
+  Result<json::Value> registry_json =
+      json::Parse(prep_->Metrics().RenderJson());
+  if (registry_json.ok()) out.Set("metrics", std::move(*registry_json));
+  return JsonOk(out);
+}
+
+HttpResponse CoordinatorService::HandleHealth(const HttpRequest&) const {
+  json::Value out = json::Value::Object();
+  out.Set("status", json::Value::Str("ok"));
+  out.Set("engine", json::Value::Str(name()));
+  return JsonOk(out);
+}
+
+HttpResponse CoordinatorService::HandleMetrics(const HttpRequest&) const {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = prep_->Metrics().RenderPrometheus();
+  return response;
+}
+
+}  // namespace net
+}  // namespace newslink

@@ -1,0 +1,247 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace newslink {
+namespace net {
+
+namespace {
+
+/// RAII socket so every early return closes the fd.
+class OwnedFd {
+ public:
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+  int get() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+void SetSocketTimeout(int fd, int option, double seconds) {
+  if (seconds <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+/// Connect with a deadline: non-blocking connect + poll, then back to
+/// blocking mode (per-syscall timeouts take over from there).
+Status ConnectWithDeadline(int fd, const sockaddr_in& addr, double seconds) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Status::IOError(StrCat("connect: ", std::strerror(errno)));
+  }
+  if (rc != 0) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int timeout_ms =
+        seconds > 0 ? static_cast<int>(seconds * 1e3) + 1 : -1;
+    rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) return Status::Timeout("connect timed out");
+    if (rc < 0) return Status::IOError(StrCat("poll: ", std::strerror(errno)));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      return Status::IOError(StrCat("connect: ", std::strerror(err)));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<HttpClientResponse> HttpCall(std::string_view method,
+                                    std::string_view host, uint16_t port,
+                                    std::string_view path,
+                                    std::string_view request_body,
+                                    const HttpClientOptions& options) {
+  WallTimer timer;
+  const double deadline = options.deadline_seconds;
+  const auto remaining = [&timer, deadline]() {
+    return deadline > 0 ? deadline - timer.ElapsedSeconds() : 0.0;
+  };
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string host_str(host == "localhost" ? "127.0.0.1" : host);
+  if (::inet_pton(AF_INET, host_str.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrCat("host must be a dotted-quad address, got \"", host, "\""));
+  }
+
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (fd.get() < 0) {
+    return Status::IOError(StrCat("socket: ", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  NL_RETURN_IF_ERROR(ConnectWithDeadline(fd.get(), addr, remaining()));
+
+  std::string request = StrCat(method, " ", path, " HTTP/1.1\r\nHost: ", host,
+                               ":", port, "\r\nConnection: close\r\n");
+  if (!request_body.empty()) {
+    request += StrCat("Content-Type: application/json\r\nContent-Length: ",
+                      request_body.size(), "\r\n");
+  }
+  request += "\r\n";
+  request.append(request_body);
+
+  // Per-syscall timeouts track the shrinking budget; the explicit deadline
+  // check in the read loop bounds the total even across many short reads.
+  SetSocketTimeout(fd.get(), SO_SNDTIMEO, remaining());
+  size_t sent = 0;
+  while (sent < request.size()) {
+    if (deadline > 0 && remaining() <= 0) {
+      return Status::Timeout("send deadline exceeded");
+    }
+    const ssize_t n = ::send(fd.get(), request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Timeout("send timed out");
+      }
+      return Status::IOError(StrCat("send: ", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  // Read head + body. "Connection: close" means EOF ends the response;
+  // Content-Length (always present from our server for non-empty bodies)
+  // lets us stop as soon as the body is complete.
+  std::string data;
+  size_t head_end = std::string::npos;
+  size_t content_length = std::string::npos;
+  char buf[16384];
+  while (true) {
+    if (deadline > 0 && remaining() <= 0) {
+      return Status::Timeout("read deadline exceeded");
+    }
+    SetSocketTimeout(fd.get(), SO_RCVTIMEO, remaining());
+    const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Timeout("read timed out");
+      }
+      return Status::IOError(StrCat("recv: ", std::strerror(errno)));
+    }
+    if (n == 0) break;  // EOF
+    data.append(buf, static_cast<size_t>(n));
+    if (data.size() > options.max_body_bytes) {
+      return Status::IOError("response exceeds size limit");
+    }
+    if (head_end == std::string::npos) {
+      head_end = data.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        // Scan the (case-insensitive) Content-Length header.
+        std::string_view head(data.data(), head_end);
+        size_t line_start = 0;
+        while (line_start < head.size()) {
+          size_t line_end = head.find("\r\n", line_start);
+          if (line_end == std::string_view::npos) line_end = head.size();
+          const std::string_view line =
+              head.substr(line_start, line_end - line_start);
+          const size_t colon = line.find(':');
+          if (colon != std::string_view::npos) {
+            std::string name(line.substr(0, colon));
+            for (char& c : name) c = static_cast<char>(std::tolower(c));
+            if (name == "content-length") {
+              size_t v = colon + 1;
+              while (v < line.size() && line[v] == ' ') ++v;
+              content_length = 0;
+              for (; v < line.size(); ++v) {
+                if (line[v] < '0' || line[v] > '9') {
+                  return Status::IOError("malformed Content-Length");
+                }
+                content_length = content_length * 10 +
+                                 static_cast<size_t>(line[v] - '0');
+                if (content_length > options.max_body_bytes) {
+                  return Status::IOError("response exceeds size limit");
+                }
+              }
+            }
+          }
+          line_start = line_end + 2;
+        }
+      }
+    }
+    if (head_end != std::string::npos &&
+        content_length != std::string::npos &&
+        data.size() >= head_end + 4 + content_length) {
+      break;  // full body in hand; no need to wait for FIN
+    }
+  }
+
+  if (head_end == std::string::npos) {
+    return Status::IOError("connection closed before response head");
+  }
+  // Status line: "HTTP/1.1 200 OK".
+  const size_t line_end = data.find("\r\n");
+  std::string_view status_line(data.data(), line_end);
+  const size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 + 4 > status_line.size()) {
+    return Status::IOError("malformed status line");
+  }
+  int status = 0;
+  for (size_t i = sp1 + 1; i < sp1 + 4; ++i) {
+    if (status_line[i] < '0' || status_line[i] > '9') {
+      return Status::IOError("malformed status code");
+    }
+    status = status * 10 + (status_line[i] - '0');
+  }
+
+  HttpClientResponse response;
+  response.status = status;
+  response.body = data.substr(head_end + 4);
+  if (content_length != std::string::npos &&
+      response.body.size() < content_length) {
+    return Status::IOError("connection closed mid-body");
+  }
+  if (content_length != std::string::npos) {
+    response.body.resize(content_length);
+  }
+  return response;
+}
+
+Result<HttpClientResponse> HttpGet(std::string_view host, uint16_t port,
+                                   std::string_view path,
+                                   const HttpClientOptions& options) {
+  return HttpCall("GET", host, port, path, "", options);
+}
+
+Result<HttpClientResponse> HttpPost(std::string_view host, uint16_t port,
+                                    std::string_view path,
+                                    std::string_view request_body,
+                                    const HttpClientOptions& options) {
+  return HttpCall("POST", host, port, path, request_body, options);
+}
+
+}  // namespace net
+}  // namespace newslink

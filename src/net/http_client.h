@@ -1,0 +1,60 @@
+// Minimal blocking HTTP/1.1 client for the internal shard RPC (DESIGN.md
+// Sec. 12). Dependency-free like the rest of src/net: one connection per
+// call ("Connection: close"), a wall-clock deadline covering connect +
+// send + receive, and a strict parser for exactly the responses our own
+// HttpServer produces (status line, headers, Content-Length-sized or
+// to-EOF body). Not a general browser-grade client on purpose — it talks
+// to peers we control.
+
+#ifndef NEWSLINK_NET_HTTP_CLIENT_H_
+#define NEWSLINK_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace newslink {
+namespace net {
+
+/// \brief One parsed response: status + body (headers are consumed
+/// internally — Content-Length drives the read; nothing else is needed).
+struct HttpClientResponse {
+  int status = 0;
+  std::string body;
+};
+
+struct HttpClientOptions {
+  /// Whole-call wall-clock budget (connect + send + receive), seconds.
+  /// <= 0 means no deadline.
+  double deadline_seconds = 5.0;
+  /// Response body ceiling; larger answers are IOError.
+  size_t max_body_bytes = 64 * 1024 * 1024;
+};
+
+/// Blocking request to `host:port` (dotted-quad or "localhost"). `method`
+/// is "GET" or "POST"; `body` is sent with Content-Length (empty = none).
+/// Status codes are returned, not mapped: a 409 from a shard is a valid
+/// protocol answer, not a transport failure. Errors: Timeout when the
+/// deadline cuts connect/read short, IOError for refused connections,
+/// resets, and malformed responses.
+Result<HttpClientResponse> HttpCall(std::string_view method,
+                                    std::string_view host, uint16_t port,
+                                    std::string_view path,
+                                    std::string_view request_body,
+                                    const HttpClientOptions& options = {});
+
+Result<HttpClientResponse> HttpGet(std::string_view host, uint16_t port,
+                                   std::string_view path,
+                                   const HttpClientOptions& options = {});
+
+Result<HttpClientResponse> HttpPost(std::string_view host, uint16_t port,
+                                    std::string_view path,
+                                    std::string_view request_body,
+                                    const HttpClientOptions& options = {});
+
+}  // namespace net
+}  // namespace newslink
+
+#endif  // NEWSLINK_NET_HTTP_CLIENT_H_

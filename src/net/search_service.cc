@@ -49,6 +49,46 @@ void SearchService::RegisterRoutes(HttpServer* server) {
                  [this](const HttpRequest& r) { return HandleHealth(r); });
   server->Handle("GET", "/v1/stats",
                  [this](const HttpRequest& r) { return HandleStats(r); });
+  server->Handle("POST", "/v1/shard/plan", [this](const HttpRequest& r) {
+    return HandleShardPlan(r);
+  });
+  server->Handle("POST", "/v1/shard/search", [this](const HttpRequest& r) {
+    return HandleShardSearch(r);
+  });
+}
+
+HttpResponse SearchService::HandleShardPlan(const HttpRequest& request) const {
+  Result<json::Value> body = json::Parse(request.body);
+  if (!body.ok()) return ErrorResponse(body.status());
+  Result<ShardPlanRpcRequest> decoded = ShardPlanRequestFromJson(*body);
+  if (!decoded.ok()) return ErrorResponse(decoded.status());
+
+  ShardPlanRpcResponse response;
+  response.shard = decoded->shard;
+  response.plan = engine_->PlanShard(decoded->query, engine_->PinEpoch());
+  return JsonOk(ShardPlanResponseToJson(response));
+}
+
+HttpResponse SearchService::HandleShardSearch(
+    const HttpRequest& request) const {
+  Result<json::Value> body = json::Parse(request.body);
+  if (!body.ok()) return ErrorResponse(body.status());
+  Result<ShardSearchRpcRequest> decoded = ShardSearchRequestFromJson(*body);
+  if (!decoded.ok()) return ErrorResponse(decoded.status());
+
+  // Both phases must read one epoch: if ingestion published since the
+  // plan, answer 409 so the coordinator re-plans with fresh statistics
+  // instead of scoring this shard against another epoch's collection.
+  const newslink::ShardEpochPin pin = engine_->PinEpoch();
+  if (pin.epoch() != decoded->expected_epoch) {
+    return ErrorResponse(Status::FailedPrecondition(
+        StrCat("shard epoch moved: plan saw ", decoded->expected_epoch,
+               ", current is ", pin.epoch())));
+  }
+  ShardSearchRpcResponse response;
+  response.shard = decoded->shard;
+  response.result = engine_->SearchShard(decoded->query, decoded->global, pin);
+  return JsonOk(ShardSearchResponseToJson(response));
 }
 
 HttpResponse SearchService::HandleSearch(const HttpRequest& request) {

@@ -8,6 +8,15 @@
 //   GET  /v1/stats      engine + corpus + registry snapshot as JSON
 //   GET  /healthz       liveness probe
 //
+// Shard RPC (DESIGN.md Sec. 12) — the versioned internal surface a
+// scatter-gather coordinator drives when this server is one shard of a
+// document-partitioned collection:
+//
+//   POST /v1/shard/plan    per-shard collection statistics for a query
+//   POST /v1/shard/search  candidates scored with collection-wide stats;
+//                          answers 409 when the shard's epoch moved past
+//                          the plan's `expected_epoch` (re-plan, don't mix)
+//
 // Concurrency: searches run lock-free on the engine's epoch snapshots.
 // The corpus, however, is a plain append-only vector shared with ingestion,
 // so a shared_mutex guards it — ingest appends under the exclusive side
@@ -70,6 +79,8 @@ class SearchService {
   HttpResponse HandleMetrics(const HttpRequest& request) const;
   HttpResponse HandleHealth(const HttpRequest& request) const;
   HttpResponse HandleStats(const HttpRequest& request) const;
+  HttpResponse HandleShardPlan(const HttpRequest& request) const;
+  HttpResponse HandleShardSearch(const HttpRequest& request) const;
 
  private:
   newslink::NewsLinkEngine* engine_;

@@ -1,0 +1,74 @@
+// Typed RPC stub for one shard server (DESIGN.md Sec. 12): wraps
+// net/HttpPost + the api_json shard codecs into Plan/Search calls the
+// coordinator can fan out. The client also keeps the shard's last-known
+// health (reachable? which epoch? what failed?) so /v1/stats can report
+// per-shard state without extra probes.
+
+#ifndef NEWSLINK_NET_SHARD_CLIENT_H_
+#define NEWSLINK_NET_SHARD_CLIENT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "net/api_json.h"
+
+namespace newslink {
+namespace net {
+
+/// \brief RPC client for one shard of a scatter-gather deployment.
+///
+/// Thread-compatible for calls (each call opens its own connection) and
+/// thread-safe for the health bookkeeping, so a coordinator may fan out
+/// Plan/Search over a thread pool while /v1/stats reads HealthJson().
+class ShardClient {
+ public:
+  ShardClient(size_t shard, std::string host, uint16_t port)
+      : shard_(shard), host_(std::move(host)), port_(port) {}
+
+  /// Phase 1: fetch this shard's collection statistics for `query`.
+  /// `deadline_seconds` (0 = none) bounds the whole call on the wire.
+  Result<ShardPlanRpcResponse> Plan(const ShardQuery& query,
+                                    double deadline_seconds) const;
+
+  /// Phase 2: retrieve candidates scored with the collection statistics.
+  /// A shard whose epoch moved past `expected_epoch` answers 409, which
+  /// surfaces here as FailedPrecondition — re-plan and retry.
+  Result<ShardSearchRpcResponse> Search(const ShardQuery& query,
+                                        const ShardGlobalStats& global,
+                                        uint64_t expected_epoch,
+                                        double deadline_seconds) const;
+
+  size_t shard() const { return shard_; }
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+  std::string address() const;
+
+  /// Last-known state as a /v1/stats block:
+  ///   {"shard", "address", "healthy", "epoch", "last_error"?}
+  /// "healthy" reflects the most recent call (true after any success,
+  /// false after any failure or before the first call completes).
+  json::Value HealthJson() const;
+
+ private:
+  /// POST `body` to `path`, map non-200 answers back to their Status, and
+  /// record health on the way out.
+  Result<json::Value> Call(const char* path, const json::Value& body,
+                           double deadline_seconds) const;
+
+  const size_t shard_;
+  const std::string host_;
+  const uint16_t port_;
+
+  mutable std::mutex mu_;
+  mutable bool healthy_ = false;
+  mutable uint64_t epoch_ = 0;
+  mutable std::string last_error_;
+};
+
+}  // namespace net
+}  // namespace newslink
+
+#endif  // NEWSLINK_NET_SHARD_CLIENT_H_

@@ -55,6 +55,20 @@ std::string_view StatusCodeName(Status::Code code) {
   return "Unknown";
 }
 
+Status StatusFromWire(std::string_view code_name, std::string_view message) {
+  if (code_name == "InvalidArgument") return Status::InvalidArgument(message);
+  if (code_name == "NotFound") return Status::NotFound(message);
+  if (code_name == "AlreadyExists") return Status::AlreadyExists(message);
+  if (code_name == "OutOfRange") return Status::OutOfRange(message);
+  if (code_name == "FailedPrecondition") {
+    return Status::FailedPrecondition(message);
+  }
+  if (code_name == "IOError") return Status::IOError(message);
+  if (code_name == "Timeout") return Status::Timeout(message);
+  if (code_name == "Unimplemented") return Status::Unimplemented(message);
+  return Status::Internal(message);
+}
+
 HttpResponse ErrorResponse(const Status& status) {
   NL_DCHECK(!status.ok()) << "ErrorResponse needs a non-OK status";
   const int http = StatusToHttp(status);

@@ -23,6 +23,11 @@ int StatusToHttp(const Status& status);
 /// Stable wire name of a Status code ("InvalidArgument", ...).
 std::string_view StatusCodeName(Status::Code code);
 
+/// Inverse of StatusCodeName for RPC clients: rebuild the Status a peer's
+/// error body describes. An unrecognized code name becomes Internal (the
+/// message survives either way).
+Status StatusFromWire(std::string_view code_name, std::string_view message);
+
 /// JSON error body + mapped HTTP status for a non-OK Status.
 HttpResponse ErrorResponse(const Status& status);
 

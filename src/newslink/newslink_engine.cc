@@ -58,6 +58,24 @@ ir::TermCounts BonCounts(const embed::DocumentEmbedding& embedding,
   return counts;
 }
 
+/// Query-side BON term counts: source nodes (entities literally mentioned
+/// in the query) boosted over induced context nodes. Shared by Search and
+/// PrepareShardQuery so a shard query carries exactly the weights a local
+/// query would use.
+ir::TermCounts QueryBonCounts(const embed::DocumentEmbedding& query_embedding,
+                              uint32_t source_weight) {
+  const std::vector<kg::NodeId> source_nodes = query_embedding.SourceNodes();
+  const std::set<kg::NodeId> sources(source_nodes.begin(),
+                                     source_nodes.end());
+  ir::TermCounts counts;
+  counts.reserve(query_embedding.node_counts.size());
+  for (const auto& [node, count] : query_embedding.node_counts) {
+    counts.push_back({static_cast<ir::TermId>(node),
+                      sources.contains(node) ? source_weight : 1});
+  }
+  return counts;
+}
+
 }  // namespace
 
 NewsLinkEngine::NewsLinkEngine(const kg::KnowledgeGraph* graph,
@@ -613,15 +631,8 @@ baselines::SearchResponse NewsLinkEngine::Search(
     ir::TermCounts bon_query;
     if (use_bon) {
       // Query-side BON: sources boosted over induced context nodes.
-      const std::vector<kg::NodeId> source_nodes =
-          query_embedding.SourceNodes();
-      std::set<kg::NodeId> sources(source_nodes.begin(), source_nodes.end());
-      bon_query.reserve(query_embedding.node_counts.size());
-      for (const auto& [node, count] : query_embedding.node_counts) {
-        bon_query.push_back(
-            {static_cast<ir::TermId>(node),
-             sources.contains(node) ? config_.bon_query_source_weight : 1});
-      }
+      bon_query =
+          QueryBonCounts(query_embedding, config_.bon_query_source_weight);
     }
 
     std::vector<ir::ScoredDoc> bow;
@@ -675,14 +686,19 @@ baselines::SearchResponse NewsLinkEngine::Search(
       std::unordered_set<ir::DocId> in_bon;
       in_bon.reserve(bon.size());
       for (const ir::ScoredDoc& s : bon) in_bon.insert(s.doc);
+      // Same parenthesization as the list path above — (1-β)·(S/max) — so
+      // a candidate's per-side term is identical whether it came from the
+      // list or the fill-in (the distributed merge recomputes both terms
+      // from raw side scores and must land on the same bits).
       for (auto& [doc, score] : fused) {
         if (!in_bow.contains(doc)) {
           score += (1.0 - beta) *
-                   text_scorer_.ScoreDoc(bow_query, doc, snap->text) / bow_max;
+                   (text_scorer_.ScoreDoc(bow_query, doc, snap->text) /
+                    bow_max);
           ++bow_scored;
         } else if (!in_bon.contains(doc)) {
-          score += beta * node_scorer_.ScoreDoc(bon_query, doc, snap->node) /
-                   bon_max;
+          score += beta * (node_scorer_.ScoreDoc(bon_query, doc, snap->node) /
+                           bon_max);
           ++bon_scored;
         }
       }
@@ -760,6 +776,196 @@ baselines::SearchResponse NewsLinkEngine::Search(
   }
   if (request.trace) response.trace = std::move(root);
   return response;
+}
+
+// --- Shard-serving surface (DESIGN.md Sec. 12) --------------------------
+
+ShardEpochPin NewsLinkEngine::PinEpoch() const {
+  const std::shared_ptr<const EngineSnapshot> snap = AcquireSnapshot();
+  ShardEpochPin pin;
+  pin.epoch_ = snap->epoch;
+  pin.num_docs_ = snap->num_docs;
+  pin.snapshot_ = snap;  // type-erased; cast back inside Plan/SearchShard
+  return pin;
+}
+
+ShardQuery NewsLinkEngine::PrepareShardQuery(
+    const baselines::SearchRequest& request,
+    const embed::DocumentEmbedding& query_embedding) const {
+  const double beta = request.beta.value_or(config_.beta);
+  ShardQuery query;
+  query.use_bow = beta < 1.0;
+  query.use_bon = beta > 0.0;
+  query.kprime =
+      std::max(request.k, request.rerank_depth.value_or(config_.rerank_depth));
+  query.exhaustive =
+      request.exhaustive_fusion.value_or(config_.exhaustive_fusion);
+  if (query.use_bow) {
+    query.text_stems = ir::TextVectorizer::StemsForQuery(request.query);
+  }
+  if (query.use_bon) {
+    query.node_terms =
+        QueryBonCounts(query_embedding, config_.bon_query_source_weight);
+  }
+  return query;
+}
+
+ShardPlan NewsLinkEngine::PlanShard(const ShardQuery& query,
+                                    const ShardEpochPin& pin) const {
+  const auto* snap =
+      static_cast<const EngineSnapshot*>(pin.snapshot_.get());
+  NL_CHECK(snap != nullptr) << "PlanShard needs a valid ShardEpochPin";
+  ShardPlan plan;
+  plan.epoch = snap->epoch;
+  plan.num_docs = snap->num_docs;
+  plan.text_total_length = snap->text.total_length;
+  plan.node_total_length = snap->node.total_length;
+  plan.text_min_doc_length = text_index_.MinDocLength();
+  plan.node_min_doc_length = node_index_.MinDocLength();
+  if (query.use_bow) {
+    plan.text_df.reserve(query.text_stems.size());
+    plan.text_max_tf.reserve(query.text_stems.size());
+    for (const auto& [stem, qtf] : query.text_stems) {
+      const ir::TermId id = text_dict_.Find(stem);
+      if (id == ir::kInvalidTerm) {
+        plan.text_df.push_back(0);
+        plan.text_max_tf.push_back(0);
+      } else {
+        plan.text_df.push_back(text_index_.DocFreq(id, snap->text));
+        plan.text_max_tf.push_back(text_index_.BlockMax(id).max_tf);
+      }
+    }
+  }
+  if (query.use_bon) {
+    plan.node_df.reserve(query.node_terms.size());
+    plan.node_max_tf.reserve(query.node_terms.size());
+    for (const auto& [node, qtf] : query.node_terms) {
+      plan.node_df.push_back(node_index_.DocFreq(node, snap->node));
+      plan.node_max_tf.push_back(node_index_.BlockMax(node).max_tf);
+    }
+  }
+  return plan;
+}
+
+ShardSearchResult NewsLinkEngine::SearchShard(const ShardQuery& query,
+                                              const ShardGlobalStats& global,
+                                              const ShardEpochPin& pin) const {
+  const auto* snap =
+      static_cast<const EngineSnapshot*>(pin.snapshot_.get());
+  NL_CHECK(snap != nullptr) << "SearchShard needs a valid ShardEpochPin";
+  ShardSearchResult out;
+  out.epoch = snap->epoch;
+  out.snapshot_docs = snap->num_docs;
+
+  // Localize the text query through this shard's dictionary, keeping the
+  // collection statistics positionally aligned (stems unknown here are
+  // dropped together with their df/max-tf — they cannot match anything
+  // local, and the remaining terms keep their canonical stem order).
+  ir::TermCounts bow_query;
+  ir::CollectionStats bow_stats;
+  if (query.use_bow) {
+    bow_stats.num_docs = global.num_docs;
+    bow_stats.total_length = global.text_total_length;
+    bow_stats.min_doc_length = global.text_min_doc_length;
+    bow_query.reserve(query.text_stems.size());
+    for (size_t i = 0; i < query.text_stems.size(); ++i) {
+      const ir::TermId id = text_dict_.Find(query.text_stems[i].first);
+      if (id == ir::kInvalidTerm) continue;
+      bow_query.push_back({id, query.text_stems[i].second});
+      bow_stats.df.push_back(global.text_df[i]);
+      bow_stats.max_tf.push_back(global.text_max_tf[i]);
+    }
+  }
+  // Node ids are global (every shard serves the same KG), so the BON query
+  // and its statistics are used as-is.
+  ir::CollectionStats bon_stats;
+  if (query.use_bon) {
+    bon_stats.num_docs = global.num_docs;
+    bon_stats.total_length = global.node_total_length;
+    bon_stats.min_doc_length = global.node_min_doc_length;
+    bon_stats.df = global.node_df;
+    bon_stats.max_tf = global.node_max_tf;
+  }
+  const ir::TermCounts& bon_query = query.node_terms;
+
+  std::vector<ir::ScoredDoc> bow;
+  std::vector<ir::ScoredDoc> bon;
+  size_t bow_scored = 0;
+  size_t bon_scored = 0;
+  if (query.exhaustive) {
+    if (query.use_bow) {
+      bow = text_scorer_.ScoreAll(bow_query, snap->text, &bow_stats);
+      bow_scored = bow.size();
+    }
+    if (query.use_bon) {
+      bon = node_scorer_.ScoreAll(bon_query, snap->node, &bon_stats);
+      bon_scored = bon.size();
+    }
+  } else {
+    if (query.use_bow) {
+      bow = text_retriever_.TopK(bow_query, query.kprime, snap->text,
+                                 &bow_scored, nullptr, &bow_stats);
+    }
+    if (query.use_bon) {
+      bon = node_retriever_.TopK(bon_query, query.kprime, snap->node,
+                                 &bon_scored, nullptr, &bon_stats);
+    }
+  }
+
+  // Raw per-side list maxima (no >0-else-1 guard here: the coordinator
+  // applies it once, on the max over all shards).
+  for (const ir::ScoredDoc& s : bow) out.bow_max = std::max(out.bow_max, s.score);
+  for (const ir::ScoredDoc& s : bon) out.bon_max = std::max(out.bon_max, s.score);
+
+  // Candidate union with both raw sides; like Search, candidates retrieved
+  // on one side only get their other side completed by random access (the
+  // exhaustive lists are already complete — a doc absent from one is an
+  // exact zero there).
+  struct Sides {
+    double bow = 0.0;
+    double bon = 0.0;
+    bool in_bow = false;
+    bool in_bon = false;
+  };
+  std::unordered_map<ir::DocId, Sides> acc;
+  acc.reserve(bow.size() + bon.size());
+  for (const ir::ScoredDoc& s : bow) {
+    Sides& c = acc[s.doc];
+    c.bow = s.score;
+    c.in_bow = true;
+  }
+  for (const ir::ScoredDoc& s : bon) {
+    Sides& c = acc[s.doc];
+    c.bon = s.score;
+    c.in_bon = true;
+  }
+  if (!query.exhaustive && query.use_bow && query.use_bon) {
+    for (auto& [doc, c] : acc) {
+      if (!c.in_bow) {
+        c.bow = text_scorer_.ScoreDoc(bow_query, doc, snap->text, &bow_stats);
+        ++bow_scored;
+      } else if (!c.in_bon) {
+        c.bon = node_scorer_.ScoreDoc(bon_query, doc, snap->node, &bon_stats);
+        ++bon_scored;
+      }
+    }
+  }
+
+  out.candidates.reserve(acc.size());
+  for (const auto& [doc, c] : acc) {
+    out.candidates.push_back(ShardCandidate{
+        internal_to_external_.At(doc), c.bow, c.bon});
+  }
+  // Deterministic wire order (and the merge tie-break speaks corpus rows).
+  std::sort(out.candidates.begin(), out.candidates.end(),
+            [](const ShardCandidate& a, const ShardCandidate& b) {
+              return a.doc < b.doc;
+            });
+  out.bow_scored = bow_scored;
+  out.bon_scored = bon_scored;
+  bow_docs_scored_->Inc(bow_scored);
+  bon_docs_scored_->Inc(bon_scored);
+  return out;
 }
 
 }  // namespace newslink

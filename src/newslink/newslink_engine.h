@@ -47,6 +47,7 @@
 #include "ir/term_dictionary.h"
 #include "kg/knowledge_graph.h"
 #include "kg/label_index.h"
+#include "newslink/shard_api.h"
 #include "text/gazetteer_ner.h"
 #include "text/news_segmenter.h"
 
@@ -228,6 +229,40 @@ class NewsLinkEngine : public baselines::SearchEngine {
   /// it and SearchRequest::trace returns it whole.
   baselines::SearchResponse Search(
       const baselines::SearchRequest& request) const override;
+
+  // --- Shard-serving surface (shard_api.h, DESIGN.md Sec. 12) ----------
+  // These four calls let this engine act as one document-partition shard
+  // of a larger collection: a coordinator prepares the query once, plans
+  // (gathers per-shard collection statistics), merges them, then searches
+  // every shard with the collection-wide statistics — producing scores
+  // bit-identical to a single engine over the union of all shards.
+
+  /// Pin the current published epoch: PlanShard and SearchShard against
+  /// the returned pin read one immutable snapshot even while AddDocument
+  /// publishes new epochs concurrently.
+  ShardEpochPin PinEpoch() const;
+
+  /// Build the shard-portable query: resolves β / rerank depth /
+  /// exhaustive mode against this engine's config exactly like Search
+  /// does, stems the text side, and weights the query embedding's nodes
+  /// (sources boosted). `query_embedding` may be empty when β == 0 — pass
+  /// EmbedText(request.query) otherwise.
+  ShardQuery PrepareShardQuery(
+      const baselines::SearchRequest& request,
+      const embed::DocumentEmbedding& query_embedding) const;
+
+  /// Phase 1: this shard's collection statistics for the query, read
+  /// entirely from the pinned epoch (df/max-tf positional per query term).
+  ShardPlan PlanShard(const ShardQuery& query, const ShardEpochPin& pin)
+      const;
+
+  /// Phase 2: per-side top-k' candidates scored with the collection-wide
+  /// statistics, missing sides completed by random access, raw per-side
+  /// list maxima attached. Candidate doc ids are this shard's corpus rows,
+  /// sorted ascending.
+  ShardSearchResult SearchShard(const ShardQuery& query,
+                                const ShardGlobalStats& global,
+                                const ShardEpochPin& pin) const;
 
   /// Run the NLP + NE components on a standalone text (e.g. a query).
   embed::DocumentEmbedding EmbedText(const std::string& text) const;

@@ -1,0 +1,155 @@
+// The shard-serving protocol of the sharded NewsLink engine (DESIGN.md
+// Sec. 12): the data that travels between a search coordinator and the N
+// document-partition shards, whether in-process (ShardedEngine over
+// common/ThreadPool) or over HTTP (/v1/shard/plan + /v1/shard/search with
+// net/api_json as the RPC codec).
+//
+// Distributed search is two-phase so that scores are bit-identical to a
+// single index over the union of all shards:
+//
+//   1. PLAN — every shard reports, against one pinned epoch, its document
+//      count, total token lengths, per-query-term document frequencies and
+//      term-level max-tf (positional, aligned with the ShardQuery). The
+//      coordinator sums/maxes these into the collection-wide statistics.
+//   2. SEARCH — every shard retrieves its per-side top-k' *scored with the
+//      collection statistics* (ir::CollectionStats), completes the missing
+//      side of each candidate by random access, and returns raw candidate
+//      scores plus its raw per-side list maxima. The coordinator takes the
+//      collection per-side max over shards, fuses (Eq. 3), and merges with
+//      one ir::TopKHeap over global corpus rows — the same arithmetic, in
+//      the same order, as NewsLinkEngine::Search over the union.
+//
+// Epoch safety: both phases must read one immutable snapshot. In-process
+// that is a ShardEpochPin; over RPC the plan response carries the shard's
+// epoch, the search request echoes it as `expected_epoch`, and a shard
+// whose epoch moved answers FailedPrecondition (HTTP 409) so the
+// coordinator re-plans instead of mixing statistics across epochs.
+
+#ifndef NEWSLINK_NEWSLINK_SHARD_API_H_
+#define NEWSLINK_NEWSLINK_SHARD_API_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/inverted_index.h"
+#include "ir/text_vectorizer.h"
+
+namespace newslink {
+
+/// Version of the shard RPC surface (requests and responses carry it as
+/// `api_version`). Bump on ANY wire-visible change to the structs below —
+/// mismatched peers must fail loudly (FailedPrecondition → 409), never
+/// drift silently.
+inline constexpr uint64_t kShardApiVersion = 1;
+
+/// \brief A query in shard-portable form: what to retrieve, prepared once
+/// by the coordinator (NLP + NER + query embedding run once, not N times).
+///
+/// Text terms are stems (dictionary-free, canonical stem order); node
+/// terms are KG node ids, which are global — every shard serves the same
+/// knowledge graph.
+struct ShardQuery {
+  /// BOW side, canonical stem order (ir::TextVectorizer::StemsForQuery).
+  ir::StemCounts text_stems;
+  /// BON side: (node id, query weight) sorted by node id — weights already
+  /// carry the source-vs-induced boost.
+  ir::TermCounts node_terms;
+  /// Which sides to score (use_bow == beta < 1, use_bon == beta > 0).
+  bool use_bow = true;
+  bool use_bon = false;
+  /// Per-side candidate depth k' = max(k, rerank_depth).
+  uint64_t kprime = 64;
+  /// Exactness oracle: score every posting instead of MaxScore top-k'.
+  bool exhaustive = false;
+};
+
+/// \brief Phase-1 answer: one shard's collection statistics for the query,
+/// read from one pinned epoch.
+struct ShardPlan {
+  uint64_t epoch = 0;
+  uint64_t num_docs = 0;
+  uint64_t text_total_length = 0;
+  uint64_t node_total_length = 0;
+  /// Smallest doc length per side (pruning-bound input; 0 when empty).
+  uint32_t text_min_doc_length = 0;
+  uint32_t node_min_doc_length = 0;
+  /// Positional, aligned with ShardQuery::text_stems / ::node_terms.
+  std::vector<uint64_t> text_df;
+  std::vector<uint64_t> node_df;
+  std::vector<uint32_t> text_max_tf;
+  std::vector<uint32_t> node_max_tf;
+};
+
+/// \brief Collection-wide statistics: ShardPlans merged over all shards
+/// (sum the counts, max the max-tfs, min the min-lengths).
+struct ShardGlobalStats {
+  uint64_t num_docs = 0;
+  uint64_t text_total_length = 0;
+  uint64_t node_total_length = 0;
+  uint32_t text_min_doc_length = 0;
+  uint32_t node_min_doc_length = 0;
+  std::vector<uint64_t> text_df;
+  std::vector<uint64_t> node_df;
+  std::vector<uint32_t> text_max_tf;
+  std::vector<uint32_t> node_max_tf;
+};
+
+/// Fold one shard's plan into the running collection statistics (counts
+/// sum, max-tfs max, min-lengths min over non-empty shards).
+void MergeShardPlan(const ShardPlan& plan, ShardGlobalStats* out);
+
+/// \brief One candidate document of one shard, scores raw (unnormalized)
+/// and computed with the collection statistics.
+struct ShardCandidate {
+  /// Corpus row within the shard (the shard's external doc id).
+  uint32_t doc = 0;
+  double bow = 0.0;
+  double bon = 0.0;
+};
+
+/// \brief Phase-2 answer: one shard's candidate union with raw per-side
+/// list maxima (the coordinator maxes these across shards before
+/// normalizing — max of maxima == the union's true per-side maximum,
+/// because per-side lists are best-first).
+struct ShardSearchResult {
+  uint64_t epoch = 0;
+  uint64_t snapshot_docs = 0;
+  /// Raw maxima over this shard's per-side candidate lists (0 when the
+  /// side's list is empty — the >0-else-1 normalization guard is applied
+  /// once, by the coordinator, on the collection-wide max).
+  double bow_max = 0.0;
+  double bon_max = 0.0;
+  std::vector<ShardCandidate> candidates;
+  /// Work counters (documents fully scored per side, fill-ins included).
+  uint64_t bow_scored = 0;
+  uint64_t bon_scored = 0;
+};
+
+class NewsLinkEngine;
+
+/// \brief An opaque pin on one published engine epoch.
+///
+/// PlanShard and SearchShard against the same pin are guaranteed to read
+/// the same immutable index state even while AddDocument publishes new
+/// epochs concurrently. Copyable; the pinned snapshot is reclaimed when
+/// the last pin (and concurrent query) releases it.
+class ShardEpochPin {
+ public:
+  ShardEpochPin() = default;
+
+  uint64_t epoch() const { return epoch_; }
+  uint64_t num_docs() const { return num_docs_; }
+  bool valid() const { return snapshot_ != nullptr; }
+
+ private:
+  friend class NewsLinkEngine;
+  std::shared_ptr<const void> snapshot_;
+  uint64_t epoch_ = 0;
+  uint64_t num_docs_ = 0;
+};
+
+}  // namespace newslink
+
+#endif  // NEWSLINK_NEWSLINK_SHARD_API_H_

@@ -1,0 +1,77 @@
+#include "newslink/shard_merge.h"
+
+#include <algorithm>
+
+#include "ir/top_k.h"
+
+namespace newslink {
+
+void MergeShardPlan(const ShardPlan& plan, ShardGlobalStats* out) {
+  const bool first_nonempty = out->num_docs == 0;
+  out->num_docs += plan.num_docs;
+  out->text_total_length += plan.text_total_length;
+  out->node_total_length += plan.node_total_length;
+  // Empty shards report min length 0; skipping them keeps the collection
+  // floor tight (a looser floor is still correct, just prunes less).
+  if (plan.num_docs > 0) {
+    if (first_nonempty) {
+      out->text_min_doc_length = plan.text_min_doc_length;
+      out->node_min_doc_length = plan.node_min_doc_length;
+    } else {
+      out->text_min_doc_length =
+          std::min(out->text_min_doc_length, plan.text_min_doc_length);
+      out->node_min_doc_length =
+          std::min(out->node_min_doc_length, plan.node_min_doc_length);
+    }
+  }
+  auto fold = [](const std::vector<uint64_t>& df,
+                 const std::vector<uint32_t>& max_tf,
+                 std::vector<uint64_t>* df_out,
+                 std::vector<uint32_t>* tf_out) {
+    if (df_out->empty()) df_out->resize(df.size(), 0);
+    if (tf_out->empty()) tf_out->resize(max_tf.size(), 0);
+    for (size_t i = 0; i < df.size(); ++i) (*df_out)[i] += df[i];
+    for (size_t i = 0; i < max_tf.size(); ++i) {
+      (*tf_out)[i] = std::max((*tf_out)[i], max_tf[i]);
+    }
+  };
+  fold(plan.text_df, plan.text_max_tf, &out->text_df, &out->text_max_tf);
+  fold(plan.node_df, plan.node_max_tf, &out->node_df, &out->node_max_tf);
+}
+
+std::vector<ir::ScoredDoc> MergeShardCandidates(
+    const ShardFuseParams& params,
+    const std::vector<const ShardSearchResult*>& shards,
+    const std::function<uint32_t(size_t, uint32_t)>& to_global) {
+  // Collection per-side maxima: per-side lists are best-first, so the max
+  // over shard maxima is the union's true maximum. The >0-else-1 guard is
+  // applied exactly once, here — same as the single engine's max_score.
+  double bow_max = 0.0;
+  double bon_max = 0.0;
+  for (const ShardSearchResult* shard : shards) {
+    if (shard == nullptr) continue;
+    bow_max = std::max(bow_max, shard->bow_max);
+    bon_max = std::max(bon_max, shard->bon_max);
+  }
+  bow_max = bow_max > 0.0 ? bow_max : 1.0;
+  bon_max = bon_max > 0.0 ? bon_max : 1.0;
+
+  // Eq. 3 per candidate, then one heap over global rows. Shards partition
+  // the corpus, so no document appears twice; the two per-side terms are
+  // added in a fixed order (IEEE addition of two terms is commutative, so
+  // this matches the engine's membership-dependent accumulation order
+  // bit-for-bit).
+  ir::TopKHeap heap(params.k);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (shards[s] == nullptr) continue;
+    for (const ShardCandidate& c : shards[s]->candidates) {
+      double fused = 0.0;
+      if (params.use_bow) fused += (1.0 - params.beta) * (c.bow / bow_max);
+      if (params.use_bon) fused += params.beta * (c.bon / bon_max);
+      heap.Push(ir::ScoredDoc{to_global(s, c.doc), fused});
+    }
+  }
+  return heap.Take();
+}
+
+}  // namespace newslink

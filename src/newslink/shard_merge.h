@@ -1,0 +1,44 @@
+// Coordinator-side halves of the shard protocol (shard_api.h): merging
+// per-shard plans into collection statistics and fusing per-shard
+// candidates into the final top-k. Shared by the in-process ShardedEngine
+// and the HTTP scatter-gather coordinator so both merge with literally the
+// same arithmetic.
+
+#ifndef NEWSLINK_NEWSLINK_SHARD_MERGE_H_
+#define NEWSLINK_NEWSLINK_SHARD_MERGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ir/scorer.h"
+#include "newslink/shard_api.h"
+
+namespace newslink {
+
+/// How to fuse (resolved request knobs, as NewsLinkEngine::Search resolves
+/// them).
+struct ShardFuseParams {
+  double beta = 0.2;
+  bool use_bow = true;
+  bool use_bon = false;
+  size_t k = 10;
+};
+
+/// Fuse every answering shard's candidates (Eq. 3 with per-side max
+/// normalization) and merge into the top-k, tie-broken toward smaller
+/// global corpus rows — the same heap, arithmetic, and tie order as a
+/// single engine over the union.
+///
+/// `to_global(shard_index, local_row)` maps a shard's corpus row to the
+/// row in the union corpus; `shard_index` indexes `shards`. Entries of
+/// `shards` may be null (a shard that failed or missed its deadline —
+/// degraded merge over the rest).
+std::vector<ir::ScoredDoc> MergeShardCandidates(
+    const ShardFuseParams& params,
+    const std::vector<const ShardSearchResult*>& shards,
+    const std::function<uint32_t(size_t, uint32_t)>& to_global);
+
+}  // namespace newslink
+
+#endif  // NEWSLINK_NEWSLINK_SHARD_MERGE_H_

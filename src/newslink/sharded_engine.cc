@@ -1,0 +1,442 @@
+#include "newslink/sharded_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/binary_io.h"
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/snapshot_file.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "common/trace.h"
+#include "newslink/shard_merge.h"
+
+namespace newslink {
+
+namespace {
+
+constexpr std::string_view kShardLayoutSection = "shard_layout";
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const kg::KnowledgeGraph* graph,
+                             const kg::LabelIndex* label_index,
+                             NewsLinkConfig config, ShardedOptions options)
+    : graph_(graph),
+      config_(config),
+      options_(std::move(options)),
+      explainer_(graph),
+      pool_(options_.fanout_threads != 0
+                ? options_.fanout_threads
+                : std::max<size_t>(options_.num_shards, 1)),
+      queries_(registry()->GetCounter(baselines::kEngineQueries)),
+      query_seconds_(registry()->GetHistogram(baselines::kEngineQuerySeconds)) {
+  NL_CHECK(options_.num_shards >= 1) << "ShardedEngine needs >= 1 shard";
+  NL_CHECK(options_.write_shard < options_.num_shards)
+      << "write_shard " << options_.write_shard << " with "
+      << options_.num_shards << " shards";
+  shards_.reserve(options_.num_shards);
+  global_of_local_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(
+        std::make_unique<NewsLinkEngine>(graph, label_index, config));
+    global_of_local_.push_back(
+        std::make_unique<ir::AppendOnlyStore<uint32_t>>());
+  }
+}
+
+std::string ShardedEngine::name() const {
+  return StrCat("Sharded[", shards_.size(), "x", shards_[0]->name(), "]");
+}
+
+std::string ShardedEngine::ShardSnapshotPath(const std::string& path,
+                                             size_t shard) {
+  return StrCat(path, ".shard", shard);
+}
+
+uint32_t ShardedEngine::RecordRoute(uint32_t shard) {
+  const uint32_t global = static_cast<uint32_t>(shard_of_row_.size());
+  const uint32_t local =
+      static_cast<uint32_t>(global_of_local_[shard]->size());
+  // Both directions first, the global row count (shard_of_row_) last: a
+  // reader that observed a row can always translate it either way.
+  global_of_local_[shard]->Append(global);
+  local_of_row_.Append(local);
+  shard_of_row_.Append(shard);
+  return local;
+}
+
+Status ShardedEngine::Index(const corpus::Corpus& corpus) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  if (num_indexed_docs() != 0) {
+    return Status::FailedPrecondition(
+        "Index requires an empty engine; use AddDocument for live ingestion");
+  }
+  const size_t n = corpus.size();
+
+  // Resolve (and fully validate) the per-row shard before recording any
+  // route, so a bad assignment leaves the engine untouched.
+  std::vector<uint32_t> shard_of(n);
+  if (options_.partition == ShardedOptions::Partition::kExplicit &&
+      options_.assignment.size() != n) {
+    return Status::InvalidArgument(
+        StrCat("explicit assignment has ", options_.assignment.size(),
+               " entries for a corpus of ", n));
+  }
+  for (size_t row = 0; row < n; ++row) {
+    switch (options_.partition) {
+      case ShardedOptions::Partition::kRoundRobin:
+        shard_of[row] = static_cast<uint32_t>(row % shards_.size());
+        break;
+      case ShardedOptions::Partition::kHash:
+        shard_of[row] = static_cast<uint32_t>(
+            corpus::DocumentFingerprint(corpus.doc(row)) % shards_.size());
+        break;
+      case ShardedOptions::Partition::kExplicit:
+        shard_of[row] = options_.assignment[row];
+        if (shard_of[row] >= shards_.size()) {
+          return Status::InvalidArgument(
+              StrCat("assignment[", row, "] = ", shard_of[row], " with ",
+                     shards_.size(), " shards"));
+        }
+        break;
+    }
+  }
+
+  // Sub-corpora are filled in global row order, so each shard sees its
+  // documents in ascending global-row order: shard-local tie-breaks
+  // (smaller local row wins) agree with global ones after translation.
+  std::vector<corpus::Corpus> parts(shards_.size());
+  for (size_t row = 0; row < n; ++row) {
+    RecordRoute(shard_of[row]);
+    parts[shard_of[row]].Add(corpus.doc(row));
+  }
+
+  // Shards sequentially: each shard's own NLP/NE stage is internally
+  // parallel, so nesting another fan-out here would only oversubscribe.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    NL_RETURN_IF_ERROR(shards_[s]->Index(parts[s]));
+  }
+
+  // Fingerprint chains documents in GLOBAL corpus order (not per shard),
+  // so the sharded engine and a single engine over the same corpus agree.
+  uint64_t fp = corpus_fingerprint_.load(std::memory_order_relaxed);
+  for (size_t row = 0; row < n; ++row) {
+    fp = corpus::ChainCorpusFingerprint(fp, corpus.doc(row));
+  }
+  corpus_fingerprint_.store(fp, std::memory_order_release);
+  return Status::OK();
+}
+
+size_t ShardedEngine::AddDocument(const corpus::Document& doc) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  const size_t global = shard_of_row_.size();
+  const uint32_t shard = static_cast<uint32_t>(options_.write_shard);
+  // Route before the shard indexes: by the time the write shard publishes
+  // the new epoch, the new local row already translates both ways.
+  RecordRoute(shard);
+  corpus_fingerprint_.store(
+      corpus::ChainCorpusFingerprint(
+          corpus_fingerprint_.load(std::memory_order_relaxed), doc),
+      std::memory_order_release);
+  shards_[shard]->AddDocument(doc);
+  return global;
+}
+
+baselines::SearchResponse ShardedEngine::Search(
+    const baselines::SearchRequest& request) const {
+  std::vector<ShardEpochPin> pins;
+  pins.reserve(shards_.size());
+  for (const auto& shard : shards_) pins.push_back(shard->PinEpoch());
+  return SearchWithPins(request, pins);
+}
+
+std::vector<baselines::SearchResponse> ShardedEngine::SearchBatch(
+    std::span<const baselines::SearchRequest> requests) const {
+  // One pin per shard for the WHOLE batch (the base-class default would
+  // acquire per request): every response answers from the same corpus
+  // view, and each request is batch-order independent, so the fan-out
+  // below is bit-identical to sequential Search calls under a quiesced
+  // writer. ParallelFor is reentrant (the inner fan-outs run inline when
+  // called from a pool worker).
+  std::vector<ShardEpochPin> pins;
+  pins.reserve(shards_.size());
+  for (const auto& shard : shards_) pins.push_back(shard->PinEpoch());
+  std::vector<baselines::SearchResponse> responses(requests.size());
+  pool_.ParallelFor(requests.size(), [&](size_t i) {
+    responses[i] = SearchWithPins(requests[i], pins);
+  });
+  return responses;
+}
+
+baselines::SearchResponse ShardedEngine::SearchWithPins(
+    const baselines::SearchRequest& request,
+    const std::vector<ShardEpochPin>& pins) const {
+  const double beta = request.beta.value_or(config_.beta);
+  const size_t k = request.k;
+
+  WallTimer deadline_timer;
+  const double deadline = request.deadline_seconds.value_or(0.0);
+  const auto past_deadline = [&deadline_timer, deadline]() {
+    return deadline > 0.0 && deadline_timer.ElapsedSeconds() >= deadline;
+  };
+
+  Trace query_trace;
+  // Anchor for the hand-spliced shard spans below: started with the trace,
+  // so worker-recorded offsets line up with the tree's own span offsets.
+  WallTimer trace_timer;
+  const size_t root_handle = query_trace.Begin("search");
+
+  baselines::SearchResponse response;
+  response.shards_total = shards_.size();
+  response.shards_answered = shards_.size();
+  // Epoch of a sharded response: the sum over shard epochs (monotone under
+  // any shard publishing). snapshot_docs sums the pinned counts — with
+  // writes routed to the single write shard, visible global rows are
+  // exactly [0, sum), so the base-class invariant (every hit's doc_index
+  // < snapshot_docs) carries over.
+  for (const ShardEpochPin& pin : pins) {
+    response.epoch += pin.epoch();
+    response.snapshot_docs += pin.num_docs();
+  }
+
+  // --- NLP + NE on the query: once, at the coordinator ------------------
+  embed::DocumentEmbedding query_embedding;
+  {
+    ScopedSpan span(&query_trace, "nlp");
+    const text::SegmentedDocument segmented =
+        shards_[0]->SegmentText(request.query);
+    query_trace.Note("segments", std::to_string(segmented.segments.size()));
+  }
+  {
+    ScopedSpan span(&query_trace, "ne");
+    if ((beta > 0.0 || request.explain) && past_deadline()) {
+      response.deadline_exceeded = true;
+      query_trace.Note("skipped", "deadline");
+    } else if (beta > 0.0 || request.explain) {
+      // Every shard shares the KG and config, so shard 0's NLP/NE stack
+      // produces the one query embedding all shards score against.
+      query_embedding = shards_[0]->EmbedText(request.query);
+    } else {
+      query_trace.Note("skipped", "beta=0");
+    }
+  }
+
+  // --- NS: two-phase scatter-gather (shard_api.h) ------------------------
+  const size_t n_shards = shards_.size();
+  std::vector<ShardSearchResult> results(n_shards);
+  std::vector<double> shard_start(n_shards, 0.0);
+  std::vector<double> shard_seconds(n_shards, 0.0);
+  {
+    ScopedSpan span(&query_trace, "ns");
+    const ShardQuery shard_query =
+        shards_[0]->PrepareShardQuery(request, query_embedding);
+
+    // Phase 1: per-shard collection statistics against the pinned epochs,
+    // merged into the collection-wide view every shard scores with.
+    std::vector<ShardPlan> plans(n_shards);
+    pool_.ParallelFor(n_shards, [&](size_t s) {
+      plans[s] = shards_[s]->PlanShard(shard_query, pins[s]);
+    });
+    ShardGlobalStats global;
+    for (const ShardPlan& plan : plans) MergeShardPlan(plan, &global);
+
+    // Phase 2: candidate retrieval, same pins. Per-shard wall times are
+    // recorded here and spliced into the tree after Finish() — a Trace is
+    // single-threaded, so spans cannot be opened inside the workers.
+    pool_.ParallelFor(n_shards, [&](size_t s) {
+      shard_start[s] = trace_timer.ElapsedSeconds();
+      WallTimer timer;
+      results[s] = shards_[s]->SearchShard(shard_query, global, pins[s]);
+      shard_seconds[s] = timer.ElapsedSeconds();
+    });
+
+    ShardFuseParams fuse;
+    fuse.beta = beta;
+    fuse.use_bow = shard_query.use_bow;
+    fuse.use_bon = shard_query.use_bon;
+    fuse.k = k;
+    std::vector<const ShardSearchResult*> ptrs(n_shards);
+    for (size_t s = 0; s < n_shards; ++s) ptrs[s] = &results[s];
+    const std::vector<ir::ScoredDoc> merged = MergeShardCandidates(
+        fuse, ptrs, [this](size_t s, uint32_t local) {
+          return global_of_local_[s]->At(local);
+        });
+    response.hits.reserve(merged.size());
+    for (const ir::ScoredDoc& scored : merged) {
+      baselines::SearchHit hit;
+      hit.doc_index = scored.doc;
+      hit.score = scored.score;
+      response.hits.push_back(std::move(hit));
+    }
+
+    uint64_t bow_scored = 0;
+    uint64_t bon_scored = 0;
+    for (const ShardSearchResult& r : results) {
+      bow_scored += r.bow_scored;
+      bon_scored += r.bon_scored;
+    }
+    query_trace.Note("shards", std::to_string(n_shards));
+    query_trace.Note("bow_scored", std::to_string(bow_scored));
+    query_trace.Note("bon_scored", std::to_string(bon_scored));
+  }
+
+  // --- Explanations over global rows -------------------------------------
+  if (request.explain && past_deadline()) {
+    response.deadline_exceeded = true;
+    query_trace.Note("explain_skipped", "deadline");
+  } else if (request.explain) {
+    ScopedSpan span(&query_trace, "explain");
+    for (baselines::SearchHit& hit : response.hits) {
+      const uint32_t s = shard_of_row_.At(hit.doc_index);
+      const uint32_t local = local_of_row_.At(hit.doc_index);
+      hit.paths =
+          explainer_.Explain(query_embedding, shards_[s]->doc_embedding(local),
+                             request.max_paths_per_result);
+    }
+  }
+
+  if (response.deadline_exceeded) {
+    query_trace.Note("deadline_exceeded", "true");
+  }
+  query_trace.End(root_handle);
+  TraceSpan root = query_trace.Finish();
+
+  // Splice one span child per shard under "ns" (timed in the workers
+  // above). SpanBreakdown only reads the root's direct children, so the
+  // nlp/ne/ns/explain buckets are unaffected.
+  for (TraceSpan& child : root.children) {
+    if (child.name != "ns") continue;
+    for (size_t s = 0; s < n_shards; ++s) {
+      TraceSpan shard_span;
+      shard_span.name = StrCat("shard", s);
+      shard_span.start_seconds = shard_start[s];
+      shard_span.duration_seconds = shard_seconds[s];
+      shard_span.notes.push_back(
+          {"epoch", std::to_string(results[s].epoch)});
+      shard_span.notes.push_back(
+          {"candidates", std::to_string(results[s].candidates.size())});
+      child.children.push_back(std::move(shard_span));
+    }
+    break;
+  }
+
+  queries_->Inc();
+  query_seconds_->Observe(root.duration_seconds);
+  response.timings = SpanBreakdown(root);
+  if (request.trace) response.trace = std::move(root);
+  return response;
+}
+
+Status ShardedEngine::SaveSnapshot(const std::string& path) const {
+  // Quiesce routing writes; per-shard saves below take each shard's own
+  // writer lock, so the manifest and the shard files agree.
+  std::lock_guard<std::mutex> writer(writer_mu_);
+
+  SnapshotHeader header;
+  header.kg_fingerprint = graph_->Fingerprint();
+  header.corpus_fingerprint =
+      corpus_fingerprint_.load(std::memory_order_acquire);
+  header.config_fingerprint = NewsLinkEngine::ConfigFingerprint(config_);
+  header.num_docs = shard_of_row_.size();
+
+  ByteWriter w;
+  w.WriteU32(static_cast<uint32_t>(shards_.size()));
+  w.WriteU32(static_cast<uint32_t>(options_.write_shard));
+  w.WriteU64(shard_of_row_.size());
+  for (size_t row = 0; row < shard_of_row_.size(); ++row) {
+    w.WriteVarint(shard_of_row_.At(row));
+  }
+  std::vector<SnapshotSection> sections;
+  sections.push_back(
+      SnapshotSection{std::string(kShardLayoutSection), w.TakeBytes()});
+  NL_RETURN_IF_ERROR(WriteSnapshotFile(path, header, sections));
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    NL_RETURN_IF_ERROR(shards_[s]->SaveSnapshot(ShardSnapshotPath(path, s)));
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::LoadSnapshot(const std::string& path) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  if (num_indexed_docs() != 0) {
+    return Status::FailedPrecondition(
+        "LoadSnapshot requires an empty engine (nothing indexed yet)");
+  }
+  NL_ASSIGN_OR_RETURN(const SnapshotFile file, ReadSnapshotFile(path));
+  if (file.header.kg_fingerprint != graph_->Fingerprint()) {
+    return Status::FailedPrecondition(
+        "snapshot was built against a different knowledge graph");
+  }
+  if (file.header.config_fingerprint !=
+      NewsLinkEngine::ConfigFingerprint(config_)) {
+    return Status::FailedPrecondition(
+        "snapshot was built under a different engine configuration");
+  }
+  const SnapshotSection* layout = file.Find(kShardLayoutSection);
+  if (layout == nullptr) {
+    return Status::IOError("snapshot has no shard_layout section");
+  }
+
+  ByteReader r(layout->payload);
+  uint32_t num_shards = 0;
+  uint32_t write_shard = 0;
+  uint64_t rows = 0;
+  NL_RETURN_IF_ERROR(r.ReadU32(&num_shards));
+  NL_RETURN_IF_ERROR(r.ReadU32(&write_shard));
+  NL_RETURN_IF_ERROR(r.ReadU64(&rows));
+  if (num_shards != shards_.size()) {
+    return Status::FailedPrecondition(
+        StrCat("snapshot has ", num_shards, " shards, engine has ",
+               shards_.size()));
+  }
+  if (write_shard >= num_shards) {
+    return Status::IOError(
+        StrCat("shard_layout routes writes to missing shard ", write_shard));
+  }
+  if (rows != file.header.num_docs) {
+    return Status::IOError(
+        StrCat("shard_layout covers ", rows, " rows, header claims ",
+               file.header.num_docs));
+  }
+  NL_RETURN_IF_ERROR(r.CheckCount(rows, 1));
+  std::vector<uint32_t> assignment;
+  assignment.reserve(rows);
+  std::vector<uint64_t> per_shard(num_shards, 0);
+  for (uint64_t row = 0; row < rows; ++row) {
+    uint32_t shard = 0;
+    NL_RETURN_IF_ERROR(r.ReadVarint(&shard));
+    if (shard >= num_shards) {
+      return Status::IOError(
+          StrCat("shard_layout routes row ", row, " to missing shard ",
+                 shard));
+    }
+    assignment.push_back(shard);
+    ++per_shard[shard];
+  }
+  NL_RETURN_IF_ERROR(r.ExpectEnd());
+
+  // Load every shard snapshot. Each shard validates its own header and
+  // sections and stays untouched on ITS failure — but a failure after the
+  // first shard loaded leaves this engine partially populated, so callers
+  // must discard it on error (see the header).
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    NL_RETURN_IF_ERROR(shards_[s]->LoadSnapshot(ShardSnapshotPath(path, s)));
+    if (shards_[s]->num_indexed_docs() != per_shard[s]) {
+      return Status::FailedPrecondition(
+          StrCat("shard ", s, " snapshot holds ",
+                 shards_[s]->num_indexed_docs(), " docs, manifest routes ",
+                 per_shard[s]));
+    }
+  }
+
+  for (const uint32_t shard : assignment) RecordRoute(shard);
+  options_.write_shard = write_shard;
+  corpus_fingerprint_.store(file.header.corpus_fingerprint,
+                            std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace newslink

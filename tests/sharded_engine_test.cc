@@ -1,0 +1,292 @@
+// ShardedEngine: scatter-gather over N document-partition shards must be
+// bit-identical — hits, scores, and tie order — to one NewsLinkEngine over
+// the union of the shards (DESIGN.md Sec. 12). The property holds for any
+// shard count, any partition, across epochs (mid-run AddDocument), and for
+// batches; snapshots round-trip the partition permutation.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "corpus/synthetic_news.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+#include "newslink/newslink_engine.h"
+#include "newslink/shard_merge.h"
+#include "newslink/sharded_engine.h"
+
+namespace newslink {
+namespace {
+
+class ShardedEngineTest : public ::testing::Test {
+ protected:
+  ShardedEngineTest() : kg_(MakeKg()), index_(kg_.graph) {
+    corpus::SyntheticNewsConfig config = corpus::CnnLikeConfig();
+    config.num_stories = 12;
+    corpus_ = corpus::SyntheticNewsGenerator(&kg_, config).Generate();
+  }
+
+  static kg::SyntheticKg MakeKg() {
+    kg::SyntheticKgConfig config;
+    config.seed = 77;
+    config.num_countries = 2;
+    config.provinces_per_country = 2;
+    config.districts_per_province = 2;
+    config.cities_per_district = 2;
+    return kg::SyntheticKgGenerator(config).Generate();
+  }
+
+  NewsLinkConfig EngineConfig() const {
+    NewsLinkConfig config;
+    config.num_threads = 2;
+    return config;
+  }
+
+  std::string FirstSentenceOf(size_t doc) const {
+    const std::string& text = corpus_.corpus.doc(doc).text;
+    return text.substr(0, text.find('.') + 1);
+  }
+
+  /// A spread of per-request knobs the bit-exactness property must hold
+  /// under: pure text, fused pruned, fused exhaustive, pure BON.
+  std::vector<baselines::SearchRequest> PropertyRequests(size_t doc) const {
+    const std::string q = FirstSentenceOf(doc);
+    baselines::SearchRequest text_only{q, 5};
+    text_only.beta = 0.0;
+    baselines::SearchRequest fused{q, 5};
+    fused.beta = 0.3;
+    baselines::SearchRequest exhaustive{q, 5};
+    exhaustive.beta = 0.3;
+    exhaustive.exhaustive_fusion = true;
+    baselines::SearchRequest bon_only{q, 5};
+    bon_only.beta = 1.0;
+    return {text_only, fused, exhaustive, bon_only};
+  }
+
+  static void ExpectSameResponse(const baselines::SearchResponse& sharded,
+                                 const baselines::SearchResponse& single,
+                                 const std::string& what) {
+    ASSERT_EQ(sharded.hits.size(), single.hits.size()) << what;
+    for (size_t i = 0; i < single.hits.size(); ++i) {
+      EXPECT_EQ(sharded.hits[i].doc_index, single.hits[i].doc_index)
+          << what << " rank " << i << " (tie order must match)";
+      EXPECT_EQ(sharded.hits[i].score, single.hits[i].score)
+          << what << " rank " << i << " (scores must be bit-identical)";
+    }
+  }
+
+  kg::SyntheticKg kg_;
+  kg::LabelIndex index_;
+  corpus::SyntheticCorpus corpus_;
+};
+
+TEST_F(ShardedEngineTest, MatchesSingleEngineForAnyShardCountAndPartition) {
+  NewsLinkEngine single(&kg_.graph, &index_, EngineConfig());
+  ASSERT_TRUE(single.Index(corpus_.corpus).ok());
+
+  Rng rng(4242);
+  for (const size_t n_shards : {1u, 2u, 3u, 7u}) {
+    ShardedOptions options;
+    options.num_shards = n_shards;
+    options.partition = ShardedOptions::Partition::kExplicit;
+    options.assignment.resize(corpus_.corpus.size());
+    for (uint32_t& s : options.assignment) {
+      s = static_cast<uint32_t>(rng.Uniform(n_shards));
+    }
+    ShardedEngine sharded(&kg_.graph, &index_, EngineConfig(), options);
+    ASSERT_TRUE(sharded.Index(corpus_.corpus).ok());
+    EXPECT_EQ(sharded.num_indexed_docs(), corpus_.corpus.size());
+    EXPECT_EQ(sharded.corpus_fingerprint(), single.corpus_fingerprint())
+        << "partitioning must not change the corpus identity";
+
+    for (size_t doc = 0; doc < 6; ++doc) {
+      for (const baselines::SearchRequest& request : PropertyRequests(doc)) {
+        const auto a = sharded.Search(request);
+        const auto b = single.Search(request);
+        ExpectSameResponse(
+            a, b,
+            StrCat(n_shards, " shards, doc ", doc, ", beta ",
+                   request.beta.value_or(-1),
+                   request.exhaustive_fusion.value_or(false) ? " exhaustive"
+                                                             : ""));
+        EXPECT_EQ(a.shards_total, n_shards);
+        EXPECT_EQ(a.shards_answered, n_shards);
+        EXPECT_FALSE(a.degraded);
+        EXPECT_EQ(a.snapshot_docs, b.snapshot_docs);
+      }
+    }
+  }
+}
+
+TEST_F(ShardedEngineTest, MatchesSingleEngineAcrossEpochs) {
+  // Hold the last documents out of the bulk index and ingest them live:
+  // the sharded engine routes them to the write shard, the single engine
+  // appends them — responses must stay bit-identical at every epoch.
+  const size_t held_out = 4;
+  ASSERT_GT(corpus_.corpus.size(), held_out + 6);
+  corpus::Corpus base;
+  for (size_t d = 0; d + held_out < corpus_.corpus.size(); ++d) {
+    base.Add(corpus_.corpus.doc(d));
+  }
+
+  NewsLinkEngine single(&kg_.graph, &index_, EngineConfig());
+  ASSERT_TRUE(single.Index(base).ok());
+  ShardedOptions options;
+  options.num_shards = 3;
+  options.write_shard = 1;
+  ShardedEngine sharded(&kg_.graph, &index_, EngineConfig(), options);
+  ASSERT_TRUE(sharded.Index(base).ok());
+
+  for (size_t step = 0; step <= held_out; ++step) {
+    for (size_t doc = 0; doc < 4; ++doc) {
+      for (const baselines::SearchRequest& request : PropertyRequests(doc)) {
+        ExpectSameResponse(sharded.Search(request), single.Search(request),
+                           StrCat("after ", step, " live documents"));
+      }
+    }
+    if (step < held_out) {
+      const corpus::Document& doc = corpus_.corpus.doc(base.size() + step);
+      const size_t single_row = single.AddDocument(doc);
+      const size_t sharded_row = sharded.AddDocument(doc);
+      EXPECT_EQ(sharded_row, single_row)
+          << "live rows must keep speaking global corpus rows";
+    }
+  }
+  EXPECT_EQ(sharded.corpus_fingerprint(), single.corpus_fingerprint());
+}
+
+TEST_F(ShardedEngineTest, SearchBatchMatchesSequentialSearchBitForBit) {
+  ShardedOptions options;
+  options.num_shards = 3;
+  ShardedEngine sharded(&kg_.graph, &index_, EngineConfig(), options);
+  ASSERT_TRUE(sharded.Index(corpus_.corpus).ok());
+
+  std::vector<baselines::SearchRequest> requests;
+  for (size_t doc = 0; doc < 5; ++doc) {
+    for (const baselines::SearchRequest& r : PropertyRequests(doc)) {
+      requests.push_back(r);
+    }
+  }
+  const std::vector<baselines::SearchResponse> batch =
+      sharded.SearchBatch(requests);
+  ASSERT_EQ(batch.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectSameResponse(batch[i], sharded.Search(requests[i]),
+                       StrCat("batch request ", i));
+  }
+}
+
+TEST_F(ShardedEngineTest, ExplainAndTraceSpeakGlobalRows) {
+  ShardedOptions options;
+  options.num_shards = 2;
+  ShardedEngine sharded(&kg_.graph, &index_, EngineConfig(), options);
+  ASSERT_TRUE(sharded.Index(corpus_.corpus).ok());
+  NewsLinkEngine single(&kg_.graph, &index_, EngineConfig());
+  ASSERT_TRUE(single.Index(corpus_.corpus).ok());
+
+  baselines::SearchRequest request{FirstSentenceOf(1), 5};
+  request.beta = 0.3;
+  request.explain = true;
+  request.trace = true;
+  const auto a = sharded.Search(request);
+  const auto b = single.Search(request);
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  for (size_t i = 0; i < a.hits.size(); ++i) {
+    EXPECT_EQ(a.hits[i].doc_index, b.hits[i].doc_index);
+    // Same doc + same query embedding => same explanation paths.
+    ASSERT_EQ(a.hits[i].paths.size(), b.hits[i].paths.size());
+  }
+  // One spliced span child per shard under "ns".
+  const TraceSpan* ns = a.trace.Find("ns");
+  ASSERT_NE(ns, nullptr);
+  size_t shard_spans = 0;
+  for (const TraceSpan& child : ns->children) {
+    if (child.name.rfind("shard", 0) == 0) ++shard_spans;
+  }
+  EXPECT_EQ(shard_spans, 2u);
+}
+
+TEST_F(ShardedEngineTest, SnapshotRoundTripsPartitionAndResults) {
+  ShardedOptions options;
+  options.num_shards = 3;
+  options.partition = ShardedOptions::Partition::kHash;
+  ShardedEngine sharded(&kg_.graph, &index_, EngineConfig(), options);
+  ASSERT_TRUE(sharded.Index(corpus_.corpus).ok());
+
+  const std::string path =
+      testing::TempDir() + "/sharded_engine_test.snapshot";
+  ASSERT_TRUE(sharded.SaveSnapshot(path).ok());
+
+  ShardedEngine warm(&kg_.graph, &index_, EngineConfig(), options);
+  ASSERT_TRUE(warm.LoadSnapshot(path).ok());
+  EXPECT_EQ(warm.num_indexed_docs(), sharded.num_indexed_docs());
+  EXPECT_EQ(warm.corpus_fingerprint(), sharded.corpus_fingerprint());
+  for (size_t doc = 0; doc < 4; ++doc) {
+    for (const baselines::SearchRequest& request : PropertyRequests(doc)) {
+      ExpectSameResponse(warm.Search(request), sharded.Search(request),
+                         "warm-started sharded engine");
+    }
+  }
+
+  // A coordinator with the wrong shard count must fail loudly, not serve
+  // a silently re-partitioned corpus.
+  ShardedOptions wrong = options;
+  wrong.num_shards = 2;
+  ShardedEngine mismatched(&kg_.graph, &index_, EngineConfig(), wrong);
+  const Status status = mismatched.LoadSnapshot(path);
+  EXPECT_TRUE(status.IsFailedPrecondition()) << status.ToString();
+}
+
+TEST_F(ShardedEngineTest, ExplicitPartitionValidatesAssignment) {
+  ShardedOptions options;
+  options.num_shards = 2;
+  options.partition = ShardedOptions::Partition::kExplicit;
+  options.assignment.assign(corpus_.corpus.size(), 7);  // out of range
+  ShardedEngine sharded(&kg_.graph, &index_, EngineConfig(), options);
+  EXPECT_TRUE(sharded.Index(corpus_.corpus).IsInvalidArgument());
+  EXPECT_EQ(sharded.num_indexed_docs(), 0u)
+      << "a rejected assignment must leave the engine untouched";
+
+  options.assignment.assign(corpus_.corpus.size() / 2, 0);  // wrong length
+  ShardedEngine short_assignment(&kg_.graph, &index_, EngineConfig(),
+                                 options);
+  EXPECT_TRUE(short_assignment.Index(corpus_.corpus).IsInvalidArgument());
+}
+
+TEST_F(ShardedEngineTest, DegradedMergeCoversAnsweringShardsOnly) {
+  // Unit-level check of the coordinator's partial-result path: a null
+  // shard entry drops out of the merge; the rest still rank correctly.
+  ShardSearchResult a;
+  a.bow_max = 2.0;
+  a.candidates = {{0, 2.0, 0.0}, {1, 1.0, 0.0}};
+  ShardSearchResult b;
+  b.bow_max = 4.0;
+  b.candidates = {{0, 4.0, 0.0}};
+
+  ShardFuseParams params;
+  params.beta = 0.0;
+  params.use_bow = true;
+  params.use_bon = false;
+  params.k = 10;
+  const auto to_global = [](size_t shard, uint32_t local) {
+    return static_cast<uint32_t>(2 * local + shard);
+  };
+
+  const auto full = MergeShardCandidates(params, {&a, &b}, to_global);
+  ASSERT_EQ(full.size(), 3u);
+  EXPECT_EQ(full[0].doc, 1u);  // shard b doc 0: 4/4
+  EXPECT_EQ(full[1].doc, 0u);  // shard a doc 0: 2/4
+  EXPECT_EQ(full[2].doc, 2u);  // shard a doc 1: 1/4
+
+  const auto degraded = MergeShardCandidates(params, {&a, nullptr}, to_global);
+  ASSERT_EQ(degraded.size(), 2u);
+  EXPECT_EQ(degraded[0].doc, 0u);  // renormalized against a's max only
+  EXPECT_EQ(degraded[0].score, 1.0);
+  EXPECT_EQ(degraded[1].doc, 2u);
+}
+
+}  // namespace
+}  // namespace newslink

@@ -32,11 +32,24 @@
 //
 //   newslink_cli serve <kg_prefix> <corpus_tsv> [--snapshot PATH]
 //       [--host ADDR] [--port N] [--workers N] [--max-inflight N]
-//       [--port-file PATH]
+//       [--port-file PATH] [--shard-index I --shard-count N]
 //       Warm-start (or index) and serve the /v1 HTTP API (POST /v1/search,
-//       POST /v1/documents, GET /metrics, /healthz, /v1/stats) until
-//       SIGINT/SIGTERM, then drain gracefully. --port 0 picks an ephemeral
-//       port; --port-file writes the chosen port for scripts to read.
+//       POST /v1/documents, GET /metrics, /healthz, /v1/stats, plus the
+//       /v1/shard RPC surface) until SIGINT/SIGTERM, then drain gracefully.
+//       --port 0 picks an ephemeral port; --port-file writes the chosen
+//       port for scripts to read. With --shard-index/--shard-count the
+//       server indexes only corpus rows ≡ I (mod N) — one round-robin
+//       shard of the corpus, ready to sit behind a coordinator.
+//
+//   newslink_cli serve <kg_prefix> --shards host:port,... [--shard-deadline S]
+//       [--host ADDR] [--port N] [--workers N] [--max-inflight N]
+//       [--port-file PATH]
+//       Coordinator mode: no corpus — serve /v1/search by scatter-gather
+//       over the listed shard servers (round-robin partition, shard i
+//       first in the list), merging with the in-process ShardedEngine's
+//       arithmetic. Shards that are down or miss --shard-deadline seconds
+//       are dropped from the merge: the response stays HTTP 200 with
+//       "degraded": true. /v1/stats reports per-shard health and epochs.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on I/O failures (including
 // corrupt, truncated, or stale snapshots).
@@ -57,9 +70,11 @@
 #include "kg/kg_io.h"
 #include "kg/label_index.h"
 #include "kg/synthetic_kg.h"
+#include "net/coordinator_service.h"
 #include "net/drain.h"
 #include "net/http_server.h"
 #include "net/search_service.h"
+#include "net/shard_client.h"
 #include "newslink/newslink_engine.h"
 
 using namespace newslink;
@@ -131,7 +146,11 @@ int Usage() {
       "               [--snapshot PATH]\n"
       "  newslink_cli serve <kg_prefix> <corpus_tsv> [--snapshot PATH]\n"
       "               [--host ADDR] [--port N] [--workers N]\n"
-      "               [--max-inflight N] [--port-file PATH]\n");
+      "               [--max-inflight N] [--port-file PATH]\n"
+      "               [--shard-index I --shard-count N]\n"
+      "  newslink_cli serve <kg_prefix> --shards host:port,...\n"
+      "               [--shard-deadline S] [--host ADDR] [--port N]\n"
+      "               [--workers N] [--max-inflight N] [--port-file PATH]\n");
   return 1;
 }
 
@@ -278,21 +297,116 @@ int BuildIndexCmd(const Flags& flags) {
   return 0;
 }
 
+/// Start `server`, write the port file, announce readiness, wait for
+/// SIGINT/SIGTERM, drain. Shared by single-engine and coordinator serving.
+int RunServer(const Flags& flags, net::HttpServer* server,
+              const std::string& bind_address, const std::string& summary) {
+  const Status started = server->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 2;
+  }
+  if (flags.Has("port-file")) {
+    const int rc = WriteMetricsFile(flags.Get("port-file", ""),
+                                    StrCat(server->port(), "\n"));
+    if (rc != 0) return rc;
+  }
+  std::fprintf(stderr, "ready (%s); serving http://%s:%u/v1/search\n",
+               summary.c_str(), bind_address.c_str(), server->port());
+
+  net::DrainSignal::Instance().Wait();
+  std::fprintf(stderr, "draining...\n");
+  server->Shutdown();
+  std::fprintf(stderr, "drained\n");
+  return 0;
+}
+
+/// Coordinator mode: no corpus, scatter-gather over --shards.
+int ServeCoordinator(const Flags& flags, const kg::KnowledgeGraph& graph,
+                     const kg::LabelIndex& labels) {
+  std::vector<std::unique_ptr<net::ShardClient>> shards;
+  for (const std::string& address : Split(flags.Get("shards", ""), ',')) {
+    const std::vector<std::string> parts = Split(address, ':');
+    const uint64_t port =
+        parts.size() == 2 ? std::strtoull(parts[1].c_str(), nullptr, 10) : 0;
+    if (parts.size() != 2 || parts[0].empty() || port == 0 || port > 65535) {
+      std::fprintf(stderr, "--shards entry \"%s\" is not host:port\n",
+                   address.c_str());
+      return 1;
+    }
+    shards.push_back(std::make_unique<net::ShardClient>(
+        shards.size(), parts[0], static_cast<uint16_t>(port)));
+  }
+  if (shards.empty()) {
+    std::fprintf(stderr, "--shards needs at least one host:port\n");
+    return 1;
+  }
+  const size_t num_shards = shards.size();
+
+  // The prep engine never indexes: it only runs the per-query NLP/NE
+  // pipeline and hosts the coordinator's metrics registry.
+  const NewsLinkConfig config;
+  NewsLinkEngine prep(&graph, &labels, config);
+
+  const Status installed = net::DrainSignal::Instance().Install();
+  if (!installed.ok()) {
+    std::fprintf(stderr, "%s\n", installed.ToString().c_str());
+    return 2;
+  }
+
+  net::CoordinatorOptions options;
+  options.shard_deadline_seconds =
+      flags.GetDouble("shard-deadline", options.shard_deadline_seconds);
+  options.max_inflight_searches =
+      flags.GetInt("max-inflight", options.max_inflight_searches);
+  net::CoordinatorService service(&prep, config, std::move(shards), options);
+
+  net::HttpServerOptions server_options;
+  server_options.bind_address = flags.Get("host", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(flags.GetInt("port", 8080));
+  server_options.num_workers = flags.GetInt("workers", 8);
+  net::HttpServer server(server_options, prep.mutable_metrics());
+  service.RegisterRoutes(&server);
+  return RunServer(flags, &server, server_options.bind_address,
+                   StrCat("coordinator over ", num_shards, " shards"));
+}
+
 int ServeCmd(const Flags& flags) {
-  if (flags.positional.size() < 2) return Usage();
+  if (flags.positional.empty()) return Usage();
   Result<kg::KnowledgeGraph> graph = kg::LoadTsv(flags.positional[0]);
   if (!graph.ok()) {
     std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
     return 2;
   }
+  kg::LabelIndex labels(*graph);
+  if (flags.Has("shards")) return ServeCoordinator(flags, *graph, labels);
+
+  if (flags.positional.size() < 2) return Usage();
   Result<corpus::Corpus> docs = corpus::LoadTsv(flags.positional[1]);
   if (!docs.ok()) {
     std::fprintf(stderr, "%s\n", docs.status().ToString().c_str());
     return 2;
   }
-  kg::LabelIndex labels(*graph);
+  // Shard-slice mode: keep only rows ≡ shard-index (mod shard-count) — the
+  // round-robin partition a coordinator's merge assumes. A snapshot given
+  // with --snapshot must then be a snapshot OF THE SLICE (its fingerprint
+  // is checked against the sliced corpus).
+  if (flags.Has("shard-count")) {
+    const uint64_t count = flags.GetInt("shard-count", 1);
+    const uint64_t index = flags.GetInt("shard-index", 0);
+    if (count == 0 || index >= count) {
+      std::fprintf(stderr, "--shard-index %llu with --shard-count %llu\n",
+                   static_cast<unsigned long long>(index),
+                   static_cast<unsigned long long>(count));
+      return 1;
+    }
+    corpus::Corpus slice;
+    for (size_t row = index; row < docs->size(); row += count) {
+      slice.Add(docs->doc(row));
+    }
+    *docs = std::move(slice);
+  }
   NewsLinkEngine engine(&*graph, &labels, NewsLinkConfig{});
-  WallTimer timer;
   const int rc = PopulateEngine(&engine, *docs, flags.Get("snapshot", ""));
   if (rc != 0) return rc;
 
@@ -315,26 +429,8 @@ int ServeCmd(const Flags& flags) {
   server_options.num_workers = flags.GetInt("workers", 8);
   net::HttpServer server(server_options, engine.mutable_metrics());
   service.RegisterRoutes(&server);
-  const Status started = server.Start();
-  if (!started.ok()) {
-    std::fprintf(stderr, "%s\n", started.ToString().c_str());
-    return 2;
-  }
-  if (flags.Has("port-file")) {
-    const int rc = WriteMetricsFile(flags.Get("port-file", ""),
-                                    StrCat(server.port(), "\n"));
-    if (rc != 0) return rc;
-  }
-  std::fprintf(stderr,
-               "ready (%zu docs, %.3fs); serving http://%s:%u/v1/search\n",
-               engine.num_indexed_docs(), timer.ElapsedSeconds(),
-               server_options.bind_address.c_str(), server.port());
-
-  net::DrainSignal::Instance().Wait();
-  std::fprintf(stderr, "draining...\n");
-  server.Shutdown();
-  std::fprintf(stderr, "drained\n");
-  return 0;
+  return RunServer(flags, &server, server_options.bind_address,
+                   StrCat(engine.num_indexed_docs(), " docs"));
 }
 
 int SearchCmd(const Flags& flags) {
