@@ -1,0 +1,222 @@
+// Exploration benchmark: the analyst session of DESIGN.md §13 — one fused
+// query, the top-level roll-up, three drill-downs following the heaviest
+// bucket, and a roll-up back — replayed concurrently against one shared
+// ExploreEngine over the due-diligence corpus (company-anchored stories).
+// Reports QPS and p50/p99 per operation class and gates three invariants:
+//
+//   1. Navigation never re-runs retrieval: explore_retrievals_total moves
+//      by exactly one per StartSession and not at all for drill/roll-up.
+//   2. Buckets partition every view exactly: sum(doc_count) == total_hits
+//      at every level of every session (zero violations).
+//   3. The span tree of the underlying traced retrieval accounts for
+//      >= 95% of each query's wall-clock (the explore path rides the same
+//      Search() entry point the observability gate covers).
+//
+// Env knobs: NEWSLINK_BENCH_STORIES (corpus size, default 120),
+//            NEWSLINK_BENCH_THREADS (analyst threads, default 4).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "kg/facet_hierarchy.h"
+#include "newslink/explore_engine.h"
+#include "newslink/newslink_engine.h"
+
+using namespace newslink;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ThreadsFromEnv(int fallback) {
+  const char* env = std::getenv("NEWSLINK_BENCH_THREADS");
+  if (env == nullptr) return fallback;
+  const int v = std::atoi(env);
+  return v > 0 ? v : fallback;
+}
+
+/// sum(doc_count over buckets) must equal total_hits — the partition
+/// property, checked at EVERY view a session renders.
+bool PartitionHolds(const ExploreResult& view) {
+  size_t sum = 0;
+  for (const ExploreBucket& bucket : view.buckets) sum += bucket.doc_count;
+  return sum == view.total_hits;
+}
+
+void PrintRow(const char* label, const metrics::Histogram& h, double wall) {
+  std::printf("%-16s %8zu %8.1f %9.3f %9.3f\n", label,
+              static_cast<size_t>(h.Count()),
+              wall > 0 ? h.Count() / wall : 0.0, h.Percentile(0.50) * 1e3,
+              h.Percentile(0.99) * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("NewsLink reproduction — exploration sessions (roll-up / "
+              "drill-down)\n\n");
+  const int stories = bench::StoriesFromEnv(120);
+  const int num_threads = ThreadsFromEnv(4);
+  constexpr int kRounds = 2;
+  constexpr size_t kNumQueries = 24;
+  constexpr int kDrillsPerSession = 3;
+
+  auto world = bench::MakeWorld(7);
+  corpus::SyntheticNewsConfig corpus_config = corpus::DueDiligenceConfig();
+  corpus_config.num_stories = stories;
+  const corpus::SyntheticCorpus dataset =
+      corpus::SyntheticNewsGenerator(&world->kg, corpus_config).Generate();
+
+  NewsLinkConfig config;
+  config.beta = 0.2;
+  config.num_threads = 2;
+  NewsLinkEngine engine(&world->kg.graph, &world->index, config);
+  NL_CHECK(engine.Index(dataset.corpus).ok());
+
+  kg::FacetHierarchy hierarchy(&world->kg.graph);
+  ExploreOptions explore_options;
+  explore_options.max_sessions = 512;  // sessions of one run all stay live
+  ExploreEngine explore(&engine, &hierarchy, explore_options);
+
+  std::vector<std::string> queries;
+  for (size_t d = 0; d < kNumQueries && d < dataset.corpus.size(); ++d) {
+    const std::string& text = dataset.corpus.doc(d).text;
+    queries.push_back(text.substr(0, text.find('.') + 1));
+  }
+  std::printf("corpus %zu docs, KG %zu nodes, facet forest %zu nodes, "
+              "%zu queries x %d rounds x %d threads\n\n",
+              dataset.corpus.size(), world->kg.graph.num_nodes(),
+              hierarchy.num_nodes(), queries.size(), kRounds, num_threads);
+
+  const uint64_t retrievals_before =
+      engine.Metrics().CounterValue(kExploreRetrievals);
+
+  metrics::Histogram start_latencies(bench::LatencyHistogramOptions());
+  metrics::Histogram nav_latencies(bench::LatencyHistogramOptions());
+  std::atomic<uint64_t> sessions{0};
+  std::atomic<uint64_t> navigations{0};
+  std::atomic<uint64_t> partition_violations{0};
+  std::atomic<uint64_t> errors{0};
+
+  const auto wall_start = Clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto check = [&](const Result<ExploreResult>& view) -> bool {
+        if (!view.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+        if (!PartitionHolds(*view)) {
+          partition_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        return true;
+      };
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t q = 0; q < queries.size(); ++q) {
+          // Offset per thread so distinct queries overlap in flight.
+          baselines::SearchRequest request;
+          request.query = queries[(q + t) % queries.size()];
+          auto start = Clock::now();
+          Result<ExploreResult> view = explore.StartSession(request);
+          start_latencies.Observe(
+              std::chrono::duration<double>(Clock::now() - start).count());
+          if (!check(view)) continue;
+          sessions.fetch_add(1, std::memory_order_relaxed);
+          const std::string session = view->session_id;
+
+          // Drill along the heaviest (first non-"other") bucket, then one
+          // roll-up — the analyst gesture loop.
+          int drills = 0;
+          while (drills < kDrillsPerSession) {
+            kg::NodeId target = kg::kInvalidNode;
+            for (const ExploreBucket& bucket : view->buckets) {
+              if (!bucket.other()) {
+                target = bucket.node;
+                break;
+              }
+            }
+            if (target == kg::kInvalidNode) break;
+            start = Clock::now();
+            view = explore.DrillDown(session, target);
+            nav_latencies.Observe(
+                std::chrono::duration<double>(Clock::now() - start).count());
+            if (!check(view)) break;
+            navigations.fetch_add(1, std::memory_order_relaxed);
+            ++drills;
+          }
+          if (drills > 0 && view.ok()) {
+            start = Clock::now();
+            view = explore.RollUp(session);
+            nav_latencies.Observe(
+                std::chrono::duration<double>(Clock::now() - start).count());
+            if (check(view)) navigations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  std::printf("%-16s %8s %8s %9s %9s\n", "operation", "count", "QPS",
+              "p50 ms", "p99 ms");
+  bench::PrintRule(54);
+  PrintRow("start (query)", start_latencies, wall);
+  PrintRow("drill/roll-up", nav_latencies, wall);
+
+  // Gate 1: retrieval count == sessions started; navigation added none.
+  const uint64_t retrievals =
+      engine.Metrics().CounterValue(kExploreRetrievals) - retrievals_before;
+  const uint64_t started = sessions.load() + errors.load();
+  const bool no_requery = retrievals == started;
+
+  // Gate 2: partition property held at every rendered view.
+  const bool partition_ok = partition_violations.load() == 0;
+
+  // Gate 3: span coverage of the retrieval the explore path rides, via a
+  // traced replay of the same query set.
+  double coverage_sum = 0.0;
+  uint64_t coverage_count = 0;
+  for (const std::string& q : queries) {
+    baselines::SearchRequest request;
+    request.query = q;
+    request.k = explore.options().result_set_size;
+    request.trace = true;
+    const baselines::SearchResponse response = engine.Search(request);
+    if (response.trace.duration_seconds > 0.0) {
+      coverage_sum +=
+          response.trace.ChildrenSeconds() / response.trace.duration_seconds;
+      ++coverage_count;
+    }
+  }
+  const double coverage =
+      coverage_count > 0 ? coverage_sum / coverage_count : 0.0;
+  const bool coverage_ok = coverage >= 0.95;
+
+  const bool no_errors = errors.load() == 0;
+  std::printf(
+      "\nsessions %zu, navigations %zu, active now %zu (cap %zu)\n"
+      "retrievals %zu for %zu sessions (navigation re-queries: %s)\n"
+      "partition violations %zu: %s\n"
+      "retrieval span coverage %.1f%% (gate 95%%): %s\n"
+      "operation errors %zu: %s\n",
+      static_cast<size_t>(sessions.load()),
+      static_cast<size_t>(navigations.load()), explore.ActiveSessions(),
+      explore.options().max_sessions, static_cast<size_t>(retrievals),
+      static_cast<size_t>(started), no_requery ? "none, ok" : "FAIL",
+      static_cast<size_t>(partition_violations.load()),
+      partition_ok ? "ok" : "FAIL", 100.0 * coverage,
+      coverage_ok ? "ok" : "FAIL", static_cast<size_t>(errors.load()),
+      no_errors ? "ok" : "FAIL");
+  return (no_requery && partition_ok && coverage_ok && no_errors) ? 0 : 1;
+}

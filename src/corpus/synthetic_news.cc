@@ -32,6 +32,28 @@ SyntheticNewsConfig KaggleLikeConfig() {
   return config;
 }
 
+SyntheticNewsConfig DueDiligenceConfig() {
+  SyntheticNewsConfig config;
+  config.seed = 3003;
+  config.anchor_category = "company";
+  config.num_stories = 120;
+  // Denser stories: more docs and more entity mentions per sentence, so a
+  // company's corporate neighbourhood (city, country, owners, agencies)
+  // shows up across its coverage and roll-up buckets have mass.
+  config.docs_per_story_min = 4;
+  config.docs_per_story_max = 9;
+  config.entities_per_sentence_min = 2;
+  config.entities_per_sentence_max = 4;
+  config.max_cluster_entities = 16;
+  // Mild mismatch: the analyst task is exploration, not partial-query
+  // disambiguation.
+  config.synonym_registers = 2;
+  config.unknown_entity_prob = 0.02;
+  config.offcluster_entity_prob = 0.04;
+  config.topic_word_prob = 0.42;
+  return config;
+}
+
 SyntheticNewsGenerator::SyntheticNewsGenerator(const kg::SyntheticKg* kg,
                                                SyntheticNewsConfig config)
     : kg_(kg), config_(config) {}
@@ -109,8 +131,15 @@ SyntheticCorpus SyntheticNewsGenerator::Generate(
   // more stories than anchors): distinct stories sit on distinct KG
   // neighbourhoods, so the entity signal can tell stories apart even when
   // their domain vocabulary overlaps.
-  std::vector<kg::NodeId> anchors = kg_->story_anchors;
-  NL_CHECK(!anchors.empty()) << "synthetic KG has no story anchors";
+  std::vector<kg::NodeId> anchors =
+      config_.anchor_category.empty()
+          ? kg_->story_anchors
+          : kg_->Category(config_.anchor_category);
+  NL_CHECK(!anchors.empty())
+      << "synthetic KG has no story anchors"
+      << (config_.anchor_category.empty()
+              ? ""
+              : StrCat(" in category \"", config_.anchor_category, "\""));
   rng.Shuffle(&anchors);
 
   // Pool of quotable sentences from already-generated documents, with the

@@ -72,6 +72,13 @@ struct SyntheticNewsConfig {
   /// mentioning the sentence's entities across its other segments.
   double cross_quote_prob = 0.15;
 
+  /// When non-empty, story anchors are drawn from this SyntheticKg
+  /// category ("company", "agency", "event", ...) instead of the KG's
+  /// general story_anchors pool. This focuses every story on one entity
+  /// class — the due-diligence scenario, where an analyst's queries all
+  /// orbit companies and the agencies investigating them.
+  std::string anchor_category;
+
   /// Zipf-sampled general vocabulary size and exponent. Kept SMALL so
   /// filler words appear in a large fraction of documents and carry low
   /// idf, like common English vocabulary: a single-sentence query must not
@@ -89,6 +96,14 @@ SyntheticNewsConfig CnnLikeConfig();
 /// Preset resembling the Kaggle ("all-the-news") column: more registers,
 /// more noise -> lower absolute scores, bigger BOW/embedding gaps.
 SyntheticNewsConfig KaggleLikeConfig();
+
+/// Due-diligence preset (the analyst scenario of the roll-up/drill-down
+/// paper, DESIGN.md §13): every story anchors on a company, stories are
+/// larger and entity-denser (coverage of the corporate neighbourhood —
+/// subsidiaries, cities, agencies — is the point), and vocabulary mismatch
+/// is mild. Exploration queries over this corpus produce result sets that
+/// roll up cleanly by country / sector ancestors.
+SyntheticNewsConfig DueDiligenceConfig();
 
 /// \brief Ground truth of one story cluster.
 struct StoryInfo {

@@ -1,0 +1,114 @@
+#include "kg/facet_hierarchy.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace newslink {
+namespace kg {
+
+FacetHierarchy::FacetHierarchy(const KnowledgeGraph* graph,
+                               FacetHierarchyOptions options)
+    : graph_(graph) {
+  const size_t n = graph_->num_nodes();
+  parent_.assign(n, kInvalidNode);
+  root_.assign(n, kInvalidNode);
+  depth_.assign(n, 0);
+
+  // Predicate id -> priority rank (lower wins). Predicates the graph does
+  // not know are simply skipped.
+  std::unordered_map<PredicateId, int> rank;
+  for (size_t i = 0; i < options.predicates.size(); ++i) {
+    Result<PredicateId> p = graph_->FindPredicate(options.predicates[i]);
+    if (p.ok()) rank.emplace(p.value(), static_cast<int>(i));
+  }
+
+  // Choose each node's parent: best (priority, dst) forward arc whose
+  // predicate is hierarchical. Reverse twins are excluded — they would turn
+  // every containment edge into a 2-cycle.
+  constexpr int kNoRank = std::numeric_limits<int>::max();
+  for (NodeId v = 0; v < n; ++v) {
+    int best_rank = kNoRank;
+    NodeId best_dst = kInvalidNode;
+    for (const Arc& arc : graph_->OutArcs(v)) {
+      if (!arc.forward || arc.dst == v) continue;
+      auto it = rank.find(arc.predicate);
+      if (it == rank.end()) continue;
+      if (it->second < best_rank ||
+          (it->second == best_rank && arc.dst < best_dst)) {
+        best_rank = it->second;
+        best_dst = arc.dst;
+      }
+    }
+    parent_[v] = best_dst;
+  }
+
+  // Resolve roots and depths, cutting cycles: walk each unresolved chain
+  // upward; a revisit of a node from the SAME walk means a cycle, which we
+  // break by promoting its smallest-id member to a root (deterministic —
+  // independent of which member the walk entered through).
+  std::vector<uint32_t> visit_mark(n, 0);
+  std::vector<NodeId> chain;
+  uint32_t walk = 0;
+  for (NodeId start = 0; start < n; ++start) {
+    if (root_[start] != kInvalidNode) continue;
+    ++walk;
+    chain.clear();
+    NodeId v = start;
+    while (v != kInvalidNode && root_[v] == kInvalidNode &&
+           visit_mark[v] != walk) {
+      visit_mark[v] = walk;
+      chain.push_back(v);
+      v = parent_[v];
+    }
+    if (v != kInvalidNode && visit_mark[v] == walk &&
+        root_[v] == kInvalidNode) {
+      // Cycle through v: its members are the chain suffix starting at v.
+      auto cycle_begin =
+          std::find(chain.begin(), chain.end(), v);
+      NodeId cut = *std::min_element(cycle_begin, chain.end());
+      parent_[cut] = kInvalidNode;
+      // Re-resolve this chain now that the cycle is broken.
+      --start;  // NOLINT: deliberate retry of the same start node
+      continue;
+    }
+    // v is kInvalidNode (chain.back() is a root) or already resolved.
+    NodeId base_root;
+    int base_depth;
+    if (v == kInvalidNode) {
+      base_root = chain.back();
+      base_depth = -1;  // chain.back() itself gets depth 0 below
+      root_[chain.back()] = chain.back();
+      depth_[chain.back()] = 0;
+      chain.pop_back();
+    } else {
+      base_root = root_[v];
+      base_depth = depth_[v];
+    }
+    for (size_t i = chain.size(); i-- > 0;) {
+      base_depth += 1;
+      root_[chain[i]] = base_root;
+      depth_[chain[i]] = base_depth;
+    }
+  }
+}
+
+bool FacetHierarchy::DescendsFrom(NodeId v, NodeId ancestor) const {
+  if (v == ancestor || root_[v] != root_[ancestor]) return false;
+  if (depth_[v] <= depth_[ancestor]) return false;
+  NodeId cur = v;
+  while (depth_[cur] > depth_[ancestor]) cur = parent_[cur];
+  return cur == ancestor;
+}
+
+NodeId FacetHierarchy::ChildToward(NodeId ancestor, NodeId v) const {
+  if (v >= parent_.size() || ancestor >= parent_.size()) return kInvalidNode;
+  if (v == ancestor || root_[v] != root_[ancestor]) return kInvalidNode;
+  if (depth_[v] <= depth_[ancestor]) return kInvalidNode;
+  NodeId cur = v;
+  while (depth_[cur] > depth_[ancestor] + 1) cur = parent_[cur];
+  return parent_[cur] == ancestor ? cur : kInvalidNode;
+}
+
+}  // namespace kg
+}  // namespace newslink

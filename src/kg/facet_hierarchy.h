@@ -1,0 +1,84 @@
+// FacetHierarchy: a deterministic roll-up forest over the knowledge graph
+// (DESIGN.md §13). The explore workload ("Enabling Roll-up and Drill-down
+// Operations in News Exploration with Knowledge Graphs", PAPERS.md)
+// aggregates result sets by KG *ancestor*: every entity rolls up along its
+// containment-like relations (city --located_in--> district --located_in-->
+// province --part_of--> country; politician --member_of--> party; team
+// --plays_in--> league; ...) until it reaches a root facet. This class
+// materializes that forest once — parent pointer, root, and depth per node
+// — so per-query facet mapping is a handful of array reads.
+//
+// Determinism: a node can have several hierarchical out-edges (a company is
+// headquartered_in a city AND operates_in a country). The parent is chosen
+// by (predicate priority, smallest destination id), so the forest — and
+// therefore every bucket a client sees — is a pure function of the graph.
+// Cycles (possible in principle for arbitrary KGs) are cut by promoting the
+// smallest-id node on the cycle to a root.
+
+#ifndef NEWSLINK_KG_FACET_HIERARCHY_H_
+#define NEWSLINK_KG_FACET_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "kg/types.h"
+
+namespace newslink {
+namespace kg {
+
+/// \brief Options for forest construction.
+struct FacetHierarchyOptions {
+  /// Hierarchical predicates in priority order: when a node has several
+  /// candidate parents, the arc whose predicate appears EARLIEST here wins
+  /// (ties broken by smallest destination node id). Predicates absent from
+  /// the graph are ignored. The default list covers every containment-like
+  /// predicate kg/synthetic_kg emits, most-specific first.
+  std::vector<std::string> predicates = {
+      "located_in",      "part_of",     "member_of",  "plays_in",
+      "based_in",        "headquartered_in",          "held_in",
+      "agency_of",       "operates_in", "occurred_in", "conducted_by",
+      "citizen_of",      "leader_of",   "capital_of",
+  };
+};
+
+/// \brief Immutable roll-up forest; O(num_nodes) memory, O(1) parent reads.
+class FacetHierarchy {
+ public:
+  /// `graph` must outlive the hierarchy.
+  explicit FacetHierarchy(const KnowledgeGraph* graph,
+                          FacetHierarchyOptions options = {});
+
+  const KnowledgeGraph& graph() const { return *graph_; }
+
+  /// Parent in the forest; kInvalidNode for roots.
+  NodeId parent(NodeId v) const { return parent_[v]; }
+
+  /// Distance to the root of v's tree (0 for roots).
+  int depth(NodeId v) const { return depth_[v]; }
+
+  /// Root facet of v's tree (v itself when v is a root).
+  NodeId Root(NodeId v) const { return root_[v]; }
+
+  /// True when `ancestor` lies strictly above v in the forest.
+  bool DescendsFrom(NodeId v, NodeId ancestor) const;
+
+  /// The chain element immediately below `ancestor` on v's root path: the
+  /// child facet v contributes to when drilling into `ancestor`. Returns
+  /// kInvalidNode when v does not strictly descend from `ancestor`
+  /// (including v == ancestor).
+  NodeId ChildToward(NodeId ancestor, NodeId v) const;
+
+  size_t num_nodes() const { return parent_.size(); }
+
+ private:
+  const KnowledgeGraph* graph_;
+  std::vector<NodeId> parent_;  // kInvalidNode at roots
+  std::vector<NodeId> root_;
+  std::vector<int> depth_;
+};
+
+}  // namespace kg
+}  // namespace newslink
+
+#endif  // NEWSLINK_KG_FACET_HIERARCHY_H_

@@ -38,7 +38,57 @@ Result<std::string> AsStringStrict(const json::Value& v,
   return v.AsString();
 }
 
+/// The optional public-envelope version stamp: additive versioning —
+/// absence is always accepted, a mismatch is FailedPrecondition (409),
+/// mirroring the shard RPC handshake.
+Status CheckEnvelopeVersion(const json::Value& field) {
+  NL_ASSIGN_OR_RETURN(const size_t version, AsSize(field, "api_version"));
+  if (static_cast<uint64_t>(version) != kApiVersion) {
+    return Status::FailedPrecondition(
+        StrCat("api_version mismatch: client speaks ", version,
+               ", this server speaks ", kApiVersion));
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+Result<json::Value> DecodeEnvelope(std::string_view body) {
+  NL_ASSIGN_OR_RETURN(json::Value value, json::Parse(body));
+  if (!value.is_object() && !value.is_array()) {
+    return Status::InvalidArgument(
+        "request body must be a JSON object or array");
+  }
+  return value;
+}
+
+Result<SearchEnvelope> DecodeSearchEnvelope(std::string_view body,
+                                            size_t max_batch) {
+  NL_ASSIGN_OR_RETURN(const json::Value value, DecodeEnvelope(body));
+  SearchEnvelope envelope;
+  envelope.batched = value.is_array();
+  if (envelope.batched) {
+    if (value.size() == 0) {
+      return Status::InvalidArgument(
+          "batch must contain at least one request");
+    }
+    if (value.size() > max_batch) {
+      return Status::InvalidArgument(StrCat(
+          "batch of ", value.size(), " exceeds limit of ", max_batch));
+    }
+    envelope.requests.reserve(value.size());
+    for (const json::Value& item : value.items()) {
+      NL_ASSIGN_OR_RETURN(baselines::SearchRequest request,
+                          SearchRequestFromJson(item));
+      envelope.requests.push_back(std::move(request));
+    }
+  } else {
+    NL_ASSIGN_OR_RETURN(baselines::SearchRequest request,
+                        SearchRequestFromJson(value));
+    envelope.requests.push_back(std::move(request));
+  }
+  return envelope;
+}
 
 Result<baselines::SearchRequest> SearchRequestFromJson(
     const json::Value& value) {
@@ -77,6 +127,8 @@ Result<baselines::SearchRequest> SearchRequestFromJson(
             "\"deadline_seconds\" must be a positive number");
       }
       request.deadline_seconds = field.AsDouble();
+    } else if (key == "api_version") {
+      NL_RETURN_IF_ERROR(CheckEnvelopeVersion(field));
     } else {
       return Status::InvalidArgument(
           StrCat("unknown search request field: \"", key, "\""));
@@ -180,6 +232,8 @@ Result<corpus::Document> DocumentFromJson(const json::Value& value) {
     } else if (key == "story_id") {
       NL_ASSIGN_OR_RETURN(size_t story, AsSize(field, key));
       doc.story_id = static_cast<uint32_t>(story);
+    } else if (key == "api_version") {
+      NL_RETURN_IF_ERROR(CheckEnvelopeVersion(field));
     } else {
       return Status::InvalidArgument(
           StrCat("unknown document field: \"", key, "\""));
@@ -189,6 +243,120 @@ Result<corpus::Document> DocumentFromJson(const json::Value& value) {
     return Status::InvalidArgument("\"text\" is required and must be non-empty");
   }
   return doc;
+}
+
+// --- Explore codecs (DESIGN.md Sec. 13) ---------------------------------
+
+Result<ExploreRpcRequest> ExploreRequestFromJson(const json::Value& value) {
+  if (value.type() != json::Value::Type::kObject) {
+    return Status::InvalidArgument("explore request must be a JSON object");
+  }
+  ExploreRpcRequest request;
+  for (const auto& [key, field] : value.members()) {
+    if (key == "query") {
+      NL_ASSIGN_OR_RETURN(request.query, AsStringStrict(field, key));
+    } else if (key == "k") {
+      NL_ASSIGN_OR_RETURN(request.k, AsSize(field, key));
+    } else if (key == "beta") {
+      if (field.type() != json::Value::Type::kNumber) {
+        return Status::InvalidArgument("\"beta\" must be a number");
+      }
+      request.beta = field.AsDouble();
+    } else if (key == "deadline_seconds") {
+      if (field.type() != json::Value::Type::kNumber ||
+          !(field.AsDouble() > 0)) {
+        return Status::InvalidArgument(
+            "\"deadline_seconds\" must be a positive number");
+      }
+      request.deadline_seconds = field.AsDouble();
+    } else if (key == "session") {
+      NL_ASSIGN_OR_RETURN(request.session, AsStringStrict(field, key));
+    } else if (key == "drill") {
+      NL_ASSIGN_OR_RETURN(const size_t node, AsSize(field, key));
+      if (node >= kg::kInvalidNode) {
+        return Status::InvalidArgument("\"drill\" is not a valid node id");
+      }
+      request.drill = static_cast<kg::NodeId>(node);
+      request.has_drill = true;
+    } else if (key == "up") {
+      NL_ASSIGN_OR_RETURN(request.up, AsBoolStrict(field, key));
+    } else if (key == "api_version") {
+      NL_RETURN_IF_ERROR(CheckEnvelopeVersion(field));
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown explore request field: \"", key, "\""));
+    }
+  }
+  const bool starts = !request.query.empty();
+  const bool navigates = !request.session.empty();
+  if (starts == navigates) {
+    return Status::InvalidArgument(
+        "explore request needs exactly one of \"query\" or \"session\"");
+  }
+  if ((request.has_drill || request.up) && !navigates) {
+    return Status::InvalidArgument(
+        "\"drill\" and \"up\" require a \"session\"");
+  }
+  if (request.has_drill && request.up) {
+    return Status::InvalidArgument(
+        "\"drill\" and \"up\" are mutually exclusive");
+  }
+  return request;
+}
+
+json::Value ExploreResultToJson(const ExploreResult& result,
+                                const corpus::Corpus* corpus,
+                                const kg::KnowledgeGraph* graph) {
+  json::Value out = json::Value::Object();
+  out.Set("session", json::Value::Str(result.session_id));
+  out.Set("epoch", json::Value::Uint(result.epoch));
+  out.Set("snapshot_docs", json::Value::Uint(result.snapshot_docs));
+  out.Set("total_hits", json::Value::Uint(result.total_hits));
+  json::Value scope = json::Value::Array();
+  for (const kg::NodeId node : result.scope) {
+    json::Value s = json::Value::Object();
+    s.Set("node", json::Value::Uint(node));
+    if (graph != nullptr && node < graph->num_nodes()) {
+      s.Set("label", json::Value::Str(graph->label(node)));
+    }
+    scope.Append(std::move(s));
+  }
+  out.Set("scope", std::move(scope));
+  json::Value buckets = json::Value::Array();
+  for (const ExploreBucket& bucket : result.buckets) {
+    json::Value b = json::Value::Object();
+    if (bucket.other()) {
+      b.Set("other", json::Value::Bool(true));
+    } else {
+      b.Set("entity", json::Value::Uint(bucket.node));
+      if (graph != nullptr && bucket.node < graph->num_nodes()) {
+        b.Set("label", json::Value::Str(graph->label(bucket.node)));
+        b.Set("entity_type", json::Value::Str(kg::EntityTypeName(
+                                 graph->type(bucket.node))));
+      }
+    }
+    b.Set("doc_count", json::Value::Uint(bucket.doc_count));
+    b.Set("score_mass", json::Value::Number(bucket.score_mass));
+    json::Value top = json::Value::Array();
+    for (const ExploreHit& hit : bucket.top_hits) {
+      json::Value h = json::Value::Object();
+      h.Set("doc_index", json::Value::Uint(hit.doc_index));
+      h.Set("score", json::Value::Number(hit.score));
+      if (corpus != nullptr && hit.doc_index < corpus->size()) {
+        const corpus::Document& doc = corpus->doc(hit.doc_index);
+        h.Set("doc_id", json::Value::Str(doc.id));
+        h.Set("title", json::Value::Str(doc.title));
+      }
+      top.Append(std::move(h));
+    }
+    b.Set("top_docs", std::move(top));
+    buckets.Append(std::move(b));
+  }
+  out.Set("buckets", std::move(buckets));
+  if (result.deadline_exceeded) {
+    out.Set("deadline_exceeded", json::Value::Bool(true));
+  }
+  return out;
 }
 
 // --- Shard RPC codecs (versioned) ---------------------------------------

@@ -3,6 +3,16 @@
 // fail loudly instead of silently running a default query) and response
 // encoding shared by the server and any in-process caller that wants the
 // wire representation.
+//
+// The /v1 envelope (DESIGN.md Sec. 13): every public request codec —
+// search, documents, explore — accepts an OPTIONAL "api_version" field.
+// Absent means "whatever the server speaks" (so pre-envelope clients keep
+// working bit-for-bit); present-but-mismatched decodes to
+// FailedPrecondition (HTTP 409), the same handshake the shard RPC has
+// always enforced. Every error, on every route, is rendered by
+// status_http's single {"error": {code, status, message}} shape, and every
+// route funnels its body through DecodeEnvelope instead of growing its own
+// parse/validate boilerplate.
 
 // The shard RPC surface (DESIGN.md Sec. 12) also lives here: versioned
 // /v1/shard/plan + /v1/shard/search codecs for coordinator↔shard traffic.
@@ -16,25 +26,55 @@
 #define NEWSLINK_NET_API_JSON_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "baselines/search_engine.h"
 #include "common/json.h"
 #include "common/result.h"
 #include "corpus/corpus.h"
 #include "kg/knowledge_graph.h"
+#include "newslink/explore_engine.h"
 #include "newslink/shard_api.h"
 
 namespace newslink {
 namespace net {
 
+/// Version of the public /v1 envelope. Clients may stamp requests with
+/// "api_version": a mismatch is FailedPrecondition (409); omission is
+/// always accepted (additive versioning — old clients never break).
+inline constexpr uint64_t kApiVersion = 1;
+
+/// Parse a /v1 request body: the shared front door of every route. Returns
+/// the parsed JSON when the body is an object or an array (the only two
+/// shapes any /v1 request takes); malformed JSON and scalar bodies are
+/// InvalidArgument. Version and field validation stay in the per-route
+/// codecs, which all understand "api_version".
+Result<json::Value> DecodeEnvelope(std::string_view body);
+
 /// Decode one search request object:
 ///   {"query": "...", "k": 10, "beta": 0.6, "rerank_depth": 50,
 ///    "exhaustive_fusion": false, "explain": true, "max_paths": 5,
-///    "trace": false, "deadline_seconds": 0.2}
+///    "trace": false, "deadline_seconds": 0.2, "api_version": 1}
 /// Only "query" is required; everything else falls back to the engine's
 /// defaults. Unknown fields and wrong types are InvalidArgument.
 Result<baselines::SearchRequest> SearchRequestFromJson(
     const json::Value& value);
+
+/// \brief A decoded /v1/search body: one request, or a batch of them.
+struct SearchEnvelope {
+  bool batched = false;
+  std::vector<baselines::SearchRequest> requests;
+};
+
+/// Decode a full /v1/search body — a single request object or an array of
+/// them (batch), shared by the single-engine service and the coordinator.
+/// Empty batches and batches over `max_batch` are InvalidArgument;
+/// per-element failures propagate the element's status.
+Result<SearchEnvelope> DecodeSearchEnvelope(std::string_view body,
+                                            size_t max_batch);
 
 /// Encode a response; hits carry doc identity from `corpus` and, when the
 /// engine attached explanation paths, their rendered arrow notation from
@@ -47,7 +87,8 @@ json::Value SearchResponseToJson(const baselines::SearchResponse& response,
                                  const kg::KnowledgeGraph* graph);
 
 /// Decode one document for live ingestion:
-///   {"id": "...", "title": "...", "text": "...", "story_id": 0}
+///   {"id": "...", "title": "...", "text": "...", "story_id": 0,
+///    "api_version": 1}
 /// "text" is required and must be non-empty; "id" defaults to a
 /// server-assigned value when empty/absent; unknown fields are
 /// InvalidArgument.
@@ -56,6 +97,43 @@ Result<corpus::Document> DocumentFromJson(const json::Value& value);
 /// Span tree as a json::Value (mirrors TraceSpan::ToJson's shape:
 /// {"name", "start_ms", "dur_ms", "notes"?, "children"?}).
 json::Value TraceSpanToJson(const TraceSpan& span);
+
+// --- Explore (roll-up / drill-down; DESIGN.md Sec. 13) -------------------
+
+/// \brief POST /v1/explore body. Exactly one mode:
+///   start:      {"query": "...", "k"?: 50, "beta"?: 0.6,
+///                "deadline_seconds"?: 0.2}
+///   drill-down: {"session": "x1", "drill": <node id>}
+///   roll-up:    {"session": "x1", "up": true}
+///   refresh:    {"session": "x1"}
+/// plus the optional "api_version" every /v1 codec takes. "drill" and
+/// "up" require "session" and exclude each other and "query".
+struct ExploreRpcRequest {
+  std::string query;  // non-empty = start a session
+  size_t k = 0;       // 0 = the explore engine's configured default
+  std::optional<double> beta;
+  std::optional<double> deadline_seconds;
+
+  std::string session;  // non-empty = navigate an existing session
+  bool has_drill = false;
+  kg::NodeId drill = kg::kInvalidNode;
+  bool up = false;
+};
+
+Result<ExploreRpcRequest> ExploreRequestFromJson(const json::Value& value);
+
+/// Encode one exploration view:
+///   {"session", "epoch", "snapshot_docs", "total_hits",
+///    "scope": [{"node", "label"?}, ...],
+///    "buckets": [{"entity", "label"?, "entity_type"?, "doc_count",
+///                 "score_mass", "top_docs": [{"doc_index", "score",
+///                 "doc_id"?, "title"?}, ...]}  |  {"other": true, ...}],
+///    "deadline_exceeded"?: true}
+/// `corpus` / `graph` may be null (indices only, as with search). The sum
+/// of doc_count over buckets — "other" included — equals total_hits.
+json::Value ExploreResultToJson(const ExploreResult& result,
+                                const corpus::Corpus* corpus,
+                                const kg::KnowledgeGraph* graph);
 
 // --- Shard RPC (versioned; newslink::kShardApiVersion) ------------------
 

@@ -262,32 +262,11 @@ baselines::SearchResponse CoordinatorService::Search(
 }
 
 HttpResponse CoordinatorService::HandleSearch(const HttpRequest& request) {
-  Result<json::Value> body = json::Parse(request.body);
-  if (!body.ok()) return ErrorResponse(body.status());
-
-  const bool batched = body->is_array();
-  std::vector<baselines::SearchRequest> requests;
-  if (batched) {
-    if (body->size() == 0) {
-      return ErrorResponse(
-          Status::InvalidArgument("batch must contain at least one request"));
-    }
-    if (body->size() > options_.max_batch) {
-      return ErrorResponse(Status::InvalidArgument(
-          StrCat("batch of ", body->size(), " exceeds limit of ",
-                 options_.max_batch)));
-    }
-    requests.reserve(body->size());
-    for (const json::Value& item : body->items()) {
-      Result<baselines::SearchRequest> decoded = SearchRequestFromJson(item);
-      if (!decoded.ok()) return ErrorResponse(decoded.status());
-      requests.push_back(std::move(*decoded));
-    }
-  } else {
-    Result<baselines::SearchRequest> decoded = SearchRequestFromJson(*body);
-    if (!decoded.ok()) return ErrorResponse(decoded.status());
-    requests.push_back(std::move(*decoded));
-  }
+  Result<SearchEnvelope> envelope =
+      DecodeSearchEnvelope(request.body, options_.max_batch);
+  if (!envelope.ok()) return ErrorResponse(envelope.status());
+  const bool batched = envelope->batched;
+  std::vector<baselines::SearchRequest>& requests = envelope->requests;
   for (const baselines::SearchRequest& r : requests) {
     if (r.explain) {
       return ErrorResponse(Status::InvalidArgument(

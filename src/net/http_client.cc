@@ -12,6 +12,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -31,6 +32,12 @@ class OwnedFd {
   OwnedFd(const OwnedFd&) = delete;
   OwnedFd& operator=(const OwnedFd&) = delete;
   int get() const { return fd_; }
+  /// Hand ownership to the caller (destructor becomes a no-op).
+  int release() { return std::exchange(fd_, -1); }
+  void reset(int fd) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
 
  private:
   int fd_;
@@ -75,19 +82,9 @@ Status ConnectWithDeadline(int fd, const sockaddr_in& addr, double seconds) {
   return Status::OK();
 }
 
-}  // namespace
-
-Result<HttpClientResponse> HttpCall(std::string_view method,
-                                    std::string_view host, uint16_t port,
-                                    std::string_view path,
-                                    std::string_view request_body,
-                                    const HttpClientOptions& options) {
-  WallTimer timer;
-  const double deadline = options.deadline_seconds;
-  const auto remaining = [&timer, deadline]() {
-    return deadline > 0 ? deadline - timer.ElapsedSeconds() : 0.0;
-  };
-
+/// Open a connected TCP socket to host:port within `deadline_left`.
+Result<int> OpenConnection(std::string_view host, uint16_t port,
+                           double deadline_left) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -96,33 +93,28 @@ Result<HttpClientResponse> HttpCall(std::string_view method,
     return Status::InvalidArgument(
         StrCat("host must be a dotted-quad address, got \"", host, "\""));
   }
-
   OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (fd.get() < 0) {
     return Status::IOError(StrCat("socket: ", std::strerror(errno)));
   }
   int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  NL_RETURN_IF_ERROR(ConnectWithDeadline(fd.get(), addr, remaining()));
+  NL_RETURN_IF_ERROR(ConnectWithDeadline(fd.get(), addr, deadline_left));
+  return fd.release();
+}
 
-  std::string request = StrCat(method, " ", path, " HTTP/1.1\r\nHost: ", host,
-                               ":", port, "\r\nConnection: close\r\n");
-  if (!request_body.empty()) {
-    request += StrCat("Content-Type: application/json\r\nContent-Length: ",
-                      request_body.size(), "\r\n");
-  }
-  request += "\r\n";
-  request.append(request_body);
-
-  // Per-syscall timeouts track the shrinking budget; the explicit deadline
-  // check in the read loop bounds the total even across many short reads.
-  SetSocketTimeout(fd.get(), SO_SNDTIMEO, remaining());
+/// Send one serialized request within the shrinking budget.
+Status SendAll(int fd, std::string_view request, const WallTimer& timer,
+               double deadline) {
+  const double left =
+      deadline > 0 ? deadline - timer.ElapsedSeconds() : 0.0;
+  SetSocketTimeout(fd, SO_SNDTIMEO, left);
   size_t sent = 0;
   while (sent < request.size()) {
-    if (deadline > 0 && remaining() <= 0) {
+    if (deadline > 0 && timer.ElapsedSeconds() >= deadline) {
       return Status::Timeout("send deadline exceeded");
     }
-    const ssize_t n = ::send(fd.get(), request.data() + sent,
+    const ssize_t n = ::send(fd, request.data() + sent,
                              request.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -132,20 +124,32 @@ Result<HttpClientResponse> HttpCall(std::string_view method,
     }
     sent += static_cast<size_t>(n);
   }
+  return Status::OK();
+}
 
-  // Read head + body. "Connection: close" means EOF ends the response;
-  // Content-Length (always present from our server for non-empty bodies)
-  // lets us stop as soon as the body is complete.
+/// Read and parse one response. `reusable`, when non-null, is set to true
+/// only when the response was Content-Length framed, fully consumed, and
+/// the server did not announce "Connection: close" — the conditions under
+/// which the next request may ride the same connection.
+Result<HttpClientResponse> ReadResponse(int fd, const HttpClientOptions& options,
+                                        const WallTimer& timer,
+                                        bool* reusable) {
+  if (reusable != nullptr) *reusable = false;
+  const double deadline = options.deadline_seconds;
+
   std::string data;
   size_t head_end = std::string::npos;
   size_t content_length = std::string::npos;
+  bool server_closes = false;
   char buf[16384];
   while (true) {
-    if (deadline > 0 && remaining() <= 0) {
+    const double left =
+        deadline > 0 ? deadline - timer.ElapsedSeconds() : 0.0;
+    if (deadline > 0 && left <= 0) {
       return Status::Timeout("read deadline exceeded");
     }
-    SetSocketTimeout(fd.get(), SO_RCVTIMEO, remaining());
-    const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+    SetSocketTimeout(fd, SO_RCVTIMEO, left);
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return Status::Timeout("read timed out");
@@ -160,7 +164,7 @@ Result<HttpClientResponse> HttpCall(std::string_view method,
     if (head_end == std::string::npos) {
       head_end = data.find("\r\n\r\n");
       if (head_end != std::string::npos) {
-        // Scan the (case-insensitive) Content-Length header.
+        // Scan the (case-insensitive) Content-Length / Connection headers.
         std::string_view head(data.data(), head_end);
         size_t line_start = 0;
         while (line_start < head.size()) {
@@ -172,20 +176,25 @@ Result<HttpClientResponse> HttpCall(std::string_view method,
           if (colon != std::string_view::npos) {
             std::string name(line.substr(0, colon));
             for (char& c : name) c = static_cast<char>(std::tolower(c));
+            std::string value(line.substr(colon + 1));
+            size_t v0 = 0;
+            while (v0 < value.size() && value[v0] == ' ') ++v0;
+            value.erase(0, v0);
             if (name == "content-length") {
-              size_t v = colon + 1;
-              while (v < line.size() && line[v] == ' ') ++v;
               content_length = 0;
-              for (; v < line.size(); ++v) {
-                if (line[v] < '0' || line[v] > '9') {
+              for (const char c : value) {
+                if (c < '0' || c > '9') {
                   return Status::IOError("malformed Content-Length");
                 }
-                content_length = content_length * 10 +
-                                 static_cast<size_t>(line[v] - '0');
+                content_length =
+                    content_length * 10 + static_cast<size_t>(c - '0');
                 if (content_length > options.max_body_bytes) {
                   return Status::IOError("response exceeds size limit");
                 }
               }
+            } else if (name == "connection") {
+              for (char& c : value) c = static_cast<char>(std::tolower(c));
+              if (value == "close") server_closes = true;
             }
           }
           line_start = line_end + 2;
@@ -225,9 +234,51 @@ Result<HttpClientResponse> HttpCall(std::string_view method,
     return Status::IOError("connection closed mid-body");
   }
   if (content_length != std::string::npos) {
+    // Exactly the framed body survived (no trailing bytes): only then is
+    // the connection positioned at a request boundary and safe to reuse.
+    if (reusable != nullptr) {
+      *reusable = !server_closes && response.body.size() == content_length;
+    }
     response.body.resize(content_length);
   }
   return response;
+}
+
+std::string SerializeRequest(std::string_view method, std::string_view host,
+                             uint16_t port, std::string_view path,
+                             std::string_view request_body, bool keep_alive) {
+  std::string request =
+      StrCat(method, " ", path, " HTTP/1.1\r\nHost: ", host, ":", port,
+             keep_alive ? "\r\nConnection: keep-alive\r\n"
+                        : "\r\nConnection: close\r\n");
+  if (!request_body.empty()) {
+    request += StrCat("Content-Type: application/json\r\nContent-Length: ",
+                      request_body.size(), "\r\n");
+  }
+  request += "\r\n";
+  request.append(request_body);
+  return request;
+}
+
+}  // namespace
+
+Result<HttpClientResponse> HttpCall(std::string_view method,
+                                    std::string_view host, uint16_t port,
+                                    std::string_view path,
+                                    std::string_view request_body,
+                                    const HttpClientOptions& options) {
+  WallTimer timer;
+  const double deadline = options.deadline_seconds;
+  NL_ASSIGN_OR_RETURN(
+      const int raw_fd,
+      OpenConnection(host, port,
+                     deadline > 0 ? deadline - timer.ElapsedSeconds() : 0.0));
+  OwnedFd fd(raw_fd);
+  const std::string request = SerializeRequest(method, host, port, path,
+                                               request_body,
+                                               /*keep_alive=*/false);
+  NL_RETURN_IF_ERROR(SendAll(fd.get(), request, timer, deadline));
+  return ReadResponse(fd.get(), options, timer, nullptr);
 }
 
 Result<HttpClientResponse> HttpGet(std::string_view host, uint16_t port,
@@ -241,6 +292,101 @@ Result<HttpClientResponse> HttpPost(std::string_view host, uint16_t port,
                                     std::string_view request_body,
                                     const HttpClientOptions& options) {
   return HttpCall("POST", host, port, path, request_body, options);
+}
+
+// --- HttpClient (keep-alive pool) ----------------------------------------
+
+HttpClient::HttpClient(std::string host, uint16_t port, size_t max_idle)
+    : host_(std::move(host)), port_(port), max_idle_(max_idle) {}
+
+HttpClient::~HttpClient() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const int fd : idle_) ::close(fd);
+  idle_.clear();
+}
+
+int HttpClient::PopIdle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.empty()) return -1;
+  const int fd = idle_.back();
+  idle_.pop_back();
+  return fd;
+}
+
+void HttpClient::ParkOrClose(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (idle_.size() < max_idle_) {
+      idle_.push_back(fd);
+      return;
+    }
+  }
+  ::close(fd);
+}
+
+Result<HttpClientResponse> HttpClient::Call(std::string_view method,
+                                            std::string_view path,
+                                            std::string_view request_body,
+                                            const HttpClientOptions& options) {
+  WallTimer timer;
+  const double deadline = options.deadline_seconds;
+  const auto remaining = [&timer, deadline]() {
+    return deadline > 0 ? deadline - timer.ElapsedSeconds() : 0.0;
+  };
+  const std::string request = SerializeRequest(method, host_, port_, path,
+                                               request_body,
+                                               /*keep_alive=*/true);
+
+  OwnedFd fd(PopIdle());
+  bool reused = fd.get() >= 0;
+  if (reused) {
+    reuses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    NL_ASSIGN_OR_RETURN(const int fresh,
+                        OpenConnection(host_, port_, remaining()));
+    fd.reset(fresh);
+    opened_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  for (int attempt = 0;; ++attempt) {
+    const Status send_status = SendAll(fd.get(), request, timer, deadline);
+    bool reusable = false;
+    Result<HttpClientResponse> response =
+        send_status.ok()
+            ? ReadResponse(fd.get(), options, timer, &reusable)
+            : Result<HttpClientResponse>(send_status);
+    if (response.ok()) {
+      if (reusable) {
+        ParkOrClose(fd.release());
+      }
+      return response;
+    }
+    // A REUSED connection that fails at the transport layer (EPIPE on
+    // send, reset, or EOF before the response head) has almost certainly
+    // been closed by the server while idle — retry ONCE on a fresh
+    // connection. Timeouts are not retried (the server may be processing
+    // the request), and fresh-connection failures are real errors.
+    const bool stale_candidate =
+        reused && attempt == 0 && response.status().IsIOError();
+    if (!stale_candidate) return response.status();
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    NL_ASSIGN_OR_RETURN(const int fresh,
+                        OpenConnection(host_, port_, remaining()));
+    fd.reset(fresh);
+    opened_.fetch_add(1, std::memory_order_relaxed);
+    reused = false;
+  }
+}
+
+Result<HttpClientResponse> HttpClient::Get(std::string_view path,
+                                           const HttpClientOptions& options) {
+  return Call("GET", path, "", options);
+}
+
+Result<HttpClientResponse> HttpClient::Post(std::string_view path,
+                                            std::string_view request_body,
+                                            const HttpClientOptions& options) {
+  return Call("POST", path, request_body, options);
 }
 
 }  // namespace net

@@ -43,6 +43,10 @@ void SearchService::RegisterRoutes(HttpServer* server) {
   server->Handle("POST", "/v1/documents", [this](const HttpRequest& r) {
     return HandleAddDocument(r);
   });
+  if (explore_ != nullptr) {
+    server->Handle("POST", "/v1/explore",
+                   [this](const HttpRequest& r) { return HandleExplore(r); });
+  }
   server->Handle("GET", "/metrics",
                  [this](const HttpRequest& r) { return HandleMetrics(r); });
   server->Handle("GET", "/healthz",
@@ -58,7 +62,7 @@ void SearchService::RegisterRoutes(HttpServer* server) {
 }
 
 HttpResponse SearchService::HandleShardPlan(const HttpRequest& request) const {
-  Result<json::Value> body = json::Parse(request.body);
+  Result<json::Value> body = DecodeEnvelope(request.body);
   if (!body.ok()) return ErrorResponse(body.status());
   Result<ShardPlanRpcRequest> decoded = ShardPlanRequestFromJson(*body);
   if (!decoded.ok()) return ErrorResponse(decoded.status());
@@ -71,7 +75,7 @@ HttpResponse SearchService::HandleShardPlan(const HttpRequest& request) const {
 
 HttpResponse SearchService::HandleShardSearch(
     const HttpRequest& request) const {
-  Result<json::Value> body = json::Parse(request.body);
+  Result<json::Value> body = DecodeEnvelope(request.body);
   if (!body.ok()) return ErrorResponse(body.status());
   Result<ShardSearchRpcRequest> decoded = ShardSearchRequestFromJson(*body);
   if (!decoded.ok()) return ErrorResponse(decoded.status());
@@ -92,34 +96,13 @@ HttpResponse SearchService::HandleShardSearch(
 }
 
 HttpResponse SearchService::HandleSearch(const HttpRequest& request) {
-  Result<json::Value> body = json::Parse(request.body);
-  if (!body.ok()) return ErrorResponse(body.status());
-
   // Decode before admitting: malformed requests should cost a 400, not an
   // admission slot.
-  const bool batched = body->is_array();
-  std::vector<baselines::SearchRequest> requests;
-  if (batched) {
-    if (body->size() == 0) {
-      return ErrorResponse(
-          Status::InvalidArgument("batch must contain at least one request"));
-    }
-    if (body->size() > options_.max_batch) {
-      return ErrorResponse(Status::InvalidArgument(
-          StrCat("batch of ", body->size(), " exceeds limit of ",
-                 options_.max_batch)));
-    }
-    requests.reserve(body->size());
-    for (const json::Value& item : body->items()) {
-      Result<baselines::SearchRequest> decoded = SearchRequestFromJson(item);
-      if (!decoded.ok()) return ErrorResponse(decoded.status());
-      requests.push_back(std::move(*decoded));
-    }
-  } else {
-    Result<baselines::SearchRequest> decoded = SearchRequestFromJson(*body);
-    if (!decoded.ok()) return ErrorResponse(decoded.status());
-    requests.push_back(std::move(*decoded));
-  }
+  Result<SearchEnvelope> envelope =
+      DecodeSearchEnvelope(request.body, options_.max_batch);
+  if (!envelope.ok()) return ErrorResponse(envelope.status());
+  const bool batched = envelope->batched;
+  std::vector<baselines::SearchRequest>& requests = envelope->requests;
 
   // Admission: one slot per HTTP request, batch or not.
   if (inflight_searches_.fetch_add(1, std::memory_order_acq_rel) >=
@@ -149,8 +132,42 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& request) {
   return JsonOk(SearchResponseToJson(responses.front(), corpus_, graph_));
 }
 
+HttpResponse SearchService::HandleExplore(const HttpRequest& request) {
+  if (explore_ == nullptr) {
+    return ErrorResponse(
+        Status::FailedPrecondition("exploration is not enabled"));
+  }
+  Result<json::Value> body = DecodeEnvelope(request.body);
+  if (!body.ok()) return ErrorResponse(body.status());
+  Result<ExploreRpcRequest> decoded = ExploreRequestFromJson(*body);
+  if (!decoded.ok()) return ErrorResponse(decoded.status());
+
+  Result<newslink::ExploreResult> result = [&]() {
+    if (!decoded->query.empty()) {
+      baselines::SearchRequest search;
+      search.query = decoded->query;
+      search.k = decoded->k;  // 0 = the explore engine's default
+      search.beta = decoded->beta;
+      search.deadline_seconds = decoded->deadline_seconds;
+      return explore_->StartSession(search);
+    }
+    if (decoded->has_drill) {
+      return explore_->DrillDown(decoded->session, decoded->drill);
+    }
+    if (decoded->up) return explore_->RollUp(decoded->session);
+    return explore_->View(decoded->session);
+  }();
+  if (!result.ok()) return ErrorResponse(result.status());
+
+  // Titles render under the shared corpus lock; every cached doc_index is
+  // < its session's snapshot_docs <= corpus size, however much ingestion
+  // has happened since the session pinned its epoch.
+  std::shared_lock<std::shared_mutex> lock(corpus_mu_);
+  return JsonOk(ExploreResultToJson(*result, corpus_, graph_));
+}
+
 HttpResponse SearchService::HandleAddDocument(const HttpRequest& request) {
-  Result<json::Value> body = json::Parse(request.body);
+  Result<json::Value> body = DecodeEnvelope(request.body);
   if (!body.ok()) return ErrorResponse(body.status());
   Result<corpus::Document> decoded = DocumentFromJson(*body);
   if (!decoded.ok()) return ErrorResponse(decoded.status());

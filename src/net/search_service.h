@@ -4,6 +4,8 @@
 //   POST /v1/search     one SearchRequest object (or an array of them —
 //                       answered via SearchBatch) → SearchResponse JSON
 //   POST /v1/documents  one document → live AddDocument, new epoch
+//   POST /v1/explore    roll-up / drill-down session operations (only when
+//                       an ExploreEngine is attached; DESIGN.md Sec. 13)
 //   GET  /metrics       Prometheus text exposition of the engine registry
 //   GET  /v1/stats      engine + corpus + registry snapshot as JSON
 //   GET  /healthz       liveness probe
@@ -39,6 +41,7 @@
 #include "kg/knowledge_graph.h"
 #include "net/http.h"
 #include "net/http_server.h"
+#include "newslink/explore_engine.h"
 #include "newslink/newslink_engine.h"
 
 namespace newslink {
@@ -70,12 +73,19 @@ class SearchService {
                 const kg::KnowledgeGraph* graph,
                 SearchServiceOptions options = {});
 
+  /// Attach the exploration subsystem: RegisterRoutes then also exposes
+  /// POST /v1/explore (roll-up / drill-down, DESIGN.md Sec. 13). The
+  /// explore engine must wrap the same NewsLinkEngine and outlive the
+  /// service. Call before RegisterRoutes.
+  void AttachExplore(newslink::ExploreEngine* explore) { explore_ = explore; }
+
   /// Register every endpoint on `server` (call before server->Start()).
   void RegisterRoutes(HttpServer* server);
 
   // Handlers are public so tests can drive the service without a socket.
   HttpResponse HandleSearch(const HttpRequest& request);
   HttpResponse HandleAddDocument(const HttpRequest& request);
+  HttpResponse HandleExplore(const HttpRequest& request);
   HttpResponse HandleMetrics(const HttpRequest& request) const;
   HttpResponse HandleHealth(const HttpRequest& request) const;
   HttpResponse HandleStats(const HttpRequest& request) const;
@@ -86,6 +96,7 @@ class SearchService {
   newslink::NewsLinkEngine* engine_;
   corpus::Corpus* corpus_;
   const kg::KnowledgeGraph* graph_;
+  newslink::ExploreEngine* explore_ = nullptr;
   SearchServiceOptions options_;
 
   /// Guards corpus_ (append-only): exclusive for ingest, shared for reads.

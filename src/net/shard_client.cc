@@ -18,8 +18,7 @@ Result<json::Value> ShardClient::Call(const char* path,
                                       double deadline_seconds) const {
   HttpClientOptions options;
   options.deadline_seconds = deadline_seconds;
-  Result<HttpClientResponse> http =
-      HttpPost(host_, port_, path, body.Dump(), options);
+  Result<HttpClientResponse> http = http_.Post(path, body.Dump(), options);
   Status status = Status::OK();
   json::Value parsed;
   if (!http.ok()) {
@@ -108,6 +107,9 @@ json::Value ShardClient::HealthJson() const {
   out.Set("address", json::Value::Str(StrCat(host_, ":", port_)));
   out.Set("healthy", json::Value::Bool(healthy_));
   out.Set("epoch", json::Value::Uint(epoch_));
+  out.Set("connection_reuses", json::Value::Uint(http_.connection_reuses()));
+  out.Set("connection_reconnects",
+          json::Value::Uint(http_.connection_reconnects()));
   if (!last_error_.empty()) {
     out.Set("last_error", json::Value::Str(last_error_));
   }

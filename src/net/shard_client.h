@@ -1,8 +1,8 @@
-// Typed RPC stub for one shard server (DESIGN.md Sec. 12): wraps
-// net/HttpPost + the api_json shard codecs into Plan/Search calls the
-// coordinator can fan out. The client also keeps the shard's last-known
-// health (reachable? which epoch? what failed?) so /v1/stats can report
-// per-shard state without extra probes.
+// Typed RPC stub for one shard server (DESIGN.md Sec. 12): wraps a
+// keep-alive net/HttpClient + the api_json shard codecs into Plan/Search
+// calls the coordinator can fan out. The client also keeps the shard's
+// last-known health (reachable? which epoch? what failed?) so /v1/stats
+// can report per-shard state without extra probes.
 
 #ifndef NEWSLINK_NET_SHARD_CLIENT_H_
 #define NEWSLINK_NET_SHARD_CLIENT_H_
@@ -14,19 +14,24 @@
 #include "common/json.h"
 #include "common/result.h"
 #include "net/api_json.h"
+#include "net/http_client.h"
 
 namespace newslink {
 namespace net {
 
 /// \brief RPC client for one shard of a scatter-gather deployment.
 ///
-/// Thread-compatible for calls (each call opens its own connection) and
-/// thread-safe for the health bookkeeping, so a coordinator may fan out
+/// RPCs ride the owned HttpClient's keep-alive connection pool (stale
+/// connections are retried once on a fresh one; see net/http_client.h) and
+/// the health bookkeeping is thread-safe, so a coordinator may fan out
 /// Plan/Search over a thread pool while /v1/stats reads HealthJson().
 class ShardClient {
  public:
   ShardClient(size_t shard, std::string host, uint16_t port)
-      : shard_(shard), host_(std::move(host)), port_(port) {}
+      : shard_(shard),
+        host_(std::move(host)),
+        port_(port),
+        http_(host_, port_) {}
 
   /// Phase 1: fetch this shard's collection statistics for `query`.
   /// `deadline_seconds` (0 = none) bounds the whole call on the wire.
@@ -47,10 +52,14 @@ class ShardClient {
   std::string address() const;
 
   /// Last-known state as a /v1/stats block:
-  ///   {"shard", "address", "healthy", "epoch", "last_error"?}
+  ///   {"shard", "address", "healthy", "epoch", "connection_reuses",
+  ///    "connection_reconnects", "last_error"?}
   /// "healthy" reflects the most recent call (true after any success,
   /// false after any failure or before the first call completes).
   json::Value HealthJson() const;
+
+  /// The underlying keep-alive client (reuse / reconnect counters).
+  const HttpClient& http() const { return http_; }
 
  private:
   /// POST `body` to `path`, map non-200 answers back to their Status, and
@@ -61,6 +70,7 @@ class ShardClient {
   const size_t shard_;
   const std::string host_;
   const uint16_t port_;
+  mutable HttpClient http_;
 
   mutable std::mutex mu_;
   mutable bool healthy_ = false;

@@ -1,0 +1,279 @@
+#include "newslink/explore_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace newslink {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+ExploreEngine::ExploreEngine(const NewsLinkEngine* engine,
+                             const kg::FacetHierarchy* hierarchy,
+                             ExploreOptions options)
+    : engine_(engine), hierarchy_(hierarchy), options_(options) {
+  metrics::Registry* registry = engine_->mutable_metrics();
+  sessions_active_ =
+      registry->GetGauge(kExploreSessionsActive, "live explore sessions");
+  sessions_created_ =
+      registry->GetCounter(kExploreSessionsCreated, "sessions started");
+  sessions_expired_ =
+      registry->GetCounter(kExploreSessionsExpired, "sessions TTL-expired");
+  sessions_evicted_ =
+      registry->GetCounter(kExploreSessionsEvicted, "sessions LRU-evicted");
+  retrievals_ = registry->GetCounter(
+      kExploreRetrievals, "underlying Search calls issued by explore");
+  drilldowns_ = registry->GetCounter(kExploreDrilldowns, "drill-down ops");
+  rollups_ = registry->GetCounter(kExploreRollups, "roll-up ops");
+  explore_seconds_ = registry->GetHistogram(
+      kExploreSeconds, {}, "explore operation latency, seconds");
+}
+
+std::vector<ExploreEngine::BucketMembers> ExploreEngine::ComputeBuckets(
+    const Session& session, const std::vector<uint32_t>& rows,
+    kg::NodeId scope) const {
+  // Facet per row: each entity votes for its facet under the scope;
+  // majority wins, ties to the smallest facet id; no mappable entity (or
+  // no entities at all) lands in "other" (kInvalidNode).
+  std::map<kg::NodeId, std::vector<uint32_t>> members;  // facet -> rows
+  std::vector<uint32_t> other;
+  std::map<kg::NodeId, size_t> votes;  // reused per row (ordered: ties)
+  for (uint32_t row : rows) {
+    votes.clear();
+    for (kg::NodeId e : session.rows[row].entities) {
+      kg::NodeId facet = scope == kg::kInvalidNode
+                             ? hierarchy_->Root(e)
+                             : hierarchy_->ChildToward(scope, e);
+      if (facet != kg::kInvalidNode) ++votes[facet];
+    }
+    if (votes.empty()) {
+      other.push_back(row);
+      continue;
+    }
+    kg::NodeId best = kg::kInvalidNode;
+    size_t best_votes = 0;
+    for (const auto& [facet, n] : votes) {
+      if (n > best_votes) {  // first-in-order wins ties (smallest id)
+        best = facet;
+        best_votes = n;
+      }
+    }
+    members[best].push_back(row);
+  }
+
+  std::vector<BucketMembers> out;
+  out.reserve(members.size() + 1);
+  auto finish = [&](kg::NodeId node, std::vector<uint32_t> member_rows) {
+    BucketMembers bm;
+    bm.bucket.node = node;
+    bm.bucket.doc_count = member_rows.size();
+    for (uint32_t row : member_rows) {
+      bm.bucket.score_mass += session.rows[row].score;
+      if (bm.bucket.top_hits.size() < options_.top_docs_per_bucket) {
+        bm.bucket.top_hits.push_back(
+            {session.rows[row].doc_index, session.rows[row].score});
+      }
+    }
+    bm.rows = std::move(member_rows);
+    out.push_back(std::move(bm));
+  };
+  for (auto& [facet, member_rows] : members) {
+    finish(facet, std::move(member_rows));
+  }
+  // Deterministic order: doc count desc, score mass desc, node id asc.
+  std::sort(out.begin(), out.end(),
+            [](const BucketMembers& a, const BucketMembers& b) {
+              if (a.bucket.doc_count != b.bucket.doc_count) {
+                return a.bucket.doc_count > b.bucket.doc_count;
+              }
+              if (a.bucket.score_mass != b.bucket.score_mass) {
+                return a.bucket.score_mass > b.bucket.score_mass;
+              }
+              return a.bucket.node < b.bucket.node;
+            });
+  if (!other.empty()) finish(kg::kInvalidNode, std::move(other));  // last
+  return out;
+}
+
+ExploreResult ExploreEngine::Render(const std::string& session_id,
+                                    const Session& session) const {
+  ExploreResult result;
+  result.session_id = session_id;
+  result.epoch = session.epoch;
+  result.snapshot_docs = session.snapshot_docs;
+  result.deadline_exceeded = session.deadline_exceeded;
+  for (const Frame& frame : session.stack) result.scope.push_back(frame.scope);
+
+  const std::vector<uint32_t>* rows;
+  std::vector<uint32_t> top_rows;
+  kg::NodeId scope = kg::kInvalidNode;
+  if (session.stack.empty()) {
+    top_rows.resize(session.rows.size());
+    for (uint32_t i = 0; i < top_rows.size(); ++i) top_rows[i] = i;
+    rows = &top_rows;
+  } else {
+    rows = &session.stack.back().rows;
+    scope = session.stack.back().scope;
+  }
+  result.total_hits = rows->size();
+  for (auto& bm : ComputeBuckets(session, *rows, scope)) {
+    result.buckets.push_back(std::move(bm.bucket));
+  }
+  return result;
+}
+
+void ExploreEngine::EvictExpiredLocked() {
+  if (options_.session_ttl_seconds <= 0) return;
+  const auto now = Clock::now();
+  const auto ttl = std::chrono::duration<double>(options_.session_ttl_seconds);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.last_used > ttl) {
+      lru_.erase(it->second.lru_it);
+      it = sessions_.erase(it);
+      sessions_expired_->Inc();
+    } else {
+      ++it;
+    }
+  }
+  sessions_active_->Set(static_cast<int64_t>(sessions_.size()));
+}
+
+void ExploreEngine::TouchLocked(const std::string& session_id,
+                                Session* session) {
+  session->last_used = Clock::now();
+  lru_.erase(session->lru_it);
+  lru_.push_front(session_id);
+  session->lru_it = lru_.begin();
+}
+
+ExploreEngine::Session* ExploreEngine::FindLocked(
+    const std::string& session_id) {
+  EvictExpiredLocked();
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return nullptr;
+  TouchLocked(session_id, &it->second);
+  return &it->second;
+}
+
+Result<ExploreResult> ExploreEngine::StartSession(
+    const baselines::SearchRequest& request) {
+  WallTimer timer;
+  baselines::SearchRequest effective = request;
+  if (effective.k == 0) effective.k = options_.result_set_size;
+  effective.explain = false;  // paths are dead weight for aggregation
+
+  retrievals_->Inc();
+  baselines::SearchResponse response = engine_->Search(effective);
+
+  Session session;
+  session.epoch = response.epoch;
+  session.snapshot_docs = response.snapshot_docs;
+  session.deadline_exceeded = response.deadline_exceeded;
+  session.rows.reserve(response.hits.size());
+  for (const baselines::SearchHit& hit : response.hits) {
+    // doc_index < snapshot_docs is the engine's contract, so the embedding
+    // read is safe even while ingestion publishes newer epochs; the entity
+    // list is copied NOW so navigation never touches the engine again.
+    Row row;
+    row.doc_index = hit.doc_index;
+    row.score = hit.score;
+    row.entities = engine_->doc_embedding(hit.doc_index).SourceNodes();
+    session.rows.push_back(std::move(row));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictExpiredLocked();
+  while (sessions_.size() >= options_.max_sessions && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    sessions_.erase(victim);
+    lru_.pop_back();
+    sessions_evicted_->Inc();
+  }
+  std::string session_id = StrCat("x", ++next_session_);
+  session.last_used = Clock::now();
+  lru_.push_front(session_id);
+  session.lru_it = lru_.begin();
+  auto [it, inserted] = sessions_.emplace(session_id, std::move(session));
+  sessions_created_->Inc();
+  sessions_active_->Set(static_cast<int64_t>(sessions_.size()));
+  ExploreResult result = Render(session_id, it->second);
+  explore_seconds_->Observe(timer.ElapsedSeconds());
+  return result;
+}
+
+Result<ExploreResult> ExploreEngine::DrillDown(const std::string& session_id,
+                                               kg::NodeId facet) {
+  WallTimer timer;
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* session = FindLocked(session_id);
+  if (session == nullptr) {
+    return Status::NotFound(StrCat("unknown or expired session ", session_id));
+  }
+  if (facet == kg::kInvalidNode) {
+    return Status::InvalidArgument("cannot drill into the \"other\" bucket");
+  }
+
+  const std::vector<uint32_t>* rows;
+  std::vector<uint32_t> top_rows;
+  kg::NodeId scope = kg::kInvalidNode;
+  if (session->stack.empty()) {
+    top_rows.resize(session->rows.size());
+    for (uint32_t i = 0; i < top_rows.size(); ++i) top_rows[i] = i;
+    rows = &top_rows;
+  } else {
+    rows = &session->stack.back().rows;
+    scope = session->stack.back().scope;
+  }
+  for (auto& bm : ComputeBuckets(*session, *rows, scope)) {
+    if (bm.bucket.node == facet) {
+      session->stack.push_back(Frame{facet, std::move(bm.rows)});
+      drilldowns_->Inc();
+      ExploreResult result = Render(session_id, *session);
+      explore_seconds_->Observe(timer.ElapsedSeconds());
+      return result;
+    }
+  }
+  return Status::InvalidArgument(
+      StrCat("node ", facet, " is not a bucket of the current view"));
+}
+
+Result<ExploreResult> ExploreEngine::RollUp(const std::string& session_id) {
+  WallTimer timer;
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* session = FindLocked(session_id);
+  if (session == nullptr) {
+    return Status::NotFound(StrCat("unknown or expired session ", session_id));
+  }
+  if (session->stack.empty()) {
+    return Status::InvalidArgument("already at the top level");
+  }
+  session->stack.pop_back();
+  rollups_->Inc();
+  ExploreResult result = Render(session_id, *session);
+  explore_seconds_->Observe(timer.ElapsedSeconds());
+  return result;
+}
+
+Result<ExploreResult> ExploreEngine::View(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* session = FindLocked(session_id);
+  if (session == nullptr) {
+    return Status::NotFound(StrCat("unknown or expired session ", session_id));
+  }
+  return Render(session_id, *session);
+}
+
+size_t ExploreEngine::ActiveSessions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictExpiredLocked();
+  return sessions_.size();
+}
+
+}  // namespace newslink

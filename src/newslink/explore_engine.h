@@ -1,0 +1,209 @@
+// ExploreEngine: the news-exploration workload (DESIGN.md §13) — roll-up /
+// drill-down over a search result set, after "Enabling Roll-up and
+// Drill-down Operations in News Exploration with Knowledge Graphs"
+// (PAPERS.md, same group as the source paper).
+//
+// A session starts with one fused Search() call. Each hit's *matched
+// entities* (the distance-0 source nodes of its subgraph embedding) are
+// mapped through the FacetHierarchy: at the top level every entity rolls up
+// to its root facet (country-level in the synthetic KG); inside a drilled
+// scope S it maps to the child of S it descends through. Each document
+// votes with its entities and lands in exactly one bucket — majority facet,
+// ties to the smallest node id, documents with no mappable entity in the
+// explicit "other" bucket — so the buckets PARTITION the result set exactly
+// (property-tested). Bucket order is deterministic: doc count desc, score
+// mass desc, node id asc, "other" always last.
+//
+// Sessions are opaque server-side state: session id -> pinned epoch +
+// cached rows (doc index, score, entity list — all captured at session
+// start) + navigation stack. Drill-down and roll-up replay against that
+// cache and NEVER re-run retrieval (asserted via the explore_retrievals
+// counter), which also makes navigation immune to concurrent AddDocument
+// ingestion: the view a client explores is frozen at its session's epoch.
+// The store is LRU-bounded and TTL-evicted; an expired or unknown session
+// is NotFound (HTTP 404).
+
+#ifndef NEWSLINK_NEWSLINK_EXPLORE_ENGINE_H_
+#define NEWSLINK_NEWSLINK_EXPLORE_ENGINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/search_engine.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "kg/facet_hierarchy.h"
+#include "newslink/newslink_engine.h"
+
+namespace newslink {
+
+/// Registry series maintained by ExploreEngine (registered on the wrapped
+/// engine's registry, so one /metrics scrape covers both).
+inline constexpr std::string_view kExploreSessionsActive =
+    "explore_sessions_active";
+inline constexpr std::string_view kExploreSessionsCreated =
+    "explore_sessions_created_total";
+inline constexpr std::string_view kExploreSessionsExpired =
+    "explore_sessions_expired_total";
+inline constexpr std::string_view kExploreSessionsEvicted =
+    "explore_sessions_evicted_total";
+/// Underlying Search() calls — drill-down / roll-up must not move this.
+inline constexpr std::string_view kExploreRetrievals =
+    "explore_retrievals_total";
+inline constexpr std::string_view kExploreDrilldowns =
+    "explore_drilldowns_total";
+inline constexpr std::string_view kExploreRollups = "explore_rollups_total";
+inline constexpr std::string_view kExploreSeconds = "explore_seconds";
+
+struct ExploreOptions {
+  /// Result-set size of the underlying retrieval when the request does not
+  /// carry its own k.
+  size_t result_set_size = 50;
+  /// Representative hits returned per bucket.
+  size_t top_docs_per_bucket = 3;
+  /// LRU bound on live sessions; the least-recently-used session is
+  /// dropped when a new one would exceed this.
+  size_t max_sessions = 256;
+  /// Idle time after which a session expires (touched on every access).
+  double session_ttl_seconds = 600.0;
+};
+
+/// \brief One representative hit inside a bucket.
+struct ExploreHit {
+  size_t doc_index = 0;
+  double score = 0.0;
+};
+
+/// \brief One roll-up bucket.
+struct ExploreBucket {
+  /// Facet node; kInvalidNode marks the "other" (unmapped) bucket.
+  kg::NodeId node = kg::kInvalidNode;
+  size_t doc_count = 0;
+  double score_mass = 0.0;
+  std::vector<ExploreHit> top_hits;
+
+  bool other() const { return node == kg::kInvalidNode; }
+};
+
+/// \brief One exploration view (returned by every operation).
+struct ExploreResult {
+  std::string session_id;
+  uint64_t epoch = 0;
+  size_t snapshot_docs = 0;
+  /// Documents in the current scope == sum of doc_count over `buckets`.
+  size_t total_hits = 0;
+  /// Navigation stack, outermost drill first; empty at the top level.
+  std::vector<kg::NodeId> scope;
+  std::vector<ExploreBucket> buckets;
+  /// Deadline verdict of the underlying retrieval (StartSession only).
+  bool deadline_exceeded = false;
+};
+
+/// \brief Roll-up / drill-down session manager over a NewsLinkEngine.
+///
+/// Thread-safe: any number of threads may start and navigate sessions
+/// concurrently with each other and with engine ingestion.
+class ExploreEngine {
+ public:
+  /// `engine` and `hierarchy` must outlive the explore engine. Metric
+  /// series register on engine->mutable_metrics().
+  ExploreEngine(const NewsLinkEngine* engine,
+                const kg::FacetHierarchy* hierarchy,
+                ExploreOptions options = {});
+
+  /// Run the query once, cache the result set, return the top-level
+  /// roll-up. `request.k == 0` falls back to options.result_set_size.
+  Result<ExploreResult> StartSession(const baselines::SearchRequest& request);
+
+  /// Re-scope the session to the bucket rooted at `facet` (a node of the
+  /// current view). InvalidArgument for the "other" bucket or a node that
+  /// is not a bucket of the current view; NotFound for an expired or
+  /// unknown session.
+  Result<ExploreResult> DrillDown(const std::string& session_id,
+                                  kg::NodeId facet);
+
+  /// Pop one drill level. InvalidArgument when already at the top level;
+  /// NotFound for an expired or unknown session.
+  Result<ExploreResult> RollUp(const std::string& session_id);
+
+  /// Current view of a session without navigating (a refresh).
+  Result<ExploreResult> View(const std::string& session_id);
+
+  /// Live (non-expired) sessions right now.
+  size_t ActiveSessions();
+
+  const ExploreOptions& options() const { return options_; }
+
+ private:
+  /// One cached hit: everything bucket assignment ever needs, captured at
+  /// session start so navigation never touches the engine again.
+  struct Row {
+    size_t doc_index = 0;
+    double score = 0.0;
+    std::vector<kg::NodeId> entities;  // matched (source) nodes
+  };
+
+  /// One drill level: the chosen facet and the rows inside it.
+  struct Frame {
+    kg::NodeId scope = kg::kInvalidNode;
+    std::vector<uint32_t> rows;  // indices into Session::rows, score desc
+  };
+
+  struct Session {
+    uint64_t epoch = 0;
+    size_t snapshot_docs = 0;
+    bool deadline_exceeded = false;
+    std::vector<Row> rows;  // score desc (retrieval order)
+    std::vector<Frame> stack;
+    std::chrono::steady_clock::time_point last_used;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Buckets of `rows` under `scope` (kInvalidNode = top level), with each
+  /// bucket's member rows. Deterministic order; "other" last when present.
+  struct BucketMembers {
+    ExploreBucket bucket;
+    std::vector<uint32_t> rows;
+  };
+  std::vector<BucketMembers> ComputeBuckets(const Session& session,
+                                            const std::vector<uint32_t>& rows,
+                                            kg::NodeId scope) const;
+
+  /// Render the current view of a session (caller holds mu_).
+  ExploreResult Render(const std::string& session_id, const Session& session)
+      const;
+
+  /// Drop expired sessions, then look `session_id` up and touch it.
+  /// Returns nullptr (caller maps to NotFound) when absent. Holds mu_.
+  Session* FindLocked(const std::string& session_id);
+  void EvictExpiredLocked();
+  void TouchLocked(const std::string& session_id, Session* session);
+
+  const NewsLinkEngine* engine_;
+  const kg::FacetHierarchy* hierarchy_;
+  ExploreOptions options_;
+
+  std::mutex mu_;
+  std::unordered_map<std::string, Session> sessions_;
+  std::list<std::string> lru_;  // front = most recent
+  uint64_t next_session_ = 0;
+
+  metrics::Gauge* sessions_active_;
+  metrics::Counter* sessions_created_;
+  metrics::Counter* sessions_expired_;
+  metrics::Counter* sessions_evicted_;
+  metrics::Counter* retrievals_;
+  metrics::Counter* drilldowns_;
+  metrics::Counter* rollups_;
+  metrics::Histogram* explore_seconds_;
+};
+
+}  // namespace newslink
+
+#endif  // NEWSLINK_NEWSLINK_EXPLORE_ENGINE_H_

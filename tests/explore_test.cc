@@ -1,0 +1,461 @@
+// The exploration subsystem end to end (DESIGN.md §13): FacetHierarchy
+// invariants (deterministic parent forest, root/depth consistency, cycle
+// safety), the bucket PARTITION property over random corpora at every drill
+// level, session lifecycle (TTL expiry and LRU eviction are NotFound, never
+// stale data), drill-down pinned to its session's epoch while AddDocument
+// ingestion races (and the explore_retrievals counter proving navigation
+// never re-runs retrieval), and the strict /v1 envelope codecs: unknown
+// fields rejected, api_version skew rejected, old field-free bodies kept.
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "corpus/synthetic_news.h"
+#include "kg/facet_hierarchy.h"
+#include "kg/knowledge_graph.h"
+#include "kg/label_index.h"
+#include "kg/synthetic_kg.h"
+#include "net/api_json.h"
+#include "newslink/explore_engine.h"
+#include "newslink/newslink_engine.h"
+
+namespace newslink {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FacetHierarchy: forest invariants over the synthetic KG.
+// ---------------------------------------------------------------------------
+
+kg::SyntheticKg MakeWorld(uint64_t seed = 909) {
+  kg::SyntheticKgConfig config;
+  config.seed = seed;
+  config.num_countries = 3;
+  return kg::SyntheticKgGenerator(config).Generate();
+}
+
+TEST(FacetHierarchy, ForestIsConsistentAndDeterministic) {
+  const kg::SyntheticKg world = MakeWorld();
+  const kg::FacetHierarchy forest(&world.graph);
+  ASSERT_EQ(forest.num_nodes(), world.graph.num_nodes());
+
+  for (kg::NodeId v = 0; v < forest.num_nodes(); ++v) {
+    const kg::NodeId parent = forest.parent(v);
+    if (parent == kg::kInvalidNode) {
+      EXPECT_EQ(forest.depth(v), 0);
+      EXPECT_EQ(forest.Root(v), v);
+    } else {
+      EXPECT_EQ(forest.depth(v), forest.depth(parent) + 1);
+      EXPECT_EQ(forest.Root(v), forest.Root(parent));
+      EXPECT_TRUE(forest.DescendsFrom(v, parent));
+    }
+    EXPECT_EQ(forest.depth(forest.Root(v)), 0);
+    EXPECT_FALSE(forest.DescendsFrom(v, v));
+  }
+
+  // A pure function of the graph: rebuilding yields the identical forest.
+  const kg::FacetHierarchy again(&world.graph);
+  for (kg::NodeId v = 0; v < forest.num_nodes(); ++v) {
+    EXPECT_EQ(forest.parent(v), again.parent(v));
+  }
+}
+
+TEST(FacetHierarchy, ChildTowardWalksTheRootPath) {
+  const kg::SyntheticKg world = MakeWorld();
+  const kg::FacetHierarchy forest(&world.graph);
+
+  size_t deep_nodes = 0;
+  for (kg::NodeId v = 0; v < forest.num_nodes(); ++v) {
+    if (forest.depth(v) < 2) continue;
+    ++deep_nodes;
+    const kg::NodeId root = forest.Root(v);
+    ASSERT_TRUE(forest.DescendsFrom(v, root));
+    const kg::NodeId child = forest.ChildToward(root, v);
+    ASSERT_NE(child, kg::kInvalidNode);
+    EXPECT_EQ(forest.parent(child), root);
+    EXPECT_TRUE(child == v || forest.DescendsFrom(v, child));
+    // Immediately below the parent, ChildToward returns v itself.
+    EXPECT_EQ(forest.ChildToward(forest.parent(v), v), v);
+  }
+  ASSERT_GT(deep_nodes, 0u) << "synthetic KG should have depth >= 2";
+
+  // Not a strict descendant -> kInvalidNode (including v == ancestor).
+  const kg::NodeId v = 0;
+  EXPECT_EQ(forest.ChildToward(v, v), kg::kInvalidNode);
+}
+
+TEST(FacetHierarchy, CyclesAreCutNotLoopedForever) {
+  kg::KgBuilder builder;
+  const kg::NodeId a = builder.AddNode("A", kg::EntityType::kGpe);
+  const kg::NodeId b = builder.AddNode("B", kg::EntityType::kGpe);
+  const kg::NodeId c = builder.AddNode("C", kg::EntityType::kGpe);
+  NL_CHECK(builder.AddEdge(a, b, "located_in").ok());
+  NL_CHECK(builder.AddEdge(b, c, "located_in").ok());
+  NL_CHECK(builder.AddEdge(c, a, "located_in").ok());
+  const kg::KnowledgeGraph graph = builder.Build();
+
+  const kg::FacetHierarchy forest(&graph);
+  // One cycle member was promoted to root; the other two roll up to it.
+  size_t roots = 0;
+  for (kg::NodeId v : {a, b, c}) {
+    if (forest.parent(v) == kg::kInvalidNode) ++roots;
+    EXPECT_EQ(forest.Root(v), forest.Root(a));
+  }
+  EXPECT_EQ(roots, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ExploreEngine: one indexed world shared by the session tests.
+// ---------------------------------------------------------------------------
+
+class ExploreTest : public ::testing::Test {
+ protected:
+  ExploreTest() : world_(MakeWorld()), labels_(world_.graph) {
+    corpus::SyntheticNewsConfig config = corpus::DueDiligenceConfig();
+    config.num_stories = 30;
+    news_ = corpus::SyntheticNewsGenerator(&world_, config).Generate("ex");
+
+    NewsLinkConfig engine_config;
+    engine_config.beta = 0.2;
+    engine_config.num_threads = 2;
+    engine_ = std::make_unique<NewsLinkEngine>(&world_.graph, &labels_,
+                                               engine_config);
+    NL_CHECK(engine_->Index(news_.corpus).ok());
+    hierarchy_ = std::make_unique<kg::FacetHierarchy>(&world_.graph);
+  }
+
+  std::string QueryFor(size_t doc) const {
+    const std::string& text = news_.corpus.doc(doc).text;
+    return text.substr(0, text.find('.') + 1);
+  }
+
+  static void ExpectPartition(const ExploreResult& view) {
+    size_t sum = 0;
+    for (const ExploreBucket& bucket : view.buckets) {
+      sum += bucket.doc_count;
+      EXPECT_GT(bucket.doc_count, 0u);
+      EXPECT_LE(bucket.top_hits.size(), bucket.doc_count);
+    }
+    EXPECT_EQ(sum, view.total_hits);
+    // Deterministic order: doc count desc (score mass breaks ties), and the
+    // "other" bucket, when present, strictly last.
+    for (size_t i = 0; i + 1 < view.buckets.size(); ++i) {
+      EXPECT_FALSE(view.buckets[i].other());
+      if (!view.buckets[i + 1].other()) {
+        EXPECT_GE(view.buckets[i].doc_count, view.buckets[i + 1].doc_count);
+      }
+    }
+  }
+
+  kg::SyntheticKg world_;
+  kg::LabelIndex labels_;
+  corpus::SyntheticCorpus news_;
+  std::unique_ptr<NewsLinkEngine> engine_;
+  std::unique_ptr<kg::FacetHierarchy> hierarchy_;
+};
+
+TEST_F(ExploreTest, BucketsPartitionEveryViewAtEveryDrillLevel) {
+  // Property: for random corpora (several query entry points into the shared
+  // world), buckets partition the scoped result set EXACTLY, at the top
+  // level and after every drill, and roll-up restores the parent view.
+  ExploreEngine explore(engine_.get(), hierarchy_.get());
+  for (size_t q = 0; q < 8; ++q) {
+    baselines::SearchRequest request;
+    request.query = QueryFor(q * 7 % news_.corpus.size());
+    Result<ExploreResult> top = explore.StartSession(request);
+    ASSERT_TRUE(top.ok()) << top.status().ToString();
+    ASSERT_GT(top->total_hits, 0u);
+    ExpectPartition(*top);
+
+    const std::string session = top->session_id;
+    // Drill into every bucket of the top view in turn (roll up between),
+    // then one level deeper along the first child — partitions must hold
+    // everywhere.
+    for (const ExploreBucket& bucket : top->buckets) {
+      if (bucket.other()) continue;
+      Result<ExploreResult> drilled = explore.DrillDown(session, bucket.node);
+      ASSERT_TRUE(drilled.ok()) << drilled.status().ToString();
+      EXPECT_EQ(drilled->total_hits, bucket.doc_count);
+      ASSERT_EQ(drilled->scope.size(), 1u);
+      EXPECT_EQ(drilled->scope[0], bucket.node);
+      ExpectPartition(*drilled);
+
+      if (!drilled->buckets.empty() && !drilled->buckets[0].other()) {
+        Result<ExploreResult> deeper =
+            explore.DrillDown(session, drilled->buckets[0].node);
+        ASSERT_TRUE(deeper.ok()) << deeper.status().ToString();
+        ExpectPartition(*deeper);
+        ASSERT_TRUE(explore.RollUp(session).ok());
+      }
+
+      Result<ExploreResult> back = explore.RollUp(session);
+      ASSERT_TRUE(back.ok()) << back.status().ToString();
+      EXPECT_TRUE(back->scope.empty());
+      EXPECT_EQ(back->total_hits, top->total_hits);
+      ASSERT_EQ(back->buckets.size(), top->buckets.size());
+      for (size_t i = 0; i < back->buckets.size(); ++i) {
+        EXPECT_EQ(back->buckets[i].node, top->buckets[i].node);
+        EXPECT_EQ(back->buckets[i].doc_count, top->buckets[i].doc_count);
+      }
+    }
+  }
+}
+
+TEST_F(ExploreTest, NavigationErrorsAreTypedAndUniform) {
+  ExploreEngine explore(engine_.get(), hierarchy_.get());
+  baselines::SearchRequest request;
+  request.query = QueryFor(0);
+  Result<ExploreResult> top = explore.StartSession(request);
+  ASSERT_TRUE(top.ok());
+  const std::string session = top->session_id;
+
+  // The "other" bucket is not drillable; neither is a non-bucket node.
+  EXPECT_TRUE(explore.DrillDown(session, kg::kInvalidNode)
+                  .status()
+                  .IsInvalidArgument());
+  kg::NodeId not_a_bucket = 0;
+  while (true) {
+    bool used = false;
+    for (const ExploreBucket& bucket : top->buckets) {
+      used = used || bucket.node == not_a_bucket;
+    }
+    if (!used) break;
+    ++not_a_bucket;
+  }
+  EXPECT_TRUE(
+      explore.DrillDown(session, not_a_bucket).status().IsInvalidArgument());
+
+  // Roll-up above the top level; unknown session.
+  EXPECT_TRUE(explore.RollUp(session).status().IsInvalidArgument());
+  EXPECT_TRUE(explore.View("nope").status().IsNotFound());
+  EXPECT_TRUE(explore.DrillDown("nope", 0).status().IsNotFound());
+}
+
+TEST_F(ExploreTest, ExpiredSessionsAreNotFoundAndLeaveNoTrace) {
+  ExploreOptions options;
+  options.session_ttl_seconds = 0.02;
+  ExploreEngine explore(engine_.get(), hierarchy_.get(), options);
+
+  baselines::SearchRequest request;
+  request.query = QueryFor(1);
+  Result<ExploreResult> top = explore.StartSession(request);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(explore.ActiveSessions(), 1u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(explore.View(top->session_id).status().IsNotFound());
+  EXPECT_EQ(explore.ActiveSessions(), 0u);
+  EXPECT_EQ(engine_->Metrics().CounterValue(kExploreSessionsExpired), 1u);
+}
+
+TEST_F(ExploreTest, LruEvictsTheColdestSessionAtCapacity) {
+  ExploreOptions options;
+  options.max_sessions = 2;
+  ExploreEngine explore(engine_.get(), hierarchy_.get(), options);
+
+  std::vector<std::string> ids;
+  for (size_t q = 0; q < 3; ++q) {
+    baselines::SearchRequest request;
+    request.query = QueryFor(q);
+    Result<ExploreResult> view = explore.StartSession(request);
+    ASSERT_TRUE(view.ok());
+    ids.push_back(view->session_id);
+  }
+  EXPECT_EQ(explore.ActiveSessions(), 2u);
+  EXPECT_TRUE(explore.View(ids[0]).status().IsNotFound());  // evicted
+  EXPECT_TRUE(explore.View(ids[1]).ok());
+  EXPECT_TRUE(explore.View(ids[2]).ok());
+  EXPECT_EQ(engine_->Metrics().CounterValue(kExploreSessionsEvicted), 1u);
+}
+
+TEST_F(ExploreTest, DrillDownIsPinnedToItsEpochUnderConcurrentIngest) {
+  ExploreEngine explore(engine_.get(), hierarchy_.get());
+  baselines::SearchRequest request;
+  request.query = QueryFor(2);
+  Result<ExploreResult> top = explore.StartSession(request);
+  ASSERT_TRUE(top.ok());
+  const uint64_t pinned_epoch = top->epoch;
+  const size_t pinned_docs = top->snapshot_docs;
+  const uint64_t retrievals_after_start =
+      engine_->Metrics().CounterValue(kExploreRetrievals);
+  ASSERT_GE(retrievals_after_start, 1u);
+
+  // Race ingestion against navigation: a writer appends fresh documents
+  // while the session drills and rolls up.
+  corpus::SyntheticNewsConfig fresh_config = corpus::CnnLikeConfig();
+  fresh_config.num_stories = 6;
+  fresh_config.seed = 4242;
+  const corpus::SyntheticCorpus fresh =
+      corpus::SyntheticNewsGenerator(&world_, fresh_config).Generate("in");
+  std::thread writer([&] {
+    for (const corpus::Document& doc : fresh.corpus.docs()) {
+      engine_->AddDocument(doc);
+    }
+  });
+
+  for (int round = 0; round < 20; ++round) {
+    Result<ExploreResult> view = explore.View(top->session_id);
+    ASSERT_TRUE(view.ok());
+    if (!view->buckets.empty() && !view->buckets[0].other()) {
+      view = explore.DrillDown(top->session_id, view->buckets[0].node);
+      ASSERT_TRUE(view.ok());
+      ASSERT_TRUE(explore.RollUp(top->session_id).ok());
+    }
+    // The session's view is frozen at its start epoch: same epoch, same
+    // snapshot bound, every representative hit inside it.
+    EXPECT_EQ(view->epoch, pinned_epoch);
+    EXPECT_EQ(view->snapshot_docs, pinned_docs);
+    for (const ExploreBucket& bucket : view->buckets) {
+      for (const ExploreHit& hit : bucket.top_hits) {
+        EXPECT_LT(hit.doc_index, pinned_docs);
+      }
+    }
+  }
+  writer.join();
+  ASSERT_GT(engine_->num_indexed_docs(), pinned_docs);
+
+  // Navigation never re-ran retrieval.
+  EXPECT_EQ(engine_->Metrics().CounterValue(kExploreRetrievals),
+            retrievals_after_start);
+
+  // A session started NOW sees the new epoch.
+  Result<ExploreResult> now = explore.StartSession(request);
+  ASSERT_TRUE(now.ok());
+  EXPECT_GT(now->epoch, pinned_epoch);
+  EXPECT_GT(now->snapshot_docs, pinned_docs);
+}
+
+// ---------------------------------------------------------------------------
+// /v1 envelope codecs: strict fields, api_version skew, old clients.
+// ---------------------------------------------------------------------------
+
+Result<net::ExploreRpcRequest> DecodeExplore(const std::string& body) {
+  NL_ASSIGN_OR_RETURN(json::Value value, net::DecodeEnvelope(body));
+  return net::ExploreRequestFromJson(value);
+}
+
+TEST(ExploreCodec, AcceptsEveryOperationShape) {
+  Result<net::ExploreRpcRequest> start =
+      DecodeExplore(R"({"query": "flood rescue", "k": 20, "beta": 0.3})");
+  ASSERT_TRUE(start.ok()) << start.status().ToString();
+  EXPECT_EQ(start->query, "flood rescue");
+  EXPECT_EQ(start->k, 20u);
+  ASSERT_TRUE(start->beta.has_value());
+
+  Result<net::ExploreRpcRequest> drill =
+      DecodeExplore(R"({"session": "x1", "drill": 42})");
+  ASSERT_TRUE(drill.ok());
+  EXPECT_TRUE(drill->has_drill);
+  EXPECT_EQ(drill->drill, 42u);
+
+  Result<net::ExploreRpcRequest> up =
+      DecodeExplore(R"({"session": "x1", "up": true})");
+  ASSERT_TRUE(up.ok());
+  EXPECT_TRUE(up->up);
+
+  // Versioned client, same body: accepted when the version matches.
+  EXPECT_TRUE(
+      DecodeExplore(
+          StrCat(R"({"query": "q", "api_version": )", net::kApiVersion, "}"))
+          .ok());
+}
+
+TEST(ExploreCodec, RejectsInvalidShapesWithInvalidArgument) {
+  const char* bad[] = {
+      R"({"query": "q", "session": "x1"})",       // exactly one of the two
+      R"({})",                                    // neither
+      R"({"session": "x1", "drill": 1, "up": true})",  // drill xor up
+      R"({"drill": 1})",                          // navigation needs session
+      R"({"up": true})",
+      R"({"query": 7})",                          // type errors
+      R"({"session": "x1", "drill": "a"})",
+      R"([1, 2])",                                // not an object
+      R"("q")",
+  };
+  for (const char* body : bad) {
+    EXPECT_TRUE(DecodeExplore(body).status().IsInvalidArgument())
+        << "body: " << body;
+  }
+}
+
+TEST(ExploreCodec, UnknownFieldFuzzIsRejectedNotIgnored) {
+  // Strictness property: take valid bodies, inject one unknown key each —
+  // every mutation must be InvalidArgument (a typo'd knob must never be
+  // silently dropped).
+  const std::string valid[] = {
+      R"({"query": "flood rescue", "k": 5})",
+      R"({"session": "x1", "drill": 3})",
+      R"({"session": "x1", "up": true})",
+      R"({"session": "x1"})",
+  };
+  const std::string unknown[] = {"querry", "sess", "drilldown", "K",
+                                 "version", "page", "offset"};
+  for (const std::string& body : valid) {
+    ASSERT_TRUE(DecodeExplore(body).ok()) << body;
+    for (const std::string& key : unknown) {
+      const std::string mutated =
+          StrCat(body.substr(0, body.size() - 1), R"(, ")", key, R"(": 1})");
+      EXPECT_TRUE(DecodeExplore(mutated).status().IsInvalidArgument())
+          << "mutated body: " << mutated;
+    }
+  }
+}
+
+TEST(ExploreCodec, ApiVersionSkewIsFailedPreconditionEverywhere) {
+  // One envelope rule for every /v1 codec: absent -> accepted (old
+  // clients), matching -> accepted, skewed -> FailedPrecondition (409).
+  const std::string skew = StrCat(net::kApiVersion + 1);
+
+  EXPECT_TRUE(DecodeExplore(StrCat(R"({"query": "q", "api_version": )", skew,
+                                   "}"))
+                  .status()
+                  .IsFailedPrecondition());
+
+  Result<net::SearchEnvelope> search = net::DecodeSearchEnvelope(
+      StrCat(R"({"query": "q", "api_version": )", skew, "}"), 8);
+  EXPECT_TRUE(search.status().IsFailedPrecondition());
+  EXPECT_TRUE(net::DecodeSearchEnvelope(R"({"query": "q"})", 8).ok());
+  EXPECT_TRUE(net::DecodeSearchEnvelope(
+                  StrCat(R"({"query": "q", "api_version": )",
+                         net::kApiVersion, "}"),
+                  8)
+                  .ok());
+
+  Result<json::Value> doc = json::Parse(
+      StrCat(R"({"id": "d1", "text": "t", "api_version": )", skew, "}"));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(net::DocumentFromJson(*doc).status().IsFailedPrecondition());
+}
+
+TEST(ExploreCodec, SearchEnvelopeKeepsBatchSemantics) {
+  Result<net::SearchEnvelope> one =
+      net::DecodeSearchEnvelope(R"({"query": "q"})", 4);
+  ASSERT_TRUE(one.ok());
+  EXPECT_FALSE(one->batched);
+  ASSERT_EQ(one->requests.size(), 1u);
+
+  Result<net::SearchEnvelope> batch = net::DecodeSearchEnvelope(
+      R"([{"query": "a"}, {"query": "b"}])", 4);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->batched);
+  ASSERT_EQ(batch->requests.size(), 2u);
+
+  EXPECT_TRUE(net::DecodeSearchEnvelope(R"([])", 4)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(net::DecodeSearchEnvelope(
+                  R"([{"query": "a"}, {"query": "b"}, {"query": "c"}])", 2)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      net::DecodeSearchEnvelope("not json", 4).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace newslink

@@ -20,11 +20,15 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "corpus/synthetic_news.h"
+#include "kg/facet_hierarchy.h"
 #include "kg/label_index.h"
 #include "kg/synthetic_kg.h"
+#include "net/api_json.h"
 #include "net/drain.h"
+#include "net/http_client.h"
 #include "net/http_server.h"
 #include "net/search_service.h"
+#include "newslink/explore_engine.h"
 #include "newslink/newslink_engine.h"
 
 namespace newslink {
@@ -117,11 +121,16 @@ class ServerTest : public ::testing::Test {
     return kg::SyntheticKgGenerator(config).Generate();
   }
 
-  /// Start the /v1 API on an ephemeral loopback port.
-  void StartServer(SearchServiceOptions service_options = {}) {
+  /// Start the /v1 API (search + explore) on an ephemeral loopback port.
+  void StartServer(SearchServiceOptions service_options = {},
+                   ExploreOptions explore_options = {},
+                   HttpServerOptions options = {}) {
     service_ = std::make_unique<SearchService>(engine_.get(), &corpus_,
                                                &kg_.graph, service_options);
-    HttpServerOptions options;
+    hierarchy_ = std::make_unique<kg::FacetHierarchy>(&kg_.graph);
+    explore_ = std::make_unique<ExploreEngine>(engine_.get(), hierarchy_.get(),
+                                               explore_options);
+    service_->AttachExplore(explore_.get());
     options.port = 0;
     options.num_workers = 4;
     server_ =
@@ -145,6 +154,8 @@ class ServerTest : public ::testing::Test {
   corpus::Corpus corpus_;
   std::unique_ptr<NewsLinkEngine> engine_;
   std::unique_ptr<SearchService> service_;
+  std::unique_ptr<kg::FacetHierarchy> hierarchy_;
+  std::unique_ptr<ExploreEngine> explore_;
   std::unique_ptr<HttpServer> server_;
 };
 
@@ -403,6 +414,177 @@ TEST_F(ServerTest, GracefulDrainFinishesInflightThenRefuses) {
 
   // After drain, the port no longer accepts work.
   EXPECT_EQ(StatusOf(Request(port, "GET", "/healthz")), -1);
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/explore: the session protocol over real sockets.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, ExploreRollUpDrillDownRollUpOverSockets) {
+  StartServer();
+  const uint16_t port = server_->port();
+
+  json::Value start = json::Value::Object();
+  start.Set("query", json::Value::Str(QueryFor(2)));
+  const std::string reply =
+      Request(port, "POST", "/v1/explore", start.Dump());
+  ASSERT_EQ(StatusOf(reply), 200) << reply;
+  const json::Value top = JsonBodyOf(reply);
+
+  const std::string session = top.Find("session")->AsString();
+  ASSERT_FALSE(session.empty());
+  const uint64_t total = top.Find("total_hits")->AsUint();
+  ASSERT_GT(total, 0u);
+  EXPECT_EQ(top.Find("scope")->items().size(), 0u);
+
+  // Buckets partition the result set on the wire too.
+  const json::Value* buckets = top.Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  uint64_t sum = 0;
+  uint64_t drill_node = 0;
+  uint64_t drill_count = 0;
+  bool have_target = false;
+  for (const json::Value& bucket : buckets->items()) {
+    sum += bucket.Find("doc_count")->AsUint();
+    if (!have_target && bucket.Find("entity") != nullptr) {
+      drill_node = bucket.Find("entity")->AsUint();
+      drill_count = bucket.Find("doc_count")->AsUint();
+      have_target = true;
+      EXPECT_NE(bucket.Find("label"), nullptr);
+    }
+  }
+  EXPECT_EQ(sum, total);
+  ASSERT_TRUE(have_target) << "no drillable bucket in: " << reply;
+
+  // Drill into the first entity bucket: scoped view, same session.
+  json::Value drill = json::Value::Object();
+  drill.Set("session", json::Value::Str(session));
+  drill.Set("drill", json::Value::Uint(drill_node));
+  const std::string drilled_reply =
+      Request(port, "POST", "/v1/explore", drill.Dump());
+  ASSERT_EQ(StatusOf(drilled_reply), 200) << drilled_reply;
+  const json::Value drilled = JsonBodyOf(drilled_reply);
+  EXPECT_EQ(drilled.Find("session")->AsString(), session);
+  EXPECT_EQ(drilled.Find("total_hits")->AsUint(), drill_count);
+  ASSERT_EQ(drilled.Find("scope")->items().size(), 1u);
+  EXPECT_EQ(drilled.Find("scope")->items()[0].Find("node")->AsUint(),
+            drill_node);
+
+  // Roll up: back to the identical top-level view.
+  json::Value up = json::Value::Object();
+  up.Set("session", json::Value::Str(session));
+  up.Set("up", json::Value::Bool(true));
+  const std::string up_reply = Request(port, "POST", "/v1/explore", up.Dump());
+  ASSERT_EQ(StatusOf(up_reply), 200) << up_reply;
+  const json::Value back = JsonBodyOf(up_reply);
+  EXPECT_EQ(back.Find("total_hits")->AsUint(), total);
+  EXPECT_EQ(back.Find("scope")->items().size(), 0u);
+  EXPECT_EQ(back.Find("buckets")->items().size(), buckets->items().size());
+
+  // The session gauge made it into the Prometheus scrape.
+  const std::string metrics = Request(port, "GET", "/metrics");
+  EXPECT_NE(BodyOf(metrics).find("explore_sessions_active 1"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, ExpiredExploreSessionIs404WithUniformErrorShape) {
+  ExploreOptions explore_options;
+  explore_options.session_ttl_seconds = 0.02;
+  StartServer({}, explore_options);
+  const uint16_t port = server_->port();
+
+  json::Value start = json::Value::Object();
+  start.Set("query", json::Value::Str(QueryFor(1)));
+  const json::Value top =
+      JsonBodyOf(Request(port, "POST", "/v1/explore", start.Dump()));
+  const std::string session = top.Find("session")->AsString();
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  json::Value view = json::Value::Object();
+  view.Set("session", json::Value::Str(session));
+  const std::string reply =
+      Request(port, "POST", "/v1/explore", view.Dump());
+  EXPECT_EQ(StatusOf(reply), 404);
+  const json::Value body = JsonBodyOf(reply);
+  const json::Value* error = body.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("code")->AsString(), "NotFound");
+  EXPECT_EQ(error->Find("status")->AsInt(), 404);
+  EXPECT_NE(error->Find("message"), nullptr);
+}
+
+TEST_F(ServerTest, ApiVersionSkewIs409OnEveryV1Route) {
+  StartServer();
+  const uint16_t port = server_->port();
+
+  const struct {
+    const char* route;
+    std::string body;
+  } cases[] = {
+      {"/v1/search", R"({"query": "q", "api_version": 999})"},
+      {"/v1/documents", R"({"id": "d", "text": "t", "api_version": 999})"},
+      {"/v1/explore", R"({"query": "q", "api_version": 999})"},
+  };
+  for (const auto& c : cases) {
+    const std::string reply = Request(port, "POST", c.route, c.body);
+    EXPECT_EQ(StatusOf(reply), 409) << c.route << ": " << reply;
+    const json::Value body = JsonBodyOf(reply);
+    const json::Value* error = body.Find("error");
+    ASSERT_NE(error, nullptr) << c.route;
+    EXPECT_EQ(error->Find("code")->AsString(), "FailedPrecondition");
+  }
+
+  // The matching version — and the field-free legacy body — both pass.
+  json::Value versioned = json::Value::Object();
+  versioned.Set("query", json::Value::Str(QueryFor(0)));
+  versioned.Set("api_version", json::Value::Uint(kApiVersion));
+  EXPECT_EQ(StatusOf(Request(port, "POST", "/v1/search", versioned.Dump())),
+            200);
+  json::Value legacy = json::Value::Object();
+  legacy.Set("query", json::Value::Str(QueryFor(0)));
+  EXPECT_EQ(StatusOf(Request(port, "POST", "/v1/search", legacy.Dump())), 200);
+}
+
+// ---------------------------------------------------------------------------
+// HttpClient keep-alive: reuse and stale-connection recovery.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, HttpClientReusesConnectionsAndRecoversFromStaleOnes) {
+  // A short server-side idle timeout closes parked keep-alive connections
+  // SILENTLY (no Connection: close header) — exactly the staleness the
+  // client must absorb with its one-reconnect retry.
+  HttpServerOptions server_options;
+  server_options.read_timeout_seconds = 0.2;
+  StartServer({}, {}, server_options);
+
+  HttpClient client("127.0.0.1", server_->port());
+  for (int i = 0; i < 3; ++i) {
+    Result<HttpClientResponse> response = client.Get("/healthz");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+  }
+  // One TCP connection carried all three calls.
+  EXPECT_EQ(client.connections_opened(), 1u);
+  EXPECT_EQ(client.connection_reuses(), 2u);
+  EXPECT_EQ(client.connection_reconnects(), 0u);
+
+  // Let the server's idle timeout reap the parked connection, then call
+  // again: the client must detect the stale socket and replay on a fresh
+  // one without surfacing an error.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  Result<HttpClientResponse> after = client.Get("/healthz");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->status, 200);
+  EXPECT_EQ(client.connections_opened(), 2u);
+  EXPECT_EQ(client.connection_reuses(), 3u);
+  EXPECT_EQ(client.connection_reconnects(), 1u);
+
+  // POST bodies ride the same pool.
+  json::Value probe = json::Value::Object();
+  probe.Set("query", json::Value::Str(QueryFor(0)));
+  Result<HttpClientResponse> post = client.Post("/v1/search", probe.Dump());
+  ASSERT_TRUE(post.ok()) << post.status().ToString();
+  EXPECT_EQ(post->status, 200);
 }
 
 TEST(DrainSignalTest, TriggerUnblocksWaitAndLatches) {

@@ -4,8 +4,12 @@
 //       Generate a synthetic KG and write <out_prefix>.{nodes,edges}.tsv.
 //
 //   newslink_cli generate-corpus <kg_prefix> <out_tsv> [--seed N]
-//       [--stories N] [--preset cnn|kaggle]
-//       Generate a news corpus over an existing KG dump.
+//       [--stories N] [--preset cnn|kaggle|duediligence]
+//       Generate a news corpus over an existing KG dump. The duediligence
+//       preset anchors every story on an organization (KG dumps keep only
+//       coarse entity types, so "company" is approximated by
+//       organization-typed anchors) — the analyst scenario bench_explore
+//       and the explore REPL are built around.
 //
 //   newslink_cli build-index <kg_prefix> <corpus_tsv> <out_snapshot>
 //       [--snapshot IN] [--reorder]
@@ -23,6 +27,14 @@
 //       Index the corpus — or warm-start from a snapshot — and run one
 //       query, optionally with relationship-path explanations, the query's
 //       span tree, and a metrics dump.
+//
+//   newslink_cli explore <kg_prefix> <corpus_tsv> [--snapshot PATH]
+//       [--k N] [--beta B]
+//       Interactive roll-up / drill-down REPL over one local engine (the
+//       offline twin of POST /v1/explore). Reads commands from stdin, so
+//       it pipes:  any plain line starts a session with that query,
+//       "d <node-id>" drills into a bucket, "u" rolls up one level,
+//       "v" reprints the current view, "q" quits.
 //
 //   newslink_cli stats <kg_prefix> [<corpus_tsv>] [--query TEXT]
 //       [--format prom|json] [--metrics-out FILE] [--snapshot PATH]
@@ -66,6 +78,7 @@
 #include "common/timer.h"
 #include "corpus/corpus_io.h"
 #include "corpus/synthetic_news.h"
+#include "kg/facet_hierarchy.h"
 #include "kg/graph_stats.h"
 #include "kg/kg_io.h"
 #include "kg/label_index.h"
@@ -75,6 +88,7 @@
 #include "net/http_server.h"
 #include "net/search_service.h"
 #include "net/shard_client.h"
+#include "newslink/explore_engine.h"
 #include "newslink/newslink_engine.h"
 
 using namespace newslink;
@@ -135,12 +149,14 @@ int Usage() {
       "usage:\n"
       "  newslink_cli generate-kg <out_prefix> [--seed N] [--countries N]\n"
       "  newslink_cli generate-corpus <kg_prefix> <out_tsv> [--seed N]\n"
-      "               [--stories N] [--preset cnn|kaggle]\n"
+      "               [--stories N] [--preset cnn|kaggle|duediligence]\n"
       "  newslink_cli build-index <kg_prefix> <corpus_tsv> <out_snapshot>\n"
       "               [--snapshot IN] [--reorder]\n"
       "  newslink_cli search <kg_prefix> <corpus_tsv> <query...> [--beta B]\n"
       "               [--k N] [--explain] [--trace] [--metrics-out FILE]\n"
       "               [--snapshot PATH]\n"
+      "  newslink_cli explore <kg_prefix> <corpus_tsv> [--snapshot PATH]\n"
+      "               [--k N] [--beta B]\n"
       "  newslink_cli stats <kg_prefix> [<corpus_tsv>] [--query TEXT]\n"
       "               [--format prom|json] [--metrics-out FILE]\n"
       "               [--snapshot PATH]\n"
@@ -245,12 +261,22 @@ int GenerateCorpus(const Flags& flags) {
   kg::SyntheticKg world;
   world.graph = std::move(graph).value();
   for (kg::NodeId v = 0; v < world.graph.num_nodes(); ++v) {
-    if (world.graph.Degree(v) >= 2) world.story_anchors.push_back(v);
+    if (world.graph.Degree(v) >= 2) {
+      world.story_anchors.push_back(v);
+      // TSV dumps keep only the coarse EntityType, not the generator's
+      // fine-grained categories; organization-typed anchors stand in for
+      // the duediligence preset's "company" pool.
+      if (world.graph.type(v) == kg::EntityType::kOrganization) {
+        world.categories["company"].push_back(v);
+      }
+    }
   }
 
-  corpus::SyntheticNewsConfig config = flags.Get("preset", "cnn") == "kaggle"
-                                           ? corpus::KaggleLikeConfig()
-                                           : corpus::CnnLikeConfig();
+  const std::string preset = flags.Get("preset", "cnn");
+  corpus::SyntheticNewsConfig config =
+      preset == "kaggle"        ? corpus::KaggleLikeConfig()
+      : preset == "duediligence" ? corpus::DueDiligenceConfig()
+                                 : corpus::CnnLikeConfig();
   config.seed = flags.GetInt("seed", config.seed);
   config.num_stories =
       static_cast<int>(flags.GetInt("stories", config.num_stories));
@@ -423,6 +449,12 @@ int ServeCmd(const Flags& flags) {
       flags.GetInt("max-inflight", service_options.max_inflight_searches);
   net::SearchService service(&engine, &*docs, &*graph, service_options);
 
+  // Exploration rides the same server: facet forest over the served KG,
+  // sessions over the served engine. Both live on this frame until drain.
+  kg::FacetHierarchy hierarchy(&*graph);
+  ExploreEngine explore(&engine, &hierarchy);
+  service.AttachExplore(&explore);
+
   net::HttpServerOptions server_options;
   server_options.bind_address = flags.Get("host", "127.0.0.1");
   server_options.port = static_cast<uint16_t>(flags.GetInt("port", 8080));
@@ -489,6 +521,95 @@ int SearchCmd(const Flags& flags) {
   return 0;
 }
 
+/// Print one exploration view: scope path, then one line per bucket.
+void PrintExploreView(const ExploreResult& view, const kg::KnowledgeGraph& graph,
+                      const corpus::Corpus& docs) {
+  std::string scope = "(top)";
+  for (const kg::NodeId v : view.scope) {
+    scope = view.scope.front() == v ? std::string(graph.label(v))
+                                    : StrCat(scope, " > ", graph.label(v));
+  }
+  std::printf("session %s | epoch %llu | %zu hits | scope: %s\n",
+              view.session_id.c_str(),
+              static_cast<unsigned long long>(view.epoch), view.total_hits,
+              scope.c_str());
+  for (const ExploreBucket& bucket : view.buckets) {
+    if (bucket.other()) {
+      std::printf("  [other ] %4zu docs  mass %7.3f\n", bucket.doc_count,
+                  bucket.score_mass);
+    } else {
+      std::printf("  [%6u] %4zu docs  mass %7.3f  %s (%s)\n",
+                  static_cast<unsigned>(bucket.node), bucket.doc_count,
+                  bucket.score_mass, graph.label(bucket.node).c_str(),
+                  kg::EntityTypeName(graph.type(bucket.node)));
+    }
+    for (const ExploreHit& hit : bucket.top_hits) {
+      std::printf("           [%6.3f] %s  %.60s...\n", hit.score,
+                  docs.doc(hit.doc_index).id.c_str(),
+                  docs.doc(hit.doc_index).text.c_str());
+    }
+  }
+}
+
+int ExploreCmd(const Flags& flags) {
+  if (flags.positional.size() < 2) return Usage();
+  Result<kg::KnowledgeGraph> graph = kg::LoadTsv(flags.positional[0]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 2;
+  }
+  Result<corpus::Corpus> docs = corpus::LoadTsv(flags.positional[1]);
+  if (!docs.ok()) {
+    std::fprintf(stderr, "%s\n", docs.status().ToString().c_str());
+    return 2;
+  }
+  kg::LabelIndex labels(*graph);
+  NewsLinkEngine engine(&*graph, &labels, NewsLinkConfig{});
+  const int rc = PopulateEngine(&engine, *docs, flags.Get("snapshot", ""));
+  if (rc != 0) return rc;
+
+  kg::FacetHierarchy hierarchy(&*graph);
+  ExploreEngine explore(&engine, &hierarchy);
+  std::fprintf(stderr,
+               "%zu docs indexed. Type a query to start a session; then\n"
+               "d <node-id> drills, u rolls up, v reprints, q quits.\n",
+               engine.num_indexed_docs());
+
+  std::string session;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    if (trimmed == "q" || trimmed == "quit") break;
+
+    Result<ExploreResult> view = Status::InvalidArgument("no session yet");
+    if (trimmed == "u") {
+      if (!session.empty()) view = explore.RollUp(session);
+    } else if (trimmed == "v") {
+      if (!session.empty()) view = explore.View(session);
+    } else if (StartsWith(trimmed, "d ")) {
+      if (!session.empty()) {
+        view = explore.DrillDown(
+            session, static_cast<kg::NodeId>(
+                         std::strtoull(trimmed.c_str() + 2, nullptr, 10)));
+      }
+    } else {
+      baselines::SearchRequest request;
+      request.query = trimmed;
+      request.k = flags.GetInt("k", 0);  // 0 -> options.result_set_size
+      if (flags.Has("beta")) request.beta = flags.GetDouble("beta", 0.2);
+      view = explore.StartSession(request);
+    }
+    if (!view.ok()) {
+      std::fprintf(stderr, "error: %s\n", view.status().ToString().c_str());
+      continue;
+    }
+    session = view->session_id;
+    PrintExploreView(*view, *graph, *docs);
+  }
+  return 0;
+}
+
 int StatsCmd(const Flags& flags) {
   if (flags.positional.empty()) return Usage();
   Result<kg::KnowledgeGraph> graph = kg::LoadTsv(flags.positional[0]);
@@ -544,6 +665,7 @@ int main(int argc, char** argv) {
   if (command == "generate-corpus") return GenerateCorpus(flags);
   if (command == "build-index") return BuildIndexCmd(flags);
   if (command == "search") return SearchCmd(flags);
+  if (command == "explore") return ExploreCmd(flags);
   if (command == "stats") return StatsCmd(flags);
   if (command == "serve") return ServeCmd(flags);
   return Usage();
