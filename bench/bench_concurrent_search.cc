@@ -25,9 +25,18 @@
 //
 // --metrics-out FILE writes the engine's final Prometheus exposition.
 //
+// --ne-gate runs ONLY the NE (LCAG) hot-path gate and exits: two engines
+// over the same corpus and an entity-heavy query mix built from KG labels —
+// a baseline (sequential frontier, no sketches) against the accelerated
+// path (parallel frontier rounds + precomputed distance sketches, DESIGN.md
+// Sec. 14). The LCAG result cache is disabled on both so every query pays
+// the full NE cost. Gates: identical hits on every query (the bit-exactness
+// contract) and accelerated p99 of the "ne" span >= 2x better.
+//
 // Env knobs: NEWSLINK_BENCH_STORIES (corpus size, default 120),
 //            NEWSLINK_BENCH_THREADS (worker threads, default 4).
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -170,18 +179,151 @@ void PrintReport(const char* label, const RunReport& r) {
               100.0 * r.span_coverage);
 }
 
+/// Sorted-sample percentile (nearest-rank on the raw per-query values; the
+/// sample sets here are small enough that histogram quantization would
+/// dominate the 2x gate's margin).
+double SamplePercentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(q * (values.size() - 1));
+  return values[idx];
+}
+
+/// The NE (LCAG) hot-path gate (--ne-gate). Builds one small corpus and an
+/// entity-heavy query mix straight from KG labels, then serves it twice:
+/// once on a baseline engine (sequential MultiLabelDijkstra, no sketches)
+/// and once on the accelerated engine (LcagOptions::parallel + distance
+/// sketches). Both run with the LCAG cache disabled so every Search() pays
+/// the real NE cost, and the gate demands (a) bit-identical hits on every
+/// query and (b) accelerated p99 of the per-query "ne" span >= 2x better.
+bool RunNeGate() {
+  std::printf("NewsLink reproduction — NE (LCAG) hot-path gate\n\n");
+  auto world = bench::MakeWorld(7);
+  corpus::SyntheticNewsConfig corpus_config = corpus::CnnLikeConfig();
+  corpus_config.num_stories = bench::StoriesFromEnv(48);
+  const corpus::SyntheticCorpus dataset =
+      corpus::SyntheticNewsGenerator(&world->kg, corpus_config).Generate();
+
+  NewsLinkConfig base_config;
+  base_config.beta = 0.5;
+  base_config.num_threads = 2;
+  // No result cache: the gate measures the search itself, not memoization.
+  base_config.lcag_cache_capacity = 0;
+  NewsLinkConfig fast_config = base_config;
+  fast_config.lcag.parallel = true;
+  fast_config.lcag_sketch.enabled = true;
+
+  NewsLinkEngine baseline(&world->kg.graph, &world->index, base_config);
+  NewsLinkEngine fast(&world->kg.graph, &world->index, fast_config);
+  NL_CHECK(baseline.Index(dataset.corpus).ok());
+  NL_CHECK(fast.Index(dataset.corpus).ok());
+
+  // Entity-heavy queries: each is a run of hierarchy-adjacent KG labels
+  // (consecutive ids in the synthetic generator) plus one label from
+  // further away, so every group has a findable LCA but the sequential
+  // search still has to expand a real neighborhood before C1/C2 fire.
+  const size_t num_nodes = world->kg.graph.num_nodes();
+  constexpr size_t kNeQueries = 32;
+  std::vector<std::string> queries;
+  for (size_t q = 0; q < kNeQueries; ++q) {
+    const size_t start = (q * 131) % (num_nodes - 8);
+    std::string text = world->kg.graph.label(start);
+    text += ", " + world->kg.graph.label(start + 1);
+    text += ", " + world->kg.graph.label(start + 5);
+    text += ".";
+    queries.push_back(std::move(text));
+  }
+
+  constexpr int kNeRounds = 4;
+  constexpr size_t kK = 10;
+  const auto collect_ne = [&queries](const NewsLinkEngine& engine) {
+    std::vector<double> ne_seconds;
+    ne_seconds.reserve(queries.size() * kNeRounds);
+    for (int round = 0; round < kNeRounds; ++round) {
+      for (const std::string& q : queries) {
+        baselines::SearchRequest request;
+        request.query = q;
+        request.k = kK;
+        const baselines::SearchResponse response = engine.Search(request);
+        ne_seconds.push_back(response.timings.TotalSeconds("ne"));
+      }
+    }
+    return ne_seconds;
+  };
+
+  // One untimed warm-up pass each (allocator + page-cache warm), then the
+  // measured rounds. Baseline first, accelerated second.
+  (void)collect_ne(baseline);
+  (void)collect_ne(fast);
+  const std::vector<double> base_ne = collect_ne(baseline);
+  const std::vector<double> fast_ne = collect_ne(fast);
+  const double base_p99 = SamplePercentile(base_ne, 0.99);
+  const double fast_p99 = SamplePercentile(fast_ne, 0.99);
+  const double base_p50 = SamplePercentile(base_ne, 0.50);
+  const double fast_p50 = SamplePercentile(fast_ne, 0.50);
+
+  // Bit-exactness across the two engines: parallel rounds and sketch
+  // answers must reproduce the sequential oracle's embeddings exactly, so
+  // every downstream score — and therefore every hit — must match to the
+  // last bit (no epsilon).
+  bool exact = true;
+  for (const std::string& q : queries) {
+    baselines::SearchRequest request;
+    request.query = q;
+    request.k = kK;
+    const auto expected = baseline.Search(request).hits;
+    const auto actual = fast.Search(request).hits;
+    exact = exact && expected.size() == actual.size();
+    for (size_t i = 0; exact && i < expected.size(); ++i) {
+      exact = expected[i].doc_index == actual[i].doc_index &&
+              expected[i].score == actual[i].score;
+    }
+    if (!exact) {
+      std::printf("hit mismatch vs sequential oracle on query: %s\n",
+                  q.c_str());
+      break;
+    }
+  }
+
+  const uint64_t sketch_hits =
+      fast.Metrics().CounterValue(embed::kEmbedderSketchHits);
+  const uint64_t sketch_fallbacks =
+      fast.Metrics().CounterValue(embed::kEmbedderSketchFallbacks);
+  const double speedup = fast_p99 > 0 ? base_p99 / fast_p99 : 0.0;
+  const bool gate_ok = base_p99 >= 2.0 * fast_p99;
+  const bool sketch_used = sketch_hits > 0;
+  std::printf(
+      "corpus %zu docs, KG %zu nodes, %zu queries x %d rounds, cache off\n",
+      dataset.corpus.size(), num_nodes, queries.size(), kNeRounds);
+  std::printf("%-28s %12s %12s\n", "ne span", "p50 us", "p99 us");
+  bench::PrintRule(54);
+  std::printf("%-28s %12.1f %12.1f\n", "sequential, no sketch",
+              base_p50 * 1e6, base_p99 * 1e6);
+  std::printf("%-28s %12.1f %12.1f\n", "parallel + sketch", fast_p50 * 1e6,
+              fast_p99 * 1e6);
+  std::printf(
+      "\nsketch answered %zu groups, fell back on %zu; p99 speedup %.2fx "
+      "(gate 2.00x): %s, hits bit-identical: %s\n",
+      static_cast<size_t>(sketch_hits),
+      static_cast<size_t>(sketch_fallbacks), speedup, gate_ok ? "ok" : "FAIL",
+      exact ? "ok" : "FAIL");
+  return gate_ok && exact && sketch_used;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool with_ingest = false;
   bool with_batch = false;
   bool prune_gate = false;
+  bool ne_gate = false;
   size_t max_shards = 0;
   std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--with-ingest") == 0) with_ingest = true;
     if (std::strcmp(argv[i], "--batch") == 0) with_batch = true;
     if (std::strcmp(argv[i], "--prune-gate") == 0) prune_gate = true;
+    if (std::strcmp(argv[i], "--ne-gate") == 0) ne_gate = true;
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       max_shards = static_cast<size_t>(std::atoi(argv[++i]));
     }
@@ -189,6 +331,8 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     }
   }
+
+  if (ne_gate) return RunNeGate() ? 0 : 1;
 
   std::printf("NewsLink reproduction — concurrent query serving%s\n\n",
               with_ingest ? " + live ingestion" : "");

@@ -34,7 +34,10 @@ inline constexpr std::string_view kSnapshotMagic = "NLSNAP";
 ///   1: initial sectioned container.
 ///   2: doc-id map section ("doc_map") for reorder-aware engines; absence
 ///      would silently mis-route hits, so v1 files are stale.
-inline constexpr uint16_t kSnapshotFormatVersion = 2;
+///   3: optional LCAG distance-sketch section ("lcag_sketch"); bumped so
+///      sketch-built deployments never load a pre-sketch file and silently
+///      lose the NE fast path (DESIGN.md Sec. 14).
+inline constexpr uint16_t kSnapshotFormatVersion = 3;
 
 /// \brief Identity of the artifacts inside a snapshot.
 struct SnapshotHeader {

@@ -20,6 +20,7 @@ LcagSegmentEmbedder::LcagSegmentEmbedder(const kg::KnowledgeGraph* graph,
       search_(graph, index),
       options_(options),
       cache_(cache_capacity, cache_shards, registry_),
+      pool_(options.parallel ? std::make_unique<ThreadPool>() : nullptr),
       segments_(registry_->GetCounter(kEmbedderSegments,
                                       "EmbedSegment calls")),
       embedded_(registry_->GetCounter(kEmbedderEmbedded,
@@ -27,21 +28,51 @@ LcagSegmentEmbedder::LcagSegmentEmbedder(const kg::KnowledgeGraph* graph,
       timeouts_(registry_->GetCounter(kEmbedderTimeouts,
                                       "LCAG wall-clock timeouts")),
       budget_exhausted_(registry_->GetCounter(
-          kEmbedderBudgetExhausted, "LCAG max_expansions truncations")) {}
+          kEmbedderBudgetExhausted, "LCAG max_expansions truncations")),
+      sketch_hits_(registry_->GetCounter(
+          kEmbedderSketchHits, "LCAG searches answered from sketches")),
+      sketch_fallbacks_(registry_->GetCounter(
+          kEmbedderSketchFallbacks,
+          "sketch-enabled searches that ran the full search")) {}
+
+void LcagSegmentEmbedder::SetSketch(
+    std::shared_ptr<const LcagSketchIndex> sketch) {
+  std::lock_guard<std::mutex> lock(sketch_mu_);
+  sketch_ = std::move(sketch);
+}
+
+std::shared_ptr<const LcagSketchIndex> LcagSegmentEmbedder::sketch() const {
+  std::lock_guard<std::mutex> lock(sketch_mu_);
+  return sketch_;
+}
 
 bool LcagSegmentEmbedder::EmbedSegment(const std::vector<std::string>& labels,
                                        AncestorGraph* out,
                                        SegmentEmbedOutcome* outcome) const {
-  LcagResult result =
-      search_.Find(labels, options_, cache_.enabled() ? &cache_ : nullptr);
+  const std::shared_ptr<const LcagSketchIndex> sketch = this->sketch();
+  LcagSearchContext ctx;
+  ctx.cache = cache_.enabled() ? &cache_ : nullptr;
+  ctx.sketch = sketch.get();
+  ctx.pool = pool_.get();
+  LcagResult result = search_.Find(labels, options_, ctx);
   segments_->Inc();
   if (result.timed_out) timeouts_->Inc();
   if (result.budget_exhausted) budget_exhausted_->Inc();
+  if (sketch != nullptr && !result.cache_hit) {
+    // Fast-path hit rate: how many sketch-enabled searches skipped the
+    // graph search entirely (cache hits are counted by the cache itself).
+    if (result.sketch_hit) {
+      sketch_hits_->Inc();
+    } else {
+      sketch_fallbacks_->Inc();
+    }
+  }
   if (outcome != nullptr) {
     outcome->found = result.found;
     outcome->cache_hit = result.cache_hit;
     outcome->timed_out = result.timed_out;
     outcome->budget_exhausted = result.budget_exhausted;
+    outcome->sketch_hit = result.sketch_hit;
     outcome->expansions = result.expansions;
   }
   if (!result.found) return false;
@@ -55,8 +86,12 @@ bool TreeSegmentEmbedder::EmbedSegment(const std::vector<std::string>& labels,
                                        SegmentEmbedOutcome* outcome) const {
   TreeEmbedResult result = embedder_.Find(labels, options_);
   if (outcome != nullptr) {
+    // Propagate the full outcome, not just `found`: a truncated tree embed
+    // used to report as a clean miss, hiding timeouts from span notes.
     *outcome = {};
     outcome->found = result.found;
+    outcome->timed_out = result.timed_out;
+    outcome->expansions = result.expansions;
   }
   if (!result.found) return false;
   *out = std::move(result.tree);
@@ -99,6 +134,7 @@ DocumentEmbedding EmbedDocument(
       ok = embedder.EmbedSegment(labels, &graph, &outcome);
       trace->Note("labels", std::to_string(labels.size()));
       if (outcome.cache_hit) trace->Note("cache_hit", "true");
+      if (outcome.sketch_hit) trace->Note("sketch_hit", "true");
       if (outcome.timed_out) trace->Note("timed_out", "true");
       if (outcome.budget_exhausted) trace->Note("budget_exhausted", "true");
       if (!ok) trace->Note("found", "false");

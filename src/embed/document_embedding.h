@@ -8,15 +8,18 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "embed/ancestor_graph.h"
 #include "embed/lcag_cache.h"
 #include "embed/lcag_search.h"
+#include "embed/lcag_sketch.h"
 #include "embed/tree_embedder.h"
 #include "kg/label_index.h"
 
@@ -29,6 +32,10 @@ inline constexpr std::string_view kEmbedderEmbedded = "embedder_embedded_total";
 inline constexpr std::string_view kEmbedderTimeouts = "embedder_timeouts_total";
 inline constexpr std::string_view kEmbedderBudgetExhausted =
     "embedder_budget_exhausted_total";
+inline constexpr std::string_view kEmbedderSketchHits =
+    "lcag_sketch_hits_total";
+inline constexpr std::string_view kEmbedderSketchFallbacks =
+    "lcag_sketch_fallbacks_total";
 
 /// \brief Per-call outcome of one EmbedSegment (feeds trace-span notes).
 struct SegmentEmbedOutcome {
@@ -36,7 +43,8 @@ struct SegmentEmbedOutcome {
   bool cache_hit = false;
   bool timed_out = false;
   bool budget_exhausted = false;
-  size_t expansions = 0;  // settle events (0 on a cache hit)
+  bool sketch_hit = false;
+  size_t expansions = 0;  // settle events (0 on a cache or sketch hit)
 };
 
 /// \brief Strategy interface: how one entity group becomes a subgraph.
@@ -81,6 +89,15 @@ class LcagSegmentEmbedder : public SegmentEmbedder {
                     SegmentEmbedOutcome* outcome = nullptr) const override;
   std::string name() const override { return "NewsLink"; }
 
+  /// Install (or clear, with nullptr) the distance-sketch fast path. The
+  /// sketch depends only on the immutable KG, so installation is valid for
+  /// the embedder's lifetime; shared_ptr keeps it alive across concurrent
+  /// EmbedSegment calls while the engine swaps it in.
+  void SetSketch(std::shared_ptr<const LcagSketchIndex> sketch);
+
+  /// The installed sketch; nullptr when the fast path is off.
+  std::shared_ptr<const LcagSketchIndex> sketch() const;
+
   /// The registry holding this embedder's (and its cache's) series.
   const metrics::Registry& Metrics() const { return *registry_; }
 
@@ -92,10 +109,19 @@ class LcagSegmentEmbedder : public SegmentEmbedder {
   LcagSearch search_;
   LcagOptions options_;
   mutable LcagCache cache_;
+  /// Workers for LcagOptions::parallel round expansion; null when the
+  /// option is off. A pool separate from the engine's index pool: its
+  /// workers never wait on another pool, so index-time EmbedSegment calls
+  /// running on engine workers cannot form a wait cycle.
+  std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex sketch_mu_;
+  std::shared_ptr<const LcagSketchIndex> sketch_;
   metrics::Counter* segments_;
   metrics::Counter* embedded_;
   metrics::Counter* timeouts_;
   metrics::Counter* budget_exhausted_;
+  metrics::Counter* sketch_hits_;
+  metrics::Counter* sketch_fallbacks_;
 };
 
 /// \brief Tree-based embedder (the TreeEmb baseline).

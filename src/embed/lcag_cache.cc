@@ -18,8 +18,15 @@ std::string LcagCacheKey(const std::vector<std::vector<kg::NodeId>>& sources,
                          const std::vector<std::string>& resolved_labels,
                          const LcagOptions& options) {
   std::string key;
-  // Options first: only the fields that change the *result*. The wall-clock
-  // timeout is excluded (timed-out results are never inserted).
+  // Options first: only the fields that change the *result*.
+  //  - max_expansions IS keyed: a budget-truncated (budget_exhausted)
+  //    result cached under a small budget must never be served to a later
+  //    request with a larger budget that would have searched further.
+  //  - timeout_seconds is excluded because timed-out results are never
+  //    inserted (non-deterministic truncation; see LcagSearch::Find).
+  //  - parallel — and the sketch/pool members of LcagSearchContext — are
+  //    excluded because they are result-invariant accelerators; keying
+  //    them would fragment the cache without changing any cached value.
   AppendU64(options.max_expansions, &key);
   key.push_back(options.all_shortest_paths ? '\1' : '\0');
   key.push_back(options.depth_only_root ? '\1' : '\0');

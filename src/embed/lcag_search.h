@@ -23,7 +23,12 @@
 #include "kg/label_index.h"
 
 namespace newslink {
+
+class ThreadPool;
+
 namespace embed {
+
+class LcagSketchIndex;
 
 inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
 
@@ -49,11 +54,35 @@ class MultiLabelDijkstra {
   };
 
   /// `sources[i]` is S(l_i); each source starts at distance 0 (Alg. 1 l.3-5).
+  /// Source sets are deduplicated per label: a repeated entity id must not
+  /// settle twice (it would inflate SettledCount/total_pops and skew the
+  /// C1/C2 termination test).
   MultiLabelDijkstra(const kg::KnowledgeGraph* graph,
                      std::vector<std::vector<kg::NodeId>> sources);
 
   /// Settle the next (label, node) pair. False when all frontiers are empty.
   bool PopNext(PopEvent* event);
+
+  /// Settle EVERY (label, node) pair at the current global minimum distance
+  /// in one round, relaxing the per-label partitions across `pool` (inline
+  /// when null or the round is small). Because weights are strictly
+  /// positive, all such pairs are final and every entry relaxation pushes
+  /// lies strictly beyond the round distance, so the per-label settle order
+  /// (ascending node id) and the appended events — sorted by (node, label),
+  /// which IS the Equation 2 pop order — replay the sequential machinery
+  /// bit-exactly. Does NOT update SettledCount()/total_pops(): the caller
+  /// replays the events through CountPop() so Alg. 3 candidate detection
+  /// observes the same per-pop counts as the sequential path.
+  /// False when all frontiers are empty (no events appended).
+  bool PopRound(std::vector<PopEvent>* events, ThreadPool* pool);
+
+  /// Replay bookkeeping for one PopRound() event (see above).
+  void CountPop(kg::NodeId node);
+
+  /// Upper bound on the size of the next PopRound (total frontier entries,
+  /// stale ones included). Lets callers prove a whole round fits in the
+  /// `max_expansions` budget before committing to it.
+  size_t FrontierUpperBound() const;
 
   /// D'_min of Alg. 1 line 11: smallest tentative distance over all queue
   /// tops; kInfDistance when every frontier is exhausted.
@@ -101,6 +130,11 @@ class MultiLabelDijkstra {
   /// Drop stale (already settled / superseded) entries from a frontier top.
   void SkimFrontier(LabelState* state);
 
+  /// The settle+relax body shared by PopNext and PopRound. Touches only
+  /// `state` (and the immutable graph), so distinct labels are safe to
+  /// settle concurrently.
+  void SettleAndRelax(LabelState* state, kg::NodeId node, double distance);
+
   const kg::KnowledgeGraph* graph_;
   std::vector<LabelState> states_;
   std::unordered_map<kg::NodeId, int> settled_count_;
@@ -121,6 +155,11 @@ struct LcagOptions {
   /// Ablation knob: true selects the root by depth only (first key of the
   /// compactness order), ignoring the lower-order distances of Def. 4.
   bool depth_only_root = false;
+  /// Expand frontiers round-by-round across LcagSearchContext::pool instead
+  /// of pop-by-pop. Bit-exact with the sequential path (which remains the
+  /// oracle): roots, distances, predecessor DAGs, and tie order are
+  /// identical, so this field is deliberately NOT part of the cache key.
+  bool parallel = false;
 };
 
 /// Statistics and outcome of one G* search.
@@ -135,6 +174,12 @@ struct LcagResult {
   /// True when this result was served from an LcagCache instead of running
   /// Algorithms 1-3 (query-path observability: the NE span notes it).
   bool cache_hit = false;
+  /// True when this result was answered from the LcagSketchIndex fast path
+  /// (lcag_sketch.h) instead of a graph search. The answer (root,
+  /// distances, DAG, tie order) is bit-identical to the full search's;
+  /// `expansions` / `candidates_collected` are observability stats and
+  /// differ (the sketch path performs no settle events).
+  bool sketch_hit = false;
   AncestorGraph graph;
   /// Labels that resolved to at least one KG node (others are dropped, as
   /// in the paper's exact-matching pipeline).
@@ -144,6 +189,20 @@ struct LcagResult {
 };
 
 class LcagCache;
+
+/// Optional accelerators threaded through LcagSearch::Find. All three are
+/// result-invariant — they change how fast Algorithms 1-3 run, never what
+/// they return — which is why none of them participates in the cache key.
+struct LcagSearchContext {
+  /// Canonical-key result cache (lcag_cache.h); null skips caching.
+  LcagCache* cache = nullptr;
+  /// Distance sketches (lcag_sketch.h); null (or a sketch miss) runs the
+  /// full search.
+  const LcagSketchIndex* sketch = nullptr;
+  /// Worker pool for LcagOptions::parallel round expansion; null forces
+  /// the sequential oracle path even when `parallel` is set.
+  ThreadPool* pool = nullptr;
+};
 
 /// \brief Algorithm 1: find the Lowest Common Ancestor Graph for a label set.
 class LcagSearch {
@@ -164,6 +223,12 @@ class LcagSearch {
   LcagResult Find(const std::vector<std::string>& labels,
                   const LcagOptions& options, LcagCache* cache) const;
 
+  /// Full entry point: cache, sketch fast path, and parallel expansion as
+  /// configured by `ctx` (each member optional and result-invariant).
+  LcagResult Find(const std::vector<std::string>& labels,
+                  const LcagOptions& options,
+                  const LcagSearchContext& ctx) const;
+
   /// Reference implementation for testing: settles the *entire* graph from
   /// every label and scans all common ancestors. Exponentially safer, much
   /// slower; Theorem 1 says Find() must agree with this on the compactness
@@ -179,7 +244,8 @@ class LcagSearch {
   /// (already resolved) S(l_i) of `resolved_labels[i]`.
   LcagResult FindResolved(std::vector<std::vector<kg::NodeId>> sources,
                           std::vector<std::string> resolved_labels,
-                          const LcagOptions& options) const;
+                          const LcagOptions& options,
+                          const LcagSearchContext& ctx) const;
 
   const kg::KnowledgeGraph* graph_;
   const kg::LabelIndex* index_;

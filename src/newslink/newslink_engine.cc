@@ -134,9 +134,11 @@ NewsLinkEngine::NewsLinkEngine(const kg::KnowledgeGraph* graph,
   text_retriever_.EnableMetrics(registry(), "bow");
   node_retriever_.EnableMetrics(registry(), "bon");
   if (config_.embedder == EmbedderKind::kLcag) {
-    embedder_ = std::make_unique<embed::LcagSegmentEmbedder>(
+    auto lcag = std::make_unique<embed::LcagSegmentEmbedder>(
         graph_, label_index_, config_.lcag, config_.lcag_cache_capacity,
         config_.lcag_cache_shards, registry());
+    lcag_embedder_ = lcag.get();
+    embedder_ = std::move(lcag);
   } else {
     embedder_ = std::make_unique<embed::TreeSegmentEmbedder>(
         graph_, label_index_, config_.tree);
@@ -197,11 +199,33 @@ void NewsLinkEngine::PublishSnapshot() {
   snapshot_ = std::move(ptr);
 }
 
+void NewsLinkEngine::EnsureSketch() {
+  if (!config_.lcag_sketch.enabled || lcag_embedder_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(sketch_build_mu_);
+  if (lcag_embedder_->sketch() != nullptr) return;  // built or loaded already
+  ThreadPool pool(config_.num_threads);
+  InstallSketch(std::make_shared<embed::LcagSketchIndex>(
+      embed::LcagSketchIndex::Build(*graph_, config_.lcag_sketch, &pool)));
+}
+
+void NewsLinkEngine::InstallSketch(
+    std::shared_ptr<const embed::LcagSketchIndex> sketch) {
+  if (lcag_embedder_ != nullptr) lcag_embedder_->SetSketch(std::move(sketch));
+}
+
+std::shared_ptr<const embed::LcagSketchIndex> NewsLinkEngine::InstalledSketch()
+    const {
+  return lcag_embedder_ == nullptr ? nullptr : lcag_embedder_->sketch();
+}
+
 Status NewsLinkEngine::Index(const corpus::Corpus& corpus) {
   if (num_indexed_docs() != 0) {
     return Status::FailedPrecondition(
         "Index requires an empty engine; use AddDocument for live ingestion");
   }
+  // Build the sketches first so the index-time NE workers below already
+  // run on the fast path.
+  EnsureSketch();
   const size_t n = corpus.size();
   std::vector<embed::DocumentEmbedding> embeddings(n);
   std::vector<uint64_t> signatures(config_.reorder_docs ? n : 0);
@@ -277,6 +301,8 @@ Status NewsLinkEngine::IndexWithEmbeddings(
         "IndexWithEmbeddings requires an empty engine; use AddDocument for "
         "live ingestion");
   }
+  // No NE stage here, but the query path still wants the fast path.
+  EnsureSketch();
   const size_t n = corpus.size();
   std::vector<uint32_t> order;
   if (config_.reorder_docs) {
@@ -319,7 +345,9 @@ Status NewsLinkEngine::IndexWithEmbeddings(
 size_t NewsLinkEngine::AddDocument(const corpus::Document& doc) {
   // NLP + NE are the expensive stages; run them before taking the writer
   // lock so concurrent AddDocument callers only serialize on the (cheap)
-  // index appends.
+  // index appends. The sketch build (first ingestion only) also runs
+  // outside the writer lock.
+  EnsureSketch();
   WallTimer timer;
   text::SegmentedDocument segmented = SegmentText(doc.text);
   index_nlp_seconds_->Observe(timer.ElapsedSeconds());
@@ -354,7 +382,10 @@ uint64_t NewsLinkEngine::ConfigFingerprint(const NewsLinkConfig& config) {
   // parameters) is fine, but a different embedder or reduction setting
   // means the persisted embeddings and BON postings are simply wrong for
   // this engine. Wall-clock limits (timeouts) are excluded on purpose —
-  // they bound effort, not output, on any input that completes.
+  // they bound effort, not output, on any input that completes. Execution
+  // strategies with bit-exact results (lcag.parallel, lcag_sketch) are
+  // also excluded: a snapshot carries its own sketches, and embeddings
+  // computed with or without them are identical.
   Fingerprinter fp;
   fp.Add(static_cast<uint64_t>(config.embedder))
       .Add(static_cast<uint64_t>(config.bon_doc_tf_cap))
@@ -414,6 +445,16 @@ Status NewsLinkEngine::SaveSnapshot(const std::string& path) const {
     ByteWriter w;
     ir::SerializeDocMap(doc_map, &w);
     sections.push_back(SnapshotSection{"doc_map", w.TakeBytes()});
+  }
+  // Optional (format v3): persist the LCAG distance sketches so a loading
+  // engine gets the NE fast path without rebuilding it. The codec is
+  // deterministic, so re-saving a loaded snapshot stays byte-identical.
+  if (const std::shared_ptr<const embed::LcagSketchIndex> sketch =
+          InstalledSketch();
+      sketch != nullptr) {
+    ByteWriter w;
+    sketch->Serialize(&w);
+    sections.push_back(SnapshotSection{"lcag_sketch", w.TakeBytes()});
   }
   return WriteSnapshotFile(path, header, sections);
 }
@@ -489,6 +530,18 @@ Status NewsLinkEngine::LoadSnapshot(const std::string& path) {
     NL_RETURN_IF_ERROR(ir::DeserializeDocMap(&r, &doc_map));
     NL_RETURN_IF_ERROR(r.ExpectEnd());
   }
+  embed::LcagSketchIndex sketch;
+  const bool has_sketch = file.Find("lcag_sketch") != nullptr;
+  if (has_sketch) {
+    ByteReader r(file.Find("lcag_sketch")->payload);
+    NL_RETURN_IF_ERROR(embed::LcagSketchIndex::Deserialize(&r, &sketch));
+    NL_RETURN_IF_ERROR(r.ExpectEnd());
+    if (sketch.num_nodes() != graph_->num_nodes()) {
+      return Status::IOError(
+          StrCat("lcag_sketch section covers ", sketch.num_nodes(),
+                 " nodes but the knowledge graph has ", graph_->num_nodes()));
+    }
+  }
 
   // Cross-section consistency: all four artifacts must cover the same
   // documents, and the dictionary must cover every text term.
@@ -532,6 +585,16 @@ Status NewsLinkEngine::LoadSnapshot(const std::string& path) {
   }
   corpus_fingerprint_.store(file.header.corpus_fingerprint,
                             std::memory_order_release);
+  // Like the doc map, sketches are part of the snapshot's state: install
+  // them even when this engine's config did not ask for sketches (they are
+  // result-invariant and only make NE faster). Without a persisted
+  // section, a sketch-enabled engine rebuilds them from the KG.
+  if (has_sketch) {
+    InstallSketch(
+        std::make_shared<embed::LcagSketchIndex>(std::move(sketch)));
+  } else {
+    EnsureSketch();
+  }
   PublishSnapshot();
   return Status::OK();
 }

@@ -95,6 +95,14 @@ struct NewsLinkConfig {
   double beta = 0.2;
   EmbedderKind embedder = EmbedderKind::kLcag;
   embed::LcagOptions lcag;
+  /// LCAG distance sketches (embed/lcag_sketch.h): when enabled, built once
+  /// at bulk-index time (or restored from a snapshot's "lcag_sketch"
+  /// section) and used to answer most entity groups without a graph
+  /// search. Result-invariant — bit-exact vs the full search — so, like
+  /// lcag.parallel, excluded from ConfigFingerprint: a snapshot carries
+  /// its own sketches, and a sketch-free engine may load a sketch-built
+  /// snapshot (and vice versa, rebuilding them on demand).
+  embed::LcagSketchOptions lcag_sketch;
   embed::TreeEmbedOptions tree;
   ir::Bm25Params bm25;
   /// BM25 parameters for the BON (node) index. b defaults to 0 (a large
@@ -307,12 +315,32 @@ class NewsLinkEngine : public baselines::SearchEngine {
   /// writer_mu_, or is the constructor).
   void PublishSnapshot();
 
+  /// Build (once) and install the LCAG sketch index into the LCAG embedder
+  /// when config_.lcag_sketch.enabled and none is installed yet. The
+  /// sketch depends only on the immutable KG — not on the corpus or the
+  /// epoch — so one build stays valid for the engine's lifetime.
+  void EnsureSketch();
+
+  /// Install an already-built sketch (e.g. from a snapshot section) into
+  /// the LCAG embedder; no-op for the TreeEmb baseline.
+  void InstallSketch(std::shared_ptr<const embed::LcagSketchIndex> sketch);
+
+  /// The sketch currently installed in the embedder (nullptr when off or
+  /// when the embedder is the TreeEmb baseline).
+  std::shared_ptr<const embed::LcagSketchIndex> InstalledSketch() const;
+
   const kg::KnowledgeGraph* graph_;
   const kg::LabelIndex* label_index_;
   NewsLinkConfig config_;
 
   text::GazetteerNer ner_;
   std::unique_ptr<embed::SegmentEmbedder> embedder_;
+  /// Non-owning view of embedder_ when it is the LCAG model (nullptr for
+  /// the TreeEmb baseline): the sketch installation point.
+  embed::LcagSegmentEmbedder* lcag_embedder_ = nullptr;
+  /// Serializes EnsureSketch's build-once check (concurrent AddDocument
+  /// callers may race to be the first writer).
+  std::mutex sketch_build_mu_;
   embed::PathExplainer explainer_;
 
   // NS component state. The indexes are append-only and support bounded

@@ -224,6 +224,55 @@ TEST_F(LcagCacheSearchTest, BudgetExhaustedResultsAreCacheable) {
   EXPECT_EQ(cache.hits(), 1u);
 }
 
+TEST_F(LcagCacheSearchTest, TruncatedSmallBudgetEntryNeverServesLargerBudget) {
+  // Regression for the budget-in-key property: max_expansions is part of
+  // the cache key, so a result truncated under a tiny budget must not be
+  // handed to a later search that could afford the full answer.
+  LcagSearch search(&graph_, &index_);
+  LcagCache cache(128);
+  LcagOptions tight;
+  tight.max_expansions = 1;
+  const LcagResult truncated =
+      search.Find({"taliban", "upper dir"}, tight, &cache);
+  ASSERT_TRUE(truncated.budget_exhausted);
+  ASSERT_FALSE(truncated.found);
+  ASSERT_EQ(cache.entries(), 1u);
+
+  // Same labels, default budget: a fresh search (cache miss), full answer.
+  const LcagResult full = search.Find({"taliban", "upper dir"}, {}, &cache);
+  EXPECT_TRUE(full.found);
+  EXPECT_FALSE(full.budget_exhausted);
+  EXPECT_FALSE(full.cache_hit);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.entries(), 2u);  // one entry per budget
+}
+
+TEST_F(LcagCacheSearchTest, AcceleratorKnobsShareCacheEntries) {
+  // parallel / sketch / pool are result-invariant, so they are deliberately
+  // NOT in the key: a sequential miss must serve a parallel lookup.
+  const std::vector<std::vector<kg::NodeId>> sources = {{1, 2}, {5}};
+  const std::vector<std::string> labels = {"a", "b"};
+  LcagOptions sequential;
+  LcagOptions parallel = sequential;
+  parallel.parallel = true;
+  EXPECT_EQ(LcagCacheKey(sources, labels, sequential),
+            LcagCacheKey(sources, labels, parallel));
+
+  LcagSearch search(&graph_, &index_);
+  LcagCache cache(128);
+  const LcagResult miss =
+      search.Find({"taliban", "upper dir"}, sequential, &cache);
+  LcagSearchContext ctx;
+  ctx.cache = &cache;
+  const LcagResult hit = search.Find({"taliban", "upper dir"}, parallel, ctx);
+  ASSERT_TRUE(miss.found);
+  ASSERT_TRUE(hit.found);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.graph.root, miss.graph.root);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
 TEST_F(LcagCacheSearchTest, ConcurrentFindsAreSafeAndConsistent) {
   LcagSearch search(&graph_, &index_);
   LcagCache cache(64, 4);

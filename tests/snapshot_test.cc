@@ -416,6 +416,112 @@ TEST_F(SnapshotTest, ReorderedEngineRoundTripsThroughSnapshot) {
 }
 
 // ---------------------------------------------------------------------------
+// The v3 "lcag_sketch" section (DESIGN.md Sec. 14).
+// ---------------------------------------------------------------------------
+
+TEST_F(SnapshotTest, SketchSnapshotRoundTripsAndResavesByteIdentical) {
+  SharedState& s = State();
+  NewsLinkConfig sketch_config;
+  sketch_config.lcag_sketch.enabled = true;
+  NewsLinkEngine source(&s.world.graph, &s.labels, sketch_config);
+  ASSERT_TRUE(source.Index(s.news.corpus).ok());
+  const std::string path = testing::TempDir() + "snapshot_sketch.snap";
+  ASSERT_TRUE(source.SaveSnapshot(path).ok());
+
+  const Result<SnapshotFile> file = ReadSnapshotFile(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_NE(file->Find("lcag_sketch"), nullptr);
+  // Sketches are result-invariant, so the config fingerprint ignores them:
+  // the sketch snapshot is loadable by a sketch-free engine (and serves
+  // the persisted fast path regardless of that engine's flag).
+  EXPECT_EQ(file->header.config_fingerprint,
+            NewsLinkEngine::ConfigFingerprint(NewsLinkConfig{}));
+
+  NewsLinkEngine plain(&s.world.graph, &s.labels, NewsLinkConfig{});
+  ASSERT_TRUE(plain.LoadSnapshot(path).ok());
+  EXPECT_EQ(plain.num_indexed_docs(), s.news.corpus.size());
+  for (const std::string& query : s.Queries()) {
+    const auto expected = source.Search({query, 10}).hits;
+    const auto actual = plain.Search({query, 10}).hits;
+    ASSERT_EQ(actual.size(), expected.size()) << "query: " << query;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].doc_index, expected[i].doc_index) << "rank " << i;
+      EXPECT_EQ(actual[i].score, expected[i].score) << "rank " << i;
+    }
+  }
+
+  // Byte-identical re-save: the loader installed the persisted sketches
+  // (it did not rebuild them) and the codec is deterministic.
+  const std::string resave = testing::TempDir() + "snapshot_sketch2.snap";
+  ASSERT_TRUE(plain.SaveSnapshot(resave).ok());
+  EXPECT_EQ(ReadFileBytes(resave), ReadFileBytes(path));
+}
+
+TEST_F(SnapshotTest, CorruptSketchSectionIsRejected) {
+  // CRC-clean but semantically broken sketch sections must fail the load
+  // and leave the engine empty (parse-all-then-commit).
+  SharedState& s = State();
+  NewsLinkConfig sketch_config;
+  sketch_config.lcag_sketch.enabled = true;
+  NewsLinkEngine source(&s.world.graph, &s.labels, sketch_config);
+  ASSERT_TRUE(source.Index(s.news.corpus).ok());
+  const std::string path = testing::TempDir() + "snapshot_sketch_bad0.snap";
+  ASSERT_TRUE(source.SaveSnapshot(path).ok());
+  const Result<SnapshotFile> file = ReadSnapshotFile(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  const SnapshotSection* sketch_section = file->Find("lcag_sketch");
+  ASSERT_NE(sketch_section, nullptr);
+
+  const auto rewrite = [&](const std::vector<uint8_t>& payload,
+                           const std::string& out_path) {
+    std::vector<SnapshotSection> sections;
+    for (const SnapshotSection& section : file->sections) {
+      sections.push_back(section.name == "lcag_sketch"
+                             ? SnapshotSection{section.name, payload}
+                             : section);
+    }
+    NL_CHECK(WriteSnapshotFile(out_path, file->header, sections).ok());
+  };
+
+  NewsLinkEngine engine(&s.world.graph, &s.labels, NewsLinkConfig{});
+  const std::string bad = testing::TempDir() + "snapshot_sketch_bad.snap";
+  {
+    // Truncated payload: the codec's declared counts over-promise.
+    std::vector<uint8_t> cut(sketch_section->payload.begin(),
+                             sketch_section->payload.end() - 9);
+    rewrite(cut, bad);
+    EXPECT_FALSE(engine.LoadSnapshot(bad).ok());
+    EXPECT_EQ(engine.num_indexed_docs(), 0u);
+  }
+  {
+    // A VALID sketch over the wrong graph (2 nodes): node-count mismatch.
+    kg::KgBuilder b;
+    b.AddNode("a", kg::EntityType::kGpe);
+    b.AddNode("b", kg::EntityType::kGpe);
+    const kg::KnowledgeGraph tiny = b.Build();
+    ByteWriter out;
+    embed::LcagSketchIndex::Build(tiny, embed::LcagSketchOptions{})
+        .Serialize(&out);
+    rewrite(out.TakeBytes(), bad);
+    const Status status = engine.LoadSnapshot(bad);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(engine.num_indexed_docs(), 0u);
+  }
+  {
+    // Flip one distance sign bit inside an entry: rejected by the range
+    // check even though the section CRC was rewritten to match.
+    std::vector<uint8_t> flipped = sketch_section->payload;
+    flipped[flipped.size() - 1] ^= 0x80;
+    rewrite(flipped, bad);
+    EXPECT_FALSE(engine.LoadSnapshot(bad).ok());
+    EXPECT_EQ(engine.num_indexed_docs(), 0u);
+  }
+  // The engine remains usable and accepts the intact sketch snapshot.
+  ASSERT_TRUE(engine.LoadSnapshot(path).ok());
+  EXPECT_EQ(engine.num_indexed_docs(), s.news.corpus.size());
+}
+
+// ---------------------------------------------------------------------------
 // Hardened readers: embeddings (text + binary) and corpus TSV.
 // ---------------------------------------------------------------------------
 

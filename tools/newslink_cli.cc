@@ -12,7 +12,7 @@
 //       and the explore REPL are built around.
 //
 //   newslink_cli build-index <kg_prefix> <corpus_tsv> <out_snapshot>
-//       [--snapshot IN] [--reorder]
+//       [--snapshot IN] [--reorder] [--sketches]
 //       Build the full engine state over the corpus (the expensive NLP/NE
 //       pipeline) and persist it as a versioned snapshot. With --snapshot,
 //       warm-start from an existing snapshot instead of rebuilding and
@@ -20,7 +20,11 @@
 //       verifies with cmp). --reorder renumbers internal doc ids by SimHash
 //       similarity at build time (better block-max pruning); search results
 //       are identical, and the snapshot records the id map, so serving a
-//       reordered snapshot needs no flag.
+//       reordered snapshot needs no flag. --sketches precomputes the LCAG
+//       distance-sketch index over the KG (persisted as the "lcag_sketch"
+//       section, format v3) so NE answers most entity groups without a
+//       graph search; like --reorder, results are bit-identical and a
+//       sketch snapshot serves without any flag.
 //
 //   newslink_cli search <kg_prefix> <corpus_tsv> <query...> [--beta B]
 //       [--k N] [--explain] [--trace] [--metrics-out FILE] [--snapshot PATH]
@@ -120,7 +124,8 @@ struct Flags {
 
 /// Flags that take no value.
 bool IsBooleanFlag(const std::string& name) {
-  return name == "explain" || name == "trace" || name == "reorder";
+  return name == "explain" || name == "trace" || name == "reorder" ||
+         name == "sketches";
 }
 
 Flags ParseFlags(int argc, char** argv, int first) {
@@ -151,7 +156,7 @@ int Usage() {
       "  newslink_cli generate-corpus <kg_prefix> <out_tsv> [--seed N]\n"
       "               [--stories N] [--preset cnn|kaggle|duediligence]\n"
       "  newslink_cli build-index <kg_prefix> <corpus_tsv> <out_snapshot>\n"
-      "               [--snapshot IN] [--reorder]\n"
+      "               [--snapshot IN] [--reorder] [--sketches]\n"
       "  newslink_cli search <kg_prefix> <corpus_tsv> <query...> [--beta B]\n"
       "               [--k N] [--explain] [--trace] [--metrics-out FILE]\n"
       "               [--snapshot PATH]\n"
@@ -307,6 +312,7 @@ int BuildIndexCmd(const Flags& flags) {
   kg::LabelIndex labels(*graph);
   NewsLinkConfig config;
   config.reorder_docs = flags.Has("reorder");
+  config.lcag_sketch.enabled = flags.Has("sketches");
   NewsLinkEngine engine(&*graph, &labels, config);
   WallTimer timer;
   const int rc = PopulateEngine(&engine, *docs, flags.Get("snapshot", ""));
