@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <span>
 #include <string>
@@ -49,6 +50,24 @@ struct SearchResult {
   double score = 0.0;
 };
 
+/// \brief A publication-time window on search results (DESIGN.md Sec. 15).
+///
+/// Boundary semantics are half-open: a document matches when
+/// `after_ms <= timestamp_ms < before_ms` — inclusive `after`, exclusive
+/// `before` — so adjacent windows tile a stream without overlap or gap.
+/// The defaults admit every representable timestamp.
+struct TimeRange {
+  int64_t after_ms = 0;
+  int64_t before_ms = std::numeric_limits<int64_t>::max();
+
+  bool Contains(int64_t timestamp_ms) const {
+    return timestamp_ms >= after_ms && timestamp_ms < before_ms;
+  }
+  bool operator==(const TimeRange& o) const {
+    return after_ms == o.after_ms && before_ms == o.before_ms;
+  }
+};
+
 /// \brief One query with its per-request parameter overrides.
 ///
 /// Every optional field falls back to the engine's configured default when
@@ -65,6 +84,21 @@ struct SearchRequest {
   std::optional<size_t> rerank_depth;
   /// Score every posting on both sides instead of pruned retrieval.
   std::optional<bool> exhaustive_fusion;
+
+  /// Recency half-life, seconds (DESIGN.md Sec. 15): the fused Eq. 3 score
+  /// is multiplied by 2^(-age / half_life), age measured against the
+  /// snapshot's pinned "now". +infinity sends every decay factor to
+  /// exactly 1.0 (scores bit-identical to no recency); unset falls back to
+  /// the engine's configured default; <= 0 disables decay outright.
+  /// Engines whose corpus carries no timestamps ignore it.
+  std::optional<double> recency_half_life_seconds;
+  /// Publication-time pre-filter, pushed down into posting traversal
+  /// (documents outside the window are never scored). Unset = no filter.
+  std::optional<TimeRange> time_range;
+  /// Override of the decay reference instant (epoch ms). NOT exposed on
+  /// the wire — the serving layer always uses the snapshot's pinned now —
+  /// but tests and benches set it for deterministic decay values.
+  std::optional<int64_t> now_ms;
 
   /// Attach relationship-path explanations to each hit.
   bool explain = false;

@@ -36,7 +36,11 @@ inline constexpr std::string_view kSnapshotMagic = "NLSNAP";
 ///      would silently mis-route hits, so v1 files are stale.
 ///   3: optional LCAG distance-sketch section ("lcag_sketch"); bumped so
 ///      sketch-built deployments never load a pre-sketch file and silently
-///      lose the NE fast path (DESIGN.md Sec. 14).
+///      lose the NE fast path (DESIGN.md Sec. 14). Also carries the
+///      optional per-document "timestamps" section (DESIGN.md Sec. 15) —
+///      optional on read, so no further bump: a file without it loads
+///      with every publication time unknown and recency/window features
+///      cleanly disabled.
 inline constexpr uint16_t kSnapshotFormatVersion = 3;
 
 /// \brief Identity of the artifacts inside a snapshot.

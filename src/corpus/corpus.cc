@@ -12,6 +12,7 @@ uint64_t DocumentFingerprint(const Document& doc) {
   Fingerprinter fp;
   fp.Add(doc.id)
       .Add(static_cast<uint64_t>(doc.story_id))
+      .Add(static_cast<uint64_t>(doc.timestamp_ms))
       .Add(doc.title)
       .Add(doc.text);
   return fp.Digest();

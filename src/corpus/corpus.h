@@ -21,6 +21,12 @@ struct Document {
   /// Ground-truth story (event cluster) id from the generator. Evaluation
   /// harness bookkeeping only — engines never see it.
   uint32_t story_id = 0;
+  /// Publication instant, milliseconds since the Unix epoch. 0 means
+  /// "unknown": such documents never match a time_range filter's lower
+  /// bound semantics specially — they simply carry timestamp 0 — and a
+  /// corpus whose documents are all unset leaves recency ranking disabled
+  /// (DESIGN.md Sec. 15).
+  int64_t timestamp_ms = 0;
 };
 
 /// \brief An ordered collection of documents.
@@ -41,8 +47,9 @@ class Corpus {
   std::vector<Document> docs_;
 };
 
-/// Content fingerprint of one document (FNV-1a over id, story, title,
-/// text). Used to chain the corpus fingerprint stored in engine snapshots.
+/// Content fingerprint of one document (FNV-1a over id, story, timestamp,
+/// title, text). Used to chain the corpus fingerprint stored in engine
+/// snapshots.
 uint64_t DocumentFingerprint(const Document& doc);
 
 /// Fold `doc` into a running corpus fingerprint. Chaining document by

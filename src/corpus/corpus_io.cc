@@ -1,6 +1,7 @@
 #include "corpus/corpus_io.h"
 
 #include <fstream>
+#include <limits>
 
 #include "common/string_util.h"
 
@@ -59,8 +60,8 @@ Status SaveTsv(const Corpus& corpus, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IOError(StrCat("cannot open ", path));
   for (const Document& doc : corpus.docs()) {
-    out << Escape(doc.id) << '\t' << doc.story_id << '\t'
-        << Escape(doc.title) << '\t' << Escape(doc.text) << '\n';
+    out << Escape(doc.id) << '\t' << doc.story_id << '\t' << doc.timestamp_ms
+        << '\t' << Escape(doc.title) << '\t' << Escape(doc.text) << '\n';
   }
   if (!out) return Status::IOError("corpus write failed");
   return Status::OK();
@@ -74,8 +75,9 @@ Result<Corpus> LoadTsv(const std::string& path) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const std::vector<std::string> fields = Split(line, '\t');
-    if (fields.size() != 4) {
-      return Status::IOError(StrCat("malformed corpus line: ", line));
+    if (fields.size() != 5) {
+      return Status::IOError(StrCat("malformed corpus line (want 5 fields, ",
+                                    "got ", fields.size(), "): ", line));
     }
     Document doc;
     doc.id = Unescape(fields[0]);
@@ -83,8 +85,17 @@ Result<Corpus> LoadTsv(const std::string& path) {
       return Status::IOError(
           StrCat("corpus line has bad story id '", fields[1], "': ", line));
     }
-    doc.title = Unescape(fields[2]);
-    doc.text = Unescape(fields[3]);
+    // Timestamps are non-negative epoch-milliseconds that must fit int64;
+    // ParseUint64 already rejects signs, non-digits, and uint64 overflow.
+    uint64_t ts = 0;
+    if (!ParseUint64(fields[2], &ts) ||
+        ts > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+      return Status::IOError(
+          StrCat("corpus line has bad timestamp '", fields[2], "': ", line));
+    }
+    doc.timestamp_ms = static_cast<int64_t>(ts);
+    doc.title = Unescape(fields[3]);
+    doc.text = Unescape(fields[4]);
     corpus.Add(std::move(doc));
   }
   if (in.bad()) return Status::IOError(StrCat("read failed on ", path));

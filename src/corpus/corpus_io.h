@@ -1,6 +1,9 @@
 // Corpus persistence: a one-document-per-line TSV format
-// (id, story_id, title, text — tabs/newlines escaped), so generated
-// corpora can be saved, diffed, and reloaded (or swapped for real data).
+// (id, story_id, timestamp_ms, title, text — tabs/newlines escaped), so
+// generated corpora can be saved, diffed, and reloaded (or swapped for
+// real data). The timestamp column is required: a four-field line (the
+// pre-time format) is a Status, not a silent timestamp of 0, so stale
+// corpora are regenerated instead of quietly losing recency ranking.
 
 #ifndef NEWSLINK_CORPUS_CORPUS_IO_H_
 #define NEWSLINK_CORPUS_CORPUS_IO_H_

@@ -86,6 +86,9 @@ std::vector<kg::NodeId> SyntheticNewsGenerator::BuildCluster(
 SyntheticCorpus SyntheticNewsGenerator::Generate(
     const std::string& id_prefix) {
   Rng rng(config_.seed);
+  // Dedicated stream for timestamp jitter: drawing it from `rng` would
+  // shift every downstream text sample and silently change the corpus.
+  Rng ts_rng(config_.seed ^ 0x74696d657374616dULL);  // "timestam"
   kg::NameForge forge(&rng);
   const kg::KnowledgeGraph& graph = kg_->graph;
   SyntheticCorpus out;
@@ -299,6 +302,16 @@ SyntheticCorpus SyntheticNewsGenerator::Generate(
       doc.title = StrCat(graph.label(story.anchor), " ", topic[0][reg]);
       doc.text = Join(sentences, " ");
       doc.story_id = static_cast<uint32_t>(s);
+      const int64_t jitter =
+          config_.timestamp_jitter_ms > 0
+              ? ts_rng.UniformInt(-config_.timestamp_jitter_ms,
+                                  config_.timestamp_jitter_ms)
+              : 0;
+      doc.timestamp_ms = std::max<int64_t>(
+          1, config_.timestamp_start_ms +
+                 static_cast<int64_t>(out.corpus.size()) *
+                     config_.timestamp_spacing_ms +
+                 jitter);
       out.corpus.Add(std::move(doc));
     }
     out.stories.push_back(std::move(story));

@@ -79,6 +79,18 @@ struct SyntheticNewsConfig {
   /// orbit companies and the agencies investigating them.
   std::string anchor_category;
 
+  /// Publication timestamps: document i (generation order) is stamped
+  ///   timestamp_start_ms + i * timestamp_spacing_ms + jitter,
+  /// jitter uniform in ±timestamp_jitter_ms, clamped to >= 1 — a
+  /// monotone-ish but jittered stream, like a real wire feed. The jitter
+  /// draws come from a SEPARATE seed-derived RNG stream, so enabling or
+  /// re-tuning timestamps never perturbs the generated text (benches and
+  /// golden smokes depend on the text stream). Presets default to ~one
+  /// document per minute starting 2023-11-14.
+  int64_t timestamp_start_ms = 1700000000000;
+  int64_t timestamp_spacing_ms = 60000;
+  int64_t timestamp_jitter_ms = 45000;
+
   /// Zipf-sampled general vocabulary size and exponent. Kept SMALL so
   /// filler words appear in a large fraction of documents and carry low
   /// idf, like common English vocabulary: a single-sentence query must not

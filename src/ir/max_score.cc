@@ -29,7 +29,7 @@ double MaxScoreRetriever::TfBound(uint32_t max_tf, double norm_min) const {
 std::vector<ScoredDoc> MaxScoreRetriever::TopK(
     const TermCounts& query, size_t k, const IndexSnapshot& snapshot,
     size_t* docs_scored, size_t* blocks_skipped,
-    const CollectionStats* collection) const {
+    const CollectionStats* collection, const DocFilter* filter) const {
   size_t scored = 0;
   size_t skipped_blocks = 0;
   const double avgdl =
@@ -135,6 +135,19 @@ std::vector<ScoredDoc> MaxScoreRetriever::TopK(
       }
     }
     if (next == kInvalidDoc) break;
+
+    // Filter pushdown: a rejected candidate is dropped here, before any
+    // scoring — its essential cursors advance past it and `scored` stays
+    // untouched, so the docs_scored counters surface the pruning.
+    if (filter != nullptr && !filter->Accept(next)) {
+      for (size_t t = first_essential; t < terms.size(); ++t) {
+        if (cursor[t] < terms[t].postings.size() &&
+            terms[t].postings[cursor[t]].doc == next) {
+          ++cursor[t];
+        }
+      }
+      continue;
+    }
 
     if (options_.use_block_max) {
       // Block-max check: bound the best score any doc in [next, safe_end]

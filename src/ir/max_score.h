@@ -77,12 +77,18 @@ class MaxScoreRetriever {
   /// collection-wide minimum doc length <= the local one only loosen the
   /// pruning bounds, so the result is still exact. Block-level maxima stay
   /// local (they bound local postings, which is all skipping needs).
+  ///
+  /// With non-null `filter`, rejected candidates are dropped during the
+  /// document-at-a-time traversal: their essential cursors advance without
+  /// any scoring, `docs_scored` does not count them, and the result equals
+  /// the top-k of the accepted documents only. Bound-based skipping stays
+  /// valid — the filter only removes candidates, never raises a score.
   std::vector<ScoredDoc> TopK(const TermCounts& query, size_t k,
                               const IndexSnapshot& snapshot,
                               size_t* docs_scored = nullptr,
                               size_t* blocks_skipped = nullptr,
-                              const CollectionStats* collection = nullptr)
-      const;
+                              const CollectionStats* collection = nullptr,
+                              const DocFilter* filter = nullptr) const;
   std::vector<ScoredDoc> TopK(const TermCounts& query, size_t k,
                               size_t* docs_scored = nullptr,
                               size_t* blocks_skipped = nullptr) const {

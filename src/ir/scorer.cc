@@ -30,7 +30,7 @@ double Bm25Scorer::Idf(TermId term, const IndexSnapshot& snapshot) const {
 
 std::vector<ScoredDoc> Bm25Scorer::ScoreAll(
     const TermCounts& query, const IndexSnapshot& snapshot,
-    const CollectionStats* collection) const {
+    const CollectionStats* collection, const DocFilter* filter) const {
   std::unordered_map<DocId, double> acc;
   const double avgdl =
       collection ? collection->avg_doc_length() : snapshot.avg_doc_length();
@@ -42,6 +42,7 @@ std::vector<ScoredDoc> Bm25Scorer::ScoreAll(
         collection ? collection->df[i] : index_->DocFreq(term, snapshot));
     const double idf = IdfValue(n, df);
     for (const Posting& p : index_->Postings(term, snapshot)) {
+      if (filter != nullptr && !filter->Accept(p.doc)) continue;
       const double dl = static_cast<double>(index_->DocLength(p.doc));
       const double norm =
           params_.k1 * (1.0 - params_.b +

@@ -34,6 +34,27 @@ struct Bm25Params {
   double b = 0.75;
 };
 
+/// \brief Document admission predicate pushed down into retrieval (the
+/// time_range filter of DESIGN.md Sec. 15 travels through this).
+///
+/// A plain function pointer + context instead of std::function or a
+/// virtual: the posting-traversal loops are the hottest code in the
+/// engine, and a direct call through a stable pointer keeps them
+/// branch-predictable. `accept` takes doc ids in the INDEX's id space
+/// (internal ids when the engine reordered documents) and must be a pure
+/// function of snapshot-bounded state for the duration of the query.
+/// Rejected documents are skipped during traversal — never scored, never
+/// counted in docs_scored — so filtering prunes work instead of
+/// truncating an unfiltered top-k.
+struct DocFilter {
+  bool (*accept)(const void* ctx, DocId doc) = nullptr;
+  const void* ctx = nullptr;
+
+  bool Accept(DocId doc) const {
+    return accept == nullptr || accept(ctx, doc);
+  }
+};
+
 /// \brief Collection-level statistics to score with *instead of* the
 /// snapshot's own.
 ///
@@ -87,11 +108,12 @@ class Bm25Scorer {
   /// Query term multiplicity contributes linearly, as in Lucene.
   /// With non-null `collection`, N / avgdl / df come from it (df by query
   /// position) instead of the snapshot; postings and doc lengths are still
-  /// the snapshot's.
+  /// the snapshot's. With non-null `filter`, rejected documents are
+  /// skipped during posting traversal (they never enter an accumulator).
   std::vector<ScoredDoc> ScoreAll(const TermCounts& query,
                                   const IndexSnapshot& snapshot,
-                                  const CollectionStats* collection = nullptr)
-      const;
+                                  const CollectionStats* collection = nullptr,
+                                  const DocFilter* filter = nullptr) const;
   std::vector<ScoredDoc> ScoreAll(const TermCounts& query) const {
     return ScoreAll(query, index_->Capture());
   }

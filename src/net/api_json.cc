@@ -1,6 +1,7 @@
 #include "net/api_json.h"
 
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/string_util.h"
@@ -51,6 +52,100 @@ Status CheckEnvelopeVersion(const json::Value& field) {
   return Status::OK();
 }
 
+/// Epoch-milliseconds wire value: a non-negative integer that JSON's
+/// double numbers carry exactly (at most 2^53 — five orders of magnitude
+/// past any real publication time).
+Result<int64_t> AsEpochMs(const json::Value& v, std::string_view field) {
+  if (v.type() != json::Value::Type::kNumber) {
+    return Status::InvalidArgument(StrCat("\"", field, "\" must be a number"));
+  }
+  const double d = v.AsDouble();
+  if (!(d >= 0) || d != std::floor(d) || d > 9007199254740992.0) {
+    return Status::InvalidArgument(
+        StrCat("\"", field,
+               "\" must be a non-negative integer epoch-milliseconds value "
+               "(at most 2^53)"));
+  }
+  return static_cast<int64_t>(d);
+}
+
+/// {"after_ms"?: int, "before_ms"?: int} — half-open [after, before);
+/// either bound may be omitted (0 / unbounded).
+Result<baselines::TimeRange> TimeRangeFromJson(const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("\"time_range\" must be a JSON object");
+  }
+  baselines::TimeRange range;
+  for (const auto& [key, field] : value.members()) {
+    if (key == "after_ms") {
+      NL_ASSIGN_OR_RETURN(range.after_ms, AsEpochMs(field, key));
+    } else if (key == "before_ms") {
+      NL_ASSIGN_OR_RETURN(range.before_ms, AsEpochMs(field, key));
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown time_range field: \"", key, "\""));
+    }
+  }
+  if (range.after_ms >= range.before_ms) {
+    return Status::InvalidArgument(
+        "\"time_range\" must satisfy after_ms < before_ms (the window is "
+        "half-open [after_ms, before_ms))");
+  }
+  return range;
+}
+
+/// The grouped "ranking" object of the current request shape.
+Status RankingFromJson(const json::Value& value,
+                       baselines::SearchRequest* request) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("\"ranking\" must be a JSON object");
+  }
+  for (const auto& [key, field] : value.members()) {
+    if (key == "beta") {
+      if (field.type() != json::Value::Type::kNumber) {
+        return Status::InvalidArgument("\"ranking.beta\" must be a number");
+      }
+      request->beta = field.AsDouble();
+    } else if (key == "rerank_depth") {
+      NL_ASSIGN_OR_RETURN(const size_t depth, AsSize(field, key));
+      request->rerank_depth = depth;
+    } else if (key == "exhaustive") {
+      NL_ASSIGN_OR_RETURN(const bool flag, AsBoolStrict(field, key));
+      request->exhaustive_fusion = flag;
+    } else if (key == "recency_half_life_s") {
+      if (field.type() != json::Value::Type::kNumber ||
+          !(field.AsDouble() >= 0)) {
+        return Status::InvalidArgument(
+            "\"ranking.recency_half_life_s\" must be a non-negative number");
+      }
+      request->recency_half_life_seconds = field.AsDouble();
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown ranking field: \"", key, "\""));
+    }
+  }
+  return Status::OK();
+}
+
+/// The "filter" object (currently just "time_range").
+Status FilterFromJson(const json::Value& value,
+                      std::optional<baselines::TimeRange>* time_range) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("\"filter\" must be a JSON object");
+  }
+  for (const auto& [key, field] : value.members()) {
+    if (key == "time_range") {
+      NL_ASSIGN_OR_RETURN(const baselines::TimeRange range,
+                          TimeRangeFromJson(field));
+      *time_range = range;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown filter field: \"", key, "\""));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<json::Value> DecodeEnvelope(std::string_view body) {
@@ -97,23 +192,38 @@ Result<baselines::SearchRequest> SearchRequestFromJson(
   }
   baselines::SearchRequest request;
   bool have_query = false;
+  bool have_ranking = false;
+  // First deprecated flat alias seen — a request mixing the legacy flat
+  // ranking fields with a "ranking" object is ambiguous and rejected.
+  const char* legacy_alias = nullptr;
   for (const auto& [key, field] : value.members()) {
     if (key == "query") {
       NL_ASSIGN_OR_RETURN(request.query, AsStringStrict(field, key));
       have_query = true;
     } else if (key == "k") {
       NL_ASSIGN_OR_RETURN(request.k, AsSize(field, key));
+    } else if (key == "ranking") {
+      NL_RETURN_IF_ERROR(RankingFromJson(field, &request));
+      have_ranking = true;
+    } else if (key == "filter") {
+      NL_RETURN_IF_ERROR(FilterFromJson(field, &request.time_range));
     } else if (key == "beta") {
+      // DEPRECATED alias of "ranking.beta".
       if (field.type() != json::Value::Type::kNumber) {
         return Status::InvalidArgument("\"beta\" must be a number");
       }
       request.beta = field.AsDouble();
+      legacy_alias = "beta";
     } else if (key == "rerank_depth") {
+      // DEPRECATED alias of "ranking.rerank_depth".
       NL_ASSIGN_OR_RETURN(size_t depth, AsSize(field, key));
       request.rerank_depth = depth;
+      legacy_alias = "rerank_depth";
     } else if (key == "exhaustive_fusion") {
+      // DEPRECATED alias of "ranking.exhaustive".
       NL_ASSIGN_OR_RETURN(bool flag, AsBoolStrict(field, key));
       request.exhaustive_fusion = flag;
+      legacy_alias = "exhaustive_fusion";
     } else if (key == "explain") {
       NL_ASSIGN_OR_RETURN(request.explain, AsBoolStrict(field, key));
     } else if (key == "max_paths") {
@@ -133,6 +243,12 @@ Result<baselines::SearchRequest> SearchRequestFromJson(
       return Status::InvalidArgument(
           StrCat("unknown search request field: \"", key, "\""));
     }
+  }
+  if (have_ranking && legacy_alias != nullptr) {
+    return Status::InvalidArgument(
+        StrCat("\"", legacy_alias,
+               "\" is a deprecated alias of the \"ranking\" object; a "
+               "request must use one shape, not both"));
   }
   if (!have_query || request.query.empty()) {
     return Status::InvalidArgument("\"query\" is required and must be non-empty");
@@ -232,6 +348,8 @@ Result<corpus::Document> DocumentFromJson(const json::Value& value) {
     } else if (key == "story_id") {
       NL_ASSIGN_OR_RETURN(size_t story, AsSize(field, key));
       doc.story_id = static_cast<uint32_t>(story);
+    } else if (key == "timestamp_ms") {
+      NL_ASSIGN_OR_RETURN(doc.timestamp_ms, AsEpochMs(field, key));
     } else if (key == "api_version") {
       NL_RETURN_IF_ERROR(CheckEnvelopeVersion(field));
     } else {
@@ -269,6 +387,8 @@ Result<ExploreRpcRequest> ExploreRequestFromJson(const json::Value& value) {
             "\"deadline_seconds\" must be a positive number");
       }
       request.deadline_seconds = field.AsDouble();
+    } else if (key == "filter") {
+      NL_RETURN_IF_ERROR(FilterFromJson(field, &request.time_range));
     } else if (key == "session") {
       NL_ASSIGN_OR_RETURN(request.session, AsStringStrict(field, key));
     } else if (key == "drill") {
@@ -458,6 +578,27 @@ json::Value ShardQueryToJson(const ShardQuery& query) {
   out.Set("use_bon", json::Value::Bool(query.use_bon));
   out.Set("kprime", json::Value::Uint(query.kprime));
   out.Set("exhaustive", json::Value::Bool(query.exhaustive));
+  // Time fields (v2). Bounds ride only when real: JSON numbers are
+  // doubles, so "unbounded" travels as absence, not as INT64_MAX. An
+  // infinite half-life decays by exactly 1.0 everywhere, so it travels as
+  // "no decay" — same scores, and JSON cannot carry infinities anyway.
+  if (query.has_time_range) {
+    out.Set("has_time_range", json::Value::Bool(true));
+    if (query.after_ms > 0) {
+      out.Set("after_ms",
+              json::Value::Uint(static_cast<uint64_t>(query.after_ms)));
+    }
+    if (query.before_ms != std::numeric_limits<int64_t>::max()) {
+      out.Set("before_ms",
+              json::Value::Uint(static_cast<uint64_t>(query.before_ms)));
+    }
+  }
+  if (query.recency_half_life_s > 0 &&
+      std::isfinite(query.recency_half_life_s)) {
+    out.Set("recency_half_life_s",
+            json::Value::Number(query.recency_half_life_s));
+    out.Set("now_ms", json::Value::Uint(static_cast<uint64_t>(query.now_ms)));
+  }
   return out;
 }
 
@@ -504,6 +645,22 @@ Result<ShardQuery> ShardQueryFromJson(const json::Value& value) {
       NL_ASSIGN_OR_RETURN(query.kprime, AsU64(field, key));
     } else if (key == "exhaustive") {
       NL_ASSIGN_OR_RETURN(query.exhaustive, AsBoolStrict(field, key));
+    } else if (key == "has_time_range") {
+      NL_ASSIGN_OR_RETURN(query.has_time_range, AsBoolStrict(field, key));
+    } else if (key == "after_ms") {
+      NL_ASSIGN_OR_RETURN(query.after_ms, AsEpochMs(field, key));
+    } else if (key == "before_ms") {
+      NL_ASSIGN_OR_RETURN(query.before_ms, AsEpochMs(field, key));
+    } else if (key == "recency_half_life_s") {
+      NL_ASSIGN_OR_RETURN(const double half_life,
+                          AsNumberStrict(field, key));
+      if (!(half_life >= 0)) {
+        return Status::InvalidArgument(
+            "\"recency_half_life_s\" must be a non-negative number");
+      }
+      query.recency_half_life_s = half_life;
+    } else if (key == "now_ms") {
+      NL_ASSIGN_OR_RETURN(query.now_ms, AsEpochMs(field, key));
     } else {
       return Status::InvalidArgument(
           StrCat("unknown shard query field: \"", key, "\""));
@@ -527,6 +684,7 @@ void StatsToJson(const Stats& stats, json::Value* out) {
   out->Set("node_df", U64VectorToJson(stats.node_df));
   out->Set("text_max_tf", U32VectorToJson(stats.text_max_tf));
   out->Set("node_max_tf", U32VectorToJson(stats.node_max_tf));
+  out->Set("has_timestamps", json::Value::Bool(stats.has_timestamps));
 }
 
 /// Decode one statistics field into `stats`; true when `key` was one.
@@ -553,6 +711,8 @@ Result<bool> StatsFieldFromJson(std::string_view key,
     NL_ASSIGN_OR_RETURN(stats->text_max_tf, U32VectorFromJson(field, key));
   } else if (key == "node_max_tf") {
     NL_ASSIGN_OR_RETURN(stats->node_max_tf, U32VectorFromJson(field, key));
+  } else if (key == "has_timestamps") {
+    NL_ASSIGN_OR_RETURN(stats->has_timestamps, AsBoolStrict(field, key));
   } else {
     return false;
   }
@@ -723,11 +883,12 @@ json::Value ShardSearchResponseToJson(const ShardSearchRpcResponse& response) {
   out.Set("bon_scored", json::Value::Uint(response.result.bon_scored));
   json::Value candidates = json::Value::Array();
   for (const ShardCandidate& c : response.result.candidates) {
-    json::Value triple = json::Value::Array();
-    triple.Append(json::Value::Uint(c.doc));
-    triple.Append(json::Value::Number(c.bow));
-    triple.Append(json::Value::Number(c.bon));
-    candidates.Append(std::move(triple));
+    json::Value quad = json::Value::Array();
+    quad.Append(json::Value::Uint(c.doc));
+    quad.Append(json::Value::Number(c.bow));
+    quad.Append(json::Value::Number(c.bon));
+    quad.Append(json::Value::Uint(static_cast<uint64_t>(c.ts)));
+    candidates.Append(std::move(quad));
   }
   out.Set("candidates", std::move(candidates));
   return out;
@@ -766,15 +927,17 @@ Result<ShardSearchRpcResponse> ShardSearchResponseFromJson(
       }
       response.result.candidates.reserve(field.size());
       for (const json::Value& item : field.items()) {
-        if (!item.is_array() || item.size() != 3) {
+        if (!item.is_array() || item.size() != 4) {
           return Status::InvalidArgument(
-              "\"candidates\" entries must be [doc, bow, bon] triples");
+              "\"candidates\" entries must be [doc, bow, bon, ts] "
+              "quadruples");
         }
         ShardCandidate c;
         NL_ASSIGN_OR_RETURN(const uint64_t doc, AsU64(item.at(0), key));
         c.doc = static_cast<uint32_t>(doc);
         NL_ASSIGN_OR_RETURN(c.bow, AsNumberStrict(item.at(1), key));
         NL_ASSIGN_OR_RETURN(c.bon, AsNumberStrict(item.at(2), key));
+        NL_ASSIGN_OR_RETURN(c.ts, AsEpochMs(item.at(3), key));
         response.result.candidates.push_back(c);
       }
     } else {

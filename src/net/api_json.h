@@ -54,12 +54,23 @@ inline constexpr uint64_t kApiVersion = 1;
 /// codecs, which all understand "api_version".
 Result<json::Value> DecodeEnvelope(std::string_view body);
 
-/// Decode one search request object:
-///   {"query": "...", "k": 10, "beta": 0.6, "rerank_depth": 50,
-///    "exhaustive_fusion": false, "explain": true, "max_paths": 5,
-///    "trace": false, "deadline_seconds": 0.2, "api_version": 1}
+/// Decode one search request object. The current shape groups the ranking
+/// knobs and the result filters (DESIGN.md Sec. 15):
+///   {"query": "...", "k": 10,
+///    "ranking": {"beta": 0.6, "rerank_depth": 50, "exhaustive": false,
+///                "recency_half_life_s": 86400},
+///    "filter": {"time_range": {"after_ms": 0, "before_ms": 0}},
+///    "explain": true, "max_paths": 5, "trace": false,
+///    "deadline_seconds": 0.2, "api_version": 1}
 /// Only "query" is required; everything else falls back to the engine's
-/// defaults. Unknown fields and wrong types are InvalidArgument.
+/// defaults. "time_range" is half-open [after_ms, before_ms): inclusive
+/// after, exclusive before; either bound may be omitted.
+///
+/// DEPRECATED aliases: the pre-grouping flat fields "beta",
+/// "rerank_depth", and "exhaustive_fusion" are still accepted so existing
+/// clients keep working, but mixing any of them with a "ranking" object in
+/// one request is InvalidArgument (400) — a request speaks exactly one
+/// shape. Unknown fields and wrong types are InvalidArgument.
 Result<baselines::SearchRequest> SearchRequestFromJson(
     const json::Value& value);
 
@@ -88,10 +99,11 @@ json::Value SearchResponseToJson(const baselines::SearchResponse& response,
 
 /// Decode one document for live ingestion:
 ///   {"id": "...", "title": "...", "text": "...", "story_id": 0,
-///    "api_version": 1}
+///    "timestamp_ms": 1700000000000, "api_version": 1}
 /// "text" is required and must be non-empty; "id" defaults to a
-/// server-assigned value when empty/absent; unknown fields are
-/// InvalidArgument.
+/// server-assigned value when empty/absent; "timestamp_ms" (publication
+/// time, epoch ms) defaults to the server's ingestion wall clock when
+/// absent or 0; unknown fields are InvalidArgument.
 Result<corpus::Document> DocumentFromJson(const json::Value& value);
 
 /// Span tree as a json::Value (mirrors TraceSpan::ToJson's shape:
@@ -102,17 +114,21 @@ json::Value TraceSpanToJson(const TraceSpan& span);
 
 /// \brief POST /v1/explore body. Exactly one mode:
 ///   start:      {"query": "...", "k"?: 50, "beta"?: 0.6,
+///                "filter"?: {"time_range": {...}},
 ///                "deadline_seconds"?: 0.2}
 ///   drill-down: {"session": "x1", "drill": <node id>}
 ///   roll-up:    {"session": "x1", "up": true}
 ///   refresh:    {"session": "x1"}
 /// plus the optional "api_version" every /v1 codec takes. "drill" and
-/// "up" require "session" and exclude each other and "query".
+/// "up" require "session" and exclude each other and "query". The start
+/// mode's "filter" mirrors /v1/search: the whole session explores the
+/// time-windowed result set.
 struct ExploreRpcRequest {
   std::string query;  // non-empty = start a session
   size_t k = 0;       // 0 = the explore engine's configured default
   std::optional<double> beta;
   std::optional<double> deadline_seconds;
+  std::optional<baselines::TimeRange> time_range;
 
   std::string session;  // non-empty = navigate an existing session
   bool has_drill = false;

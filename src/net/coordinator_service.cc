@@ -122,6 +122,9 @@ baselines::SearchResponse CoordinatorService::Search(
     const ShardQuery shard_query =
         prep_->PrepareShardQuery(request, query_embedding);
 
+    // Whether any answering shard holds real timestamps (drives the merge's
+    // recency decay); re-derived per round with the rest of the merged plan.
+    bool collection_has_timestamps = false;
     // A shard whose epoch moves between PLAN and SEARCH answers 409; the
     // whole round restarts once, because its new statistics change the
     // collection-wide view every other shard scored with.
@@ -156,6 +159,7 @@ baselines::SearchResponse CoordinatorService::Search(
         }
       }
       if (planned == 0) break;
+      collection_has_timestamps = global.has_timestamps;
 
       std::atomic<bool> epoch_moved{false};
       pool_.ParallelFor(n, [&](size_t s) {
@@ -198,6 +202,9 @@ baselines::SearchResponse CoordinatorService::Search(
     fuse.use_bow = shard_query.use_bow;
     fuse.use_bon = shard_query.use_bon;
     fuse.k = k;
+    fuse.recency_half_life_s = shard_query.recency_half_life_s;
+    fuse.now_ms = shard_query.now_ms;
+    fuse.has_timestamps = collection_has_timestamps;
     std::vector<const ShardSearchResult*> ptrs(n);
     for (size_t s = 0; s < n; ++s) ptrs[s] = results[s].get();
     // Round-robin partition: shard s's local row l is global row l*n + s.

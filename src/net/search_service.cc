@@ -1,5 +1,6 @@
 #include "net/search_service.h"
 
+#include <chrono>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -149,6 +150,10 @@ HttpResponse SearchService::HandleExplore(const HttpRequest& request) {
       search.k = decoded->k;  // 0 = the explore engine's default
       search.beta = decoded->beta;
       search.deadline_seconds = decoded->deadline_seconds;
+      // The session explores the time-windowed result set: the filter
+      // rides the underlying search, so every bucket and drill-down view
+      // is cut from window-admitted documents only.
+      search.time_range = decoded->time_range;
       return explore_->StartSession(search);
     }
     if (decoded->has_drill) {
@@ -179,6 +184,15 @@ HttpResponse SearchService::HandleAddDocument(const HttpRequest& request) {
     // publishes the epoch that can return this doc_index.
     std::unique_lock<std::shared_mutex> lock(corpus_mu_);
     if (doc.id.empty()) doc.id = StrCat("live-", corpus_->size());
+    // A streamed document without an explicit publication time is "news
+    // breaking now": stamp the ingestion wall clock so recency ranking and
+    // time-range search see it immediately.
+    if (doc.timestamp_ms == 0) {
+      doc.timestamp_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count();
+    }
     corpus_->Add(doc);
     doc_index = engine_->AddDocument(doc);
   }

@@ -1,6 +1,7 @@
 #include "newslink/newslink_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <set>
 #include <unordered_map>
@@ -75,6 +76,29 @@ ir::TermCounts QueryBonCounts(const embed::DocumentEmbedding& query_embedding,
   }
   return counts;
 }
+
+/// Wall clock, epoch milliseconds — captured once per published epoch
+/// ("now" pinning): every query of an epoch sees the same reference
+/// instant, so concurrent queries agree on every document's age.
+int64_t WallNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// DocFilter context for the time_range pushdown: accepts internal doc
+/// ids whose stored timestamp falls in [after_ms, before_ms). The store
+/// reference stays valid for the engine's lifetime and snapshot-bounded
+/// ids are always published entries.
+struct TimeFilterCtx {
+  const ir::AppendOnlyStore<int64_t>* timestamps;
+  baselines::TimeRange range;
+
+  static bool Accept(const void* ctx, ir::DocId doc) {
+    const auto* c = static_cast<const TimeFilterCtx*>(ctx);
+    return c->range.Contains(c->timestamps->At(doc));
+  }
+};
 
 }  // namespace
 
@@ -183,6 +207,8 @@ void NewsLinkEngine::PublishSnapshot() {
   NL_DCHECK(snap->text.num_docs == snap->node.num_docs)
       << "both index sides must cover the same documents";
   snap->num_docs = snap->text.num_docs;
+  snap->has_timestamps = has_timestamps_;
+  snap->now_ms = WallNowMs();
   current_epoch_->Set(static_cast<double>(snap->epoch));
   indexed_docs_->Set(static_cast<double>(snap->num_docs));
   // The deleter may run on whichever thread drops the last reference; the
@@ -264,6 +290,8 @@ Status NewsLinkEngine::Index(const corpus::Corpus& corpus) {
     node_index_.AddDocument(
         BonCounts(embeddings[e], config_.bon_doc_tf_cap));
     doc_embeddings_.Append(std::move(embeddings[e]));
+    timestamps_.Append(corpus.doc(e).timestamp_ms);
+    if (corpus.doc(e).timestamp_ms != 0) has_timestamps_ = true;
     internal_to_external_.Append(static_cast<uint32_t>(e));
     index_ns_seconds_->Observe(timer.ElapsedSeconds());
   }
@@ -321,6 +349,8 @@ Status NewsLinkEngine::IndexWithEmbeddings(
     node_index_.AddDocument(
         BonCounts(embeddings[e], config_.bon_doc_tf_cap));
     doc_embeddings_.Append(std::move(embeddings[e]));
+    timestamps_.Append(corpus.doc(e).timestamp_ms);
+    if (corpus.doc(e).timestamp_ms != 0) has_timestamps_ = true;
     internal_to_external_.Append(static_cast<uint32_t>(e));
     index_ns_seconds_->Observe(timer.ElapsedSeconds());
   }
@@ -363,6 +393,8 @@ size_t NewsLinkEngine::AddDocument(const corpus::Document& doc) {
       ir::TextVectorizer::CountsForIndexing(doc.text, &text_dict_));
   node_index_.AddDocument(BonCounts(embedding, config_.bon_doc_tf_cap));
   doc_embeddings_.Append(std::move(embedding));
+  timestamps_.Append(doc.timestamp_ms);
+  if (doc.timestamp_ms != 0) has_timestamps_ = true;
   // Incremental docs keep internal == external (reordering is a bulk-index
   // pass); both maps grow in lockstep with the indexes.
   internal_to_external_.Append(static_cast<uint32_t>(index));
@@ -445,6 +477,18 @@ Status NewsLinkEngine::SaveSnapshot(const std::string& path) const {
     ByteWriter w;
     ir::SerializeDocMap(doc_map, &w);
     sections.push_back(SnapshotSection{"doc_map", w.TakeBytes()});
+  }
+  // Optional (format v3): per-document publication timestamps, internal
+  // order, count-prefixed. Written unconditionally by this engine version;
+  // pre-time snapshots simply lack the section and load with recency
+  // disabled (timestamps read as 0 / unknown).
+  {
+    ByteWriter w;
+    w.WriteU64(static_cast<uint64_t>(timestamps_.size()));
+    for (size_t i = 0; i < timestamps_.size(); ++i) {
+      w.WriteU64(static_cast<uint64_t>(timestamps_.At(i)));
+    }
+    sections.push_back(SnapshotSection{"timestamps", w.TakeBytes()});
   }
   // Optional (format v3): persist the LCAG distance sketches so a loading
   // engine gets the NE fast path without rebuilding it. The codec is
@@ -530,6 +574,30 @@ Status NewsLinkEngine::LoadSnapshot(const std::string& path) {
     NL_RETURN_IF_ERROR(ir::DeserializeDocMap(&r, &doc_map));
     NL_RETURN_IF_ERROR(r.ExpectEnd());
   }
+  // Optional section: pre-time snapshots carry no timestamps. They load as
+  // all-unknown (zeros keep the store in lockstep with the other per-doc
+  // artifacts for later AddDocument), leaving recency decay disabled.
+  std::vector<int64_t> timestamps;
+  if (const SnapshotSection* ts_section = file.Find("timestamps");
+      ts_section != nullptr) {
+    ByteReader r(ts_section->payload);
+    uint64_t count = 0;
+    NL_RETURN_IF_ERROR(r.ReadU64(&count));
+    if (count != file.header.num_docs) {
+      return Status::IOError(
+          StrCat("timestamps section covers ", count,
+                 " documents but the snapshot holds ", file.header.num_docs));
+    }
+    timestamps.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t bits = 0;
+      NL_RETURN_IF_ERROR(r.ReadU64(&bits));
+      timestamps.push_back(static_cast<int64_t>(bits));
+    }
+    NL_RETURN_IF_ERROR(r.ExpectEnd());
+  } else {
+    timestamps.assign(file.header.num_docs, 0);
+  }
   embed::LcagSketchIndex sketch;
   const bool has_sketch = file.Find("lcag_sketch") != nullptr;
   if (has_sketch) {
@@ -573,6 +641,10 @@ Status NewsLinkEngine::LoadSnapshot(const std::string& path) {
   }
   for (embed::DocumentEmbedding& e : embeddings) {
     doc_embeddings_.Append(std::move(e));
+  }
+  for (const int64_t ts : timestamps) {
+    timestamps_.Append(ts);
+    if (ts != 0) has_timestamps_ = true;
   }
   // Restore the doc-id map exactly as written (not recomputed): a snapshot
   // built with reordering keeps its clustered layout — and its byte-
@@ -629,6 +701,8 @@ baselines::SearchResponse NewsLinkEngine::Search(
   const size_t rerank_depth = request.rerank_depth.value_or(config_.rerank_depth);
   const bool exhaustive =
       request.exhaustive_fusion.value_or(config_.exhaustive_fusion);
+  const double recency_half_life_s = request.recency_half_life_seconds.value_or(
+      config_.recency_half_life_seconds);
   const size_t k = request.k;
 
   // Per-request deadline (best-effort degradation): checked at stage
@@ -698,25 +772,42 @@ baselines::SearchResponse NewsLinkEngine::Search(
           QueryBonCounts(query_embedding, config_.bon_query_source_weight);
     }
 
+    // Publication-time pre-filter, pushed into the posting traversal on
+    // both sides: documents outside [after_ms, before_ms) are never scored
+    // (the docs-scored counters show the pruning).
+    TimeFilterCtx time_ctx{&timestamps_, {}};
+    ir::DocFilter time_filter;
+    const ir::DocFilter* filter = nullptr;
+    if (request.time_range.has_value()) {
+      time_ctx.range = *request.time_range;
+      time_filter.accept = &TimeFilterCtx::Accept;
+      time_filter.ctx = &time_ctx;
+      filter = &time_filter;
+      query_trace.Note("time_range", StrCat("[", time_ctx.range.after_ms, ",",
+                                            time_ctx.range.before_ms, ")"));
+    }
+
     std::vector<ir::ScoredDoc> bow;
     std::vector<ir::ScoredDoc> bon;
     size_t bow_scored = 0;
     size_t bon_scored = 0;
     if (exhaustive) {
       if (use_bow) {
-        bow = text_scorer_.ScoreAll(bow_query, snap->text);
+        bow = text_scorer_.ScoreAll(bow_query, snap->text, nullptr, filter);
         bow_scored = bow.size();
       }
       if (use_bon) {
-        bon = node_scorer_.ScoreAll(bon_query, snap->node);
+        bon = node_scorer_.ScoreAll(bon_query, snap->node, nullptr, filter);
         bon_scored = bon.size();
       }
     } else {
       if (use_bow) {
-        bow = text_retriever_.TopK(bow_query, kprime, snap->text, &bow_scored);
+        bow = text_retriever_.TopK(bow_query, kprime, snap->text, &bow_scored,
+                                   nullptr, nullptr, filter);
       }
       if (use_bon) {
-        bon = node_retriever_.TopK(bon_query, kprime, snap->node, &bon_scored);
+        bon = node_retriever_.TopK(bon_query, kprime, snap->node, &bon_scored,
+                                   nullptr, nullptr, filter);
       }
     }
 
@@ -771,6 +862,18 @@ baselines::SearchResponse NewsLinkEngine::Search(
     bon_docs_scored_->Inc(bon_scored);
     query_trace.Note("bow_scored", std::to_string(bow_scored));
     query_trace.Note("bon_scored", std::to_string(bon_scored));
+
+    // Recency prior (DESIGN.md Sec. 15): fuse first, then multiply each
+    // candidate's fused score by its time decay. "Now" is pinned to the
+    // snapshot (every query of an epoch agrees on ages); the request-level
+    // override exists for deterministic tests. A timestamp-free collection
+    // never decays — bit-identical to the pre-time engine.
+    if (snap->has_timestamps && recency_half_life_s > 0.0) {
+      const int64_t now = request.now_ms.value_or(snap->now_ms);
+      for (auto& [doc, score] : fused) {
+        score *= RecencyDecay(timestamps_.At(doc), now, recency_half_life_s);
+      }
+    }
 
     ir::TopKHeap heap(k);
     for (const auto& [doc, score] : fused) {
@@ -870,6 +973,16 @@ ShardQuery NewsLinkEngine::PrepareShardQuery(
     query.node_terms =
         QueryBonCounts(query_embedding, config_.bon_query_source_weight);
   }
+  // Time knobs, resolved ONCE here so every shard and the merge agree on
+  // the window, the half-life, and — crucially — one "now" instant.
+  if (request.time_range.has_value()) {
+    query.has_time_range = true;
+    query.after_ms = request.time_range->after_ms;
+    query.before_ms = request.time_range->before_ms;
+  }
+  query.recency_half_life_s = request.recency_half_life_seconds.value_or(
+      config_.recency_half_life_seconds);
+  query.now_ms = request.now_ms.value_or(WallNowMs());
   return query;
 }
 
@@ -885,6 +998,7 @@ ShardPlan NewsLinkEngine::PlanShard(const ShardQuery& query,
   plan.node_total_length = snap->node.total_length;
   plan.text_min_doc_length = text_index_.MinDocLength();
   plan.node_min_doc_length = node_index_.MinDocLength();
+  plan.has_timestamps = snap->has_timestamps;
   if (query.use_bow) {
     plan.text_df.reserve(query.text_stems.size());
     plan.text_max_tf.reserve(query.text_stems.size());
@@ -951,27 +1065,40 @@ ShardSearchResult NewsLinkEngine::SearchShard(const ShardQuery& query,
   }
   const ir::TermCounts& bon_query = query.node_terms;
 
+  // Same pushed-down time pre-filter as the single-engine path: documents
+  // outside the window never become candidates on any shard.
+  TimeFilterCtx time_ctx{&timestamps_, {}};
+  ir::DocFilter time_filter;
+  const ir::DocFilter* filter = nullptr;
+  if (query.has_time_range) {
+    time_ctx.range =
+        baselines::TimeRange{query.after_ms, query.before_ms};
+    time_filter.accept = &TimeFilterCtx::Accept;
+    time_filter.ctx = &time_ctx;
+    filter = &time_filter;
+  }
+
   std::vector<ir::ScoredDoc> bow;
   std::vector<ir::ScoredDoc> bon;
   size_t bow_scored = 0;
   size_t bon_scored = 0;
   if (query.exhaustive) {
     if (query.use_bow) {
-      bow = text_scorer_.ScoreAll(bow_query, snap->text, &bow_stats);
+      bow = text_scorer_.ScoreAll(bow_query, snap->text, &bow_stats, filter);
       bow_scored = bow.size();
     }
     if (query.use_bon) {
-      bon = node_scorer_.ScoreAll(bon_query, snap->node, &bon_stats);
+      bon = node_scorer_.ScoreAll(bon_query, snap->node, &bon_stats, filter);
       bon_scored = bon.size();
     }
   } else {
     if (query.use_bow) {
       bow = text_retriever_.TopK(bow_query, query.kprime, snap->text,
-                                 &bow_scored, nullptr, &bow_stats);
+                                 &bow_scored, nullptr, &bow_stats, filter);
     }
     if (query.use_bon) {
       bon = node_retriever_.TopK(bon_query, query.kprime, snap->node,
-                                 &bon_scored, nullptr, &bon_stats);
+                                 &bon_scored, nullptr, &bon_stats, filter);
     }
   }
 
@@ -1016,8 +1143,10 @@ ShardSearchResult NewsLinkEngine::SearchShard(const ShardQuery& query,
 
   out.candidates.reserve(acc.size());
   for (const auto& [doc, c] : acc) {
+    // The timestamp rides along (read by INTERNAL id, before translation)
+    // so the coordinator's decayed merge never calls back into a shard.
     out.candidates.push_back(ShardCandidate{
-        internal_to_external_.At(doc), c.bow, c.bon});
+        internal_to_external_.At(doc), c.bow, c.bon, timestamps_.At(doc)});
   }
   // Deterministic wire order (and the merge tie-break speaks corpus rows).
   std::sort(out.candidates.begin(), out.candidates.end(),

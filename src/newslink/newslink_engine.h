@@ -134,6 +134,14 @@ struct NewsLinkConfig {
   /// of MaxScore top-k' retrieval + union rescoring (overridable per
   /// request).
   bool exhaustive_fusion = false;
+  /// Default recency half-life, seconds (DESIGN.md Sec. 15): fused scores
+  /// are multiplied by 2^(-age / half_life) against the snapshot's pinned
+  /// "now". 0 (the default) disables decay; +infinity runs the decay path
+  /// with a factor of exactly 1.0 (bit-identical scores). Per-query values
+  /// travel in SearchRequest::recency_half_life_seconds. Query-side only,
+  /// so excluded from ConfigFingerprint; a corpus without timestamps keeps
+  /// recency disabled regardless of this value.
+  double recency_half_life_seconds = 0.0;
   /// Entry capacity of the LCAG result cache shared by the index-time
   /// workers and the query path (0 disables caching).
   size_t lcag_cache_capacity = 4096;
@@ -288,6 +296,12 @@ class NewsLinkEngine : public baselines::SearchEngine {
   }
   size_t num_indexed_docs() const { return doc_embeddings_.size(); }
 
+  /// Publication timestamp of an indexed document, by corpus row number
+  /// (same addressing rules as doc_embedding). 0 = unknown.
+  int64_t doc_timestamp_ms(size_t i) const {
+    return timestamps_.At(external_to_internal_.At(i));
+  }
+
   /// Fraction of indexed documents with a non-empty embedding (the paper
   /// reports 96.3% / 91.2% corpus coverage). Evaluated over the current
   /// epoch.
@@ -305,6 +319,15 @@ class NewsLinkEngine : public baselines::SearchEngine {
     ir::IndexSnapshot text;
     ir::IndexSnapshot node;
     size_t num_docs = 0;  // == text.num_docs == node.num_docs
+    /// True once any indexed document carried a non-zero timestamp (or a
+    /// loaded snapshot's timestamps section had one). False — e.g. for a
+    /// pre-time snapshot without the section — leaves recency decay
+    /// disabled for every query of this epoch.
+    bool has_timestamps = false;
+    /// Wall-clock instant this epoch was published (epoch ms): the decay
+    /// reference shared by every query of the epoch, so concurrent queries
+    /// agree on every document's age ("now" pinning, DESIGN.md Sec. 15).
+    int64_t now_ms = 0;
   };
 
   /// Current epoch for a query; the shared_ptr keeps it alive until the
@@ -354,6 +377,15 @@ class NewsLinkEngine : public baselines::SearchEngine {
   ir::MaxScoreRetriever text_retriever_;
   ir::MaxScoreRetriever node_retriever_;
   ir::AppendOnlyStore<embed::DocumentEmbedding> doc_embeddings_;
+  /// Publication timestamps in INTERNAL id order, appended in lockstep
+  /// with doc_embeddings_ (one entry per indexed document, 0 = unknown).
+  /// Snapshot-bounded reads are safe under concurrent append, so the
+  /// time_range filter and recency decay read it lock-free.
+  ir::AppendOnlyStore<int64_t> timestamps_;
+  /// Monotone: set once any appended document carries a non-zero
+  /// timestamp. Written under writer_mu_; copied into every published
+  /// EngineSnapshot (queries read it from there, never directly).
+  bool has_timestamps_ = false;
 
   // Doc-id permutation from the reordering pass (identity when
   // config_.reorder_docs is off). Internal ids order postings and

@@ -28,7 +28,10 @@
 #ifndef NEWSLINK_NEWSLINK_SHARD_API_H_
 #define NEWSLINK_NEWSLINK_SHARD_API_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,8 +44,26 @@ namespace newslink {
 /// Version of the shard RPC surface (requests and responses carry it as
 /// `api_version`). Bump on ANY wire-visible change to the structs below —
 /// mismatched peers must fail loudly (FailedPrecondition → 409), never
-/// drift silently.
-inline constexpr uint64_t kShardApiVersion = 1;
+/// drift silently. History:
+///   1: initial two-phase plan/search protocol.
+///   2: time-aware search — ShardQuery carries the resolved time_range /
+///      recency knobs, plans report has_timestamps, and every candidate
+///      carries its timestamp so the coordinator's decayed merge matches
+///      a single time-aware engine (DESIGN.md Sec. 15).
+inline constexpr uint64_t kShardApiVersion = 2;
+
+/// Multiplicative recency decay (DESIGN.md Sec. 15): 2^(-age / half_life),
+/// age clamped at 0 (documents "from the future" are treated as current).
+/// Defined inline here — the single arithmetic both NewsLinkEngine::Search
+/// and the coordinator merge apply, so distributed fusion stays
+/// bit-identical. half_life = +infinity yields exactly 1.0 (multiplying by
+/// it is an IEEE identity, the basis of the decay-off exactness property).
+inline double RecencyDecay(int64_t timestamp_ms, int64_t now_ms,
+                           double half_life_seconds) {
+  const double age_ms =
+      static_cast<double>(std::max<int64_t>(0, now_ms - timestamp_ms));
+  return std::exp2(-age_ms / (half_life_seconds * 1000.0));
+}
 
 /// \brief A query in shard-portable form: what to retrieve, prepared once
 /// by the coordinator (NLP + NER + query embedding run once, not N times).
@@ -63,6 +84,19 @@ struct ShardQuery {
   uint64_t kprime = 64;
   /// Exactness oracle: score every posting instead of MaxScore top-k'.
   bool exhaustive = false;
+
+  // Time-aware fields (v2), resolved ONCE by the coordinator so every
+  // shard and the merge agree on the window, half-life, and "now".
+  /// Publication-time pre-filter [after_ms, before_ms) pushed into each
+  /// shard's posting traversal when set.
+  bool has_time_range = false;
+  int64_t after_ms = 0;
+  int64_t before_ms = std::numeric_limits<int64_t>::max();
+  /// Recency half-life, seconds (<= 0 = decay off; +inf = decay path with
+  /// factor 1.0). Applied by the coordinator at merge time.
+  double recency_half_life_s = 0.0;
+  /// Decay reference instant, epoch ms (meaningful when half-life > 0).
+  int64_t now_ms = 0;
 };
 
 /// \brief Phase-1 answer: one shard's collection statistics for the query,
@@ -80,6 +114,9 @@ struct ShardPlan {
   std::vector<uint64_t> node_df;
   std::vector<uint32_t> text_max_tf;
   std::vector<uint32_t> node_max_tf;
+  /// Whether any of this shard's documents carries a real timestamp (a
+  /// collection statistic: the merge only decays when some shard has one).
+  bool has_timestamps = false;
 };
 
 /// \brief Collection-wide statistics: ShardPlans merged over all shards
@@ -94,6 +131,8 @@ struct ShardGlobalStats {
   std::vector<uint64_t> node_df;
   std::vector<uint32_t> text_max_tf;
   std::vector<uint32_t> node_max_tf;
+  /// OR over the shards' has_timestamps.
+  bool has_timestamps = false;
 };
 
 /// Fold one shard's plan into the running collection statistics (counts
@@ -107,6 +146,9 @@ struct ShardCandidate {
   uint32_t doc = 0;
   double bow = 0.0;
   double bon = 0.0;
+  /// Publication timestamp (epoch ms, 0 = unknown): the input the merge's
+  /// recency decay needs, so it never has to call back into a shard.
+  int64_t ts = 0;
 };
 
 /// \brief Phase-2 answer: one shard's candidate union with raw per-side

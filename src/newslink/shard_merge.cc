@@ -37,6 +37,7 @@ void MergeShardPlan(const ShardPlan& plan, ShardGlobalStats* out) {
   };
   fold(plan.text_df, plan.text_max_tf, &out->text_df, &out->text_max_tf);
   fold(plan.node_df, plan.node_max_tf, &out->node_df, &out->node_max_tf);
+  out->has_timestamps = out->has_timestamps || plan.has_timestamps;
 }
 
 std::vector<ir::ScoredDoc> MergeShardCandidates(
@@ -61,6 +62,8 @@ std::vector<ir::ScoredDoc> MergeShardCandidates(
   // added in a fixed order (IEEE addition of two terms is commutative, so
   // this matches the engine's membership-dependent accumulation order
   // bit-for-bit).
+  const bool decay =
+      params.has_timestamps && params.recency_half_life_s > 0.0;
   ir::TopKHeap heap(params.k);
   for (size_t s = 0; s < shards.size(); ++s) {
     if (shards[s] == nullptr) continue;
@@ -68,6 +71,11 @@ std::vector<ir::ScoredDoc> MergeShardCandidates(
       double fused = 0.0;
       if (params.use_bow) fused += (1.0 - params.beta) * (c.bow / bow_max);
       if (params.use_bon) fused += params.beta * (c.bon / bon_max);
+      // Same decay arithmetic — and the same fuse-then-multiply order — as
+      // NewsLinkEngine::Search, so the distributed result stays bit-exact.
+      if (decay) {
+        fused *= RecencyDecay(c.ts, params.now_ms, params.recency_half_life_s);
+      }
       heap.Push(ir::ScoredDoc{to_global(s, c.doc), fused});
     }
   }

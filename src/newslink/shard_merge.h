@@ -23,6 +23,14 @@ struct ShardFuseParams {
   bool use_bow = true;
   bool use_bon = false;
   size_t k = 10;
+  /// Recency decay inputs (DESIGN.md Sec. 15). Decay multiplies each
+  /// candidate's fused score by RecencyDecay(ts, now_ms, half_life) — but
+  /// only when recency_half_life_s > 0 AND has_timestamps (from the merged
+  /// plan): a timestamp-free collection must score bit-identically to the
+  /// pre-time engine.
+  double recency_half_life_s = 0.0;
+  int64_t now_ms = 0;
+  bool has_timestamps = false;
 };
 
 /// Fuse every answering shard's candidates (Eq. 3 with per-side max

@@ -257,6 +257,9 @@ baselines::SearchResponse ShardedEngine::SearchWithPins(
     fuse.use_bow = shard_query.use_bow;
     fuse.use_bon = shard_query.use_bon;
     fuse.k = k;
+    fuse.recency_half_life_s = shard_query.recency_half_life_s;
+    fuse.now_ms = shard_query.now_ms;
+    fuse.has_timestamps = global.has_timestamps;
     std::vector<const ShardSearchResult*> ptrs(n_shards);
     for (size_t s = 0; s < n_shards; ++s) ptrs[s] = &results[s];
     const std::vector<ir::ScoredDoc> merged = MergeShardCandidates(

@@ -2,6 +2,7 @@
 // corpus TSV persistence.
 
 #include <filesystem>
+#include <fstream>
 #include <limits>
 
 #include <gtest/gtest.h>
@@ -114,6 +115,74 @@ TEST(CorpusIoTest, EmptyCorpusRoundTrips) {
   Result<corpus::Corpus> loaded = corpus::LoadTsv(path);
   ASSERT_TRUE(loaded.ok());
   EXPECT_TRUE(loaded->empty());
+}
+
+namespace {
+
+std::string CorpusTempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void WriteRawTsv(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+}  // namespace
+
+TEST(CorpusIoTest, RoundTripPreservesTimestamps) {
+  corpus::Corpus c;
+  c.Add({"t-0", "Unknown time", "Body.", 0, 0});
+  c.Add({"t-1", "Epoch-ish", "Body.", 0, 1});
+  c.Add({"t-2", "Recent", "Body.", 1, 1700000000000});
+  c.Add({"t-3", "Far future", "Body.", 1,
+         std::numeric_limits<int64_t>::max()});
+
+  const std::string path = CorpusTempPath("nl_corpus_ts.tsv");
+  ASSERT_TRUE(corpus::SaveTsv(c, path).ok());
+  Result<corpus::Corpus> loaded = corpus::LoadTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), c.size());
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(loaded->doc(i).timestamp_ms, c.doc(i).timestamp_ms) << i;
+  }
+}
+
+TEST(CorpusIoTest, RejectsPreTimeFourFieldLines) {
+  // The pre-time format (no timestamp column) must be a loud Status, not a
+  // silent timestamp of 0 (DESIGN.md Sec. 15).
+  const std::string path = CorpusTempPath("nl_corpus_4field.tsv");
+  WriteRawTsv(path, "d1\t0\tTitle\tBody\n");
+  const Result<corpus::Corpus> loaded = corpus::LoadTsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+  EXPECT_NE(loaded.status().ToString().find("want 5 fields"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(CorpusIoTest, RejectsBadTimestamps) {
+  const std::string path = CorpusTempPath("nl_corpus_badts.tsv");
+  const char* bad_timestamps[] = {
+      "-5",                    // negative
+      "12x",                   // trailing junk
+      "",                      // empty column
+      "9223372036854775808",   // int64 max + 1
+      "18446744073709551616",  // uint64 overflow
+  };
+  for (const char* ts : bad_timestamps) {
+    WriteRawTsv(path, std::string("d1\t0\t") + ts + "\tTitle\tBody\n");
+    const Result<corpus::Corpus> loaded = corpus::LoadTsv(path);
+    ASSERT_FALSE(loaded.ok()) << "timestamp '" << ts << "' accepted";
+    EXPECT_NE(loaded.status().ToString().find("bad timestamp"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+  // Largest representable instant still loads.
+  WriteRawTsv(path, "d1\t0\t9223372036854775807\tTitle\tBody\n");
+  const Result<corpus::Corpus> ok = corpus::LoadTsv(path);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->doc(0).timestamp_ms, std::numeric_limits<int64_t>::max());
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 // with exhaustive TAAT scoring (including tie order), plus evidence that
 // pruning actually skips work.
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -274,6 +276,95 @@ TEST(MaxScoreTest, BlockMaxHandlesPartialTailBlock) {
   const TermCounts query = {{0, 1}, {3, 2}, {8, 1}};
   ExpectSameTopK(retriever.TopK(query, 7),
                  SelectTopK(scorer.ScoreAll(query), 7));
+}
+
+namespace {
+
+/// Parity filter used by the DocFilter tests: ctx points at a DocId
+/// modulus; only documents with doc % modulus == 0 are accepted.
+bool AcceptMultiplesOf(const void* ctx, DocId doc) {
+  return doc % *static_cast<const DocId*>(ctx) == 0;
+}
+
+}  // namespace
+
+TEST(MaxScoreTest, DocFilterMatchesPostHocFilteredExhaustive) {
+  // The pushed-down filter must select exactly the documents a post-hoc
+  // filter of the exhaustive ranking would keep — pruning, not truncating
+  // an unfiltered top-k.
+  for (const uint64_t seed : {81u, 82u, 83u}) {
+    InvertedIndex index = MakeRandomIndex(seed, 300, 150, 25);
+    Bm25Scorer scorer(&index);
+    MaxScoreRetriever retriever(&index);
+    Rng rng(seed * 53 + 3);
+    const DocId modulus = 3;
+    const DocFilter filter{&AcceptMultiplesOf, &modulus};
+
+    for (int trial = 0; trial < 10; ++trial) {
+      TermCounts query;
+      std::set<TermId> used;
+      const size_t num_terms = 1 + rng.Uniform(6);
+      while (query.size() < num_terms) {
+        const TermId t = static_cast<TermId>(rng.Uniform(150));
+        if (used.insert(t).second) {
+          query.push_back({t, 1 + static_cast<uint32_t>(rng.Uniform(3))});
+        }
+      }
+      std::sort(query.begin(), query.end());
+      const size_t k = 1 + rng.Uniform(20);
+      const IndexSnapshot snapshot = index.Capture();
+
+      std::vector<ScoredDoc> reference = scorer.ScoreAll(query, snapshot);
+      reference.erase(std::remove_if(reference.begin(), reference.end(),
+                                     [&](const ScoredDoc& s) {
+                                       return s.doc % modulus != 0;
+                                     }),
+                      reference.end());
+      const auto expected = SelectTopK(reference, k);
+
+      const auto pruned =
+          retriever.TopK(query, k, snapshot, nullptr, nullptr, nullptr,
+                         &filter);
+      ExpectSameTopK(pruned, expected);
+      for (const ScoredDoc& s : pruned) {
+        EXPECT_EQ(s.doc % modulus, 0u);
+      }
+
+      // TAAT with the same pushed-down filter agrees too.
+      const auto taat =
+          SelectTopK(scorer.ScoreAll(query, snapshot, nullptr, &filter), k);
+      ExpectSameTopK(taat, expected);
+    }
+  }
+}
+
+TEST(MaxScoreTest, DocFilterPrunesScoringWork) {
+  InvertedIndex index = MakeRandomIndex(91, 400, 60, 20);
+  MaxScoreRetriever retriever(&index);
+  const TermCounts query = {{0, 1}, {1, 1}, {2, 1}};
+  const IndexSnapshot snapshot = index.Capture();
+
+  size_t unfiltered_scored = 0;
+  (void)retriever.TopK(query, 10, snapshot, &unfiltered_scored);
+
+  const DocId modulus = 4;
+  const DocFilter filter{&AcceptMultiplesOf, &modulus};
+  size_t filtered_scored = 0;
+  (void)retriever.TopK(query, 10, snapshot, &filtered_scored, nullptr,
+                       nullptr, &filter);
+  ASSERT_GT(unfiltered_scored, 0u);
+  EXPECT_LT(filtered_scored, unfiltered_scored)
+      << "rejected documents must never be scored";
+}
+
+TEST(MaxScoreTest, DocFilterRejectingEverythingYieldsEmpty) {
+  InvertedIndex index = MakeRandomIndex(92, 50, 40, 15);
+  MaxScoreRetriever retriever(&index);
+  const DocFilter reject_all{
+      [](const void*, DocId) { return false; }, nullptr};
+  const auto top = retriever.TopK({{0, 1}, {1, 1}}, 10, index.Capture(),
+                                  nullptr, nullptr, nullptr, &reject_all);
+  EXPECT_TRUE(top.empty());
 }
 
 TEST(MaxScoreTest, WithBonStyleParams) {

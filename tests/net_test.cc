@@ -3,6 +3,7 @@
 // that must produce 4xx/5xx verdicts — never a crash), the response
 // serializer, the Status → HTTP mapping, and the /v1 JSON codecs.
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -299,6 +300,85 @@ TEST(ApiJsonTest, SearchRequestRejectsBadInput) {
                    .ok());
 }
 
+TEST(ApiJsonTest, SearchRequestDecodesGroupedRankingAndFilter) {
+  const Result<baselines::SearchRequest> r = SearchRequestFromJson(
+      MustParseJson("{\"query\":\"berlin\",\"k\":3,"
+                    "\"ranking\":{\"beta\":0.4,\"rerank_depth\":50,"
+                    "\"exhaustive\":true,\"recency_half_life_s\":7200},"
+                    "\"filter\":{\"time_range\":"
+                    "{\"after_ms\":1000,\"before_ms\":2000}}}"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->beta.has_value());
+  EXPECT_DOUBLE_EQ(*r->beta, 0.4);
+  ASSERT_TRUE(r->rerank_depth.has_value());
+  EXPECT_EQ(*r->rerank_depth, 50u);
+  ASSERT_TRUE(r->exhaustive_fusion.has_value());
+  EXPECT_TRUE(*r->exhaustive_fusion);
+  ASSERT_TRUE(r->recency_half_life_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*r->recency_half_life_seconds, 7200.0);
+  ASSERT_TRUE(r->time_range.has_value());
+  EXPECT_EQ(r->time_range->after_ms, 1000);
+  EXPECT_EQ(r->time_range->before_ms, 2000);
+
+  // Either window bound may be omitted: absence means unbounded.
+  const Result<baselines::SearchRequest> open = SearchRequestFromJson(
+      MustParseJson("{\"query\":\"q\",\"filter\":"
+                    "{\"time_range\":{\"after_ms\":5}}}"));
+  ASSERT_TRUE(open.ok());
+  ASSERT_TRUE(open->time_range.has_value());
+  EXPECT_EQ(open->time_range->after_ms, 5);
+  EXPECT_EQ(open->time_range->before_ms,
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(ApiJsonTest, SearchRequestRejectsMixedLegacyAndGroupedShapes) {
+  // Each legacy flat alias still decodes on its own...
+  for (const char* flat :
+       {"\"beta\":0.5", "\"rerank_depth\":25", "\"exhaustive_fusion\":true"}) {
+    const std::string alone =
+        std::string("{\"query\":\"q\",") + flat + "}";
+    EXPECT_TRUE(SearchRequestFromJson(MustParseJson(alone)).ok()) << alone;
+
+    // ...but mixing it with the grouped object is ambiguous: 400 with a
+    // message that names the deprecated alias.
+    const std::string mixed = std::string("{\"query\":\"q\",") + flat +
+                              ",\"ranking\":{\"beta\":0.5}}";
+    const Result<baselines::SearchRequest> r =
+        SearchRequestFromJson(MustParseJson(mixed));
+    ASSERT_FALSE(r.ok()) << mixed;
+    EXPECT_TRUE(r.status().IsInvalidArgument());
+    EXPECT_NE(r.status().ToString().find("deprecated alias"),
+              std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+TEST(ApiJsonTest, TimeRangeValidation) {
+  auto parse_range = [](const std::string& range_json) {
+    return SearchRequestFromJson(MustParseJson(
+        "{\"query\":\"q\",\"filter\":{\"time_range\":" + range_json + "}}"));
+  };
+  // Degenerate or inverted windows are rejected: the window is half-open,
+  // so after_ms == before_ms can never match anything.
+  EXPECT_FALSE(parse_range("{\"after_ms\":5,\"before_ms\":5}").ok());
+  EXPECT_FALSE(parse_range("{\"after_ms\":9,\"before_ms\":5}").ok());
+  // Values JSON doubles cannot carry exactly (> 2^53) are rejected.
+  EXPECT_FALSE(parse_range("{\"after_ms\":9007199254740994}").ok());
+  EXPECT_FALSE(parse_range("{\"after_ms\":-1}").ok());
+  EXPECT_FALSE(parse_range("{\"after_ms\":1.5}").ok());
+  EXPECT_FALSE(parse_range("{\"after\":1}").ok());  // unknown field
+  EXPECT_FALSE(parse_range("[]").ok());
+  // Unknown filter members fail loudly too.
+  EXPECT_FALSE(SearchRequestFromJson(
+                   MustParseJson("{\"query\":\"q\",\"filter\":{\"tr\":{}}}"))
+                   .ok());
+  // recency_half_life_s must be non-negative.
+  EXPECT_FALSE(SearchRequestFromJson(
+                   MustParseJson("{\"query\":\"q\",\"ranking\":"
+                                 "{\"recency_half_life_s\":-1}}"))
+                   .ok());
+}
+
 TEST(ApiJsonTest, DocumentDecodesAndRejects) {
   const Result<corpus::Document> doc = DocumentFromJson(MustParseJson(
       "{\"id\":\"d1\",\"title\":\"T\",\"text\":\"body\",\"story_id\":7}"));
@@ -312,6 +392,26 @@ TEST(ApiJsonTest, DocumentDecodesAndRejects) {
   EXPECT_FALSE(DocumentFromJson(MustParseJson("{\"text\":\"\"}")).ok());
   EXPECT_FALSE(
       DocumentFromJson(MustParseJson("{\"text\":\"x\",\"extra\":1}")).ok());
+}
+
+TEST(ApiJsonTest, DocumentCarriesTimestamp) {
+  const Result<corpus::Document> doc = DocumentFromJson(MustParseJson(
+      "{\"text\":\"body\",\"timestamp_ms\":1700000000000}"));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->timestamp_ms, 1700000000000);
+
+  // Absent timestamp decodes as 0 ("unknown"), never an error.
+  const Result<corpus::Document> bare =
+      DocumentFromJson(MustParseJson("{\"text\":\"body\"}"));
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->timestamp_ms, 0);
+
+  EXPECT_FALSE(DocumentFromJson(
+                   MustParseJson("{\"text\":\"x\",\"timestamp_ms\":-1}"))
+                   .ok());
+  EXPECT_FALSE(DocumentFromJson(
+                   MustParseJson("{\"text\":\"x\",\"timestamp_ms\":1.25}"))
+                   .ok());
 }
 
 TEST(ApiJsonTest, SearchResponseEncodesHitsAndTimings) {

@@ -2,7 +2,9 @@
 // explained search, timing instrumentation, TreeEmb mode.
 
 #include <algorithm>
+#include <limits>
 #include <map>
+#include <set>
 
 #include <gtest/gtest.h>
 
@@ -11,6 +13,7 @@
 #include "kg/label_index.h"
 #include "kg/synthetic_kg.h"
 #include "newslink/newslink_engine.h"
+#include "newslink/shard_api.h"
 
 namespace newslink {
 namespace {
@@ -399,6 +402,193 @@ TEST_F(NewsLinkEngineTest, DeterministicAcrossRuns) {
   for (size_t i = 0; i < ra.size(); ++i) {
     EXPECT_EQ(ra[i].doc_index, rb[i].doc_index);
     EXPECT_DOUBLE_EQ(ra[i].score, rb[i].score);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Time-aware search (DESIGN.md Sec. 15): time_range pushdown + recency decay
+// ---------------------------------------------------------------------------
+
+TEST_F(NewsLinkEngineTest, TimeRangeBoundariesAreHalfOpen) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
+  const size_t target = 4;
+  const int64_t t = corpus_.corpus.doc(target).timestamp_ms;
+  ASSERT_GT(t, 0);
+
+  auto search_in = [&](baselines::TimeRange range) {
+    baselines::SearchRequest req;
+    req.query = FirstSentenceOf(target);
+    req.k = corpus_.corpus.size();
+    req.time_range = range;
+    return engine.Search(req).hits;
+  };
+  auto contains_target = [&](const std::vector<baselines::SearchHit>& hits) {
+    return std::any_of(hits.begin(), hits.end(),
+                       [&](const baselines::SearchHit& h) {
+                         return h.doc_index == target;
+                       });
+  };
+
+  // The window is [after_ms, before_ms): a timestamp equal to after_ms is
+  // inside, one equal to before_ms is outside.
+  EXPECT_TRUE(contains_target(search_in({t, t + 1})));
+  EXPECT_FALSE(contains_target(search_in({t + 1,
+                                          std::numeric_limits<int64_t>::max()})));
+  EXPECT_FALSE(contains_target(search_in({0, t})));
+  EXPECT_TRUE(contains_target(
+      search_in({t, std::numeric_limits<int64_t>::max()})));
+
+  // Every hit of a windowed search carries an in-window timestamp.
+  for (const baselines::SearchHit& h : search_in({t, t + 1})) {
+    EXPECT_EQ(corpus_.corpus.doc(h.doc_index).timestamp_ms, t);
+  }
+}
+
+TEST_F(NewsLinkEngineTest, TimeRangePushdownMatchesPostHocExhaustiveFilter) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
+  const size_t n = corpus_.corpus.size();
+
+  int64_t t_min = std::numeric_limits<int64_t>::max(), t_max = 0;
+  for (const corpus::Document& d : corpus_.corpus.docs()) {
+    t_min = std::min(t_min, d.timestamp_ms);
+    t_max = std::max(t_max, d.timestamp_ms);
+  }
+  const int64_t quarter = (t_max - t_min) / 4;
+  const std::vector<baselines::TimeRange> windows = {
+      {t_min + quarter, t_min + 3 * quarter},
+      {t_min, t_min + quarter},
+      {t_min + 3 * quarter, std::numeric_limits<int64_t>::max()},
+  };
+
+  for (size_t d = 0; d < 6; ++d) {
+    const std::string q = FirstSentenceOf(d * 3);
+    baselines::SearchRequest unfiltered;
+    unfiltered.query = q;
+    unfiltered.k = n;
+    unfiltered.exhaustive_fusion = true;
+    const auto all_hits = engine.Search(unfiltered).hits;
+
+    for (const baselines::TimeRange& window : windows) {
+      // Reference: the exhaustive unfiltered ranking, filtered post hoc.
+      // Normalization bases can differ, so the property is doc-SET
+      // equality (which documents survive), not score equality.
+      std::set<size_t> expected;
+      for (const baselines::SearchHit& h : all_hits) {
+        if (window.Contains(corpus_.corpus.doc(h.doc_index).timestamp_ms)) {
+          expected.insert(h.doc_index);
+        }
+      }
+
+      baselines::SearchRequest exact;
+      exact.query = q;
+      exact.k = n;
+      exact.exhaustive_fusion = true;
+      exact.time_range = window;
+      const auto exact_hits = engine.Search(exact).hits;
+      std::set<size_t> got;
+      for (const baselines::SearchHit& h : exact_hits) {
+        got.insert(h.doc_index);
+      }
+      EXPECT_EQ(got, expected) << q;
+
+      // And the pruned path agrees with the exhaustive oracle under the
+      // same window: same document set, scores within the usual DAAT/TAAT
+      // summation-order tolerance.
+      baselines::SearchRequest pruned = exact;
+      pruned.exhaustive_fusion = false;
+      const auto pruned_hits = engine.Search(pruned).hits;
+      ASSERT_EQ(pruned_hits.size(), exact_hits.size()) << q;
+      std::map<size_t, double> exact_scores;
+      for (const baselines::SearchHit& h : exact_hits) {
+        exact_scores[h.doc_index] = h.score;
+      }
+      for (const baselines::SearchHit& h : pruned_hits) {
+        const auto it = exact_scores.find(h.doc_index);
+        ASSERT_NE(it, exact_scores.end()) << "doc " << h.doc_index;
+        EXPECT_NEAR(h.score, it->second, 1e-9) << "doc " << h.doc_index;
+      }
+    }
+  }
+}
+
+TEST_F(NewsLinkEngineTest, InfiniteHalfLifeIsBitExactWithRecencyDisabled) {
+  // +infinity decays every score by exactly 1.0, an IEEE identity — so the
+  // recency code path must reproduce the no-recency ranking bit for bit,
+  // with and without doc-id reordering, before and after an epoch change.
+  for (const bool reorder : {false, true}) {
+    NewsLinkConfig config;
+    config.beta = 0.2;
+    config.num_threads = 2;
+    config.reorder_docs = reorder;
+    NewsLinkEngine engine(&kg_.graph, &index_, config);
+    ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
+
+    auto expect_bit_exact = [&]() {
+      for (size_t d = 0; d < 5; ++d) {
+        baselines::SearchRequest plain;
+        plain.query = FirstSentenceOf(d);
+        plain.k = 10;
+        baselines::SearchRequest inf = plain;
+        inf.recency_half_life_seconds =
+            std::numeric_limits<double>::infinity();
+        const auto a = engine.Search(plain).hits;
+        const auto b = engine.Search(inf).hits;
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+          EXPECT_EQ(b[i].doc_index, a[i].doc_index) << "reorder " << reorder;
+          EXPECT_EQ(b[i].score, a[i].score) << "reorder " << reorder;
+        }
+      }
+    };
+    expect_bit_exact();
+
+    // A live append publishes a new epoch; the identity must survive it.
+    corpus::Document doc = corpus_.corpus.doc(2);
+    doc.id = "live-epoch-bump";
+    engine.AddDocument(doc);
+    expect_bit_exact();
+  }
+}
+
+TEST_F(NewsLinkEngineTest, RecencyDecayMultipliesFusedScoresExactly) {
+  NewsLinkEngine engine = MakeEngine(0.2);
+  ASSERT_TRUE(engine.Index(corpus_.corpus).ok());
+  const size_t n = corpus_.corpus.size();
+
+  int64_t t_max = 0;
+  for (const corpus::Document& d : corpus_.corpus.docs()) {
+    t_max = std::max(t_max, d.timestamp_ms);
+  }
+  const int64_t now = t_max + 1000;
+  const double half_life_s = 6 * 3600.0;
+
+  for (size_t d = 0; d < 5; ++d) {
+    baselines::SearchRequest base;
+    base.query = FirstSentenceOf(d * 2);
+    base.k = n;
+    base.exhaustive_fusion = true;
+    const auto undecayed = engine.Search(base).hits;
+    std::map<size_t, double> base_score;
+    for (const baselines::SearchHit& h : undecayed) {
+      base_score[h.doc_index] = h.score;
+    }
+
+    baselines::SearchRequest decayed = base;
+    decayed.recency_half_life_seconds = half_life_s;
+    decayed.now_ms = now;
+    const auto hits = engine.Search(decayed).hits;
+    ASSERT_EQ(hits.size(), undecayed.size());
+    for (const baselines::SearchHit& h : hits) {
+      const auto it = base_score.find(h.doc_index);
+      ASSERT_NE(it, base_score.end());
+      const double expected =
+          it->second * RecencyDecay(corpus_.corpus.doc(h.doc_index).timestamp_ms,
+                                    now, half_life_s);
+      EXPECT_EQ(h.score, expected) << "doc " << h.doc_index;
+      EXPECT_LE(h.score, it->second);  // decay only ever shrinks scores
+    }
   }
 }
 

@@ -9,7 +9,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -266,6 +268,160 @@ TEST_F(ServerTest, IngestPublishesNewEpochAndDocBecomesVisible) {
   const json::Value search = JsonBodyOf(
       Request(server_->port(), "POST", "/v1/search", probe.Dump()));
   EXPECT_EQ(search.Find("snapshot_docs")->AsUint(), docs_before + 1);
+}
+
+TEST_F(ServerTest, TimeAwareSearchShapesOverSockets) {
+  StartServer();
+  const uint16_t port = server_->port();
+
+  int64_t t_min = std::numeric_limits<int64_t>::max(), t_max = 0;
+  for (const corpus::Document& d : corpus_.docs()) {
+    t_min = std::min(t_min, d.timestamp_ms);
+    t_max = std::max(t_max, d.timestamp_ms);
+  }
+  ASSERT_GT(t_min, 0);
+  const baselines::TimeRange window{t_min, (t_min + t_max) / 2};
+
+  // Grouped shape: ranking + filter objects. Must agree bit-exactly with
+  // the in-process engine under the same knobs ("now" is pinned to the
+  // snapshot, so wire and in-process recency decay agree).
+  baselines::SearchRequest reference;
+  reference.query = QueryFor(2);
+  reference.k = 8;
+  reference.beta = 0.3;
+  reference.recency_half_life_seconds = 6 * 3600.0;
+  reference.time_range = window;
+  const baselines::SearchResponse expected = engine_->Search(reference);
+
+  json::Value ranking = json::Value::Object();
+  ranking.Set("beta", json::Value::Number(0.3));
+  ranking.Set("recency_half_life_s", json::Value::Number(6 * 3600.0));
+  json::Value time_range = json::Value::Object();
+  time_range.Set("after_ms",
+                 json::Value::Uint(static_cast<uint64_t>(window.after_ms)));
+  time_range.Set("before_ms",
+                 json::Value::Uint(static_cast<uint64_t>(window.before_ms)));
+  json::Value filter = json::Value::Object();
+  filter.Set("time_range", std::move(time_range));
+  json::Value grouped = json::Value::Object();
+  grouped.Set("query", json::Value::Str(reference.query));
+  grouped.Set("k", json::Value::Uint(reference.k));
+  grouped.Set("ranking", std::move(ranking));
+  grouped.Set("filter", std::move(filter));
+
+  const std::string reply =
+      Request(port, "POST", "/v1/search", grouped.Dump());
+  ASSERT_EQ(StatusOf(reply), 200) << reply;
+  const json::Value body = JsonBodyOf(reply);
+  const json::Value* hits = body.Find("hits");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_EQ(hits->size(), expected.hits.size());
+  for (size_t i = 0; i < expected.hits.size(); ++i) {
+    EXPECT_EQ(hits->at(i).Find("doc_index")->AsUint(),
+              expected.hits[i].doc_index)
+        << "hit " << i;
+    EXPECT_EQ(hits->at(i).Find("score")->AsDouble(), expected.hits[i].score)
+        << "hit " << i;
+    EXPECT_TRUE(window.Contains(
+        corpus_.doc(expected.hits[i].doc_index).timestamp_ms));
+  }
+
+  // Legacy flat shape still decodes (deprecated aliases).
+  json::Value legacy = json::Value::Object();
+  legacy.Set("query", json::Value::Str(reference.query));
+  legacy.Set("k", json::Value::Uint(4));
+  legacy.Set("beta", json::Value::Number(0.3));
+  ASSERT_EQ(StatusOf(Request(port, "POST", "/v1/search", legacy.Dump())),
+            200);
+
+  // Mixing the two shapes in one request is a 400 naming the alias.
+  json::Value mixed = json::Value::Object();
+  mixed.Set("query", json::Value::Str(reference.query));
+  mixed.Set("beta", json::Value::Number(0.3));
+  json::Value mixed_ranking = json::Value::Object();
+  mixed_ranking.Set("beta", json::Value::Number(0.3));
+  mixed.Set("ranking", std::move(mixed_ranking));
+  const std::string mixed_reply =
+      Request(port, "POST", "/v1/search", mixed.Dump());
+  EXPECT_EQ(StatusOf(mixed_reply), 400) << mixed_reply;
+  EXPECT_NE(BodyOf(mixed_reply).find("deprecated alias"), std::string::npos);
+}
+
+TEST_F(ServerTest, IngestedTimestampIsFilterableImmediately) {
+  StartServer();
+  const uint16_t port = server_->port();
+  int64_t t_max = 0;
+  for (const corpus::Document& d : corpus_.docs()) {
+    t_max = std::max(t_max, d.timestamp_ms);
+  }
+  const int64_t fresh_ts = t_max + 60000;
+
+  json::Value doc = json::Value::Object();
+  doc.Set("title", json::Value::Str("Fresh"));
+  doc.Set("text", json::Value::Str(corpus_.doc(1).text));
+  doc.Set("timestamp_ms", json::Value::Uint(static_cast<uint64_t>(fresh_ts)));
+  const std::string created_reply =
+      Request(port, "POST", "/v1/documents", doc.Dump());
+  ASSERT_EQ(StatusOf(created_reply), 201) << created_reply;
+  const uint64_t fresh_row =
+      JsonBodyOf(created_reply).Find("doc_index")->AsUint();
+
+  // A window holding only the fresh timestamp surfaces exactly that doc.
+  json::Value time_range = json::Value::Object();
+  time_range.Set("after_ms",
+                 json::Value::Uint(static_cast<uint64_t>(fresh_ts)));
+  time_range.Set("before_ms",
+                 json::Value::Uint(static_cast<uint64_t>(fresh_ts + 1)));
+  json::Value filter = json::Value::Object();
+  filter.Set("time_range", std::move(time_range));
+  json::Value probe = json::Value::Object();
+  probe.Set("query", json::Value::Str(QueryFor(1)));
+  probe.Set("k", json::Value::Uint(10));
+  probe.Set("filter", std::move(filter));
+  const json::Value search =
+      JsonBodyOf(Request(port, "POST", "/v1/search", probe.Dump()));
+  const json::Value* hits = search.Find("hits");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_EQ(hits->size(), 1u) << "window should isolate the ingested doc";
+  EXPECT_EQ(hits->at(0).Find("doc_index")->AsUint(), fresh_row);
+}
+
+TEST_F(ServerTest, ExploreAcceptsTimeFilter) {
+  StartServer();
+  const uint16_t port = server_->port();
+
+  json::Value unfiltered = json::Value::Object();
+  unfiltered.Set("query", json::Value::Str(QueryFor(2)));
+  const json::Value top =
+      JsonBodyOf(Request(port, "POST", "/v1/explore", unfiltered.Dump()));
+  const uint64_t total = top.Find("total_hits")->AsUint();
+  ASSERT_GT(total, 0u);
+
+  // An all-covering window changes nothing; a far-future one empties the
+  // result set (still 200 — an empty exploration is not an error).
+  json::Value wide_range = json::Value::Object();
+  wide_range.Set("after_ms", json::Value::Uint(1));
+  json::Value wide_filter = json::Value::Object();
+  wide_filter.Set("time_range", std::move(wide_range));
+  json::Value wide = json::Value::Object();
+  wide.Set("query", json::Value::Str(QueryFor(2)));
+  wide.Set("filter", std::move(wide_filter));
+  const std::string wide_reply =
+      Request(port, "POST", "/v1/explore", wide.Dump());
+  ASSERT_EQ(StatusOf(wide_reply), 200) << wide_reply;
+  EXPECT_EQ(JsonBodyOf(wide_reply).Find("total_hits")->AsUint(), total);
+
+  json::Value far_range = json::Value::Object();
+  far_range.Set("after_ms", json::Value::Uint(9999999999999ull));
+  json::Value far_filter = json::Value::Object();
+  far_filter.Set("time_range", std::move(far_range));
+  json::Value far = json::Value::Object();
+  far.Set("query", json::Value::Str(QueryFor(2)));
+  far.Set("filter", std::move(far_filter));
+  const std::string far_reply =
+      Request(port, "POST", "/v1/explore", far.Dump());
+  ASSERT_EQ(StatusOf(far_reply), 200) << far_reply;
+  EXPECT_EQ(JsonBodyOf(far_reply).Find("total_hits")->AsUint(), 0u);
 }
 
 TEST_F(ServerTest, MetricsHealthAndStatsEndpoints) {

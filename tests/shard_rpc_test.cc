@@ -134,6 +134,53 @@ TEST(ShardCodecs, SearchMessagesKeepScoresBitExact) {
   }
 }
 
+TEST(ShardCodecs, TimeFieldsRoundTripExactly) {
+  // The v2 time-aware fields: window, half-life, and pinned now on the
+  // query; has_timestamps on plans; per-candidate timestamps on results.
+  ShardQuery query = SampleQuery();
+  query.has_time_range = true;
+  query.after_ms = 1699999999999;
+  query.before_ms = 1700000360000;
+  query.recency_half_life_s = 0.1 + 0.2;  // awkward double, must survive
+  query.now_ms = 1700000400123;
+
+  ShardPlanRpcRequest request;
+  request.shard = 2;
+  request.query = query;
+  const ShardPlanRpcRequest back = WireTrip(
+      request, ShardPlanRequestToJson, ShardPlanRequestFromJson);
+  EXPECT_TRUE(back.query.has_time_range);
+  EXPECT_EQ(back.query.after_ms, query.after_ms);
+  EXPECT_EQ(back.query.before_ms, query.before_ms);
+  EXPECT_EQ(back.query.recency_half_life_s, query.recency_half_life_s);
+  EXPECT_EQ(back.query.now_ms, query.now_ms);
+
+  ShardPlanRpcResponse plan_response;
+  plan_response.plan.has_timestamps = true;
+  const ShardPlanRpcResponse pback = WireTrip(
+      plan_response, ShardPlanResponseToJson, ShardPlanResponseFromJson);
+  EXPECT_TRUE(pback.plan.has_timestamps);
+
+  ShardSearchRpcRequest search_request;
+  search_request.query = query;
+  search_request.global.has_timestamps = true;
+  const ShardSearchRpcRequest sback = WireTrip(
+      search_request, ShardSearchRequestToJson, ShardSearchRequestFromJson);
+  EXPECT_TRUE(sback.global.has_timestamps);
+  EXPECT_EQ(sback.query.before_ms, query.before_ms);
+
+  ShardSearchRpcResponse response;
+  response.result.candidates = {
+      {42, 1.5, 0.25, 1700000000001},
+      {77, 2.5, 0.125, 0},  // unknown timestamp stays 0
+  };
+  const ShardSearchRpcResponse rback = WireTrip(
+      response, ShardSearchResponseToJson, ShardSearchResponseFromJson);
+  ASSERT_EQ(rback.result.candidates.size(), 2u);
+  EXPECT_EQ(rback.result.candidates[0].ts, 1700000000001);
+  EXPECT_EQ(rback.result.candidates[1].ts, 0);
+}
+
 TEST(ShardCodecs, UnknownFieldsAreRejectedEverywhere) {
   ShardPlanRpcRequest plan_request;
   plan_request.query = SampleQuery();

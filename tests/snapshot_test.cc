@@ -4,8 +4,10 @@
 // readers' behaviour under truncation and bit flips. Every failure path
 // must return Status — never crash — and leave the engine untouched.
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -522,6 +524,144 @@ TEST_F(SnapshotTest, CorruptSketchSectionIsRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// The v3 "timestamps" section (DESIGN.md Sec. 15).
+// ---------------------------------------------------------------------------
+
+TEST_F(SnapshotTest, TimestampsSurviveSnapshotRoundTrip) {
+  // The section is always written, and a loaded engine answers time-aware
+  // requests (recency decay + time_range pushdown) bit-identically to the
+  // engine that built the index.
+  SharedState& s = State();
+  const Result<SnapshotFile> file = ReadSnapshotFile(s.snapshot_path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_NE(file->Find("timestamps"), nullptr);
+
+  int64_t ts_min = std::numeric_limits<int64_t>::max();
+  int64_t ts_max = 0;
+  for (size_t d = 0; d < s.news.corpus.size(); ++d) {
+    ts_min = std::min(ts_min, s.news.corpus.doc(d).timestamp_ms);
+    ts_max = std::max(ts_max, s.news.corpus.doc(d).timestamp_ms);
+  }
+  ASSERT_GT(ts_min, 0) << "synthetic corpus should carry real timestamps";
+  ASSERT_LT(ts_min, ts_max);
+
+  NewsLinkEngine loaded(&s.world.graph, &s.labels, NewsLinkConfig{});
+  ASSERT_TRUE(loaded.LoadSnapshot(s.snapshot_path).ok());
+
+  size_t total_hits = 0;
+  for (const std::string& query : s.Queries()) {
+    baselines::SearchRequest request;
+    request.query = query;
+    request.k = 10;
+    request.recency_half_life_seconds = 6.0 * 3600.0;
+    request.now_ms = ts_max + 1000;  // pinned: decay values are exact
+    request.time_range = baselines::TimeRange{ts_min, ts_min + (ts_max - ts_min) / 2 + 1};
+    const auto expected = s.engine.Search(request).hits;
+    const auto actual = loaded.Search(request).hits;
+    ASSERT_EQ(actual.size(), expected.size()) << "query: " << query;
+    total_hits += actual.size();
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].doc_index, expected[i].doc_index)
+          << "rank " << i << " query: " << query;
+      EXPECT_EQ(actual[i].score, expected[i].score)
+          << "rank " << i << " query: " << query;
+    }
+  }
+  // The windows above cover the older half of the stream; at least one
+  // query must actually return something or the comparison was vacuous.
+  EXPECT_GT(total_hits, 0u);
+}
+
+TEST_F(SnapshotTest, TimestampCountMismatchIsRejected) {
+  // CRC-clean but wrong-cardinality timestamp sections must fail the load
+  // with a diagnostic and leave the engine empty.
+  SharedState& s = State();
+  const Result<SnapshotFile> file = ReadSnapshotFile(s.snapshot_path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+
+  const auto rewrite = [&](uint64_t count, const std::string& path) {
+    ByteWriter out;
+    out.WriteU64(count);
+    for (uint64_t i = 0; i < count; ++i) out.WriteU64(0);
+    std::vector<SnapshotSection> sections;
+    for (const SnapshotSection& section : file->sections) {
+      sections.push_back(section.name == "timestamps"
+                             ? SnapshotSection{section.name, out.TakeBytes()}
+                             : section);
+    }
+    NL_CHECK(WriteSnapshotFile(path, file->header, sections).ok());
+  };
+
+  NewsLinkEngine engine(&s.world.graph, &s.labels, NewsLinkConfig{});
+  const std::string path = testing::TempDir() + "snapshot_bad_ts.snap";
+  const uint64_t n = file->header.num_docs;
+  for (uint64_t count : {n - 1, n + 1, uint64_t{0}}) {
+    rewrite(count, path);
+    const Status status = engine.LoadSnapshot(path);
+    ASSERT_FALSE(status.ok()) << "count " << count << " accepted";
+    EXPECT_TRUE(status.IsIOError()) << status.ToString();
+    EXPECT_NE(status.ToString().find("timestamps section covers"),
+              std::string::npos)
+        << status.ToString();
+    EXPECT_EQ(engine.num_indexed_docs(), 0u);
+  }
+  // The engine remains usable after the rejections.
+  ASSERT_TRUE(engine.LoadSnapshot(s.snapshot_path).ok());
+  EXPECT_EQ(engine.num_indexed_docs(), s.news.corpus.size());
+}
+
+TEST_F(SnapshotTest, MissingTimestampsSectionLoadsWithRecencyDisabled) {
+  // A hand-rolled v3 file without the section (e.g. produced by an older
+  // writer) still loads; the engine just has no publication times, so
+  // recency requests score like plain ones and any real window is empty.
+  SharedState& s = State();
+  const Result<SnapshotFile> file = ReadSnapshotFile(s.snapshot_path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  std::vector<SnapshotSection> sections;
+  for (const SnapshotSection& section : file->sections) {
+    if (section.name != "timestamps") sections.push_back(section);
+  }
+  ASSERT_LT(sections.size(), file->sections.size());
+  const std::string path = testing::TempDir() + "snapshot_no_ts.snap";
+  ASSERT_TRUE(WriteSnapshotFile(path, file->header, sections).ok());
+
+  NewsLinkEngine loaded(&s.world.graph, &s.labels, NewsLinkConfig{});
+  const Status status = loaded.LoadSnapshot(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(loaded.num_indexed_docs(), s.news.corpus.size());
+
+  for (const std::string& query : s.Queries()) {
+    baselines::SearchRequest plain;
+    plain.query = query;
+    plain.k = 10;
+    baselines::SearchRequest recency = plain;
+    recency.recency_half_life_seconds = 3600.0;
+    recency.now_ms = 1700000000000;
+    const auto expected = loaded.Search(plain).hits;
+    const auto actual = loaded.Search(recency).hits;
+    ASSERT_EQ(actual.size(), expected.size()) << "query: " << query;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].doc_index, expected[i].doc_index) << "rank " << i;
+      EXPECT_EQ(actual[i].score, expected[i].score) << "rank " << i;
+    }
+
+    // Every surviving timestamp is 0, so a window excluding 0 is empty.
+    baselines::SearchRequest windowed = plain;
+    windowed.time_range =
+        baselines::TimeRange{1, std::numeric_limits<int64_t>::max()};
+    EXPECT_TRUE(loaded.Search(windowed).hits.empty()) << "query: " << query;
+  }
+
+  // A re-save writes the (all-zero) section back: the format always
+  // carries it going forward.
+  const std::string resave = testing::TempDir() + "snapshot_no_ts2.snap";
+  ASSERT_TRUE(loaded.SaveSnapshot(resave).ok());
+  const Result<SnapshotFile> rewritten = ReadSnapshotFile(resave);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  EXPECT_NE(rewritten->Find("timestamps"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
 // Hardened readers: embeddings (text + binary) and corpus TSV.
 // ---------------------------------------------------------------------------
 
@@ -602,12 +742,13 @@ TEST_F(SnapshotTest, BinaryEmbeddingCodecRoundTripsAndRejectsTruncation) {
 
 TEST_F(SnapshotTest, CorpusLoaderRejectsCorruptStoryId) {
   const std::string path = testing::TempDir() + "corpus_corrupt.tsv";
-  WriteFileBytes(path, "d1\t2x\tTitle\tBody\n");
+  WriteFileBytes(path, "d1\t2x\t0\tTitle\tBody\n");
   const Result<corpus::Corpus> loaded = corpus::LoadTsv(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status().ToString();
 
-  WriteFileBytes(path, "d1\t4294967296\tTitle\tBody\n");  // > uint32 max
+  // > uint32 max
+  WriteFileBytes(path, "d1\t4294967296\t0\tTitle\tBody\n");
   EXPECT_FALSE(corpus::LoadTsv(path).ok());
 }
 

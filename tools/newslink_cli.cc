@@ -28,9 +28,11 @@
 //
 //   newslink_cli search <kg_prefix> <corpus_tsv> <query...> [--beta B]
 //       [--k N] [--explain] [--trace] [--metrics-out FILE] [--snapshot PATH]
+//       [--after-ms T] [--before-ms T] [--recency-half-life SECONDS]
 //       Index the corpus — or warm-start from a snapshot — and run one
 //       query, optionally with relationship-path explanations, the query's
-//       span tree, and a metrics dump.
+//       span tree, a metrics dump, a publication-time window [after, before)
+//       (epoch ms), and recency-decayed ranking.
 //
 //   newslink_cli explore <kg_prefix> <corpus_tsv> [--snapshot PATH]
 //       [--k N] [--beta B]
@@ -159,7 +161,8 @@ int Usage() {
       "               [--snapshot IN] [--reorder] [--sketches]\n"
       "  newslink_cli search <kg_prefix> <corpus_tsv> <query...> [--beta B]\n"
       "               [--k N] [--explain] [--trace] [--metrics-out FILE]\n"
-      "               [--snapshot PATH]\n"
+      "               [--snapshot PATH] [--after-ms T] [--before-ms T]\n"
+      "               [--recency-half-life SECONDS]\n"
       "  newslink_cli explore <kg_prefix> <corpus_tsv> [--snapshot PATH]\n"
       "               [--k N] [--beta B]\n"
       "  newslink_cli stats <kg_prefix> [<corpus_tsv>] [--query TEXT]\n"
@@ -503,6 +506,20 @@ int SearchCmd(const Flags& flags) {
   request.query = query;
   request.k = flags.GetInt("k", 5);
   request.beta = flags.GetDouble("beta", 0.2);
+  // Time-aware knobs (DESIGN.md Sec. 15): a half-open publication window
+  // pushed into retrieval and/or recency decay fused into the ranking.
+  if (flags.Has("after-ms") || flags.Has("before-ms")) {
+    baselines::TimeRange range;
+    range.after_ms = static_cast<int64_t>(flags.GetInt("after-ms", 0));
+    if (flags.Has("before-ms")) {
+      range.before_ms = static_cast<int64_t>(flags.GetInt("before-ms", 0));
+    }
+    request.time_range = range;
+  }
+  if (flags.Has("recency-half-life")) {
+    request.recency_half_life_seconds =
+        flags.GetDouble("recency-half-life", 0.0);
+  }
   request.explain = flags.Has("explain");
   request.max_paths_per_result = 4;
   request.trace = flags.Has("trace");
